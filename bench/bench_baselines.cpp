@@ -1,0 +1,108 @@
+// EXP-BASE — the §1 motivation, measured: deterministic worst case.
+//
+// Compares, on identical request sets (random and adversarial):
+//   * single copy, modular placement (naive deterministic),
+//   * single copy, hashed placement (randomized-scheme stand-in),
+//   * HMOS replication without culling (direct-all-copies ablation),
+//   * the full scheme (HMOS + CULLING + staged protocol),
+// plus the MPC contention landscape (single copy vs [PP93a]-style majority
+// quorums) that the HMOS lifts onto the mesh.
+#include <cmath>
+#include <iostream>
+
+#include "common.hpp"
+#include "pram/baselines/direct.hpp"
+#include "pram/baselines/mpc.hpp"
+#include "pram/baselines/single_copy.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+using namespace meshpram;
+using namespace meshpram::benchutil;
+
+int main() {
+  set_log_level(LogLevel::Error);
+  const int side = 32;
+  const i64 n = static_cast<i64>(side) * side;
+  const i64 M = n * n;  // alpha = 2: the adversary's favourite regime
+
+  std::cout << "=== EXP-BASE: scheme comparison on a " << side << 'x' << side
+            << " mesh, M = n^2 = " << M << " ===\n";
+  Table t({"pattern", "scheme", "total steps", "memory serialization"});
+
+  for (const bool adversarial : {false, true}) {
+    const char* pat = adversarial ? "adversarial" : "random";
+    Rng rng(99);
+    const auto reqs = adversarial ? adversarial_requests(n, M)
+                                  : random_requests(n, M, rng);
+
+    {
+      SingleCopySim sim(side, side, M, SingleCopyPlacement::Modular, 1,
+                        {SortMode::Analytic});
+      SingleCopyStats st;
+      sim.step(reqs, &st);
+      t.add(pat, "single copy (modular)", st.total_steps, st.service_steps);
+    }
+    {
+      SingleCopySim sim(side, side, M, SingleCopyPlacement::Hashed, 77,
+                        {SortMode::Analytic});
+      // The adversary attacks the *hash*: collide on one home node.
+      std::vector<AccessRequest> hreqs = reqs;
+      if (adversarial) {
+        hreqs.clear();
+        const i32 target = sim.home(0);
+        for (i64 v = 0; v < M && static_cast<i64>(hreqs.size()) < n; ++v) {
+          if (sim.home(v) == target) hreqs.push_back({v, Op::Read, 0});
+        }
+      }
+      SingleCopyStats st;
+      sim.step(hreqs, &st);
+      t.add(pat, "single copy (hashed, known hash)", st.total_steps,
+            st.service_steps);
+    }
+    {
+      SimConfig cfg;
+      cfg.mesh_rows = side;
+      cfg.mesh_cols = side;
+      cfg.num_vars = M;
+      cfg.sort_mode = SortMode::Analytic;
+      DirectAllCopiesSim sim(cfg);
+      DirectStats st;
+      sim.step(reqs, &st);
+      t.add(pat, "HMOS, no culling (ablation)", st.total_steps,
+            st.service_steps);
+    }
+    {
+      const SimPoint p = measure_sim_step(side, M, 3, 2, 99, adversarial);
+      t.add(pat, "full scheme (HMOS+CULLING)", p.steps, "-");
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\nMPC contention (routing-free, [PP93a] layer):\n";
+  Table m({"pattern", "single-copy contention", "majority-quorum contention"});
+  MpcSim mpc(3, 243, bibd_input_count(3, 5));
+  std::vector<i64> adv;
+  for (i64 v = 7; v < mpc.num_vars(); v += 243) adv.push_back(v);
+  Rng rng2(5);
+  std::vector<i64> rnd;
+  {
+    std::set<i64> used;
+    for (int i = 0; i < 243; ++i) {
+      i64 v = rng2.range(0, mpc.num_vars() - 1);
+      while (used.contains(v)) v = (v + 1) % mpc.num_vars();
+      used.insert(v);
+      rnd.push_back(v);
+    }
+  }
+  m.add("random", mpc.single_copy_contention(rnd),
+        mpc.majority_contention(rnd));
+  m.add("adversarial", mpc.single_copy_contention(adv),
+        mpc.majority_contention(adv));
+  m.print(std::cout);
+  std::cout << "\nShape to reproduce: single-copy schemes degrade to full "
+               "serialization under attack;\nthe replicated schemes stay "
+               "flat — and the full scheme's worst case is a GUARANTEE\n"
+               "(Theorem 3), not an empirical observation.\n";
+  return 0;
+}

@@ -1,0 +1,122 @@
+// EXP-L1 / EXP-T5 — Lemma 1 (strong expansion) and Theorem 5 (balanced
+// subgraph degrees), measured; plus google-benchmark timings of the
+// incidence queries that make the memory map practical.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <iostream>
+#include <set>
+#include <vector>
+
+#include "bibd/bibd.hpp"
+#include "bibd/subgraph.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace meshpram;
+
+namespace {
+
+void lemma1_table() {
+  std::cout << "=== EXP-L1: strong expansion |Gamma_k(S)| = (k-1)|S|+1 "
+               "(Lemma 1) ===\n";
+  Table t({"q", "d", "|S|", "k", "measured |Gamma_k(S)|", "(k-1)|S|+1"});
+  Rng rng(1);
+  for (const auto& [q, d] : std::vector<std::pair<i64, int>>{
+           {3, 3}, {3, 5}, {4, 3}, {5, 2}, {9, 2}}) {
+    Bibd g(q, d);
+    const i64 u = rng.range(0, g.num_outputs() - 1);
+    for (i64 S : {2, 5, 10}) {
+      if (S > g.output_degree()) continue;
+      const auto which = rng.sample(g.output_degree(), S);
+      for (i64 k = 2; k <= std::min<i64>(q, 3); ++k) {
+        std::set<i64> gamma;
+        for (i64 r : which) {
+          const i64 w = g.output_neighbor(u, r);
+          gamma.insert(u);
+          i64 added = 0;
+          for (i64 cand : g.neighbors(w)) {
+            if (cand == u || added == k - 1) continue;
+            gamma.insert(cand);
+            ++added;
+          }
+        }
+        t.add(q, d, S, k, static_cast<i64>(gamma.size()), (k - 1) * S + 1);
+      }
+    }
+  }
+  t.print(std::cout);
+}
+
+void theorem5_table() {
+  std::cout << "\n=== EXP-T5: subgraph output degrees rho in "
+               "{floor(qm/q^d), ceil(qm/q^d)} (Theorem 5) ===\n";
+  Table t({"q", "d", "m", "floor", "ceil", "measured min", "measured max",
+           "in range"});
+  for (const auto& [q, d] : std::vector<std::pair<i64, int>>{{3, 3}, {3, 4},
+                                                             {4, 3}, {5, 2}}) {
+    const i64 f = bibd_input_count(q, d);
+    for (i64 m : {f / 7 + 1, f / 3 + 1, f / 2 + 1, f - 1, f}) {
+      BibdSubgraph g(q, d, m);
+      std::vector<i64> deg(static_cast<size_t>(g.num_outputs()), 0);
+      for (i64 v = 0; v < m; ++v) {
+        for (i64 u : g.neighbors(v)) ++deg[static_cast<size_t>(u)];
+      }
+      i64 lo = deg[0], hi = deg[0];
+      for (i64 x : deg) {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+      }
+      const bool ok =
+          lo >= g.min_output_degree() && hi <= g.max_output_degree();
+      t.add(q, d, m, g.min_output_degree(), g.max_output_degree(), lo, hi,
+            ok ? "yes" : "NO");
+    }
+  }
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+void BM_Neighbor(benchmark::State& state) {
+  Bibd g(3, static_cast<int>(state.range(0)));
+  Rng rng(2);
+  const i64 w = rng.range(0, g.num_inputs() - 1);
+  i64 x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.neighbor(w, x));
+    x = (x + 1) % 3;
+  }
+}
+BENCHMARK(BM_Neighbor)->Arg(3)->Arg(5)->Arg(8);
+
+void BM_EdgeRank(benchmark::State& state) {
+  Bibd g(3, static_cast<int>(state.range(0)));
+  Rng rng(3);
+  const i64 w = rng.range(0, g.num_inputs() - 1);
+  const i64 u = g.neighbor(w, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.edge_rank(w, u));
+  }
+}
+BENCHMARK(BM_EdgeRank)->Arg(3)->Arg(5)->Arg(8);
+
+void BM_CommonInput(benchmark::State& state) {
+  Bibd g(3, static_cast<int>(state.range(0)));
+  Rng rng(4);
+  const i64 u1 = rng.range(0, g.num_outputs() - 1);
+  const i64 u2 = (u1 + 1) % g.num_outputs();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.common_input(u1, u2));
+  }
+}
+BENCHMARK(BM_CommonInput)->Arg(3)->Arg(5)->Arg(8);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lemma1_table();
+  theorem5_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

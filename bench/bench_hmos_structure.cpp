@@ -1,0 +1,55 @@
+// EXP-F1 — Figure 1: the HMOS structure.
+//
+// Prints, for a sweep of (n, M, q, k), the level table the paper's Figure 1
+// depicts: module counts m_i (with the constant c = m_i / n^{alpha/2^i} of
+// Eq. (1), which the paper bounds in [q/2, q^3]), page counts, tessellation
+// submesh sizes t_i, and per-processor copy load.
+#include <cmath>
+#include <iostream>
+
+#include "hmos/memory_map.hpp"
+#include "hmos/params.hpp"
+#include "hmos/placement.hpp"
+#include "util/table.hpp"
+
+using namespace meshpram;
+
+namespace {
+
+void structure_table(int side, i64 M, i64 q, int k) {
+  HmosParams params(q, k, M, side, side);
+  MemoryMap map(params);
+  Placement placement(map, Region(0, 0, side, side));
+
+  std::cout << params.describe();
+  Table t({"level i", "d_i", "m_i = q^d_i", "c = m_i/n^(a/2^i)", "pages",
+           "avg t_i (nodes/page)", "Eq.(1) c-range"});
+  const double n = static_cast<double>(params.mesh_size());
+  const double alpha = params.alpha();
+  for (int i = 1; i <= k; ++i) {
+    const auto& lv = params.level(i);
+    const double c =
+        static_cast<double>(lv.modules) /
+        std::pow(n, alpha / static_cast<double>(i64{1} << i));
+    const double tsize = n / static_cast<double>(lv.pages);
+    t.add(i, lv.d, lv.modules, c, lv.pages, tsize,
+          "[" + format_double(static_cast<double>(q) / 2) + ", " +
+              format_double(std::pow(static_cast<double>(q), 3)) + "]");
+  }
+  t.print(std::cout);
+  std::cout << "degraded placement (pages sharing nodes): "
+            << (placement.degraded() ? "yes" : "no") << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== EXP-F1: HMOS structure (paper Figure 1 / Eq. 1) ===\n\n";
+  structure_table(32, 4096, 3, 2);      // alpha ~ 1.2
+  structure_table(32, 32768, 3, 2);     // alpha = 1.5
+  structure_table(64, 262144, 3, 2);    // alpha = 1.5 at n = 4096
+  structure_table(64, 100000, 3, 3);    // k = 3
+  structure_table(32, 1048576, 3, 2);   // alpha = 2
+  structure_table(32, 4096, 9, 2);      // larger branching q = 9
+  return 0;
+}

@@ -1,0 +1,55 @@
+// EXP-T2 — Theorem 2: (l1,l2)-routing in sqrt(l1*l2*n) + O(l1*sqrt(n)) steps.
+//
+// Measures the sort-based (l1,l2)-router (our [SK93] stand-in, DESIGN.md
+// 2.3) on random instances where every node sends l1 and receives at most
+// l2 packets, against the theorem's prediction, and fits the n-scaling
+// exponent (theory: 1/2 for fixed l1, l2).
+#include <cmath>
+#include <iostream>
+
+#include "common.hpp"
+#include "routing/lroute.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace meshpram;
+using namespace meshpram::benchutil;
+
+int main() {
+  std::cout << "=== EXP-T2: general (l1,l2)-routing vs Theorem 2 ===\n";
+  Table t({"n", "l1", "l2", "measured steps", "sqrt(l1*l2*n)+l1*sqrt(n)",
+           "ratio", "sort share"});
+
+  std::vector<double> ns, steps_11;
+  for (int side : {16, 32, 64, 128}) {
+    const i64 n = static_cast<i64>(side) * side;
+    for (const auto& [l1, l2] : std::vector<std::pair<i64, i64>>{
+             {1, 1}, {1, 4}, {4, 4}, {1, 16}, {4, 16}}) {
+      if (side == 128 && l1 * l2 > 16) continue;  // keep runtime modest
+      Mesh mesh(side, side);
+      Rng rng(static_cast<u64>(n * 31 + l1 * 7 + l2));
+      fill_l1l2_instance(mesh, l1, l2, rng);
+      const auto st = route_sorted(mesh, mesh.whole(),
+                                   {SortMode::Simulated});
+      const double pred =
+          std::sqrt(static_cast<double>(l1 * l2 * n)) +
+          static_cast<double>(l1) * std::sqrt(static_cast<double>(n));
+      t.add(n, l1, l2, st.steps, pred,
+            static_cast<double>(st.steps) / pred,
+            static_cast<double>(st.sort_steps) /
+                static_cast<double>(st.steps));
+      if (l1 == 1 && l2 == 1) {
+        ns.push_back(static_cast<double>(n));
+        steps_11.push_back(static_cast<double>(st.steps));
+      }
+    }
+  }
+  t.print(std::cout);
+
+  const auto fit = fit_power_law(ns, steps_11);
+  std::cout << "\n(1,1)-routing scaling: measured n^" << format_double(fit.slope)
+            << " (theory n^0.5; shearsort adds a log factor, DESIGN.md 2.2), "
+               "R^2 = "
+            << format_double(fit.r2) << "\n";
+  return 0;
+}

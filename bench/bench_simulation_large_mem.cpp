@@ -1,0 +1,45 @@
+// EXP-T4c — Theorem 1/4, large memories (5/3 <= alpha <= 2):
+// T_sim in n^{1/2 + (2*alpha-3)/8}, constant redundancy.
+//
+// alpha = 2 is the full n^2-variable memory: each processor owns n
+// variables' worth of copies. At the largest alpha the paper's example gives
+// T_sim in O(n^{5/8}) with redundancy 9.
+#include <cmath>
+#include <iostream>
+
+#include "common.hpp"
+#include "util/table.hpp"
+
+using namespace meshpram;
+using namespace meshpram::benchutil;
+
+int main() {
+  std::cout << "=== EXP-T4c: T_sim scaling, 5/3 <= alpha <= 2 (Theorem 1, "
+               "third regime) ===\n";
+  Table t({"alpha", "n", "M", "T_sim", "T/sqrt(n)", "theory exponent",
+           "degraded"});
+  for (double alpha : {1.75, 2.0}) {
+    std::vector<double> ns, ts;
+    for (int side : {16, 32, 64}) {
+      const i64 n = static_cast<i64>(side) * side;
+      const i64 M = static_cast<i64>(std::llround(std::pow(n, alpha)));
+      const SimPoint p = measure_sim_step(side, M, 3, 2, 11);
+      const double theory = 0.5 + (2 * alpha - 3) / 8;
+      t.add(p.alpha, p.n, p.M, p.steps,
+            static_cast<double>(p.steps) /
+                std::sqrt(static_cast<double>(p.n)),
+            theory, p.degraded ? "yes" : "no");
+      ns.push_back(static_cast<double>(p.n));
+      ts.push_back(static_cast<double>(p.steps));
+    }
+    const auto fit = fit_power_law(ns, ts);
+    std::cout << "alpha=" << alpha << ": fitted T_sim ~ n^"
+              << format_double(fit.slope) << "  (theory n^"
+              << format_double(0.5 + (2 * alpha - 3) / 8)
+              << ")  R^2 = " << format_double(fit.r2) << '\n';
+  }
+  t.print(std::cout);
+  std::cout << "\nAt alpha = 2 the paper's example: redundancy 9, T_sim in "
+               "O(n^{5/8}).\n";
+  return 0;
+}

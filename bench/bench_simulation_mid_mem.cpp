@@ -1,0 +1,45 @@
+// EXP-T4b — Theorem 1/4, mid-size memories (3/2 <= alpha <= 5/3):
+// T_sim in n^{1/2 + (alpha-1)/16} with k = 3 (27 copies), and
+// n^{1/2 + (alpha-1)/8} with k = 2 (9 copies, Eq. 9).
+//
+// Sweeps n at alpha = 1.5 for both depths and reports measured exponents
+// next to the two theory targets — including the paper's k-tradeoff: deeper
+// hierarchies lower the exponent at the price of higher redundancy.
+#include <cmath>
+#include <iostream>
+
+#include "common.hpp"
+#include "util/table.hpp"
+
+using namespace meshpram;
+using namespace meshpram::benchutil;
+
+int main() {
+  const double alpha = 1.5;
+  std::cout << "=== EXP-T4b: T_sim scaling, alpha = 1.5 (Theorem 1, second "
+               "regime) ===\n";
+  Table t({"k", "n", "M", "redundancy", "T_sim", "T/sqrt(n)", "degraded"});
+  for (int k : {2, 3}) {
+    std::vector<double> ns, ts;
+    for (int side : {16, 32, 64, 128}) {
+      const i64 n = static_cast<i64>(side) * side;
+      const i64 M = static_cast<i64>(std::llround(std::pow(n, alpha)));
+      const SimPoint p = measure_sim_step(side, M, 3, k, 7);
+      t.add(p.k, p.n, p.M, p.redundancy, p.steps,
+            static_cast<double>(p.steps) /
+                std::sqrt(static_cast<double>(p.n)),
+            p.degraded ? "yes" : "no");
+      ns.push_back(static_cast<double>(p.n));
+      ts.push_back(static_cast<double>(p.steps));
+    }
+    const auto fit = fit_power_law(ns, ts);
+    const double theory =
+        k == 2 ? 0.5 + (alpha - 1) / 8 : 0.5 + (alpha - 1) / 16;
+    std::cout << "k=" << k << ": fitted T_sim ~ n^"
+              << format_double(fit.slope) << "  (theory n^"
+              << format_double(theory) << (k == 2 ? ", Eq. 9" : ", Thm 1")
+              << ")  R^2 = " << format_double(fit.r2) << '\n';
+  }
+  t.print(std::cout);
+  return 0;
+}

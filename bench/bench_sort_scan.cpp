@@ -1,0 +1,62 @@
+// EXP-SORT — the §2 prerequisites: k-k mesh sorting and prefix/ranking.
+//
+// Measures block shearsort steps against its O(L * sqrt(n) * log n) bound
+// and against the O(L * sqrt(n)) cost of the algorithms the paper cites
+// [KSS94, Kun93] (our documented substitution), plus the scan/rank cost.
+#include <cmath>
+#include <iostream>
+
+#include "common.hpp"
+#include "routing/meshsort.hpp"
+#include "routing/rank.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace meshpram;
+using namespace meshpram::benchutil;
+
+int main() {
+  std::cout << "=== EXP-SORT: k-k mesh sorting (paper 2 prerequisite) ===\n";
+  Table t({"n", "L (load)", "measured steps", "shearsort bound",
+           "cited-alg cost L*2*sqrt(n)", "measured/cited"});
+  for (int side : {16, 32, 64, 128}) {
+    const i64 n = static_cast<i64>(side) * side;
+    for (i64 load : {1, 4, 9}) {
+      if (side == 128 && load > 4) continue;
+      Mesh mesh(side, side);
+      Rng rng(static_cast<u64>(n * 13 + load));
+      for (i64 node = 0; node < n; ++node) {
+        for (i64 j = 0; j < load; ++j) {
+          Packet p;
+          p.key = rng.below(1u << 30);
+          p.var = node;
+          mesh.buf(static_cast<i32>(node)).push_back(p);
+        }
+      }
+      const i64 steps = sort_region(mesh, mesh.whole());
+      const i64 bound = shearsort_step_bound(mesh.whole(), load);
+      const double cited =
+          static_cast<double>(load) * 2.0 * std::sqrt(static_cast<double>(n));
+      t.add(n, load, steps, bound, cited,
+            static_cast<double>(steps) / cited);
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\nscan + group ranking cost (O(sqrt(n))):\n";
+  Table s({"n", "rank steps", "4*(2*sqrt(n)+sqrt(n)) prediction"});
+  for (int side : {16, 32, 64, 128}) {
+    const i64 n = static_cast<i64>(side) * side;
+    Mesh mesh(side, side);
+    Rng rng(3);
+    for (i64 s = 0; s < n; ++s) {
+      Packet p;
+      p.key = static_cast<u64>(s / 7);  // groups, pre-sorted in snake order
+      mesh.buf(mesh.node_at(mesh.whole(), s)).push_back(p);
+    }
+    const i64 steps = rank_within_groups(mesh, mesh.whole());
+    s.add(n, steps, 4 * (2 * side + side));
+  }
+  s.print(std::cout);
+  return 0;
+}

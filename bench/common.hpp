@@ -1,0 +1,160 @@
+// Shared workload generators and helpers for the experiment benches.
+//
+// Every bench is deterministic (fixed seeds) and prints a paper-style table;
+// EXPERIMENTS.md records the outputs next to the theorem each reproduces.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "mesh/machine.hpp"
+#include "protocol/access.hpp"
+#include "util/rng.hpp"
+
+namespace meshpram::benchutil {
+
+/// Random EREW request set: every processor reads a distinct random variable.
+inline std::vector<AccessRequest> random_requests(i64 n, i64 num_vars,
+                                                  Rng& rng,
+                                                  Op op = Op::Read) {
+  std::vector<AccessRequest> reqs(static_cast<size_t>(n));
+  std::set<i64> used;
+  for (i64 i = 0; i < n; ++i) {
+    i64 v = rng.range(0, num_vars - 1);
+    while (used.contains(v)) v = (v + 1) % num_vars;
+    used.insert(v);
+    reqs[static_cast<size_t>(i)] = {v, op, op == Op::Write ? i : 0};
+  }
+  return reqs;
+}
+
+/// Adversarial request set against a modular single-copy map: all variables
+/// congruent to `hot` mod n (they also cluster in the BIBD input space).
+inline std::vector<AccessRequest> adversarial_requests(i64 n, i64 num_vars,
+                                                       i64 hot = 5,
+                                                       Op op = Op::Read) {
+  std::vector<AccessRequest> reqs;
+  for (i64 i = 0; i < n && hot + n * i < num_vars; ++i) {
+    reqs.push_back({hot + n * i, op, i});
+  }
+  // Top up with consecutive variables if M < n^2.
+  i64 v = 0;
+  std::set<i64> used;
+  for (const auto& r : reqs) used.insert(r.var);
+  while (static_cast<i64>(reqs.size()) < n) {
+    while (used.contains(v)) ++v;
+    used.insert(v);
+    reqs.push_back({v, op, 0});
+  }
+  return reqs;
+}
+
+/// (l1,l2)-routing instance: every node sends l1 packets; every node receives
+/// at most l2 (destinations drawn from a random slot assignment).
+inline void fill_l1l2_instance(Mesh& mesh, i64 l1, i64 l2, Rng& rng) {
+  const i64 n = mesh.size();
+  std::vector<i64> slots;
+  slots.reserve(static_cast<size_t>(n * l2));
+  for (i64 node = 0; node < n; ++node) {
+    for (i64 s = 0; s < l2; ++s) slots.push_back(node);
+  }
+  rng.shuffle(slots);
+  size_t next = 0;
+  for (i64 node = 0; node < n; ++node) {
+    for (i64 j = 0; j < l1; ++j) {
+      Packet p;
+      p.var = node * l1 + j;
+      p.origin = static_cast<i32>(node);
+      p.dest = static_cast<i32>(slots[next++]);
+      mesh.buf(static_cast<i32>(node)).push_back(p);
+    }
+  }
+}
+
+/// (l1,l2,delta,m)-routing instance over a tessellation: each subregion
+/// receives ~delta * |sub| packets, but inside a subregion the load is
+/// maximally skewed (up to l2 per node) — the regime where two-stage routing
+/// wins (§2).
+inline void fill_tessellated_instance(Mesh& mesh,
+                                      const std::vector<Region>& subs, i64 l1,
+                                      i64 l2, i64 delta, Rng& rng) {
+  const i64 n = mesh.size();
+  // Destination slots: per subregion, delta*|sub| slots packed onto the
+  // first ceil(delta*|sub|/l2) nodes (intra-submesh skew).
+  std::vector<i64> slots;
+  for (const Region& sub : subs) {
+    i64 budget = delta * sub.size();
+    for (i64 s = 0; s < sub.size() && budget > 0; ++s) {
+      const i64 here = std::min<i64>(l2, budget);
+      for (i64 t = 0; t < here; ++t) {
+        slots.push_back(mesh.node_id(sub.at_snake(s)));
+      }
+      budget -= here;
+    }
+  }
+  rng.shuffle(slots);
+  size_t next = 0;
+  for (i64 node = 0; node < n && next < slots.size(); ++node) {
+    for (i64 j = 0; j < l1 && next < slots.size(); ++j) {
+      Packet p;
+      p.var = node * l1 + j;
+      p.origin = static_cast<i32>(node);
+      p.dest = static_cast<i32>(slots[next++]);
+      mesh.buf(static_cast<i32>(node)).push_back(p);
+    }
+  }
+}
+
+}  // namespace meshpram::benchutil
+
+#include "protocol/simulator.hpp"
+#include "util/log.hpp"
+#include "util/stats.hpp"
+
+namespace meshpram::benchutil {
+
+struct SimPoint {
+  i64 n = 0;
+  i64 M = 0;
+  int k = 0;
+  double alpha = 0;
+  i64 redundancy = 0;
+  i64 steps = 0;
+  i64 culling = 0;
+  i64 forward = 0;
+  bool degraded = false;
+};
+
+/// One full PRAM access step (read) on the mesh simulator; Analytic sort mode
+/// so large meshes stay benchable (identical placements, worst-case charge).
+inline SimPoint measure_sim_step(int side, i64 M, i64 q, int k, u64 seed,
+                                 bool adversarial = false) {
+  set_log_level(LogLevel::Error);  // the t_i<1 warning is expected here
+  SimConfig cfg;
+  cfg.mesh_rows = side;
+  cfg.mesh_cols = side;
+  cfg.num_vars = M;
+  cfg.q = q;
+  cfg.k = k;
+  cfg.sort_mode = SortMode::Analytic;
+  PramMeshSimulator sim(cfg);
+  const i64 n = sim.processors();
+  Rng rng(seed);
+  const auto reqs = adversarial ? adversarial_requests(n, M)
+                                : random_requests(n, M, rng);
+  StepStats st;
+  sim.step(reqs, &st);
+  SimPoint p;
+  p.n = n;
+  p.M = M;
+  p.k = k;
+  p.alpha = sim.params().alpha();
+  p.redundancy = sim.params().redundancy();
+  p.steps = st.total_steps;
+  p.culling = st.culling_steps;
+  p.forward = st.forward_steps;
+  p.degraded = sim.placement().degraded();
+  return p;
+}
+
+}  // namespace meshpram::benchutil

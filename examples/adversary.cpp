@@ -1,0 +1,73 @@
+// The worst-case story from the paper's introduction, played out.
+//
+// An adversary who knows the memory map requests n variables that all live
+// in the same module. With a single copy per variable — whether placed
+// modularly or by a fixed hash — the hot module serializes all n accesses.
+// The HMOS + CULLING scheme bounds the worst case by construction: no
+// request set can load any level-i page beyond Theorem 3's 4 q^k n^{1-1/2^i}.
+#include <iostream>
+
+#include "pram/baselines/single_copy.hpp"
+#include "protocol/simulator.hpp"
+#include "util/table.hpp"
+
+using namespace meshpram;
+
+int main() {
+  const int rows = 16, cols = 16;
+  const i64 n = static_cast<i64>(rows) * cols;
+  const i64 M = 65536;  // alpha = 2: every node owns 256 variables
+
+  // --- single copy, modular placement: all requests hit node 5 ------------
+  SingleCopySim modular(rows, cols, M, SingleCopyPlacement::Modular);
+  std::vector<AccessRequest> hot(static_cast<size_t>(n));
+  for (i64 i = 0; i < n; ++i) hot[static_cast<size_t>(i)] = {5 + n * i, Op::Read, 0};
+  SingleCopyStats mod_stats;
+  modular.step(hot, &mod_stats);
+
+  // --- single copy, hashed placement: adversary scans for collisions ------
+  SingleCopySim hashed(rows, cols, M, SingleCopyPlacement::Hashed, 1234);
+  std::vector<AccessRequest> hot2;
+  const i32 target = hashed.home(0);
+  for (i64 v = 0; v < M && static_cast<i64>(hot2.size()) < n; ++v) {
+    if (hashed.home(v) == target) hot2.push_back({v, Op::Read, 0});
+  }
+  SingleCopyStats hash_stats;
+  const i64 found = static_cast<i64>(hot2.size());
+  hashed.step(hot2, &hash_stats);
+
+  // --- the deterministic scheme on the same request set -------------------
+  SimConfig cfg;
+  cfg.mesh_rows = rows;
+  cfg.mesh_cols = cols;
+  cfg.num_vars = M;
+  cfg.q = 3;
+  cfg.k = 2;
+  PramMeshSimulator sim(cfg);
+  std::vector<AccessRequest> hmos_reqs(static_cast<size_t>(n));
+  for (i64 i = 0; i < n; ++i) {
+    hmos_reqs[static_cast<size_t>(i)] = {5 + n * i, Op::Read, 0};
+  }
+  StepStats hmos_stats;
+  sim.step(hmos_reqs, &hmos_stats);
+
+  std::cout << "adversarial step: " << n << " requests aimed at one module "
+            << "(M = " << M << ", mesh " << rows << 'x' << cols << ")\n\n";
+  Table t({"scheme", "total steps", "memory serialization",
+           "worst culled page load"});
+  t.add("single copy (modular)", mod_stats.total_steps,
+        mod_stats.service_steps, "-");
+  t.add("single copy (hashed)*", hash_stats.total_steps,
+        hash_stats.service_steps, "-");
+  t.add("HMOS q=3 k=2 (this paper)", hmos_stats.total_steps, "-",
+        hmos_stats.culling.max_page_load.empty()
+            ? std::string("-")
+            : std::to_string(hmos_stats.culling.max_page_load.back()));
+  t.print(std::cout);
+  std::cout << "* adversary found " << found
+            << " colliding variables by scanning the known hash\n"
+            << "\nThe single-copy schemes serialize at the hot module; the "
+               "HMOS bounds page\ncongestion for EVERY request set "
+               "(Theorem 3), so no adversary exists.\n";
+  return 0;
+}

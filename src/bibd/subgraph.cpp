@@ -1,0 +1,105 @@
+#include "bibd/subgraph.hpp"
+
+#include "util/error.hpp"
+
+namespace meshpram {
+
+BibdSubgraph::BibdSubgraph(i64 q, int d, i64 m) : bibd_(q, d), m_(m) {
+  MP_REQUIRE(1 <= m && m <= bibd_.num_inputs(),
+             "subgraph input count m=" << m << " outside [1, "
+                                       << bibd_.num_inputs() << ']');
+  const i64 qd1 = ipow(q, d - 1);
+  // l = largest value with q^{d-1}(q^l - 1)/(q - 1) <= m (l may equal d when
+  // m = f(d), in which case V2 and V3 are empty).
+  l_ = 0;
+  base_l_ = 0;
+  while (l_ < d) {
+    const i64 next = qd1 * ((ipow(q, l_ + 1) - 1) / (q - 1));
+    if (next > m) break;
+    base_l_ = next;
+    ++l_;
+  }
+  const i64 rest = m - base_l_;
+  w_ = rest / qd1;
+  z_ = rest % qd1;
+  MP_ASSERT(l_ == d ? (w_ == 0 && z_ == 0) : w_ < ipow(q, l_),
+            "Appendix decomposition out of range: l=" << l_ << " w=" << w_
+                                                      << " z=" << z_);
+  const i64 qm = q * m;
+  rho_floor_ = qm / bibd_.num_outputs();
+  rho_ceil_ = ceil_div(qm, bibd_.num_outputs());
+}
+
+i64 BibdSubgraph::to_full(i64 v) const {
+  MP_REQUIRE(0 <= v && v < m_, "subgraph input " << v << " outside [0, " << m_
+                                                 << ')');
+  if (v < base_l_) {
+    // V1: identical layout to the full design for blocks h < l.
+    return v;
+  }
+  const i64 qd1 = ipow(q(), d() - 1);
+  i64 local = v - base_l_;
+  if (local < qd1 * w_) {
+    // V2: h = l, B in [0, w), position A*w + B.
+    return bibd_.encode_input({l_, local / w_, local % w_});
+  }
+  // V3: h = l, B = w, A in [0, z).
+  local -= qd1 * w_;
+  MP_ASSERT(local < z_, "V3 index out of range");
+  return bibd_.encode_input({l_, local, w_});
+}
+
+i64 BibdSubgraph::from_full(i64 w_full) const {
+  const Bibd::Phi phi = bibd_.decode_input(w_full);
+  if (phi.h < l_) return w_full;  // V1 keeps the full layout
+  if (phi.h > l_) return -1;
+  if (phi.B < w_) return base_l_ + phi.A * w_ + phi.B;
+  if (phi.B == w_ && phi.A < z_) {
+    return base_l_ + ipow(q(), d() - 1) * w_ + phi.A;
+  }
+  return -1;
+}
+
+bool BibdSubgraph::has_v3_edge(i64 u) const {
+  if (z_ == 0) return false;
+  // The (unique) full-design neighbor of u at (h = l, B = w) sits at rank
+  // (q^l - 1)/(q - 1) + w in u's canonical order; it survives iff its A < z.
+  const i64 r = (ipow(q(), l_) - 1) / (q() - 1) + w_;
+  const i64 w_full = bibd_.output_neighbor(u, r);
+  return bibd_.decode_input(w_full).A < z_;
+}
+
+i64 BibdSubgraph::output_degree(i64 u) const {
+  MP_REQUIRE(0 <= u && u < num_outputs(), "output index " << u);
+  return (ipow(q(), l_) - 1) / (q() - 1) + w_ + (has_v3_edge(u) ? 1 : 0);
+}
+
+i64 BibdSubgraph::neighbor(i64 v, i64 x) const {
+  return bibd_.neighbor(to_full(v), x);
+}
+
+std::vector<i64> BibdSubgraph::neighbors(i64 v) const {
+  return bibd_.neighbors(to_full(v));
+}
+
+i64 BibdSubgraph::output_neighbor(i64 u, i64 r) const {
+  MP_REQUIRE(0 <= r && r < output_degree(u),
+             "neighbor rank " << r << " >= degree " << output_degree(u)
+                              << " of output " << u);
+  // Selected inputs are a prefix of u's canonical neighbor order, so the
+  // subgraph rank equals the full-design rank.
+  const i64 v = from_full(bibd_.output_neighbor(u, r));
+  MP_ASSERT(v >= 0, "prefix property violated for output " << u << " rank "
+                                                           << r);
+  return v;
+}
+
+i64 BibdSubgraph::edge_rank(i64 v, i64 u) const {
+  return bibd_.edge_rank(to_full(v), u);
+}
+
+bool BibdSubgraph::adjacent(i64 v, i64 u) const {
+  return bibd_.adjacent(to_full(v), u);
+}
+
+}  // namespace meshpram

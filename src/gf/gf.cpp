@@ -1,0 +1,103 @@
+#include "gf/gf.hpp"
+
+#include <map>
+#include <mutex>
+
+#include "gf/poly.hpp"
+#include "util/error.hpp"
+
+namespace meshpram {
+
+namespace {
+
+/// Integer <-> polynomial encoding: base-p digits are coefficients.
+gf::Poly int_to_poly(i64 x, i64 p) {
+  gf::Poly a;
+  while (x > 0) {
+    a.push_back(x % p);
+    x /= p;
+  }
+  return a;
+}
+
+i64 poly_to_int(const gf::Poly& a, i64 p) {
+  i64 x = 0;
+  for (size_t i = a.size(); i > 0; --i) x = x * p + a[i - 1];
+  return x;
+}
+
+}  // namespace
+
+GF::GF(i64 q) : q_(q) {
+  auto [p, e] = prime_power_decompose(q);
+  p_ = p;
+  e_ = e;
+  const auto n = static_cast<size_t>(q);
+  add_.resize(n * n);
+  mul_.resize(n * n);
+  neg_.resize(n);
+  inv_.assign(n, -1);
+
+  const gf::Poly modulus =
+      e > 1 ? gf::find_irreducible(p, e) : gf::Poly{0, 1};  // unused for e==1
+
+  for (i64 a = 0; a < q; ++a) {
+    const gf::Poly pa = int_to_poly(a, p);
+    for (i64 b = 0; b < q; ++b) {
+      const gf::Poly pb = int_to_poly(b, p);
+      if (e == 1) {
+        add_[idx(a, b)] = (a + b) % p;
+        mul_[idx(a, b)] = (a * b) % p;
+      } else {
+        add_[idx(a, b)] = poly_to_int(gf::add(pa, pb, p), p);
+        mul_[idx(a, b)] = poly_to_int(gf::mod(gf::mul(pa, pb, p), modulus, p), p);
+      }
+    }
+  }
+  for (i64 a = 0; a < q; ++a) {
+    for (i64 b = 0; b < q; ++b) {
+      if (add_[idx(a, b)] == 0) neg_[static_cast<size_t>(a)] = b;
+      if (mul_[idx(a, b)] == 1) inv_[static_cast<size_t>(a)] = b;
+    }
+  }
+  for (i64 a = 1; a < q; ++a) {
+    MP_ASSERT(inv_[static_cast<size_t>(a)] >= 0,
+              "field table broken: no inverse for " << a << " in GF(" << q
+                                                    << ')');
+  }
+}
+
+i64 GF::check(i64 a) const {
+  MP_REQUIRE(0 <= a && a < q_, "element " << a << " outside GF(" << q_ << ')');
+  return a;
+}
+
+i64 GF::inv(i64 a) const {
+  MP_REQUIRE(a != 0, "inverse of zero in GF(" << q_ << ')');
+  return inv_[static_cast<size_t>(check(a))];
+}
+
+i64 GF::pow(i64 a, i64 e) const {
+  MP_REQUIRE(e >= 0, "GF::pow negative exponent");
+  i64 r = 1;
+  i64 base = check(a);
+  while (e > 0) {
+    if (e & 1) r = mul(r, base);
+    base = mul(base, base);
+    e >>= 1;
+  }
+  return r;
+}
+
+const GF& GF::get(i64 q) {
+  static std::mutex mu;
+  static std::map<i64, std::unique_ptr<GF>> cache;
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache.find(q);
+  if (it == cache.end()) {
+    it = cache.emplace(q, std::make_unique<GF>(q)).first;
+  }
+  return *it->second;
+}
+
+}  // namespace meshpram

@@ -1,0 +1,58 @@
+// GF(q) for prime powers q, with elements represented as integers 0..q-1.
+//
+// The paper's BIBD construction (Appendix) identifies field elements with the
+// integers 0..q-1 and uses only + and ·. For q = p^e, the integer x encodes
+// the polynomial whose base-p digits are its coefficients; add/mul tables are
+// precomputed once (q is O(1) in the paper — 3 in all recommended configs).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "util/math.hpp"
+
+namespace meshpram {
+
+class GF {
+ public:
+  /// Builds GF(q). Throws ConfigError if q is not a prime power >= 2.
+  explicit GF(i64 q);
+
+  i64 order() const { return q_; }
+  i64 characteristic() const { return p_; }
+  int extension_degree() const { return e_; }
+
+  i64 add(i64 a, i64 b) const { return add_[idx(a, b)]; }
+  i64 sub(i64 a, i64 b) const { return add(a, neg(b)); }
+  i64 mul(i64 a, i64 b) const { return mul_[idx(a, b)]; }
+  i64 neg(i64 a) const { return neg_[check(a)]; }
+
+  /// Multiplicative inverse of a != 0; throws ConfigError on a == 0.
+  i64 inv(i64 a) const;
+
+  /// a / b for b != 0.
+  i64 div(i64 a, i64 b) const { return mul(a, inv(b)); }
+
+  /// Repeated squaring in the field.
+  i64 pow(i64 a, i64 e) const;
+
+  /// Shared, cached instance for order q (field tables are immutable).
+  static const GF& get(i64 q);
+
+ private:
+  size_t idx(i64 a, i64 b) const {
+    return static_cast<size_t>(check(a)) * static_cast<size_t>(q_) +
+           static_cast<size_t>(check(b));
+  }
+  i64 check(i64 a) const;
+
+  i64 q_;
+  i64 p_;
+  int e_;
+  std::vector<i64> add_;
+  std::vector<i64> mul_;
+  std::vector<i64> neg_;
+  std::vector<i64> inv_;
+};
+
+}  // namespace meshpram

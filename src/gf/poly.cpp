@@ -1,0 +1,102 @@
+#include "gf/poly.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace meshpram::gf {
+
+void normalize(Poly& a) {
+  while (!a.empty() && a.back() == 0) a.pop_back();
+}
+
+int degree(Poly a) {
+  normalize(a);
+  return static_cast<int>(a.size()) - 1;
+}
+
+Poly add(const Poly& a, const Poly& b, i64 p) {
+  Poly r(std::max(a.size(), b.size()), 0);
+  for (size_t i = 0; i < r.size(); ++i) {
+    i64 v = 0;
+    if (i < a.size()) v += a[i];
+    if (i < b.size()) v += b[i];
+    r[i] = v % p;
+  }
+  normalize(r);
+  return r;
+}
+
+Poly mul(const Poly& a, const Poly& b, i64 p) {
+  if (a.empty() || b.empty()) return {};
+  Poly r(a.size() + b.size() - 1, 0);
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = 0; j < b.size(); ++j) {
+      r[i + j] = (r[i + j] + a[i] * b[j]) % p;
+    }
+  }
+  normalize(r);
+  return r;
+}
+
+Poly mod(Poly a, const Poly& m, i64 p) {
+  normalize(a);
+  MP_REQUIRE(!m.empty() && m.back() == 1, "modulus must be monic");
+  const int dm = static_cast<int>(m.size()) - 1;
+  while (static_cast<int>(a.size()) - 1 >= dm) {
+    const i64 lead = a.back();
+    const size_t shift = a.size() - m.size();
+    for (size_t i = 0; i < m.size(); ++i) {
+      a[shift + i] = ((a[shift + i] - lead * m[i]) % p + p * p) % p;
+    }
+    normalize(a);
+  }
+  return a;
+}
+
+namespace {
+
+/// Enumerates the polynomial with coefficient vector = digits of `code` in
+/// base p (degree < e), used to iterate all candidates/divisors.
+Poly decode(i64 code, i64 p, int max_deg) {
+  Poly a;
+  for (int i = 0; i <= max_deg && code > 0; ++i) {
+    a.push_back(code % p);
+    code /= p;
+  }
+  normalize(a);
+  return a;
+}
+
+}  // namespace
+
+bool is_irreducible(const Poly& m, i64 p) {
+  const int e = degree(m);
+  MP_REQUIRE(e >= 1, "irreducibility of constant polynomial");
+  if (e == 1) return true;
+  // Trial division by every monic polynomial of degree 1..e/2.
+  for (int d = 1; d <= e / 2; ++d) {
+    const i64 lows = ipow(p, d);  // choices for coefficients below the lead
+    for (i64 code = 0; code < lows; ++code) {
+      Poly div = decode(code, p, d - 1);
+      div.resize(static_cast<size_t>(d) + 1, 0);
+      div[static_cast<size_t>(d)] = 1;  // monic
+      if (mod(m, div, p).empty()) return false;
+    }
+  }
+  return true;
+}
+
+Poly find_irreducible(i64 p, int e) {
+  MP_REQUIRE(e >= 1, "find_irreducible: degree " << e);
+  const i64 lows = ipow(p, e);
+  for (i64 code = 0; code < lows; ++code) {
+    Poly m = decode(code, p, e - 1);
+    m.resize(static_cast<size_t>(e) + 1, 0);
+    m[static_cast<size_t>(e)] = 1;
+    if (is_irreducible(m, p)) return m;
+  }
+  throw InternalError("no irreducible polynomial found (impossible)");
+}
+
+}  // namespace meshpram::gf

@@ -1,0 +1,38 @@
+// Polynomial arithmetic over GF(p) used to construct GF(p^e).
+//
+// Polynomials are coefficient vectors (index = degree), coefficients in
+// [0, p). Only what the field-table construction needs: multiplication,
+// reduction, and a brute-force monic irreducible search — field orders here
+// are tiny (q <= 64), so simplicity beats asymptotics.
+#pragma once
+
+#include <vector>
+
+#include "util/math.hpp"
+
+namespace meshpram::gf {
+
+using Poly = std::vector<i64>;
+
+/// Removes leading zero coefficients (the zero polynomial becomes empty).
+void normalize(Poly& a);
+
+/// Degree of a (normalized internally); the zero polynomial has degree -1.
+int degree(Poly a);
+
+Poly add(const Poly& a, const Poly& b, i64 p);
+Poly mul(const Poly& a, const Poly& b, i64 p);
+
+/// Remainder of a modulo the monic polynomial m, coefficients mod p.
+Poly mod(Poly a, const Poly& m, i64 p);
+
+/// True if the monic polynomial m of degree e >= 1 has no roots decomposable
+/// into lower-degree monic factors (checked by exhaustive trial division —
+/// fine for p^e <= a few thousand).
+bool is_irreducible(const Poly& m, i64 p);
+
+/// Finds some monic irreducible polynomial of degree e over GF(p).
+/// Deterministic: returns the lexicographically smallest one.
+Poly find_irreducible(i64 p, int e);
+
+}  // namespace meshpram::gf

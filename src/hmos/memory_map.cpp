@@ -1,0 +1,79 @@
+#include "hmos/memory_map.hpp"
+
+#include "util/error.hpp"
+
+namespace meshpram {
+
+MemoryMap::MemoryMap(const HmosParams& params) : params_(params) {
+  graphs_.reserve(static_cast<size_t>(params.k()) + 1);
+  graphs_.emplace_back(params.q(), 1, 1);  // placeholder for index 0
+  i64 inputs = params.num_vars();
+  for (int i = 1; i <= params.k(); ++i) {
+    graphs_.emplace_back(params.q(), params.level(i).d, inputs);
+    inputs = params.level(i).modules;
+  }
+}
+
+const BibdSubgraph& MemoryMap::graph(int i) const {
+  MP_REQUIRE(1 <= i && i <= params_.k(), "level graph " << i);
+  return graphs_[static_cast<size_t>(i)];
+}
+
+u64 MemoryMap::copy_id(i64 var, const std::vector<i64>& choices) const {
+  MP_REQUIRE(0 <= var && var < params_.num_vars(), "variable " << var);
+  MP_REQUIRE(static_cast<int>(choices.size()) == params_.k(),
+             "expected " << params_.k() << " child choices, got "
+                         << choices.size());
+  u64 code = 0;
+  for (int i = params_.k(); i >= 1; --i) {
+    const i64 c = choices[static_cast<size_t>(i - 1)];
+    MP_REQUIRE(0 <= c && c < params_.q(), "child choice " << c);
+    code = code * static_cast<u64>(params_.q()) + static_cast<u64>(c);
+  }
+  return static_cast<u64>(var) * static_cast<u64>(params_.redundancy()) +
+         code;
+}
+
+i64 MemoryMap::variable_of(u64 copy) const {
+  const i64 var =
+      static_cast<i64>(copy / static_cast<u64>(params_.redundancy()));
+  MP_REQUIRE(var < params_.num_vars(), "copy id " << copy
+                                                  << " beyond memory size");
+  return var;
+}
+
+std::vector<i64> MemoryMap::choices_of(u64 copy) const {
+  u64 code = copy % static_cast<u64>(params_.redundancy());
+  std::vector<i64> choices(static_cast<size_t>(params_.k()));
+  for (int i = 1; i <= params_.k(); ++i) {
+    choices[static_cast<size_t>(i - 1)] =
+        static_cast<i64>(code % static_cast<u64>(params_.q()));
+    code /= static_cast<u64>(params_.q());
+  }
+  return choices;
+}
+
+std::vector<i64> MemoryMap::module_path(u64 copy) const {
+  const auto choices = choices_of(copy);
+  std::vector<i64> path(static_cast<size_t>(params_.k()));
+  i64 u = variable_of(copy);
+  for (int i = 1; i <= params_.k(); ++i) {
+    u = graphs_[static_cast<size_t>(i)].neighbor(
+        u, choices[static_cast<size_t>(i - 1)]);
+    path[static_cast<size_t>(i - 1)] = u;
+  }
+  return path;
+}
+
+i64 MemoryMap::module_at(u64 copy, int level) const {
+  MP_REQUIRE(1 <= level && level <= params_.k(), "level " << level);
+  const auto choices = choices_of(copy);
+  i64 u = variable_of(copy);
+  for (int i = 1; i <= level; ++i) {
+    u = graphs_[static_cast<size_t>(i)].neighbor(
+        u, choices[static_cast<size_t>(i - 1)]);
+  }
+  return u;
+}
+
+}  // namespace meshpram

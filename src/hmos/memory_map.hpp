@@ -1,0 +1,53 @@
+// The constructive memory map: variables -> copies -> module paths.
+//
+// Level graphs G_i = (U_{i-1}, U_i; E_i) are Appendix subgraphs of
+// (q^{d_i}, q)-BIBDs (level-(i-1) module ids double as subgraph input
+// indices; for i = 1 the inputs are the variables themselves). A copy of
+// variable v is the leaf of the copy tree T_v reached through child choices
+// (c_1, ..., c_k), c_i in [0, q); its module path is
+//   u_0 = v,  u_i = G_i.neighbor(u_{i-1}, c_i).
+//
+// Copy ids pack (v, choices) into one u64: id = v * q^k + sum c_i q^{i-1}.
+// Everything is computable in O(k * d) time from O(1) parameters — this is
+// the paper's "fully constructive, space-efficient" claim, which
+// bench/bench_memory_map.cpp measures.
+#pragma once
+
+#include <vector>
+
+#include "bibd/subgraph.hpp"
+#include "hmos/params.hpp"
+
+namespace meshpram {
+
+class MemoryMap {
+ public:
+  explicit MemoryMap(const HmosParams& params);
+
+  const HmosParams& params() const { return params_; }
+
+  /// Level graph G_i, i in [1, k].
+  const BibdSubgraph& graph(int i) const;
+
+  /// Packs/unpacks copy ids.
+  u64 copy_id(i64 var, const std::vector<i64>& choices) const;
+  i64 variable_of(u64 copy) const;
+  std::vector<i64> choices_of(u64 copy) const;
+
+  /// Module path [u_1, ..., u_k] of a copy.
+  std::vector<i64> module_path(u64 copy) const;
+
+  /// Module id at a single level (1 <= level <= k) — O(level * d).
+  i64 module_at(u64 copy, int level) const;
+
+  /// Total number of copies in the system: M * q^k.
+  i64 total_copies() const {
+    return params_.num_vars() * params_.redundancy();
+  }
+
+ private:
+  const HmosParams& params_;
+  std::vector<BibdSubgraph> graphs_;  // [0] unused; [1..k]
+};
+
+}  // namespace meshpram

@@ -1,0 +1,87 @@
+#include "hmos/params.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace meshpram {
+
+HmosParams::HmosParams(i64 q, int k, i64 num_vars, int mesh_rows,
+                       int mesh_cols)
+    : q_(q), k_(k), num_vars_(num_vars), rows_(mesh_rows), cols_(mesh_cols) {
+  MP_REQUIRE(q >= 3, "HMOS needs q >= 3 (extensive access needs floor(q/2)+2 "
+                     "<= q), got q=" << q);
+  prime_power_decompose(q);  // validates prime power
+  MP_REQUIRE(k >= 1, "HMOS depth k=" << k);
+  MP_REQUIRE(k <= 6, "HMOS depth k=" << k << " > 6 (redundancy q^k explodes "
+                     "and packet trails overflow)");
+  MP_REQUIRE(num_vars >= 1, "shared memory of " << num_vars << " variables");
+  MP_REQUIRE(mesh_rows >= 1 && mesh_cols >= 1,
+             "mesh " << mesh_rows << 'x' << mesh_cols);
+  MP_REQUIRE(num_vars >= mesh_size(),
+             "shared memory smaller than the processor count (alpha < 1): M="
+                 << num_vars << " n=" << mesh_size());
+  redundancy_ = ipow(q, k);
+
+  levels_.resize(static_cast<size_t>(k) + 1);
+  int d = 1;
+  while (bibd_input_count(q, d) < num_vars) ++d;
+  for (int i = 1; i <= k; ++i) {
+    if (i > 1) d = (d + 1) / 2 + 1;  // ceil(d/2) + 1
+    auto& lv = levels_[static_cast<size_t>(i)];
+    lv.d = d;
+    lv.modules = ipow(q, d);
+    lv.pages = ipow(q, k - i) * lv.modules;
+  }
+  // The level graphs must fit: m_{i-1} <= f(d_i) (paper: f(d_{i+1}-1) <
+  // q^{d_i} <= f(d_{i+1})).
+  for (int i = 2; i <= k; ++i) {
+    MP_ASSERT(levels_[static_cast<size_t>(i - 1)].modules <=
+                  bibd_input_count(q, levels_[static_cast<size_t>(i)].d),
+              "level graph " << i << " cannot host m_" << i - 1 << " inputs");
+  }
+  MP_REQUIRE(levels_[static_cast<size_t>(k)].modules <= mesh_size(),
+             "more level-k modules (" << levels_[static_cast<size_t>(k)].modules
+                                      << ") than mesh nodes (" << mesh_size()
+                                      << "); decrease k or enlarge the mesh");
+}
+
+const LevelInfo& HmosParams::level(int i) const {
+  MP_REQUIRE(1 <= i && i <= k_, "level " << i << " outside [1, " << k_ << ']');
+  return levels_[static_cast<size_t>(i)];
+}
+
+i64 HmosParams::culling_threshold(int i) const {
+  MP_REQUIRE(1 <= i && i <= k_, "culling iteration " << i);
+  const double n = static_cast<double>(mesh_size());
+  const double expo = 1.0 - 1.0 / static_cast<double>(i64{1} << i);
+  return static_cast<i64>(
+      std::floor(2.0 * static_cast<double>(redundancy_) * std::pow(n, expo)));
+}
+
+i64 HmosParams::theorem3_bound(int i) const {
+  MP_REQUIRE(0 <= i && i <= k_, "theorem3 level " << i);
+  if (i == 0) return redundancy_ * num_vars_;  // trivial at level 0
+  return 2 * culling_threshold(i);
+}
+
+double HmosParams::alpha() const {
+  return std::log(static_cast<double>(num_vars_)) /
+         std::log(static_cast<double>(mesh_size()));
+}
+
+std::string HmosParams::describe() const {
+  std::ostringstream os;
+  os << "HMOS q=" << q_ << " k=" << k_ << " M=" << num_vars_ << " mesh "
+     << rows_ << 'x' << cols_ << " (n=" << mesh_size() << ", alpha="
+     << alpha() << ", redundancy=" << redundancy_ << ")\n";
+  for (int i = 1; i <= k_; ++i) {
+    const auto& lv = levels_[static_cast<size_t>(i)];
+    os << "  level " << i << ": d=" << lv.d << " modules=" << lv.modules
+       << " pages=" << lv.pages << " tau=" << culling_threshold(i) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace meshpram

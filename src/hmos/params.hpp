@@ -1,0 +1,76 @@
+// Parameters of the Hierarchical Memory Organization Scheme (§3.1).
+//
+// Given the replication branching q (prime power, >= 3), depth k >= 1, the
+// number of shared variables M and the mesh size n = rows*cols:
+//
+//   d_1     = min{ d : f(d) >= M },   f(d) = q^{d-1}(q^d - 1)/(q - 1)
+//   d_{i+1} = ceil(d_i / 2) + 1
+//   m_i     = |U_i| = q^{d_i}          (level-i module count, i = 1..k)
+//
+// Every variable gets q^k copies; level-i pages (copies of level-i modules)
+// number q^{k-i} * m_i. The culling threshold of iteration i is
+// tau_i = 2 q^k n^{1 - 1/2^i} (procedure CULLING), and Theorem 3 bounds the
+// per-page selected-copy load by 2*tau_i.
+//
+// q = 2 is rejected: the extensive-access rule needs floor(q/2)+2 <= q.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/math.hpp"
+
+namespace meshpram {
+
+struct LevelInfo {
+  int d = 0;        ///< d_i
+  i64 modules = 0;  ///< m_i = q^{d_i}
+  i64 pages = 0;    ///< q^{k-i} * m_i
+};
+
+class HmosParams {
+ public:
+  HmosParams(i64 q, int k, i64 num_vars, int mesh_rows, int mesh_cols);
+
+  i64 q() const { return q_; }
+  int k() const { return k_; }
+  i64 num_vars() const { return num_vars_; }
+  int mesh_rows() const { return rows_; }
+  int mesh_cols() const { return cols_; }
+  i64 mesh_size() const { return static_cast<i64>(rows_) * cols_; }
+
+  /// Copies per variable: q^k.
+  i64 redundancy() const { return redundancy_; }
+
+  /// Level data for i in [1, k].
+  const LevelInfo& level(int i) const;
+
+  /// Majority of q children: floor(q/2) + 1 (Definition 2).
+  i64 majority() const { return q_ / 2 + 1; }
+  /// "More than a majority": floor(q/2) + 2 (extensive access, §3.2).
+  i64 extensive() const { return q_ / 2 + 2; }
+
+  /// Culling mark threshold tau_i = 2 q^k n^{1 - 1/2^i} (i in [1, k]).
+  i64 culling_threshold(int i) const;
+  /// Theorem 3 bound on selected copies per level-i page: 4 q^k n^{1-1/2^i}
+  /// (i = 0 uses n^0 ... n^{1-1/2^0} = n^0 = 1: each variable contributes
+  /// at most q^k copies; the bound at i=0 is per-copy trivial).
+  i64 theorem3_bound(int i) const;
+
+  /// Memory-size exponent alpha with M = n^alpha (diagnostic).
+  double alpha() const;
+
+  /// Human-readable configuration summary.
+  std::string describe() const;
+
+ private:
+  i64 q_;
+  int k_;
+  i64 num_vars_;
+  int rows_;
+  int cols_;
+  i64 redundancy_;
+  std::vector<LevelInfo> levels_;  // [0] unused; [1..k]
+};
+
+}  // namespace meshpram

@@ -1,0 +1,45 @@
+// Coordinates and directions on the mesh-connected computer.
+//
+// The simulating machine (paper §1) is a 2D mesh: every processor is linked
+// to at most four neighbors (N/E/S/W) by point-to-point links, one word per
+// link per step.
+#pragma once
+
+#include <cstdlib>
+#include <ostream>
+
+#include "util/math.hpp"
+
+namespace meshpram {
+
+struct Coord {
+  int r = 0;
+  int c = 0;
+
+  friend bool operator==(const Coord& a, const Coord& b) {
+    return a.r == b.r && a.c == b.c;
+  }
+  friend bool operator!=(const Coord& a, const Coord& b) { return !(a == b); }
+  friend std::ostream& operator<<(std::ostream& os, const Coord& x) {
+    return os << '(' << x.r << ',' << x.c << ')';
+  }
+};
+
+inline i64 manhattan(Coord a, Coord b) {
+  return std::abs(a.r - b.r) + std::abs(a.c - b.c);
+}
+
+enum class Dir : unsigned char { North = 0, East = 1, South = 2, West = 3 };
+inline constexpr int kNumDirs = 4;
+
+inline Coord step_toward(Coord from, Dir d) {
+  switch (d) {
+    case Dir::North: return {from.r - 1, from.c};
+    case Dir::East: return {from.r, from.c + 1};
+    case Dir::South: return {from.r + 1, from.c};
+    case Dir::West: return {from.r, from.c - 1};
+  }
+  return from;
+}
+
+}  // namespace meshpram

@@ -1,0 +1,71 @@
+// The simulated mesh-connected computer.
+//
+// n = rows*cols processors; each has a packet buffer (requests currently held
+// at the node) and a local copy store (its share of the distributed PRAM
+// memory). Links are full-duplex, one word per direction per step; time is
+// charged through StepCounter by the algorithms in src/routing.
+//
+// The simulator performs all data movement for real — a packet is physically
+// appended to the destination node's buffer only when a simulated transfer
+// happens — so congestion and queueing behaviour are emergent, not modeled.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "mesh/geometry.hpp"
+#include "mesh/packet.hpp"
+#include "mesh/region.hpp"
+#include "mesh/step_counter.hpp"
+
+namespace meshpram {
+
+/// One replicated copy held in a node's local memory: value + timestamp
+/// (the majority/timestamp machinery of Gifford/Thomas/UW87, Def. 2).
+struct CopySlot {
+  i64 value = 0;
+  i64 timestamp = -1;
+};
+
+class Mesh {
+ public:
+  Mesh(int rows, int cols);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  i64 size() const { return static_cast<i64>(rows_) * cols_; }
+  Region whole() const { return Region(0, 0, rows_, cols_); }
+
+  i32 node_id(Coord x) const;
+  Coord coord(i32 id) const;
+  /// Node id at snake position s of `region`.
+  i32 node_at(const Region& region, i64 s) const;
+
+  std::vector<Packet>& buf(i32 id);
+  const std::vector<Packet>& buf(i32 id) const;
+
+  std::unordered_map<u64, CopySlot>& store(i32 id);
+
+  StepCounter& clock() { return clock_; }
+  const StepCounter& clock() const { return clock_; }
+
+  /// Total packets currently buffered in `region`.
+  i64 total_packets(const Region& region) const;
+  /// Maximum per-node buffer occupancy in `region`.
+  i64 max_load(const Region& region) const;
+
+  /// Drops every buffered packet (copy stores are preserved).
+  void clear_buffers();
+
+  /// Gathers (and removes) all packets buffered in `region`, in snake order.
+  std::vector<Packet> drain(const Region& region);
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<std::vector<Packet>> bufs_;
+  std::vector<std::unordered_map<u64, CopySlot>> stores_;
+  StepCounter clock_;
+};
+
+}  // namespace meshpram

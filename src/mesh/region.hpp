@@ -1,0 +1,62 @@
+// Rectangular submesh views and their snake (boustrophedon) ordering.
+//
+// The paper's access protocol runs each stage "in parallel and independently
+// in every level-i submesh": Region is the view type all mesh algorithms
+// (sorting, scanning, routing) operate on. The snake order — row 0 left to
+// right, row 1 right to left, ... — is the canonical linear order used for
+// sorted sequences and balanced distributions, because consecutive snake
+// positions are mesh neighbors.
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "mesh/geometry.hpp"
+
+namespace meshpram {
+
+class Region {
+ public:
+  Region() = default;
+  Region(int r0, int c0, int rows, int cols);
+
+  int r0() const { return r0_; }
+  int c0() const { return c0_; }
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  i64 size() const { return static_cast<i64>(rows_) * cols_; }
+
+  bool contains(Coord x) const {
+    return r0_ <= x.r && x.r < r0_ + rows_ && c0_ <= x.c && x.c < c0_ + cols_;
+  }
+
+  /// Coordinate at snake position s (s in [0, size())).
+  Coord at_snake(i64 s) const;
+
+  /// Snake position of coordinate x (must be contained).
+  i64 snake_of(Coord x) const;
+
+  /// Splits the region into exactly k disjoint non-empty subrectangles with
+  /// near-equal areas, arranged as a g_r x g_c grid with proportional cuts.
+  /// Requires 1 <= k <= size(). When k does not factor to fit the rectangle
+  /// exactly, the grid may have up to g_r - 1 leftover cells; their nodes
+  /// belong to no subregion (they still route traffic for the parent).
+  std::vector<Region> grid_split(i64 k) const;
+
+  friend bool operator==(const Region& a, const Region& b) {
+    return a.r0_ == b.r0_ && a.c0_ == b.c0_ && a.rows_ == b.rows_ &&
+           a.cols_ == b.cols_;
+  }
+  friend std::ostream& operator<<(std::ostream& os, const Region& g) {
+    return os << '[' << g.r0_ << ',' << g.c0_ << ' ' << g.rows_ << 'x'
+              << g.cols_ << ']';
+  }
+
+ private:
+  int r0_ = 0;
+  int c0_ = 0;
+  int rows_ = 0;
+  int cols_ = 0;
+};
+
+}  // namespace meshpram

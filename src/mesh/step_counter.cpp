@@ -1,0 +1,26 @@
+#include "mesh/step_counter.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace meshpram {
+
+void StepCounter::add(const std::string& phase, i64 steps) {
+  MP_REQUIRE(steps >= 0, "negative step count " << steps << " for phase "
+                                                << phase);
+  total_ += steps;
+  by_phase_[phase] += steps;
+}
+
+void StepCounter::reset() {
+  total_ = 0;
+  by_phase_.clear();
+}
+
+void ParallelCost::observe(i64 region_cost) {
+  MP_REQUIRE(region_cost >= 0, "negative region cost");
+  max_ = std::max(max_, region_cost);
+}
+
+}  // namespace meshpram

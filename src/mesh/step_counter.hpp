@@ -1,0 +1,41 @@
+// Parallel step accounting for the simulated mesh.
+//
+// Every mesh algorithm returns the number of synchronous machine steps it
+// needs (1 step = every link moves at most one word). Phases the paper runs
+// "in parallel and independently in every level-i submesh" are charged the
+// MAXIMUM cost over the concurrently active submeshes — that is exactly the
+// quantity the theorems bound.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "util/math.hpp"
+
+namespace meshpram {
+
+class StepCounter {
+ public:
+  /// Adds `steps` under phase label `phase` (labels aggregate across calls).
+  void add(const std::string& phase, i64 steps);
+
+  i64 total() const { return total_; }
+  const std::map<std::string, i64>& by_phase() const { return by_phase_; }
+  void reset();
+
+ private:
+  i64 total_ = 0;
+  std::map<std::string, i64> by_phase_;
+};
+
+/// Helper for parallel-region phases: feed per-region costs, read the max.
+class ParallelCost {
+ public:
+  void observe(i64 region_cost);
+  i64 max() const { return max_; }
+
+ private:
+  i64 max_ = 0;
+};
+
+}  // namespace meshpram

@@ -1,0 +1,235 @@
+#include "pram/algorithms.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace meshpram {
+
+namespace {
+
+int ceil_log2(i64 n) {
+  int r = 0;
+  i64 p = 1;
+  while (p < n) {
+    p *= 2;
+    ++r;
+  }
+  return r;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PrefixSumProgram
+// ---------------------------------------------------------------------------
+
+PrefixSumProgram::PrefixSumProgram(std::vector<i64> input, i64 base_var)
+    : n_(static_cast<i64>(input.size())), base_(base_var),
+      rounds_(ceil_log2(static_cast<i64>(input.size()))),
+      local_(std::move(input)),
+      incoming_(static_cast<size_t>(n_), 0) {
+  MP_REQUIRE(n_ >= 1, "prefix sum over empty input");
+}
+
+i64 PrefixSumProgram::processors() const { return n_; }
+
+bool PrefixSumProgram::done(i64 step) const {
+  return step >= 1 + 2 * rounds_;
+}
+
+AccessRequest PrefixSumProgram::plan(i64 proc, i64 step) {
+  if (step == 0) {  // publish the input
+    return {base_ + proc, Op::Write, local_[static_cast<size_t>(proc)]};
+  }
+  const i64 round = (step - 1) / 2;
+  const i64 offset = i64{1} << round;
+  const bool read_phase = ((step - 1) % 2) == 0;
+  if (proc < offset) return {};  // idle this round
+  if (read_phase) {
+    return {base_ + proc - offset, Op::Read, 0};
+  }
+  local_[static_cast<size_t>(proc)] += incoming_[static_cast<size_t>(proc)];
+  return {base_ + proc, Op::Write, local_[static_cast<size_t>(proc)]};
+}
+
+void PrefixSumProgram::receive(i64 proc, i64 /*step*/, i64 value) {
+  incoming_[static_cast<size_t>(proc)] = value;
+}
+
+std::vector<i64> PrefixSumProgram::expected(const std::vector<i64>& input) {
+  std::vector<i64> out(input.size());
+  i64 acc = 0;
+  for (size_t i = 0; i < input.size(); ++i) {
+    acc += input[i];
+    out[i] = acc;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ListRankingProgram
+// ---------------------------------------------------------------------------
+
+ListRankingProgram::ListRankingProgram(std::vector<i64> succ, i64 base_var)
+    : n_(static_cast<i64>(succ.size())), base_(base_var),
+      rounds_(ceil_log2(static_cast<i64>(succ.size()))),
+      succ_(std::move(succ)),
+      rank_(static_cast<size_t>(n_), 0),
+      read_succ_(static_cast<size_t>(n_), -1),
+      read_rank_(static_cast<size_t>(n_), 0) {
+  MP_REQUIRE(n_ >= 1, "list ranking over empty list");
+  for (i64 i = 0; i < n_; ++i) {
+    const i64 s = succ_[static_cast<size_t>(i)];
+    MP_REQUIRE(s == -1 || (0 <= s && s < n_ && s != i),
+               "bad successor " << s << " at node " << i);
+    rank_[static_cast<size_t>(i)] = (s == -1) ? 0 : 1;
+  }
+}
+
+i64 ListRankingProgram::processors() const { return n_; }
+
+bool ListRankingProgram::done(i64 step) const {
+  return step >= 2 + 4 * rounds_;
+}
+
+AccessRequest ListRankingProgram::plan(i64 proc, i64 step) {
+  const size_t p = static_cast<size_t>(proc);
+  if (step == 0) return {base_ + proc, Op::Write, succ_[p]};
+  if (step == 1) return {base_ + n_ + proc, Op::Write, rank_[p]};
+  const i64 phase = (step - 2) % 4;
+  if (succ_[p] < 0) return {};  // reached the tail: idle
+  switch (phase) {
+    case 0:  // read succ[succ[i]]
+      return {base_ + succ_[p], Op::Read, 0};
+    case 1:  // read rank[succ[i]]
+      return {base_ + n_ + succ_[p], Op::Read, 0};
+    case 2:  // write updated rank[i]
+      rank_[p] += read_rank_[p];
+      return {base_ + n_ + proc, Op::Write, rank_[p]};
+    default:  // write updated succ[i]
+      succ_[p] = read_succ_[p];
+      return {base_ + proc, Op::Write, succ_[p]};
+  }
+}
+
+void ListRankingProgram::receive(i64 proc, i64 step, i64 value) {
+  const size_t p = static_cast<size_t>(proc);
+  const i64 phase = (step - 2) % 4;
+  if (phase == 0) {
+    read_succ_[p] = value;
+  } else if (phase == 1) {
+    read_rank_[p] = value;
+  }
+}
+
+std::vector<i64> ListRankingProgram::expected(const std::vector<i64>& succ) {
+  std::vector<i64> out(succ.size(), 0);
+  for (size_t i = 0; i < succ.size(); ++i) {
+    i64 d = 0;
+    i64 at = static_cast<i64>(i);
+    while (succ[static_cast<size_t>(at)] != -1) {
+      at = succ[static_cast<size_t>(at)];
+      ++d;
+      MP_REQUIRE(d <= static_cast<i64>(succ.size()), "successor cycle");
+    }
+    out[i] = d;
+  }
+  return out;
+}
+
+}  // namespace meshpram
+
+namespace meshpram {
+
+// ---------------------------------------------------------------------------
+// OddEvenSortProgram
+// ---------------------------------------------------------------------------
+
+OddEvenSortProgram::OddEvenSortProgram(std::vector<i64> input, i64 base_var)
+    : n_(static_cast<i64>(input.size())), base_(base_var),
+      local_(std::move(input)), partner_(static_cast<size_t>(n_), 0) {
+  MP_REQUIRE(n_ >= 1, "sorting an empty input");
+}
+
+i64 OddEvenSortProgram::processors() const { return n_; }
+
+bool OddEvenSortProgram::done(i64 step) const { return step >= 1 + 2 * n_; }
+
+AccessRequest OddEvenSortProgram::plan(i64 proc, i64 step) {
+  const size_t p = static_cast<size_t>(proc);
+  if (step == 0) return {base_ + proc, Op::Write, local_[p]};
+  const i64 round = (step - 1) / 2;
+  const bool read_phase = ((step - 1) % 2) == 0;
+  // Matching of round t: pairs (j, j+1) with j = t mod 2, t mod 2 + 2, ...
+  const bool low = (proc % 2) == (round % 2);
+  const i64 partner = low ? proc + 1 : proc - 1;
+  if (partner < 0 || partner >= n_) return {};  // unpaired this round
+  if (read_phase) return {base_ + partner, Op::Read, 0};
+  // Write phase: low keeps the min, high keeps the max.
+  const i64 mine = local_[p];
+  const i64 theirs = partner_[p];
+  local_[p] = low ? std::min(mine, theirs) : std::max(mine, theirs);
+  return {base_ + proc, Op::Write, local_[p]};
+}
+
+void OddEvenSortProgram::receive(i64 proc, i64 /*step*/, i64 value) {
+  partner_[static_cast<size_t>(proc)] = value;
+}
+
+// ---------------------------------------------------------------------------
+// MatVecProgram
+// ---------------------------------------------------------------------------
+
+MatVecProgram::MatVecProgram(i64 s, i64 base_var)
+    : s_(s), base_(base_var), acc_(static_cast<size_t>(s), 0),
+      a_read_(static_cast<size_t>(s), 0) {
+  MP_REQUIRE(s >= 1, "matvec with s=" << s);
+}
+
+i64 MatVecProgram::processors() const { return s_; }
+
+bool MatVecProgram::done(i64 step) const { return step >= 2 * s_ + 1; }
+
+AccessRequest MatVecProgram::plan(i64 proc, i64 step) {
+  if (step == 2 * s_) {  // publish b[i]
+    return {base_ + s_ * s_ + s_ + proc, Op::Write,
+            acc_[static_cast<size_t>(proc)]};
+  }
+  const i64 round = step / 2;
+  const i64 j = (proc + round) % s_;  // skewed column index: all distinct
+  if (step % 2 == 0) return {base_ + proc * s_ + j, Op::Read, 0};  // A[i][j]
+  return {base_ + s_ * s_ + j, Op::Read, 0};                        // x[j]
+}
+
+void MatVecProgram::receive(i64 proc, i64 step, i64 value) {
+  const size_t p = static_cast<size_t>(proc);
+  if (step % 2 == 0) {
+    a_read_[p] = value;
+  } else {
+    acc_[p] += a_read_[p] * value;
+  }
+}
+
+void MatVecProgram::preload(PramBackend& backend, const std::vector<i64>& a,
+                            const std::vector<i64>& x) const {
+  MP_REQUIRE(static_cast<i64>(a.size()) == s_ * s_, "A must be s x s");
+  MP_REQUIRE(static_cast<i64>(x.size()) == s_, "x must have s entries");
+  // s write steps for A (one column of rows per step), one for x.
+  for (i64 j = 0; j < s_; ++j) {
+    std::vector<AccessRequest> reqs(static_cast<size_t>(s_));
+    for (i64 i = 0; i < s_; ++i) {
+      reqs[static_cast<size_t>(i)] = {base_ + i * s_ + j, Op::Write,
+                                      a[static_cast<size_t>(i * s_ + j)]};
+    }
+    backend.step(reqs);
+  }
+  std::vector<AccessRequest> reqs(static_cast<size_t>(s_));
+  for (i64 i = 0; i < s_; ++i) {
+    reqs[static_cast<size_t>(i)] = {base_ + s_ * s_ + i, Op::Write,
+                                    x[static_cast<size_t>(i)]};
+  }
+  backend.step(reqs);
+}
+
+}  // namespace meshpram

@@ -1,0 +1,121 @@
+// Classic EREW PRAM algorithms, written as PramProgram so they run on both
+// the ideal machine and the mesh simulation.
+//
+// These are the workloads the examples and benches execute: they validate
+// that the simulation is a drop-in PRAM (identical results, measurable
+// slowdown) on programs with non-trivial access patterns.
+#pragma once
+
+#include <vector>
+
+#include "pram/program.hpp"
+
+namespace meshpram {
+
+/// Hillis–Steele inclusive prefix sums over n values with n processors in
+/// O(log n) PRAM steps. Memory layout: x[i] lives at shared variable
+/// base + i. Phases per round j: read x[i - 2^j], then write x[i] += it.
+class PrefixSumProgram : public PramProgram {
+ public:
+  PrefixSumProgram(std::vector<i64> input, i64 base_var = 0);
+
+  i64 processors() const override;
+  bool done(i64 step) const override;
+  AccessRequest plan(i64 proc, i64 step) override;
+  void receive(i64 proc, i64 step, i64 value) override;
+
+  /// Valid after the program ran: inclusive prefix sums of the input.
+  const std::vector<i64>& result() const { return local_; }
+
+  /// Reference answer for tests.
+  static std::vector<i64> expected(const std::vector<i64>& input);
+
+ private:
+  i64 n_;
+  i64 base_;
+  int rounds_;
+  std::vector<i64> local_;    ///< processor-local running value
+  std::vector<i64> incoming_; ///< value read this round
+};
+
+/// List ranking by pointer jumping: given a linked list as a successor
+/// array (succ[i] = next node, tail has succ = -1), computes each node's
+/// distance to the tail in O(log n) rounds of 4 PRAM steps.
+/// Layout: succ[i] at base + i, rank[i] at base + n + i.
+class ListRankingProgram : public PramProgram {
+ public:
+  ListRankingProgram(std::vector<i64> succ, i64 base_var = 0);
+
+  i64 processors() const override;
+  bool done(i64 step) const override;
+  AccessRequest plan(i64 proc, i64 step) override;
+  void receive(i64 proc, i64 step, i64 value) override;
+
+  const std::vector<i64>& ranks() const { return rank_; }
+
+  static std::vector<i64> expected(const std::vector<i64>& succ);
+
+ private:
+  i64 n_;
+  i64 base_;
+  int rounds_;
+  std::vector<i64> succ_;      ///< local copy of the current jump pointers
+  std::vector<i64> rank_;
+  std::vector<i64> read_succ_; ///< succ[succ[i]] read this round
+  std::vector<i64> read_rank_; ///< rank[succ[i]] read this round
+};
+
+}  // namespace meshpram
+
+namespace meshpram {
+
+/// Odd-even transposition sort of n shared values with n processors in n
+/// rounds of 2 EREW steps (read the partner, then write your own slot).
+/// Layout: x[i] at base + i.
+class OddEvenSortProgram : public PramProgram {
+ public:
+  OddEvenSortProgram(std::vector<i64> input, i64 base_var = 0);
+
+  i64 processors() const override;
+  bool done(i64 step) const override;
+  AccessRequest plan(i64 proc, i64 step) override;
+  void receive(i64 proc, i64 step, i64 value) override;
+
+  const std::vector<i64>& result() const { return local_; }
+
+ private:
+  i64 n_;
+  i64 base_;
+  std::vector<i64> local_;   ///< each processor's current element
+  std::vector<i64> partner_; ///< partner value read this round
+};
+
+/// Dense matrix-vector product b = A x for an s x s matrix with s
+/// processors, using the classic SKEWED access schedule so that all reads
+/// are exclusive: in round t, processor i reads A[i][(i+t) mod s] and
+/// x[(i+t) mod s]. Layout: A row-major at base, x at base + s^2,
+/// b at base + s^2 + s.
+class MatVecProgram : public PramProgram {
+ public:
+  MatVecProgram(i64 s, i64 base_var = 0);
+
+  i64 processors() const override;
+  bool done(i64 step) const override;
+  AccessRequest plan(i64 proc, i64 step) override;
+  void receive(i64 proc, i64 step, i64 value) override;
+
+  /// Host-side setup: the caller writes A and x into shared memory before
+  /// running (see examples/matvec.cpp), or uses preload() on a backend.
+  void preload(PramBackend& backend, const std::vector<i64>& a,
+               const std::vector<i64>& x) const;
+
+  const std::vector<i64>& result() const { return acc_; }
+
+ private:
+  i64 s_;
+  i64 base_;
+  std::vector<i64> acc_;
+  std::vector<i64> a_read_;
+};
+
+}  // namespace meshpram

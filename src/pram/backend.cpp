@@ -1,0 +1,45 @@
+#include "pram/backend.hpp"
+
+#include <set>
+
+#include "util/error.hpp"
+
+namespace meshpram {
+
+IdealBackend::IdealBackend(i64 processors, i64 num_vars)
+    : processors_(processors),
+      memory_(static_cast<size_t>(num_vars), 0) {
+  MP_REQUIRE(processors >= 1 && num_vars >= 1,
+             "ideal PRAM with " << processors << " processors, " << num_vars
+                                << " vars");
+}
+
+std::vector<i64> IdealBackend::step(
+    const std::vector<AccessRequest>& requests) {
+  MP_REQUIRE(static_cast<i64>(requests.size()) <= processors_,
+             "more requests than processors");
+  std::set<i64> used;
+  std::vector<i64> results(requests.size(), 0);
+  // EREW check + reads first (PRAM semantics: reads see the PREVIOUS step's
+  // memory; with distinct variables per step the order is immaterial, but we
+  // keep read-before-write for clarity).
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const AccessRequest& r = requests[i];
+    if (r.var < 0) continue;
+    MP_REQUIRE(0 <= r.var && r.var < num_vars(), "variable " << r.var);
+    MP_REQUIRE(used.insert(r.var).second,
+               "EREW violation: variable " << r.var << " accessed twice");
+    if (r.op == Op::Read) {
+      results[i] = memory_[static_cast<size_t>(r.var)];
+    }
+  }
+  for (const AccessRequest& r : requests) {
+    if (r.var >= 0 && r.op == Op::Write) {
+      memory_[static_cast<size_t>(r.var)] = r.value;
+    }
+  }
+  ++steps_;
+  return results;
+}
+
+}  // namespace meshpram

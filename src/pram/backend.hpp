@@ -1,0 +1,51 @@
+// PRAM execution backends.
+//
+// A backend realizes one synchronous EREW PRAM memory step: n processors
+// each issue at most one read or write to distinct shared variables and (for
+// reads) get the value back. IdealBackend is the semantic ground truth (a
+// flat array, zero cost); MeshBackend is the paper's simulation and reports
+// the mesh step cost of every PRAM step. Programs written against
+// PramBackend run on both, which is how the tests prove the simulation
+// faithful.
+#pragma once
+
+#include <vector>
+
+#include "protocol/access.hpp"
+
+namespace meshpram {
+
+class PramBackend {
+ public:
+  virtual ~PramBackend() = default;
+
+  virtual i64 processors() const = 0;
+  virtual i64 num_vars() const = 0;
+
+  /// One EREW PRAM step; requests.size() <= processors(). Returns read
+  /// results indexed like `requests` (0 for writes/idle).
+  virtual std::vector<i64> step(const std::vector<AccessRequest>& requests) = 0;
+
+  /// Total simulated cost so far (0 for the ideal backend).
+  virtual i64 total_mesh_steps() const { return 0; }
+  /// Number of PRAM steps executed.
+  virtual i64 pram_steps() const = 0;
+};
+
+/// Flat-memory reference machine.
+class IdealBackend : public PramBackend {
+ public:
+  IdealBackend(i64 processors, i64 num_vars);
+
+  i64 processors() const override { return processors_; }
+  i64 num_vars() const override { return static_cast<i64>(memory_.size()); }
+  std::vector<i64> step(const std::vector<AccessRequest>& requests) override;
+  i64 pram_steps() const override { return steps_; }
+
+ private:
+  i64 processors_;
+  std::vector<i64> memory_;
+  i64 steps_ = 0;
+};
+
+}  // namespace meshpram

@@ -1,0 +1,82 @@
+#include "pram/baselines/direct.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "routing/lroute.hpp"
+#include "util/error.hpp"
+
+namespace meshpram {
+
+DirectAllCopiesSim::DirectAllCopiesSim(const SimConfig& config)
+    : params_(config.q, config.k, config.num_vars, config.mesh_rows,
+              config.mesh_cols),
+      map_(params_),
+      mesh_(config.mesh_rows, config.mesh_cols),
+      placement_(map_, mesh_.whole()),
+      sort_opts_{config.sort_mode} {}
+
+std::vector<i64> DirectAllCopiesSim::step(
+    const std::vector<AccessRequest>& requests, DirectStats* stats) {
+  MP_REQUIRE(static_cast<i64>(requests.size()) <= mesh_.size(),
+             "more requests than processors");
+  DirectStats local;
+  DirectStats& st = stats != nullptr ? *stats : local;
+  st = DirectStats{};
+
+  std::set<i64> used;
+  for (size_t node = 0; node < requests.size(); ++node) {
+    const AccessRequest& r = requests[node];
+    if (r.var < 0) continue;
+    MP_REQUIRE(used.insert(r.var).second,
+               "EREW violation: variable " << r.var);
+    for (i64 code = 0; code < params_.redundancy(); ++code) {
+      Packet p;
+      p.var = r.var;
+      p.copy = static_cast<u64>(r.var) *
+                   static_cast<u64>(params_.redundancy()) +
+               static_cast<u64>(code);
+      p.origin = static_cast<i32>(node);
+      p.dest = mesh_.node_id(placement_.locate(p.copy).node);
+      p.op = r.op;
+      p.value = r.value;
+      mesh_.buf(static_cast<i32>(node)).push_back(p);
+    }
+  }
+
+  st.route_steps += route_sorted(mesh_, mesh_.whole(), sort_opts_).steps;
+
+  i64 service = 0;
+  for (i32 id = 0; id < mesh_.size(); ++id) {
+    auto& b = mesh_.buf(id);
+    service = std::max(service, static_cast<i64>(b.size()));
+    auto& store = mesh_.store(id);
+    for (Packet& p : b) {
+      if (p.op == Op::Write) {
+        store[p.copy] = CopySlot{p.value, 0};
+      } else {
+        const auto it = store.find(p.copy);
+        p.value = it == store.end() ? 0 : it->second.value;
+      }
+      p.dest = p.origin;
+    }
+  }
+  st.service_steps = service;
+
+  st.route_steps += route_sorted(mesh_, mesh_.whole(), sort_opts_).steps;
+
+  std::vector<i64> results(requests.size(), 0);
+  for (i32 id = 0; id < mesh_.size(); ++id) {
+    auto& b = mesh_.buf(id);
+    for (const Packet& p : b) {
+      if (p.op == Op::Read && static_cast<size_t>(id) < results.size()) {
+        results[static_cast<size_t>(id)] = p.value;
+      }
+    }
+    b.clear();
+  }
+  st.total_steps = st.route_steps + st.service_steps;
+  return results;
+}
+
+}  // namespace meshpram

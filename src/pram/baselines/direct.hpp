@@ -1,0 +1,47 @@
+// Ablation baseline: HMOS replication WITHOUT culling or staged routing.
+//
+// Every request simply sends one packet to each of its q^k copies, routed
+// directly (sort-based routing over the whole mesh, no tessellation stages),
+// writes update all copies and reads return any copy (all copies are always
+// coherent here, so no timestamps are needed). This isolates what CULLING +
+// staged routing buy: same memory layout and redundancy, but page congestion
+// is whatever the request set inflicts (compare bench_baselines,
+// bench_culling ablation rows).
+#pragma once
+
+#include <vector>
+
+#include "hmos/placement.hpp"
+#include "mesh/machine.hpp"
+#include "protocol/access.hpp"
+#include "protocol/simulator.hpp"
+#include "routing/meshsort.hpp"
+
+namespace meshpram {
+
+struct DirectStats {
+  i64 total_steps = 0;
+  i64 route_steps = 0;
+  i64 service_steps = 0;  ///< max per-node delivered packets
+};
+
+class DirectAllCopiesSim {
+ public:
+  DirectAllCopiesSim(const SimConfig& config);
+
+  i64 processors() const { return mesh_.size(); }
+  i64 num_vars() const { return params_.num_vars(); }
+  const Placement& placement() const { return placement_; }
+
+  std::vector<i64> step(const std::vector<AccessRequest>& requests,
+                        DirectStats* stats = nullptr);
+
+ private:
+  HmosParams params_;
+  MemoryMap map_;
+  Mesh mesh_;
+  Placement placement_;
+  SortOptions sort_opts_;
+};
+
+}  // namespace meshpram

@@ -1,0 +1,54 @@
+#include "pram/baselines/mpc.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace meshpram {
+
+namespace {
+
+int log_base(i64 q, i64 m) {
+  int d = 0;
+  i64 p = 1;
+  while (p < m) {
+    p *= q;
+    ++d;
+  }
+  MP_REQUIRE(p == m, "MPC module count " << m << " is not a power of q=" << q);
+  return d;
+}
+
+}  // namespace
+
+MpcSim::MpcSim(i64 q, i64 m, i64 num_vars)
+    : q_(q), m_(m), num_vars_(num_vars),
+      graph_(q, log_base(q, m), num_vars) {
+  MP_REQUIRE(num_vars >= 1, "num_vars " << num_vars);
+}
+
+i64 MpcSim::single_copy_contention(const std::vector<i64>& vars) const {
+  std::vector<i64> load(static_cast<size_t>(m_), 0);
+  for (i64 v : vars) {
+    MP_REQUIRE(0 <= v && v < num_vars_, "variable " << v);
+    ++load[static_cast<size_t>(v % m_)];
+  }
+  return *std::max_element(load.begin(), load.end());
+}
+
+i64 MpcSim::majority_contention(const std::vector<i64>& vars) const {
+  const i64 need = q_ / 2 + 1;
+  std::vector<i64> load(static_cast<size_t>(m_), 0);
+  for (i64 v : vars) {
+    MP_REQUIRE(0 <= v && v < num_vars_, "variable " << v);
+    // Greedy: access the `need` currently least-loaded copies.
+    auto copies = graph_.neighbors(v);
+    std::stable_sort(copies.begin(), copies.end(), [&](i64 a, i64 b) {
+      return load[static_cast<size_t>(a)] < load[static_cast<size_t>(b)];
+    });
+    for (i64 t = 0; t < need; ++t) ++load[static_cast<size_t>(copies[static_cast<size_t>(t)])];
+  }
+  return *std::max_element(load.begin(), load.end());
+}
+
+}  // namespace meshpram

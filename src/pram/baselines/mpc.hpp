@@ -1,0 +1,54 @@
+// Module Parallel Computer (MPC) contention models.
+//
+// The MPC (complete interconnection, §1) isolates MEMORY CONTENTION from
+// routing: a step costs the maximum number of accesses any module serves.
+// Two placements are modeled:
+//   * single copy per variable (v -> module v mod m): the classic worst case
+//     — an adversary puts all n requests in one module, contention n;
+//   * the [PP93a] (m, q)-BIBD with majority quorums: reads/writes access
+//     ceil(q/2)+... a majority of the q copies; copies are chosen greedily
+//     against current module loads (a simple stand-in for the paper's
+//     involved access protocol — it measures how replication + choice caps
+//     contention, which is the phenomenon the HMOS lifts onto the mesh).
+//
+// Used by bench_baselines to show the contention landscape the mesh scheme
+// inherits from [PP93a].
+#pragma once
+
+#include <vector>
+
+#include "bibd/subgraph.hpp"
+#include "util/math.hpp"
+
+namespace meshpram {
+
+struct MpcStats {
+  i64 contention = 0;  ///< max accesses served by one module
+};
+
+class MpcSim {
+ public:
+  /// m modules, M variables distributed via a (q^d, q)-BIBD subgraph with
+  /// q^d = m (m must be a power of q).
+  MpcSim(i64 q, i64 m, i64 num_vars);
+
+  i64 modules() const { return m_; }
+  i64 num_vars() const { return num_vars_; }
+
+  /// Contention of serving `vars` with a single copy per variable.
+  i64 single_copy_contention(const std::vector<i64>& vars) const;
+
+  /// Contention with BIBD majority quorums and greedy least-loaded copy
+  /// choice.
+  i64 majority_contention(const std::vector<i64>& vars) const;
+
+  const BibdSubgraph& graph() const { return graph_; }
+
+ private:
+  i64 q_;
+  i64 m_;
+  i64 num_vars_;
+  BibdSubgraph graph_;
+};
+
+}  // namespace meshpram

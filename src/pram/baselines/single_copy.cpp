@@ -1,0 +1,92 @@
+#include "pram/baselines/single_copy.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "routing/lroute.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace meshpram {
+
+SingleCopySim::SingleCopySim(int mesh_rows, int mesh_cols, i64 num_vars,
+                             SingleCopyPlacement placement, u64 seed,
+                             SortOptions sort_opts)
+    : mesh_(mesh_rows, mesh_cols), num_vars_(num_vars), placement_(placement),
+      seed_(seed), sort_opts_(sort_opts) {
+  MP_REQUIRE(num_vars >= 1, "num_vars " << num_vars);
+}
+
+i32 SingleCopySim::home(i64 var) const {
+  MP_REQUIRE(0 <= var && var < num_vars_, "variable " << var);
+  if (placement_ == SingleCopyPlacement::Modular) {
+    return static_cast<i32>(var % mesh_.size());
+  }
+  u64 state = seed_ ^ (static_cast<u64>(var) * 0x9e3779b97f4a7c15ULL);
+  return static_cast<i32>(splitmix64(state) %
+                          static_cast<u64>(mesh_.size()));
+}
+
+std::vector<i64> SingleCopySim::step(
+    const std::vector<AccessRequest>& requests, SingleCopyStats* stats) {
+  MP_REQUIRE(static_cast<i64>(requests.size()) <= mesh_.size(),
+             "more requests than processors");
+  SingleCopyStats local;
+  SingleCopyStats& st = stats != nullptr ? *stats : local;
+  st = SingleCopyStats{};
+
+  std::set<i64> used;
+  for (size_t node = 0; node < requests.size(); ++node) {
+    const AccessRequest& r = requests[node];
+    if (r.var < 0) continue;
+    MP_REQUIRE(used.insert(r.var).second,
+               "EREW violation: variable " << r.var);
+    Packet p;
+    p.var = r.var;
+    p.origin = static_cast<i32>(node);
+    p.dest = home(r.var);
+    p.op = r.op;
+    p.value = r.value;
+    mesh_.buf(static_cast<i32>(node)).push_back(p);
+  }
+
+  // Forward routing (sort-based to be fair to the baseline).
+  st.route_steps += route_sorted(mesh_, mesh_.whole(), sort_opts_).steps;
+
+  // Service: each node answers one request per step.
+  i64 service = 0;
+  for (i32 id = 0; id < mesh_.size(); ++id) {
+    auto& b = mesh_.buf(id);
+    service = std::max(service, static_cast<i64>(b.size()));
+    for (Packet& p : b) {
+      if (p.op == Op::Write) {
+        memory_[p.var] = p.value;
+      } else {
+        const auto it = memory_.find(p.var);
+        p.value = it == memory_.end() ? 0 : it->second;
+      }
+      p.dest = p.origin;
+    }
+  }
+  st.service_steps = service;
+
+  // Return routing.
+  st.route_steps += route_sorted(mesh_, mesh_.whole(), sort_opts_).steps;
+
+  std::vector<i64> results(requests.size(), 0);
+  for (i32 id = 0; id < mesh_.size(); ++id) {
+    auto& b = mesh_.buf(id);
+    for (const Packet& p : b) {
+      MP_ASSERT(p.origin == id, "packet lost on return");
+      if (p.op == Op::Read && static_cast<size_t>(id) < results.size()) {
+        results[static_cast<size_t>(id)] = p.value;
+      }
+    }
+    b.clear();
+  }
+  st.total_steps = st.route_steps + st.service_steps;
+  ++now_;
+  return results;
+}
+
+}  // namespace meshpram

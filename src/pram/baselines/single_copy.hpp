@@ -1,0 +1,61 @@
+// Baseline: single-copy memory distribution on the mesh (no replication).
+//
+// This is the scheme the paper's deterministic machinery exists to beat:
+// each variable lives in exactly one module, either
+//   * Modular:  node(v) = v mod n               (the naive deterministic map
+//     an adversary defeats by requesting one module's variables), or
+//   * Hashed:   node(v) = mix64(seed, v) mod n  (the randomized-simulation
+//     stand-in — good on random inputs, still adversary-defeatable because
+//     a worst case always exists and the map is fixed).
+//
+// One PRAM step = route all request packets to their home nodes (sort-based
+// (l1,l2)-routing), serve them at one access per node per step (memory
+// contention = max node load), and route answers back. Fully consistent —
+// used by bench_baselines to reproduce the §1 motivation numbers.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "mesh/machine.hpp"
+#include "protocol/access.hpp"
+#include "routing/meshsort.hpp"
+
+namespace meshpram {
+
+enum class SingleCopyPlacement { Modular, Hashed };
+
+struct SingleCopyStats {
+  i64 total_steps = 0;
+  i64 route_steps = 0;    ///< forward + return routing
+  i64 service_steps = 0;  ///< max per-node request queue (memory contention)
+};
+
+class SingleCopySim {
+ public:
+  SingleCopySim(int mesh_rows, int mesh_cols, i64 num_vars,
+                SingleCopyPlacement placement, u64 seed = 1,
+                SortOptions sort_opts = {});
+
+  i64 processors() const { return mesh_.size(); }
+  i64 num_vars() const { return num_vars_; }
+
+  /// Home node of a variable (exposed so benches can build adversarial
+  /// request sets — the adversary knows the memory map, as in the paper's
+  /// worst-case setting).
+  i32 home(i64 var) const;
+
+  std::vector<i64> step(const std::vector<AccessRequest>& requests,
+                        SingleCopyStats* stats = nullptr);
+
+ private:
+  Mesh mesh_;
+  i64 num_vars_;
+  SingleCopyPlacement placement_;
+  u64 seed_;
+  SortOptions sort_opts_;
+  std::unordered_map<i64, i64> memory_;
+  i64 now_ = 0;
+};
+
+}  // namespace meshpram

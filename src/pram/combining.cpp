@@ -1,0 +1,82 @@
+#include "pram/combining.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace meshpram {
+
+std::vector<i64> CombiningBackend::step(
+    const std::vector<AccessRequest>& requests) {
+  MP_REQUIRE(static_cast<i64>(requests.size()) <= processors(),
+             "more requests than processors");
+
+  // Group requests by variable. For each variable choose:
+  //   * the winning write (lowest processor index), if any;
+  //   * whether anyone reads it.
+  struct Group {
+    i64 writer = -1;   // processor index of the winning writer
+    i64 write_value = 0;
+    std::vector<i64> readers;
+  };
+  std::map<i64, Group> groups;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const AccessRequest& r = requests[i];
+    if (r.var < 0) continue;
+    Group& g = groups[r.var];
+    if (r.op == Op::Write) {
+      if (g.writer < 0) {  // lowest index wins (requests scanned in order)
+        g.writer = static_cast<i64>(i);
+        g.write_value = r.value;
+      }
+    } else {
+      g.readers.push_back(static_cast<i64>(i));
+    }
+  }
+
+  // Phase 1 (if needed): representatives READ every variable someone reads.
+  // Readers must observe the pre-step value even when the variable is also
+  // written this step, so reads go first as their own EREW step.
+  std::vector<i64> results(requests.size(), 0);
+  {
+    std::vector<AccessRequest> reads(requests.size());
+    std::vector<i64> rep_of(requests.size(), -1);
+    bool any = false;
+    size_t slot = 0;
+    for (auto& [var, g] : groups) {
+      if (g.readers.empty()) continue;
+      any = true;
+      if (g.readers.size() > 1) ++combined_groups_;
+      reads[slot] = {var, Op::Read, 0};
+      rep_of[slot] = var;
+      ++slot;
+    }
+    if (any) {
+      const auto vals = inner_.step(reads);
+      for (size_t s = 0; s < slot; ++s) {
+        const Group& g = groups.at(rep_of[s]);
+        for (i64 reader : g.readers) {
+          results[static_cast<size_t>(reader)] = vals[s];
+        }
+      }
+    }
+  }
+
+  // Phase 2: winning writes, one representative per variable.
+  {
+    std::vector<AccessRequest> writes(requests.size());
+    bool any = false;
+    size_t slot = 0;
+    for (auto& [var, g] : groups) {
+      if (g.writer < 0) continue;
+      any = true;
+      writes[slot++] = {var, Op::Write, g.write_value};
+    }
+    if (any) inner_.step(writes);
+  }
+  return results;
+}
+
+}  // namespace meshpram

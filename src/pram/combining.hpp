@@ -1,0 +1,51 @@
+// Concurrent-access combining frontend (CRCW -> EREW adapter).
+//
+// The paper simulates EREW steps: the n requested variables must be
+// distinct. Classic PRAM theory reduces concurrent access to exclusive
+// access by sorting the requests, letting one representative per variable
+// perform the access, and fanning the result back out — an O(log n)-step
+// EREW transformation. CombiningBackend implements that reduction at the
+// request level: duplicates are grouped, one representative executes in the
+// underlying (EREW) backend, and results/write-winners are resolved per the
+// Priority CRCW rule (lowest processor index wins concurrent writes).
+//
+// Cost accounting: one CRCW step becomes at most two EREW steps in the
+// underlying backend (a read step for all read groups, then a write step for
+// the winning writes), each charged at the backend's usual cost. The sort
+// that a real machine would run to group the requests is the same
+// O(l1·sqrt(n)) mesh sort the protocol already uses everywhere; it is
+// dominated by the two EREW steps charged here.
+#pragma once
+
+#include <memory>
+
+#include "pram/backend.hpp"
+
+namespace meshpram {
+
+class CombiningBackend : public PramBackend {
+ public:
+  /// Does not take ownership; `inner` must outlive this object.
+  explicit CombiningBackend(PramBackend& inner) : inner_(inner) {}
+
+  i64 processors() const override { return inner_.processors(); }
+  i64 num_vars() const override { return inner_.num_vars(); }
+
+  /// Accepts ARBITRARY request vectors: concurrent reads of a variable all
+  /// receive its value; concurrent writes resolve to the lowest-index
+  /// writer (Priority CRCW). Read+write of the same variable in one step:
+  /// readers see the pre-step value (standard CRCW semantics).
+  std::vector<i64> step(const std::vector<AccessRequest>& requests) override;
+
+  i64 total_mesh_steps() const override { return inner_.total_mesh_steps(); }
+  i64 pram_steps() const override { return inner_.pram_steps(); }
+
+  /// Number of concurrent-access groups combined so far (diagnostic).
+  i64 combined_groups() const { return combined_groups_; }
+
+ private:
+  PramBackend& inner_;
+  i64 combined_groups_ = 0;
+};
+
+}  // namespace meshpram

@@ -1,0 +1,34 @@
+// MeshBackend: the paper's simulation as a PramBackend.
+#pragma once
+
+#include "pram/backend.hpp"
+#include "protocol/simulator.hpp"
+
+namespace meshpram {
+
+class MeshBackend : public PramBackend {
+ public:
+  explicit MeshBackend(const SimConfig& config) : sim_(config) {}
+
+  i64 processors() const override { return sim_.processors(); }
+  i64 num_vars() const override { return sim_.num_vars(); }
+
+  std::vector<i64> step(const std::vector<AccessRequest>& requests) override {
+    StepStats st;
+    auto results = sim_.step(requests, &st);
+    mesh_steps_ += st.total_steps;
+    results.resize(requests.size());
+    return results;
+  }
+
+  i64 total_mesh_steps() const override { return mesh_steps_; }
+  i64 pram_steps() const override { return sim_.now(); }
+
+  PramMeshSimulator& simulator() { return sim_; }
+
+ private:
+  PramMeshSimulator sim_;
+  i64 mesh_steps_ = 0;
+};
+
+}  // namespace meshpram

@@ -1,0 +1,30 @@
+#include "pram/program.hpp"
+
+#include "util/error.hpp"
+
+namespace meshpram {
+
+i64 run_program(PramProgram& program, PramBackend& backend) {
+  MP_REQUIRE(program.processors() <= backend.processors(),
+             "program wants " << program.processors() << " processors, "
+                              << "backend has " << backend.processors());
+  i64 step = 0;
+  while (!program.done(step)) {
+    std::vector<AccessRequest> reqs(
+        static_cast<size_t>(program.processors()));
+    for (i64 p = 0; p < program.processors(); ++p) {
+      reqs[static_cast<size_t>(p)] = program.plan(p, step);
+    }
+    const auto results = backend.step(reqs);
+    for (i64 p = 0; p < program.processors(); ++p) {
+      if (reqs[static_cast<size_t>(p)].var >= 0 &&
+          reqs[static_cast<size_t>(p)].op == Op::Read) {
+        program.receive(p, step, results[static_cast<size_t>(p)]);
+      }
+    }
+    ++step;
+  }
+  return step;
+}
+
+}  // namespace meshpram

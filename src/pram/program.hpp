@@ -1,0 +1,31 @@
+// PRAM programs: synchronous supersteps against a PramBackend.
+//
+// A program declares how many processors it uses; each superstep the driver
+// asks every processor to plan() its (at most one) shared-memory access,
+// executes them as one EREW PRAM step, and hands read results back through
+// receive(). Local computation lives inside plan()/receive() — exactly the
+// PRAM's free local work. The same program object runs unchanged on
+// IdealBackend and MeshBackend.
+#pragma once
+
+#include "pram/backend.hpp"
+
+namespace meshpram {
+
+class PramProgram {
+ public:
+  virtual ~PramProgram() = default;
+
+  virtual i64 processors() const = 0;
+  /// True when the program has finished before superstep `step`.
+  virtual bool done(i64 step) const = 0;
+  /// The access processor `proc` issues in superstep `step` (var = -1 idle).
+  virtual AccessRequest plan(i64 proc, i64 step) = 0;
+  /// Read result delivery for superstep `step` (called only for reads).
+  virtual void receive(i64 proc, i64 step, i64 value) = 0;
+};
+
+/// Runs `program` to completion on `backend`; returns PRAM steps executed.
+i64 run_program(PramProgram& program, PramBackend& backend);
+
+}  // namespace meshpram

@@ -1,0 +1,220 @@
+#include "protocol/access.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "routing/greedy.hpp"
+#include "routing/rank.hpp"
+#include "util/error.hpp"
+
+namespace meshpram {
+
+AccessProtocol::AccessProtocol(Mesh& mesh, const Placement& placement,
+                               SortOptions sort_opts)
+    : mesh_(mesh), placement_(placement), sort_opts_(sort_opts) {
+  const int k = placement.map().params().k();
+  level_regions_.resize(static_cast<size_t>(k) + 1);
+  for (int i = 1; i <= k; ++i) {
+    std::set<std::tuple<int, int, int, int>> seen;
+    for (const PageInfo& page : placement.pages(i)) {
+      const Region& g = page.region;
+      if (seen.insert({g.r0(), g.c0(), g.rows(), g.cols()}).second) {
+        level_regions_[static_cast<size_t>(i)].push_back(g);
+      }
+    }
+  }
+}
+
+i64 AccessProtocol::distribute_stage(const Region& region, int dest_level) {
+  // Key every packet by its destination page at dest_level.
+  for (i64 s = 0; s < region.size(); ++s) {
+    for (Packet& p : mesh_.buf(mesh_.node_id(region.at_snake(s)))) {
+      p.key = static_cast<u64>(placement_.page_at(p.copy, dest_level));
+    }
+  }
+  i64 steps = sort_region(mesh_, region, sort_opts_);
+  steps += rank_within_groups(mesh_, region);
+
+  const auto& pages = placement_.pages(dest_level);
+  for (i64 s = 0; s < region.size(); ++s) {
+    for (Packet& p : mesh_.buf(mesh_.node_id(region.at_snake(s)))) {
+      const Region& sub = pages[static_cast<size_t>(p.key)].region;
+      MP_ASSERT(region.contains(sub.at_snake(0)),
+                "destination page region escapes the stage region");
+      p.dest =
+          mesh_.node_id(sub.at_snake(static_cast<i64>(p.rank) % sub.size()));
+    }
+  }
+  steps += route_greedy(mesh_, region).steps;
+
+  // Record the stop for the return journey.
+  for (i64 s = 0; s < region.size(); ++s) {
+    const i32 id = mesh_.node_id(region.at_snake(s));
+    for (Packet& p : mesh_.buf(id)) p.push_trail(id);
+  }
+  return steps;
+}
+
+std::vector<i64> AccessProtocol::execute(
+    const std::vector<AccessRequest>& requests, i64 timestamp,
+    StepStats* stats) {
+  const HmosParams& params = placement_.map().params();
+  const int k = params.k();
+  const i64 n = mesh_.size();
+  MP_REQUIRE(static_cast<i64>(requests.size()) == n,
+             "requests size " << requests.size() << " != mesh size " << n);
+  MP_REQUIRE(mesh_.total_packets(mesh_.whole()) == 0,
+             "mesh buffers must be empty before an access step");
+
+  // EREW: requested variables must be pairwise distinct.
+  {
+    std::set<i64> vars;
+    for (const AccessRequest& r : requests) {
+      if (r.var < 0) continue;
+      MP_REQUIRE(r.var < params.num_vars(), "variable " << r.var);
+      MP_REQUIRE(vars.insert(r.var).second,
+                 "EREW violation: variable " << r.var
+                                             << " requested twice in a step");
+    }
+  }
+
+  StepStats local;
+  StepStats& st = stats != nullptr ? *stats : local;
+  st = StepStats{};
+
+  // ---- Copy selection -----------------------------------------------------
+  std::vector<i64> request_vars(static_cast<size_t>(n), -1);
+  for (i64 node = 0; node < n; ++node) {
+    request_vars[static_cast<size_t>(node)] =
+        requests[static_cast<size_t>(node)].var;
+  }
+  Culling culling(mesh_, placement_, sort_opts_);
+  const auto selections = culling.run(request_vars, &st.culling);
+  st.culling_steps = st.culling.steps;
+
+  // ---- Packet generation --------------------------------------------------
+  for (i64 node = 0; node < n; ++node) {
+    const AccessRequest& req = requests[static_cast<size_t>(node)];
+    if (req.var < 0) continue;
+    for (i64 code : selections[static_cast<size_t>(node)]) {
+      Packet p;
+      p.var = req.var;
+      p.copy = static_cast<u64>(req.var) *
+                   static_cast<u64>(params.redundancy()) +
+               static_cast<u64>(code);
+      p.origin = static_cast<i32>(node);
+      p.op = req.op;
+      p.value = req.value;
+      mesh_.buf(static_cast<i32>(node)).push_back(p);
+      ++st.packets;
+    }
+  }
+
+  // ---- Forward stages k+1 .. 2 -------------------------------------------
+  for (int stage = k + 1; stage >= 2; --stage) {
+    ParallelCost pc;
+    if (stage == k + 1) {
+      pc.observe(distribute_stage(mesh_.whole(), k));
+    } else {
+      for (const Region& g : level_regions_[static_cast<size_t>(stage)]) {
+        pc.observe(distribute_stage(g, stage - 1));
+      }
+    }
+    st.forward_stage_steps.push_back(pc.max());
+    st.forward_steps += pc.max();
+  }
+
+  // ---- Stage 1: deliver and access ----------------------------------------
+  {
+    ParallelCost pc;
+    for (const Region& g : level_regions_[1]) {
+      for (i64 s = 0; s < g.size(); ++s) {
+        for (Packet& p : mesh_.buf(mesh_.node_id(g.at_snake(s)))) {
+          p.dest = mesh_.node_id(placement_.locate(p.copy).node);
+        }
+      }
+      pc.observe(route_greedy(mesh_, g).steps);
+    }
+    st.forward_stage_steps.push_back(pc.max());
+    st.forward_steps += pc.max();
+    // Perform the accesses at the destination processors.
+    for (i64 node = 0; node < n; ++node) {
+      auto& store = mesh_.store(static_cast<i32>(node));
+      for (Packet& p : mesh_.buf(static_cast<i32>(node))) {
+        if (p.op == Op::Write) {
+          store[p.copy] = CopySlot{p.value, timestamp};
+        } else {
+          const auto it = store.find(p.copy);
+          if (it != store.end()) {
+            p.value = it->second.value;
+            p.timestamp = it->second.timestamp;
+          } else {
+            p.value = 0;
+            p.timestamp = -1;
+          }
+        }
+      }
+    }
+  }
+
+  // ---- Return journey ------------------------------------------------------
+  // Retrace trail stops: level-1 regions first, then level 2, ..., then the
+  // whole mesh back to the origins.
+  for (int stage = 1; stage <= k; ++stage) {
+    const int trail_idx = k - stage;  // trail[k-1] = innermost stop
+    ParallelCost pc;
+    for (const Region& g : level_regions_[static_cast<size_t>(stage)]) {
+      bool any = false;
+      for (i64 s = 0; s < g.size(); ++s) {
+        for (Packet& p : mesh_.buf(mesh_.node_id(g.at_snake(s)))) {
+          MP_ASSERT(p.trail_len == k, "packet with incomplete trail");
+          p.dest = p.trail[static_cast<size_t>(trail_idx)];
+          any = true;
+        }
+      }
+      if (any) pc.observe(route_greedy(mesh_, g).steps);
+    }
+    st.return_steps += pc.max();
+  }
+  {
+    for (i64 node = 0; node < n; ++node) {
+      for (Packet& p : mesh_.buf(static_cast<i32>(node))) p.dest = p.origin;
+    }
+    st.return_steps += route_greedy(mesh_, mesh_.whole()).steps;
+  }
+
+  // ---- Collect results -----------------------------------------------------
+  std::vector<i64> results(static_cast<size_t>(n), 0);
+  for (i64 node = 0; node < n; ++node) {
+    auto& b = mesh_.buf(static_cast<i32>(node));
+    const AccessRequest& req = requests[static_cast<size_t>(node)];
+    i64 best_ts = -2;
+    i64 best_val = 0;
+    i64 got = 0;
+    for (const Packet& p : b) {
+      MP_ASSERT(p.origin == static_cast<i32>(node) && p.var == req.var,
+                "packet returned to the wrong origin");
+      ++got;
+      if (p.op == Op::Read && p.timestamp > best_ts) {
+        best_ts = p.timestamp;
+        best_val = p.value;
+      }
+    }
+    if (req.var >= 0) {
+      MP_ASSERT(got == static_cast<i64>(
+                           selections[static_cast<size_t>(node)].size()),
+                "lost packets: " << got << " of "
+                                 << selections[static_cast<size_t>(node)].size()
+                                 << " returned");
+      if (req.op == Op::Read) results[static_cast<size_t>(node)] = best_val;
+    }
+    b.clear();
+  }
+
+  st.total_steps = st.culling_steps + st.forward_steps + st.return_steps;
+  return results;
+}
+
+}  // namespace meshpram

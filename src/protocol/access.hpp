@@ -1,0 +1,70 @@
+// The staged access protocol (§3.3).
+//
+// After CULLING selects the copies, each selected copy gets a request packet
+// routed origin -> copy -> origin through the nested tessellations:
+//
+//   stage k+1 (whole mesh): sort by destination level-k submesh, rank, send
+//     rank r to node (r mod size) of that submesh;
+//   stage i, k >= i >= 2 (within every level-i submesh in parallel): same,
+//     toward the destination level-(i-1) submeshes;
+//   stage 1 (within every level-1 submesh): deliver to the copy's processor
+//     and perform the access (read value+timestamp / write value,timestamp);
+//   return: retrace the recorded intermediate stops in reverse, then report
+//     to the origin. Reads take the value with the newest timestamp among
+//     their target set (majority consistency, Definition 2).
+//
+// Parallel stages are charged the maximum cost over their submeshes.
+#pragma once
+
+#include <vector>
+
+#include "hmos/placement.hpp"
+#include "mesh/machine.hpp"
+#include "protocol/culling.hpp"
+#include "routing/meshsort.hpp"
+
+namespace meshpram {
+
+struct AccessRequest {
+  i64 var = -1;  ///< requested variable, -1 = processor idle this step
+  Op op = Op::Read;
+  i64 value = 0;  ///< payload for writes
+};
+
+struct StepStats {
+  i64 total_steps = 0;
+  i64 culling_steps = 0;
+  i64 forward_steps = 0;
+  i64 return_steps = 0;
+  CullingStats culling;
+  i64 packets = 0;
+  /// forward_stage_steps[0] = stage k+1, ..., last = stage 1.
+  std::vector<i64> forward_stage_steps;
+};
+
+class AccessProtocol {
+ public:
+  AccessProtocol(Mesh& mesh, const Placement& placement,
+                 SortOptions sort_opts = {});
+
+  /// Executes one PRAM access step at logical time `timestamp` (strictly
+  /// increasing across steps). requests[node] describes the access issued by
+  /// that processor. Variables must be distinct (EREW). Returns per-node
+  /// read results (0 for idle processors and writers).
+  std::vector<i64> execute(const std::vector<AccessRequest>& requests,
+                           i64 timestamp, StepStats* stats = nullptr);
+
+ private:
+  /// Sort-by-subregion, rank, distribute: one forward stage inside `region`.
+  /// `dest_level` = the level of the pages packets are heading into
+  /// (0 = final processor delivery).
+  i64 distribute_stage(const Region& region, int dest_level);
+
+  Mesh& mesh_;
+  const Placement& placement_;
+  SortOptions sort_opts_;
+  /// Deduplicated page regions per level (shared 1x1 regions collapse).
+  std::vector<std::vector<Region>> level_regions_;
+};
+
+}  // namespace meshpram

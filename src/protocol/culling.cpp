@@ -1,0 +1,162 @@
+#include "protocol/culling.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "routing/lroute.hpp"
+#include "routing/rank.hpp"
+#include "util/error.hpp"
+
+namespace meshpram {
+
+Culling::Culling(Mesh& mesh, const Placement& placement,
+                 SortOptions sort_opts)
+    : mesh_(mesh), placement_(placement), sort_opts_(sort_opts),
+      selector_(placement.map().params().q(),
+                placement.map().params().k()) {}
+
+std::vector<std::vector<i64>> Culling::run(
+    const std::vector<i64>& request_vars, CullingStats* stats) {
+  const HmosParams& params = placement_.map().params();
+  const MemoryMap& map = placement_.map();
+  const i64 n = mesh_.size();
+  MP_REQUIRE(static_cast<i64>(request_vars.size()) == n,
+             "request vector size " << request_vars.size() << " != mesh size "
+                                    << n);
+  const Region whole = mesh_.whole();
+  MP_REQUIRE(mesh_.total_packets(whole) == 0,
+             "mesh buffers must be empty before CULLING");
+
+  CullingStats local_stats;
+  CullingStats& st = stats != nullptr ? *stats : local_stats;
+  st = CullingStats{};
+
+  // Per-node candidate bitmaps over the q^k codes: C_v^0 = minimal level-0
+  // target set.
+  const i64 ncodes = selector_.num_codes();
+  std::vector<std::vector<char>> candidate(static_cast<size_t>(n));
+  const auto init_codes = selector_.initial(0);
+  for (i64 node = 0; node < n; ++node) {
+    if (request_vars[static_cast<size_t>(node)] < 0) continue;
+    MP_REQUIRE(request_vars[static_cast<size_t>(node)] < params.num_vars(),
+               "variable " << request_vars[static_cast<size_t>(node)]
+                           << " outside shared memory");
+    auto& bits = candidate[static_cast<size_t>(node)];
+    bits.assign(static_cast<size_t>(ncodes), 0);
+    for (i64 code : init_codes) bits[static_cast<size_t>(code)] = 1;
+  }
+
+  std::vector<std::vector<char>> marked(static_cast<size_t>(n));
+
+  for (int iter = 1; iter <= params.k(); ++iter) {
+    const i64 tau = params.culling_threshold(iter);
+
+    // Emit one packet per selected copy, keyed by its level-i page.
+    for (i64 node = 0; node < n; ++node) {
+      const i64 var = request_vars[static_cast<size_t>(node)];
+      if (var < 0) continue;
+      const auto& bits = candidate[static_cast<size_t>(node)];
+      for (i64 code = 0; code < ncodes; ++code) {
+        if (!bits[static_cast<size_t>(code)]) continue;
+        Packet p;
+        p.var = var;
+        p.copy = static_cast<u64>(var) *
+                     static_cast<u64>(params.redundancy()) +
+                 static_cast<u64>(code);
+        p.key = static_cast<u64>(placement_.page_at(p.copy, iter));
+        p.origin = static_cast<i32>(node);
+        mesh_.buf(static_cast<i32>(node)).push_back(p);
+      }
+    }
+
+    // Sort by page, rank within page, mark the first tau of each page.
+    st.steps += sort_region(mesh_, whole, sort_opts_);
+    st.steps += rank_within_groups(mesh_, whole);
+    for (i64 s = 0; s < n; ++s) {
+      for (Packet& p : mesh_.buf(static_cast<i32>(s))) {
+        p.value = (static_cast<i64>(p.rank) < tau) ? 1 : 0;
+        p.dest = p.origin;
+      }
+    }
+
+    // Return the mark bits to the owners.
+    st.steps += route_sorted(mesh_, whole, sort_opts_).steps;
+
+    // Local selection: prefer marked copies; add unmarked only if needed.
+    for (i64 node = 0; node < n; ++node) {
+      marked[static_cast<size_t>(node)].assign(static_cast<size_t>(ncodes), 0);
+    }
+    for (i64 s = 0; s < n; ++s) {
+      auto& b = mesh_.buf(static_cast<i32>(s));
+      for (const Packet& p : b) {
+        MP_ASSERT(p.dest == static_cast<i32>(s), "mark bit went astray");
+        if (p.value != 0) {
+          const i64 code = static_cast<i64>(
+              p.copy % static_cast<u64>(params.redundancy()));
+          marked[static_cast<size_t>(s)][static_cast<size_t>(code)] = 1;
+        }
+      }
+      b.clear();
+    }
+    for (i64 node = 0; node < n; ++node) {
+      if (request_vars[static_cast<size_t>(node)] < 0) continue;
+      auto& cand = candidate[static_cast<size_t>(node)];
+      const auto& mk = marked[static_cast<size_t>(node)];
+      // Try M alone first (the pseudo-code's "if M contains a target set").
+      std::vector<char> m_only(static_cast<size_t>(ncodes), 0);
+      for (i64 c = 0; c < ncodes; ++c) {
+        m_only[static_cast<size_t>(c)] =
+            static_cast<char>(cand[static_cast<size_t>(c)] &&
+                              mk[static_cast<size_t>(c)]);
+      }
+      TargetSelector::Selection sel =
+          selector_.select(iter, m_only, m_only);
+      if (!sel.feasible) {
+        // Augment with the fewest possible unmarked copies from C.
+        sel = selector_.select(iter, cand, m_only);
+        MP_ASSERT(sel.feasible,
+                  "C_v^{i-1} lost the level-" << iter
+                                              << " target set invariant");
+      }
+      cand.assign(static_cast<size_t>(ncodes), 0);
+      for (i64 code : sel.codes) cand[static_cast<size_t>(code)] = 1;
+    }
+    // Local DP over the q^k-leaf tree: O(q^k) per processor (Eq. 2 charge).
+    st.steps += params.redundancy();
+
+    // Instrumentation: per-level-i page load of the union of C_v^i.
+    std::unordered_map<i64, i64> load;
+    for (i64 node = 0; node < n; ++node) {
+      const i64 var = request_vars[static_cast<size_t>(node)];
+      if (var < 0) continue;
+      const auto& bits = candidate[static_cast<size_t>(node)];
+      for (i64 code = 0; code < ncodes; ++code) {
+        if (!bits[static_cast<size_t>(code)]) continue;
+        const u64 copy = static_cast<u64>(var) *
+                             static_cast<u64>(params.redundancy()) +
+                         static_cast<u64>(code);
+        ++load[placement_.page_at(copy, iter)];
+      }
+    }
+    i64 max_load = 0;
+    for (const auto& [page, cnt] : load) max_load = std::max(max_load, cnt);
+    st.max_page_load.push_back(max_load);
+    st.bound.push_back(params.theorem3_bound(iter));
+  }
+
+  // Emit the final selections.
+  std::vector<std::vector<i64>> out(static_cast<size_t>(n));
+  for (i64 node = 0; node < n; ++node) {
+    if (request_vars[static_cast<size_t>(node)] < 0) continue;
+    const auto& bits = candidate[static_cast<size_t>(node)];
+    for (i64 code = 0; code < ncodes; ++code) {
+      if (bits[static_cast<size_t>(code)]) {
+        out[static_cast<size_t>(node)].push_back(code);
+        ++st.selected_copies;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace meshpram

@@ -1,0 +1,53 @@
+// Procedure CULLING (§3.2): parallel copy selection.
+//
+// Each of the n processors is in charge of (at most) one requested variable
+// and starts from a minimal level-0 target set C_v^0. Iteration i = 1..k:
+//
+//   1. every processor emits one packet per currently selected copy, keyed
+//      by the copy's level-i page; the mesh sorts and ranks the packets, and
+//      the first tau_i = 2 q^k n^{1-1/2^i} copies of every page are MARKED
+//      (greedy marking — a page with unmarked copies is saturated);
+//   2. packets return their mark bit to the owners;
+//   3. every owner extracts a minimal level-i target set, preferring marked
+//      copies (set M_v^i) and adding unmarked ones (set S_v^i) only when M
+//      alone contains no level-i target set.
+//
+// Theorem 3 then guarantees <= 4 q^k n^{1-1/2^i} selected copies per level-i
+// page — measured by CullingStats and asserted by tests/test_protocol.cpp.
+#pragma once
+
+#include <vector>
+
+#include "hmos/placement.hpp"
+#include "mesh/machine.hpp"
+#include "protocol/target_set.hpp"
+#include "routing/meshsort.hpp"
+
+namespace meshpram {
+
+struct CullingStats {
+  i64 steps = 0;  ///< total mesh steps charged to copy selection
+  /// max_page_load[i-1]: after iteration i, the largest number of selected
+  /// copies in any level-i page (to compare against theorem3_bound(i)).
+  std::vector<i64> max_page_load;
+  std::vector<i64> bound;  ///< theorem3_bound(i), aligned with the above
+  i64 selected_copies = 0; ///< |union of final target sets|
+};
+
+class Culling {
+ public:
+  Culling(Mesh& mesh, const Placement& placement, SortOptions sort_opts = {});
+
+  /// request_vars[node] = variable the processor wants, or -1 for idle.
+  /// Returns per-node selected copy codes (empty for idle processors).
+  std::vector<std::vector<i64>> run(const std::vector<i64>& request_vars,
+                                    CullingStats* stats);
+
+ private:
+  Mesh& mesh_;
+  const Placement& placement_;
+  SortOptions sort_opts_;
+  TargetSelector selector_;
+};
+
+}  // namespace meshpram

@@ -1,0 +1,54 @@
+#include "protocol/simulator.hpp"
+
+#include "util/error.hpp"
+
+namespace meshpram {
+
+PramMeshSimulator::PramMeshSimulator(const SimConfig& config) {
+  params_ = std::make_unique<HmosParams>(config.q, config.k, config.num_vars,
+                                         config.mesh_rows, config.mesh_cols);
+  map_ = std::make_unique<MemoryMap>(*params_);
+  mesh_ = std::make_unique<Mesh>(config.mesh_rows, config.mesh_cols);
+  placement_ = std::make_unique<Placement>(*map_, mesh_->whole());
+  protocol_ = std::make_unique<AccessProtocol>(
+      *mesh_, *placement_, SortOptions{config.sort_mode});
+}
+
+std::vector<i64> PramMeshSimulator::step(
+    const std::vector<AccessRequest>& requests, StepStats* stats) {
+  std::vector<AccessRequest> padded = requests;
+  MP_REQUIRE(static_cast<i64>(padded.size()) <= processors(),
+             "more requests (" << padded.size() << ") than processors ("
+                               << processors() << ')');
+  padded.resize(static_cast<size_t>(processors()));
+  auto results = protocol_->execute(padded, now_, stats);
+  ++now_;
+  if (stats != nullptr) {
+    mesh_->clock().add("pram_step", stats->total_steps);
+  }
+  return results;
+}
+
+void PramMeshSimulator::write_step(const std::vector<i64>& vars,
+                                   const std::vector<i64>& values,
+                                   StepStats* stats) {
+  MP_REQUIRE(vars.size() == values.size(), "vars/values size mismatch");
+  std::vector<AccessRequest> reqs(vars.size());
+  for (size_t i = 0; i < vars.size(); ++i) {
+    reqs[i] = AccessRequest{vars[i], Op::Write, values[i]};
+  }
+  step(reqs, stats);
+}
+
+std::vector<i64> PramMeshSimulator::read_step(const std::vector<i64>& vars,
+                                              StepStats* stats) {
+  std::vector<AccessRequest> reqs(vars.size());
+  for (size_t i = 0; i < vars.size(); ++i) {
+    reqs[i] = AccessRequest{vars[i], Op::Read, 0};
+  }
+  auto all = step(reqs, stats);
+  all.resize(vars.size());
+  return all;
+}
+
+}  // namespace meshpram

@@ -1,0 +1,66 @@
+// PramMeshSimulator — the library facade.
+//
+// Owns the whole stack (mesh machine, HMOS parameters, level graphs,
+// placement) and exposes PRAM access steps. This is the class a downstream
+// user instantiates; examples/quickstart.cpp shows the 10-line version.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hmos/memory_map.hpp"
+#include "hmos/params.hpp"
+#include "hmos/placement.hpp"
+#include "mesh/machine.hpp"
+#include "protocol/access.hpp"
+
+namespace meshpram {
+
+struct SimConfig {
+  int mesh_rows = 32;
+  int mesh_cols = 32;
+  i64 num_vars = 4096;  ///< shared-memory size M (>= n)
+  i64 q = 3;            ///< replication branching (prime power >= 3)
+  int k = 2;            ///< HMOS depth; redundancy = q^k
+  SortMode sort_mode = SortMode::Simulated;
+};
+
+class PramMeshSimulator {
+ public:
+  explicit PramMeshSimulator(const SimConfig& config);
+
+  i64 processors() const { return mesh_->size(); }
+  i64 num_vars() const { return params_->num_vars(); }
+
+  /// One synchronous PRAM step: requests[i] is processor i's access
+  /// (var = -1 for idle). Variables must be distinct (EREW). Returns the
+  /// per-processor read results; stats (optional) receives the step costs.
+  std::vector<i64> step(const std::vector<AccessRequest>& requests,
+                        StepStats* stats = nullptr);
+
+  /// Convenience: every processor writes values[i] to vars[i] (one step).
+  void write_step(const std::vector<i64>& vars, const std::vector<i64>& values,
+                  StepStats* stats = nullptr);
+  /// Convenience: every processor reads vars[i] (one step).
+  std::vector<i64> read_step(const std::vector<i64>& vars,
+                             StepStats* stats = nullptr);
+
+  /// Logical time = number of executed PRAM steps.
+  i64 now() const { return now_; }
+
+  const HmosParams& params() const { return *params_; }
+  const MemoryMap& memory_map() const { return *map_; }
+  const Placement& placement() const { return *placement_; }
+  Mesh& mesh() { return *mesh_; }
+  const Mesh& mesh() const { return *mesh_; }
+
+ private:
+  std::unique_ptr<HmosParams> params_;
+  std::unique_ptr<MemoryMap> map_;
+  std::unique_ptr<Mesh> mesh_;
+  std::unique_ptr<Placement> placement_;
+  std::unique_ptr<AccessProtocol> protocol_;
+  i64 now_ = 0;
+};
+
+}  // namespace meshpram

@@ -1,0 +1,124 @@
+#include "protocol/target_set.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace meshpram {
+
+TargetSelector::TargetSelector(i64 q, int k) : q_(q), k_(k) {
+  MP_REQUIRE(q >= 3, "target sets need q >= 3, got " << q);
+  MP_REQUIRE(1 <= k && k <= 6, "tree depth k=" << k);
+  codes_ = ipow(q, k);
+  qpow_.resize(static_cast<size_t>(k) + 1);
+  for (int i = 0; i <= k; ++i) qpow_[static_cast<size_t>(i)] = ipow(q, i);
+}
+
+TargetSelector::Node TargetSelector::solve(
+    int depth, i64 prefix, int level, const std::vector<char>& candidate,
+    const std::vector<char>& marked) const {
+  Node node;
+  if (depth == k_) {
+    node.feasible = candidate[static_cast<size_t>(prefix)] != 0;
+    if (node.feasible) {
+      node.cost = marked[static_cast<size_t>(prefix)] ? 0 : 1;
+      node.codes = {prefix};
+    }
+    return node;
+  }
+  // Children of the node at tree depth `depth`: vary digit c_{depth+1}.
+  std::vector<Node> kids;
+  kids.reserve(static_cast<size_t>(q_));
+  for (i64 c = 0; c < q_; ++c) {
+    kids.push_back(solve(depth + 1, prefix + c * qpow_[static_cast<size_t>(depth)],
+                         level, candidate, marked));
+  }
+  const i64 need = (depth >= level) ? extensive() : majority();
+  // Pick the `need` cheapest feasible children (stable order for determinism).
+  std::vector<size_t> order;
+  for (size_t i = 0; i < kids.size(); ++i) {
+    if (kids[i].feasible) order.push_back(i);
+  }
+  if (static_cast<i64>(order.size()) < need) return node;  // infeasible
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return kids[a].cost < kids[b].cost;
+  });
+  node.feasible = true;
+  for (i64 t = 0; t < need; ++t) {
+    const Node& kid = kids[order[static_cast<size_t>(t)]];
+    node.cost += kid.cost;
+    node.codes.insert(node.codes.end(), kid.codes.begin(), kid.codes.end());
+  }
+  return node;
+}
+
+TargetSelector::Selection TargetSelector::select(
+    int level, const std::vector<char>& candidate,
+    const std::vector<char>& marked) const {
+  MP_REQUIRE(0 <= level && level <= k_, "target level " << level);
+  MP_REQUIRE(static_cast<i64>(candidate.size()) == codes_ &&
+                 static_cast<i64>(marked.size()) == codes_,
+             "bitmap size mismatch: " << candidate.size() << '/'
+                                      << marked.size() << " vs " << codes_);
+  Node root = solve(0, 0, level, candidate, marked);
+  Selection sel;
+  sel.feasible = root.feasible;
+  if (root.feasible) {
+    std::sort(root.codes.begin(), root.codes.end());
+    sel.codes = std::move(root.codes);
+    sel.unmarked = root.cost;
+  }
+  return sel;
+}
+
+std::vector<i64> TargetSelector::initial(int level) const {
+  const std::vector<char> all(static_cast<size_t>(codes_), 1);
+  const Selection sel = select(level, all, all);
+  MP_ASSERT(sel.feasible, "full copy tree cannot satisfy level " << level);
+  return sel.codes;
+}
+
+bool TargetSelector::accessed(int depth, i64 prefix, int level,
+                              const std::vector<char>& leaves) const {
+  if (depth == k_) return leaves[static_cast<size_t>(prefix)] != 0;
+  const i64 need = (depth >= level) ? extensive() : majority();
+  i64 got = 0;
+  for (i64 c = 0; c < q_; ++c) {
+    if (accessed(depth + 1, prefix + c * qpow_[static_cast<size_t>(depth)],
+                 level, leaves)) {
+      ++got;
+    }
+  }
+  return got >= need;
+}
+
+bool TargetSelector::is_target_set(const std::vector<char>& leaves) const {
+  // Plain Definition 2 access = level-(k+1) rule: every internal node uses
+  // plain majority. Passing level = k makes depth >= level only hold at
+  // leaves, which have no children; use k_ (internal depths 0..k-1 < k).
+  return is_level_target_set(leaves, k_);
+}
+
+bool TargetSelector::is_level_target_set(const std::vector<char>& leaves,
+                                         int level) const {
+  MP_REQUIRE(static_cast<i64>(leaves.size()) == codes_, "bitmap size");
+  MP_REQUIRE(0 <= level && level <= k_, "target level " << level);
+  return accessed(0, 0, level, leaves);
+}
+
+bool TargetSelector::intersects(const std::vector<i64>& a,
+                                const std::vector<i64>& b) {
+  // Both inputs sorted (select() sorts).
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return true;
+    if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+}  // namespace meshpram

@@ -1,0 +1,130 @@
+#include "routing/greedy.hpp"
+
+#include <algorithm>
+#include <array>
+#include <functional>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace meshpram {
+
+namespace {
+
+/// XY routing decision: east/west until the column matches, then north/south.
+/// Returns false when the packet is at its destination.
+bool next_dir(Coord at, Coord dest, Dir* out) {
+  if (at.c < dest.c) {
+    *out = Dir::East;
+  } else if (at.c > dest.c) {
+    *out = Dir::West;
+  } else if (at.r < dest.r) {
+    *out = Dir::South;
+  } else if (at.r > dest.r) {
+    *out = Dir::North;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+RouteStats route_greedy(Mesh& mesh, const Region& region) {
+  RouteStats stats;
+
+  // Transit queues, indexed by region snake position for density.
+  const i64 m = region.size();
+  std::vector<std::vector<Packet>> transit(static_cast<size_t>(m));
+  std::vector<std::vector<Packet>> incoming(static_cast<size_t>(m));
+  std::vector<i64> pos_of_node(static_cast<size_t>(mesh.size()), -1);
+  i64 in_flight = 0;
+
+  for (i64 s = 0; s < m; ++s) {
+    const Coord x = region.at_snake(s);
+    const i32 id = mesh.node_id(x);
+    pos_of_node[static_cast<size_t>(id)] = s;
+    auto& b = mesh.buf(id);
+    for (Packet& p : b) {
+      MP_REQUIRE(p.dest >= 0 && p.dest < mesh.size(),
+                 "packet without destination");
+      const Coord d = mesh.coord(p.dest);
+      MP_REQUIRE(region.contains(d),
+                 "destination " << d << " outside routing region " << region);
+      ++stats.packets;
+      stats.total_distance += manhattan(x, d);
+      if (p.dest == id) continue;  // already home; stays in the buffer
+    }
+    // Move packets that still need to travel into the transit queue.
+    auto& t = transit[static_cast<size_t>(s)];
+    auto keep = b.begin();
+    for (Packet& p : b) {
+      if (p.dest == id) {
+        *keep++ = p;
+      } else {
+        t.push_back(p);
+        ++in_flight;
+      }
+    }
+    b.erase(keep, b.end());
+  }
+
+  while (in_flight > 0) {
+    ++stats.steps;
+    // Each node forwards at most one packet per outgoing direction.
+    for (i64 s = 0; s < m; ++s) {
+      auto& t = transit[static_cast<size_t>(s)];
+      if (t.empty()) continue;
+      const Coord at = region.at_snake(s);
+      // Best candidate per direction: farthest remaining distance first.
+      std::array<int, kNumDirs> best;
+      best.fill(-1);
+      std::array<i64, kNumDirs> best_dist{};
+      for (size_t i = 0; i < t.size(); ++i) {
+        Dir dir;
+        const Coord dest = mesh.coord(t[i].dest);
+        MP_ASSERT(next_dir(at, dest, &dir), "arrived packet still in transit");
+        const i64 rem = manhattan(at, dest);
+        const auto di = static_cast<size_t>(dir);
+        if (best[di] < 0 || rem > best_dist[di]) {
+          best[di] = static_cast<int>(i);
+          best_dist[di] = rem;
+        }
+      }
+      // Commit the chosen moves (remove from higher index first).
+      std::array<int, kNumDirs> chosen = best;
+      std::sort(chosen.begin(), chosen.end(), std::greater<int>());
+      for (int idx : chosen) {
+        if (idx < 0) continue;
+        Packet p = t[static_cast<size_t>(idx)];
+        t.erase(t.begin() + idx);
+        Dir dir;
+        next_dir(at, mesh.coord(p.dest), &dir);
+        const Coord to = step_toward(at, dir);
+        MP_ASSERT(region.contains(to), "XY routing left the region");
+        incoming[static_cast<size_t>(region.snake_of(to))].push_back(p);
+      }
+    }
+    // Absorb arrivals: deliver or queue for the next cycle.
+    for (i64 s = 0; s < m; ++s) {
+      auto& in = incoming[static_cast<size_t>(s)];
+      if (in.empty()) continue;
+      const i32 id = mesh.node_id(region.at_snake(s));
+      auto& t = transit[static_cast<size_t>(s)];
+      for (Packet& p : in) {
+        if (p.dest == id) {
+          mesh.buf(id).push_back(p);
+          --in_flight;
+        } else {
+          t.push_back(p);
+        }
+      }
+      in.clear();
+      stats.max_queue =
+          std::max(stats.max_queue, static_cast<i64>(t.size()));
+    }
+  }
+  return stats;
+}
+
+}  // namespace meshpram

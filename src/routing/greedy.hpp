@@ -1,0 +1,29 @@
+// Cycle-accurate greedy XY (dimension-order) store-and-forward routing.
+//
+// Every packet first corrects its column (east/west), then its row
+// (north/south). Per machine step, every directed link carries at most one
+// packet; when several queued packets want the same outgoing link, the one
+// with the largest remaining distance goes first (farthest-first is the
+// classic priority that makes greedy routing optimal for permutations).
+// Queues are unbounded (store-and-forward with buffering at the nodes);
+// congestion and queueing delay are therefore emergent, which is exactly
+// what the (l1,l2)-routing benches measure against Theorem 2.
+#pragma once
+
+#include "mesh/machine.hpp"
+#include "mesh/region.hpp"
+
+namespace meshpram {
+
+struct RouteStats {
+  i64 steps = 0;          ///< parallel machine steps (cycles)
+  i64 max_queue = 0;      ///< peak per-node transit queue occupancy
+  i64 packets = 0;        ///< packets routed
+  i64 total_distance = 0; ///< sum of source-destination Manhattan distances
+};
+
+/// Routes every packet buffered in `region` to its Packet::dest node buffer.
+/// All destinations must lie inside `region`. Returns cycle-accurate stats.
+RouteStats route_greedy(Mesh& mesh, const Region& region);
+
+}  // namespace meshpram

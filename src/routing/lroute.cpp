@@ -1,0 +1,100 @@
+#include "routing/lroute.hpp"
+
+#include <algorithm>
+
+#include "routing/rank.hpp"
+#include "util/error.hpp"
+
+namespace meshpram {
+
+StagedRouteStats route_direct(Mesh& mesh, const Region& region) {
+  StagedRouteStats out;
+  const RouteStats rs = route_greedy(mesh, region);
+  out.route_steps = rs.steps;
+  out.max_queue = rs.max_queue;
+  out.steps = rs.steps;
+  return out;
+}
+
+StagedRouteStats route_sorted(Mesh& mesh, const Region& region,
+                              const SortOptions& opts) {
+  StagedRouteStats out;
+  for (i64 s = 0; s < region.size(); ++s) {
+    for (Packet& p : mesh.buf(mesh.node_id(region.at_snake(s)))) {
+      MP_REQUIRE(p.dest >= 0, "packet without destination");
+      p.key = static_cast<u64>(region.snake_of(mesh.coord(p.dest)));
+    }
+  }
+  out.sort_steps = sort_region(mesh, region, opts);
+  const RouteStats rs = route_greedy(mesh, region);
+  out.route_steps = rs.steps;
+  out.max_queue = rs.max_queue;
+  out.steps = out.sort_steps + out.route_steps;
+  return out;
+}
+
+StagedRouteStats route_two_stage(Mesh& mesh, const Region& region,
+                                 const std::vector<Region>& subs,
+                                 const SortOptions& opts) {
+  MP_REQUIRE(!subs.empty(), "tessellated routing needs subregions");
+  StagedRouteStats out;
+
+  // Map node -> subregion index for destination lookup.
+  std::vector<i32> sub_of(static_cast<size_t>(mesh.size()), -1);
+  for (size_t i = 0; i < subs.size(); ++i) {
+    const Region& sub = subs[i];
+    for (i64 s = 0; s < sub.size(); ++s) {
+      const i32 id = mesh.node_id(sub.at_snake(s));
+      MP_ASSERT(sub_of[static_cast<size_t>(id)] == -1,
+                "overlapping subregions in tessellated routing");
+      sub_of[static_cast<size_t>(id)] = static_cast<i32>(i);
+    }
+  }
+
+  // Key by destination subregion; remember the true destination.
+  for (i64 s = 0; s < region.size(); ++s) {
+    for (Packet& p : mesh.buf(mesh.node_id(region.at_snake(s)))) {
+      MP_REQUIRE(p.dest >= 0, "packet without destination");
+      const i32 sub = sub_of[static_cast<size_t>(p.dest)];
+      MP_REQUIRE(sub >= 0, "destination " << p.dest
+                                          << " not covered by a subregion");
+      p.key = static_cast<u64>(sub);
+      p.stash = p.dest;
+    }
+  }
+
+  // Sort by destination subregion and rank within it.
+  out.sort_steps = sort_region(mesh, region, opts);
+  out.rank_steps = rank_within_groups(mesh, region);
+
+  // Stage A: rank i goes to node (i mod m) of the destination subregion —
+  // the even spread that makes the second stage a (δ, l2)-problem.
+  for (i64 s = 0; s < region.size(); ++s) {
+    for (Packet& p : mesh.buf(mesh.node_id(region.at_snake(s)))) {
+      const Region& sub = subs[static_cast<size_t>(p.key)];
+      p.dest = mesh.node_at(sub, static_cast<i64>(p.rank) % sub.size());
+    }
+  }
+  const RouteStats stage_a = route_greedy(mesh, region);
+  out.max_queue = stage_a.max_queue;
+
+  // Stage B: all subregions finish in parallel; charge the max.
+  for (i64 s = 0; s < region.size(); ++s) {
+    for (Packet& p : mesh.buf(mesh.node_id(region.at_snake(s)))) {
+      p.dest = p.stash;
+      p.stash = -1;
+    }
+  }
+  ParallelCost stage_b;
+  for (const Region& sub : subs) {
+    const RouteStats rs = route_greedy(mesh, sub);
+    stage_b.observe(rs.steps);
+    out.max_queue = std::max(out.max_queue, rs.max_queue);
+  }
+
+  out.route_steps = stage_a.steps + stage_b.max();
+  out.steps = out.sort_steps + out.rank_steps + out.route_steps;
+  return out;
+}
+
+}  // namespace meshpram

@@ -1,0 +1,49 @@
+// The (l1,l2)-routing strategies of §2.
+//
+// General (l1,l2)-routing — each node sends at most l1 and receives at most
+// l2 packets — is served by sort-based routing: sort packets by destination
+// (which spreads the senders of any hot spot evenly over the mesh), then
+// greedy-route. This stands in for the [SK93] algorithm behind Theorem 2
+// (sqrt(l1*l2*n) + O(l1*sqrt(n)) steps); DESIGN.md §2.3.
+//
+// Tessellated (l1,l2,δ,m)-routing — when every m-node submesh receives at
+// most δ*m packets — is the paper's own 4-step algorithm: sort by destination
+// submesh, rank, send rank i to submesh node i mod m (balancing the load),
+// then finish inside each submesh in parallel. It beats the general strategy
+// when l1, δ ∈ o(l2), the regime the HMOS creates on purpose.
+#pragma once
+
+#include <vector>
+
+#include "mesh/machine.hpp"
+#include "routing/greedy.hpp"
+#include "routing/meshsort.hpp"
+
+namespace meshpram {
+
+struct StagedRouteStats {
+  i64 steps = 0;       ///< total charged steps (sort + rank + routes)
+  i64 sort_steps = 0;
+  i64 rank_steps = 0;
+  i64 route_steps = 0; ///< greedy cycles (max over parallel subregions where applicable)
+  i64 max_queue = 0;
+};
+
+/// Direct greedy routing of whatever is buffered in `region` (baseline).
+StagedRouteStats route_direct(Mesh& mesh, const Region& region);
+
+/// Sort-based (l1,l2)-routing: sort by destination snake position, then
+/// greedy-route.
+StagedRouteStats route_sorted(Mesh& mesh, const Region& region,
+                              const SortOptions& opts = {});
+
+/// The paper's (l1,l2,δ,m)-routing over the given tessellation of `region`.
+/// `subs` must be disjoint subrectangles of `region` covering every packet
+/// destination. Stage A routes each packet to a balanced position inside its
+/// destination subregion; stage B finishes inside all subregions in parallel
+/// (charged the max cost).
+StagedRouteStats route_two_stage(Mesh& mesh, const Region& region,
+                                 const std::vector<Region>& subs,
+                                 const SortOptions& opts = {});
+
+}  // namespace meshpram

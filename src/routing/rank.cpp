@@ -1,0 +1,118 @@
+#include "routing/rank.hpp"
+
+#include <unordered_map>
+
+#include "routing/scan.hpp"
+#include "util/error.hpp"
+
+namespace meshpram {
+
+namespace {
+
+/// Per-node summary for the run-length scan: the key and length of the
+/// node's trailing equal-key run, plus whether the whole node is one run
+/// (needed for associativity across empty/uniform nodes).
+struct RunSummary {
+  bool empty = true;
+  u64 first_key = 0;
+  u64 last_key = 0;
+  i64 trail_len = 0;  // length of the trailing run (key == last_key)
+  bool all_same = true;
+};
+
+RunSummary summarize_node(const std::vector<Packet>& b) {
+  RunSummary s;
+  if (b.empty()) return s;
+  s.empty = false;
+  s.first_key = b.front().key;
+  s.last_key = b.back().key;
+  s.all_same = true;
+  s.trail_len = 0;
+  for (size_t i = b.size(); i > 0; --i) {
+    if (b[i - 1].key == s.last_key) {
+      ++s.trail_len;
+    } else {
+      break;
+    }
+  }
+  for (const Packet& p : b) {
+    if (p.key != s.first_key) {
+      s.all_same = false;
+      break;
+    }
+  }
+  return s;
+}
+
+RunSummary combine(const RunSummary& a, const RunSummary& b) {
+  if (a.empty) return b;
+  if (b.empty) return a;
+  RunSummary r;
+  r.empty = false;
+  r.first_key = a.first_key;
+  r.last_key = b.last_key;
+  if (b.all_same && b.first_key == a.last_key) {
+    r.trail_len = a.trail_len + b.trail_len;
+    r.all_same = a.all_same;
+  } else {
+    r.trail_len = b.trail_len;
+    r.all_same = false;
+  }
+  return r;
+}
+
+}  // namespace
+
+i64 rank_within_groups(Mesh& mesh, const Region& region) {
+  // Gather per-node summaries in snake order.
+  std::vector<RunSummary> vals;
+  vals.reserve(static_cast<size_t>(region.size()));
+  u64 prev_key = 0;
+  bool have_prev = false;
+  for (i64 s = 0; s < region.size(); ++s) {
+    const auto& b = mesh.buf(mesh.node_id(region.at_snake(s)));
+    for (const Packet& p : b) {
+      MP_ASSERT(!have_prev || prev_key <= p.key,
+                "rank_within_groups requires a key-sorted region");
+      prev_key = p.key;
+      have_prev = true;
+    }
+    vals.push_back(summarize_node(b));
+  }
+
+  // RunSummary is ~4 machine words on the wire.
+  const auto scan = scan_snake<RunSummary>(region, vals, RunSummary{},
+                                           combine, /*words=*/4);
+
+  for (i64 s = 0; s < region.size(); ++s) {
+    auto& b = mesh.buf(mesh.node_id(region.at_snake(s)));
+    if (b.empty()) continue;
+    const RunSummary& pred = scan.prefix[static_cast<size_t>(s)];
+    i64 run = (!pred.empty && pred.last_key == b.front().key)
+                  ? pred.trail_len
+                  : 0;
+    u64 cur = b.front().key;
+    for (Packet& p : b) {
+      if (p.key != cur) {
+        cur = p.key;
+        run = 0;
+      }
+      p.rank = static_cast<u64>(run++);
+    }
+  }
+  return scan.steps;
+}
+
+i64 max_group_size(const Mesh& mesh, const Region& region) {
+  std::unordered_map<u64, i64> counts;
+  for (i64 s = 0; s < region.size(); ++s) {
+    for (const Packet& p : mesh.buf(mesh.node_id(region.at_snake(s)))) {
+      ++counts[p.key];
+    }
+  }
+  i64 best = 0;
+  for (const auto& [k, v] : counts) best = std::max(best, v);
+  return best;
+}
+
+}  // namespace meshpram

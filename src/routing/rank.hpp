@@ -1,0 +1,26 @@
+// Ranking packets within equal-key groups after a sort.
+//
+// Both CULLING and every stage of the access protocol sort packets by a
+// destination key (a page / submesh id) and then need each packet's rank
+// within its key group (§2 step 2, §3.3). With the region snake-sorted by
+// key, groups are contiguous; a node resolves the ranks of all its packets
+// locally except for its leading run, which needs the length of the
+// equal-key run immediately preceding the node. That quantity comes from one
+// associative scan over small per-node summaries.
+#pragma once
+
+#include "mesh/machine.hpp"
+#include "mesh/region.hpp"
+
+namespace meshpram {
+
+/// Assigns Packet::rank = index of the packet within its Packet::key group,
+/// for all packets in the (snake-sorted by key) region. Returns steps
+/// charged. Throws InternalError if the region is not sorted.
+i64 rank_within_groups(Mesh& mesh, const Region& region);
+
+/// Count of packets in the largest key group of the region (validation /
+/// congestion measurement helper; free of charge).
+i64 max_group_size(const Mesh& mesh, const Region& region);
+
+}  // namespace meshpram

@@ -1,0 +1,48 @@
+// Parallel prefix (scan) over the snake order of a submesh.
+//
+// Standard mesh prefix: (1) each node folds its local value, (2) a pipeline
+// pass along each row accumulates row prefixes (cols steps), (3) a pipeline
+// down the last column accumulates row offsets (rows steps), (4) a pass back
+// along each row delivers the offsets (cols steps). Total
+// (2*cols + rows) * words steps for an associative combine whose values fit
+// in `words` machine words.
+//
+// Because the combine is associative, the parallel algorithm's result equals
+// the sequential fold; we compute it directly and charge the parallel cost.
+#pragma once
+
+#include <vector>
+
+#include "mesh/region.hpp"
+#include "util/error.hpp"
+
+namespace meshpram {
+
+template <class T>
+struct ScanResult {
+  /// prefix[s] = fold of values at snake positions [0, s) — exclusive prefix.
+  std::vector<T> prefix;
+  i64 steps = 0;
+};
+
+/// Exclusive prefix scan of `values` (one per snake position of `region`)
+/// under the associative `combine`, charging the mesh-parallel cost.
+template <class T, class Combine>
+ScanResult<T> scan_snake(const Region& region, const std::vector<T>& values,
+                         T identity, Combine combine, i64 words = 1) {
+  MP_REQUIRE(static_cast<i64>(values.size()) == region.size(),
+             "scan over " << values.size() << " values on region of size "
+                          << region.size());
+  MP_REQUIRE(words >= 1, "scan word size " << words);
+  ScanResult<T> out;
+  out.prefix.reserve(values.size());
+  T acc = identity;
+  for (const T& v : values) {
+    out.prefix.push_back(acc);
+    acc = combine(acc, v);
+  }
+  out.steps = words * (2 * region.cols() + region.rows());
+  return out;
+}
+
+}  // namespace meshpram

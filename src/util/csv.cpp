@@ -1,0 +1,35 @@
+#include "util/csv.hpp"
+
+#include "util/error.hpp"
+
+namespace meshpram {
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& headers)
+    : out_(path), arity_(headers.size()) {
+  MP_REQUIRE(out_.good(), "cannot open CSV file " << path);
+  write_row(headers);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  MP_REQUIRE(cells.size() == arity_,
+             "CSV row arity " << cells.size() << " != " << arity_);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << csv_escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace meshpram

@@ -1,0 +1,27 @@
+// CSV emission for bench results, so experiment series can be re-plotted
+// without re-running the simulations.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace meshpram {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws ConfigError on
+  /// I/O failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& headers);
+
+  void write_row(const std::vector<std::string>& cells);
+
+ private:
+  std::ofstream out_;
+  size_t arity_;
+};
+
+/// Escapes a CSV field (quotes fields containing separators/quotes/newlines).
+std::string csv_escape(const std::string& field);
+
+}  // namespace meshpram

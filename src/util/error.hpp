@@ -1,0 +1,63 @@
+// Error handling primitives shared by all meshpram modules.
+//
+// Contract-style checks: MP_REQUIRE validates caller-supplied arguments and
+// configuration (throws meshpram::ConfigError), MP_ASSERT checks internal
+// invariants (throws meshpram::InternalError). Both are always on: the
+// simulator's value is its trustworthiness, and the checks are cheap relative
+// to the simulated data movement.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace meshpram {
+
+/// Invalid user-facing configuration or argument (bad mesh size, infeasible
+/// HMOS parameters, non-prime-power q, ...).
+class ConfigError : public std::invalid_argument {
+ public:
+  explicit ConfigError(const std::string& what) : std::invalid_argument(what) {}
+};
+
+/// Broken internal invariant; indicates a bug in meshpram itself.
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+template <class Err>
+[[noreturn]] inline void throw_check_failure(const char* kind, const char* expr,
+                                             const char* file, int line,
+                                             const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Err(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace meshpram
+
+#define MP_REQUIRE(cond, msg)                                             \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream mp_os_;                                          \
+      mp_os_ << msg; /* NOLINT */                                         \
+      ::meshpram::detail::throw_check_failure<::meshpram::ConfigError>(   \
+          "requirement", #cond, __FILE__, __LINE__, mp_os_.str());        \
+    }                                                                     \
+  } while (0)
+
+#define MP_ASSERT(cond, msg)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream mp_os_;                                          \
+      mp_os_ << msg; /* NOLINT */                                         \
+      ::meshpram::detail::throw_check_failure<::meshpram::InternalError>( \
+          "invariant", #cond, __FILE__, __LINE__, mp_os_.str());          \
+    }                                                                     \
+  } while (0)

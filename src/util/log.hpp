@@ -1,0 +1,32 @@
+// Tiny leveled logger. Default level is Warn so library code stays quiet in
+// tests/benches; examples raise it to Info to narrate what the simulator does.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace meshpram {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+void log_message(LogLevel level, const std::string& msg);
+
+}  // namespace meshpram
+
+#define MP_LOG(level, msg)                                      \
+  do {                                                          \
+    if (static_cast<int>(level) >=                              \
+        static_cast<int>(::meshpram::log_level())) {            \
+      std::ostringstream mp_log_os_;                            \
+      mp_log_os_ << msg; /* NOLINT */                           \
+      ::meshpram::log_message(level, mp_log_os_.str());         \
+    }                                                           \
+  } while (0)
+
+#define MP_DEBUG(msg) MP_LOG(::meshpram::LogLevel::Debug, msg)
+#define MP_INFO(msg) MP_LOG(::meshpram::LogLevel::Info, msg)
+#define MP_WARN(msg) MP_LOG(::meshpram::LogLevel::Warn, msg)
+#define MP_ERROR(msg) MP_LOG(::meshpram::LogLevel::Error, msg)

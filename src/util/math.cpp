@@ -1,0 +1,73 @@
+#include "util/math.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace meshpram {
+
+i64 ipow(i64 q, int e) {
+  MP_REQUIRE(q >= 0 && e >= 0, "ipow: q=" << q << " e=" << e);
+  i64 r = 1;
+  for (int i = 0; i < e; ++i) {
+    MP_ASSERT(q == 0 || r <= std::numeric_limits<i64>::max() / q,
+              "ipow overflow: " << q << '^' << e);
+    r *= q;
+  }
+  return r;
+}
+
+i64 isqrt(i64 x) {
+  MP_REQUIRE(x >= 0, "isqrt of negative " << x);
+  if (x < 2) return x;
+  i64 r = static_cast<i64>(std::sqrt(static_cast<double>(x)));
+  while (r > 0 && r > x / r) --r;  // r^2 > x, via overflow-safe division
+  // Overflow-safe increment check: (r+1)^2 <= x  <=>  r+1 <= x/(r+1).
+  while (r + 1 <= x / (r + 1)) ++r;
+  return r;
+}
+
+int ilog(i64 b, i64 x) {
+  MP_REQUIRE(b >= 2 && x >= 1, "ilog: b=" << b << " x=" << x);
+  int e = 0;
+  i64 p = 1;
+  while (p <= x / b) {
+    p *= b;
+    ++e;
+  }
+  return e;
+}
+
+bool is_prime(i64 p) {
+  if (p < 2) return false;
+  for (i64 d = 2; d * d <= p; ++d) {
+    if (p % d == 0) return false;
+  }
+  return true;
+}
+
+std::pair<i64, int> prime_power_decompose(i64 q) {
+  MP_REQUIRE(q >= 2, "prime power must be >= 2, got " << q);
+  for (i64 p = 2; p <= q; ++p) {
+    if (!is_prime(p)) continue;
+    if (q % p != 0) continue;
+    i64 r = q;
+    int e = 0;
+    while (r % p == 0) {
+      r /= p;
+      ++e;
+    }
+    MP_REQUIRE(r == 1, q << " is not a prime power (divisible by " << p
+                         << " but not a power of it)");
+    return {p, e};
+  }
+  throw ConfigError("unreachable: no prime factor found");
+}
+
+i64 bibd_input_count(i64 q, int s) {
+  MP_REQUIRE(q >= 2 && s >= 1, "bibd_input_count: q=" << q << " s=" << s);
+  return ipow(q, s - 1) * ((ipow(q, s) - 1) / (q - 1));
+}
+
+}  // namespace meshpram

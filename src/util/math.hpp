@@ -1,0 +1,41 @@
+// Exact integer math helpers used throughout the HMOS parameter calculations.
+//
+// All quantities in the paper (module counts m_i = q^{d_i}, BIBD sizes
+// f(d) = q^{d-1}(q^d-1)/(q-1), tessellation sizes) are exact integers; these
+// helpers keep the arithmetic in 64 bits with overflow checks instead of
+// drifting through doubles.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+namespace meshpram {
+
+using i32 = std::int32_t;
+using u32 = std::uint32_t;
+using i64 = std::int64_t;
+using u64 = std::uint64_t;
+
+/// q^e with overflow detection (throws InternalError on overflow).
+i64 ipow(i64 q, int e);
+
+/// Floor of the square root of x >= 0.
+i64 isqrt(i64 x);
+
+/// Ceiling division for non-negative a, positive b.
+constexpr i64 ceil_div(i64 a, i64 b) { return (a + b - 1) / b; }
+
+/// Floor of log base b of x (x >= 1, b >= 2).
+int ilog(i64 b, i64 x);
+
+/// True if p is prime (trial division; inputs are tiny field orders).
+bool is_prime(i64 p);
+
+/// Decomposes q = p^e with p prime, e >= 1. Returns {p, e}; throws ConfigError
+/// if q is not a prime power >= 2.
+std::pair<i64, int> prime_power_decompose(i64 q);
+
+/// f(s) = q^{s-1} (q^s - 1)/(q - 1): number of inputs of a (q^s, q)-BIBD.
+i64 bibd_input_count(i64 q, int s);
+
+}  // namespace meshpram

@@ -1,0 +1,72 @@
+#include "util/rng.hpp"
+
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace meshpram {
+
+u64 splitmix64(u64& state) {
+  u64 z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+constexpr u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(u64 seed) {
+  u64 sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+Rng::result_type Rng::operator()() {
+  const u64 result = rotl(s_[1] * 5, 7) * 9;
+  const u64 t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+u64 Rng::below(u64 bound) {
+  MP_REQUIRE(bound > 0, "Rng::below(0)");
+  // Unbiased: reject values in the truncated final block.
+  const u64 limit = max() - max() % bound;
+  u64 v;
+  do {
+    v = (*this)();
+  } while (v >= limit);
+  return v % bound;
+}
+
+i64 Rng::range(i64 lo, i64 hi) {
+  MP_REQUIRE(lo <= hi, "Rng::range(" << lo << ", " << hi << ")");
+  return lo + static_cast<i64>(below(static_cast<u64>(hi - lo) + 1));
+}
+
+double Rng::uniform() {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+std::vector<i64> Rng::sample(i64 n, i64 k) {
+  MP_REQUIRE(0 <= k && k <= n, "Rng::sample(n=" << n << ", k=" << k << ")");
+  // Floyd's algorithm: k iterations, O(k) memory.
+  std::unordered_set<i64> chosen;
+  std::vector<i64> out;
+  out.reserve(static_cast<size_t>(k));
+  for (i64 j = n - k; j < n; ++j) {
+    i64 t = range(0, j);
+    if (chosen.contains(t)) t = j;
+    chosen.insert(t);
+    out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace meshpram

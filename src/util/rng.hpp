@@ -1,0 +1,56 @@
+// Deterministic pseudo-random number generation.
+//
+// Every randomized workload generator in the benches and tests takes an
+// explicit seed, so all experiments are exactly reproducible. We implement
+// xoshiro256** (Blackman & Vigna) seeded through splitmix64, rather than
+// depending on the unspecified std::mt19937 stream across standard libraries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/math.hpp"
+
+namespace meshpram {
+
+/// splitmix64 step: used for seeding and as a cheap mixing function.
+u64 splitmix64(u64& state);
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = u64;
+
+  explicit Rng(u64 seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()();
+
+  /// Uniform integer in [0, bound) via rejection-free Lemire reduction
+  /// (bias is negligible for bound << 2^64; we additionally reject to be exact).
+  u64 below(u64 bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  i64 range(i64 lo, i64 hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Fisher-Yates shuffle.
+  template <class T>
+  void shuffle(std::vector<T>& v) {
+    for (u64 i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[below(i)]);
+    }
+  }
+
+  /// Random sample of k distinct values from [0, n) (k <= n).
+  std::vector<i64> sample(i64 n, i64 k);
+
+ private:
+  u64 s_[4];
+};
+
+}  // namespace meshpram

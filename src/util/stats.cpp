@@ -1,0 +1,70 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace meshpram {
+
+Summary summarize(const std::vector<double>& xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.min = *std::min_element(xs.begin(), xs.end());
+  s.max = *std::max_element(xs.begin(), xs.end());
+  double sum = 0;
+  for (double x : xs) sum += x;
+  s.mean = sum / static_cast<double>(xs.size());
+  double ss = 0;
+  for (double x : xs) ss += (x - s.mean) * (x - s.mean);
+  s.stddev = xs.size() > 1
+                 ? std::sqrt(ss / static_cast<double>(xs.size() - 1))
+                 : 0.0;
+  return s;
+}
+
+LinearFit fit_linear(const std::vector<double>& xs,
+                     const std::vector<double>& ys) {
+  MP_REQUIRE(xs.size() == ys.size() && xs.size() >= 2,
+             "fit_linear needs >= 2 paired points, got " << xs.size() << '/'
+                                                         << ys.size());
+  const double n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double den = n * sxx - sx * sx;
+  MP_REQUIRE(den != 0, "fit_linear: degenerate x values");
+  LinearFit f;
+  f.slope = (n * sxy - sx * sy) / den;
+  f.intercept = (sy - f.slope * sx) / n;
+  const double sst = syy - sy * sy / n;
+  double sse = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double e = ys[i] - (f.intercept + f.slope * xs[i]);
+    sse += e * e;
+  }
+  f.r2 = sst > 0 ? 1.0 - sse / sst : 1.0;
+  return f;
+}
+
+LinearFit fit_power_law(const std::vector<double>& ns,
+                        const std::vector<double>& ts) {
+  MP_REQUIRE(ns.size() == ts.size(), "fit_power_law: size mismatch");
+  std::vector<double> lx, ly;
+  lx.reserve(ns.size());
+  ly.reserve(ts.size());
+  for (size_t i = 0; i < ns.size(); ++i) {
+    MP_REQUIRE(ns[i] > 0 && ts[i] > 0, "fit_power_law needs positive data");
+    lx.push_back(std::log(ns[i]));
+    ly.push_back(std::log(ts[i]));
+  }
+  return fit_linear(lx, ly);
+}
+
+}  // namespace meshpram

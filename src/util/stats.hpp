@@ -1,0 +1,38 @@
+// Descriptive statistics and scaling-law fits for the experiment harness.
+//
+// The paper's theorems predict power laws T(n) ~ c * n^e; the benches fit e by
+// least squares on (log n, log T) and report it next to the predicted exponent.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/math.hpp"
+
+namespace meshpram {
+
+struct Summary {
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double max = 0;
+  size_t count = 0;
+};
+
+Summary summarize(const std::vector<double>& xs);
+
+/// Least-squares fit y = a + b*x. Returns {a, b}. Requires >= 2 points.
+struct LinearFit {
+  double intercept = 0;
+  double slope = 0;
+  double r2 = 0;
+};
+LinearFit fit_linear(const std::vector<double>& xs,
+                     const std::vector<double>& ys);
+
+/// Fits T = c * n^e through (n_i, T_i), all positive: log-log linear fit.
+/// Returns {log c, e}.
+LinearFit fit_power_law(const std::vector<double>& ns,
+                        const std::vector<double>& ts);
+
+}  // namespace meshpram

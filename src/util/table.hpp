@@ -1,0 +1,56 @@
+// Minimal ASCII table printer used by the bench binaries to emit the
+// paper-style result tables recorded in EXPERIMENTS.md.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace meshpram {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats each cell with operator<<.
+  template <class... Ts>
+  void add(const Ts&... cells) {
+    add_row({format_cell(cells)...});
+  }
+
+  void print(std::ostream& os) const;
+
+  size_t rows() const { return rows_.size(); }
+
+ private:
+  template <class T>
+  static std::string format_cell(const T& v);
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string format_double(double v, int precision = 3);
+
+}  // namespace meshpram
+
+#include <sstream>
+#include <type_traits>
+
+namespace meshpram {
+
+template <class T>
+std::string Table::format_cell(const T& v) {
+  if constexpr (std::is_same_v<T, double> || std::is_same_v<T, float>) {
+    return format_double(static_cast<double>(v));
+  } else {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  }
+}
+
+}  // namespace meshpram

@@ -1,0 +1,190 @@
+// Tests for the extension layer: CRCW combining frontend and the additional
+// PRAM algorithms (odd-even transposition sort, skewed matrix-vector).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "pram/algorithms.hpp"
+#include "pram/backend.hpp"
+#include "pram/combining.hpp"
+#include "pram/mesh_backend.hpp"
+#include "pram/program.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace meshpram {
+namespace {
+
+SimConfig tiny_config() {
+  SimConfig cfg;
+  cfg.mesh_rows = 8;
+  cfg.mesh_cols = 8;
+  cfg.num_vars = 1080;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// CombiningBackend (CRCW -> EREW).
+// ---------------------------------------------------------------------------
+
+TEST(Combining, ConcurrentReadsAllSeeTheValue) {
+  IdealBackend inner(8, 100);
+  CombiningBackend crcw(inner);
+  crcw.step({{5, Op::Write, 42}});
+  const auto r = crcw.step({{5, Op::Read, 0},
+                            {5, Op::Read, 0},
+                            {5, Op::Read, 0},
+                            {7, Op::Read, 0}});
+  EXPECT_EQ(r[0], 42);
+  EXPECT_EQ(r[1], 42);
+  EXPECT_EQ(r[2], 42);
+  EXPECT_EQ(r[3], 0);
+  EXPECT_GE(crcw.combined_groups(), 1);
+}
+
+TEST(Combining, PriorityWriteLowestProcessorWins) {
+  IdealBackend inner(8, 100);
+  CombiningBackend crcw(inner);
+  crcw.step({{9, Op::Write, 111}, {9, Op::Write, 222}, {9, Op::Write, 333}});
+  const auto r = crcw.step({{9, Op::Read, 0}});
+  EXPECT_EQ(r[0], 111);  // processor 0's write wins
+}
+
+TEST(Combining, ReadersSeePreStepValueWhenAlsoWritten) {
+  IdealBackend inner(8, 100);
+  CombiningBackend crcw(inner);
+  crcw.step({{3, Op::Write, 10}});
+  const auto r = crcw.step({{3, Op::Read, 0}, {3, Op::Write, 20}});
+  EXPECT_EQ(r[0], 10);  // CRCW semantics: reads before writes
+  EXPECT_EQ(crcw.step({{3, Op::Read, 0}})[0], 20);
+}
+
+TEST(Combining, WorksOnTheMeshBackendToo) {
+  MeshBackend inner(tiny_config());
+  CombiningBackend crcw(inner);
+  crcw.step({{1, Op::Write, 5}, {1, Op::Write, 6}, {2, Op::Write, 7}});
+  const auto r = crcw.step(
+      {{1, Op::Read, 0}, {1, Op::Read, 0}, {2, Op::Read, 0}});
+  EXPECT_EQ(r[0], 5);
+  EXPECT_EQ(r[1], 5);
+  EXPECT_EQ(r[2], 7);
+  EXPECT_GT(crcw.total_mesh_steps(), 0);
+}
+
+TEST(Combining, PureErewPassesThroughUnchanged) {
+  IdealBackend a(8, 100), b(8, 100);
+  CombiningBackend crcw(a);
+  const std::vector<AccessRequest> reqs{
+      {1, Op::Write, 10}, {2, Op::Write, 20}, {3, Op::Read, 0}};
+  crcw.step(reqs);
+  b.step(reqs);
+  EXPECT_EQ(crcw.step({{1, Op::Read, 0}})[0], b.step({{1, Op::Read, 0}})[0]);
+}
+
+// ---------------------------------------------------------------------------
+// OddEvenSortProgram.
+// ---------------------------------------------------------------------------
+
+TEST(OddEvenSort, SortsOnIdealBackend) {
+  Rng rng(21);
+  for (i64 n : {1, 2, 3, 8, 17, 40}) {
+    std::vector<i64> input(static_cast<size_t>(n));
+    for (auto& x : input) x = rng.range(-100, 100);
+    auto want = input;
+    std::sort(want.begin(), want.end());
+    IdealBackend backend(n, n + 4);
+    OddEvenSortProgram prog(input);
+    run_program(prog, backend);
+    EXPECT_EQ(prog.result(), want) << "n=" << n;
+  }
+}
+
+TEST(OddEvenSort, SortsOnMeshBackend) {
+  Rng rng(22);
+  std::vector<i64> input(48);
+  for (auto& x : input) x = rng.range(0, 999);
+  auto want = input;
+  std::sort(want.begin(), want.end());
+  MeshBackend backend(tiny_config());
+  OddEvenSortProgram prog(input);
+  run_program(prog, backend);
+  EXPECT_EQ(prog.result(), want);
+  EXPECT_GT(backend.total_mesh_steps(), 0);
+}
+
+TEST(OddEvenSort, AlreadySortedAndReverse) {
+  for (bool reverse : {false, true}) {
+    std::vector<i64> input(20);
+    for (i64 i = 0; i < 20; ++i) {
+      input[static_cast<size_t>(i)] = reverse ? 20 - i : i;
+    }
+    IdealBackend backend(20, 24);
+    OddEvenSortProgram prog(input);
+    run_program(prog, backend);
+    auto want = input;
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(prog.result(), want);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MatVecProgram.
+// ---------------------------------------------------------------------------
+
+TEST(MatVec, MatchesReferenceOnIdealBackend) {
+  Rng rng(23);
+  for (i64 s : {1, 2, 5, 12}) {
+    std::vector<i64> a(static_cast<size_t>(s * s));
+    std::vector<i64> x(static_cast<size_t>(s));
+    for (auto& v : a) v = rng.range(-9, 9);
+    for (auto& v : x) v = rng.range(-9, 9);
+    IdealBackend backend(s, s * s + 2 * s + 4);
+    MatVecProgram prog(s);
+    prog.preload(backend, a, x);
+    run_program(prog, backend);
+    for (i64 i = 0; i < s; ++i) {
+      i64 want = 0;
+      for (i64 j = 0; j < s; ++j) {
+        want += a[static_cast<size_t>(i * s + j)] * x[static_cast<size_t>(j)];
+      }
+      EXPECT_EQ(prog.result()[static_cast<size_t>(i)], want)
+          << "s=" << s << " row " << i;
+    }
+  }
+}
+
+TEST(MatVec, MeshBackendMatchesIdeal) {
+  const i64 s = 8;
+  Rng rng(24);
+  std::vector<i64> a(static_cast<size_t>(s * s));
+  std::vector<i64> x(static_cast<size_t>(s));
+  for (auto& v : a) v = rng.range(-5, 5);
+  for (auto& v : x) v = rng.range(-5, 5);
+
+  IdealBackend ideal(s, 100);
+  MatVecProgram p1(s);
+  p1.preload(ideal, a, x);
+  run_program(p1, ideal);
+
+  MeshBackend mesh(tiny_config());
+  MatVecProgram p2(s);
+  p2.preload(mesh, a, x);
+  run_program(p2, mesh);
+
+  EXPECT_EQ(p1.result(), p2.result());
+}
+
+TEST(MatVec, RejectsBadShapes) {
+  IdealBackend backend(4, 100);
+  MatVecProgram prog(4);
+  EXPECT_THROW(prog.preload(backend, std::vector<i64>(15, 0),
+                            std::vector<i64>(4, 0)),
+               ConfigError);
+  EXPECT_THROW(prog.preload(backend, std::vector<i64>(16, 0),
+                            std::vector<i64>(3, 0)),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace meshpram

@@ -1,0 +1,259 @@
+// Tests for the PRAM frontend (backends, programs, classic algorithms) and
+// the baseline schemes (single copy, direct-all-copies, MPC contention).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "pram/algorithms.hpp"
+#include "pram/backend.hpp"
+#include "pram/baselines/direct.hpp"
+#include "pram/baselines/mpc.hpp"
+#include "pram/baselines/single_copy.hpp"
+#include "pram/mesh_backend.hpp"
+#include "pram/program.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace meshpram {
+namespace {
+
+SimConfig tiny_config() {
+  SimConfig cfg;
+  cfg.mesh_rows = 8;
+  cfg.mesh_cols = 8;
+  cfg.num_vars = 1080;
+  return cfg;
+}
+
+TEST(IdealBackend, ReadsSeePreviousStepAndWritesLand) {
+  IdealBackend b(4, 100);
+  b.step({{0, Op::Write, 5}, {1, Op::Write, 6}});
+  const auto r = b.step({{0, Op::Read, 0}, {1, Op::Read, 0}, {2, Op::Read, 0}});
+  EXPECT_EQ(r[0], 5);
+  EXPECT_EQ(r[1], 6);
+  EXPECT_EQ(r[2], 0);
+  EXPECT_EQ(b.pram_steps(), 2);
+  EXPECT_EQ(b.total_mesh_steps(), 0);
+}
+
+TEST(IdealBackend, ReadAndWriteOfSameVarInOneStepIsErewViolation) {
+  IdealBackend b(4, 100);
+  EXPECT_THROW(b.step({{7, Op::Write, 1}, {7, Op::Read, 0}}), ConfigError);
+}
+
+TEST(IdealBackend, RejectsBadInputs) {
+  IdealBackend b(2, 10);
+  EXPECT_THROW(b.step({{0, Op::Read, 0}, {1, Op::Read, 0}, {2, Op::Read, 0}}),
+               ConfigError);
+  EXPECT_THROW(b.step({{10, Op::Read, 0}}), ConfigError);
+  EXPECT_THROW(IdealBackend(0, 10), ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// Programs on both backends.
+// ---------------------------------------------------------------------------
+
+TEST(PrefixSum, MatchesReferenceOnIdealBackend) {
+  Rng rng(1);
+  for (i64 n : {1, 2, 3, 7, 16, 40, 64}) {
+    std::vector<i64> input(static_cast<size_t>(n));
+    for (auto& x : input) x = rng.range(-50, 50);
+    IdealBackend backend(n, 2 * n + 4);
+    PrefixSumProgram prog(input);
+    run_program(prog, backend);
+    EXPECT_EQ(prog.result(), PrefixSumProgram::expected(input)) << "n=" << n;
+  }
+}
+
+TEST(PrefixSum, MeshBackendMatchesIdealExactly) {
+  Rng rng(2);
+  std::vector<i64> input(64);
+  for (auto& x : input) x = rng.range(0, 1000);
+
+  IdealBackend ideal(64, 1080);
+  PrefixSumProgram p1(input);
+  const i64 steps1 = run_program(p1, ideal);
+
+  MeshBackend mesh(tiny_config());
+  PrefixSumProgram p2(input);
+  const i64 steps2 = run_program(p2, mesh);
+
+  EXPECT_EQ(p1.result(), p2.result());
+  EXPECT_EQ(steps1, steps2);  // same program schedule
+  EXPECT_GT(mesh.total_mesh_steps(), 0);
+  EXPECT_EQ(mesh.pram_steps(), steps2);
+}
+
+TEST(ListRanking, MatchesReferenceOnIdealBackend) {
+  Rng rng(3);
+  for (i64 n : {1, 2, 5, 16, 33}) {
+    // Random list: permute nodes into a chain.
+    std::vector<i64> order(static_cast<size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order);
+    std::vector<i64> succ(static_cast<size_t>(n), -1);
+    for (i64 i = 0; i + 1 < n; ++i) {
+      succ[static_cast<size_t>(order[static_cast<size_t>(i)])] =
+          order[static_cast<size_t>(i + 1)];
+    }
+    IdealBackend backend(n, 2 * n + 4);
+    ListRankingProgram prog(succ);
+    run_program(prog, backend);
+    EXPECT_EQ(prog.ranks(), ListRankingProgram::expected(succ)) << "n=" << n;
+  }
+}
+
+TEST(ListRanking, MeshBackendMatchesIdeal) {
+  Rng rng(4);
+  const i64 n = 48;
+  std::vector<i64> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  std::vector<i64> succ(static_cast<size_t>(n), -1);
+  for (i64 i = 0; i + 1 < n; ++i) {
+    succ[static_cast<size_t>(order[static_cast<size_t>(i)])] =
+        order[static_cast<size_t>(i + 1)];
+  }
+  IdealBackend ideal(64, 1080);
+  ListRankingProgram p1(succ);
+  run_program(p1, ideal);
+  MeshBackend mesh(tiny_config());
+  ListRankingProgram p2(succ);
+  run_program(p2, mesh);
+  EXPECT_EQ(p1.ranks(), p2.ranks());
+  EXPECT_EQ(p1.ranks(), ListRankingProgram::expected(succ));
+}
+
+TEST(Programs, RejectTooManyProcessors) {
+  IdealBackend small(4, 100);
+  PrefixSumProgram prog(std::vector<i64>(10, 1));
+  EXPECT_THROW(run_program(prog, small), ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// Baselines.
+// ---------------------------------------------------------------------------
+
+TEST(SingleCopy, RoundTripAndConsistency) {
+  for (auto placement :
+       {SingleCopyPlacement::Modular, SingleCopyPlacement::Hashed}) {
+    SingleCopySim sim(8, 8, 1024, placement);
+    std::vector<AccessRequest> writes(64), reads(64);
+    for (i64 i = 0; i < 64; ++i) {
+      writes[static_cast<size_t>(i)] = {i * 13 % 1024, Op::Write, 7 * i};
+      reads[static_cast<size_t>(i)] = {i * 13 % 1024, Op::Read, 0};
+    }
+    sim.step(writes);
+    SingleCopyStats st;
+    const auto got = sim.step(reads, &st);
+    for (i64 i = 0; i < 64; ++i) {
+      EXPECT_EQ(got[static_cast<size_t>(i)], 7 * i);
+    }
+    EXPECT_GT(st.total_steps, 0);
+    EXPECT_GE(st.service_steps, 1);
+  }
+}
+
+TEST(SingleCopy, AdversarialModularPatternSerializes) {
+  SingleCopySim sim(8, 8, 4096, SingleCopyPlacement::Modular);
+  // All 64 processors request variables congruent mod 64: one home node.
+  std::vector<AccessRequest> reqs(64);
+  for (i64 i = 0; i < 64; ++i) {
+    reqs[static_cast<size_t>(i)] = {5 + 64 * i, Op::Read, 0};
+  }
+  SingleCopyStats st;
+  sim.step(reqs, &st);
+  EXPECT_EQ(st.service_steps, 64);  // full serialization at the hot module
+}
+
+TEST(SingleCopy, AdversaryBeatsHashedPlacementToo) {
+  // The adversary knows the hash: pick 64 variables with the same home.
+  SingleCopySim sim(8, 8, 1 << 16, SingleCopyPlacement::Hashed, 99);
+  std::vector<AccessRequest> reqs;
+  const i32 target = sim.home(0);
+  for (i64 v = 0; v < (1 << 16) && reqs.size() < 64; ++v) {
+    if (sim.home(v) == target) reqs.push_back({v, Op::Read, 0});
+  }
+  ASSERT_EQ(reqs.size(), 64u) << "not enough colliding variables";
+  SingleCopyStats st;
+  reqs.resize(64);
+  sim.step(reqs, &st);
+  EXPECT_EQ(st.service_steps, 64);
+}
+
+TEST(SingleCopy, HashedSpreadsRandomLoad) {
+  SingleCopySim sim(8, 8, 1 << 16, SingleCopyPlacement::Hashed);
+  Rng rng(5);
+  std::vector<AccessRequest> reqs(64);
+  std::set<i64> used;
+  for (i64 i = 0; i < 64; ++i) {
+    i64 v = rng.range(0, (1 << 16) - 1);
+    while (used.contains(v)) v = (v + 1) % (1 << 16);
+    used.insert(v);
+    reqs[static_cast<size_t>(i)] = {v, Op::Read, 0};
+  }
+  SingleCopyStats st;
+  sim.step(reqs, &st);
+  EXPECT_LE(st.service_steps, 8);  // random balls-in-bins stays tiny
+}
+
+TEST(DirectAllCopies, ConsistentButCongestible) {
+  DirectAllCopiesSim sim(tiny_config());
+  std::vector<AccessRequest> writes(64), reads(64);
+  for (i64 i = 0; i < 64; ++i) {
+    writes[static_cast<size_t>(i)] = {i, Op::Write, i * i};
+    reads[static_cast<size_t>(i)] = {i, Op::Read, 0};
+  }
+  DirectStats ws, rs;
+  sim.step(writes, &ws);
+  const auto got = sim.step(reads, &rs);
+  for (i64 i = 0; i < 64; ++i) {
+    EXPECT_EQ(got[static_cast<size_t>(i)], i * i);
+  }
+  EXPECT_GT(ws.total_steps, 0);
+  EXPECT_GE(rs.service_steps, 1);
+}
+
+TEST(Mpc, SingleCopyAdversaryVsMajorityQuorums) {
+  // m = 81 modules host up to f(4) = 1080 variables ([PP93a] capacity).
+  const i64 m = 81;
+  MpcSim mpc(3, m, 1080);
+  // Adversarial single-copy pattern: every variable of module 7.
+  std::vector<i64> adversarial;
+  for (i64 v = 7; v < 1080; v += m) adversarial.push_back(v);
+  const i64 hot = static_cast<i64>(adversarial.size());  // 14
+  EXPECT_EQ(mpc.single_copy_contention(adversarial), hot);
+  // Majority quorums with copy choice spread the same pattern out.
+  const i64 maj = mpc.majority_contention(adversarial);
+  EXPECT_LT(maj, hot / 2);
+  EXPECT_GE(maj, 1);
+}
+
+TEST(Mpc, RejectsNonPowerModuleCount) {
+  EXPECT_THROW(MpcSim(3, 80, 1000), ConfigError);
+}
+
+TEST(Mpc, ContentionNeverBelowAverage) {
+  MpcSim mpc(3, 27, 117);  // f(3) = 117
+  Rng rng(6);
+  std::vector<i64> vars;
+  std::set<i64> used;
+  for (int i = 0; i < 100; ++i) {
+    i64 v = rng.range(0, 116);
+    while (used.contains(v)) v = (v + 1) % 117;
+    used.insert(v);
+    vars.push_back(v);
+  }
+  EXPECT_GE(mpc.single_copy_contention(vars), ceil_div(100, 27));
+  EXPECT_GE(mpc.majority_contention(vars), ceil_div(2 * 100, 27));
+}
+
+TEST(Mpc, RejectsOverCapacity) {
+  EXPECT_THROW(MpcSim(3, 81, 10000), ConfigError);  // > f(4) = 1080
+}
+
+}  // namespace
+}  // namespace meshpram

@@ -1,0 +1,413 @@
+// Tests for the mesh algorithms of §2: block shearsort, group ranking,
+// greedy XY routing, sort-based (l1,l2)-routing and the tessellated
+// (l1,l2,δ,m)-routing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "mesh/machine.hpp"
+#include "routing/greedy.hpp"
+#include "routing/lroute.hpp"
+#include "routing/meshsort.hpp"
+#include "routing/rank.hpp"
+#include "routing/scan.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace meshpram {
+namespace {
+
+Packet mk(u64 key, i64 var = 0, i32 origin = 0) {
+  Packet p;
+  p.key = key;
+  p.var = var;
+  p.origin = origin;
+  return p;
+}
+
+/// Scatter `count` packets with random keys over the region, uneven loads.
+void scatter_random(Mesh& mesh, const Region& g, i64 count, u64 key_range,
+                    Rng& rng) {
+  for (i64 i = 0; i < count; ++i) {
+    const i64 s = rng.range(0, g.size() - 1);
+    mesh.buf(mesh.node_id(g.at_snake(s)))
+        .push_back(mk(rng.below(key_range), i, static_cast<i32>(s)));
+  }
+}
+
+std::vector<u64> keys_in_snake_order(Mesh& mesh, const Region& g) {
+  std::vector<u64> out;
+  for (i64 s = 0; s < g.size(); ++s) {
+    for (const Packet& p : mesh.buf(mesh.node_id(g.at_snake(s)))) {
+      out.push_back(p.key);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Sorting.
+// ---------------------------------------------------------------------------
+
+struct SortCase {
+  int rows;
+  int cols;
+  i64 packets;
+  u64 key_range;
+};
+
+class SortSweep : public ::testing::TestWithParam<SortCase> {};
+
+TEST_P(SortSweep, SortsPacksAndPreservesMultiset) {
+  const auto [rows, cols, count, range] = GetParam();
+  Mesh mesh(rows, cols);
+  const Region g = mesh.whole();
+  Rng rng(static_cast<u64>(rows * 1000003 + cols * 1009 + count));
+  scatter_random(mesh, g, count, range, rng);
+
+  std::vector<u64> before = keys_in_snake_order(mesh, g);
+  std::sort(before.begin(), before.end());
+
+  const i64 steps = sort_region(mesh, g);
+  EXPECT_GE(steps, 0);
+  EXPECT_TRUE(region_sorted(mesh, g));
+
+  std::vector<u64> after = keys_in_snake_order(mesh, g);
+  EXPECT_EQ(after, before);  // sorted AND multiset-preserving
+  EXPECT_EQ(mesh.total_packets(g), count);
+}
+
+TEST_P(SortSweep, AnalyticModeMatchesSimulatedPlacement) {
+  const auto [rows, cols, count, range] = GetParam();
+  Mesh a(rows, cols), b(rows, cols);
+  Rng rng1(99), rng2(99);
+  scatter_random(a, a.whole(), count, range, rng1);
+  scatter_random(b, b.whole(), count, range, rng2);
+
+  const i64 sim_steps = sort_region(a, a.whole(), {SortMode::Simulated});
+  const i64 ana_steps = sort_region(b, b.whole(), {SortMode::Analytic});
+
+  // Identical canonical placement, node by node.
+  for (i32 id = 0; id < a.size(); ++id) {
+    const auto& ba = a.buf(id);
+    const auto& bb = b.buf(id);
+    ASSERT_EQ(ba.size(), bb.size()) << "node " << id;
+    for (size_t i = 0; i < ba.size(); ++i) {
+      EXPECT_EQ(ba[i].key, bb[i].key);
+      EXPECT_EQ(ba[i].var, bb[i].var);
+    }
+  }
+  // The analytic charge is the oblivious worst case: never below the
+  // early-exit simulated cost.
+  EXPECT_GE(ana_steps, sim_steps);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SortSweep,
+    ::testing::Values(SortCase{1, 1, 5, 10}, SortCase{1, 16, 40, 8},
+                      SortCase{16, 1, 40, 1000}, SortCase{4, 4, 16, 4},
+                      SortCase{8, 8, 64, 1u << 30}, SortCase{8, 8, 500, 7},
+                      SortCase{7, 5, 123, 50}, SortCase{16, 16, 1000, 3},
+                      SortCase{5, 9, 1, 100}, SortCase{6, 6, 0, 10}),
+    [](const ::testing::TestParamInfo<SortCase>& info) {
+      return std::to_string(info.param.rows) + "x" +
+             std::to_string(info.param.cols) + "_p" +
+             std::to_string(info.param.packets);
+    });
+
+TEST(Sort, AlreadySortedIsCheap) {
+  Mesh mesh(8, 8);
+  const Region g = mesh.whole();
+  for (i64 s = 0; s < g.size(); ++s) {
+    mesh.buf(mesh.node_id(g.at_snake(s))).push_back(mk(static_cast<u64>(s)));
+  }
+  const i64 steps = sort_region(mesh, g);
+  EXPECT_TRUE(region_sorted(mesh, g));
+  // Early exit: far below the worst-case bound.
+  EXPECT_LT(steps, shearsort_step_bound(g, 1) / 2);
+}
+
+TEST(Sort, ReverseOrderWorstCaseStaysWithinBound) {
+  Mesh mesh(8, 8);
+  const Region g = mesh.whole();
+  for (i64 s = 0; s < g.size(); ++s) {
+    mesh.buf(mesh.node_id(g.at_snake(s)))
+        .push_back(mk(static_cast<u64>(g.size() - s)));
+  }
+  const i64 steps = sort_region(mesh, g);
+  EXPECT_TRUE(region_sorted(mesh, g));
+  EXPECT_LE(steps, shearsort_step_bound(g, 1));
+}
+
+TEST(Sort, SubregionSortLeavesRestAlone) {
+  Mesh mesh(8, 8);
+  const Region sub(2, 2, 4, 4);
+  Rng rng(5);
+  scatter_random(mesh, sub, 50, 100, rng);
+  Packet outside = mk(0);
+  mesh.buf(mesh.node_id({0, 0})).push_back(outside);
+  sort_region(mesh, sub);
+  EXPECT_TRUE(region_sorted(mesh, sub));
+  EXPECT_EQ(mesh.buf(mesh.node_id({0, 0})).size(), 1u);
+}
+
+TEST(Sort, RejectsSentinelKey) {
+  Mesh mesh(2, 2);
+  mesh.buf(0).push_back(mk(kHoleKey));
+  EXPECT_THROW(sort_region(mesh, mesh.whole()), ConfigError);
+}
+
+TEST(Sort, StepBoundFormula) {
+  // phases = ceil(log2 rows) + 1; bound = L*(phases*(R+C) + C).
+  EXPECT_EQ(shearsort_step_bound(Region(0, 0, 8, 8), 1), (4 * 16 + 8));
+  EXPECT_EQ(shearsort_step_bound(Region(0, 0, 8, 8), 3), 3 * (4 * 16 + 8));
+  EXPECT_EQ(shearsort_step_bound(Region(0, 0, 1, 16), 2), 2 * (1 * 17 + 16));
+}
+
+// ---------------------------------------------------------------------------
+// Scan + ranking.
+// ---------------------------------------------------------------------------
+
+TEST(Scan, ExclusivePrefixSum) {
+  const Region g(0, 0, 4, 4);
+  std::vector<i64> vals(16);
+  for (int i = 0; i < 16; ++i) vals[static_cast<size_t>(i)] = i + 1;
+  const auto r =
+      scan_snake<i64>(g, vals, 0, [](i64 a, i64 b) { return a + b; });
+  ASSERT_EQ(r.prefix.size(), 16u);
+  EXPECT_EQ(r.prefix[0], 0);
+  EXPECT_EQ(r.prefix[1], 1);
+  EXPECT_EQ(r.prefix[15], 15 * 16 / 2);
+  EXPECT_EQ(r.steps, 2 * 4 + 4);
+  EXPECT_THROW(
+      scan_snake<i64>(g, std::vector<i64>(3), 0,
+                      [](i64 a, i64 b) { return a + b; }),
+      ConfigError);
+}
+
+TEST(Rank, RanksWithinGroupsAfterSort) {
+  Mesh mesh(6, 6);
+  const Region g = mesh.whole();
+  Rng rng(17);
+  scatter_random(mesh, g, 300, 9, rng);  // many collisions across 9 keys
+  sort_region(mesh, g);
+  const i64 steps = rank_within_groups(mesh, g);
+  EXPECT_GT(steps, 0);
+
+  // Every key group must carry ranks 0..groupsize-1 exactly once.
+  std::map<u64, std::set<u64>> ranks;
+  std::map<u64, i64> sizes;
+  for (i64 s = 0; s < g.size(); ++s) {
+    for (const Packet& p : mesh.buf(mesh.node_id(g.at_snake(s)))) {
+      EXPECT_TRUE(ranks[p.key].insert(p.rank).second)
+          << "duplicate rank " << p.rank << " in group " << p.key;
+      ++sizes[p.key];
+    }
+  }
+  for (const auto& [key, rs] : ranks) {
+    EXPECT_EQ(static_cast<i64>(rs.size()), sizes[key]);
+    EXPECT_EQ(*rs.begin(), 0u);
+    EXPECT_EQ(*rs.rbegin(), static_cast<u64>(sizes[key] - 1));
+  }
+}
+
+TEST(Rank, RequiresSortedRegion) {
+  Mesh mesh(2, 2);
+  mesh.buf(0).push_back(mk(5));
+  mesh.buf(3).push_back(mk(1));  // descending along snake
+  EXPECT_THROW(rank_within_groups(mesh, mesh.whole()), InternalError);
+}
+
+TEST(Rank, MaxGroupSize) {
+  Mesh mesh(2, 2);
+  mesh.buf(0).push_back(mk(1));
+  mesh.buf(1).push_back(mk(1));
+  mesh.buf(2).push_back(mk(1));
+  mesh.buf(3).push_back(mk(2));
+  EXPECT_EQ(max_group_size(mesh, mesh.whole()), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Greedy routing.
+// ---------------------------------------------------------------------------
+
+TEST(Greedy, SinglePacketTakesExactlyDistanceSteps) {
+  Mesh mesh(8, 8);
+  Packet p = mk(0);
+  p.dest = mesh.node_id({5, 6});
+  mesh.buf(mesh.node_id({1, 2})).push_back(p);
+  const RouteStats rs = route_greedy(mesh, mesh.whole());
+  EXPECT_EQ(rs.steps, manhattan({1, 2}, {5, 6}));
+  EXPECT_EQ(rs.packets, 1);
+  EXPECT_EQ(mesh.buf(mesh.node_id({5, 6})).size(), 1u);
+}
+
+TEST(Greedy, PermutationDeliversWithinGreedyBound) {
+  Mesh mesh(8, 8);
+  const Region g = mesh.whole();
+  Rng rng(23);
+  std::vector<i64> perm(static_cast<size_t>(g.size()));
+  for (i64 i = 0; i < g.size(); ++i) perm[static_cast<size_t>(i)] = i;
+  rng.shuffle(perm);
+  for (i64 s = 0; s < g.size(); ++s) {
+    Packet p = mk(0, s);
+    p.dest = mesh.node_at(g, perm[static_cast<size_t>(s)]);
+    mesh.buf(mesh.node_at(g, s)).push_back(p);
+  }
+  const RouteStats rs = route_greedy(mesh, g);
+  EXPECT_EQ(rs.packets, g.size());
+  for (i64 s = 0; s < g.size(); ++s) {
+    const i32 id = mesh.node_at(g, s);
+    ASSERT_EQ(mesh.buf(id).size(), 1u) << "node " << id;
+    EXPECT_EQ(mesh.buf(id)[0].dest, id);
+  }
+  // Greedy XY on a permutation: never worse than a small multiple of the
+  // diameter (theory: 2*sqrt(n)-2 with farthest-first on column-balanced
+  // inputs; random permutations stay close to that).
+  EXPECT_LE(rs.steps, 4 * (mesh.rows() + mesh.cols()));
+}
+
+TEST(Greedy, HotSpotSerializesOnReceiverLinks) {
+  // All 4 neighbors + far nodes target one node: receiver has 4 in-links, so
+  // steps >= ceil(packets / 4).
+  Mesh mesh(8, 8);
+  const Region g = mesh.whole();
+  const i32 target = mesh.node_id({4, 4});
+  i64 count = 0;
+  for (i64 s = 0; s < g.size(); ++s) {
+    const i32 id = mesh.node_at(g, s);
+    if (id == target) continue;
+    Packet p = mk(0, s);
+    p.dest = target;
+    mesh.buf(id).push_back(p);
+    ++count;
+  }
+  const RouteStats rs = route_greedy(mesh, g);
+  EXPECT_EQ(static_cast<i64>(mesh.buf(target).size()), count);
+  EXPECT_GE(rs.steps, ceil_div(count, 4));
+}
+
+TEST(Greedy, PacketAlreadyAtDestinationCostsNothing) {
+  Mesh mesh(4, 4);
+  Packet p = mk(0);
+  p.dest = 5;
+  mesh.buf(5).push_back(p);
+  const RouteStats rs = route_greedy(mesh, mesh.whole());
+  EXPECT_EQ(rs.steps, 0);
+  EXPECT_EQ(mesh.buf(5).size(), 1u);
+}
+
+TEST(Greedy, RejectsDestOutsideRegion) {
+  Mesh mesh(4, 4);
+  Packet p = mk(0);
+  p.dest = mesh.node_id({3, 3});
+  mesh.buf(mesh.node_id({0, 0})).push_back(p);
+  EXPECT_THROW(route_greedy(mesh, Region(0, 0, 2, 2)), ConfigError);
+}
+
+TEST(Greedy, StaysWithinSubregion) {
+  // Packets in a subregion must be routed using only subregion nodes; the
+  // rest of the mesh must stay untouched.
+  Mesh mesh(8, 8);
+  const Region sub(2, 2, 4, 4);
+  Rng rng(3);
+  for (int i = 0; i < 40; ++i) {
+    Packet p = mk(0, i);
+    p.dest = mesh.node_id(sub.at_snake(rng.range(0, sub.size() - 1)));
+    mesh.buf(mesh.node_id(sub.at_snake(rng.range(0, sub.size() - 1))))
+        .push_back(p);
+  }
+  const RouteStats rs = route_greedy(mesh, sub);
+  EXPECT_EQ(rs.packets, 40);
+  i64 inside = 0;
+  for (i64 s = 0; s < sub.size(); ++s) {
+    inside += static_cast<i64>(mesh.buf(mesh.node_id(sub.at_snake(s))).size());
+  }
+  EXPECT_EQ(inside, 40);
+}
+
+// ---------------------------------------------------------------------------
+// (l1,l2)-routing strategies.
+// ---------------------------------------------------------------------------
+
+TEST(LRoute, SortedRoutingDeliversEverything) {
+  Mesh mesh(8, 8);
+  const Region g = mesh.whole();
+  Rng rng(41);
+  for (int i = 0; i < 200; ++i) {
+    Packet p = mk(0, i);
+    p.dest = mesh.node_at(g, rng.range(0, g.size() - 1));
+    mesh.buf(mesh.node_at(g, rng.range(0, g.size() - 1))).push_back(p);
+  }
+  const auto st = route_sorted(mesh, g);
+  EXPECT_GT(st.sort_steps, 0);
+  EXPECT_GT(st.route_steps, 0);
+  i64 delivered = 0;
+  for (i32 id = 0; id < mesh.size(); ++id) {
+    for (const Packet& p : mesh.buf(id)) {
+      EXPECT_EQ(p.dest, id);
+      ++delivered;
+    }
+  }
+  EXPECT_EQ(delivered, 200);
+}
+
+TEST(LRoute, TwoStageDeliversAndBalancesIntermediateLoad) {
+  Mesh mesh(8, 8);
+  const Region g = mesh.whole();
+  const auto subs = g.grid_split(4);  // 4x 4x4 quadrants
+  Rng rng(53);
+  // Skewed: every packet goes to quadrant 0 (the tessellated case where
+  // sort+rank balancing matters).
+  for (int i = 0; i < 160; ++i) {
+    Packet p = mk(0, i);
+    p.dest = mesh.node_id(subs[0].at_snake(rng.range(0, 3)));  // 4 hot nodes
+    mesh.buf(mesh.node_at(g, rng.range(0, g.size() - 1))).push_back(p);
+  }
+  const auto st = route_two_stage(mesh, g, subs);
+  EXPECT_GT(st.sort_steps, 0);
+  EXPECT_GT(st.rank_steps, 0);
+  i64 delivered = 0;
+  for (i32 id = 0; id < mesh.size(); ++id) {
+    for (const Packet& p : mesh.buf(id)) {
+      EXPECT_EQ(p.dest, id);
+      EXPECT_EQ(p.stash, -1);
+      ++delivered;
+    }
+  }
+  EXPECT_EQ(delivered, 160);
+}
+
+TEST(LRoute, TwoStageRejectsUncoveredDestination) {
+  Mesh mesh(8, 8);
+  const Region g = mesh.whole();
+  // Tessellation covering only the top half.
+  const std::vector<Region> subs{Region(0, 0, 4, 8)};
+  Packet p = mk(0);
+  p.dest = mesh.node_id({6, 6});
+  mesh.buf(0).push_back(p);
+  EXPECT_THROW(route_two_stage(mesh, g, subs), ConfigError);
+}
+
+TEST(LRoute, DirectEqualsGreedy) {
+  Mesh a(6, 6), b(6, 6);
+  Rng r1(7), r2(7);
+  for (int i = 0; i < 60; ++i) {
+    Packet p = mk(0, i);
+    p.dest = static_cast<i32>(r1.range(0, a.size() - 1));
+    a.buf(static_cast<i32>(r1.range(0, a.size() - 1))).push_back(p);
+    Packet q = mk(0, i);
+    q.dest = static_cast<i32>(r2.range(0, b.size() - 1));
+    b.buf(static_cast<i32>(r2.range(0, b.size() - 1))).push_back(q);
+  }
+  const auto sa = route_direct(a, a.whole());
+  const RouteStats sb = route_greedy(b, b.whole());
+  EXPECT_EQ(sa.route_steps, sb.steps);
+  EXPECT_EQ(sa.steps, sb.steps);
+}
+
+}  // namespace
+}  // namespace meshpram

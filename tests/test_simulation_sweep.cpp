@@ -1,0 +1,166 @@
+// Cross-configuration property sweep of the full simulation.
+//
+// For every combination of branching q, depth k, mesh size, memory size, and
+// sort mode that the implementation supports, runs several PRAM steps of
+// random mixed reads/writes and checks:
+//   * results match a flat reference memory (quorum consistency end to end),
+//   * Theorem 3's per-page bound holds in every culling iteration,
+//   * the packet count equals n_active * (floor(q/2)+1)^k (minimal target
+//     sets after the final culling iteration),
+//   * the step cost is at least the mesh diameter (the paper's Omega(sqrt n)
+//     lower bound) on full request sets.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "protocol/simulator.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace meshpram {
+namespace {
+
+struct SweepCase {
+  i64 q;
+  int k;
+  int side;
+  i64 num_vars;
+  SortMode mode;
+};
+
+std::string case_name(const ::testing::TestParamInfo<SweepCase>& info) {
+  const auto& c = info.param;
+  return "q" + std::to_string(c.q) + "_k" + std::to_string(c.k) + "_s" +
+         std::to_string(c.side) + "_M" + std::to_string(c.num_vars) +
+         (c.mode == SortMode::Analytic ? "_analytic" : "_sim");
+}
+
+class SimulationSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(SimulationSweep, RandomMixedWorkloadMatchesReference) {
+  set_log_level(LogLevel::Error);
+  const auto& c = GetParam();
+  SimConfig cfg;
+  cfg.mesh_rows = cfg.mesh_cols = c.side;
+  cfg.num_vars = c.num_vars;
+  cfg.q = c.q;
+  cfg.k = c.k;
+  cfg.sort_mode = c.mode;
+  PramMeshSimulator sim(cfg);
+  const i64 n = sim.processors();
+  Rng rng(static_cast<u64>(c.q * 1000 + c.k * 100 + c.side));
+  std::unordered_map<i64, i64> reference;
+
+  const i64 quorum = ipow(c.q / 2 + 1, c.k);
+  for (int step = 0; step < 4; ++step) {
+    std::vector<AccessRequest> reqs(static_cast<size_t>(n));
+    std::set<i64> used;
+    i64 active = 0;
+    for (i64 i = 0; i < n; ++i) {
+      if (rng.below(10) == 0) continue;  // some processors idle
+      i64 v = rng.range(0, cfg.num_vars - 1);
+      while (used.contains(v)) v = (v + 1) % cfg.num_vars;
+      used.insert(v);
+      const bool write = rng.below(2) == 0;
+      reqs[static_cast<size_t>(i)] =
+          AccessRequest{v, write ? Op::Write : Op::Read,
+                        write ? rng.range(1, 1 << 30) : 0};
+      ++active;
+    }
+    StepStats st;
+    const auto results = sim.step(reqs, &st);
+
+    // Consistency vs the flat reference.
+    for (i64 i = 0; i < n; ++i) {
+      const auto& r = reqs[static_cast<size_t>(i)];
+      if (r.var < 0 || r.op != Op::Read) continue;
+      const auto it = reference.find(r.var);
+      ASSERT_EQ(results[static_cast<size_t>(i)],
+                it == reference.end() ? 0 : it->second)
+          << case_name({GetParam(), 0}) << " step " << step << " var "
+          << r.var;
+    }
+    for (i64 i = 0; i < n; ++i) {
+      const auto& r = reqs[static_cast<size_t>(i)];
+      if (r.var >= 0 && r.op == Op::Write) reference[r.var] = r.value;
+    }
+
+    // Theorem 3 in every culling iteration.
+    ASSERT_EQ(static_cast<int>(st.culling.max_page_load.size()), c.k);
+    for (int lvl = 1; lvl <= c.k; ++lvl) {
+      EXPECT_LE(st.culling.max_page_load[static_cast<size_t>(lvl - 1)],
+                st.culling.bound[static_cast<size_t>(lvl - 1)])
+          << "Theorem 3 violated, level " << lvl;
+    }
+
+    // Minimal target sets: quorum packets per active processor.
+    EXPECT_EQ(st.packets, active * quorum);
+
+    // Omega(sqrt(n)) diameter lower bound (full-ish request sets).
+    if (active > n / 2) {
+      EXPECT_GE(st.total_steps, 2 * (c.side - 1));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, SimulationSweep,
+    ::testing::Values(
+        // Depth sweep at q = 3.
+        SweepCase{3, 1, 8, 117, SortMode::Simulated},
+        SweepCase{3, 2, 8, 1080, SortMode::Simulated},
+        SweepCase{3, 3, 8, 1080, SortMode::Simulated},
+        // Branching sweep (q = 4 needs GF(4); q = 5 odd majority).
+        SweepCase{4, 1, 8, 320, SortMode::Simulated},
+        SweepCase{4, 2, 8, 1344, SortMode::Simulated},
+        SweepCase{5, 1, 12, 750, SortMode::Simulated},
+        SweepCase{5, 2, 12, 3875, SortMode::Simulated},
+        // Rectangular-ish larger mesh, both sort modes.
+        SweepCase{3, 2, 16, 1080, SortMode::Simulated},
+        SweepCase{3, 2, 16, 9801, SortMode::Analytic},
+        SweepCase{3, 2, 32, 4096, SortMode::Analytic},
+        // Degraded placement on purpose (level-1 pages outnumber the nodes).
+        SweepCase{3, 2, 8, 1080, SortMode::Analytic}),
+    case_name);
+
+TEST(SimulationSweep, NonSquareMesh) {
+  set_log_level(LogLevel::Error);
+  SimConfig cfg;
+  cfg.mesh_rows = 8;
+  cfg.mesh_cols = 16;  // the machine need not be square
+  cfg.num_vars = 1080;
+  PramMeshSimulator sim(cfg);
+  const i64 n = sim.processors();
+  std::vector<i64> vars(static_cast<size_t>(n));
+  std::vector<i64> vals(static_cast<size_t>(n));
+  for (i64 i = 0; i < n; ++i) {
+    vars[static_cast<size_t>(i)] = (i * 5 + 2) % 1080;
+    vals[static_cast<size_t>(i)] = i + 1;
+  }
+  // Dedupe (5*i+2 mod 1080 is injective for i < 216 > 128). All distinct.
+  sim.write_step(vars, vals);
+  const auto got = sim.read_step(vars);
+  for (i64 i = 0; i < n; ++i) {
+    ASSERT_EQ(got[static_cast<size_t>(i)], vals[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(SimulationSweep, RepeatedStepsAdvanceTimestamps) {
+  set_log_level(LogLevel::Error);
+  SimConfig cfg;
+  cfg.mesh_rows = cfg.mesh_cols = 8;
+  cfg.num_vars = 1080;
+  PramMeshSimulator sim(cfg);
+  EXPECT_EQ(sim.now(), 0);
+  for (i64 round = 0; round < 6; ++round) {
+    sim.write_step({42}, {round});
+    EXPECT_EQ(sim.read_step({42})[0], round);
+  }
+  EXPECT_EQ(sim.now(), 12);
+}
+
+}  // namespace
+}  // namespace meshpram

@@ -1,0 +1,280 @@
+// Unit tests for src/util: exact integer math, RNG determinism, statistics,
+// table/CSV formatting, error macros.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace meshpram {
+namespace {
+
+TEST(Math, IpowBasics) {
+  EXPECT_EQ(ipow(3, 0), 1);
+  EXPECT_EQ(ipow(3, 1), 3);
+  EXPECT_EQ(ipow(3, 7), 2187);
+  EXPECT_EQ(ipow(2, 40), 1099511627776LL);
+  EXPECT_EQ(ipow(0, 0), 1);
+  EXPECT_EQ(ipow(0, 5), 0);
+  EXPECT_EQ(ipow(1, 1000), 1);
+}
+
+TEST(Math, IpowOverflowThrows) {
+  EXPECT_THROW(ipow(10, 40), InternalError);
+  EXPECT_THROW(ipow(2, 64), InternalError);
+}
+
+TEST(Math, IpowRejectsNegative) {
+  EXPECT_THROW(ipow(-2, 3), ConfigError);
+  EXPECT_THROW(ipow(2, -1), ConfigError);
+}
+
+TEST(Math, IsqrtExhaustiveSmall) {
+  for (i64 x = 0; x < 5000; ++x) {
+    const i64 r = isqrt(x);
+    EXPECT_LE(r * r, x);
+    EXPECT_GT((r + 1) * (r + 1), x);
+  }
+}
+
+TEST(Math, IsqrtLargeValues) {
+  EXPECT_EQ(isqrt(1LL << 62), 1LL << 31);
+  EXPECT_EQ(isqrt((1LL << 62) - 1), (1LL << 31) - 1);
+  const i64 big = 3037000499LL;  // floor(sqrt(2^63 - 1))
+  EXPECT_EQ(isqrt(big * big), big);
+  EXPECT_EQ(isqrt(big * big + big), big);  // +2*big would overflow i64
+  EXPECT_EQ(isqrt(std::numeric_limits<i64>::max()), big);
+}
+
+TEST(Math, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 3), 0);
+  EXPECT_EQ(ceil_div(1, 3), 1);
+  EXPECT_EQ(ceil_div(3, 3), 1);
+  EXPECT_EQ(ceil_div(4, 3), 2);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+}
+
+TEST(Math, Ilog) {
+  EXPECT_EQ(ilog(2, 1), 0);
+  EXPECT_EQ(ilog(2, 2), 1);
+  EXPECT_EQ(ilog(2, 3), 1);
+  EXPECT_EQ(ilog(2, 1024), 10);
+  EXPECT_EQ(ilog(3, 2187), 7);
+  EXPECT_EQ(ilog(3, 2186), 6);
+}
+
+TEST(Math, IsPrime) {
+  EXPECT_FALSE(is_prime(0));
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(3));
+  EXPECT_FALSE(is_prime(4));
+  EXPECT_TRUE(is_prime(97));
+  EXPECT_FALSE(is_prime(91));  // 7 * 13
+}
+
+TEST(Math, PrimePowerDecompose) {
+  EXPECT_EQ(prime_power_decompose(2), (std::pair<i64, int>{2, 1}));
+  EXPECT_EQ(prime_power_decompose(3), (std::pair<i64, int>{3, 1}));
+  EXPECT_EQ(prime_power_decompose(4), (std::pair<i64, int>{2, 2}));
+  EXPECT_EQ(prime_power_decompose(8), (std::pair<i64, int>{2, 3}));
+  EXPECT_EQ(prime_power_decompose(9), (std::pair<i64, int>{3, 2}));
+  EXPECT_EQ(prime_power_decompose(27), (std::pair<i64, int>{3, 3}));
+  EXPECT_EQ(prime_power_decompose(125), (std::pair<i64, int>{5, 3}));
+  EXPECT_THROW(prime_power_decompose(6), ConfigError);
+  EXPECT_THROW(prime_power_decompose(12), ConfigError);
+  EXPECT_THROW(prime_power_decompose(1), ConfigError);
+  EXPECT_THROW(prime_power_decompose(0), ConfigError);
+}
+
+TEST(Math, BibdInputCount) {
+  // f(d) = q^{d-1} (q^d - 1)/(q - 1)
+  EXPECT_EQ(bibd_input_count(3, 1), 1);
+  EXPECT_EQ(bibd_input_count(3, 2), 3 * 4);     // 3 * (9-1)/2
+  EXPECT_EQ(bibd_input_count(3, 3), 9 * 13);    // 117
+  EXPECT_EQ(bibd_input_count(3, 4), 27 * 40);   // 1080
+  EXPECT_EQ(bibd_input_count(3, 5), 81 * 121);  // 9801
+  EXPECT_EQ(bibd_input_count(2, 3), 4 * 7);
+  EXPECT_EQ(bibd_input_count(4, 2), 4 * 5);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42), c(43);
+  bool all_equal = true;
+  bool any_diff_seed_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    const u64 va = a();
+    if (va != b()) all_equal = false;
+    if (va != c()) any_diff_seed_diff = true;
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff_seed_diff);
+}
+
+TEST(Rng, BelowInRangeAndCoversValues) {
+  Rng rng(7);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 2000; ++i) {
+    const u64 v = rng.below(10);
+    ASSERT_LT(v, 10u);
+    ++seen[static_cast<size_t>(v)];
+  }
+  for (int count : seen) EXPECT_GT(count, 100);  // roughly uniform
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const i64 v = rng.range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, SampleDistinctAndInRange) {
+  Rng rng(3);
+  const auto s = rng.sample(100, 30);
+  ASSERT_EQ(s.size(), 30u);
+  std::set<i64> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 30u);
+  for (i64 v : s) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+  }
+}
+
+TEST(Rng, SampleFullRange) {
+  Rng rng(3);
+  const auto s = rng.sample(10, 10);
+  std::set<i64> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 10u);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(9);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[static_cast<size_t>(i)] = i;
+  auto w = v;
+  rng.shuffle(w);
+  EXPECT_NE(v, w);  // astronomically unlikely to be identity
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Stats, Summarize) {
+  const auto s = summarize({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 4);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, SummarizeEmptyAndSingleton) {
+  EXPECT_EQ(summarize({}).count, 0u);
+  const auto s = summarize({7});
+  EXPECT_DOUBLE_EQ(s.mean, 7);
+  EXPECT_DOUBLE_EQ(s.stddev, 0);
+}
+
+TEST(Stats, LinearFitExact) {
+  const auto f = fit_linear({0, 1, 2, 3}, {1, 3, 5, 7});
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(Stats, PowerLawFitRecoversExponent) {
+  std::vector<double> ns, ts;
+  for (double n : {256.0, 1024.0, 4096.0, 16384.0}) {
+    ns.push_back(n);
+    ts.push_back(3.5 * std::pow(n, 0.625));
+  }
+  const auto f = fit_power_law(ns, ts);
+  EXPECT_NEAR(f.slope, 0.625, 1e-9);
+  EXPECT_NEAR(std::exp(f.intercept), 3.5, 1e-6);
+}
+
+TEST(Stats, FitRejectsDegenerate) {
+  EXPECT_THROW(fit_linear({1}, {1}), ConfigError);
+  EXPECT_THROW(fit_linear({1, 1}, {1, 2}), ConfigError);
+  EXPECT_THROW(fit_power_law({1, -2}, {1, 2}), ConfigError);
+}
+
+TEST(Table, FormatsAndAligns) {
+  Table t({"n", "steps"});
+  t.add(1024, 3.14159);
+  t.add(16384, 2.0);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("n"), std::string::npos);
+  EXPECT_NE(s.find("steps"), std::string::npos);
+  EXPECT_NE(s.find("1024"), std::string::npos);
+  EXPECT_NE(s.find("3.142"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), ConfigError);
+}
+
+TEST(Table, FormatDouble) {
+  EXPECT_EQ(format_double(2.0), "2");
+  EXPECT_EQ(format_double(2.5), "2.5");
+  EXPECT_EQ(format_double(0.0), "0");
+  // Very large/small use scientific notation.
+  EXPECT_NE(format_double(1.23e9).find('e'), std::string::npos);
+  EXPECT_NE(format_double(1.23e-9).find('e'), std::string::npos);
+}
+
+TEST(Csv, EscapesFields) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(Errors, RequireThrowsConfigWithContext) {
+  try {
+    MP_REQUIRE(false, "ctx " << 42);
+    FAIL() << "should have thrown";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("ctx 42"), std::string::npos);
+  }
+}
+
+TEST(Errors, AssertThrowsInternal) {
+  EXPECT_THROW(MP_ASSERT(1 == 2, "bug"), InternalError);
+}
+
+}  // namespace
+}  // namespace meshpram
