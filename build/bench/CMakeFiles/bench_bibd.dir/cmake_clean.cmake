@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bibd.dir/bench_bibd.cpp.o"
+  "CMakeFiles/bench_bibd.dir/bench_bibd.cpp.o.d"
+  "bench_bibd"
+  "bench_bibd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bibd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_culling.dir/bench_culling.cpp.o"
+  "CMakeFiles/bench_culling.dir/bench_culling.cpp.o.d"
+  "bench_culling"
+  "bench_culling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_culling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

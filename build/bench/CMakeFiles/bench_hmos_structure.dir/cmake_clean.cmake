@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hmos_structure.dir/bench_hmos_structure.cpp.o"
+  "CMakeFiles/bench_hmos_structure.dir/bench_hmos_structure.cpp.o.d"
+  "bench_hmos_structure"
+  "bench_hmos_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hmos_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

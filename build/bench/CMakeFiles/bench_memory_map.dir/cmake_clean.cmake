@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memory_map.dir/bench_memory_map.cpp.o"
+  "CMakeFiles/bench_memory_map.dir/bench_memory_map.cpp.o.d"
+  "bench_memory_map"
+  "bench_memory_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memory_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_routing_general.dir/bench_routing_general.cpp.o"
+  "CMakeFiles/bench_routing_general.dir/bench_routing_general.cpp.o.d"
+  "bench_routing_general"
+  "bench_routing_general.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_routing_general.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_routing_tessellated.dir/bench_routing_tessellated.cpp.o"
+  "CMakeFiles/bench_routing_tessellated.dir/bench_routing_tessellated.cpp.o.d"
+  "bench_routing_tessellated"
+  "bench_routing_tessellated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_routing_tessellated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_simulation_mid_mem.dir/bench_simulation_mid_mem.cpp.o"
+  "CMakeFiles/bench_simulation_mid_mem.dir/bench_simulation_mid_mem.cpp.o.d"
+  "bench_simulation_mid_mem"
+  "bench_simulation_mid_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simulation_mid_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_simulation_polylog.dir/bench_simulation_polylog.cpp.o"
+  "CMakeFiles/bench_simulation_polylog.dir/bench_simulation_polylog.cpp.o.d"
+  "bench_simulation_polylog"
+  "bench_simulation_polylog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simulation_polylog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

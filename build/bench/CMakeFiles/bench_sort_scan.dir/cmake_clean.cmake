@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sort_scan.dir/bench_sort_scan.cpp.o"
+  "CMakeFiles/bench_sort_scan.dir/bench_sort_scan.cpp.o.d"
+  "bench_sort_scan"
+  "bench_sort_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sort_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversary.dir/adversary.cpp.o"
+  "CMakeFiles/adversary.dir/adversary.cpp.o.d"
+  "adversary"
+  "adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/list_ranking.dir/list_ranking.cpp.o"
+  "CMakeFiles/list_ranking.dir/list_ranking.cpp.o.d"
+  "list_ranking"
+  "list_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/list_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matvec.dir/matvec.cpp.o"
+  "CMakeFiles/matvec.dir/matvec.cpp.o.d"
+  "matvec"
+  "matvec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matvec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefix_sum.dir/prefix_sum.cpp.o"
+  "CMakeFiles/prefix_sum.dir/prefix_sum.cpp.o.d"
+  "prefix_sum"
+  "prefix_sum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefix_sum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

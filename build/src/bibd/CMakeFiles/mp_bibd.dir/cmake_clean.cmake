@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_bibd.dir/bibd.cpp.o"
+  "CMakeFiles/mp_bibd.dir/bibd.cpp.o.d"
+  "CMakeFiles/mp_bibd.dir/subgraph.cpp.o"
+  "CMakeFiles/mp_bibd.dir/subgraph.cpp.o.d"
+  "libmp_bibd.a"
+  "libmp_bibd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_bibd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_gf.dir/gf.cpp.o"
+  "CMakeFiles/mp_gf.dir/gf.cpp.o.d"
+  "CMakeFiles/mp_gf.dir/poly.cpp.o"
+  "CMakeFiles/mp_gf.dir/poly.cpp.o.d"
+  "libmp_gf.a"
+  "libmp_gf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

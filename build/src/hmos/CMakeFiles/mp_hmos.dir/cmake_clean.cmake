@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_hmos.dir/memory_map.cpp.o"
+  "CMakeFiles/mp_hmos.dir/memory_map.cpp.o.d"
+  "CMakeFiles/mp_hmos.dir/params.cpp.o"
+  "CMakeFiles/mp_hmos.dir/params.cpp.o.d"
+  "CMakeFiles/mp_hmos.dir/placement.cpp.o"
+  "CMakeFiles/mp_hmos.dir/placement.cpp.o.d"
+  "libmp_hmos.a"
+  "libmp_hmos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_hmos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/machine.cpp" "src/mesh/CMakeFiles/mp_mesh.dir/machine.cpp.o" "gcc" "src/mesh/CMakeFiles/mp_mesh.dir/machine.cpp.o.d"
+  "/root/repo/src/mesh/region.cpp" "src/mesh/CMakeFiles/mp_mesh.dir/region.cpp.o" "gcc" "src/mesh/CMakeFiles/mp_mesh.dir/region.cpp.o.d"
+  "/root/repo/src/mesh/step_counter.cpp" "src/mesh/CMakeFiles/mp_mesh.dir/step_counter.cpp.o" "gcc" "src/mesh/CMakeFiles/mp_mesh.dir/step_counter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_mesh.dir/machine.cpp.o"
+  "CMakeFiles/mp_mesh.dir/machine.cpp.o.d"
+  "CMakeFiles/mp_mesh.dir/region.cpp.o"
+  "CMakeFiles/mp_mesh.dir/region.cpp.o.d"
+  "CMakeFiles/mp_mesh.dir/step_counter.cpp.o"
+  "CMakeFiles/mp_mesh.dir/step_counter.cpp.o.d"
+  "libmp_mesh.a"
+  "libmp_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

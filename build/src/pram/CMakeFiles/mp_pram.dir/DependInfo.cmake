@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pram/algorithms.cpp" "src/pram/CMakeFiles/mp_pram.dir/algorithms.cpp.o" "gcc" "src/pram/CMakeFiles/mp_pram.dir/algorithms.cpp.o.d"
+  "/root/repo/src/pram/backend.cpp" "src/pram/CMakeFiles/mp_pram.dir/backend.cpp.o" "gcc" "src/pram/CMakeFiles/mp_pram.dir/backend.cpp.o.d"
+  "/root/repo/src/pram/baselines/direct.cpp" "src/pram/CMakeFiles/mp_pram.dir/baselines/direct.cpp.o" "gcc" "src/pram/CMakeFiles/mp_pram.dir/baselines/direct.cpp.o.d"
+  "/root/repo/src/pram/baselines/mpc.cpp" "src/pram/CMakeFiles/mp_pram.dir/baselines/mpc.cpp.o" "gcc" "src/pram/CMakeFiles/mp_pram.dir/baselines/mpc.cpp.o.d"
+  "/root/repo/src/pram/baselines/single_copy.cpp" "src/pram/CMakeFiles/mp_pram.dir/baselines/single_copy.cpp.o" "gcc" "src/pram/CMakeFiles/mp_pram.dir/baselines/single_copy.cpp.o.d"
+  "/root/repo/src/pram/combining.cpp" "src/pram/CMakeFiles/mp_pram.dir/combining.cpp.o" "gcc" "src/pram/CMakeFiles/mp_pram.dir/combining.cpp.o.d"
+  "/root/repo/src/pram/program.cpp" "src/pram/CMakeFiles/mp_pram.dir/program.cpp.o" "gcc" "src/pram/CMakeFiles/mp_pram.dir/program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/protocol/CMakeFiles/mp_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/hmos/CMakeFiles/mp_hmos.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/mp_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/mp_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bibd/CMakeFiles/mp_bibd.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/mp_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_pram.dir/algorithms.cpp.o"
+  "CMakeFiles/mp_pram.dir/algorithms.cpp.o.d"
+  "CMakeFiles/mp_pram.dir/backend.cpp.o"
+  "CMakeFiles/mp_pram.dir/backend.cpp.o.d"
+  "CMakeFiles/mp_pram.dir/baselines/direct.cpp.o"
+  "CMakeFiles/mp_pram.dir/baselines/direct.cpp.o.d"
+  "CMakeFiles/mp_pram.dir/baselines/mpc.cpp.o"
+  "CMakeFiles/mp_pram.dir/baselines/mpc.cpp.o.d"
+  "CMakeFiles/mp_pram.dir/baselines/single_copy.cpp.o"
+  "CMakeFiles/mp_pram.dir/baselines/single_copy.cpp.o.d"
+  "CMakeFiles/mp_pram.dir/combining.cpp.o"
+  "CMakeFiles/mp_pram.dir/combining.cpp.o.d"
+  "CMakeFiles/mp_pram.dir/program.cpp.o"
+  "CMakeFiles/mp_pram.dir/program.cpp.o.d"
+  "libmp_pram.a"
+  "libmp_pram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_pram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

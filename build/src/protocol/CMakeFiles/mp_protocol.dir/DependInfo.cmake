@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocol/access.cpp" "src/protocol/CMakeFiles/mp_protocol.dir/access.cpp.o" "gcc" "src/protocol/CMakeFiles/mp_protocol.dir/access.cpp.o.d"
+  "/root/repo/src/protocol/culling.cpp" "src/protocol/CMakeFiles/mp_protocol.dir/culling.cpp.o" "gcc" "src/protocol/CMakeFiles/mp_protocol.dir/culling.cpp.o.d"
+  "/root/repo/src/protocol/simulator.cpp" "src/protocol/CMakeFiles/mp_protocol.dir/simulator.cpp.o" "gcc" "src/protocol/CMakeFiles/mp_protocol.dir/simulator.cpp.o.d"
+  "/root/repo/src/protocol/target_set.cpp" "src/protocol/CMakeFiles/mp_protocol.dir/target_set.cpp.o" "gcc" "src/protocol/CMakeFiles/mp_protocol.dir/target_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hmos/CMakeFiles/mp_hmos.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/mp_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/mp_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bibd/CMakeFiles/mp_bibd.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/mp_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

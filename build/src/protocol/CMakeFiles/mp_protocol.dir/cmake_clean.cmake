@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_protocol.dir/access.cpp.o"
+  "CMakeFiles/mp_protocol.dir/access.cpp.o.d"
+  "CMakeFiles/mp_protocol.dir/culling.cpp.o"
+  "CMakeFiles/mp_protocol.dir/culling.cpp.o.d"
+  "CMakeFiles/mp_protocol.dir/simulator.cpp.o"
+  "CMakeFiles/mp_protocol.dir/simulator.cpp.o.d"
+  "CMakeFiles/mp_protocol.dir/target_set.cpp.o"
+  "CMakeFiles/mp_protocol.dir/target_set.cpp.o.d"
+  "libmp_protocol.a"
+  "libmp_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

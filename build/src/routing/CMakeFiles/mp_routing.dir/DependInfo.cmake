@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/greedy.cpp" "src/routing/CMakeFiles/mp_routing.dir/greedy.cpp.o" "gcc" "src/routing/CMakeFiles/mp_routing.dir/greedy.cpp.o.d"
+  "/root/repo/src/routing/lroute.cpp" "src/routing/CMakeFiles/mp_routing.dir/lroute.cpp.o" "gcc" "src/routing/CMakeFiles/mp_routing.dir/lroute.cpp.o.d"
+  "/root/repo/src/routing/meshsort.cpp" "src/routing/CMakeFiles/mp_routing.dir/meshsort.cpp.o" "gcc" "src/routing/CMakeFiles/mp_routing.dir/meshsort.cpp.o.d"
+  "/root/repo/src/routing/rank.cpp" "src/routing/CMakeFiles/mp_routing.dir/rank.cpp.o" "gcc" "src/routing/CMakeFiles/mp_routing.dir/rank.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mesh/CMakeFiles/mp_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

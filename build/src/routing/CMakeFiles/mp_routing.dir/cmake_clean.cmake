@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_routing.dir/greedy.cpp.o"
+  "CMakeFiles/mp_routing.dir/greedy.cpp.o.d"
+  "CMakeFiles/mp_routing.dir/lroute.cpp.o"
+  "CMakeFiles/mp_routing.dir/lroute.cpp.o.d"
+  "CMakeFiles/mp_routing.dir/meshsort.cpp.o"
+  "CMakeFiles/mp_routing.dir/meshsort.cpp.o.d"
+  "CMakeFiles/mp_routing.dir/rank.cpp.o"
+  "CMakeFiles/mp_routing.dir/rank.cpp.o.d"
+  "libmp_routing.a"
+  "libmp_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hmos.dir/test_hmos.cpp.o"
+  "CMakeFiles/test_hmos.dir/test_hmos.cpp.o.d"
+  "test_hmos"
+  "test_hmos.pdb"
+  "test_hmos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hmos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
