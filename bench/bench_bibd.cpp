@@ -10,10 +10,13 @@
 
 #include "bibd/bibd.hpp"
 #include "bibd/subgraph.hpp"
+#include "recorder.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
 using namespace meshpram;
+using benchutil::BenchRecorder;
+using benchutil::WallTimer;
 
 namespace {
 
@@ -114,8 +117,18 @@ BENCHMARK(BM_CommonInput)->Arg(3)->Arg(5)->Arg(8);
 }  // namespace
 
 int main(int argc, char** argv) {
-  lemma1_table();
-  theorem5_table();
+  BenchRecorder rec("bibd");
+  {
+    const WallTimer timer;
+    lemma1_table();
+    rec.point("lemma1-table", timer.ms(), /*mesh_steps=*/0);
+  }
+  {
+    const WallTimer timer;
+    theorem5_table();
+    rec.point("theorem5-table", timer.ms(), /*mesh_steps=*/0);
+  }
+  rec.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

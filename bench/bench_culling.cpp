@@ -51,6 +51,7 @@ i64 no_culling_load(const Placement& placement,
 int main() {
   set_log_level(LogLevel::Error);
   std::cout << "=== EXP-T3: culling congestion vs Theorem 3 bound ===\n";
+  BenchRecorder rec("culling");
   Table t({"n", "M", "k", "pattern", "level", "max page load (culled)",
            "bound", "no-culling load", "culling steps"});
 
@@ -75,7 +76,11 @@ int main() {
 
       Culling culling(mesh, placement, {SortMode::Analytic});
       CullingStats st;
+      const WallTimer timer;
       culling.run(vars, &st);
+      rec.point("side=" + std::to_string(cfg.side) +
+                    " M=" + std::to_string(cfg.M) + " " + pattern,
+                timer.ms(), st.steps);
       for (int lvl = 1; lvl <= cfg.k; ++lvl) {
         t.add(n, cfg.M, cfg.k, pattern, lvl,
               st.max_page_load[static_cast<size_t>(lvl - 1)],
@@ -112,7 +117,9 @@ int main() {
     for (size_t i = 0; i < reqs.size(); ++i) vars[i] = reqs[i].var;
     Culling culling(mesh, placement, {SortMode::Analytic});
     CullingStats st;
+    const WallTimer timer;
     culling.run(vars, &st);
+    rec.point("module-targeted side=64", timer.ms(), st.steps);
     std::cout << "\nmodule-targeted adversary (n=" << n << ", M=n^2, "
               << reqs.size() << " requests into level-1 module 0):\n";
     Table mt({"level", "max page load (culled)", "bound", "no-culling load"});
@@ -129,5 +136,6 @@ int main() {
             << format_double(fit.slope)
             << " (Eq. 2 predicts n^0.5 up to the sorting log factor), R^2 = "
             << format_double(fit.r2) << "\n";
+  rec.write();
   return 0;
 }

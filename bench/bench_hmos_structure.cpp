@@ -10,13 +10,17 @@
 #include "hmos/memory_map.hpp"
 #include "hmos/params.hpp"
 #include "hmos/placement.hpp"
+#include "recorder.hpp"
 #include "util/table.hpp"
 
 using namespace meshpram;
+using benchutil::BenchRecorder;
+using benchutil::WallTimer;
 
 namespace {
 
-void structure_table(int side, i64 M, i64 q, int k) {
+void structure_table(BenchRecorder& rec, int side, i64 M, i64 q, int k) {
+  const WallTimer timer;
   HmosParams params(q, k, M, side, side);
   MemoryMap map(params);
   Placement placement(map, Region(0, 0, side, side));
@@ -39,17 +43,22 @@ void structure_table(int side, i64 M, i64 q, int k) {
   t.print(std::cout);
   std::cout << "degraded placement (pages sharing nodes): "
             << (placement.degraded() ? "yes" : "no") << "\n\n";
+  rec.point("side=" + std::to_string(side) + " M=" + std::to_string(M) +
+                " q=" + std::to_string(q) + " k=" + std::to_string(k),
+            timer.ms(), /*mesh_steps=*/0);
 }
 
 }  // namespace
 
 int main() {
   std::cout << "=== EXP-F1: HMOS structure (paper Figure 1 / Eq. 1) ===\n\n";
-  structure_table(32, 4096, 3, 2);      // alpha ~ 1.2
-  structure_table(32, 32768, 3, 2);     // alpha = 1.5
-  structure_table(64, 262144, 3, 2);    // alpha = 1.5 at n = 4096
-  structure_table(64, 100000, 3, 3);    // k = 3
-  structure_table(32, 1048576, 3, 2);   // alpha = 2
-  structure_table(32, 4096, 9, 2);      // larger branching q = 9
+  BenchRecorder rec("hmos_structure");
+  structure_table(rec, 32, 4096, 3, 2);      // alpha ~ 1.2
+  structure_table(rec, 32, 32768, 3, 2);     // alpha = 1.5
+  structure_table(rec, 64, 262144, 3, 2);    // alpha = 1.5 at n = 4096
+  structure_table(rec, 64, 100000, 3, 3);    // k = 3
+  structure_table(rec, 32, 1048576, 3, 2);   // alpha = 2
+  structure_table(rec, 32, 4096, 9, 2);      // larger branching q = 9
+  rec.write();
   return 0;
 }

@@ -10,10 +10,13 @@
 
 #include "hmos/memory_map.hpp"
 #include "hmos/placement.hpp"
+#include "recorder.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
 using namespace meshpram;
+using benchutil::BenchRecorder;
+using benchutil::WallTimer;
 
 namespace {
 
@@ -66,7 +69,29 @@ void representation_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  representation_table();
+  BenchRecorder rec("memory_map");
+  {
+    const WallTimer timer;
+    representation_table();
+    rec.point("representation-table", timer.ms(), /*mesh_steps=*/0);
+  }
+  // Point timings of the hot address computation (1e5 locates per M).
+  for (i64 M : {i64{4096}, i64{262144}, i64{1048576}}) {
+    Stack s(M, 32);
+    Rng rng(7);
+    const u64 red = static_cast<u64>(s.params.redundancy());
+    const u64 base =
+        static_cast<u64>(rng.range(0, s.params.num_vars() - 1)) * red;
+    const WallTimer timer;
+    i64 sink = 0;
+    for (int i = 0; i < 100000; ++i) {
+      sink += s.placement.locate(base + static_cast<u64>(i) % red).slot;
+    }
+    benchmark::DoNotOptimize(sink);
+    rec.point("locate-100k M=" + std::to_string(M), timer.ms(),
+              /*mesh_steps=*/0);
+  }
+  rec.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

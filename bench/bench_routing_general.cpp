@@ -17,6 +17,7 @@ using namespace meshpram::benchutil;
 
 int main() {
   std::cout << "=== EXP-T2: general (l1,l2)-routing vs Theorem 2 ===\n";
+  BenchRecorder rec("routing_general");
   Table t({"n", "l1", "l2", "measured steps", "sqrt(l1*l2*n)+l1*sqrt(n)",
            "ratio", "sort share"});
 
@@ -29,8 +30,12 @@ int main() {
       Mesh mesh(side, side);
       Rng rng(static_cast<u64>(n * 31 + l1 * 7 + l2));
       fill_l1l2_instance(mesh, l1, l2, rng);
+      const WallTimer timer;
       const auto st = route_sorted(mesh, mesh.whole(),
                                    {SortMode::Simulated});
+      rec.point("side=" + std::to_string(side) + " l1=" + std::to_string(l1) +
+                    " l2=" + std::to_string(l2),
+                timer.ms(), st.steps);
       const double pred =
           std::sqrt(static_cast<double>(l1 * l2 * n)) +
           static_cast<double>(l1) * std::sqrt(static_cast<double>(n));
@@ -51,5 +56,6 @@ int main() {
             << " (theory n^0.5; shearsort adds a log factor, DESIGN.md 2.2), "
                "R^2 = "
             << format_double(fit.r2) << "\n";
+  rec.write();
   return 0;
 }

@@ -16,6 +16,7 @@ using namespace meshpram::benchutil;
 int main() {
   std::cout << "=== EXP-T4c: T_sim scaling, 5/3 <= alpha <= 2 (Theorem 1, "
                "third regime) ===\n";
+  BenchRecorder rec("simulation_large_mem");
   Table t({"alpha", "n", "M", "T_sim", "T/sqrt(n)", "theory exponent",
            "degraded"});
   for (double alpha : {1.75, 2.0}) {
@@ -24,6 +25,9 @@ int main() {
       const i64 n = static_cast<i64>(side) * side;
       const i64 M = static_cast<i64>(std::llround(std::pow(n, alpha)));
       const SimPoint p = measure_sim_step(side, M, 3, 2, 11);
+      rec.point("alpha=" + format_double(alpha) +
+                    " side=" + std::to_string(side),
+                p.wall_ms, p.steps);
       const double theory = 0.5 + (2 * alpha - 3) / 8;
       t.add(p.alpha, p.n, p.M, p.steps,
             static_cast<double>(p.steps) /
@@ -41,5 +45,6 @@ int main() {
   t.print(std::cout);
   std::cout << "\nAt alpha = 2 the paper's example: redundancy 9, T_sim in "
                "O(n^{5/8}).\n";
+  rec.write();
   return 0;
 }

@@ -18,6 +18,7 @@ int main() {
   const double alpha = 1.5;
   std::cout << "=== EXP-T4b: T_sim scaling, alpha = 1.5 (Theorem 1, second "
                "regime) ===\n";
+  BenchRecorder rec("simulation_mid_mem");
   Table t({"k", "n", "M", "redundancy", "T_sim", "T/sqrt(n)", "degraded"});
   for (int k : {2, 3}) {
     std::vector<double> ns, ts;
@@ -25,6 +26,8 @@ int main() {
       const i64 n = static_cast<i64>(side) * side;
       const i64 M = static_cast<i64>(std::llround(std::pow(n, alpha)));
       const SimPoint p = measure_sim_step(side, M, 3, k, 7);
+      rec.point("k=" + std::to_string(k) + " side=" + std::to_string(side),
+                p.wall_ms, p.steps);
       t.add(p.k, p.n, p.M, p.redundancy, p.steps,
             static_cast<double>(p.steps) /
                 std::sqrt(static_cast<double>(p.n)),
@@ -41,5 +44,6 @@ int main() {
               << ")  R^2 = " << format_double(fit.r2) << '\n';
   }
   t.print(std::cout);
+  rec.write();
   return 0;
 }

@@ -38,6 +38,7 @@ int paper_k(double n, double alpha, double q) {
 int main() {
   std::cout << "=== EXP-T4d: redundancy/k tradeoff (Theorem 1, polylog "
                "regime) ===\n";
+  BenchRecorder rec("simulation_polylog");
   Table t({"n", "M", "k", "redundancy q^k", "T_sim", "T/sqrt(n)",
            "k' of paper"});
   for (int side : {32, 64}) {
@@ -46,6 +47,8 @@ int main() {
     const int kp = paper_k(static_cast<double>(n), 1.3, 3.0);
     for (int k = 1; k <= 3; ++k) {
       const SimPoint p = measure_sim_step(side, M, 3, k, 23);
+      rec.point("side=" + std::to_string(side) + " k=" + std::to_string(k),
+                p.wall_ms, p.steps);
       t.add(p.n, p.M, p.k, p.redundancy, p.steps,
             static_cast<double>(p.steps) /
                 std::sqrt(static_cast<double>(p.n)),
@@ -56,5 +59,6 @@ int main() {
   std::cout << "\nTheory: k' balances the stage-(k+1) distribution cost "
                "against the per-level overhead;\nsmaller k pays in the first "
                "stage (big level-1 pages), larger k pays q^k packets.\n";
+  rec.write();
   return 0;
 }

@@ -17,6 +17,7 @@ using namespace meshpram::benchutil;
 int main() {
   std::cout << "=== EXP-T4a: T_sim scaling, alpha ~ 1.2, q=3, k=2 "
                "(Theorem 1, first regime) ===\n";
+  BenchRecorder rec("simulation_small_mem");
   Table t({"n", "M", "alpha", "redundancy", "T_sim (steps)", "T/sqrt(n)",
            "culling share", "degraded"});
   std::vector<double> ns, ts;
@@ -24,6 +25,7 @@ int main() {
     const i64 n = static_cast<i64>(side) * side;
     const i64 M = static_cast<i64>(std::llround(std::pow(n, 1.2)));
     const SimPoint p = measure_sim_step(side, M, 3, 2, 42);
+    rec.point("side=" + std::to_string(side), p.wall_ms, p.steps);
     t.add(p.n, p.M, p.alpha, p.redundancy, p.steps,
           static_cast<double>(p.steps) / std::sqrt(static_cast<double>(p.n)),
           static_cast<double>(p.culling) / static_cast<double>(p.steps),
@@ -37,5 +39,6 @@ int main() {
             << "  (theory: n^{1/2+eps}, 0 < eps < 1; sorting log factors "
                "push the small-n fit up)  R^2 = "
             << format_double(fit.r2) << "\n";
+  rec.write();
   return 0;
 }

@@ -17,6 +17,7 @@ using namespace meshpram::benchutil;
 
 int main() {
   std::cout << "=== EXP-SORT: k-k mesh sorting (paper 2 prerequisite) ===\n";
+  BenchRecorder rec("sort_scan");
   Table t({"n", "L (load)", "measured steps", "shearsort bound",
            "cited-alg cost L*2*sqrt(n)", "measured/cited"});
   for (int side : {16, 32, 64, 128}) {
@@ -33,7 +34,11 @@ int main() {
           mesh.buf(static_cast<i32>(node)).push_back(p);
         }
       }
+      const WallTimer timer;
       const i64 steps = sort_region(mesh, mesh.whole());
+      rec.point("sort side=" + std::to_string(side) +
+                    " load=" + std::to_string(load),
+                timer.ms(), steps);
       const i64 bound = shearsort_step_bound(mesh.whole(), load);
       const double cited =
           static_cast<double>(load) * 2.0 * std::sqrt(static_cast<double>(n));
@@ -54,9 +59,12 @@ int main() {
       p.key = static_cast<u64>(s / 7);  // groups, pre-sorted in snake order
       mesh.buf(mesh.node_at(mesh.whole(), s)).push_back(p);
     }
+    const WallTimer timer;
     const i64 steps = rank_within_groups(mesh, mesh.whole());
+    rec.point("rank side=" + std::to_string(side), timer.ms(), steps);
     s.add(n, steps, 4 * (2 * side + side));
   }
   s.print(std::cout);
+  rec.write();
   return 0;
 }

@@ -2,28 +2,49 @@
 //
 // Every bench is deterministic (fixed seeds) and prints a paper-style table;
 // EXPERIMENTS.md records the outputs next to the theorem each reproduces.
+// Every bench also drops a machine-readable BENCH_<name>.json (wall-clock ms
+// and counted mesh steps per configuration point) via BenchRecorder, so runs
+// can be diffed across commits.
 #pragma once
 
+#include <numeric>
 #include <set>
+#include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "mesh/machine.hpp"
 #include "protocol/access.hpp"
+#include "recorder.hpp"
 #include "util/rng.hpp"
 
 namespace meshpram::benchutil {
 
 /// Random EREW request set: every processor reads a distinct random variable.
+/// Dense draws (num_vars <= 2n) use a partial Fisher-Yates over the variable
+/// range; sparse draws use rejection sampling with O(1) expected tries — the
+/// old linear probe degenerated to O(n * num_vars) once the used set filled.
 inline std::vector<AccessRequest> random_requests(i64 n, i64 num_vars,
                                                   Rng& rng,
                                                   Op op = Op::Read) {
   std::vector<AccessRequest> reqs(static_cast<size_t>(n));
-  std::set<i64> used;
-  for (i64 i = 0; i < n; ++i) {
-    i64 v = rng.range(0, num_vars - 1);
-    while (used.contains(v)) v = (v + 1) % num_vars;
-    used.insert(v);
-    reqs[static_cast<size_t>(i)] = {v, op, op == Op::Write ? i : 0};
+  if (num_vars <= 2 * n) {
+    std::vector<i64> pool(static_cast<size_t>(num_vars));
+    std::iota(pool.begin(), pool.end(), i64{0});
+    for (i64 i = 0; i < n; ++i) {
+      const i64 j = rng.range(i, num_vars - 1);
+      std::swap(pool[static_cast<size_t>(i)], pool[static_cast<size_t>(j)]);
+      const i64 v = pool[static_cast<size_t>(i)];
+      reqs[static_cast<size_t>(i)] = {v, op, op == Op::Write ? i : 0};
+    }
+  } else {
+    std::unordered_set<i64> used;
+    used.reserve(static_cast<size_t>(2 * n));
+    for (i64 i = 0; i < n; ++i) {
+      i64 v = rng.range(0, num_vars - 1);
+      while (!used.insert(v).second) v = rng.range(0, num_vars - 1);
+      reqs[static_cast<size_t>(i)] = {v, op, op == Op::Write ? i : 0};
+    }
   }
   return reqs;
 }
@@ -123,6 +144,7 @@ struct SimPoint {
   i64 culling = 0;
   i64 forward = 0;
   bool degraded = false;
+  double wall_ms = 0;  ///< host wall-clock of the step() call
 };
 
 /// One full PRAM access step (read) on the mesh simulator; Analytic sort mode
@@ -143,8 +165,10 @@ inline SimPoint measure_sim_step(int side, i64 M, i64 q, int k, u64 seed,
   const auto reqs = adversarial ? adversarial_requests(n, M)
                                 : random_requests(n, M, rng);
   StepStats st;
+  const WallTimer timer;
   sim.step(reqs, &st);
   SimPoint p;
+  p.wall_ms = timer.ms();
   p.n = n;
   p.M = M;
   p.k = k;

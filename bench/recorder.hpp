@@ -1,0 +1,63 @@
+// Machine-readable bench output: every bench_* binary records one
+// (wall-clock ms, counted mesh steps) pair per configuration point and
+// writes BENCH_<name>.json into the working directory, so runs can be
+// diffed across commits. Structure-only points record 0 mesh steps.
+#pragma once
+
+#include <chrono>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/math.hpp"
+
+namespace meshpram::benchutil {
+
+/// Steady-clock stopwatch for the per-point wall measurements.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+  double ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Collects per-configuration measurements and writes BENCH_<name>.json.
+class BenchRecorder {
+ public:
+  explicit BenchRecorder(std::string name) : name_(std::move(name)) {}
+
+  void point(std::string config, double wall_ms, i64 mesh_steps) {
+    points_.push_back({std::move(config), wall_ms, mesh_steps});
+  }
+
+  void write() const {
+    std::ofstream out("BENCH_" + name_ + ".json");
+    out << "{\n  \"bench\": \"" << name_ << "\",\n  \"points\": [\n";
+    for (size_t i = 0; i < points_.size(); ++i) {
+      const Point& p = points_[i];
+      out << "    {\"config\": \"" << p.config
+          << "\", \"wall_ms\": " << p.wall_ms
+          << ", \"mesh_steps\": " << p.mesh_steps << '}'
+          << (i + 1 < points_.size() ? "," : "") << '\n';
+    }
+    out << "  ]\n}\n";
+  }
+
+ private:
+  struct Point {
+    std::string config;
+    double wall_ms = 0;
+    i64 mesh_steps = 0;
+  };
+  std::string name_;
+  std::vector<Point> points_;
+};
+
+}  // namespace meshpram::benchutil

@@ -23,23 +23,6 @@ Bibd::Bibd(i64 q, int d) : field_(GF::get(q)), q_(q), d_(d) {
             "input block layout inconsistent");
 }
 
-i64 Bibd::digit(i64 v, int j) const {
-  return (v / qpow_[static_cast<size_t>(j)]) % q_;
-}
-
-Bibd::Phi Bibd::decode_input(i64 w) const {
-  MP_REQUIRE(0 <= w && w < num_inputs_,
-             "input index " << w << " outside [0, " << num_inputs_ << ')');
-  int h = 0;
-  while (w >= block_offset_[static_cast<size_t>(h) + 1]) ++h;
-  const i64 local = w - block_offset_[static_cast<size_t>(h)];
-  Phi phi;
-  phi.h = h;
-  phi.A = local / qpow_[static_cast<size_t>(h)];
-  phi.B = local % qpow_[static_cast<size_t>(h)];
-  return phi;
-}
-
 i64 Bibd::encode_input(const Phi& phi) const {
   MP_REQUIRE(0 <= phi.h && phi.h < d_, "Phi.h = " << phi.h);
   MP_REQUIRE(0 <= phi.A && phi.A < qpow_[static_cast<size_t>(d_ - 1)],

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "gf/gf.hpp"
+#include "util/error.hpp"
 #include "util/math.hpp"
 
 namespace meshpram {
@@ -56,7 +57,21 @@ class Bibd {
     i64 B;
   };
 
-  Phi decode_input(i64 w) const;
+  // Inline: decode_input sits under neighbor/adjacent on the protocol's hot
+  // path (tens of millions of calls per simulated step). The h-scan is O(d)
+  // over a vector that fits in one cache line for the paper's configs.
+  Phi decode_input(i64 w) const {
+    MP_REQUIRE(0 <= w && w < num_inputs_,
+               "input index " << w << " outside [0, " << num_inputs_ << ')');
+    int h = 0;
+    while (w >= block_offset_[static_cast<size_t>(h) + 1]) ++h;
+    const i64 local = w - block_offset_[static_cast<size_t>(h)];
+    Phi phi;
+    phi.h = h;
+    phi.A = local / qpow_[static_cast<size_t>(h)];
+    phi.B = local % qpow_[static_cast<size_t>(h)];
+    return phi;
+  }
   i64 encode_input(const Phi& phi) const;
 
   /// The output adjacent to input w via field element x (x in [0, q)).
@@ -81,7 +96,10 @@ class Bibd {
   bool adjacent(i64 w, i64 u) const;
 
  private:
-  i64 digit(i64 v, int j) const;  // base-q digit j of v
+  /// Base-q digit j of v. Inline for the same reason as decode_input.
+  i64 digit(i64 v, int j) const {
+    return (v / qpow_[static_cast<size_t>(j)]) % q_;
+  }
 
   const GF& field_;
   i64 q_;

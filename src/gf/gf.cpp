@@ -67,11 +67,6 @@ GF::GF(i64 q) : q_(q) {
   }
 }
 
-i64 GF::check(i64 a) const {
-  MP_REQUIRE(0 <= a && a < q_, "element " << a << " outside GF(" << q_ << ')');
-  return a;
-}
-
 i64 GF::inv(i64 a) const {
   MP_REQUIRE(a != 0, "inverse of zero in GF(" << q_ << ')');
   return inv_[static_cast<size_t>(check(a))];

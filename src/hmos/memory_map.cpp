@@ -5,6 +5,8 @@
 namespace meshpram {
 
 MemoryMap::MemoryMap(const HmosParams& params) : params_(params) {
+  MP_REQUIRE(params.k() <= kMaxHmosLevels,
+             "HMOS depth " << params.k() << " exceeds kMaxHmosLevels");
   graphs_.reserve(static_cast<size_t>(params.k()) + 1);
   graphs_.emplace_back(params.q(), 1, 1);  // placeholder for index 0
   i64 inputs = params.num_vars();
@@ -54,15 +56,20 @@ std::vector<i64> MemoryMap::choices_of(u64 copy) const {
 }
 
 std::vector<i64> MemoryMap::module_path(u64 copy) const {
-  const auto choices = choices_of(copy);
-  std::vector<i64> path(static_cast<size_t>(params_.k()));
+  LevelPath path;
+  module_path_into(copy, path);
+  return std::vector<i64>(path.begin(), path.begin() + params_.k());
+}
+
+void MemoryMap::module_path_into(u64 copy, LevelPath& path) const {
+  u64 code = copy % static_cast<u64>(params_.redundancy());
   i64 u = variable_of(copy);
   for (int i = 1; i <= params_.k(); ++i) {
-    u = graphs_[static_cast<size_t>(i)].neighbor(
-        u, choices[static_cast<size_t>(i - 1)]);
+    const i64 c = static_cast<i64>(code % static_cast<u64>(params_.q()));
+    code /= static_cast<u64>(params_.q());
+    u = graphs_[static_cast<size_t>(i)].neighbor(u, c);
     path[static_cast<size_t>(i - 1)] = u;
   }
-  return path;
 }
 
 i64 MemoryMap::module_at(u64 copy, int level) const {

@@ -13,12 +13,21 @@
 // bench/bench_memory_map.cpp measures.
 #pragma once
 
+#include <array>
 #include <vector>
 
 #include "bibd/subgraph.hpp"
 #include "hmos/params.hpp"
 
 namespace meshpram {
+
+/// Upper bound on the HMOS depth k, fixed so hot paths can keep module/page
+/// paths in stack arrays instead of heap vectors (mirrors Packet::trail;
+/// k <= 6 in any sane configuration).
+inline constexpr int kMaxHmosLevels = 8;
+
+/// Stack-allocated module/page path buffer (entries [0, k) are valid).
+using LevelPath = std::array<i64, kMaxHmosLevels>;
 
 class MemoryMap {
  public:
@@ -36,6 +45,10 @@ class MemoryMap {
 
   /// Module path [u_1, ..., u_k] of a copy.
   std::vector<i64> module_path(u64 copy) const;
+
+  /// Allocation-free module path for the per-packet hot loops: writes
+  /// u_1..u_k into path[0..k-1].
+  void module_path_into(u64 copy, LevelPath& path) const;
 
   /// Module id at a single level (1 <= level <= k) — O(level * d).
   i64 module_at(u64 copy, int level) const;

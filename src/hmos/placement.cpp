@@ -79,11 +79,10 @@ const std::vector<PageInfo>& Placement::pages(int level) const {
 }
 
 CopyLoc Placement::locate(u64 copy) const {
-  const HmosParams& p = map_.params();
-  const int k = p.k();
-  const auto path = map_.module_path(copy);
+  const int k = map_.params().k();
+  LevelPath path;
+  map_.module_path_into(copy, path);
   CopyLoc loc;
-  loc.page.resize(static_cast<size_t>(k));
 
   i64 idx = path[static_cast<size_t>(k - 1)];  // level-k page index == module
   loc.page[static_cast<size_t>(k - 1)] = idx;
@@ -108,8 +107,19 @@ CopyLoc Placement::locate(u64 copy) const {
 }
 
 i64 Placement::page_at(u64 copy, int level) const {
-  const CopyLoc loc = locate(copy);
-  return loc.page[static_cast<size_t>(level - 1)];
+  const int k = map_.params().k();
+  MP_REQUIRE(1 <= level && level <= k, "page level " << level);
+  LevelPath path;
+  map_.module_path_into(copy, path);
+  i64 idx = path[static_cast<size_t>(k - 1)];
+  for (int i = k - 1; i >= level; --i) {
+    const PageInfo& parent = pages_[static_cast<size_t>(i) + 1]
+                                   [static_cast<size_t>(idx)];
+    idx = parent.first_child + map_.graph(i + 1).edge_rank(
+                                   path[static_cast<size_t>(i - 1)],
+                                   path[static_cast<size_t>(i)]);
+  }
+  return idx;
 }
 
 }  // namespace meshpram

@@ -31,9 +31,9 @@ struct PageInfo {
 };
 
 struct CopyLoc {
-  Coord node;                 ///< processor storing the copy
-  i64 slot = 0;               ///< within-node slot (several copies per node)
-  std::vector<i64> page;      ///< page[i-1] = level-i page index, i in [1,k]
+  Coord node;      ///< processor storing the copy
+  i64 slot = 0;    ///< within-node slot (several copies per node)
+  LevelPath page;  ///< page[i-1] = level-i page index, i in [1,k]; no heap
 };
 
 class Placement {
@@ -49,6 +49,8 @@ class Placement {
   CopyLoc locate(u64 copy) const;
 
   /// Level-i page index of a copy (shortcut used as sort key everywhere).
+  /// Cheaper than locate(): the descent stops at `level` and the leaf node
+  /// is never computed.
   i64 page_at(u64 copy, int level) const;
 
   /// True if any level packs multiple pages per node (t_i < 1 degradation).

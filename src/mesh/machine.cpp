@@ -12,61 +12,32 @@ Mesh::Mesh(int rows, int cols) : rows_(rows), cols_(cols) {
   stores_.resize(static_cast<size_t>(size()));
 }
 
-i32 Mesh::node_id(Coord x) const {
-  MP_REQUIRE(0 <= x.r && x.r < rows_ && 0 <= x.c && x.c < cols_,
-             "coordinate " << x << " outside " << rows_ << 'x' << cols_);
-  return x.r * cols_ + x.c;
-}
-
-Coord Mesh::coord(i32 id) const {
-  MP_REQUIRE(0 <= id && id < size(), "node id " << id);
-  return {id / cols_, id % cols_};
-}
-
-i32 Mesh::node_at(const Region& region, i64 s) const {
-  return node_id(region.at_snake(s));
-}
-
-std::vector<Packet>& Mesh::buf(i32 id) {
-  MP_REQUIRE(0 <= id && id < size(), "node id " << id);
-  return bufs_[static_cast<size_t>(id)];
-}
-
-const std::vector<Packet>& Mesh::buf(i32 id) const {
-  MP_REQUIRE(0 <= id && id < size(), "node id " << id);
-  return bufs_[static_cast<size_t>(id)];
-}
-
-std::unordered_map<u64, CopySlot>& Mesh::store(i32 id) {
-  MP_REQUIRE(0 <= id && id < size(), "node id " << id);
-  return stores_[static_cast<size_t>(id)];
-}
-
 i64 Mesh::total_packets(const Region& region) const {
   i64 total = 0;
-  for (i64 s = 0; s < region.size(); ++s) {
-    total += static_cast<i64>(buf(node_id(region.at_snake(s))).size());
+  for (RegionCursor cur = cursor(region); cur.valid(); cur.advance()) {
+    total += static_cast<i64>(bufs_[static_cast<size_t>(cur.id())].size());
   }
   return total;
 }
 
 i64 Mesh::max_load(const Region& region) const {
   i64 load = 0;
-  for (i64 s = 0; s < region.size(); ++s) {
-    load = std::max(load,
-                    static_cast<i64>(buf(node_id(region.at_snake(s))).size()));
+  for (RegionCursor cur = cursor(region); cur.valid(); cur.advance()) {
+    load = std::max(
+        load, static_cast<i64>(bufs_[static_cast<size_t>(cur.id())].size()));
   }
   return load;
 }
 
 void Mesh::clear_buffers() {
-  for (auto& b : bufs_) b.clear();
+  for (auto& b : bufs_) b.clear();  // clear() keeps capacity (reuse contract)
 }
 
 std::vector<Packet> Mesh::drain(const Region& region) {
   std::vector<Packet> out;
-  for (i64 s = 0; s < region.size(); ++s) {
-    auto& b = buf(node_id(region.at_snake(s)));
+  out.reserve(static_cast<size_t>(total_packets(region)));
+  for (RegionCursor cur = cursor(region); cur.valid(); cur.advance()) {
+    auto& b = bufs_[static_cast<size_t>(cur.id())];
     out.insert(out.end(), b.begin(), b.end());
     b.clear();
   }

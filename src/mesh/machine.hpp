@@ -8,15 +8,21 @@
 // The simulator performs all data movement for real — a packet is physically
 // appended to the destination node's buffer only when a simulated transfer
 // happens — so congestion and queueing behaviour are emergent, not modeled.
+//
+// Buffer reuse contract: clear_buffers() and the per-node b.clear() calls in
+// the protocol keep each buffer's heap capacity, so steady-state PRAM steps
+// recycle the same allocations instead of hitting the allocator per phase.
+// Thread-safety: concurrent access to DISJOINT node ids (buf/store) is safe;
+// the parallel engine (mesh/parallel.hpp) relies on exactly that.
 #pragma once
 
-#include <unordered_map>
 #include <vector>
 
 #include "mesh/geometry.hpp"
 #include "mesh/packet.hpp"
 #include "mesh/region.hpp"
 #include "mesh/step_counter.hpp"
+#include "util/error.hpp"
 
 namespace meshpram {
 
@@ -25,6 +31,74 @@ namespace meshpram {
 struct CopySlot {
   i64 value = 0;
   i64 timestamp = -1;
+};
+
+/// A node's local copy memory: flat open-addressing hash table from copy id
+/// to CopySlot (linear probing, power-of-two capacity). Replaces the previous
+/// std::unordered_map<u64, CopySlot> — one contiguous allocation per node
+/// instead of a heap node per copy, so the stage-1 access loop walks cache
+/// lines, not pointers. Copies are only ever inserted or overwritten (the
+/// protocol never deletes), which keeps probing tombstone-free.
+class CopyStore {
+ public:
+  /// Slot for `key`, inserting a default CopySlot if absent.
+  CopySlot& operator[](u64 key) {
+    MP_REQUIRE(key != kEmptyKey, "copy id collides with the empty sentinel");
+    if (entries_.empty() || 2 * (count_ + 1) > entries_.size()) grow();
+    Entry& e = probe(key);
+    if (e.key == kEmptyKey) {
+      e.key = key;
+      e.slot = CopySlot{};
+      ++count_;
+    }
+    return e.slot;
+  }
+
+  /// Slot for `key`, or nullptr if the node holds no such copy.
+  const CopySlot* find(u64 key) const {
+    if (entries_.empty()) return nullptr;
+    const Entry& e = const_cast<CopyStore*>(this)->probe(key);
+    return e.key == kEmptyKey ? nullptr : &e.slot;
+  }
+
+  i64 size() const { return static_cast<i64>(count_); }
+  bool empty() const { return count_ == 0; }
+
+ private:
+  static constexpr u64 kEmptyKey = ~0ULL;
+
+  struct Entry {
+    u64 key = kEmptyKey;
+    CopySlot slot;
+  };
+
+  static u64 mix(u64 x) {
+    // splitmix64 finalizer: full-avalanche hash of the copy id.
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  Entry& probe(u64 key) {
+    const size_t mask = entries_.size() - 1;
+    size_t i = static_cast<size_t>(mix(key)) & mask;
+    while (entries_[i].key != kEmptyKey && entries_[i].key != key) {
+      i = (i + 1) & mask;
+    }
+    return entries_[i];
+  }
+
+  void grow() {
+    std::vector<Entry> old = std::move(entries_);
+    entries_.assign(old.empty() ? 16 : old.size() * 2, Entry{});
+    for (const Entry& e : old) {
+      if (e.key != kEmptyKey) probe(e.key) = e;
+    }
+  }
+
+  std::vector<Entry> entries_;
+  size_t count_ = 0;
 };
 
 class Mesh {
@@ -36,15 +110,42 @@ class Mesh {
   i64 size() const { return static_cast<i64>(rows_) * cols_; }
   Region whole() const { return Region(0, 0, rows_, cols_); }
 
-  i32 node_id(Coord x) const;
-  Coord coord(i32 id) const;
+  i32 node_id(Coord x) const {
+    MP_REQUIRE(0 <= x.r && x.r < rows_ && 0 <= x.c && x.c < cols_,
+               "coordinate " << x << " outside " << rows_ << 'x' << cols_);
+    return x.r * cols_ + x.c;
+  }
+
+  Coord coord(i32 id) const {
+    MP_REQUIRE(0 <= id && id < size(), "node id " << id);
+    return {id / cols_, id % cols_};
+  }
+
   /// Node id at snake position s of `region`.
-  i32 node_at(const Region& region, i64 s) const;
+  i32 node_at(const Region& region, i64 s) const {
+    return node_id(region.at_snake(s));
+  }
 
-  std::vector<Packet>& buf(i32 id);
-  const std::vector<Packet>& buf(i32 id) const;
+  /// Incremental snake-order walk of `region` yielding global node ids in
+  /// O(1) per step — the hot-loop replacement for node_at(region, s).
+  RegionCursor cursor(const Region& region) const {
+    return RegionCursor(region, cols_);
+  }
 
-  std::unordered_map<u64, CopySlot>& store(i32 id);
+  std::vector<Packet>& buf(i32 id) {
+    MP_REQUIRE(0 <= id && id < size(), "node id " << id);
+    return bufs_[static_cast<size_t>(id)];
+  }
+
+  const std::vector<Packet>& buf(i32 id) const {
+    MP_REQUIRE(0 <= id && id < size(), "node id " << id);
+    return bufs_[static_cast<size_t>(id)];
+  }
+
+  CopyStore& store(i32 id) {
+    MP_REQUIRE(0 <= id && id < size(), "node id " << id);
+    return stores_[static_cast<size_t>(id)];
+  }
 
   StepCounter& clock() { return clock_; }
   const StepCounter& clock() const { return clock_; }
@@ -54,17 +155,20 @@ class Mesh {
   /// Maximum per-node buffer occupancy in `region`.
   i64 max_load(const Region& region) const;
 
-  /// Drops every buffered packet (copy stores are preserved).
+  /// Drops every buffered packet (copy stores are preserved). Buffer
+  /// capacities are kept so steady-state steps reuse the allocations.
   void clear_buffers();
 
   /// Gathers (and removes) all packets buffered in `region`, in snake order.
+  /// The result is reserved up-front via total_packets; the emptied node
+  /// buffers keep their capacity (reuse contract above).
   std::vector<Packet> drain(const Region& region);
 
  private:
   int rows_;
   int cols_;
   std::vector<std::vector<Packet>> bufs_;
-  std::vector<std::unordered_map<u64, CopySlot>> stores_;
+  std::vector<CopyStore> stores_;
   StepCounter clock_;
 };
 

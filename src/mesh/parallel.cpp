@@ -1,0 +1,64 @@
+#include "mesh/parallel.hpp"
+
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace meshpram {
+
+namespace {
+
+/// Debug-mode guard for the disjoint-region ownership rule: overlapping
+/// regions would let two workers mutate the same node's buffers concurrently.
+[[maybe_unused]] void check_disjoint(const Mesh& mesh,
+                                     const std::vector<Region>& regions) {
+  std::vector<char> owned(static_cast<size_t>(mesh.size()), 0);
+  for (const Region& g : regions) {
+    for (RegionCursor cur(g, mesh.cols()); cur.valid(); cur.advance()) {
+      char& cell = owned[static_cast<size_t>(cur.id())];
+      MP_ASSERT(cell == 0, "overlapping regions in parallel_for_regions at "
+                               << cur.coord());
+      cell = 1;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<i64> parallel_for_regions(
+    Mesh& mesh, const std::vector<Region>& regions,
+    const std::function<i64(const Region&)>& fn) {
+  return parallel_for_regions(
+      mesh, regions,
+      std::function<i64(const Region&, size_t)>(
+          [&fn](const Region& g, size_t) { return fn(g); }));
+}
+
+std::vector<i64> parallel_for_regions(
+    Mesh& mesh, const std::vector<Region>& regions,
+    const std::function<i64(const Region&, size_t)>& fn) {
+  for (const Region& g : regions) {
+    MP_REQUIRE(g.r0() >= 0 && g.c0() >= 0 && g.r0() + g.rows() <= mesh.rows() &&
+                   g.c0() + g.cols() <= mesh.cols(),
+               "region " << g << " escapes the mesh");
+  }
+#ifndef NDEBUG
+  check_disjoint(mesh, regions);
+#endif
+
+  std::vector<i64> costs(regions.size(), 0);
+  execution_pool().for_each_index(
+      static_cast<i64>(regions.size()), [&](i64 i) {
+        costs[static_cast<size_t>(i)] =
+            fn(regions[static_cast<size_t>(i)], static_cast<size_t>(i));
+      });
+  return costs;
+}
+
+i64 parallel_max_regions(Mesh& mesh, const std::vector<Region>& regions,
+                         const std::function<i64(const Region&)>& fn) {
+  ParallelCost pc;
+  pc.observe_all(parallel_for_regions(mesh, regions, fn));
+  return pc.max();
+}
+
+}  // namespace meshpram

@@ -1,0 +1,43 @@
+// Deterministic parallel execution over disjoint submesh regions.
+//
+// The paper runs each protocol phase "in parallel and independently in every
+// level-i submesh"; parallel_for_regions turns that logical parallelism into
+// host parallelism. Each region is handed to one pool worker which may touch
+// ONLY the node state (packet buffers, copy stores) inside its region — the
+// disjoint-region ownership rule, checked in debug builds. The per-region
+// step costs are returned indexed like `regions`, so the caller merges them
+// into StepCounter / ParallelCost in region order after the join: counted
+// mesh steps are bit-identical to a sequential run at any thread count.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "mesh/machine.hpp"
+#include "mesh/region.hpp"
+#include "mesh/step_counter.hpp"
+
+namespace meshpram {
+
+/// Runs fn(region) for every region of `regions` on the execution pool and
+/// returns the per-region step costs in input order. `fn` must obey the
+/// disjoint-region ownership rule: it may read shared immutable state
+/// (placements, maps) but may only mutate mesh state of nodes inside the
+/// region it was handed. Regions must be disjoint and contained in the mesh
+/// (disjointness is verified in debug builds; containment always).
+std::vector<i64> parallel_for_regions(
+    Mesh& mesh, const std::vector<Region>& regions,
+    const std::function<i64(const Region&)>& fn);
+
+/// Indexed variant: fn also receives the region's index in `regions`, for
+/// callers that collect per-region side results into pre-sized arrays.
+std::vector<i64> parallel_for_regions(
+    Mesh& mesh, const std::vector<Region>& regions,
+    const std::function<i64(const Region&, size_t)>& fn);
+
+/// Convenience: parallel_for_regions + ParallelCost::observe in region order.
+/// Returns the max per-region cost (the quantity the theorems charge).
+i64 parallel_max_regions(Mesh& mesh, const std::vector<Region>& regions,
+                         const std::function<i64(const Region&)>& fn);
+
+}  // namespace meshpram

@@ -59,4 +59,52 @@ class Region {
   int cols_ = 0;
 };
 
+/// Incremental walk of a region in snake order: O(1) advance with no div/mod,
+/// replacing repeated Region::at_snake(s) recomputation (O(extent) arithmetic
+/// per visit) in the per-node hot loops. With a positive `id_stride` (the
+/// mesh column count) the cursor also maintains the global node id
+/// incrementally; Mesh::cursor() constructs it that way.
+class RegionCursor {
+ public:
+  explicit RegionCursor(const Region& g, int id_stride = 0)
+      : r_(g.r0()),
+        c_(g.c0()),
+        c_lo_(g.c0()),
+        c_hi_(g.c0() + g.cols() - 1),
+        east_(true),
+        pos_(0),
+        end_(g.size()),
+        stride_(id_stride),
+        id_(static_cast<i64>(g.r0()) * id_stride + g.c0()) {}
+
+  bool valid() const { return pos_ < end_; }
+  /// Snake position in [0, region.size()).
+  i64 pos() const { return pos_; }
+  Coord coord() const { return {r_, c_}; }
+  /// Global node id; only meaningful when constructed with an id stride.
+  i32 id() const { return static_cast<i32>(id_); }
+
+  void advance() {
+    ++pos_;
+    if (east_ ? c_ < c_hi_ : c_ > c_lo_) {
+      const int dc = east_ ? 1 : -1;
+      c_ += dc;
+      id_ += dc;
+    } else {
+      ++r_;
+      id_ += stride_;
+      east_ = !east_;
+    }
+  }
+
+ private:
+  int r_, c_;
+  int c_lo_, c_hi_;
+  bool east_;
+  i64 pos_;
+  i64 end_;
+  int stride_;
+  i64 id_;
+};
+
 }  // namespace meshpram

@@ -6,21 +6,53 @@
 
 namespace meshpram {
 
-void StepCounter::add(const std::string& phase, i64 steps) {
+StepCounter::PhaseId StepCounter::intern(std::string_view phase) {
+  const auto it = index_.find(phase);
+  if (it != index_.end()) return it->second;
+  const PhaseId id = static_cast<PhaseId>(labels_.size());
+  labels_.emplace_back(phase);
+  counts_.push_back(0);
+  index_.emplace(labels_.back(), id);
+  return id;
+}
+
+void StepCounter::add(std::string_view phase, i64 steps) {
+  add(intern(phase), steps);
+}
+
+void StepCounter::add(PhaseId phase, i64 steps) {
+  MP_REQUIRE(phase < counts_.size(), "unknown phase id " << phase);
   MP_REQUIRE(steps >= 0, "negative step count " << steps << " for phase "
-                                                << phase);
+                                                << labels_[phase]);
   total_ += steps;
-  by_phase_[phase] += steps;
+  counts_[phase] += steps;
+}
+
+std::map<std::string, i64> StepCounter::by_phase() const {
+  std::map<std::string, i64> out;
+  for (size_t i = 0; i < labels_.size(); ++i) out[labels_[i]] = counts_[i];
+  return out;
+}
+
+i64 StepCounter::phase_total(std::string_view phase) const {
+  const auto it = index_.find(phase);
+  return it == index_.end() ? 0 : counts_[it->second];
 }
 
 void StepCounter::reset() {
   total_ = 0;
-  by_phase_.clear();
+  counts_.clear();
+  labels_.clear();
+  index_.clear();
 }
 
 void ParallelCost::observe(i64 region_cost) {
   MP_REQUIRE(region_cost >= 0, "negative region cost");
   max_ = std::max(max_, region_cost);
+}
+
+void ParallelCost::observe_all(const std::vector<i64>& region_costs) {
+  for (const i64 cost : region_costs) observe(cost);
 }
 
 }  // namespace meshpram

@@ -5,10 +5,17 @@
 // "in parallel and independently in every level-i submesh" are charged the
 // MAXIMUM cost over the concurrently active submeshes — that is exactly the
 // quantity the theorems bound.
+//
+// Phase labels are interned: repeated add() calls with the same label hit a
+// heterogeneous string_view lookup (no std::string allocation per call), and
+// hot callers can pre-intern once and add by PhaseId.
 #pragma once
 
 #include <map>
 #include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
 
 #include "util/math.hpp"
 
@@ -16,22 +23,49 @@ namespace meshpram {
 
 class StepCounter {
  public:
+  /// Dense handle for an interned phase label.
+  using PhaseId = u32;
+
+  /// Interns `phase`, returning a stable id for allocation-free add() calls.
+  PhaseId intern(std::string_view phase);
+
   /// Adds `steps` under phase label `phase` (labels aggregate across calls).
-  void add(const std::string& phase, i64 steps);
+  void add(std::string_view phase, i64 steps);
+  void add(PhaseId phase, i64 steps);
 
   i64 total() const { return total_; }
-  const std::map<std::string, i64>& by_phase() const { return by_phase_; }
+  /// Per-phase totals keyed by label (built on demand; for reporting).
+  std::map<std::string, i64> by_phase() const;
+  /// Steps accumulated under one label (0 if never added).
+  i64 phase_total(std::string_view phase) const;
   void reset();
 
  private:
+  struct SvHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct SvEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+
   i64 total_ = 0;
-  std::map<std::string, i64> by_phase_;
+  std::vector<i64> counts_;                                // by PhaseId
+  std::vector<std::string> labels_;                        // by PhaseId
+  std::unordered_map<std::string, PhaseId, SvHash, SvEq> index_;
 };
 
 /// Helper for parallel-region phases: feed per-region costs, read the max.
 class ParallelCost {
  public:
   void observe(i64 region_cost);
+  /// Observes every cost of a parallel_for_regions result in region order.
+  void observe_all(const std::vector<i64>& region_costs);
   i64 max() const { return max_; }
 
  private:

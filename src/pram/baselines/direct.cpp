@@ -55,8 +55,8 @@ std::vector<i64> DirectAllCopiesSim::step(
       if (p.op == Op::Write) {
         store[p.copy] = CopySlot{p.value, 0};
       } else {
-        const auto it = store.find(p.copy);
-        p.value = it == store.end() ? 0 : it->second.value;
+        const CopySlot* slot = store.find(p.copy);
+        p.value = slot == nullptr ? 0 : slot->value;
       }
       p.dest = p.origin;
     }

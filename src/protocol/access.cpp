@@ -5,6 +5,7 @@
 #include <set>
 #include <tuple>
 
+#include "mesh/parallel.hpp"
 #include "routing/greedy.hpp"
 #include "routing/rank.hpp"
 #include "util/error.hpp"
@@ -29,8 +30,8 @@ AccessProtocol::AccessProtocol(Mesh& mesh, const Placement& placement,
 
 i64 AccessProtocol::distribute_stage(const Region& region, int dest_level) {
   // Key every packet by its destination page at dest_level.
-  for (i64 s = 0; s < region.size(); ++s) {
-    for (Packet& p : mesh_.buf(mesh_.node_id(region.at_snake(s)))) {
+  for (RegionCursor cur = mesh_.cursor(region); cur.valid(); cur.advance()) {
+    for (Packet& p : mesh_.buf(cur.id())) {
       p.key = static_cast<u64>(placement_.page_at(p.copy, dest_level));
     }
   }
@@ -38,8 +39,8 @@ i64 AccessProtocol::distribute_stage(const Region& region, int dest_level) {
   steps += rank_within_groups(mesh_, region);
 
   const auto& pages = placement_.pages(dest_level);
-  for (i64 s = 0; s < region.size(); ++s) {
-    for (Packet& p : mesh_.buf(mesh_.node_id(region.at_snake(s)))) {
+  for (RegionCursor cur = mesh_.cursor(region); cur.valid(); cur.advance()) {
+    for (Packet& p : mesh_.buf(cur.id())) {
       const Region& sub = pages[static_cast<size_t>(p.key)].region;
       MP_ASSERT(region.contains(sub.at_snake(0)),
                 "destination page region escapes the stage region");
@@ -50,8 +51,8 @@ i64 AccessProtocol::distribute_stage(const Region& region, int dest_level) {
   steps += route_greedy(mesh_, region).steps;
 
   // Record the stop for the return journey.
-  for (i64 s = 0; s < region.size(); ++s) {
-    const i32 id = mesh_.node_id(region.at_snake(s));
+  for (RegionCursor cur = mesh_.cursor(region); cur.valid(); cur.advance()) {
+    const i32 id = cur.id();
     for (Packet& p : mesh_.buf(id)) p.push_trail(id);
   }
   return steps;
@@ -113,14 +114,16 @@ std::vector<i64> AccessProtocol::execute(
   }
 
   // ---- Forward stages k+1 .. 2 -------------------------------------------
+  // Stage k+1 spans the whole mesh; the inner stages run one worker per
+  // level-i submesh (disjoint regions, see mesh/parallel.hpp).
   for (int stage = k + 1; stage >= 2; --stage) {
     ParallelCost pc;
     if (stage == k + 1) {
       pc.observe(distribute_stage(mesh_.whole(), k));
     } else {
-      for (const Region& g : level_regions_[static_cast<size_t>(stage)]) {
-        pc.observe(distribute_stage(g, stage - 1));
-      }
+      pc.observe_all(parallel_for_regions(
+          mesh_, level_regions_[static_cast<size_t>(stage)],
+          [&](const Region& g) { return distribute_stage(g, stage - 1); }));
     }
     st.forward_stage_steps.push_back(pc.max());
     st.forward_steps += pc.max();
@@ -129,14 +132,16 @@ std::vector<i64> AccessProtocol::execute(
   // ---- Stage 1: deliver and access ----------------------------------------
   {
     ParallelCost pc;
-    for (const Region& g : level_regions_[1]) {
-      for (i64 s = 0; s < g.size(); ++s) {
-        for (Packet& p : mesh_.buf(mesh_.node_id(g.at_snake(s)))) {
-          p.dest = mesh_.node_id(placement_.locate(p.copy).node);
-        }
-      }
-      pc.observe(route_greedy(mesh_, g).steps);
-    }
+    pc.observe_all(parallel_for_regions(
+        mesh_, level_regions_[1], [&](const Region& g) {
+          for (RegionCursor cur = mesh_.cursor(g); cur.valid();
+               cur.advance()) {
+            for (Packet& p : mesh_.buf(cur.id())) {
+              p.dest = mesh_.node_id(placement_.locate(p.copy).node);
+            }
+          }
+          return route_greedy(mesh_, g).steps;
+        }));
     st.forward_stage_steps.push_back(pc.max());
     st.forward_steps += pc.max();
     // Perform the accesses at the destination processors.
@@ -146,10 +151,10 @@ std::vector<i64> AccessProtocol::execute(
         if (p.op == Op::Write) {
           store[p.copy] = CopySlot{p.value, timestamp};
         } else {
-          const auto it = store.find(p.copy);
-          if (it != store.end()) {
-            p.value = it->second.value;
-            p.timestamp = it->second.timestamp;
+          const CopySlot* slot = store.find(p.copy);
+          if (slot != nullptr) {
+            p.value = slot->value;
+            p.timestamp = slot->timestamp;
           } else {
             p.value = 0;
             p.timestamp = -1;
@@ -165,17 +170,20 @@ std::vector<i64> AccessProtocol::execute(
   for (int stage = 1; stage <= k; ++stage) {
     const int trail_idx = k - stage;  // trail[k-1] = innermost stop
     ParallelCost pc;
-    for (const Region& g : level_regions_[static_cast<size_t>(stage)]) {
-      bool any = false;
-      for (i64 s = 0; s < g.size(); ++s) {
-        for (Packet& p : mesh_.buf(mesh_.node_id(g.at_snake(s)))) {
-          MP_ASSERT(p.trail_len == k, "packet with incomplete trail");
-          p.dest = p.trail[static_cast<size_t>(trail_idx)];
-          any = true;
-        }
-      }
-      if (any) pc.observe(route_greedy(mesh_, g).steps);
-    }
+    pc.observe_all(parallel_for_regions(
+        mesh_, level_regions_[static_cast<size_t>(stage)],
+        [&](const Region& g) -> i64 {
+          bool any = false;
+          for (RegionCursor cur = mesh_.cursor(g); cur.valid();
+               cur.advance()) {
+            for (Packet& p : mesh_.buf(cur.id())) {
+              MP_ASSERT(p.trail_len == k, "packet with incomplete trail");
+              p.dest = p.trail[static_cast<size_t>(trail_idx)];
+              any = true;
+            }
+          }
+          return any ? route_greedy(mesh_, g).steps : 0;
+        }));
     st.return_steps += pc.max();
   }
   {

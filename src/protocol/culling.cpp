@@ -1,13 +1,23 @@
 #include "protocol/culling.hpp"
 
 #include <algorithm>
+#include <mutex>
 #include <unordered_map>
 
 #include "routing/lroute.hpp"
 #include "routing/rank.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace meshpram {
+
+namespace {
+
+/// Per-node loops below are data-parallel (each node touches only its own
+/// buffer / bitmap); chunks smaller than this are not worth a handoff.
+constexpr i64 kNodeGrain = 64;
+
+}  // namespace
 
 Culling::Culling(Mesh& mesh, const Placement& placement,
                  SortOptions sort_opts)
@@ -18,7 +28,6 @@ Culling::Culling(Mesh& mesh, const Placement& placement,
 std::vector<std::vector<i64>> Culling::run(
     const std::vector<i64>& request_vars, CullingStats* stats) {
   const HmosParams& params = placement_.map().params();
-  const MemoryMap& map = placement_.map();
   const i64 n = mesh_.size();
   MP_REQUIRE(static_cast<i64>(request_vars.size()) == n,
              "request vector size " << request_vars.size() << " != mesh size "
@@ -51,93 +60,111 @@ std::vector<std::vector<i64>> Culling::run(
   for (int iter = 1; iter <= params.k(); ++iter) {
     const i64 tau = params.culling_threshold(iter);
 
-    // Emit one packet per selected copy, keyed by its level-i page.
-    for (i64 node = 0; node < n; ++node) {
-      const i64 var = request_vars[static_cast<size_t>(node)];
-      if (var < 0) continue;
-      const auto& bits = candidate[static_cast<size_t>(node)];
-      for (i64 code = 0; code < ncodes; ++code) {
-        if (!bits[static_cast<size_t>(code)]) continue;
-        Packet p;
-        p.var = var;
-        p.copy = static_cast<u64>(var) *
-                     static_cast<u64>(params.redundancy()) +
-                 static_cast<u64>(code);
-        p.key = static_cast<u64>(placement_.page_at(p.copy, iter));
-        p.origin = static_cast<i32>(node);
-        mesh_.buf(static_cast<i32>(node)).push_back(p);
+    // Emit one packet per selected copy, keyed by its level-i page. Each
+    // node fills only its own buffer, so the loop chunks over nodes.
+    execution_pool().for_each_chunk(n, kNodeGrain, [&](i64 lo, i64 hi) {
+      for (i64 node = lo; node < hi; ++node) {
+        const i64 var = request_vars[static_cast<size_t>(node)];
+        if (var < 0) continue;
+        const auto& bits = candidate[static_cast<size_t>(node)];
+        auto& b = mesh_.buf(static_cast<i32>(node));
+        for (i64 code = 0; code < ncodes; ++code) {
+          if (!bits[static_cast<size_t>(code)]) continue;
+          Packet p;
+          p.var = var;
+          p.copy = static_cast<u64>(var) *
+                       static_cast<u64>(params.redundancy()) +
+                   static_cast<u64>(code);
+          p.key = static_cast<u64>(placement_.page_at(p.copy, iter));
+          p.origin = static_cast<i32>(node);
+          b.push_back(p);
+        }
       }
-    }
+    });
 
     // Sort by page, rank within page, mark the first tau of each page.
     st.steps += sort_region(mesh_, whole, sort_opts_);
     st.steps += rank_within_groups(mesh_, whole);
-    for (i64 s = 0; s < n; ++s) {
-      for (Packet& p : mesh_.buf(static_cast<i32>(s))) {
-        p.value = (static_cast<i64>(p.rank) < tau) ? 1 : 0;
-        p.dest = p.origin;
+    execution_pool().for_each_chunk(n, kNodeGrain, [&](i64 lo, i64 hi) {
+      for (i64 s = lo; s < hi; ++s) {
+        for (Packet& p : mesh_.buf(static_cast<i32>(s))) {
+          p.value = (static_cast<i64>(p.rank) < tau) ? 1 : 0;
+          p.dest = p.origin;
+        }
       }
-    }
+    });
 
     // Return the mark bits to the owners.
     st.steps += route_sorted(mesh_, whole, sort_opts_).steps;
 
     // Local selection: prefer marked copies; add unmarked only if needed.
-    for (i64 node = 0; node < n; ++node) {
-      marked[static_cast<size_t>(node)].assign(static_cast<size_t>(ncodes), 0);
-    }
-    for (i64 s = 0; s < n; ++s) {
-      auto& b = mesh_.buf(static_cast<i32>(s));
-      for (const Packet& p : b) {
-        MP_ASSERT(p.dest == static_cast<i32>(s), "mark bit went astray");
-        if (p.value != 0) {
-          const i64 code = static_cast<i64>(
-              p.copy % static_cast<u64>(params.redundancy()));
-          marked[static_cast<size_t>(s)][static_cast<size_t>(code)] = 1;
+    // Node `s` only writes marked[s] / candidate[s] and drains its own
+    // buffer, so both passes chunk over nodes.
+    execution_pool().for_each_chunk(n, kNodeGrain, [&](i64 lo, i64 hi) {
+      for (i64 s = lo; s < hi; ++s) {
+        marked[static_cast<size_t>(s)].assign(static_cast<size_t>(ncodes), 0);
+        auto& b = mesh_.buf(static_cast<i32>(s));
+        for (const Packet& p : b) {
+          MP_ASSERT(p.dest == static_cast<i32>(s), "mark bit went astray");
+          if (p.value != 0) {
+            const i64 code = static_cast<i64>(
+                p.copy % static_cast<u64>(params.redundancy()));
+            marked[static_cast<size_t>(s)][static_cast<size_t>(code)] = 1;
+          }
         }
+        b.clear();
       }
-      b.clear();
-    }
-    for (i64 node = 0; node < n; ++node) {
-      if (request_vars[static_cast<size_t>(node)] < 0) continue;
-      auto& cand = candidate[static_cast<size_t>(node)];
-      const auto& mk = marked[static_cast<size_t>(node)];
-      // Try M alone first (the pseudo-code's "if M contains a target set").
+    });
+    execution_pool().for_each_chunk(n, /*min_grain=*/8, [&](i64 lo, i64 hi) {
       std::vector<char> m_only(static_cast<size_t>(ncodes), 0);
-      for (i64 c = 0; c < ncodes; ++c) {
-        m_only[static_cast<size_t>(c)] =
-            static_cast<char>(cand[static_cast<size_t>(c)] &&
-                              mk[static_cast<size_t>(c)]);
+      for (i64 node = lo; node < hi; ++node) {
+        if (request_vars[static_cast<size_t>(node)] < 0) continue;
+        auto& cand = candidate[static_cast<size_t>(node)];
+        const auto& mk = marked[static_cast<size_t>(node)];
+        // Try M alone first (the pseudo-code's "if M contains a target set").
+        for (i64 c = 0; c < ncodes; ++c) {
+          m_only[static_cast<size_t>(c)] =
+              static_cast<char>(cand[static_cast<size_t>(c)] &&
+                                mk[static_cast<size_t>(c)]);
+        }
+        TargetSelector::Selection sel =
+            selector_.select(iter, m_only, m_only);
+        if (!sel.feasible) {
+          // Augment with the fewest possible unmarked copies from C.
+          sel = selector_.select(iter, cand, m_only);
+          MP_ASSERT(sel.feasible,
+                    "C_v^{i-1} lost the level-" << iter
+                                                << " target set invariant");
+        }
+        cand.assign(static_cast<size_t>(ncodes), 0);
+        for (i64 code : sel.codes) cand[static_cast<size_t>(code)] = 1;
       }
-      TargetSelector::Selection sel =
-          selector_.select(iter, m_only, m_only);
-      if (!sel.feasible) {
-        // Augment with the fewest possible unmarked copies from C.
-        sel = selector_.select(iter, cand, m_only);
-        MP_ASSERT(sel.feasible,
-                  "C_v^{i-1} lost the level-" << iter
-                                              << " target set invariant");
-      }
-      cand.assign(static_cast<size_t>(ncodes), 0);
-      for (i64 code : sel.codes) cand[static_cast<size_t>(code)] = 1;
-    }
+    });
     // Local DP over the q^k-leaf tree: O(q^k) per processor (Eq. 2 charge).
     st.steps += params.redundancy();
 
-    // Instrumentation: per-level-i page load of the union of C_v^i.
+    // Instrumentation: per-level-i page load of the union of C_v^i. Each
+    // chunk counts into its own map; maps sum-merge under a mutex, which is
+    // commutative, so the final counts are thread-count invariant.
     std::unordered_map<i64, i64> load;
-    for (i64 node = 0; node < n; ++node) {
-      const i64 var = request_vars[static_cast<size_t>(node)];
-      if (var < 0) continue;
-      const auto& bits = candidate[static_cast<size_t>(node)];
-      for (i64 code = 0; code < ncodes; ++code) {
-        if (!bits[static_cast<size_t>(code)]) continue;
-        const u64 copy = static_cast<u64>(var) *
-                             static_cast<u64>(params.redundancy()) +
-                         static_cast<u64>(code);
-        ++load[placement_.page_at(copy, iter)];
+    std::mutex load_mu;
+    execution_pool().for_each_chunk(n, kNodeGrain, [&](i64 lo, i64 hi) {
+      std::unordered_map<i64, i64> chunk_load;
+      for (i64 node = lo; node < hi; ++node) {
+        const i64 var = request_vars[static_cast<size_t>(node)];
+        if (var < 0) continue;
+        const auto& bits = candidate[static_cast<size_t>(node)];
+        for (i64 code = 0; code < ncodes; ++code) {
+          if (!bits[static_cast<size_t>(code)]) continue;
+          const u64 copy = static_cast<u64>(var) *
+                               static_cast<u64>(params.redundancy()) +
+                           static_cast<u64>(code);
+          ++chunk_load[placement_.page_at(copy, iter)];
+        }
       }
-    }
+      const std::lock_guard<std::mutex> lock(load_mu);
+      for (const auto& [page, cnt] : chunk_load) load[page] += cnt;
+    });
     i64 max_load = 0;
     for (const auto& [page, cnt] : load) max_load = std::max(max_load, cnt);
     st.max_page_load.push_back(max_load);

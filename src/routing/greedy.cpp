@@ -28,23 +28,35 @@ bool next_dir(Coord at, Coord dest, Dir* out) {
   return true;
 }
 
+/// A packet in transit with its destination coordinate cached, so the
+/// per-step loops stop re-deriving it from the node id (a div/mod per
+/// packet per step adds up: route_greedy is the simulator's hottest loop).
+struct Transit {
+  Packet packet;
+  Coord dest;
+};
+
 }  // namespace
 
 RouteStats route_greedy(Mesh& mesh, const Region& region) {
   RouteStats stats;
 
-  // Transit queues, indexed by region snake position for density.
+  // Transit queues, indexed by region snake position for density. The step
+  // loops walk the region with a RegionCursor (O(1) advance); an explicit
+  // active-position list was tried and lost — the protocol's instances keep
+  // most nodes busy, so the empty-queue checks are cheaper than keeping a
+  // sorted work list.
   const i64 m = region.size();
-  std::vector<std::vector<Packet>> transit(static_cast<size_t>(m));
-  std::vector<std::vector<Packet>> incoming(static_cast<size_t>(m));
-  std::vector<i64> pos_of_node(static_cast<size_t>(mesh.size()), -1);
+  std::vector<std::vector<Transit>> transit(static_cast<size_t>(m));
+  std::vector<std::vector<Transit>> incoming(static_cast<size_t>(m));
   i64 in_flight = 0;
 
-  for (i64 s = 0; s < m; ++s) {
-    const Coord x = region.at_snake(s);
-    const i32 id = mesh.node_id(x);
-    pos_of_node[static_cast<size_t>(id)] = s;
+  for (RegionCursor cur = mesh.cursor(region); cur.valid(); cur.advance()) {
+    const Coord x = cur.coord();
+    const i32 id = cur.id();
     auto& b = mesh.buf(id);
+    auto& t = transit[static_cast<size_t>(cur.pos())];
+    auto keep = b.begin();
     for (Packet& p : b) {
       MP_REQUIRE(p.dest >= 0 && p.dest < mesh.size(),
                  "packet without destination");
@@ -53,16 +65,10 @@ RouteStats route_greedy(Mesh& mesh, const Region& region) {
                  "destination " << d << " outside routing region " << region);
       ++stats.packets;
       stats.total_distance += manhattan(x, d);
-      if (p.dest == id) continue;  // already home; stays in the buffer
-    }
-    // Move packets that still need to travel into the transit queue.
-    auto& t = transit[static_cast<size_t>(s)];
-    auto keep = b.begin();
-    for (Packet& p : b) {
       if (p.dest == id) {
-        *keep++ = p;
+        *keep++ = p;  // already home; stays in the buffer
       } else {
-        t.push_back(p);
+        t.push_back(Transit{p, d});
         ++in_flight;
       }
     }
@@ -72,19 +78,19 @@ RouteStats route_greedy(Mesh& mesh, const Region& region) {
   while (in_flight > 0) {
     ++stats.steps;
     // Each node forwards at most one packet per outgoing direction.
-    for (i64 s = 0; s < m; ++s) {
-      auto& t = transit[static_cast<size_t>(s)];
+    for (RegionCursor cur = mesh.cursor(region); cur.valid(); cur.advance()) {
+      auto& t = transit[static_cast<size_t>(cur.pos())];
       if (t.empty()) continue;
-      const Coord at = region.at_snake(s);
+      const Coord at = cur.coord();
       // Best candidate per direction: farthest remaining distance first.
       std::array<int, kNumDirs> best;
       best.fill(-1);
       std::array<i64, kNumDirs> best_dist{};
       for (size_t i = 0; i < t.size(); ++i) {
         Dir dir;
-        const Coord dest = mesh.coord(t[i].dest);
-        MP_ASSERT(next_dir(at, dest, &dir), "arrived packet still in transit");
-        const i64 rem = manhattan(at, dest);
+        MP_ASSERT(next_dir(at, t[i].dest, &dir),
+                  "arrived packet still in transit");
+        const i64 rem = manhattan(at, t[i].dest);
         const auto di = static_cast<size_t>(dir);
         if (best[di] < 0 || rem > best_dist[di]) {
           best[di] = static_cast<int>(i);
@@ -96,32 +102,31 @@ RouteStats route_greedy(Mesh& mesh, const Region& region) {
       std::sort(chosen.begin(), chosen.end(), std::greater<int>());
       for (int idx : chosen) {
         if (idx < 0) continue;
-        Packet p = t[static_cast<size_t>(idx)];
+        Transit tp = t[static_cast<size_t>(idx)];
         t.erase(t.begin() + idx);
         Dir dir;
-        next_dir(at, mesh.coord(p.dest), &dir);
+        next_dir(at, tp.dest, &dir);
         const Coord to = step_toward(at, dir);
         MP_ASSERT(region.contains(to), "XY routing left the region");
-        incoming[static_cast<size_t>(region.snake_of(to))].push_back(p);
+        incoming[static_cast<size_t>(region.snake_of(to))].push_back(tp);
       }
     }
     // Absorb arrivals: deliver or queue for the next cycle.
-    for (i64 s = 0; s < m; ++s) {
-      auto& in = incoming[static_cast<size_t>(s)];
+    for (RegionCursor cur = mesh.cursor(region); cur.valid(); cur.advance()) {
+      auto& in = incoming[static_cast<size_t>(cur.pos())];
       if (in.empty()) continue;
-      const i32 id = mesh.node_id(region.at_snake(s));
-      auto& t = transit[static_cast<size_t>(s)];
-      for (Packet& p : in) {
-        if (p.dest == id) {
-          mesh.buf(id).push_back(p);
+      const i32 id = cur.id();
+      auto& t = transit[static_cast<size_t>(cur.pos())];
+      for (Transit& tp : in) {
+        if (tp.packet.dest == id) {
+          mesh.buf(id).push_back(tp.packet);
           --in_flight;
         } else {
-          t.push_back(p);
+          t.push_back(tp);
         }
       }
       in.clear();
-      stats.max_queue =
-          std::max(stats.max_queue, static_cast<i64>(t.size()));
+      stats.max_queue = std::max(stats.max_queue, static_cast<i64>(t.size()));
     }
   }
   return stats;

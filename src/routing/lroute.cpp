@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mesh/parallel.hpp"
 #include "routing/rank.hpp"
 #include "util/error.hpp"
 
@@ -19,8 +20,8 @@ StagedRouteStats route_direct(Mesh& mesh, const Region& region) {
 StagedRouteStats route_sorted(Mesh& mesh, const Region& region,
                               const SortOptions& opts) {
   StagedRouteStats out;
-  for (i64 s = 0; s < region.size(); ++s) {
-    for (Packet& p : mesh.buf(mesh.node_id(region.at_snake(s)))) {
+  for (RegionCursor cur = mesh.cursor(region); cur.valid(); cur.advance()) {
+    for (Packet& p : mesh.buf(cur.id())) {
       MP_REQUIRE(p.dest >= 0, "packet without destination");
       p.key = static_cast<u64>(region.snake_of(mesh.coord(p.dest)));
     }
@@ -42,18 +43,16 @@ StagedRouteStats route_two_stage(Mesh& mesh, const Region& region,
   // Map node -> subregion index for destination lookup.
   std::vector<i32> sub_of(static_cast<size_t>(mesh.size()), -1);
   for (size_t i = 0; i < subs.size(); ++i) {
-    const Region& sub = subs[i];
-    for (i64 s = 0; s < sub.size(); ++s) {
-      const i32 id = mesh.node_id(sub.at_snake(s));
-      MP_ASSERT(sub_of[static_cast<size_t>(id)] == -1,
-                "overlapping subregions in tessellated routing");
-      sub_of[static_cast<size_t>(id)] = static_cast<i32>(i);
+    for (RegionCursor cur = mesh.cursor(subs[i]); cur.valid(); cur.advance()) {
+      i32& cell = sub_of[static_cast<size_t>(cur.id())];
+      MP_ASSERT(cell == -1, "overlapping subregions in tessellated routing");
+      cell = static_cast<i32>(i);
     }
   }
 
   // Key by destination subregion; remember the true destination.
-  for (i64 s = 0; s < region.size(); ++s) {
-    for (Packet& p : mesh.buf(mesh.node_id(region.at_snake(s)))) {
+  for (RegionCursor cur = mesh.cursor(region); cur.valid(); cur.advance()) {
+    for (Packet& p : mesh.buf(cur.id())) {
       MP_REQUIRE(p.dest >= 0, "packet without destination");
       const i32 sub = sub_of[static_cast<size_t>(p.dest)];
       MP_REQUIRE(sub >= 0, "destination " << p.dest
@@ -69,8 +68,8 @@ StagedRouteStats route_two_stage(Mesh& mesh, const Region& region,
 
   // Stage A: rank i goes to node (i mod m) of the destination subregion —
   // the even spread that makes the second stage a (δ, l2)-problem.
-  for (i64 s = 0; s < region.size(); ++s) {
-    for (Packet& p : mesh.buf(mesh.node_id(region.at_snake(s)))) {
+  for (RegionCursor cur = mesh.cursor(region); cur.valid(); cur.advance()) {
+    for (Packet& p : mesh.buf(cur.id())) {
       const Region& sub = subs[static_cast<size_t>(p.key)];
       p.dest = mesh.node_at(sub, static_cast<i64>(p.rank) % sub.size());
     }
@@ -78,18 +77,26 @@ StagedRouteStats route_two_stage(Mesh& mesh, const Region& region,
   const RouteStats stage_a = route_greedy(mesh, region);
   out.max_queue = stage_a.max_queue;
 
-  // Stage B: all subregions finish in parallel; charge the max.
-  for (i64 s = 0; s < region.size(); ++s) {
-    for (Packet& p : mesh.buf(mesh.node_id(region.at_snake(s)))) {
+  // Stage B: all subregions finish "in parallel" — on the host too. Each
+  // worker owns one disjoint subregion; per-region costs are merged after
+  // the join in subregion order, so the charged max (and max_queue) are
+  // independent of the thread count.
+  for (RegionCursor cur = mesh.cursor(region); cur.valid(); cur.advance()) {
+    for (Packet& p : mesh.buf(cur.id())) {
       p.dest = p.stash;
       p.stash = -1;
     }
   }
   ParallelCost stage_b;
-  for (const Region& sub : subs) {
-    const RouteStats rs = route_greedy(mesh, sub);
-    stage_b.observe(rs.steps);
-    out.max_queue = std::max(out.max_queue, rs.max_queue);
+  {
+    std::vector<i64> queues(subs.size(), 0);
+    stage_b.observe_all(parallel_for_regions(
+        mesh, subs, [&](const Region& sub, size_t i) {
+          const RouteStats rs = route_greedy(mesh, sub);
+          queues[i] = rs.max_queue;
+          return rs.steps;
+        }));
+    for (const i64 q : queues) out.max_queue = std::max(out.max_queue, q);
   }
 
   out.route_steps = stage_a.steps + stage_b.max();

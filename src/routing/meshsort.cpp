@@ -34,6 +34,7 @@ class BlockGrid {
         cols_(region.cols()) {
     cap_ = std::max<i64>(1, mesh.max_load(region));
     grid_.resize(static_cast<size_t>(rows_ * cols_));
+    scratch_.reserve(static_cast<size_t>(2 * cap_));
     for (int r = 0; r < rows_; ++r) {
       for (int c = 0; c < cols_; ++c) {
         auto& blk = at(r, c);
@@ -41,7 +42,9 @@ class BlockGrid {
         for (const Packet& p : b) {
           MP_REQUIRE(p.key != kHoleKey, "packet key collides with sentinel");
         }
-        blk = b;
+        // Steal the node buffer instead of copying it; flush() hands the
+        // (still reserved) storage back, per machine.hpp's reuse contract.
+        blk = std::move(b);
         b.clear();
         blk.resize(static_cast<size_t>(cap_), make_hole());
         std::sort(blk.begin(), blk.end(), packet_less);
@@ -127,8 +130,8 @@ class BlockGrid {
 
   bool snake_sorted() const {
     const Packet* prev = nullptr;
-    for (i64 s = 0; s < region_.size(); ++s) {
-      const Coord x = region_.at_snake(s);
+    for (RegionCursor cur(region_); cur.valid(); cur.advance()) {
+      const Coord x = cur.coord();
       const auto& blk =
           grid_[static_cast<size_t>(x.r - region_.r0()) *
                     static_cast<size_t>(cols_) +
@@ -141,16 +144,18 @@ class BlockGrid {
     return true;
   }
 
-  /// Writes blocks back to the mesh buffers, dropping hole sentinels.
+  /// Writes blocks back to the mesh buffers, dropping hole sentinels. The
+  /// block storage is moved back into the node buffer so the mesh keeps the
+  /// reserved capacity across steps.
   void flush() {
     for (int r = 0; r < rows_; ++r) {
       for (int c = 0; c < cols_; ++c) {
         auto& b =
             mesh_.buf(mesh_.node_id({region_.r0() + r, region_.c0() + c}));
         MP_ASSERT(b.empty(), "mesh buffer refilled during sort");
-        for (const Packet& p : at(r, c)) {
-          if (!is_hole(p)) b.push_back(p);
-        }
+        auto& blk = at(r, c);
+        blk.erase(std::remove_if(blk.begin(), blk.end(), is_hole), blk.end());
+        b = std::move(blk);
       }
     }
   }
@@ -186,8 +191,8 @@ i64 shearsort_step_bound(const Region& region, i64 capacity) {
 bool region_sorted(const Mesh& mesh, const Region& region) {
   const Packet* prev = nullptr;
   bool saw_gap = false;
-  for (i64 s = 0; s < region.size(); ++s) {
-    const auto& b = mesh.buf(mesh.node_id(region.at_snake(s)));
+  for (RegionCursor cur = mesh.cursor(region); cur.valid(); cur.advance()) {
+    const auto& b = mesh.buf(cur.id());
     if (b.empty()) {
       saw_gap = true;
       continue;
@@ -209,9 +214,12 @@ i64 sort_region(Mesh& mesh, const Region& region, const SortOptions& opts) {
     const i64 cap = std::max<i64>(1, mesh.max_load(region));
     std::vector<Packet> all = mesh.drain(region);
     std::sort(all.begin(), all.end(), packet_less);
+    RegionCursor cur = mesh.cursor(region);
     for (size_t i = 0; i < all.size(); ++i) {
-      const i64 s = static_cast<i64>(i) / cap;
-      mesh.buf(mesh.node_at(region, s)).push_back(all[i]);
+      // Packet i lands at snake position i / cap; the cursor advances once
+      // per cap packets instead of recomputing at_snake per packet.
+      if (static_cast<i64>(i) / cap != cur.pos()) cur.advance();
+      mesh.buf(cur.id()).push_back(all[i]);
     }
     return shearsort_step_bound(region, cap);
   }

@@ -69,8 +69,8 @@ i64 rank_within_groups(Mesh& mesh, const Region& region) {
   vals.reserve(static_cast<size_t>(region.size()));
   u64 prev_key = 0;
   bool have_prev = false;
-  for (i64 s = 0; s < region.size(); ++s) {
-    const auto& b = mesh.buf(mesh.node_id(region.at_snake(s)));
+  for (RegionCursor cur = mesh.cursor(region); cur.valid(); cur.advance()) {
+    const auto& b = mesh.buf(cur.id());
     for (const Packet& p : b) {
       MP_ASSERT(!have_prev || prev_key <= p.key,
                 "rank_within_groups requires a key-sorted region");
@@ -84,17 +84,17 @@ i64 rank_within_groups(Mesh& mesh, const Region& region) {
   const auto scan = scan_snake<RunSummary>(region, vals, RunSummary{},
                                            combine, /*words=*/4);
 
-  for (i64 s = 0; s < region.size(); ++s) {
-    auto& b = mesh.buf(mesh.node_id(region.at_snake(s)));
+  for (RegionCursor cur = mesh.cursor(region); cur.valid(); cur.advance()) {
+    auto& b = mesh.buf(cur.id());
     if (b.empty()) continue;
-    const RunSummary& pred = scan.prefix[static_cast<size_t>(s)];
+    const RunSummary& pred = scan.prefix[static_cast<size_t>(cur.pos())];
     i64 run = (!pred.empty && pred.last_key == b.front().key)
                   ? pred.trail_len
                   : 0;
-    u64 cur = b.front().key;
+    u64 cur_key = b.front().key;
     for (Packet& p : b) {
-      if (p.key != cur) {
-        cur = p.key;
+      if (p.key != cur_key) {
+        cur_key = p.key;
         run = 0;
       }
       p.rank = static_cast<u64>(run++);
@@ -105,8 +105,8 @@ i64 rank_within_groups(Mesh& mesh, const Region& region) {
 
 i64 max_group_size(const Mesh& mesh, const Region& region) {
   std::unordered_map<u64, i64> counts;
-  for (i64 s = 0; s < region.size(); ++s) {
-    for (const Packet& p : mesh.buf(mesh.node_id(region.at_snake(s)))) {
+  for (RegionCursor cur = mesh.cursor(region); cur.valid(); cur.advance()) {
+    for (const Packet& p : mesh.buf(cur.id())) {
       ++counts[p.key];
     }
   }

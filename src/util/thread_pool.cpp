@@ -1,0 +1,169 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace meshpram {
+
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable cv_work;
+  std::condition_variable cv_done;
+
+  // Current job, published under mu and claimed lock-free via `next`.
+  const std::function<void(i64)>* fn = nullptr;
+  i64 count = 0;
+  std::atomic<i64> next{0};
+  int active = 0;     // workers still inside the current job
+  u64 generation = 0; // bumped once per job so workers never re-run one
+  bool stop = false;
+  std::exception_ptr error;
+
+  std::vector<std::thread> workers;
+
+  void record_error(std::exception_ptr e) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!error) error = e;
+  }
+
+  void run_indices() {
+    const i64 c = count;
+    const std::function<void(i64)>& f = *fn;
+    for (i64 i = next.fetch_add(1, std::memory_order_relaxed); i < c;
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      try {
+        f(i);
+      } catch (...) {
+        record_error(std::current_exception());
+      }
+    }
+  }
+
+  void worker_loop() {
+    u64 seen = 0;
+    for (;;) {
+      std::unique_lock<std::mutex> lock(mu);
+      cv_work.wait(lock, [&] { return stop || generation != seen; });
+      if (stop) return;
+      seen = generation;
+      lock.unlock();
+      run_indices();
+      lock.lock();
+      if (--active == 0) cv_done.notify_all();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int threads) : impl_(new Impl), threads_(threads) {
+  MP_REQUIRE(threads >= 1, "thread pool size " << threads);
+  impl_->workers.reserve(static_cast<size_t>(threads - 1));
+  for (int t = 0; t < threads - 1; ++t) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->cv_work.notify_all();
+  for (auto& w : impl_->workers) w.join();
+}
+
+void ThreadPool::for_each_index(i64 count,
+                                const std::function<void(i64)>& fn) {
+  MP_REQUIRE(count >= 0, "negative loop count " << count);
+  if (count == 0) return;
+  if (threads_ == 1 || count == 1) {
+    // No workers to coordinate: run inline, but keep the error contract
+    // (first exception rethrown after all indices ran).
+    std::exception_ptr error;
+    for (i64 i = 0; i < count; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (error) std::rethrow_exception(error);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    MP_ASSERT(impl_->fn == nullptr, "ThreadPool::for_each_index is not "
+                                    "reentrant");
+    impl_->fn = &fn;
+    impl_->count = count;
+    impl_->next.store(0, std::memory_order_relaxed);
+    impl_->active = threads_ - 1;
+    ++impl_->generation;
+    impl_->error = nullptr;
+  }
+  impl_->cv_work.notify_all();
+  impl_->run_indices();  // the calling thread participates
+
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  impl_->cv_done.wait(lock, [&] { return impl_->active == 0; });
+  impl_->fn = nullptr;
+  const std::exception_ptr error = impl_->error;
+  impl_->error = nullptr;
+  lock.unlock();
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::for_each_chunk(i64 count, i64 min_grain,
+                                const std::function<void(i64, i64)>& fn) {
+  MP_REQUIRE(count >= 0 && min_grain >= 1,
+             "for_each_chunk(" << count << ", " << min_grain << ')');
+  if (count == 0) return;
+  const i64 max_chunks = static_cast<i64>(threads_) * 4;
+  const i64 grain = std::max(min_grain, ceil_div(count, max_chunks));
+  const i64 chunks = ceil_div(count, grain);
+  for_each_index(chunks, [&](i64 c) {
+    const i64 begin = c * grain;
+    fn(begin, std::min(count, begin + grain));
+  });
+}
+
+namespace {
+
+int default_threads() {
+  if (const char* env = std::getenv("MESHPRAM_THREADS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+std::unique_ptr<ThreadPool>& pool_slot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+}  // namespace
+
+ThreadPool& execution_pool() {
+  auto& pool = pool_slot();
+  if (!pool) pool = std::make_unique<ThreadPool>(default_threads());
+  return *pool;
+}
+
+int execution_threads() { return execution_pool().threads(); }
+
+void set_execution_threads(int threads) {
+  MP_REQUIRE(threads >= 0, "execution thread count " << threads);
+  pool_slot() =
+      std::make_unique<ThreadPool>(threads == 0 ? default_threads() : threads);
+}
+
+}  // namespace meshpram

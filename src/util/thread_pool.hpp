@@ -1,0 +1,63 @@
+// Fixed-size thread pool for the host-parallel execution engine.
+//
+// The paper's staged protocol runs every phase "in parallel and independently
+// in every level-i submesh"; the simulator exploits exactly that structure for
+// real host parallelism. The pool hands out loop indices to a fixed set of
+// workers (plus the calling thread); the *counted* mesh steps never depend on
+// the thread count because every consumer merges per-region costs in region
+// order after the join (see src/mesh/parallel.hpp and DESIGN.md §7).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "util/math.hpp"
+
+namespace meshpram {
+
+class ThreadPool {
+ public:
+  /// Creates a pool that executes loops on `threads` threads in total
+  /// (threads - 1 workers plus the calling thread). threads >= 1.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int threads() const { return threads_; }
+
+  /// Runs fn(i) for every i in [0, count), distributing indices dynamically
+  /// over the workers and the calling thread; blocks until all indices are
+  /// done. The first exception thrown by any fn is rethrown in the caller
+  /// (remaining indices still run to completion so the pool stays reusable).
+  /// Contract: fn(i) and fn(j) must touch disjoint state for i != j.
+  /// Not reentrant: fn must not call back into the same pool.
+  void for_each_index(i64 count, const std::function<void(i64)>& fn);
+
+  /// Chunked variant for flat per-node loops: splits [0, count) into at most
+  /// threads() * 4 contiguous chunks of at least `min_grain` indices and runs
+  /// fn(begin, end) per chunk. Chunk boundaries affect scheduling only: as
+  /// long as the per-index work is disjoint, every index computes the same
+  /// value under any chunking, so results are thread-count invariant.
+  void for_each_chunk(i64 count, i64 min_grain,
+                      const std::function<void(i64, i64)>& fn);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  int threads_;
+};
+
+/// Process-wide pool used by the mesh execution engine. Sized by the last
+/// set_execution_threads() call, else the MESHPRAM_THREADS environment
+/// variable, else std::thread::hardware_concurrency().
+ThreadPool& execution_pool();
+
+/// Current size of the execution pool.
+int execution_threads();
+
+/// Resizes the execution pool (0 restores the environment/hardware default).
+/// Must not be called while a loop is running on the pool.
+void set_execution_threads(int threads);
+
+}  // namespace meshpram

@@ -211,8 +211,8 @@ TEST_F(PlacementFixture, LocateIsConsistent) {
     const i64 var = rng.range(0, params_.num_vars() - 1);
     const u64 id = map_.copy_id(var, {rng.range(0, 2), rng.range(0, 2)});
     const CopyLoc loc = placement_.locate(id);
-    ASSERT_EQ(loc.page.size(), 2u);
     const auto path = map_.module_path(id);
+    ASSERT_EQ(path.size(), 2u);
     // Page modules along the descent match the module path.
     EXPECT_EQ(placement_.pages(1)[static_cast<size_t>(loc.page[0])].module,
               path[0]);

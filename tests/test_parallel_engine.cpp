@@ -1,0 +1,127 @@
+// Determinism of the host-parallel execution engine: the counted mesh steps
+// and the PRAM-visible results must be bit-identical at any thread count
+// (DESIGN.md §7 — per-region costs merge in region order after the join).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "mesh/parallel.hpp"
+#include "protocol/simulator.hpp"
+#include "routing/greedy.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace meshpram {
+namespace {
+
+struct StepTrace {
+  std::vector<i64> reads;
+  StepStats stats;
+};
+
+/// Runs a fixed two-step PRAM workload (write everything, read it back) and
+/// returns everything an observer can see.
+StepTrace run_workload(int threads) {
+  set_execution_threads(threads);
+  set_log_level(LogLevel::Error);
+  SimConfig cfg;
+  cfg.mesh_rows = 16;
+  cfg.mesh_cols = 16;
+  cfg.num_vars = 1080;
+  cfg.q = 3;
+  cfg.k = 2;
+  cfg.sort_mode = SortMode::Simulated;
+  PramMeshSimulator sim(cfg);
+  const i64 n = sim.processors();
+
+  Rng rng(2024);
+  std::vector<i64> vars(static_cast<size_t>(n));
+  std::vector<i64> values(static_cast<size_t>(n));
+  for (i64 i = 0; i < n; ++i) {
+    vars[static_cast<size_t>(i)] = (i * 7 + 3) % cfg.num_vars;
+    values[static_cast<size_t>(i)] = rng.range(0, 1 << 20);
+  }
+  sim.write_step(vars, values);
+
+  StepTrace trace;
+  trace.reads = sim.read_step(vars, &trace.stats);
+  EXPECT_EQ(sim.mesh().total_packets(sim.mesh().whole()), 0)
+      << "buffers must drain after a step";
+  return trace;
+}
+
+void expect_same(const StepTrace& a, const StepTrace& b, int threads) {
+  EXPECT_EQ(a.reads, b.reads) << "read results differ at " << threads
+                              << " threads";
+  EXPECT_EQ(a.stats.total_steps, b.stats.total_steps);
+  EXPECT_EQ(a.stats.culling_steps, b.stats.culling_steps);
+  EXPECT_EQ(a.stats.forward_steps, b.stats.forward_steps);
+  EXPECT_EQ(a.stats.return_steps, b.stats.return_steps);
+  EXPECT_EQ(a.stats.packets, b.stats.packets);
+  EXPECT_EQ(a.stats.forward_stage_steps, b.stats.forward_stage_steps)
+      << "per-stage step vector differs at " << threads << " threads";
+  EXPECT_EQ(a.stats.culling.steps, b.stats.culling.steps);
+  EXPECT_EQ(a.stats.culling.max_page_load, b.stats.culling.max_page_load);
+  EXPECT_EQ(a.stats.culling.selected_copies, b.stats.culling.selected_copies);
+}
+
+TEST(ParallelEngine, StepStatsAreThreadCountInvariant) {
+  const StepTrace seq = run_workload(1);
+  // Reads must return what was written, independent of the engine.
+  for (i64 v : seq.reads) EXPECT_GE(v, 0);
+
+  const int hw = std::max(2u, std::thread::hardware_concurrency());
+  for (const int threads : {2, hw}) {
+    const StepTrace par = run_workload(threads);
+    expect_same(seq, par, threads);
+  }
+  set_execution_threads(0);  // restore the environment default
+}
+
+TEST(ParallelEngine, ForEachIndexCoversAllIndicesOnce) {
+  ThreadPool pool(4);
+  std::vector<int> hits(1000, 0);
+  pool.for_each_index(1000, [&](i64 i) { ++hits[static_cast<size_t>(i)]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelEngine, ForEachChunkCoversAllIndicesOnce) {
+  ThreadPool pool(3);
+  std::vector<int> hits(257, 0);
+  pool.for_each_chunk(257, 10, [&](i64 lo, i64 hi) {
+    for (i64 i = lo; i < hi; ++i) ++hits[static_cast<size_t>(i)];
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelEngine, ExceptionsPropagateAndPoolStaysUsable) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.for_each_index(10,
+                          [&](i64 i) {
+                            if (i == 3) throw std::runtime_error("boom");
+                          }),
+      std::runtime_error);
+  // The pool survives the throw and runs the next loop normally.
+  std::vector<int> hits(20, 0);
+  pool.for_each_index(20, [&](i64 i) { ++hits[static_cast<size_t>(i)]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelEngine, ParallelForRegionsMergesCostsInRegionOrder) {
+  Mesh mesh(8, 8);
+  const auto subs = mesh.whole().grid_split(4);
+  const auto costs = parallel_for_regions(
+      mesh, subs, [&](const Region& g, size_t i) {
+        return g.size() * 100 + static_cast<i64>(i);
+      });
+  ASSERT_EQ(costs.size(), subs.size());
+  for (size_t i = 0; i < costs.size(); ++i) {
+    EXPECT_EQ(costs[i], subs[i].size() * 100 + static_cast<i64>(i));
+  }
+}
+
+}  // namespace
+}  // namespace meshpram
