@@ -128,7 +128,11 @@ inline void fill_tessellated_instance(Mesh& mesh,
 
 }  // namespace meshpram::benchutil
 
+#include <cstdlib>
+
 #include "protocol/simulator.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/log.hpp"
 #include "util/stats.hpp"
 
@@ -164,11 +168,29 @@ inline SimPoint measure_sim_step(int side, i64 M, i64 q, int k, u64 seed,
   Rng rng(seed);
   const auto reqs = adversarial ? adversarial_requests(n, M)
                                 : random_requests(n, M, rng);
+  // Opt-in trace export: MESHPRAM_TRACE_DIR=<dir> turns telemetry on for the
+  // measured step and drops TRACE_<config>.json (Chrome trace) plus
+  // TRACE_<config>.csv (congestion heatmap) into <dir>. A no-op in
+  // MESHPRAM_TELEMETRY=OFF builds.
+  const char* trace_dir = std::getenv("MESHPRAM_TRACE_DIR");
+  if (trace_dir != nullptr && *trace_dir != '\0') {
+    telemetry::clear();
+    telemetry::set_enabled(true);
+  }
   StepStats st;
   const WallTimer timer;
   sim.step(reqs, &st);
   SimPoint p;
   p.wall_ms = timer.ms();
+  if (trace_dir != nullptr && *trace_dir != '\0') {
+    telemetry::set_enabled(false);
+    const std::string tag = "side" + std::to_string(side) + "_M" +
+                            std::to_string(M) + "_k" + std::to_string(k) +
+                            (adversarial ? "_adv" : "");
+    const std::string base = std::string(trace_dir) + "/TRACE_" + tag;
+    telemetry::write_chrome_trace(base + ".json");
+    telemetry::write_heatmap_csv(sim.mesh().counters(), base + ".csv");
+  }
   p.n = n;
   p.M = M;
   p.k = k;

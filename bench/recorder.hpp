@@ -1,10 +1,17 @@
 // Machine-readable bench output: every bench_* binary records one
 // (wall-clock ms, counted mesh steps) pair per configuration point and
-// writes BENCH_<name>.json into the working directory, so runs can be
-// diffed across commits. Structure-only points record 0 mesh steps.
+// writes BENCH_<name>.json, so runs can be diffed across commits.
+// Structure-only points record 0 mesh steps.
+//
+// Output path is stable regardless of the cwd the binary is launched from:
+// MESHPRAM_BENCH_DIR env > MESHPRAM_REPO_ROOT compile definition (set by
+// bench/CMakeLists.txt) > cwd. Schema history:
+//   1 — {bench, points:[{config, wall_ms, mesh_steps}]} (implicit, no field)
+//   2 — adds "schema_version"
 #pragma once
 
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -28,18 +35,38 @@ class WallTimer {
   std::chrono::steady_clock::time_point start_;
 };
 
+/// Directory BENCH_<name>.json files land in; see the header comment for
+/// the precedence order.
+inline std::string bench_output_dir() {
+  if (const char* dir = std::getenv("MESHPRAM_BENCH_DIR")) {
+    if (*dir != '\0') return dir;
+  }
+#ifdef MESHPRAM_REPO_ROOT
+  return MESHPRAM_REPO_ROOT;
+#else
+  return ".";
+#endif
+}
+
 /// Collects per-configuration measurements and writes BENCH_<name>.json.
 class BenchRecorder {
  public:
+  static constexpr int kSchemaVersion = 2;
+
   explicit BenchRecorder(std::string name) : name_(std::move(name)) {}
 
   void point(std::string config, double wall_ms, i64 mesh_steps) {
     points_.push_back({std::move(config), wall_ms, mesh_steps});
   }
 
+  std::string output_path() const {
+    return bench_output_dir() + "/BENCH_" + name_ + ".json";
+  }
+
   void write() const {
-    std::ofstream out("BENCH_" + name_ + ".json");
-    out << "{\n  \"bench\": \"" << name_ << "\",\n  \"points\": [\n";
+    std::ofstream out(output_path());
+    out << "{\n  \"bench\": \"" << name_ << "\",\n  \"schema_version\": "
+        << kSchemaVersion << ",\n  \"points\": [\n";
     for (size_t i = 0; i < points_.size(); ++i) {
       const Point& p = points_[i];
       out << "    {\"config\": \"" << p.config

@@ -2,14 +2,22 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace meshpram {
+
+namespace {
+
+const telemetry::Label kDrainLabel = telemetry::intern("mesh.drain");
+
+}  // namespace
 
 Mesh::Mesh(int rows, int cols) : rows_(rows), cols_(cols) {
   MP_REQUIRE(rows >= 1 && cols >= 1, "mesh " << rows << 'x' << cols);
   bufs_.resize(static_cast<size_t>(size()));
   stores_.resize(static_cast<size_t>(size()));
+  counters_.resize(rows, cols);
 }
 
 i64 Mesh::total_packets(const Region& region) const {
@@ -34,6 +42,7 @@ void Mesh::clear_buffers() {
 }
 
 std::vector<Packet> Mesh::drain(const Region& region) {
+  telemetry::Span span(telemetry::Cat::Phase, kDrainLabel);
   std::vector<Packet> out;
   out.reserve(static_cast<size_t>(total_packets(region)));
   for (RegionCursor cur = cursor(region); cur.valid(); cur.advance()) {

@@ -22,6 +22,7 @@
 #include "mesh/packet.hpp"
 #include "mesh/region.hpp"
 #include "mesh/step_counter.hpp"
+#include "telemetry/counters.hpp"
 #include "util/error.hpp"
 
 namespace meshpram {
@@ -150,6 +151,12 @@ class Mesh {
   StepCounter& clock() { return clock_; }
   const StepCounter& clock() const { return clock_; }
 
+  /// Per-node congestion counters, filled by the instrumented hot loops when
+  /// telemetry sampling is on (all-zero otherwise). Same thread-safety rule
+  /// as buf()/store(): disjoint nodes may be updated concurrently.
+  telemetry::MeshCounters& counters() { return counters_; }
+  const telemetry::MeshCounters& counters() const { return counters_; }
+
   /// Total packets currently buffered in `region`.
   i64 total_packets(const Region& region) const;
   /// Maximum per-node buffer occupancy in `region`.
@@ -170,6 +177,7 @@ class Mesh {
   std::vector<std::vector<Packet>> bufs_;
   std::vector<CopyStore> stores_;
   StepCounter clock_;
+  telemetry::MeshCounters counters_;
 };
 
 }  // namespace meshpram

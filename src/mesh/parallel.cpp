@@ -1,11 +1,16 @@
 #include "mesh/parallel.hpp"
 
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
 namespace meshpram {
 
 namespace {
+
+/// Worker-task span: one per region per parallel loop, recorded on the thread
+/// that ran the region, so a trace shows how regions spread over the pool.
+const telemetry::Label kRegionTask = telemetry::intern("parallel.region");
 
 /// Debug-mode guard for the disjoint-region ownership rule: overlapping
 /// regions would let two workers mutate the same node's buffers concurrently.
@@ -48,8 +53,10 @@ std::vector<i64> parallel_for_regions(
   std::vector<i64> costs(regions.size(), 0);
   execution_pool().for_each_index(
       static_cast<i64>(regions.size()), [&](i64 i) {
+        telemetry::Span span(telemetry::Cat::Region, kRegionTask, i);
         costs[static_cast<size_t>(i)] =
             fn(regions[static_cast<size_t>(i)], static_cast<size_t>(i));
+        span.set_steps(costs[static_cast<size_t>(i)]);
       });
   return costs;
 }

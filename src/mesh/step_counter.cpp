@@ -12,6 +12,7 @@ StepCounter::PhaseId StepCounter::intern(std::string_view phase) {
   const PhaseId id = static_cast<PhaseId>(labels_.size());
   labels_.emplace_back(phase);
   counts_.push_back(0);
+  tlabels_.push_back(telemetry::intern(phase));
   index_.emplace(labels_.back(), id);
   return id;
 }
@@ -26,6 +27,10 @@ void StepCounter::add(PhaseId phase, i64 steps) {
                                                 << labels_[phase]);
   total_ += steps;
   counts_[phase] += steps;
+  // Phase charges double as instant samples in the trace timeline.
+  if (telemetry::sampling_on()) {
+    telemetry::record_counter(tlabels_[phase], telemetry::Cat::Counter, steps);
+  }
 }
 
 std::map<std::string, i64> StepCounter::by_phase() const {
@@ -43,6 +48,7 @@ void StepCounter::reset() {
   total_ = 0;
   counts_.clear();
   labels_.clear();
+  tlabels_.clear();
   index_.clear();
 }
 

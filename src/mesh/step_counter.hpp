@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "telemetry/telemetry.hpp"
 #include "util/math.hpp"
 
 namespace meshpram {
@@ -57,6 +58,7 @@ class StepCounter {
   i64 total_ = 0;
   std::vector<i64> counts_;                                // by PhaseId
   std::vector<std::string> labels_;                        // by PhaseId
+  std::vector<telemetry::Label> tlabels_;                  // by PhaseId
   std::unordered_map<std::string, PhaseId, SvHash, SvEq> index_;
 };
 

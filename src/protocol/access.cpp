@@ -8,9 +8,26 @@
 #include "mesh/parallel.hpp"
 #include "routing/greedy.hpp"
 #include "routing/rank.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace meshpram {
+
+namespace {
+
+// Stage-cat spans partition StepStats::total_steps (telemetry.hpp): CULLING
+// iterations + forward stages + delivery + return stages; everything else
+// here is Phase-cat detail nested inside them.
+const telemetry::Label kCullingRun = telemetry::intern("culling.run");
+const telemetry::Label kGenPackets = telemetry::intern("access.gen_packets");
+const telemetry::Label kDistribute = telemetry::intern("access.distribute");
+const telemetry::Label kForwardStage = telemetry::intern("access.forward");
+const telemetry::Label kDeliverStage = telemetry::intern("access.deliver");
+const telemetry::Label kApplyAccess = telemetry::intern("access.apply");
+const telemetry::Label kReturnStage = telemetry::intern("access.return");
+const telemetry::Label kCollect = telemetry::intern("access.collect");
+
+}  // namespace
 
 AccessProtocol::AccessProtocol(Mesh& mesh, const Placement& placement,
                                SortOptions sort_opts)
@@ -29,6 +46,7 @@ AccessProtocol::AccessProtocol(Mesh& mesh, const Placement& placement,
 }
 
 i64 AccessProtocol::distribute_stage(const Region& region, int dest_level) {
+  telemetry::Span span(telemetry::Cat::Phase, kDistribute, dest_level);
   // Key every packet by its destination page at dest_level.
   for (RegionCursor cur = mesh_.cursor(region); cur.valid(); cur.advance()) {
     for (Packet& p : mesh_.buf(cur.id())) {
@@ -55,6 +73,7 @@ i64 AccessProtocol::distribute_stage(const Region& region, int dest_level) {
     const i32 id = cur.id();
     for (Packet& p : mesh_.buf(id)) p.push_trail(id);
   }
+  span.set_steps(steps);
   return steps;
 }
 
@@ -92,24 +111,32 @@ std::vector<i64> AccessProtocol::execute(
         requests[static_cast<size_t>(node)].var;
   }
   Culling culling(mesh_, placement_, sort_opts_);
-  const auto selections = culling.run(request_vars, &st.culling);
-  st.culling_steps = st.culling.steps;
+  std::vector<std::vector<i64>> selections;
+  {
+    telemetry::Span culling_span(telemetry::Cat::Phase, kCullingRun);
+    selections = culling.run(request_vars, &st.culling);
+    st.culling_steps = st.culling.steps;
+    culling_span.set_steps(st.culling_steps);
+  }
 
   // ---- Packet generation --------------------------------------------------
-  for (i64 node = 0; node < n; ++node) {
-    const AccessRequest& req = requests[static_cast<size_t>(node)];
-    if (req.var < 0) continue;
-    for (i64 code : selections[static_cast<size_t>(node)]) {
-      Packet p;
-      p.var = req.var;
-      p.copy = static_cast<u64>(req.var) *
-                   static_cast<u64>(params.redundancy()) +
-               static_cast<u64>(code);
-      p.origin = static_cast<i32>(node);
-      p.op = req.op;
-      p.value = req.value;
-      mesh_.buf(static_cast<i32>(node)).push_back(p);
-      ++st.packets;
+  {
+    telemetry::Span gen_span(telemetry::Cat::Phase, kGenPackets);
+    for (i64 node = 0; node < n; ++node) {
+      const AccessRequest& req = requests[static_cast<size_t>(node)];
+      if (req.var < 0) continue;
+      for (i64 code : selections[static_cast<size_t>(node)]) {
+        Packet p;
+        p.var = req.var;
+        p.copy = static_cast<u64>(req.var) *
+                     static_cast<u64>(params.redundancy()) +
+                 static_cast<u64>(code);
+        p.origin = static_cast<i32>(node);
+        p.op = req.op;
+        p.value = req.value;
+        mesh_.buf(static_cast<i32>(node)).push_back(p);
+        ++st.packets;
+      }
     }
   }
 
@@ -117,6 +144,7 @@ std::vector<i64> AccessProtocol::execute(
   // Stage k+1 spans the whole mesh; the inner stages run one worker per
   // level-i submesh (disjoint regions, see mesh/parallel.hpp).
   for (int stage = k + 1; stage >= 2; --stage) {
+    telemetry::Span stage_span(telemetry::Cat::Stage, kForwardStage, stage);
     ParallelCost pc;
     if (stage == k + 1) {
       pc.observe(distribute_stage(mesh_.whole(), k));
@@ -127,10 +155,12 @@ std::vector<i64> AccessProtocol::execute(
     }
     st.forward_stage_steps.push_back(pc.max());
     st.forward_steps += pc.max();
+    stage_span.set_steps(pc.max());
   }
 
   // ---- Stage 1: deliver and access ----------------------------------------
   {
+    telemetry::Span deliver_span(telemetry::Cat::Stage, kDeliverStage, 1);
     ParallelCost pc;
     pc.observe_all(parallel_for_regions(
         mesh_, level_regions_[1], [&](const Region& g) {
@@ -144,10 +174,20 @@ std::vector<i64> AccessProtocol::execute(
         }));
     st.forward_stage_steps.push_back(pc.max());
     st.forward_steps += pc.max();
+    deliver_span.set_steps(pc.max());
+  }
+  {
     // Perform the accesses at the destination processors.
+    telemetry::Span apply_span(telemetry::Cat::Phase, kApplyAccess);
+    const bool count_touches = telemetry::sampling_on();
     for (i64 node = 0; node < n; ++node) {
       auto& store = mesh_.store(static_cast<i32>(node));
-      for (Packet& p : mesh_.buf(static_cast<i32>(node))) {
+      auto& b = mesh_.buf(static_cast<i32>(node));
+      if (count_touches && !b.empty()) {
+        mesh_.counters().add_copies_touched(static_cast<i32>(node),
+                                            static_cast<i64>(b.size()));
+      }
+      for (Packet& p : b) {
         if (p.op == Op::Write) {
           store[p.copy] = CopySlot{p.value, timestamp};
         } else {
@@ -168,6 +208,7 @@ std::vector<i64> AccessProtocol::execute(
   // Retrace trail stops: level-1 regions first, then level 2, ..., then the
   // whole mesh back to the origins.
   for (int stage = 1; stage <= k; ++stage) {
+    telemetry::Span stage_span(telemetry::Cat::Stage, kReturnStage, stage);
     const int trail_idx = k - stage;  // trail[k-1] = innermost stop
     ParallelCost pc;
     pc.observe_all(parallel_for_regions(
@@ -185,15 +226,20 @@ std::vector<i64> AccessProtocol::execute(
           return any ? route_greedy(mesh_, g).steps : 0;
         }));
     st.return_steps += pc.max();
+    stage_span.set_steps(pc.max());
   }
   {
+    telemetry::Span stage_span(telemetry::Cat::Stage, kReturnStage, k + 1);
     for (i64 node = 0; node < n; ++node) {
       for (Packet& p : mesh_.buf(static_cast<i32>(node))) p.dest = p.origin;
     }
-    st.return_steps += route_greedy(mesh_, mesh_.whole()).steps;
+    const i64 steps = route_greedy(mesh_, mesh_.whole()).steps;
+    st.return_steps += steps;
+    stage_span.set_steps(steps);
   }
 
   // ---- Collect results -----------------------------------------------------
+  telemetry::Span collect_span(telemetry::Cat::Phase, kCollect);
   std::vector<i64> results(static_cast<size_t>(n), 0);
   for (i64 node = 0; node < n; ++node) {
     auto& b = mesh_.buf(static_cast<i32>(node));

@@ -6,6 +6,7 @@
 
 #include "routing/lroute.hpp"
 #include "routing/rank.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -16,6 +17,10 @@ namespace {
 /// Per-node loops below are data-parallel (each node touches only its own
 /// buffer / bitmap); chunks smaller than this are not worth a handoff.
 constexpr i64 kNodeGrain = 64;
+
+/// Stage-cat spans partition StepStats::total_steps (telemetry.hpp): each
+/// CULLING iteration is one stage, charged the steps it added to st.steps.
+const telemetry::Label kCullIter = telemetry::intern("culling.iter");
 
 }  // namespace
 
@@ -58,6 +63,8 @@ std::vector<std::vector<i64>> Culling::run(
   std::vector<std::vector<char>> marked(static_cast<size_t>(n));
 
   for (int iter = 1; iter <= params.k(); ++iter) {
+    telemetry::Span iter_span(telemetry::Cat::Stage, kCullIter, iter);
+    const i64 steps_before = st.steps;
     const i64 tau = params.culling_threshold(iter);
 
     // Emit one packet per selected copy, keyed by its level-i page. Each
@@ -169,9 +176,11 @@ std::vector<std::vector<i64>> Culling::run(
     for (const auto& [page, cnt] : load) max_load = std::max(max_load, cnt);
     st.max_page_load.push_back(max_load);
     st.bound.push_back(params.theorem3_bound(iter));
+    iter_span.set_steps(st.steps - steps_before);
   }
 
   // Emit the final selections.
+  const bool count_survivors = telemetry::sampling_on();
   std::vector<std::vector<i64>> out(static_cast<size_t>(n));
   for (i64 node = 0; node < n; ++node) {
     if (request_vars[static_cast<size_t>(node)] < 0) continue;
@@ -181,6 +190,11 @@ std::vector<std::vector<i64>> Culling::run(
         out[static_cast<size_t>(node)].push_back(code);
         ++st.selected_copies;
       }
+    }
+    if (count_survivors) {
+      mesh_.counters().add_survivors(
+          static_cast<i32>(node),
+          static_cast<i64>(out[static_cast<size_t>(node)].size()));
     }
   }
   return out;

@@ -1,8 +1,15 @@
 #include "protocol/simulator.hpp"
 
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace meshpram {
+
+namespace {
+
+const telemetry::Label kPramStep = telemetry::intern("pram.step");
+
+}  // namespace
 
 PramMeshSimulator::PramMeshSimulator(const SimConfig& config) {
   params_ = std::make_unique<HmosParams>(config.q, config.k, config.num_vars,
@@ -16,12 +23,20 @@ PramMeshSimulator::PramMeshSimulator(const SimConfig& config) {
 
 std::vector<i64> PramMeshSimulator::step(
     const std::vector<AccessRequest>& requests, StepStats* stats) {
+  telemetry::begin_frame();  // sampling granularity = one PRAM step
   std::vector<AccessRequest> padded = requests;
   MP_REQUIRE(static_cast<i64>(padded.size()) <= processors(),
              "more requests (" << padded.size() << ") than processors ("
                                << processors() << ')');
   padded.resize(static_cast<size_t>(processors()));
-  auto results = protocol_->execute(padded, now_, stats);
+  StepStats local;
+  StepStats& st = stats != nullptr ? *stats : local;
+  std::vector<i64> results;
+  {
+    telemetry::Span step_span(telemetry::Cat::Step, kPramStep, now_);
+    results = protocol_->execute(padded, now_, &st);
+    step_span.set_steps(st.total_steps);
+  }
   ++now_;
   if (stats != nullptr) {
     mesh_->clock().add("pram_step", stats->total_steps);

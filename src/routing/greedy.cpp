@@ -5,11 +5,14 @@
 #include <functional>
 #include <vector>
 
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace meshpram {
 
 namespace {
+
+const telemetry::Label kRouteGreedy = telemetry::intern("route.greedy");
 
 /// XY routing decision: east/west until the column matches, then north/south.
 /// Returns false when the packet is at its destination.
@@ -39,6 +42,11 @@ struct Transit {
 }  // namespace
 
 RouteStats route_greedy(Mesh& mesh, const Region& region) {
+  telemetry::Span span(telemetry::Cat::Phase, kRouteGreedy);
+  // Per-node congestion counters are hot-loop writes; hoist the gate. The
+  // region owner is the only writer of its nodes' cells (disjoint-region
+  // rule), so the counter grids stay thread-count invariant.
+  const bool count_congestion = telemetry::sampling_on();
   RouteStats stats;
 
   // Transit queues, indexed by region snake position for density. The step
@@ -100,6 +108,7 @@ RouteStats route_greedy(Mesh& mesh, const Region& region) {
       // Commit the chosen moves (remove from higher index first).
       std::array<int, kNumDirs> chosen = best;
       std::sort(chosen.begin(), chosen.end(), std::greater<int>());
+      i64 moves = 0;
       for (int idx : chosen) {
         if (idx < 0) continue;
         Transit tp = t[static_cast<size_t>(idx)];
@@ -109,6 +118,10 @@ RouteStats route_greedy(Mesh& mesh, const Region& region) {
         const Coord to = step_toward(at, dir);
         MP_ASSERT(region.contains(to), "XY routing left the region");
         incoming[static_cast<size_t>(region.snake_of(to))].push_back(tp);
+        ++moves;
+      }
+      if (count_congestion && moves > 0) {
+        mesh.counters().add_forwarded(cur.id(), moves);
       }
     }
     // Absorb arrivals: deliver or queue for the next cycle.
@@ -127,8 +140,12 @@ RouteStats route_greedy(Mesh& mesh, const Region& region) {
       }
       in.clear();
       stats.max_queue = std::max(stats.max_queue, static_cast<i64>(t.size()));
+      if (count_congestion) {
+        mesh.counters().observe_queue(id, static_cast<i64>(t.size()));
+      }
     }
   }
+  span.set_steps(stats.steps);
   return stats;
 }
 

@@ -4,9 +4,17 @@
 
 #include "mesh/parallel.hpp"
 #include "routing/rank.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace meshpram {
+
+namespace {
+
+const telemetry::Label kRouteSorted = telemetry::intern("route.sorted");
+const telemetry::Label kRouteTwoStage = telemetry::intern("route.two_stage");
+
+}  // namespace
 
 StagedRouteStats route_direct(Mesh& mesh, const Region& region) {
   StagedRouteStats out;
@@ -19,6 +27,7 @@ StagedRouteStats route_direct(Mesh& mesh, const Region& region) {
 
 StagedRouteStats route_sorted(Mesh& mesh, const Region& region,
                               const SortOptions& opts) {
+  telemetry::Span span(telemetry::Cat::Phase, kRouteSorted);
   StagedRouteStats out;
   for (RegionCursor cur = mesh.cursor(region); cur.valid(); cur.advance()) {
     for (Packet& p : mesh.buf(cur.id())) {
@@ -31,6 +40,7 @@ StagedRouteStats route_sorted(Mesh& mesh, const Region& region,
   out.route_steps = rs.steps;
   out.max_queue = rs.max_queue;
   out.steps = out.sort_steps + out.route_steps;
+  span.set_steps(out.steps);
   return out;
 }
 
@@ -38,6 +48,7 @@ StagedRouteStats route_two_stage(Mesh& mesh, const Region& region,
                                  const std::vector<Region>& subs,
                                  const SortOptions& opts) {
   MP_REQUIRE(!subs.empty(), "tessellated routing needs subregions");
+  telemetry::Span span(telemetry::Cat::Phase, kRouteTwoStage);
   StagedRouteStats out;
 
   // Map node -> subregion index for destination lookup.
@@ -101,6 +112,7 @@ StagedRouteStats route_two_stage(Mesh& mesh, const Region& region,
 
   out.route_steps = stage_a.steps + stage_b.max();
   out.steps = out.sort_steps + out.rank_steps + out.route_steps;
+  span.set_steps(out.steps);
   return out;
 }
 

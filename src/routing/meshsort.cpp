@@ -5,6 +5,7 @@
 #include <tuple>
 #include <vector>
 
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace meshpram {
@@ -206,7 +207,12 @@ bool region_sorted(const Mesh& mesh, const Region& region) {
   return true;
 }
 
-i64 sort_region(Mesh& mesh, const Region& region, const SortOptions& opts) {
+namespace {
+
+const telemetry::Label kSortRegion = telemetry::intern("sort.region");
+
+i64 sort_region_impl(Mesh& mesh, const Region& region,
+                     const SortOptions& opts) {
   if (mesh.total_packets(region) == 0) return 0;
 
   if (opts.mode == SortMode::Analytic) {
@@ -255,6 +261,15 @@ i64 sort_region(Mesh& mesh, const Region& region, const SortOptions& opts) {
   }
   grid.flush();
   return rounds * grid.capacity();
+}
+
+}  // namespace
+
+i64 sort_region(Mesh& mesh, const Region& region, const SortOptions& opts) {
+  telemetry::Span span(telemetry::Cat::Phase, kSortRegion);
+  const i64 steps = sort_region_impl(mesh, region, opts);
+  span.set_steps(steps);
+  return steps;
 }
 
 }  // namespace meshpram

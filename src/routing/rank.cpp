@@ -3,11 +3,14 @@
 #include <unordered_map>
 
 #include "routing/scan.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace meshpram {
 
 namespace {
+
+const telemetry::Label kRankGroups = telemetry::intern("rank.groups");
 
 /// Per-node summary for the run-length scan: the key and length of the
 /// node's trailing equal-key run, plus whether the whole node is one run
@@ -64,6 +67,7 @@ RunSummary combine(const RunSummary& a, const RunSummary& b) {
 }  // namespace
 
 i64 rank_within_groups(Mesh& mesh, const Region& region) {
+  telemetry::Span span(telemetry::Cat::Phase, kRankGroups);
   // Gather per-node summaries in snake order.
   std::vector<RunSummary> vals;
   vals.reserve(static_cast<size_t>(region.size()));
@@ -100,6 +104,7 @@ i64 rank_within_groups(Mesh& mesh, const Region& region) {
       p.rank = static_cast<u64>(run++);
     }
   }
+  span.set_steps(scan.steps);
   return scan.steps;
 }
 

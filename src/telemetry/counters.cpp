@@ -1,0 +1,25 @@
+#include "telemetry/counters.hpp"
+
+#include "util/error.hpp"
+
+namespace meshpram::telemetry {
+
+void MeshCounters::resize(int rows, int cols) {
+  MP_REQUIRE(rows >= 1 && cols >= 1, "counter grid " << rows << 'x' << cols);
+  rows_ = rows;
+  cols_ = cols;
+  const size_t n = static_cast<size_t>(nodes());
+  max_queue_.assign(n, 0);
+  forwarded_.assign(n, 0);
+  copies_touched_.assign(n, 0);
+  survivors_.assign(n, 0);
+}
+
+void MeshCounters::reset() {
+  max_queue_.assign(max_queue_.size(), 0);
+  forwarded_.assign(forwarded_.size(), 0);
+  copies_touched_.assign(copies_touched_.size(), 0);
+  survivors_.assign(survivors_.size(), 0);
+}
+
+}  // namespace meshpram::telemetry

@@ -1,0 +1,67 @@
+// Per-node congestion counters for the simulated mesh (DESIGN.md §8).
+//
+// Four counters per node, accumulated by the instrumented hot loops:
+//   max_queue       — peak transit-queue depth the node ever saw (routing)
+//   forwarded       — packets the node forwarded over its links (routing)
+//   copies_touched  — copy slots read/written at the node (access stage 1)
+//   survivors       — copies CULLING finally selected at the node
+//
+// Determinism: counter updates come either from sequential per-node loops or
+// from region workers that own the node under the disjoint-region rule
+// (mesh/parallel.hpp), so every node's cell has exactly one writer at a time
+// and all four grids are bit-identical at any thread count; the step merge in
+// region-index order then never observes a torn or order-dependent value.
+// Mesh owns one MeshCounters (Mesh::counters()); recording sites gate on
+// telemetry::sampling_on(), so the grids are all-zero unless tracing is on.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/math.hpp"
+
+namespace meshpram::telemetry {
+
+class MeshCounters {
+ public:
+  MeshCounters() = default;
+
+  /// Sizes the grids for a rows x cols mesh and zeroes every counter.
+  void resize(int rows, int cols);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  i64 nodes() const { return static_cast<i64>(rows_) * cols_; }
+
+  /// Zeroes all counters, keeping the grid size.
+  void reset();
+
+  void observe_queue(i32 node, i64 depth) {
+    i64& q = max_queue_[static_cast<size_t>(node)];
+    if (depth > q) q = depth;
+  }
+  void add_forwarded(i32 node, i64 n) {
+    forwarded_[static_cast<size_t>(node)] += n;
+  }
+  void add_copies_touched(i32 node, i64 n) {
+    copies_touched_[static_cast<size_t>(node)] += n;
+  }
+  void add_survivors(i32 node, i64 n) {
+    survivors_[static_cast<size_t>(node)] += n;
+  }
+
+  const std::vector<i64>& max_queue() const { return max_queue_; }
+  const std::vector<i64>& forwarded() const { return forwarded_; }
+  const std::vector<i64>& copies_touched() const { return copies_touched_; }
+  const std::vector<i64>& survivors() const { return survivors_; }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<i64> max_queue_;
+  std::vector<i64> forwarded_;
+  std::vector<i64> copies_touched_;
+  std::vector<i64> survivors_;
+};
+
+}  // namespace meshpram::telemetry

@@ -1,0 +1,139 @@
+#include "telemetry/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace meshpram::telemetry {
+
+namespace {
+
+/// Escapes a label for a JSON string literal (labels are plain identifiers,
+/// but the writer must never emit malformed JSON regardless).
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Chrome timestamps are microseconds; emit with ns precision.
+void write_us(std::ostream& os, i64 ns) {
+  os << ns / 1000 << '.' << (ns % 1000 < 100 ? "0" : "")
+     << (ns % 1000 < 10 ? "0" : "") << ns % 1000;
+}
+
+std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream out(path);
+  MP_REQUIRE(out.is_open(), "cannot open " << path << " for writing");
+  return out;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os) {
+  const BufferStats stats = buffer_stats();
+  os << "{\n  \"displayTimeUnit\": \"ms\",\n  \"otherData\": {\"recorded\": "
+     << stats.recorded << ", \"dropped\": " << stats.dropped
+     << "},\n  \"traceEvents\": [\n";
+  os << "    {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, "
+        "\"args\": {\"name\": \"meshpram\"}}";
+  const int threads = thread_count();
+  for (int tid = 0; tid < threads; ++tid) {
+    os << ",\n    {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, "
+          "\"tid\": "
+       << tid << ", \"args\": {\"name\": \"mesh-thread-" << tid << "\"}}";
+  }
+  for (int tid = 0; tid < threads; ++tid) {
+    for (const Event& e : thread_events(tid)) {
+      os << ",\n    {\"name\": \"" << json_escape(label_name(e.label))
+         << "\", \"cat\": \"" << cat_name(e.cat) << "\", \"ph\": \""
+         << (e.cat == Cat::Counter ? 'C' : 'X') << "\", \"pid\": 0, \"tid\": "
+         << tid << ", \"ts\": ";
+      write_us(os, e.t0_ns);
+      if (e.cat != Cat::Counter) {
+        os << ", \"dur\": ";
+        write_us(os, e.t1_ns - e.t0_ns);
+      }
+      os << ", \"args\": {";
+      bool first = true;
+      if (e.steps >= 0) {
+        os << "\"steps\": " << e.steps;
+        first = false;
+      }
+      if (e.index >= 0) {
+        os << (first ? "" : ", ") << "\"index\": " << e.index;
+      }
+      os << "}}";
+    }
+  }
+  os << "\n  ]\n}\n";
+}
+
+void write_chrome_trace(const std::string& path) {
+  std::ofstream out = open_or_throw(path);
+  write_chrome_trace(out);
+}
+
+void write_heatmap_csv(const MeshCounters& counters, std::ostream& os) {
+  os << "node,row,col,max_queue,forwarded,copies_touched,survivors\n";
+  for (i64 node = 0; node < counters.nodes(); ++node) {
+    const auto i = static_cast<size_t>(node);
+    os << node << ',' << node / counters.cols() << ',' << node % counters.cols()
+       << ',' << counters.max_queue()[i] << ',' << counters.forwarded()[i]
+       << ',' << counters.copies_touched()[i] << ','
+       << counters.survivors()[i] << '\n';
+  }
+}
+
+void write_heatmap_csv(const MeshCounters& counters, const std::string& path) {
+  std::ofstream out = open_or_throw(path);
+  write_heatmap_csv(counters, out);
+}
+
+void write_stage_summary(std::ostream& os) {
+  struct Agg {
+    i64 count = 0;
+    i64 wall_ns = 0;
+    i64 steps = 0;
+  };
+  // Keyed by (cat, label name) so the table groups Step/Stage/Phase/... rows.
+  std::map<std::pair<int, std::string>, Agg> aggs;
+  for (int tid = 0; tid < thread_count(); ++tid) {
+    for (const Event& e : thread_events(tid)) {
+      Agg& a = aggs[{static_cast<int>(e.cat), label_name(e.label)}];
+      ++a.count;
+      a.wall_ns += e.t1_ns - e.t0_ns;
+      if (e.steps >= 0) a.steps += e.steps;
+    }
+  }
+  Table t({"cat", "name", "count", "wall_ms", "mesh_steps"});
+  for (const auto& [key, a] : aggs) {
+    t.add(cat_name(static_cast<Cat>(key.first)), key.second, a.count,
+          static_cast<double>(a.wall_ns) / 1e6, a.steps);
+  }
+  t.print(os);
+}
+
+}  // namespace meshpram::telemetry

@@ -1,0 +1,32 @@
+// Trace exporters (DESIGN.md §8).
+//
+//  * write_chrome_trace — Chrome trace_event JSON ("X" complete events plus
+//    "C" counter samples), loadable in chrome://tracing or ui.perfetto.dev.
+//  * write_heatmap_csv — one row per mesh node with the four congestion
+//    counters (node,row,col,max_queue,forwarded,copies_touched,survivors).
+//  * write_stage_summary — ASCII table aggregating the recorded spans by
+//    (cat, name): call count, wall-clock total, attributed mesh steps.
+//
+// All exporters read the telemetry ring buffers and must run while no
+// instrumented work is in flight (after the step / pool join). They compile
+// in telemetry-off builds too and then emit empty (but well-formed) output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "telemetry/counters.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace meshpram::telemetry {
+
+void write_chrome_trace(std::ostream& os);
+/// Writes to `path`; throws ConfigError if the file cannot be opened.
+void write_chrome_trace(const std::string& path);
+
+void write_heatmap_csv(const MeshCounters& counters, std::ostream& os);
+void write_heatmap_csv(const MeshCounters& counters, const std::string& path);
+
+void write_stage_summary(std::ostream& os);
+
+}  // namespace meshpram::telemetry

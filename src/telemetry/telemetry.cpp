@@ -1,0 +1,217 @@
+#include "telemetry/telemetry.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace meshpram::telemetry {
+
+const char* cat_name(Cat cat) {
+  switch (cat) {
+    case Cat::Step: return "step";
+    case Cat::Stage: return "stage";
+    case Cat::Phase: return "phase";
+    case Cat::Region: return "region";
+    case Cat::Counter: return "counter";
+  }
+  return "?";
+}
+
+#if MESHPRAM_TELEMETRY
+
+namespace {
+
+constexpr size_t kDefaultCapacity = size_t{1} << 17;  // 128k events/thread
+
+/// One thread's ring. `head` counts events ever pushed; the owner stores it
+/// with release order after writing the slot, the exporter loads it with
+/// acquire, so a quiescent reader always sees complete events.
+struct Ring {
+  std::vector<Event> events;
+  std::atomic<u64> head{0};
+};
+
+struct SvHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+struct SvEq {
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const {
+    return a == b;
+  }
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<Ring>> rings;  // tid = index, stable forever
+  std::vector<std::string> label_names;
+  std::unordered_map<std::string, Label, SvHash, SvEq> label_index;
+  size_t capacity = kDefaultCapacity;
+};
+
+/// Leaked singleton: rings registered by pool workers must outlive every
+/// thread's exit, including after main() returns.
+Registry& registry() {
+  static Registry* r = [] {
+    auto* reg = new Registry;
+    if (const char* env = std::getenv("MESHPRAM_TRACE_CAPACITY")) {
+      const long long n = std::atoll(env);
+      if (n > 0) reg->capacity = static_cast<size_t>(n);
+    }
+    return reg;
+  }();
+  return *r;
+}
+
+std::atomic<bool> g_master{false};
+std::atomic<bool> g_sampling{false};  // master && current frame sampled
+std::atomic<u32> g_sample_every{1};
+std::atomic<u64> g_frame{0};
+
+void refresh_sampling() {
+  const u32 every = g_sample_every.load(std::memory_order_relaxed);
+  const u64 frame = g_frame.load(std::memory_order_relaxed);
+  const bool sampled = every <= 1 || frame % every == 0;
+  g_sampling.store(g_master.load(std::memory_order_relaxed) && sampled,
+                   std::memory_order_relaxed);
+}
+
+Ring& local_ring() {
+  thread_local Ring* ring = [] {
+    Registry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mu);
+    reg.rings.push_back(std::make_unique<Ring>());
+    reg.rings.back()->events.resize(reg.capacity);
+    return reg.rings.back().get();
+  }();
+  return *ring;
+}
+
+}  // namespace
+
+bool sampling_on() { return g_sampling.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  g_master.store(on, std::memory_order_relaxed);
+  refresh_sampling();
+}
+
+bool master_enabled() { return g_master.load(std::memory_order_relaxed); }
+
+void set_sample_every(u32 n) {
+  g_sample_every.store(n == 0 ? 1 : n, std::memory_order_relaxed);
+  refresh_sampling();
+}
+
+void begin_frame() {
+  g_frame.fetch_add(1, std::memory_order_relaxed);
+  refresh_sampling();
+}
+
+Label intern(std::string_view name) {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  const auto it = reg.label_index.find(name);
+  if (it != reg.label_index.end()) return it->second;
+  const Label id = static_cast<Label>(reg.label_names.size());
+  reg.label_names.emplace_back(name);
+  reg.label_index.emplace(reg.label_names.back(), id);
+  return id;
+}
+
+std::string label_name(Label label) {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  if (label >= reg.label_names.size()) return "?";
+  return reg.label_names[label];
+}
+
+i64 now_ns() {
+  static const std::chrono::steady_clock::time_point base =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - base)
+      .count();
+}
+
+void record(const Event& e) {
+  Ring& ring = local_ring();
+  const u64 head = ring.head.load(std::memory_order_relaxed);
+  ring.events[static_cast<size_t>(head % ring.events.size())] = e;
+  ring.head.store(head + 1, std::memory_order_release);
+}
+
+void record_counter(Label label, Cat cat, i64 value) {
+  Event e;
+  e.t0_ns = e.t1_ns = now_ns();
+  e.steps = value;
+  e.label = label;
+  e.cat = cat;
+  record(e);
+}
+
+void clear() {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& ring : reg.rings) ring->head.store(0, std::memory_order_release);
+}
+
+void set_ring_capacity(size_t events) {
+  MP_REQUIRE(events >= 1, "ring capacity " << events);
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  reg.capacity = events;
+  for (auto& ring : reg.rings) {
+    ring->events.assign(events, Event{});
+    ring->head.store(0, std::memory_order_release);
+  }
+}
+
+BufferStats buffer_stats() {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  BufferStats out;
+  out.threads = static_cast<int>(reg.rings.size());
+  for (const auto& ring : reg.rings) {
+    const u64 head = ring->head.load(std::memory_order_acquire);
+    out.recorded += head;
+    const u64 cap = ring->events.size();
+    if (head > cap) out.dropped += head - cap;
+  }
+  return out;
+}
+
+int thread_count() {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  return static_cast<int>(reg.rings.size());
+}
+
+std::vector<Event> thread_events(int tid) {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  MP_REQUIRE(tid >= 0 && tid < static_cast<int>(reg.rings.size()),
+             "telemetry thread id " << tid);
+  const Ring& ring = *reg.rings[static_cast<size_t>(tid)];
+  const u64 head = ring.head.load(std::memory_order_acquire);
+  const u64 cap = ring.events.size();
+  const u64 count = std::min(head, cap);
+  std::vector<Event> out;
+  out.reserve(static_cast<size_t>(count));
+  for (u64 i = head - count; i < head; ++i) {
+    out.push_back(ring.events[static_cast<size_t>(i % cap)]);
+  }
+  return out;
+}
+
+#endif  // MESHPRAM_TELEMETRY
+
+}  // namespace meshpram::telemetry

@@ -1,0 +1,189 @@
+// Low-overhead tracing for the simulated mesh (DESIGN.md §8).
+//
+// Every hot layer (routing, sorting, CULLING, the access protocol stages and
+// the parallel region workers) opens a scoped Span; completed spans land in a
+// per-thread single-writer ring buffer, and the exporters (telemetry/export.hpp)
+// turn the buffers into a Chrome trace_event JSON, a mesh heatmap CSV, or a
+// per-stage summary after the parallel work has joined.
+//
+// Cost model, in order of decreasing severity of the gate:
+//  * compile-time kill switch — configure with -DMESHPRAM_TELEMETRY=OFF and
+//    every instrumentation site compiles to nothing (Span is an empty type,
+//    the record paths are constant-folded away);
+//  * runtime master switch + every-Nth-frame sampler — one relaxed atomic
+//    load per span, so a telemetry-compiled binary with sampling off stays
+//    within noise of an uninstrumented one;
+//  * recording — one clock read at span open/close plus one ring slot write.
+//
+// Determinism rule: telemetry only observes. Counted mesh steps and
+// PRAM-visible results are bit-identical with tracing on or off, at any
+// thread count (tests/test_telemetry.cpp, ObserverEffectInvariance).
+//
+// Threading contract: record()/Span may run on any thread (each thread owns
+// its ring); clear(), set_ring_capacity() and the exporters must run while no
+// instrumented work is in flight (i.e. between PRAM steps, after the pool
+// join — the join supplies the happens-before edge for the buffer reads).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/math.hpp"
+
+// CMake always defines MESHPRAM_TELEMETRY (0 or 1); default ON for direct
+// compiles without the build system.
+#ifndef MESHPRAM_TELEMETRY
+#define MESHPRAM_TELEMETRY 1
+#endif
+
+namespace meshpram::telemetry {
+
+/// Dense handle for an interned span/counter name.
+using Label = u32;
+
+/// Event taxonomy. `Stage` is load-bearing: the steps attributed to Stage
+/// spans of one PRAM step partition its StepStats::total_steps exactly
+/// (CULLING iterations + forward stages + delivery + return stages), which is
+/// what lets tools/trace_summary reconcile a trace against the StepCounter
+/// grand total.
+enum class Cat : unsigned char {
+  Step = 0,  ///< one PRAM access step (carries the grand total)
+  Stage,     ///< protocol stage; Stage steps sum to the Step total
+  Phase,     ///< sub-phase inside a stage (sort, rank, route, drain, ...)
+  Region,    ///< one parallel region-worker task
+  Counter,   ///< instant value sample (StepCounter phase charges)
+};
+
+/// Lower-case name used as the Chrome trace "cat" field.
+const char* cat_name(Cat cat);
+
+/// One completed span (t0 < t1) or instant sample (t0 == t1). steps/index
+/// are optional payloads; -1 means absent.
+struct Event {
+  i64 t0_ns = 0;
+  i64 t1_ns = 0;
+  i64 steps = -1;  ///< counted mesh steps attributed to the span
+  i64 index = -1;  ///< stage number / region index / iteration
+  Label label = 0;
+  Cat cat = Cat::Phase;
+};
+
+struct BufferStats {
+  u64 recorded = 0;  ///< events ever recorded (across all threads)
+  u64 dropped = 0;   ///< events overwritten by ring wrap-around
+  int threads = 0;   ///< registered recording threads
+};
+
+#if MESHPRAM_TELEMETRY
+
+/// Hot gate: true when the master switch is on and the current frame is
+/// sampled. One relaxed atomic load; every instrumentation site checks this
+/// (or is inside a Span, which checks it on construction).
+bool sampling_on();
+
+/// Master switch (default off: an instrumented binary records nothing until
+/// a caller or tool opts in).
+void set_enabled(bool on);
+bool master_enabled();
+
+/// Record only every n-th frame (n <= 1 restores every-frame recording).
+void set_sample_every(u32 n);
+
+/// Advances the sampling frame; the simulator calls this once per PRAM step.
+void begin_frame();
+
+/// Interns `name`, returning a stable label id. Cold path (takes the registry
+/// lock); call sites cache the result in a namespace-scope constant.
+Label intern(std::string_view name);
+
+/// Name of an interned label ("?" for an unknown id).
+std::string label_name(Label label);
+
+/// Monotonic nanoseconds since process start.
+i64 now_ns();
+
+/// Appends `e` to the calling thread's ring buffer (single-writer, wraps by
+/// overwriting the oldest events). Callers gate on sampling_on() themselves —
+/// record() itself never checks.
+void record(const Event& e);
+
+/// Instant sample: records `value` (as Event::steps) at the current time.
+void record_counter(Label label, Cat cat, i64 value);
+
+/// Drops all recorded events; ring capacities are kept.
+void clear();
+
+/// Resizes every ring (existing and future) to `events` slots and clears
+/// recorded content. Quiescent callers only.
+void set_ring_capacity(size_t events);
+
+BufferStats buffer_stats();
+
+/// Number of registered recording threads (= exporter tids 0..n-1).
+int thread_count();
+
+/// Snapshot of thread `tid`'s surviving events, oldest first.
+std::vector<Event> thread_events(int tid);
+
+/// RAII span: opens at construction (when sampling is on), records itself at
+/// destruction. set_steps()/set_index() attach payloads any time before the
+/// close.
+class Span {
+ public:
+  Span(Cat cat, Label label, i64 index = -1) {
+    if (sampling_on()) {
+      active_ = true;
+      e_.cat = cat;
+      e_.label = label;
+      e_.index = index;
+      e_.t0_ns = now_ns();
+    }
+  }
+  ~Span() {
+    if (active_) {
+      e_.t1_ns = now_ns();
+      record(e_);
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  void set_steps(i64 steps) { e_.steps = steps; }
+  void set_index(i64 index) { e_.index = index; }
+
+ private:
+  Event e_;
+  bool active_ = false;
+};
+
+#else  // !MESHPRAM_TELEMETRY — the whole API collapses to no-ops.
+
+inline constexpr bool sampling_on() { return false; }
+inline void set_enabled(bool) {}
+inline constexpr bool master_enabled() { return false; }
+inline void set_sample_every(u32) {}
+inline void begin_frame() {}
+inline Label intern(std::string_view) { return 0; }
+inline std::string label_name(Label) { return "?"; }
+inline i64 now_ns() { return 0; }
+inline void record(const Event&) {}
+inline void record_counter(Label, Cat, i64) {}
+inline void clear() {}
+inline void set_ring_capacity(size_t) {}
+inline BufferStats buffer_stats() { return {}; }
+inline int thread_count() { return 0; }
+inline std::vector<Event> thread_events(int) { return {}; }
+
+class Span {
+ public:
+  Span(Cat, Label, i64 = -1) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  void set_steps(i64) {}
+  void set_index(i64) {}
+};
+
+#endif  // MESHPRAM_TELEMETRY
+
+}  // namespace meshpram::telemetry

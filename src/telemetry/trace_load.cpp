@@ -1,0 +1,245 @@
+#include "telemetry/trace_load.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace meshpram::telemetry {
+
+namespace {
+
+/// Minimal JSON value: enough structure for the loader, no external deps.
+struct Json {
+  enum class Type { Null, Bool, Num, Str, Arr, Obj };
+  Type type = Type::Null;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<Json> arr;
+  std::vector<std::pair<std::string, Json>> obj;
+
+  const Json* get(std::string_view key) const {
+    for (const auto& [k, v] : obj) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string text) : s_(std::move(text)) {}
+
+  Json parse() {
+    Json v = value();
+    skip_ws();
+    MP_REQUIRE(i_ == s_.size(), "trailing garbage at JSON offset " << i_);
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (i_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[i_]))) {
+      ++i_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    MP_REQUIRE(i_ < s_.size(), "unexpected end of JSON");
+    return s_[i_];
+  }
+
+  void expect(char c) {
+    MP_REQUIRE(peek() == c, "expected '" << c << "' at JSON offset " << i_);
+    ++i_;
+  }
+
+  bool consume(char c) {
+    if (i_ < s_.size() && peek() == c) {
+      ++i_;
+      return true;
+    }
+    return false;
+  }
+
+  Json value() {
+    const char c = peek();
+    switch (c) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't': {
+        Json j;
+        j.type = Json::Type::Bool;
+        j.b = true;
+        return keyword("true", std::move(j));
+      }
+      case 'f': {
+        Json j;
+        j.type = Json::Type::Bool;
+        return keyword("false", std::move(j));
+      }
+      case 'n': return keyword("null", Json{});
+      default: return number();
+    }
+  }
+
+  Json keyword(std::string_view word, Json result) {
+    MP_REQUIRE(s_.compare(i_, word.size(), word) == 0,
+               "bad JSON keyword at offset " << i_);
+    i_ += word.size();
+    return result;
+  }
+
+  Json object() {
+    expect('{');
+    Json j;
+    j.type = Json::Type::Obj;
+    if (consume('}')) return j;
+    do {
+      Json key = string_value();
+      expect(':');
+      j.obj.emplace_back(std::move(key.str), value());
+    } while (consume(','));
+    expect('}');
+    return j;
+  }
+
+  Json array() {
+    expect('[');
+    Json j;
+    j.type = Json::Type::Arr;
+    if (consume(']')) return j;
+    do {
+      j.arr.push_back(value());
+    } while (consume(','));
+    expect(']');
+    return j;
+  }
+
+  Json string_value() {
+    expect('"');
+    Json j;
+    j.type = Json::Type::Str;
+    while (true) {
+      MP_REQUIRE(i_ < s_.size(), "unterminated JSON string");
+      const char c = s_[i_++];
+      if (c == '"') break;
+      if (c != '\\') {
+        j.str += c;
+        continue;
+      }
+      MP_REQUIRE(i_ < s_.size(), "unterminated JSON escape");
+      const char e = s_[i_++];
+      switch (e) {
+        case '"': j.str += '"'; break;
+        case '\\': j.str += '\\'; break;
+        case '/': j.str += '/'; break;
+        case 'b': j.str += '\b'; break;
+        case 'f': j.str += '\f'; break;
+        case 'n': j.str += '\n'; break;
+        case 'r': j.str += '\r'; break;
+        case 't': j.str += '\t'; break;
+        case 'u': {
+          MP_REQUIRE(i_ + 4 <= s_.size(), "truncated \\u escape");
+          const unsigned code = static_cast<unsigned>(
+              std::strtoul(s_.substr(i_, 4).c_str(), nullptr, 16));
+          i_ += 4;
+          // Loader-internal names are ASCII; map BMP escapes to UTF-8.
+          if (code < 0x80) {
+            j.str += static_cast<char>(code);
+          } else if (code < 0x800) {
+            j.str += static_cast<char>(0xc0 | (code >> 6));
+            j.str += static_cast<char>(0x80 | (code & 0x3f));
+          } else {
+            j.str += static_cast<char>(0xe0 | (code >> 12));
+            j.str += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            j.str += static_cast<char>(0x80 | (code & 0x3f));
+          }
+          break;
+        }
+        default: MP_REQUIRE(false, "bad JSON escape '\\" << e << '\'');
+      }
+    }
+    return j;
+  }
+
+  Json number() {
+    const size_t start = i_;
+    if (consume('-')) {
+    }
+    while (i_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[i_])) || s_[i_] == '.' ||
+            s_[i_] == 'e' || s_[i_] == 'E' || s_[i_] == '+' || s_[i_] == '-')) {
+      ++i_;
+    }
+    MP_REQUIRE(i_ > start, "bad JSON number at offset " << start);
+    Json j;
+    j.type = Json::Type::Num;
+    j.num = std::strtod(s_.substr(start, i_ - start).c_str(), nullptr);
+    return j;
+  }
+
+  std::string s_;
+  size_t i_ = 0;
+};
+
+double num_or(const Json* v, double fallback) {
+  return v != nullptr && v->type == Json::Type::Num ? v->num : fallback;
+}
+
+std::string str_or(const Json* v, std::string fallback) {
+  return v != nullptr && v->type == Json::Type::Str ? v->str
+                                                    : std::move(fallback);
+}
+
+}  // namespace
+
+LoadedTrace load_chrome_trace(std::istream& in) {
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  Parser parser(buf.str());
+  const Json root = parser.parse();
+  MP_REQUIRE(root.type == Json::Type::Obj, "trace root is not a JSON object");
+  const Json* events = root.get("traceEvents");
+  MP_REQUIRE(events != nullptr && events->type == Json::Type::Arr,
+             "trace has no traceEvents array");
+
+  LoadedTrace out;
+  if (const Json* other = root.get("otherData")) {
+    out.recorded = static_cast<u64>(num_or(other->get("recorded"), 0));
+    out.dropped = static_cast<u64>(num_or(other->get("dropped"), 0));
+  }
+  for (const Json& ev : events->arr) {
+    MP_REQUIRE(ev.type == Json::Type::Obj, "trace event is not an object");
+    LoadedEvent e;
+    const std::string ph = str_or(ev.get("ph"), "?");
+    e.ph = ph.empty() ? '?' : ph[0];
+    if (e.ph == 'M') continue;
+    e.name = str_or(ev.get("name"), "");
+    e.cat = str_or(ev.get("cat"), "");
+    e.tid = static_cast<int>(num_or(ev.get("tid"), 0));
+    e.ts_us = num_or(ev.get("ts"), 0);
+    e.dur_us = num_or(ev.get("dur"), 0);
+    if (const Json* args = ev.get("args")) {
+      e.steps = static_cast<i64>(num_or(args->get("steps"), -1));
+      e.index = static_cast<i64>(num_or(args->get("index"), -1));
+    }
+    out.events.push_back(std::move(e));
+  }
+  return out;
+}
+
+LoadedTrace load_chrome_trace(const std::string& path) {
+  std::ifstream in(path);
+  MP_REQUIRE(in.is_open(), "cannot open trace file " << path);
+  return load_chrome_trace(in);
+}
+
+}  // namespace meshpram::telemetry

@@ -1,0 +1,41 @@
+// Chrome trace_event JSON loader (the read side of telemetry/export.hpp).
+//
+// Backs tools/trace_summary and the exporter round-trip test. The parser is a
+// small self-contained JSON reader (objects, arrays, strings, numbers, bools,
+// null) — strict enough to reject malformed files, general enough to read any
+// trace the exporter emits plus hand-edited variants.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/math.hpp"
+
+namespace meshpram::telemetry {
+
+/// One trace event as loaded from JSON. ph is the Chrome phase letter
+/// ('X' complete span, 'C' counter, 'M' metadata); ts/dur in microseconds.
+struct LoadedEvent {
+  std::string name;
+  std::string cat;
+  char ph = '?';
+  int tid = 0;
+  double ts_us = 0;
+  double dur_us = 0;
+  i64 steps = -1;  ///< args.steps, -1 when absent
+  i64 index = -1;  ///< args.index, -1 when absent
+};
+
+struct LoadedTrace {
+  std::vector<LoadedEvent> events;  ///< metadata ("M") events excluded
+  u64 recorded = 0;                 ///< otherData.recorded
+  u64 dropped = 0;                  ///< otherData.dropped
+};
+
+/// Parses a Chrome trace; throws ConfigError on malformed JSON or a missing
+/// traceEvents array.
+LoadedTrace load_chrome_trace(std::istream& in);
+LoadedTrace load_chrome_trace(const std::string& path);
+
+}  // namespace meshpram::telemetry

@@ -1,0 +1,318 @@
+// Telemetry subsystem (DESIGN.md §8): observer-effect invariance (tracing
+// must not change counted steps or PRAM-visible results at any thread count),
+// exporter round-trips, ring-buffer wrap accounting and sampling control.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mesh/parallel.hpp"
+#include "protocol/simulator.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace_load.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace meshpram {
+namespace {
+
+struct WorkloadResult {
+  std::vector<i64> reads;
+  StepStats write_stats;
+  StepStats read_stats;
+  std::unique_ptr<PramMeshSimulator> sim;
+};
+
+/// Fixed two-step PRAM workload (write everything, read it back) — the same
+/// instance as tests/test_parallel_engine.cpp, so results are comparable.
+WorkloadResult run_workload(int threads) {
+  set_execution_threads(threads);
+  set_log_level(LogLevel::Error);
+  SimConfig cfg;
+  cfg.mesh_rows = 16;
+  cfg.mesh_cols = 16;
+  cfg.num_vars = 1080;
+  cfg.q = 3;
+  cfg.k = 2;
+  cfg.sort_mode = SortMode::Simulated;
+  WorkloadResult r;
+  r.sim = std::make_unique<PramMeshSimulator>(cfg);
+  const i64 n = r.sim->processors();
+
+  Rng rng(2024);
+  std::vector<i64> vars(static_cast<size_t>(n));
+  std::vector<i64> values(static_cast<size_t>(n));
+  for (i64 i = 0; i < n; ++i) {
+    vars[static_cast<size_t>(i)] = (i * 7 + 3) % cfg.num_vars;
+    values[static_cast<size_t>(i)] = rng.range(0, 1 << 20);
+  }
+  r.sim->write_step(vars, values, &r.write_stats);
+  r.reads = r.sim->read_step(vars, &r.read_stats);
+  return r;
+}
+
+void expect_same_observables(const WorkloadResult& a, const WorkloadResult& b,
+                             const std::string& what) {
+  EXPECT_EQ(a.reads, b.reads) << "read results differ: " << what;
+  EXPECT_EQ(a.read_stats.total_steps, b.read_stats.total_steps) << what;
+  EXPECT_EQ(a.read_stats.culling_steps, b.read_stats.culling_steps) << what;
+  EXPECT_EQ(a.read_stats.forward_steps, b.read_stats.forward_steps) << what;
+  EXPECT_EQ(a.read_stats.return_steps, b.read_stats.return_steps) << what;
+  EXPECT_EQ(a.read_stats.packets, b.read_stats.packets) << what;
+  EXPECT_EQ(a.read_stats.forward_stage_steps, b.read_stats.forward_stage_steps)
+      << what;
+  EXPECT_EQ(a.write_stats.total_steps, b.write_stats.total_steps) << what;
+  EXPECT_EQ(a.read_stats.culling.selected_copies,
+            b.read_stats.culling.selected_copies)
+      << what;
+}
+
+/// Telemetry only observes: with tracing enabled, every counted step and
+/// PRAM-visible result is bit-identical to the untraced run, at 1, 2 and
+/// hardware_concurrency threads. (In MESHPRAM_TELEMETRY=OFF builds this
+/// degenerates to a repeat of the parallel-engine determinism check.)
+TEST(Telemetry, ObserverEffectInvariance) {
+  telemetry::set_enabled(false);
+  const WorkloadResult base = run_workload(1);
+
+  const int hw =
+      static_cast<int>(std::max(2u, std::thread::hardware_concurrency()));
+  for (const int threads : {1, 2, hw}) {
+    telemetry::clear();
+    telemetry::set_enabled(true);
+    telemetry::set_sample_every(1);
+    const WorkloadResult traced = run_workload(threads);
+    telemetry::set_enabled(false);
+    expect_same_observables(base, traced,
+                            "telemetry on, " + std::to_string(threads) +
+                                " threads");
+  }
+  set_execution_threads(0);  // restore the environment default
+}
+
+/// Exporters emit well-formed output even when nothing was recorded — in
+/// particular in MESHPRAM_TELEMETRY=OFF builds, where this is the only
+/// exporter path that exists.
+TEST(Telemetry, EmptyTraceExportsAreWellFormed) {
+  telemetry::set_enabled(false);
+  telemetry::clear();
+  std::stringstream ss;
+  telemetry::write_chrome_trace(ss);
+  const telemetry::LoadedTrace trace = telemetry::load_chrome_trace(ss);
+  EXPECT_TRUE(trace.events.empty());
+
+  telemetry::MeshCounters counters;
+  counters.resize(2, 2);
+  std::stringstream csv;
+  telemetry::write_heatmap_csv(counters, csv);
+  std::string header;
+  std::getline(csv, header);
+  EXPECT_EQ(header, "node,row,col,max_queue,forwarded,copies_touched,survivors");
+  int rows = 0;
+  for (std::string line; std::getline(csv, line);) {
+    if (!line.empty()) ++rows;
+  }
+  EXPECT_EQ(rows, 4);
+}
+
+#if MESHPRAM_TELEMETRY
+
+TEST(Telemetry, InternedLabelsRoundTrip) {
+  const telemetry::Label a = telemetry::intern("test.label_a");
+  const telemetry::Label b = telemetry::intern("test.label_b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(telemetry::intern("test.label_a"), a);
+  EXPECT_EQ(telemetry::label_name(a), "test.label_a");
+  EXPECT_EQ(telemetry::label_name(b), "test.label_b");
+}
+
+TEST(Telemetry, DisabledRecordsNothing) {
+  telemetry::set_enabled(false);
+  telemetry::clear();
+  EXPECT_FALSE(telemetry::sampling_on());
+  run_workload(1);
+  const telemetry::BufferStats bs = telemetry::buffer_stats();
+  EXPECT_EQ(bs.recorded, 0u);
+  EXPECT_EQ(bs.dropped, 0u);
+  set_execution_threads(0);
+}
+
+/// Chrome trace round-trip: the emitted JSON parses, Stage spans nest inside
+/// their PRAM Step span, and the steps attributed to Stage spans sum exactly
+/// to the Step spans' grand total (the trace_summary reconciliation
+/// invariant).
+TEST(Telemetry, ChromeTraceRoundTripAndStagePartition) {
+  telemetry::clear();
+  telemetry::set_sample_every(1);
+  telemetry::set_enabled(true);
+  const WorkloadResult r = run_workload(2);
+  telemetry::set_enabled(false);
+  set_execution_threads(0);
+
+  std::stringstream ss;
+  telemetry::write_chrome_trace(ss);
+  const telemetry::LoadedTrace trace = telemetry::load_chrome_trace(ss);
+  ASSERT_FALSE(trace.events.empty());
+  EXPECT_GT(trace.recorded, 0u);
+
+  i64 stage_sum = 0;
+  i64 step_sum = 0;
+  int step_count = 0;
+  std::vector<const telemetry::LoadedEvent*> steps;
+  for (const telemetry::LoadedEvent& e : trace.events) {
+    if (e.ph != 'X') continue;
+    if (e.cat == "stage") {
+      ASSERT_GE(e.steps, 0) << "stage span without a step payload: " << e.name;
+      stage_sum += e.steps;
+    } else if (e.cat == "step") {
+      ASSERT_GE(e.steps, 0);
+      step_sum += e.steps;
+      ++step_count;
+      steps.push_back(&e);
+    }
+  }
+  EXPECT_EQ(step_count, 2) << "one write step + one read step";
+  EXPECT_EQ(stage_sum, step_sum)
+      << "Stage spans must partition the PRAM step totals";
+  EXPECT_EQ(step_sum, r.write_stats.total_steps + r.read_stats.total_steps);
+
+  // Span nesting. Stage spans run on the protocol's caller thread, so they
+  // must nest inside a step span with the same tid; phase/region spans may
+  // run on pool workers (other tids) but still lie inside some step span's
+  // time range (the clock base is process-wide).
+  const double eps = 1e-3;  // exporter rounds to 1ns = 1e-3 us
+  for (const telemetry::LoadedEvent& e : trace.events) {
+    if (e.ph != 'X') continue;
+    if (e.cat != "stage" && e.cat != "phase" && e.cat != "region") continue;
+    const bool same_tid_required = e.cat == "stage";
+    const bool nested =
+        std::any_of(steps.begin(), steps.end(), [&](const auto* s) {
+          return (!same_tid_required || s->tid == e.tid) &&
+                 e.ts_us >= s->ts_us - eps &&
+                 e.ts_us + e.dur_us <= s->ts_us + s->dur_us + eps;
+        });
+    EXPECT_TRUE(nested) << e.cat << " span " << e.name << " (tid " << e.tid
+                        << ") escapes every pram.step span";
+  }
+}
+
+/// Congestion counters: survivors per requesting node sum to the culling
+/// selected-copies total; the heatmap CSV carries the same numbers.
+TEST(Telemetry, HeatmapCsvMatchesCounters) {
+  telemetry::clear();
+  telemetry::set_sample_every(1);
+  telemetry::set_enabled(true);
+  const WorkloadResult r = run_workload(1);
+  telemetry::set_enabled(false);
+  set_execution_threads(0);
+
+  const telemetry::MeshCounters& c = r.sim->mesh().counters();
+  ASSERT_EQ(c.nodes(), r.sim->processors());
+  i64 survivors = 0;
+  i64 forwarded = 0;
+  i64 max_queue = 0;
+  for (i64 node = 0; node < c.nodes(); ++node) {
+    survivors += c.survivors()[static_cast<size_t>(node)];
+    forwarded += c.forwarded()[static_cast<size_t>(node)];
+    max_queue =
+        std::max(max_queue, c.max_queue()[static_cast<size_t>(node)]);
+  }
+  // Both steps ran with sampling on: write + read culling selections.
+  EXPECT_EQ(survivors, r.write_stats.culling.selected_copies +
+                           r.read_stats.culling.selected_copies);
+  EXPECT_GT(forwarded, 0) << "packets must have moved through the mesh";
+  EXPECT_GE(max_queue, 1);
+
+  std::stringstream csv;
+  telemetry::write_heatmap_csv(c, csv);
+  std::string header;
+  std::getline(csv, header);
+  EXPECT_EQ(header, "node,row,col,max_queue,forwarded,copies_touched,survivors");
+  i64 csv_rows = 0;
+  i64 csv_survivors = 0;
+  for (std::string line; std::getline(csv, line);) {
+    if (line.empty()) continue;
+    ++csv_rows;
+    const size_t pos = line.rfind(',');
+    ASSERT_NE(pos, std::string::npos);
+    csv_survivors += std::stoll(line.substr(pos + 1));
+  }
+  EXPECT_EQ(csv_rows, c.nodes());
+  EXPECT_EQ(csv_survivors, survivors);
+}
+
+TEST(Telemetry, StageSummaryListsRecordedSpans) {
+  telemetry::clear();
+  telemetry::set_sample_every(1);
+  telemetry::set_enabled(true);
+  run_workload(1);
+  telemetry::set_enabled(false);
+  set_execution_threads(0);
+
+  std::stringstream ss;
+  telemetry::write_stage_summary(ss);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("pram.step"), std::string::npos);
+  EXPECT_NE(out.find("culling.iter"), std::string::npos);
+  EXPECT_NE(out.find("access.forward"), std::string::npos);
+  EXPECT_NE(out.find("access.return"), std::string::npos);
+}
+
+/// Ring wrap-around: oldest events are overwritten, newest survive, and the
+/// drop accounting reports exactly what was lost.
+TEST(Telemetry, RingWrapKeepsNewestAndCountsDropped) {
+  telemetry::set_ring_capacity(16);
+  telemetry::set_enabled(true);
+  telemetry::set_sample_every(1);
+  const telemetry::Label label = telemetry::intern("test.wrap");
+  for (i64 i = 0; i < 100; ++i) {
+    telemetry::record_counter(label, telemetry::Cat::Counter, i);
+  }
+  telemetry::set_enabled(false);
+
+  const telemetry::BufferStats bs = telemetry::buffer_stats();
+  EXPECT_EQ(bs.recorded, 100u);
+  EXPECT_EQ(bs.dropped, 84u);
+
+  // The surviving window is the 16 newest samples, oldest first.
+  bool found = false;
+  for (int tid = 0; tid < telemetry::thread_count(); ++tid) {
+    const std::vector<telemetry::Event> events = telemetry::thread_events(tid);
+    if (events.empty()) continue;
+    found = true;
+    ASSERT_EQ(events.size(), 16u);
+    for (size_t i = 0; i < events.size(); ++i) {
+      EXPECT_EQ(events[i].steps, static_cast<i64>(84 + i));
+      EXPECT_EQ(events[i].label, label);
+    }
+  }
+  EXPECT_TRUE(found);
+  telemetry::set_ring_capacity(size_t{1} << 17);  // restore the default
+}
+
+/// set_sample_every(n) records every n-th PRAM step: over any 6 consecutive
+/// frames with n=3, exactly 2 are sampled.
+TEST(Telemetry, SamplingEveryNthFrame) {
+  telemetry::set_enabled(true);
+  telemetry::set_sample_every(3);
+  int sampled = 0;
+  for (int i = 0; i < 6; ++i) {
+    telemetry::begin_frame();
+    if (telemetry::sampling_on()) ++sampled;
+  }
+  EXPECT_EQ(sampled, 2);
+  telemetry::set_sample_every(1);
+  telemetry::set_enabled(false);
+  telemetry::clear();
+}
+
+#endif  // MESHPRAM_TELEMETRY
+
+}  // namespace
+}  // namespace meshpram

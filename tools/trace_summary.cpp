@@ -1,0 +1,147 @@
+// trace_summary — aggregate a meshpram Chrome trace into per-stage totals.
+//
+//   trace_summary <trace.json> [--top N]
+//
+// Prints (a) the per-stage step/wall totals (cat=stage spans, whose steps
+// partition each PRAM step's total by construction — telemetry.hpp), checked
+// against the cat=step grand total; (b) the top-N span names by wall-clock;
+// (c) the top-N region tasks by wall-clock. Exit code: 0 on success, 1 on
+// usage/load errors, 2 when the stage totals fail to reconcile with the
+// recorded PRAM step totals.
+#include <algorithm>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "telemetry/trace_load.hpp"
+#include "util/table.hpp"
+
+using namespace meshpram;
+using namespace meshpram::telemetry;
+
+namespace {
+
+struct Agg {
+  i64 count = 0;
+  double wall_us = 0;
+  i64 steps = 0;
+};
+
+template <class Key>
+std::vector<std::pair<Key, Agg>> sorted_by_wall(
+    const std::map<Key, Agg>& aggs) {
+  std::vector<std::pair<Key, Agg>> v(aggs.begin(), aggs.end());
+  std::sort(v.begin(), v.end(), [](const auto& a, const auto& b) {
+    return a.second.wall_us > b.second.wall_us;
+  });
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  size_t top_k = 10;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+      top_k = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (path.empty()) {
+      path = argv[i];
+    } else {
+      std::cerr << "usage: trace_summary <trace.json> [--top N]\n";
+      return 1;
+    }
+  }
+  if (path.empty()) {
+    std::cerr << "usage: trace_summary <trace.json> [--top N]\n";
+    return 1;
+  }
+
+  LoadedTrace trace;
+  try {
+    trace = load_chrome_trace(path);
+  } catch (const std::exception& e) {
+    std::cerr << "trace_summary: " << e.what() << '\n';
+    return 1;
+  }
+
+  std::map<std::string, Agg> stages;
+  std::map<std::string, Agg> spans;
+  std::map<std::pair<std::string, i64>, Agg> regions;
+  i64 step_total = 0;     // sum of cat=step span steps (PRAM grand total)
+  i64 step_count = 0;
+  for (const LoadedEvent& e : trace.events) {
+    if (e.ph != 'X') continue;
+    Agg& all = spans[e.name];
+    ++all.count;
+    all.wall_us += e.dur_us;
+    if (e.steps >= 0) all.steps += e.steps;
+    if (e.cat == "stage") {
+      Agg& a = stages[e.name];
+      ++a.count;
+      a.wall_us += e.dur_us;
+      if (e.steps >= 0) a.steps += e.steps;
+    } else if (e.cat == "step") {
+      ++step_count;
+      if (e.steps >= 0) step_total += e.steps;
+    } else if (e.cat == "region") {
+      Agg& a = regions[{e.name, e.index}];
+      ++a.count;
+      a.wall_us += e.dur_us;
+      if (e.steps >= 0) a.steps += e.steps;
+    }
+  }
+
+  std::cout << "trace: " << path << "  (" << trace.events.size()
+            << " events, recorded " << trace.recorded << ", dropped "
+            << trace.dropped << ")\n\n";
+
+  std::cout << "Per-stage totals (mesh steps partition the PRAM step total):\n";
+  i64 stage_total = 0;
+  {
+    Table t({"stage", "count", "mesh_steps", "wall_ms"});
+    for (const auto& [name, a] : sorted_by_wall(stages)) {
+      t.add(name, a.count, a.steps, a.wall_us / 1e3);
+      stage_total += a.steps;
+    }
+    t.add("TOTAL", "", stage_total, "");
+    t.print(std::cout);
+  }
+
+  std::cout << "\nTop spans by wall-clock:\n";
+  {
+    Table t({"name", "count", "mesh_steps", "wall_ms"});
+    const auto v = sorted_by_wall(spans);
+    for (size_t i = 0; i < std::min(top_k, v.size()); ++i) {
+      t.add(v[i].first, v[i].second.count, v[i].second.steps,
+            v[i].second.wall_us / 1e3);
+    }
+    t.print(std::cout);
+  }
+
+  if (!regions.empty()) {
+    std::cout << "\nTop region tasks by wall-clock:\n";
+    Table t({"task", "index", "count", "mesh_steps", "wall_ms"});
+    const auto v = sorted_by_wall(regions);
+    for (size_t i = 0; i < std::min(top_k, v.size()); ++i) {
+      t.add(v[i].first.first, v[i].first.second, v[i].second.count,
+            v[i].second.steps, v[i].second.wall_us / 1e3);
+    }
+    t.print(std::cout);
+  }
+
+  if (step_count > 0) {
+    std::cout << "\nPRAM steps traced: " << step_count
+              << ", grand total mesh steps: " << step_total << '\n';
+    if (stage_total == step_total) {
+      std::cout << "stage totals reconcile with the PRAM step grand total\n";
+    } else {
+      std::cout << "MISMATCH: stage totals (" << stage_total
+                << ") != PRAM step grand total (" << step_total << ")\n";
+      return 2;
+    }
+  }
+  return 0;
+}
