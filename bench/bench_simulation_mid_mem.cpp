@@ -23,6 +23,7 @@ int main() {
   for (int k : {2, 3}) {
     std::vector<double> ns, ts;
     for (int side : {16, 32, 64, 128}) {
+      if (side > bench_max_side()) continue;
       const i64 n = static_cast<i64>(side) * side;
       const i64 M = static_cast<i64>(std::llround(std::pow(n, alpha)));
       const SimPoint p = measure_sim_step(side, M, 3, k, 7);
@@ -35,13 +36,15 @@ int main() {
       ns.push_back(static_cast<double>(p.n));
       ts.push_back(static_cast<double>(p.steps));
     }
-    const auto fit = fit_power_law(ns, ts);
-    const double theory =
-        k == 2 ? 0.5 + (alpha - 1) / 8 : 0.5 + (alpha - 1) / 16;
-    std::cout << "k=" << k << ": fitted T_sim ~ n^"
-              << format_double(fit.slope) << "  (theory n^"
-              << format_double(theory) << (k == 2 ? ", Eq. 9" : ", Thm 1")
-              << ")  R^2 = " << format_double(fit.r2) << '\n';
+    if (ns.size() >= 2) {  // the MAX_SIDE smoke filter may leave one point
+      const auto fit = fit_power_law(ns, ts);
+      const double theory =
+          k == 2 ? 0.5 + (alpha - 1) / 8 : 0.5 + (alpha - 1) / 16;
+      std::cout << "k=" << k << ": fitted T_sim ~ n^"
+                << format_double(fit.slope) << "  (theory n^"
+                << format_double(theory) << (k == 2 ? ", Eq. 9" : ", Thm 1")
+                << ")  R^2 = " << format_double(fit.r2) << '\n';
+    }
   }
   t.print(std::cout);
   rec.write();

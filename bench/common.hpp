@@ -138,6 +138,17 @@ inline void fill_tessellated_instance(Mesh& mesh,
 
 namespace meshpram::benchutil {
 
+/// Upper bound on the mesh side a sweep may run, from the
+/// MESHPRAM_BENCH_MAX_SIDE environment variable (unset or <= 0: no limit).
+/// tools/bench_smoke.py uses it to run only the fast configuration points.
+inline int bench_max_side() {
+  if (const char* s = std::getenv("MESHPRAM_BENCH_MAX_SIDE")) {
+    const int v = std::atoi(s);
+    if (v > 0) return v;
+  }
+  return 1 << 30;
+}
+
 struct SimPoint {
   i64 n = 0;
   i64 M = 0;

@@ -8,6 +8,9 @@
 // bench/CMakeLists.txt) > cwd. Schema history:
 //   1 — {bench, points:[{config, wall_ms, mesh_steps}]} (implicit, no field)
 //   2 — adds "schema_version"
+//   3 — adds "threads" (host worker count the run used), "git_sha" and
+//       "build_type" (both baked in by bench/CMakeLists.txt), so a recorded
+//       wall_ms can be matched to the machine configuration that produced it
 #pragma once
 
 #include <chrono>
@@ -17,6 +20,7 @@
 #include <vector>
 
 #include "util/math.hpp"
+#include "util/thread_pool.hpp"
 
 namespace meshpram::benchutil {
 
@@ -51,7 +55,7 @@ inline std::string bench_output_dir() {
 /// Collects per-configuration measurements and writes BENCH_<name>.json.
 class BenchRecorder {
  public:
-  static constexpr int kSchemaVersion = 2;
+  static constexpr int kSchemaVersion = 3;
 
   explicit BenchRecorder(std::string name) : name_(std::move(name)) {}
 
@@ -66,7 +70,20 @@ class BenchRecorder {
   void write() const {
     std::ofstream out(output_path());
     out << "{\n  \"bench\": \"" << name_ << "\",\n  \"schema_version\": "
-        << kSchemaVersion << ",\n  \"points\": [\n";
+        << kSchemaVersion << ",\n  \"threads\": " << execution_threads()
+        << ",\n  \"git_sha\": \"" <<
+#ifdef MESHPRAM_GIT_SHA
+        MESHPRAM_GIT_SHA
+#else
+        "unknown"
+#endif
+        << "\",\n  \"build_type\": \"" <<
+#ifdef MESHPRAM_BUILD_TYPE
+        MESHPRAM_BUILD_TYPE
+#else
+        "unknown"
+#endif
+        << "\",\n  \"points\": [\n";
     for (size_t i = 0; i < points_.size(); ++i) {
       const Point& p = points_[i];
       out << "    {\"config\": \"" << p.config

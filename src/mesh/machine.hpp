@@ -18,6 +18,7 @@
 
 #include <vector>
 
+#include "mesh/arena.hpp"
 #include "mesh/geometry.hpp"
 #include "mesh/packet.hpp"
 #include "mesh/region.hpp"
@@ -171,6 +172,12 @@ class Mesh {
   /// buffers keep their capacity (reuse contract above).
   std::vector<Packet> drain(const Region& region);
 
+  /// Reusable flat transit arenas for route_greedy (mesh/arena.hpp). One
+  /// lease per route call; pooled because parallel_for_regions runs several
+  /// route calls concurrently. Makes Mesh non-copyable (the pool holds a
+  /// mutex), which the rest of the system already assumed.
+  ArenaPool& route_arenas() { return arenas_; }
+
  private:
   int rows_;
   int cols_;
@@ -178,6 +185,7 @@ class Mesh {
   std::vector<CopyStore> stores_;
   StepCounter clock_;
   telemetry::MeshCounters counters_;
+  ArenaPool arenas_;
 };
 
 }  // namespace meshpram

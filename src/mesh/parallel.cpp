@@ -1,5 +1,7 @@
 #include "mesh/parallel.hpp"
 
+#include <cstdlib>
+
 #include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
@@ -66,6 +68,49 @@ i64 parallel_max_regions(Mesh& mesh, const std::vector<Region>& regions,
   ParallelCost pc;
   pc.observe_all(parallel_for_regions(mesh, regions, fn));
   return pc.max();
+}
+
+namespace {
+
+std::atomic<i64> g_stripe_min_nodes{0};  // 0 = env/default
+
+i64 default_stripe_min_nodes() {
+  if (const char* env = std::getenv("MESHPRAM_STRIPE_MIN_NODES")) {
+    const i64 n = std::atoll(env);
+    if (n >= 1) return n;
+  }
+  return 4096;
+}
+
+}  // namespace
+
+void set_stripe_min_nodes(i64 nodes) {
+  MP_REQUIRE(nodes >= 0, "stripe threshold " << nodes);
+  g_stripe_min_nodes.store(nodes, std::memory_order_relaxed);
+}
+
+i64 stripe_min_nodes() {
+  const i64 v = g_stripe_min_nodes.load(std::memory_order_relaxed);
+  if (v > 0) return v;
+  static const i64 def = default_stripe_min_nodes();
+  return def;
+}
+
+void for_each_region_chunk(const Mesh& mesh, const Region& region,
+                           i64 min_grain,
+                           const std::function<void(RegionCursor&, i64)>& fn) {
+  const i64 m = region.size();
+  if (m == 0) return;
+  ThreadPool& pool = execution_pool();
+  if (pool.threads() == 1 || in_parallel_worker() || m < 2 * min_grain) {
+    RegionCursor cur = mesh.cursor(region);
+    fn(cur, m);
+    return;
+  }
+  pool.for_each_chunk(m, min_grain, [&](i64 begin, i64 end) {
+    RegionCursor cur(region, mesh.cols(), begin);
+    fn(cur, end);
+  });
 }
 
 }  // namespace meshpram

@@ -77,6 +77,24 @@ class RegionCursor {
         stride_(id_stride),
         id_(static_cast<i64>(g.r0()) * id_stride + g.c0()) {}
 
+  /// Cursor starting at snake position `start_pos` (0 <= start_pos <= size()).
+  /// Lets a worker walk just its chunk of the region: the stripe/chunk
+  /// parallel loops hand each worker a contiguous snake-position range.
+  RegionCursor(const Region& g, int id_stride, i64 start_pos)
+      : RegionCursor(g, id_stride) {
+    if (start_pos >= end_) {
+      pos_ = end_;
+      return;
+    }
+    const i64 row = start_pos / g.cols();
+    const i64 off = start_pos - row * g.cols();
+    r_ = g.r0() + static_cast<int>(row);
+    east_ = (row % 2) == 0;
+    c_ = east_ ? c_lo_ + static_cast<int>(off) : c_hi_ - static_cast<int>(off);
+    pos_ = start_pos;
+    id_ = static_cast<i64>(r_) * id_stride + c_;
+  }
+
   bool valid() const { return pos_ < end_; }
   /// Snake position in [0, region.size()).
   i64 pos() const { return pos_; }

@@ -1,6 +1,7 @@
 #include "protocol/access.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <set>
 #include <tuple>
@@ -10,10 +11,16 @@
 #include "routing/rank.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace meshpram {
 
 namespace {
+
+/// Chunk size for the flat per-node sweeps (same grain as culling.cpp). All
+/// of them touch only the node's own buffer/store/result cell, so the
+/// chunking never shows in the results.
+constexpr i64 kNodeGrain = 64;
 
 // Stage-cat spans partition StepStats::total_steps (telemetry.hpp): CULLING
 // iterations + forward stages + delivery + return stages; everything else
@@ -47,32 +54,43 @@ AccessProtocol::AccessProtocol(Mesh& mesh, const Placement& placement,
 
 i64 AccessProtocol::distribute_stage(const Region& region, int dest_level) {
   telemetry::Span span(telemetry::Cat::Phase, kDistribute, dest_level);
-  // Key every packet by its destination page at dest_level.
-  for (RegionCursor cur = mesh_.cursor(region); cur.valid(); cur.advance()) {
-    for (Packet& p : mesh_.buf(cur.id())) {
-      p.key = static_cast<u64>(placement_.page_at(p.copy, dest_level));
-    }
-  }
+  // Key every packet by its destination page at dest_level. Chunk-parallel
+  // when called for the whole mesh (stage k+1); the per-region calls come
+  // from pool workers and stay serial (for_each_region_chunk gates on that).
+  for_each_region_chunk(
+      mesh_, region, kNodeGrain, [&](RegionCursor& cur, i64 end) {
+        for (; cur.pos() < end; cur.advance()) {
+          for (Packet& p : mesh_.buf(cur.id())) {
+            p.key = static_cast<u64>(placement_.page_at(p.copy, dest_level));
+          }
+        }
+      });
   i64 steps = sort_region(mesh_, region, sort_opts_);
   steps += rank_within_groups(mesh_, region);
 
   const auto& pages = placement_.pages(dest_level);
-  for (RegionCursor cur = mesh_.cursor(region); cur.valid(); cur.advance()) {
-    for (Packet& p : mesh_.buf(cur.id())) {
-      const Region& sub = pages[static_cast<size_t>(p.key)].region;
-      MP_ASSERT(region.contains(sub.at_snake(0)),
-                "destination page region escapes the stage region");
-      p.dest =
-          mesh_.node_id(sub.at_snake(static_cast<i64>(p.rank) % sub.size()));
-    }
-  }
+  for_each_region_chunk(
+      mesh_, region, kNodeGrain, [&](RegionCursor& cur, i64 end) {
+        for (; cur.pos() < end; cur.advance()) {
+          for (Packet& p : mesh_.buf(cur.id())) {
+            const Region& sub = pages[static_cast<size_t>(p.key)].region;
+            MP_ASSERT(region.contains(sub.at_snake(0)),
+                      "destination page region escapes the stage region");
+            p.dest = mesh_.node_id(
+                sub.at_snake(static_cast<i64>(p.rank) % sub.size()));
+          }
+        }
+      });
   steps += route_greedy(mesh_, region).steps;
 
   // Record the stop for the return journey.
-  for (RegionCursor cur = mesh_.cursor(region); cur.valid(); cur.advance()) {
-    const i32 id = cur.id();
-    for (Packet& p : mesh_.buf(id)) p.push_trail(id);
-  }
+  for_each_region_chunk(
+      mesh_, region, kNodeGrain, [&](RegionCursor& cur, i64 end) {
+        for (; cur.pos() < end; cur.advance()) {
+          const i32 id = cur.id();
+          for (Packet& p : mesh_.buf(id)) p.push_trail(id);
+        }
+      });
   span.set_steps(steps);
   return steps;
 }
@@ -122,22 +140,28 @@ std::vector<i64> AccessProtocol::execute(
   // ---- Packet generation --------------------------------------------------
   {
     telemetry::Span gen_span(telemetry::Cat::Phase, kGenPackets);
-    for (i64 node = 0; node < n; ++node) {
-      const AccessRequest& req = requests[static_cast<size_t>(node)];
-      if (req.var < 0) continue;
-      for (i64 code : selections[static_cast<size_t>(node)]) {
-        Packet p;
-        p.var = req.var;
-        p.copy = static_cast<u64>(req.var) *
-                     static_cast<u64>(params.redundancy()) +
-                 static_cast<u64>(code);
-        p.origin = static_cast<i32>(node);
-        p.op = req.op;
-        p.value = req.value;
-        mesh_.buf(static_cast<i32>(node)).push_back(p);
-        ++st.packets;
+    std::atomic<i64> packets{0};  // commutative sum: thread-count invariant
+    execution_pool().for_each_chunk(n, kNodeGrain, [&](i64 begin, i64 end) {
+      i64 local = 0;
+      for (i64 node = begin; node < end; ++node) {
+        const AccessRequest& req = requests[static_cast<size_t>(node)];
+        if (req.var < 0) continue;
+        for (i64 code : selections[static_cast<size_t>(node)]) {
+          Packet p;
+          p.var = req.var;
+          p.copy = static_cast<u64>(req.var) *
+                       static_cast<u64>(params.redundancy()) +
+                   static_cast<u64>(code);
+          p.origin = static_cast<i32>(node);
+          p.op = req.op;
+          p.value = req.value;
+          mesh_.buf(static_cast<i32>(node)).push_back(p);
+          ++local;
+        }
       }
-    }
+      packets.fetch_add(local, std::memory_order_relaxed);
+    });
+    st.packets += packets.load(std::memory_order_relaxed);
   }
 
   // ---- Forward stages k+1 .. 2 -------------------------------------------
@@ -180,28 +204,30 @@ std::vector<i64> AccessProtocol::execute(
     // Perform the accesses at the destination processors.
     telemetry::Span apply_span(telemetry::Cat::Phase, kApplyAccess);
     const bool count_touches = telemetry::sampling_on();
-    for (i64 node = 0; node < n; ++node) {
-      auto& store = mesh_.store(static_cast<i32>(node));
-      auto& b = mesh_.buf(static_cast<i32>(node));
-      if (count_touches && !b.empty()) {
-        mesh_.counters().add_copies_touched(static_cast<i32>(node),
-                                            static_cast<i64>(b.size()));
-      }
-      for (Packet& p : b) {
-        if (p.op == Op::Write) {
-          store[p.copy] = CopySlot{p.value, timestamp};
-        } else {
-          const CopySlot* slot = store.find(p.copy);
-          if (slot != nullptr) {
-            p.value = slot->value;
-            p.timestamp = slot->timestamp;
+    execution_pool().for_each_chunk(n, kNodeGrain, [&](i64 begin, i64 end) {
+      for (i64 node = begin; node < end; ++node) {
+        auto& store = mesh_.store(static_cast<i32>(node));
+        auto& b = mesh_.buf(static_cast<i32>(node));
+        if (count_touches && !b.empty()) {
+          mesh_.counters().add_copies_touched(static_cast<i32>(node),
+                                              static_cast<i64>(b.size()));
+        }
+        for (Packet& p : b) {
+          if (p.op == Op::Write) {
+            store[p.copy] = CopySlot{p.value, timestamp};
           } else {
-            p.value = 0;
-            p.timestamp = -1;
+            const CopySlot* slot = store.find(p.copy);
+            if (slot != nullptr) {
+              p.value = slot->value;
+              p.timestamp = slot->timestamp;
+            } else {
+              p.value = 0;
+              p.timestamp = -1;
+            }
           }
         }
       }
-    }
+    });
   }
 
   // ---- Return journey ------------------------------------------------------
@@ -230,9 +256,11 @@ std::vector<i64> AccessProtocol::execute(
   }
   {
     telemetry::Span stage_span(telemetry::Cat::Stage, kReturnStage, k + 1);
-    for (i64 node = 0; node < n; ++node) {
-      for (Packet& p : mesh_.buf(static_cast<i32>(node))) p.dest = p.origin;
-    }
+    execution_pool().for_each_chunk(n, kNodeGrain, [&](i64 begin, i64 end) {
+      for (i64 node = begin; node < end; ++node) {
+        for (Packet& p : mesh_.buf(static_cast<i32>(node))) p.dest = p.origin;
+      }
+    });
     const i64 steps = route_greedy(mesh_, mesh_.whole()).steps;
     st.return_steps += steps;
     stage_span.set_steps(steps);
@@ -241,31 +269,34 @@ std::vector<i64> AccessProtocol::execute(
   // ---- Collect results -----------------------------------------------------
   telemetry::Span collect_span(telemetry::Cat::Phase, kCollect);
   std::vector<i64> results(static_cast<size_t>(n), 0);
-  for (i64 node = 0; node < n; ++node) {
-    auto& b = mesh_.buf(static_cast<i32>(node));
-    const AccessRequest& req = requests[static_cast<size_t>(node)];
-    i64 best_ts = -2;
-    i64 best_val = 0;
-    i64 got = 0;
-    for (const Packet& p : b) {
-      MP_ASSERT(p.origin == static_cast<i32>(node) && p.var == req.var,
-                "packet returned to the wrong origin");
-      ++got;
-      if (p.op == Op::Read && p.timestamp > best_ts) {
-        best_ts = p.timestamp;
-        best_val = p.value;
+  execution_pool().for_each_chunk(n, kNodeGrain, [&](i64 begin, i64 end) {
+    for (i64 node = begin; node < end; ++node) {
+      auto& b = mesh_.buf(static_cast<i32>(node));
+      const AccessRequest& req = requests[static_cast<size_t>(node)];
+      i64 best_ts = -2;
+      i64 best_val = 0;
+      i64 got = 0;
+      for (const Packet& p : b) {
+        MP_ASSERT(p.origin == static_cast<i32>(node) && p.var == req.var,
+                  "packet returned to the wrong origin");
+        ++got;
+        if (p.op == Op::Read && p.timestamp > best_ts) {
+          best_ts = p.timestamp;
+          best_val = p.value;
+        }
       }
+      if (req.var >= 0) {
+        MP_ASSERT(
+            got == static_cast<i64>(
+                       selections[static_cast<size_t>(node)].size()),
+            "lost packets: " << got << " of "
+                             << selections[static_cast<size_t>(node)].size()
+                             << " returned");
+        if (req.op == Op::Read) results[static_cast<size_t>(node)] = best_val;
+      }
+      b.clear();
     }
-    if (req.var >= 0) {
-      MP_ASSERT(got == static_cast<i64>(
-                           selections[static_cast<size_t>(node)].size()),
-                "lost packets: " << got << " of "
-                                 << selections[static_cast<size_t>(node)].size()
-                                 << " returned");
-      if (req.op == Op::Read) results[static_cast<size_t>(node)] = best_val;
-    }
-    b.clear();
-  }
+  });
 
   st.total_steps = st.culling_steps + st.forward_steps + st.return_steps;
   return results;

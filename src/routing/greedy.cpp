@@ -2,28 +2,34 @@
 
 #include <algorithm>
 #include <array>
-#include <functional>
+#include <atomic>
+#include <cstdlib>
+#include <utility>
 #include <vector>
 
+#include "mesh/arena.hpp"
+#include "mesh/parallel.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace meshpram {
 
 namespace {
 
 const telemetry::Label kRouteGreedy = telemetry::intern("route.greedy");
+const telemetry::Label kRouteStripe = telemetry::intern("route.stripe");
 
 /// XY routing decision: east/west until the column matches, then north/south.
 /// Returns false when the packet is at its destination.
-bool next_dir(Coord at, Coord dest, Dir* out) {
-  if (at.c < dest.c) {
+bool next_dir(Coord at, int dest_r, int dest_c, Dir* out) {
+  if (at.c < dest_c) {
     *out = Dir::East;
-  } else if (at.c > dest.c) {
+  } else if (at.c > dest_c) {
     *out = Dir::West;
-  } else if (at.r < dest.r) {
+  } else if (at.r < dest_r) {
     *out = Dir::South;
-  } else if (at.r > dest.r) {
+  } else if (at.r > dest_r) {
     *out = Dir::North;
   } else {
     return false;
@@ -31,39 +37,247 @@ bool next_dir(Coord at, Coord dest, Dir* out) {
   return true;
 }
 
-/// A packet in transit with its destination coordinate cached, so the
-/// per-step loops stop re-deriving it from the node id (a div/mod per
-/// packet per step adds up: route_greedy is the simulator's hottest loop).
-struct Transit {
-  Packet packet;
-  Coord dest;
+/// Incoming lane of a packet that moved in direction d (indexed by Dir value
+/// N,E,S,W): moved South = sent by the row above, etc. Lane numbering is
+/// chosen so lanes 0..3 in order are the serial absorb's arrival order for an
+/// east-going snake row; see kLaneOrder* below.
+constexpr int kLaneOfMove[kNumDirs] = {/*North*/ 3, /*East*/ 1, /*South*/ 0,
+                                       /*West*/ 2};
+
+/// Absorb order over lanes, reproducing the serial path's arrival order: the
+/// serial forward sweep visits source nodes in snake order, so a node's
+/// arrivals come from the row above first (lane 0 = moved South), then the
+/// same-row neighbors in the row's snake direction (on an east-going row the
+/// west neighbor precedes the east neighbor, i.e. lane 1 = moved East before
+/// lane 2 = moved West; reversed on west-going rows), then the row below
+/// (lane 3 = moved North). Each source forwards at most one packet per
+/// direction, so one slot per lane always suffices.
+constexpr int kLaneOrderEast[kNumDirs] = {0, 1, 2, 3};
+constexpr int kLaneOrderWest[kNumDirs] = {0, 2, 1, 3};
+
+/// Padded per-stripe accumulators: delivered is summed by every rank after
+/// each step (all ranks compute the same total), max_queue is merged by the
+/// caller after the join.
+struct alignas(64) RankSlot {
+  i64 delivered = 0;
+  i64 max_queue = 0;
+  i64 steps = 0;
 };
+
+struct Stripe {
+  i64 pos_begin = 0;
+  i64 pos_end = 0;
+};
+
+/// State shared by one route call's stripe team.
+struct RouteShared {
+  Mesh& mesh;
+  const Region& region;
+  RouteArena& ar;
+  bool count_congestion;
+  int team;
+  i64 in_flight0 = 0;
+  std::vector<Stripe> stripes;
+  std::vector<RankSlot> slots;
+  // Per-rank overflow spills (pos, rec), merged by rank 0 under the third
+  // barrier of a step. Spilling instead of growing in place: a stripe worker
+  // may not resize the shared queue slab while others read it.
+  std::vector<std::vector<std::pair<i64, TransitRec>>> spills;
+  // Step number (1-based) of the most recent overflow. Written by spillers
+  // before the absorb barrier, compared against the (identical) local step
+  // counter by every rank after it — no reset, so there is no window where
+  // ranks can disagree about whether a grow round happens.
+  std::atomic<i64> overflow_step{0};
+  SpinBarrier barrier;
+
+  RouteShared(Mesh& mesh_, const Region& region_, RouteArena& ar_,
+              bool count_congestion_, int team_)
+      : mesh(mesh_),
+        region(region_),
+        ar(ar_),
+        count_congestion(count_congestion_),
+        team(team_),
+        stripes(static_cast<size_t>(team_)),
+        slots(static_cast<size_t>(team_)),
+        spills(static_cast<size_t>(team_)),
+        barrier(team_) {}
+};
+
+/// Forward sweep over one stripe: each node sends its best candidate per
+/// outgoing direction (farthest remaining distance first, first occurrence in
+/// queue order breaking ties — identical to the serial scan). Chosen records
+/// are tombstoned and compacted in one pass (mark-and-compact), preserving
+/// the queue order of survivors; deposits go into the destination's incoming
+/// lane, which may belong to a neighboring stripe (single writer per lane).
+void forward_sweep(RouteShared& sh, int rank) {
+  RouteArena& ar = sh.ar;
+  const Region& region = sh.region;
+  const Stripe s = sh.stripes[static_cast<size_t>(rank)];
+  RegionCursor cur(region, sh.mesh.cols(), s.pos_begin);
+  for (; cur.pos() < s.pos_end; cur.advance()) {
+    const i64 pos = cur.pos();
+    const i32 cnt = ar.count(pos);
+    if (cnt == 0) continue;
+    TransitRec* q = ar.queue(pos);
+    const Coord at = cur.coord();
+    std::array<i32, kNumDirs> best;
+    best.fill(-1);
+    std::array<i64, kNumDirs> best_dist{};
+    for (i32 i = 0; i < cnt; ++i) {
+      Dir dir;
+      MP_ASSERT(next_dir(at, q[i].dest_r, q[i].dest_c, &dir),
+                "arrived packet still in transit");
+      const i64 rem =
+          std::abs(q[i].dest_r - at.r) + std::abs(q[i].dest_c - at.c);
+      const auto di = static_cast<size_t>(dir);
+      if (best[di] < 0 || rem > best_dist[di]) {
+        best[di] = i;
+        best_dist[di] = rem;
+      }
+    }
+    i64 moves = 0;
+    for (int di = 0; di < kNumDirs; ++di) {
+      const i32 idx = best[static_cast<size_t>(di)];
+      if (idx < 0) continue;
+      const TransitRec rec = q[idx];
+      q[idx].handle = RouteArena::kInvalidHandle;
+      const Coord to = step_toward(at, static_cast<Dir>(di));
+      MP_ASSERT(region.contains(to), "XY routing left the region");
+      const i64 dpos = region.snake_of(to);
+      ar.lane_rec(dpos, kLaneOfMove[di]) = rec;
+      ar.lane_flags(dpos)[kLaneOfMove[di]] = 1;
+      ++moves;
+    }
+    if (moves > 0) {
+      i32 w = 0;
+      for (i32 i = 0; i < cnt; ++i) {
+        if (q[i].handle != RouteArena::kInvalidHandle) q[w++] = q[i];
+      }
+      ar.count(pos) = w;
+      if (sh.count_congestion) {
+        sh.mesh.counters().add_forwarded(cur.id(), moves);
+      }
+    }
+  }
+}
+
+/// Absorb sweep over one stripe: consume the node's incoming lanes in
+/// canonical order, delivering home packets to the mesh buffer and appending
+/// the rest to the transit queue. A full queue grows in place when the team
+/// is serial; a stripe worker spills instead and flags a grow round.
+void absorb_sweep(RouteShared& sh, int rank, i64 step) {
+  RouteArena& ar = sh.ar;
+  const Region& region = sh.region;
+  const Stripe s = sh.stripes[static_cast<size_t>(rank)];
+  RankSlot& slot = sh.slots[static_cast<size_t>(rank)];
+  i64 delivered = 0;
+  i64 max_q = slot.max_queue;
+  RegionCursor cur(region, sh.mesh.cols(), s.pos_begin);
+  for (; cur.pos() < s.pos_end; cur.advance()) {
+    const i64 pos = cur.pos();
+    unsigned char* flags = ar.lane_flags(pos);
+    u32 any;
+    std::memcpy(&any, flags, sizeof(any));
+    if (any == 0) continue;
+    const Coord at = cur.coord();
+    const bool east_row = ((at.r - region.r0()) & 1) == 0;
+    const int* order = east_row ? kLaneOrderEast : kLaneOrderWest;
+    const i32 id = cur.id();
+    i64 spilled = 0;
+    for (int oi = 0; oi < kNumDirs; ++oi) {
+      const int lane = order[oi];
+      if (!flags[lane]) continue;
+      flags[lane] = 0;
+      const TransitRec rec = ar.lane_rec(pos, lane);
+      if (rec.dest_r == at.r && rec.dest_c == at.c) {
+        sh.mesh.buf(id).push_back(ar.payload[rec.handle]);
+        ++delivered;
+      } else if (ar.count(pos) < ar.cap()) {
+        ar.queue(pos)[ar.count(pos)++] = rec;
+      } else if (sh.team == 1) {
+        ar.grow(ar.cap() * 2);
+        ar.queue(pos)[ar.count(pos)++] = rec;
+      } else {
+        sh.spills[static_cast<size_t>(rank)].emplace_back(pos, rec);
+        ++spilled;
+        sh.overflow_step.store(step, std::memory_order_relaxed);
+      }
+    }
+    // Logical queue depth includes spilled records; observed only at nodes
+    // that received arrivals this step, exactly like the serial path.
+    const i64 logical = ar.count(pos) + spilled;
+    max_q = std::max(max_q, logical);
+    if (sh.count_congestion) sh.mesh.counters().observe_queue(id, logical);
+  }
+  slot.delivered += delivered;
+  slot.max_queue = max_q;
+}
+
+/// Grow round (rank 0, under the third barrier): doubling always fits the
+/// spills, since at most kNumDirs arrivals spill per node per step and
+/// cap >= kNumDirs. A node's spills all come from its owner in canonical lane
+/// order, so appending rank-by-rank preserves the serial append order.
+void merge_spills(RouteShared& sh) {
+  RouteArena& ar = sh.ar;
+  ar.grow(ar.cap() * 2);
+  for (auto& ranks : sh.spills) {
+    for (const auto& [pos, rec] : ranks) {
+      ar.queue(pos)[ar.count(pos)++] = rec;
+    }
+    ranks.clear();
+  }
+}
+
+void route_stripe_worker(RouteShared& sh, int rank) {
+  i64 steps = 0;
+  i64 in_flight = sh.in_flight0;
+  while (in_flight > 0) {
+    ++steps;
+    forward_sweep(sh, rank);
+    if (!sh.barrier.wait()) return;
+    absorb_sweep(sh, rank, steps);
+    if (!sh.barrier.wait()) return;
+    if (sh.overflow_step.load(std::memory_order_relaxed) == steps) {
+      if (rank == 0) merge_spills(sh);
+      if (!sh.barrier.wait()) return;
+    }
+    in_flight = sh.in_flight0;
+    for (const RankSlot& slot : sh.slots) in_flight -= slot.delivered;
+  }
+  sh.slots[static_cast<size_t>(rank)].steps = steps;
+}
 
 }  // namespace
 
 RouteStats route_greedy(Mesh& mesh, const Region& region) {
   telemetry::Span span(telemetry::Cat::Phase, kRouteGreedy);
-  // Per-node congestion counters are hot-loop writes; hoist the gate. The
-  // region owner is the only writer of its nodes' cells (disjoint-region
-  // rule), so the counter grids stay thread-count invariant.
+  // Per-node congestion counters are hot-loop writes; hoist the gate. Each
+  // node's cells are written by exactly one stripe worker (sources count
+  // forwards, receivers observe queues, and both are node-owned), so the
+  // counter grids stay thread-count invariant.
   const bool count_congestion = telemetry::sampling_on();
   RouteStats stats;
 
-  // Transit queues, indexed by region snake position for density. The step
-  // loops walk the region with a RegionCursor (O(1) advance); an explicit
-  // active-position list was tried and lost — the protocol's instances keep
-  // most nodes busy, so the empty-queue checks are cheaper than keeping a
-  // sorted work list.
   const i64 m = region.size();
-  std::vector<std::vector<Transit>> transit(static_cast<size_t>(m));
-  std::vector<std::vector<Transit>> incoming(static_cast<size_t>(m));
-  i64 in_flight = 0;
+  RouteArena* const arena = mesh.route_arenas().acquire();
+  struct Lease {
+    Mesh& mesh;
+    RouteArena* arena;
+    ~Lease() { mesh.route_arenas().release(arena); }
+  } lease{mesh, arena};
+  RouteArena& ar = *arena;
+  ar.reset(m);
 
+  // Serial setup on the calling thread: split each buffer into home packets
+  // (kept in place) and in-transit payload, recording 8-byte transit records
+  // in snake order and per-node queue depths for the slab layout.
+  MP_REQUIRE(mesh.rows() <= 32767 && mesh.cols() <= 32767,
+             "mesh too large for 16-bit transit coordinates");
+  i64 in_flight = 0;
   for (RegionCursor cur = mesh.cursor(region); cur.valid(); cur.advance()) {
     const Coord x = cur.coord();
     const i32 id = cur.id();
     auto& b = mesh.buf(id);
-    auto& t = transit[static_cast<size_t>(cur.pos())];
     auto keep = b.begin();
     for (Packet& p : b) {
       MP_REQUIRE(p.dest >= 0 && p.dest < mesh.size(),
@@ -76,73 +290,70 @@ RouteStats route_greedy(Mesh& mesh, const Region& region) {
       if (p.dest == id) {
         *keep++ = p;  // already home; stays in the buffer
       } else {
-        t.push_back(Transit{p, d});
+        ar.setup_rec.push_back(TransitRec{static_cast<u32>(ar.payload.size()),
+                                          static_cast<i16>(d.r),
+                                          static_cast<i16>(d.c)});
+        ar.setup_pos.push_back(cur.pos());
+        ar.payload.push_back(p);
+        ++ar.count(cur.pos());
         ++in_flight;
       }
     }
     b.erase(keep, b.end());
   }
 
-  while (in_flight > 0) {
-    ++stats.steps;
-    // Each node forwards at most one packet per outgoing direction.
-    for (RegionCursor cur = mesh.cursor(region); cur.valid(); cur.advance()) {
-      auto& t = transit[static_cast<size_t>(cur.pos())];
-      if (t.empty()) continue;
-      const Coord at = cur.coord();
-      // Best candidate per direction: farthest remaining distance first.
-      std::array<int, kNumDirs> best;
-      best.fill(-1);
-      std::array<i64, kNumDirs> best_dist{};
-      for (size_t i = 0; i < t.size(); ++i) {
-        Dir dir;
-        MP_ASSERT(next_dir(at, t[i].dest, &dir),
-                  "arrived packet still in transit");
-        const i64 rem = manhattan(at, t[i].dest);
-        const auto di = static_cast<size_t>(dir);
-        if (best[di] < 0 || rem > best_dist[di]) {
-          best[di] = static_cast<int>(i);
-          best_dist[di] = rem;
-        }
-      }
-      // Commit the chosen moves (remove from higher index first).
-      std::array<int, kNumDirs> chosen = best;
-      std::sort(chosen.begin(), chosen.end(), std::greater<int>());
-      i64 moves = 0;
-      for (int idx : chosen) {
-        if (idx < 0) continue;
-        Transit tp = t[static_cast<size_t>(idx)];
-        t.erase(t.begin() + idx);
-        Dir dir;
-        next_dir(at, tp.dest, &dir);
-        const Coord to = step_toward(at, dir);
-        MP_ASSERT(region.contains(to), "XY routing left the region");
-        incoming[static_cast<size_t>(region.snake_of(to))].push_back(tp);
-        ++moves;
-      }
-      if (count_congestion && moves > 0) {
-        mesh.counters().add_forwarded(cur.id(), moves);
-      }
+  if (in_flight > 0) {
+    i64 max_depth = 0;
+    for (i64 pos = 0; pos < m; ++pos) {
+      max_depth = std::max(max_depth, static_cast<i64>(ar.count(pos)));
     }
-    // Absorb arrivals: deliver or queue for the next cycle.
-    for (RegionCursor cur = mesh.cursor(region); cur.valid(); cur.advance()) {
-      auto& in = incoming[static_cast<size_t>(cur.pos())];
-      if (in.empty()) continue;
-      const i32 id = cur.id();
-      auto& t = transit[static_cast<size_t>(cur.pos())];
-      for (Transit& tp : in) {
-        if (tp.packet.dest == id) {
-          mesh.buf(id).push_back(tp.packet);
-          --in_flight;
-        } else {
-          t.push_back(tp);
+    // Initial capacity with headroom so the first arrivals don't force an
+    // immediate grow; doubling takes over from there.
+    ar.layout(std::max<i64>(kNumDirs, max_depth + 2));
+    for (i64 pos = 0; pos < m; ++pos) ar.count(pos) = 0;
+    for (size_t i = 0; i < ar.setup_rec.size(); ++i) {
+      const i64 pos = ar.setup_pos[i];
+      ar.queue(pos)[ar.count(pos)++] = ar.setup_rec[i];
+    }
+
+    // Stripe team: contiguous row bands, one pool thread each. Serial when
+    // the caller is itself a pool worker (the region loops already use every
+    // thread, and the pool is not reentrant) or the region is small.
+    int team = 1;
+    if (!in_parallel_worker() && execution_threads() > 1 &&
+        m >= stripe_min_nodes()) {
+      team = static_cast<int>(
+          std::min<i64>(execution_threads(), region.rows()));
+    }
+    RouteShared sh(mesh, region, ar, count_congestion, team);
+    sh.in_flight0 = in_flight;
+    const i64 base = region.rows() / team;
+    const i64 extra = region.rows() % team;
+    i64 row = 0;
+    for (int t = 0; t < team; ++t) {
+      const i64 nrows = base + (t < extra ? 1 : 0);
+      sh.stripes[static_cast<size_t>(t)] = {row * region.cols(),
+                                            (row + nrows) * region.cols()};
+      row += nrows;
+    }
+    if (team == 1) {
+      route_stripe_worker(sh, 0);
+    } else {
+      execution_pool().for_each_index(team, [&sh](i64 rank) {
+        telemetry::Span worker(telemetry::Cat::Region, kRouteStripe, rank);
+        try {
+          route_stripe_worker(sh, static_cast<int>(rank));
+        } catch (...) {
+          sh.barrier.kill();  // release the team before unwinding
+          throw;
         }
-      }
-      in.clear();
-      stats.max_queue = std::max(stats.max_queue, static_cast<i64>(t.size()));
-      if (count_congestion) {
-        mesh.counters().observe_queue(id, static_cast<i64>(t.size()));
-      }
+        worker.set_steps(sh.slots[static_cast<size_t>(rank)].steps);
+      });
+    }
+    stats.steps = sh.slots[0].steps;
+    for (const RankSlot& slot : sh.slots) {
+      MP_ASSERT(slot.steps == stats.steps, "stripe team diverged");
+      stats.max_queue = std::max(stats.max_queue, slot.max_queue);
     }
   }
   span.set_steps(stats.steps);

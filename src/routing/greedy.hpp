@@ -24,6 +24,12 @@ struct RouteStats {
 
 /// Routes every packet buffered in `region` to its Packet::dest node buffer.
 /// All destinations must lie inside `region`. Returns cycle-accurate stats.
+///
+/// Regions of at least stripe_min_nodes() nodes (mesh/parallel.hpp) are
+/// decomposed into row stripes executed by a worker team with a barrier per
+/// sweep; results, RouteStats, and the congestion counter grids are
+/// bit-identical to the serial path at any thread count (see DESIGN.md §9
+/// for the determinism argument).
 RouteStats route_greedy(Mesh& mesh, const Region& region);
 
 }  // namespace meshpram

@@ -14,6 +14,11 @@ namespace {
 const telemetry::Label kRouteSorted = telemetry::intern("route.sorted");
 const telemetry::Label kRouteTwoStage = telemetry::intern("route.two_stage");
 
+/// Chunk size for the per-node keying sweeps (same grain as the protocol's
+/// node loops). Each node only rewrites its own packets, so the chunking
+/// never shows in the results.
+constexpr i64 kNodeGrain = 64;
+
 }  // namespace
 
 StagedRouteStats route_direct(Mesh& mesh, const Region& region) {
@@ -29,12 +34,15 @@ StagedRouteStats route_sorted(Mesh& mesh, const Region& region,
                               const SortOptions& opts) {
   telemetry::Span span(telemetry::Cat::Phase, kRouteSorted);
   StagedRouteStats out;
-  for (RegionCursor cur = mesh.cursor(region); cur.valid(); cur.advance()) {
-    for (Packet& p : mesh.buf(cur.id())) {
-      MP_REQUIRE(p.dest >= 0, "packet without destination");
-      p.key = static_cast<u64>(region.snake_of(mesh.coord(p.dest)));
-    }
-  }
+  for_each_region_chunk(
+      mesh, region, kNodeGrain, [&](RegionCursor& cur, i64 end) {
+        for (; cur.pos() < end; cur.advance()) {
+          for (Packet& p : mesh.buf(cur.id())) {
+            MP_REQUIRE(p.dest >= 0, "packet without destination");
+            p.key = static_cast<u64>(region.snake_of(mesh.coord(p.dest)));
+          }
+        }
+      });
   out.sort_steps = sort_region(mesh, region, opts);
   const RouteStats rs = route_greedy(mesh, region);
   out.route_steps = rs.steps;
@@ -62,16 +70,20 @@ StagedRouteStats route_two_stage(Mesh& mesh, const Region& region,
   }
 
   // Key by destination subregion; remember the true destination.
-  for (RegionCursor cur = mesh.cursor(region); cur.valid(); cur.advance()) {
-    for (Packet& p : mesh.buf(cur.id())) {
-      MP_REQUIRE(p.dest >= 0, "packet without destination");
-      const i32 sub = sub_of[static_cast<size_t>(p.dest)];
-      MP_REQUIRE(sub >= 0, "destination " << p.dest
-                                          << " not covered by a subregion");
-      p.key = static_cast<u64>(sub);
-      p.stash = p.dest;
-    }
-  }
+  for_each_region_chunk(
+      mesh, region, kNodeGrain, [&](RegionCursor& cur, i64 end) {
+        for (; cur.pos() < end; cur.advance()) {
+          for (Packet& p : mesh.buf(cur.id())) {
+            MP_REQUIRE(p.dest >= 0, "packet without destination");
+            const i32 sub = sub_of[static_cast<size_t>(p.dest)];
+            MP_REQUIRE(sub >= 0, "destination "
+                                     << p.dest
+                                     << " not covered by a subregion");
+            p.key = static_cast<u64>(sub);
+            p.stash = p.dest;
+          }
+        }
+      });
 
   // Sort by destination subregion and rank within it.
   out.sort_steps = sort_region(mesh, region, opts);
@@ -79,12 +91,15 @@ StagedRouteStats route_two_stage(Mesh& mesh, const Region& region,
 
   // Stage A: rank i goes to node (i mod m) of the destination subregion —
   // the even spread that makes the second stage a (δ, l2)-problem.
-  for (RegionCursor cur = mesh.cursor(region); cur.valid(); cur.advance()) {
-    for (Packet& p : mesh.buf(cur.id())) {
-      const Region& sub = subs[static_cast<size_t>(p.key)];
-      p.dest = mesh.node_at(sub, static_cast<i64>(p.rank) % sub.size());
-    }
-  }
+  for_each_region_chunk(
+      mesh, region, kNodeGrain, [&](RegionCursor& cur, i64 end) {
+        for (; cur.pos() < end; cur.advance()) {
+          for (Packet& p : mesh.buf(cur.id())) {
+            const Region& sub = subs[static_cast<size_t>(p.key)];
+            p.dest = mesh.node_at(sub, static_cast<i64>(p.rank) % sub.size());
+          }
+        }
+      });
   const RouteStats stage_a = route_greedy(mesh, region);
   out.max_queue = stage_a.max_queue;
 
@@ -92,12 +107,15 @@ StagedRouteStats route_two_stage(Mesh& mesh, const Region& region,
   // worker owns one disjoint subregion; per-region costs are merged after
   // the join in subregion order, so the charged max (and max_queue) are
   // independent of the thread count.
-  for (RegionCursor cur = mesh.cursor(region); cur.valid(); cur.advance()) {
-    for (Packet& p : mesh.buf(cur.id())) {
-      p.dest = p.stash;
-      p.stash = -1;
-    }
-  }
+  for_each_region_chunk(
+      mesh, region, kNodeGrain, [&](RegionCursor& cur, i64 end) {
+        for (; cur.pos() < end; cur.advance()) {
+          for (Packet& p : mesh.buf(cur.id())) {
+            p.dest = p.stash;
+            p.stash = -1;
+          }
+        }
+      });
   ParallelCost stage_b;
   {
     std::vector<i64> queues(subs.size(), 0);

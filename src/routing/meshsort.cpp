@@ -1,78 +1,111 @@
 #include "routing/meshsort.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <tuple>
 #include <vector>
 
+#include "mesh/parallel.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace meshpram {
 
 namespace {
 
+/// Compact sort record: the (key, copy) prefix decides almost every
+/// comparison in the protocol's workloads (copy ids are unique per packet
+/// there); the handle indirects into a payload arena for the rare full
+/// tie-break and for the final writeback. Merging 24-byte records instead of
+/// ~112-byte Packets is the main bandwidth win of the sorter.
+struct SortRec {
+  u64 key;
+  u64 copy;
+  u32 handle;
+};
+
+SortRec make_hole_rec() { return SortRec{kHoleKey, 0, ~0u}; }
+
+bool is_hole_rec(const SortRec& r) { return r.key == kHoleKey; }
+
 /// Strict total order: key first, then enough fields to make the order (and
-/// therefore the sorted layout) canonical regardless of execution order.
-bool packet_less(const Packet& a, const Packet& b) {
-  return std::tie(a.key, a.copy, a.var, a.origin, a.op, a.value) <
-         std::tie(b.key, b.copy, b.var, b.origin, b.op, b.value);
+/// therefore the sorted layout) canonical regardless of execution order —
+/// the record form of tie(key, copy, var, origin, op, value).
+bool rec_less(const std::vector<Packet>& payload, const SortRec& a,
+              const SortRec& b) {
+  if (a.key != b.key) return a.key < b.key;
+  if (a.copy != b.copy) return a.copy < b.copy;
+  if (a.key == kHoleKey) return false;  // holes compare equal
+  const Packet& pa = payload[a.handle];
+  const Packet& pb = payload[b.handle];
+  return std::tie(pa.var, pa.origin, pa.op, pa.value) <
+         std::tie(pb.var, pb.origin, pb.op, pb.value);
 }
-
-Packet make_hole() {
-  Packet p;
-  p.key = kHoleKey;
-  return p;
-}
-
-bool is_hole(const Packet& p) { return p.key == kHoleKey; }
 
 /// Working state: grid of fixed-capacity sorted blocks, local (row, col).
+/// Blocks live in one strided record slab (block (r,c) occupies
+/// [(r*cols + c) * cap, ... + cap)); packets sit still in the payload arena
+/// until flush(). Rows are pairwise independent within a row round (and
+/// columns within a column round), so rounds run chunk-parallel over the
+/// pool with per-chunk merge scratch — the merge outcomes are data-dependent
+/// only, hence identical under any chunking.
 class BlockGrid {
  public:
   BlockGrid(Mesh& mesh, const Region& region)
       : mesh_(mesh), region_(region), rows_(region.rows()),
         cols_(region.cols()) {
     cap_ = std::max<i64>(1, mesh.max_load(region));
-    grid_.resize(static_cast<size_t>(rows_ * cols_));
-    scratch_.reserve(static_cast<size_t>(2 * cap_));
+    payload_.reserve(static_cast<size_t>(mesh.total_packets(region)));
+    recs_.assign(static_cast<size_t>(rows_ * cols_ * cap_), make_hole_rec());
     for (int r = 0; r < rows_; ++r) {
       for (int c = 0; c < cols_; ++c) {
-        auto& blk = at(r, c);
+        SortRec* blk = at(r, c);
         auto& b = mesh.buf(mesh.node_id({region.r0() + r, region.c0() + c}));
+        i64 j = 0;
         for (const Packet& p : b) {
           MP_REQUIRE(p.key != kHoleKey, "packet key collides with sentinel");
+          blk[j++] = SortRec{p.key, p.copy,
+                             static_cast<u32>(payload_.size())};
+          payload_.push_back(p);
         }
-        // Steal the node buffer instead of copying it; flush() hands the
-        // (still reserved) storage back, per machine.hpp's reuse contract.
-        blk = std::move(b);
-        b.clear();
-        blk.resize(static_cast<size_t>(cap_), make_hole());
-        std::sort(blk.begin(), blk.end(), packet_less);
+        b.clear();  // keeps capacity (reuse contract)
+        std::sort(blk, blk + cap_, [this](const SortRec& a, const SortRec& b2) {
+          return rec_less(payload_, a, b2);
+        });
       }
     }
+    parallel_rounds_ = !in_parallel_worker() && execution_threads() > 1 &&
+                       region.size() >= stripe_min_nodes();
   }
 
   i64 capacity() const { return cap_; }
 
-  std::vector<Packet>& at(int r, int c) {
-    return grid_[static_cast<size_t>(r) * static_cast<size_t>(cols_) +
-                 static_cast<size_t>(c)];
+  SortRec* at(int r, int c) {
+    return recs_.data() +
+           (static_cast<i64>(r) * cols_ + c) * cap_;
+  }
+  const SortRec* at(int r, int c) const {
+    return recs_.data() +
+           (static_cast<i64>(r) * cols_ + c) * cap_;
   }
 
   /// Merge-split comparator: after the call, `small` holds the cap smallest
   /// of the union and `large` the cap largest. Returns true if anything
   /// changed (used for early exit).
-  bool merge_split(std::vector<Packet>& small, std::vector<Packet>& large) {
+  bool merge_split(SortRec* small, SortRec* large,
+                   std::vector<SortRec>& scratch) const {
     // Fast path: already in order (last of small <= first of large).
-    if (!packet_less(large.front(), small.back())) return false;
-    scratch_.clear();
-    std::merge(small.begin(), small.end(), large.begin(), large.end(),
-               std::back_inserter(scratch_), packet_less);
-    std::copy(scratch_.begin(), scratch_.begin() + small.size(),
-              small.begin());
-    std::copy(scratch_.begin() + static_cast<std::ptrdiff_t>(small.size()),
-              scratch_.end(), large.begin());
+    if (!rec_less(payload_, large[0], small[cap_ - 1])) return false;
+    scratch.clear();
+    std::merge(small, small + cap_, large, large + cap_,
+               std::back_inserter(scratch),
+               [this](const SortRec& a, const SortRec& b) {
+                 return rec_less(payload_, a, b);
+               });
+    std::copy(scratch.begin(), scratch.begin() + cap_, small);
+    std::copy(scratch.begin() + cap_, scratch.end(), large);
     return true;
   }
 
@@ -80,28 +113,41 @@ class BlockGrid {
   /// c % 2 == parity. Direction follows the snake: even local rows ascend
   /// west->east, odd rows east->west. Returns true if anything changed.
   bool row_round(int parity) {
-    bool changed = false;
-    for (int r = 0; r < rows_; ++r) {
-      const bool ascending = (r % 2 == 0);
-      for (int c = parity; c + 1 < cols_; c += 2) {
-        auto& left = at(r, c);
-        auto& right = at(r, c + 1);
-        changed |= ascending ? merge_split(left, right)
-                             : merge_split(right, left);
+    std::atomic<int> changed{0};
+    run_lines(rows_, [&](i64 lb, i64 le) {
+      std::vector<SortRec> scratch;
+      scratch.reserve(static_cast<size_t>(2 * cap_));
+      bool ch = false;
+      for (i64 r = lb; r < le; ++r) {
+        const bool ascending = (r % 2 == 0);
+        for (int c = parity; c + 1 < cols_; c += 2) {
+          SortRec* left = at(static_cast<int>(r), c);
+          SortRec* right = at(static_cast<int>(r), c + 1);
+          ch |= ascending ? merge_split(left, right, scratch)
+                          : merge_split(right, left, scratch);
+        }
       }
-    }
-    return changed;
+      if (ch) changed.store(1, std::memory_order_relaxed);
+    });
+    return changed.load(std::memory_order_relaxed) != 0;
   }
 
   /// One odd-even round over all columns (top block keeps the smaller keys).
   bool col_round(int parity) {
-    bool changed = false;
-    for (int c = 0; c < cols_; ++c) {
-      for (int r = parity; r + 1 < rows_; r += 2) {
-        changed |= merge_split(at(r, c), at(r + 1, c));
+    std::atomic<int> changed{0};
+    run_lines(cols_, [&](i64 lb, i64 le) {
+      std::vector<SortRec> scratch;
+      scratch.reserve(static_cast<size_t>(2 * cap_));
+      bool ch = false;
+      for (i64 c = lb; c < le; ++c) {
+        for (int r = parity; r + 1 < rows_; r += 2) {
+          ch |= merge_split(at(r, static_cast<int>(c)),
+                            at(r + 1, static_cast<int>(c)), scratch);
+        }
       }
-    }
-    return changed;
+      if (ch) changed.store(1, std::memory_order_relaxed);
+    });
+    return changed.load(std::memory_order_relaxed) != 0;
   }
 
   /// Full odd-even transposition pass along rows; returns rounds executed.
@@ -130,45 +176,53 @@ class BlockGrid {
   }
 
   bool snake_sorted() const {
-    const Packet* prev = nullptr;
+    const SortRec* prev = nullptr;
     for (RegionCursor cur(region_); cur.valid(); cur.advance()) {
       const Coord x = cur.coord();
-      const auto& blk =
-          grid_[static_cast<size_t>(x.r - region_.r0()) *
-                    static_cast<size_t>(cols_) +
-                static_cast<size_t>(x.c - region_.c0())];
-      for (const Packet& p : blk) {
-        if (prev != nullptr && packet_less(p, *prev)) return false;
-        prev = &p;
+      const SortRec* blk = at(x.r - region_.r0(), x.c - region_.c0());
+      for (i64 j = 0; j < cap_; ++j) {
+        if (prev != nullptr && rec_less(payload_, blk[j], *prev)) return false;
+        prev = blk + j;
       }
     }
     return true;
   }
 
-  /// Writes blocks back to the mesh buffers, dropping hole sentinels. The
-  /// block storage is moved back into the node buffer so the mesh keeps the
-  /// reserved capacity across steps.
+  /// Writes blocks back to the mesh buffers, dropping hole sentinels; each
+  /// packet moves exactly once (payload arena -> destination buffer).
   void flush() {
     for (int r = 0; r < rows_; ++r) {
       for (int c = 0; c < cols_; ++c) {
         auto& b =
             mesh_.buf(mesh_.node_id({region_.r0() + r, region_.c0() + c}));
         MP_ASSERT(b.empty(), "mesh buffer refilled during sort");
-        auto& blk = at(r, c);
-        blk.erase(std::remove_if(blk.begin(), blk.end(), is_hole), blk.end());
-        b = std::move(blk);
+        const SortRec* blk = at(r, c);
+        for (i64 j = 0; j < cap_; ++j) {
+          if (!is_hole_rec(blk[j])) b.push_back(payload_[blk[j].handle]);
+        }
       }
     }
   }
 
  private:
+  /// Runs fn(begin, end) over [0, lines) — chunked on the pool when the
+  /// region qualified at construction, one serial chunk otherwise.
+  void run_lines(int lines, const std::function<void(i64, i64)>& fn) {
+    if (parallel_rounds_) {
+      execution_pool().for_each_chunk(lines, 1, fn);
+    } else {
+      fn(0, lines);
+    }
+  }
+
   Mesh& mesh_;
   Region region_;
   int rows_;
   int cols_;
   i64 cap_ = 1;
-  std::vector<std::vector<Packet>> grid_;
-  std::vector<Packet> scratch_;
+  bool parallel_rounds_ = false;
+  std::vector<Packet> payload_;
+  std::vector<SortRec> recs_;
 };
 
 int shear_phases(int rows) {
@@ -217,15 +271,24 @@ i64 sort_region_impl(Mesh& mesh, const Region& region,
 
   if (opts.mode == SortMode::Analytic) {
     // Identical final placement; charged the oblivious worst-case cost.
+    // Sorting 24-byte records (with handles into the drained packets)
+    // instead of the packets themselves, then scattering each packet once.
     const i64 cap = std::max<i64>(1, mesh.max_load(region));
     std::vector<Packet> all = mesh.drain(region);
-    std::sort(all.begin(), all.end(), packet_less);
-    RegionCursor cur = mesh.cursor(region);
+    std::vector<SortRec> order(all.size());
     for (size_t i = 0; i < all.size(); ++i) {
+      order[i] = SortRec{all[i].key, all[i].copy, static_cast<u32>(i)};
+    }
+    std::sort(order.begin(), order.end(),
+              [&all](const SortRec& a, const SortRec& b) {
+                return rec_less(all, a, b);
+              });
+    RegionCursor cur = mesh.cursor(region);
+    for (size_t i = 0; i < order.size(); ++i) {
       // Packet i lands at snake position i / cap; the cursor advances once
       // per cap packets instead of recomputing at_snake per packet.
       if (static_cast<i64>(i) / cap != cur.pos()) cur.advance();
-      mesh.buf(cur.id()).push_back(all[i]);
+      mesh.buf(cur.id()).push_back(all[order[i].handle]);
     }
     return shearsort_step_bound(region, cap);
   }

@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "mesh/parallel.hpp"
 #include "routing/scan.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
@@ -64,46 +65,71 @@ RunSummary combine(const RunSummary& a, const RunSummary& b) {
   return r;
 }
 
+/// Chunk size for the per-node loops below (same grain as the protocol's
+/// node sweeps).
+constexpr i64 kNodeGrain = 64;
+
 }  // namespace
 
 i64 rank_within_groups(Mesh& mesh, const Region& region) {
   telemetry::Span span(telemetry::Cat::Phase, kRankGroups);
-  // Gather per-node summaries in snake order.
-  std::vector<RunSummary> vals;
-  vals.reserve(static_cast<size_t>(region.size()));
-  u64 prev_key = 0;
-  bool have_prev = false;
-  for (RegionCursor cur = mesh.cursor(region); cur.valid(); cur.advance()) {
-    const auto& b = mesh.buf(cur.id());
-    for (const Packet& p : b) {
-      MP_ASSERT(!have_prev || prev_key <= p.key,
+  // Gather per-node summaries, chunk-parallel over the snake order. The
+  // within-node sortedness assertion rides along per chunk; the cross-node
+  // half of it is checked against the summaries afterwards.
+  std::vector<RunSummary> vals(static_cast<size_t>(region.size()));
+  for_each_region_chunk(
+      mesh, region, kNodeGrain, [&](RegionCursor& cur, i64 end) {
+        for (; cur.pos() < end; cur.advance()) {
+          const auto& b = mesh.buf(cur.id());
+          u64 prev_key = 0;
+          bool have_prev = false;
+          for (const Packet& p : b) {
+            MP_ASSERT(!have_prev || prev_key <= p.key,
+                      "rank_within_groups requires a key-sorted region");
+            prev_key = p.key;
+            have_prev = true;
+          }
+          vals[static_cast<size_t>(cur.pos())] = summarize_node(b);
+        }
+      });
+  {
+    u64 prev_key = 0;
+    bool have_prev = false;
+    for (const RunSummary& s : vals) {
+      if (s.empty) continue;
+      MP_ASSERT(!have_prev || prev_key <= s.first_key,
                 "rank_within_groups requires a key-sorted region");
-      prev_key = p.key;
+      prev_key = s.last_key;
       have_prev = true;
     }
-    vals.push_back(summarize_node(b));
   }
 
   // RunSummary is ~4 machine words on the wire.
   const auto scan = scan_snake<RunSummary>(region, vals, RunSummary{},
                                            combine, /*words=*/4);
 
-  for (RegionCursor cur = mesh.cursor(region); cur.valid(); cur.advance()) {
-    auto& b = mesh.buf(cur.id());
-    if (b.empty()) continue;
-    const RunSummary& pred = scan.prefix[static_cast<size_t>(cur.pos())];
-    i64 run = (!pred.empty && pred.last_key == b.front().key)
-                  ? pred.trail_len
-                  : 0;
-    u64 cur_key = b.front().key;
-    for (Packet& p : b) {
-      if (p.key != cur_key) {
-        cur_key = p.key;
-        run = 0;
-      }
-      p.rank = static_cast<u64>(run++);
-    }
-  }
+  // Apply: each node ranks its own packets from its snake-prefix summary —
+  // disjoint writes, so the chunking never shows in the results.
+  for_each_region_chunk(
+      mesh, region, kNodeGrain, [&](RegionCursor& cur, i64 end) {
+        for (; cur.pos() < end; cur.advance()) {
+          auto& b = mesh.buf(cur.id());
+          if (b.empty()) continue;
+          const RunSummary& pred =
+              scan.prefix[static_cast<size_t>(cur.pos())];
+          i64 run = (!pred.empty && pred.last_key == b.front().key)
+                        ? pred.trail_len
+                        : 0;
+          u64 cur_key = b.front().key;
+          for (Packet& p : b) {
+            if (p.key != cur_key) {
+              cur_key = p.key;
+              run = 0;
+            }
+            p.rank = static_cast<u64>(run++);
+          }
+        }
+      });
   span.set_steps(scan.steps);
   return scan.steps;
 }

@@ -11,6 +11,7 @@
 
 namespace meshpram {
 
+using i16 = std::int16_t;
 using i32 = std::int32_t;
 using u32 = std::uint32_t;
 using i64 = std::int64_t;

@@ -12,6 +12,25 @@
 
 namespace meshpram {
 
+namespace {
+
+// Set while a thread runs indices of a pooled job (see in_parallel_worker()).
+// The inline fast path of for_each_index does NOT set it: an inline loop
+// never occupies the pool, so nested pool use from inside it stays legal.
+thread_local bool tl_in_parallel_worker = false;
+
+struct WorkerFlagGuard {
+  bool prev;
+  WorkerFlagGuard() : prev(tl_in_parallel_worker) {
+    tl_in_parallel_worker = true;
+  }
+  ~WorkerFlagGuard() { tl_in_parallel_worker = prev; }
+};
+
+}  // namespace
+
+bool in_parallel_worker() { return tl_in_parallel_worker; }
+
 struct ThreadPool::Impl {
   std::mutex mu;
   std::condition_variable cv_work;
@@ -34,6 +53,7 @@ struct ThreadPool::Impl {
   }
 
   void run_indices() {
+    const WorkerFlagGuard guard;
     const i64 c = count;
     const std::function<void(i64)>& f = *fn;
     for (i64 i = next.fetch_add(1, std::memory_order_relaxed); i < c;

@@ -53,6 +53,14 @@ class ThreadPool {
 /// variable, else std::thread::hardware_concurrency().
 ThreadPool& execution_pool();
 
+/// True while the calling thread is executing loop indices handed out by a
+/// ThreadPool (including the calling thread's own participation). Kernels
+/// that can spawn an intra-region worker team (route_greedy stripes, the
+/// meshsort rounds) consult this to stay serial when they are themselves a
+/// pool task: the pool is not reentrant, and the per-region disjointness that
+/// makes the outer loop deterministic already provides the parallelism.
+bool in_parallel_worker();
+
 /// Current size of the execution pool.
 int execution_threads();
 

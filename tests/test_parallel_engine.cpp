@@ -9,6 +9,8 @@
 #include "mesh/parallel.hpp"
 #include "protocol/simulator.hpp"
 #include "routing/greedy.hpp"
+#include "telemetry/counters.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -19,12 +21,25 @@ namespace {
 struct StepTrace {
   std::vector<i64> reads;
   StepStats stats;
+  // Congestion counter grids captured after the read step (all-zero unless
+  // the run sampled with telemetry on).
+  std::vector<i64> max_queue;
+  std::vector<i64> forwarded;
+  std::vector<i64> copies_touched;
+  std::vector<i64> survivors;
 };
 
 /// Runs a fixed two-step PRAM workload (write everything, read it back) and
-/// returns everything an observer can see.
-StepTrace run_workload(int threads) {
+/// returns everything an observer can see. With `stripe_path` the intra-region
+/// stripe threshold is forced to 1 so every route/sort call on the 16x16 mesh
+/// takes the stripe-team path, and telemetry sampling is switched on so the
+/// congestion counter grids fill.
+StepTrace run_workload(int threads, bool stripe_path = false) {
   set_execution_threads(threads);
+  if (stripe_path) {
+    set_stripe_min_nodes(1);
+    telemetry::set_enabled(true);
+  }
   set_log_level(LogLevel::Error);
   SimConfig cfg;
   cfg.mesh_rows = 16;
@@ -49,6 +64,15 @@ StepTrace run_workload(int threads) {
   trace.reads = sim.read_step(vars, &trace.stats);
   EXPECT_EQ(sim.mesh().total_packets(sim.mesh().whole()), 0)
       << "buffers must drain after a step";
+  const telemetry::MeshCounters& c = sim.mesh().counters();
+  trace.max_queue = c.max_queue();
+  trace.forwarded = c.forwarded();
+  trace.copies_touched = c.copies_touched();
+  trace.survivors = c.survivors();
+  if (stripe_path) {
+    telemetry::set_enabled(false);
+    set_stripe_min_nodes(0);  // restore the environment default
+  }
   return trace;
 }
 
@@ -67,6 +91,18 @@ void expect_same(const StepTrace& a, const StepTrace& b, int threads) {
   EXPECT_EQ(a.stats.culling.selected_copies, b.stats.culling.selected_copies);
 }
 
+void expect_same_counters(const StepTrace& a, const StepTrace& b,
+                          int threads) {
+  EXPECT_EQ(a.max_queue, b.max_queue)
+      << "max_queue grid differs at " << threads << " threads";
+  EXPECT_EQ(a.forwarded, b.forwarded)
+      << "forwarded grid differs at " << threads << " threads";
+  EXPECT_EQ(a.copies_touched, b.copies_touched)
+      << "copies_touched grid differs at " << threads << " threads";
+  EXPECT_EQ(a.survivors, b.survivors)
+      << "survivors grid differs at " << threads << " threads";
+}
+
 TEST(ParallelEngine, StepStatsAreThreadCountInvariant) {
   const StepTrace seq = run_workload(1);
   // Reads must return what was written, independent of the engine.
@@ -76,6 +112,26 @@ TEST(ParallelEngine, StepStatsAreThreadCountInvariant) {
   for (const int threads : {2, hw}) {
     const StepTrace par = run_workload(threads);
     expect_same(seq, par, threads);
+  }
+  set_execution_threads(0);  // restore the environment default
+}
+
+// The intra-region path (DESIGN.md §9): with the stripe threshold forced to 1
+// every route_greedy call runs on a row-stripe team and every meshsort round
+// runs line-parallel, even on this small mesh. Reads, every StepStats field,
+// and all four congestion counter grids must be bit-identical across thread
+// counts AND identical to the serial whole-region path (stripes never
+// engaged), which is the pre-stripe behaviour.
+TEST(ParallelEngine, IntraRegionStripesAreThreadCountInvariant) {
+  const StepTrace serial = run_workload(1, /*stripe_path=*/false);
+  const StepTrace base = run_workload(1, /*stripe_path=*/true);
+  expect_same(serial, base, 1);  // stripe decomposition changes nothing
+
+  const int hw = std::max(2u, std::thread::hardware_concurrency());
+  for (const int threads : {2, hw}) {
+    const StepTrace par = run_workload(threads, /*stripe_path=*/true);
+    expect_same(base, par, threads);
+    expect_same_counters(base, par, threads);
   }
   set_execution_threads(0);  // restore the environment default
 }

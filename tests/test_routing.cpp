@@ -4,11 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <functional>
 #include <map>
 #include <set>
 #include <vector>
 
 #include "mesh/machine.hpp"
+#include "mesh/parallel.hpp"
 #include "routing/greedy.hpp"
 #include "routing/lroute.hpp"
 #include "routing/meshsort.hpp"
@@ -16,6 +18,7 @@
 #include "routing/scan.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace meshpram {
 namespace {
@@ -128,6 +131,101 @@ TEST(Sort, AlreadySortedIsCheap) {
   EXPECT_TRUE(region_sorted(mesh, g));
   // Early exit: far below the worst-case bound.
   EXPECT_LT(steps, shearsort_step_bound(g, 1) / 2);
+}
+
+TEST(Sort, PresortedDuplicateBoundariesCheapAndCanonical) {
+  // Presorted input whose duplicate keys straddle block boundaries: every
+  // merge_split sees large[0] equal (under the full comparator) or greater
+  // than small[cap-1], so the early-exit fast path fires everywhere and the
+  // quiet rounds terminate the sort far below the oblivious bound. The
+  // early exit must not skip a required exchange: the layout has to match
+  // the Analytic canonical placement bit for bit.
+  Mesh sim(8, 8), ana(8, 8);
+  const Region g = sim.whole();
+  for (i64 s = 0; s < g.size(); ++s) {
+    for (int j = 0; j < 3; ++j) {
+      // Keys repeat across 8 consecutive snake positions (whole rows), so
+      // every adjacent block pair shares its boundary key.
+      const Packet p = mk(static_cast<u64>(s / 8), s * 3 + j,
+                          static_cast<i32>(s));
+      sim.buf(sim.node_id(g.at_snake(s))).push_back(p);
+      ana.buf(ana.node_id(g.at_snake(s))).push_back(p);
+    }
+  }
+  const i64 steps = sort_region(sim, g, {SortMode::Simulated});
+  sort_region(ana, ana.whole(), {SortMode::Analytic});
+  EXPECT_TRUE(region_sorted(sim, g));
+  EXPECT_LT(steps, shearsort_step_bound(g, 3) / 2);
+  for (i32 id = 0; id < sim.size(); ++id) {
+    const auto& bs = sim.buf(id);
+    const auto& ba = ana.buf(id);
+    ASSERT_EQ(bs.size(), ba.size()) << "node " << id;
+    for (size_t i = 0; i < bs.size(); ++i) {
+      EXPECT_EQ(bs[i].key, ba[i].key) << "node " << id << " slot " << i;
+      EXPECT_EQ(bs[i].var, ba[i].var) << "node " << id << " slot " << i;
+    }
+  }
+}
+
+TEST(Sort, CanonicalLayoutIsInvariantUnderInitialShuffle) {
+  // Same multiset of packets, scattered over the region in two different
+  // initial arrangements: the sorted layout must be identical node by node
+  // and slot by slot (the total order breaks key ties on the payload, so
+  // the result is a pure function of the multiset).
+  Mesh a(8, 8), b(8, 8);
+  const Region g = a.whole();
+  Rng keys(271828);
+  std::vector<Packet> packets;
+  for (int i = 0; i < 300; ++i) {
+    packets.push_back(mk(keys.below(7), i, static_cast<i32>(i % 64)));
+  }
+  Rng place_a(31), place_b(1042);
+  for (const Packet& p : packets) {
+    a.buf(a.node_id(g.at_snake(place_a.range(0, g.size() - 1)))).push_back(p);
+    b.buf(b.node_id(g.at_snake(place_b.range(0, g.size() - 1)))).push_back(p);
+  }
+  sort_region(a, g, {SortMode::Simulated});
+  sort_region(b, b.whole(), {SortMode::Simulated});
+  EXPECT_TRUE(region_sorted(a, g));
+  for (i32 id = 0; id < a.size(); ++id) {
+    const auto& ba = a.buf(id);
+    const auto& bb = b.buf(id);
+    ASSERT_EQ(ba.size(), bb.size()) << "node " << id;
+    for (size_t i = 0; i < ba.size(); ++i) {
+      EXPECT_EQ(ba[i].key, bb[i].key) << "node " << id << " slot " << i;
+      EXPECT_EQ(ba[i].var, bb[i].var) << "node " << id << " slot " << i;
+      EXPECT_EQ(ba[i].origin, bb[i].origin)
+          << "node " << id << " slot " << i;
+    }
+  }
+}
+
+TEST(Sort, ParallelRoundsMatchSerialLayout) {
+  // Force the line-parallel odd-even rounds (stripe_min_nodes = 1) and check
+  // the layout against a serial sort of the same input.
+  Mesh ser(8, 8), par(8, 8);
+  Rng r1(77), r2(77);
+  scatter_random(ser, ser.whole(), 400, 1u << 20, r1);
+  scatter_random(par, par.whole(), 400, 1u << 20, r2);
+
+  set_execution_threads(1);
+  const i64 steps_ser = sort_region(ser, ser.whole(), {SortMode::Simulated});
+  set_execution_threads(4);
+  set_stripe_min_nodes(1);
+  const i64 steps_par = sort_region(par, par.whole(), {SortMode::Simulated});
+  set_stripe_min_nodes(0);
+  set_execution_threads(0);
+
+  EXPECT_EQ(steps_ser, steps_par);
+  for (i32 id = 0; id < ser.size(); ++id) {
+    const auto& bs = ser.buf(id);
+    const auto& bp = par.buf(id);
+    ASSERT_EQ(bs.size(), bp.size()) << "node " << id;
+    for (size_t i = 0; i < bs.size(); ++i) {
+      EXPECT_EQ(bs[i].key, bp[i].key) << "node " << id << " slot " << i;
+      EXPECT_EQ(bs[i].var, bp[i].var) << "node " << id << " slot " << i;
+    }
+  }
 }
 
 TEST(Sort, ReverseOrderWorstCaseStaysWithinBound) {
@@ -327,6 +425,65 @@ TEST(Greedy, StaysWithinSubregion) {
     inside += static_cast<i64>(mesh.buf(mesh.node_id(sub.at_snake(s))).size());
   }
   EXPECT_EQ(inside, 40);
+}
+
+/// Routes the same workload serially and on a forced stripe team, then
+/// demands bit-identical stats and node-by-node buffer layouts (delivery
+/// order included — the lane protocol must reproduce serial arrival order).
+void expect_striped_matches_serial(
+    const std::function<void(Mesh&)>& load) {
+  Mesh ser(16, 16), par(16, 16);
+  load(ser);
+  load(par);
+
+  set_execution_threads(1);
+  const RouteStats ss = route_greedy(ser, ser.whole());
+  set_execution_threads(4);
+  set_stripe_min_nodes(1);
+  const RouteStats sp = route_greedy(par, par.whole());
+  set_stripe_min_nodes(0);
+  set_execution_threads(0);
+
+  EXPECT_EQ(ss.steps, sp.steps);
+  EXPECT_EQ(ss.max_queue, sp.max_queue);
+  EXPECT_EQ(ss.packets, sp.packets);
+  EXPECT_EQ(ss.total_distance, sp.total_distance);
+  for (i32 id = 0; id < ser.size(); ++id) {
+    const auto& bs = ser.buf(id);
+    const auto& bp = par.buf(id);
+    ASSERT_EQ(bs.size(), bp.size()) << "node " << id;
+    for (size_t i = 0; i < bs.size(); ++i) {
+      EXPECT_EQ(bs[i].var, bp[i].var) << "node " << id << " slot " << i;
+      EXPECT_EQ(bs[i].dest, bp[i].dest) << "node " << id << " slot " << i;
+    }
+  }
+}
+
+TEST(Greedy, StripedRandomTrafficMatchesSerial) {
+  expect_striped_matches_serial([](Mesh& mesh) {
+    Rng rng(4242);
+    for (int i = 0; i < 800; ++i) {
+      Packet p = mk(0, i);
+      p.dest = static_cast<i32>(rng.range(0, mesh.size() - 1));
+      mesh.buf(static_cast<i32>(rng.range(0, mesh.size() - 1))).push_back(p);
+    }
+  });
+}
+
+TEST(Greedy, StripedHotSpotMatchesSerial) {
+  // Every node fires 8 packets at 4 targets in one row: arrival queues blow
+  // far past the initial arena capacity, so the stripe workers' spill/grow
+  // rounds run many times. The layout must still match serial exactly.
+  expect_striped_matches_serial([](Mesh& mesh) {
+    int i = 0;
+    for (i32 id = 0; id < mesh.size(); ++id) {
+      for (int j = 0; j < 8; ++j) {
+        Packet p = mk(0, i++);
+        p.dest = mesh.node_id({7, static_cast<int>(6 + (id + j) % 4)});
+        mesh.buf(id).push_back(p);
+      }
+    }
+  });
 }
 
 // ---------------------------------------------------------------------------

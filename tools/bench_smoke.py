@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Quick bench regression gate.
+
+Builds the `bench-smoke` preset (Release), runs the small configuration
+points of the recorded benches (MESHPRAM_BENCH_MAX_SIDE caps the sweeps),
+and compares the fresh wall-clock numbers against the BENCH_*.json files
+committed at the repo root. Exits 1 when the total wall time over the
+shared configuration points regresses by more than the threshold (default
+25%), so a perf-sensitive change can be gated in one command:
+
+    python3 tools/bench_smoke.py
+
+Per-point times on small meshes are noisy (microseconds); only the summed
+wall time per bench is gated. mesh_steps must match exactly — a step-count
+change is a semantic change, not noise, and always fails the gate.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# (binary, committed baseline). Only benches with a committed BENCH_*.json
+# participate; others are skipped with a note.
+BENCHES = [
+    "simulation_mid_mem",
+    "routing_general",
+]
+
+
+def run(cmd, **kw):
+    print("+", " ".join(cmd), flush=True)
+    subprocess.run(cmd, check=True, **kw)
+
+
+def load_points(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {p["config"]: p for p in doc["points"]}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="allowed fractional wall-clock regression (default 0.25)")
+    ap.add_argument("--max-side", type=int, default=32,
+                    help="largest mesh side to run (default 32)")
+    ap.add_argument("--skip-build", action="store_true",
+                    help="reuse an existing build-bench directory")
+    args = ap.parse_args()
+
+    build_dir = os.path.join(REPO, "build-bench")
+    if not args.skip_build:
+        run(["cmake", "--preset", "bench-smoke"], cwd=REPO)
+        run(["cmake", "--build", "--preset", "bench-smoke", "-j"], cwd=REPO)
+
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        env = dict(os.environ)
+        env["MESHPRAM_BENCH_DIR"] = tmp
+        env["MESHPRAM_BENCH_MAX_SIDE"] = str(args.max_side)
+
+        for bench in BENCHES:
+            baseline_path = os.path.join(REPO, f"BENCH_{bench}.json")
+            if not os.path.exists(baseline_path):
+                print(f"[skip] {bench}: no committed BENCH_{bench}.json")
+                continue
+            binary = os.path.join(build_dir, "bench", f"bench_{bench}")
+            if not os.path.exists(binary):
+                print(f"[skip] {bench}: binary not built at {binary}")
+                continue
+
+            run([binary], env=env, stdout=subprocess.DEVNULL)
+            fresh = load_points(os.path.join(tmp, f"BENCH_{bench}.json"))
+            base = load_points(baseline_path)
+
+            shared = sorted(set(fresh) & set(base))
+            if not shared:
+                print(f"[skip] {bench}: no shared configuration points")
+                continue
+
+            base_total = sum(base[c]["wall_ms"] for c in shared)
+            fresh_total = sum(fresh[c]["wall_ms"] for c in shared)
+            ratio = fresh_total / base_total if base_total > 0 else 1.0
+            print(f"[{bench}] {len(shared)} shared points: "
+                  f"{base_total:.2f} ms committed -> {fresh_total:.2f} ms "
+                  f"fresh (x{ratio:.2f})")
+
+            for c in shared:
+                if fresh[c]["mesh_steps"] != base[c]["mesh_steps"]:
+                    failures.append(
+                        f"{bench}/{c}: mesh_steps changed "
+                        f"{base[c]['mesh_steps']} -> {fresh[c]['mesh_steps']}")
+            if ratio > 1.0 + args.threshold:
+                failures.append(
+                    f"{bench}: wall-clock regressed x{ratio:.2f} "
+                    f"(> x{1.0 + args.threshold:.2f} allowed)")
+
+    if failures:
+        print("\nBENCH SMOKE FAILED:")
+        for f in failures:
+            print("  -", f)
+        return 1
+    print("\nbench smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
