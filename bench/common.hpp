@@ -133,6 +133,7 @@ inline void fill_tessellated_instance(Mesh& mesh,
 #include "protocol/simulator.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/env.hpp"
 #include "util/log.hpp"
 #include "util/stats.hpp"
 
@@ -142,9 +143,8 @@ namespace meshpram::benchutil {
 /// MESHPRAM_BENCH_MAX_SIDE environment variable (unset or <= 0: no limit).
 /// tools/bench_smoke.py uses it to run only the fast configuration points.
 inline int bench_max_side() {
-  if (const char* s = std::getenv("MESHPRAM_BENCH_MAX_SIDE")) {
-    const int v = std::atoi(s);
-    if (v > 0) return v;
+  if (const auto v = env_i64("MESHPRAM_BENCH_MAX_SIDE", 1, 32767)) {
+    return static_cast<int>(*v);
   }
   return 1 << 30;
 }

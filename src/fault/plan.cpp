@@ -1,0 +1,256 @@
+#include "fault/plan.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace meshpram::fault {
+
+namespace {
+
+/// splitmix64 finalizer — the shared full-avalanche mixer.
+u64 mix(u64 x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+u64 hash3(u64 seed, u64 a, u64 b) { return mix(mix(mix(seed) ^ a) ^ b); }
+
+/// Pure seeded Bernoulli: P[true] = rate, independent per (seed, entity).
+bool coin(u64 seed, u64 entity, double rate) {
+  if (rate <= 0) return false;
+  if (rate >= 1) return true;
+  const double u = static_cast<double>(mix(mix(seed) ^ entity) >> 11) *
+                   (1.0 / 9007199254740992.0);  // 53-bit uniform in [0,1)
+  return u < rate;
+}
+
+Dir opposite(Dir d) {
+  switch (d) {
+    case Dir::North: return Dir::South;
+    case Dir::East: return Dir::West;
+    case Dir::South: return Dir::North;
+    case Dir::West: return Dir::East;
+  }
+  return d;
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(int rows, int cols) : rows_(rows), cols_(cols) {
+  MP_REQUIRE(rows >= 1 && cols >= 1, "fault plan mesh " << rows << 'x' << cols);
+  const size_t n = static_cast<size_t>(rows) * static_cast<size_t>(cols);
+  node_dead_.assign(n, 0);
+  module_dead_.assign(n, 0);
+  link_dead_.assign(n * kNumDirs, 0);
+  link_stalled_.assign(n * kNumDirs, 0);
+}
+
+void FaultPlan::ensure_sized() const {
+  MP_REQUIRE(rows_ >= 1 && cols_ >= 1,
+             "fault plan not sized — construct with (rows, cols)");
+}
+
+void FaultPlan::kill_module(i32 node) {
+  ensure_sized();
+  MP_REQUIRE(0 <= node && node < static_cast<i32>(module_dead_.size()),
+             "fault plan node " << node);
+  if (module_dead_[static_cast<size_t>(node)] == 0) {
+    module_dead_[static_cast<size_t>(node)] = 1;
+    ++dead_module_count_;
+  }
+}
+
+void FaultPlan::kill_node(i32 node) {
+  ensure_sized();
+  MP_REQUIRE(0 <= node && node < static_cast<i32>(node_dead_.size()),
+             "fault plan node " << node);
+  if (node_dead_[static_cast<size_t>(node)] == 0) {
+    node_dead_[static_cast<size_t>(node)] = 1;
+    ++dead_node_count_;
+  }
+  kill_module(node);
+  for (int d = 0; d < kNumDirs; ++d) kill_link(node, static_cast<Dir>(d));
+}
+
+void FaultPlan::kill_link_directed(i32 node, Dir d) {
+  const Coord from{node / cols_, node % cols_};
+  if (!in_mesh(step_toward(from, d))) return;  // mesh boundary: no link
+  unsigned char& cell = link_dead_[link_index(node, d)];
+  if (cell == 0) {
+    cell = 1;
+    ++dead_link_count_;
+  }
+}
+
+void FaultPlan::kill_link(i32 node, Dir d) {
+  ensure_sized();
+  MP_REQUIRE(0 <= node && node < rows_ * cols_, "fault plan node " << node);
+  const Coord from{node / cols_, node % cols_};
+  const Coord to = step_toward(from, d);
+  if (!in_mesh(to)) return;
+  kill_link_directed(node, d);
+  kill_link_directed(to.r * cols_ + to.c, opposite(d));
+}
+
+void FaultPlan::add_stall(const StallWindow& w) {
+  ensure_sized();
+  MP_REQUIRE(0 <= w.node && w.node < rows_ * cols_,
+             "stall window node " << w.node);
+  const Coord from{w.node / cols_, w.node % cols_};
+  const Coord to = step_toward(from, w.dir);
+  if (!in_mesh(to)) return;
+  // Stalls block the physical wire: record the window for both directions.
+  StallWindow fwd = w;
+  stalls_.push_back(fwd);
+  link_stalled_[link_index(w.node, w.dir)] = 1;
+  StallWindow rev = w;
+  rev.node = to.r * cols_ + to.c;
+  rev.dir = opposite(w.dir);
+  stalls_.push_back(rev);
+  link_stalled_[link_index(rev.node, rev.dir)] = 1;
+}
+
+void FaultPlan::set_drop_rate(double rate, u64 seed) {
+  MP_REQUIRE(rate >= 0 && rate <= 1, "drop rate " << rate);
+  drop_rate_ = rate;
+  drop_seed_ = seed;
+  drop_threshold_ =
+      rate >= 1 ? ~u64{0}
+                : static_cast<u64>(rate * 18446744073709551616.0 /* 2^64 */);
+}
+
+bool FaultPlan::link_stalled(i32 node, Dir d, i64 pram_step,
+                             i64 route_step) const {
+  if (stalls_.empty() || link_stalled_[link_index(node, d)] == 0) {
+    return false;
+  }
+  for (const StallWindow& w : stalls_) {
+    if (w.node != node || w.dir != d) continue;
+    if (pram_step >= w.pram_from && pram_step < w.pram_to &&
+        route_step >= w.route_from && route_step < w.route_to) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::drop(i32 node, Dir d, i64 pram_step, i64 route_step) const {
+  if (drop_threshold_ == 0) return false;
+  const u64 link = static_cast<u64>(link_index(node, d));
+  const u64 h = hash3(drop_seed_, static_cast<u64>(pram_step) * 0x100000001b3ULL ^
+                                      static_cast<u64>(route_step),
+                      link);
+  return h < drop_threshold_;
+}
+
+FaultPlan FaultPlan::random(int rows, int cols, const FaultSpec& spec) {
+  FaultPlan plan(rows, cols);
+  const i64 n = static_cast<i64>(rows) * cols;
+  for (i32 node = 0; node < n; ++node) {
+    const u64 e = static_cast<u64>(node);
+    if (coin(spec.seed ^ 0xA11CEULL, e, spec.node_rate)) {
+      plan.kill_node(node);
+    } else if (coin(spec.seed ^ 0xB0BULL, e, spec.module_rate)) {
+      plan.kill_module(node);
+    }
+  }
+  // Links are generated once per undirected wire: only East/South from each
+  // node, so the coin for a wire is flipped exactly once.
+  for (i32 node = 0; node < n; ++node) {
+    for (Dir d : {Dir::East, Dir::South}) {
+      const u64 e = static_cast<u64>(node) * kNumDirs + static_cast<u64>(d);
+      if (coin(spec.seed ^ 0x114BULL, e, spec.link_rate)) {
+        plan.kill_link(node, d);
+      }
+      if (spec.stall_rate > 0 && coin(spec.seed ^ 0x57A11ULL, e,
+                                      spec.stall_rate)) {
+        StallWindow w;
+        w.node = node;
+        w.dir = d;
+        // Deterministic per-link phase so stalls don't all hit step 1.
+        w.route_from = spec.stall_from +
+                       static_cast<i64>(mix(spec.seed ^ e) % 8);
+        w.route_to = w.route_from + spec.stall_len;
+        plan.add_stall(w);
+      }
+    }
+  }
+  if (spec.drop_rate > 0) plan.set_drop_rate(spec.drop_rate, spec.seed);
+  return plan;
+}
+
+FaultPlan FaultPlan::parse(int rows, int cols, std::string_view spec) {
+  FaultSpec s;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find_first_of(",; ", pos);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string_view tok = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (tok.empty()) continue;
+    const size_t eq = tok.find('=');
+    MP_REQUIRE(eq != std::string_view::npos,
+               "fault spec token '" << tok << "' is not key=value");
+    const std::string_view key = tok.substr(0, eq);
+    const std::string val(tok.substr(eq + 1));
+    char* endp = nullptr;
+    const double num = std::strtod(val.c_str(), &endp);
+    MP_REQUIRE(endp != val.c_str() && *endp == '\0',
+               "fault spec value '" << val << "' for key '" << key
+                                    << "' is not a number");
+    if (key == "seed") {
+      s.seed = static_cast<u64>(num);
+    } else if (key == "nodes") {
+      s.node_rate = num;
+    } else if (key == "modules") {
+      s.module_rate = num;
+    } else if (key == "links") {
+      s.link_rate = num;
+    } else if (key == "stalls") {
+      s.stall_rate = num;
+    } else if (key == "stall_from") {
+      s.stall_from = static_cast<i64>(num);
+    } else if (key == "stall_len") {
+      s.stall_len = static_cast<i64>(num);
+    } else if (key == "drop") {
+      s.drop_rate = num;
+    } else {
+      MP_REQUIRE(false, "unknown fault spec key '"
+                            << key
+                            << "' (known: seed, nodes, modules, links, "
+                               "stalls, stall_from, stall_len, drop)");
+    }
+  }
+  return random(rows, cols, s);
+}
+
+FaultPlan FaultPlan::from_env(int rows, int cols) {
+  const char* env = std::getenv("MESHPRAM_FAULT_PLAN");
+  if (env == nullptr || *env == '\0') return FaultPlan(rows, cols);
+  FaultPlan plan = parse(rows, cols, env);
+  MP_INFO("MESHPRAM_FAULT_PLAN active: " << plan.summary());
+  return plan;
+}
+
+void FaultPlan::validate() const {
+  ensure_sized();
+  const i64 n = static_cast<i64>(rows_) * cols_;
+  MP_REQUIRE(dead_node_count_ < n, "fault plan kills every node");
+  MP_REQUIRE(dead_module_count_ < n, "fault plan kills every memory module");
+}
+
+std::string FaultPlan::summary() const {
+  std::ostringstream os;
+  os << dead_node_count_ << " dead nodes, " << dead_module_count_
+     << " dead modules, " << dead_link_count_ << " dead link dirs, "
+     << stalls_.size() << " stall windows, drop rate " << drop_rate_;
+  return os.str();
+}
+
+}  // namespace meshpram::fault

@@ -1,0 +1,201 @@
+// Deterministic, seeded fault plans for the simulated mesh (DESIGN.md §10).
+//
+// The fault model follows Chlebus–Gąsieniec–Pelc (static processor and memory
+// faults, known before the computation starts) extended with the transient
+// link faults a physical mesh adds:
+//
+//   node fault    — fail-stop processor + its memory module. A dead node
+//                   issues no requests, serves no copies, is never chosen as
+//                   an intermediate stop of the staged protocol, and its four
+//                   incident links are dead: the greedy routing layer detours
+//                   around it (dimension-order detour).
+//   module fault  — the node's memory bank only: every copy stored there is
+//                   lost, but the processor still computes and routes.
+//   link fault    — a permanently dead link; packets detour around it.
+//   link stall    — a transient fault: during the scheduled window the link
+//                   transmits nothing, and packets queue up behind it with
+//                   step-tagged exponential backoff until the window passes
+//                   (or, past the retry timeout, detour as if it were dead).
+//   packet drop   — Bernoulli per-traversal corruption (seeded hash of
+//                   (plan seed, PRAM step, routing step, link)): the word is
+//                   detected bad by link-level ARQ and retransmitted, costing
+//                   steps but never data.
+//
+// Determinism: a FaultPlan is immutable once installed on a Mesh; every query
+// is a pure function of (plan, PRAM step, routing step, link), so fault
+// behaviour is bit-identical across runs and thread counts. No fault ever
+// destroys an in-flight packet — data loss happens only through the static
+// dead modules, which the protocol sees up front (copies lost), keeping the
+// degraded-mode equivalence guarantee testable.
+//
+// The sort/scan/rank phases run on the hardened systolic sort network (the
+// switch fabric of a dead node keeps relaying); fault injection bites in copy
+// availability, greedy packet routing, and final access. One consequence of
+// that boundary: a sort may leave words resident in a dead node's fabric, so
+// the router lets a packet ALREADY AT a dead node flush outward to an alive
+// neighbor — but never hands a dead node new packets (its incident links are
+// dead for everyone else). DESIGN.md §10 spells out this model boundary.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mesh/geometry.hpp"
+#include "util/math.hpp"
+
+namespace meshpram::fault {
+
+/// A request the degraded-mode protocol could not serve (variable with no
+/// surviving target set under HardFail policy, or an invalid plan).
+class FaultError : public std::runtime_error {
+ public:
+  explicit FaultError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Per-step fault accounting, surfaced through StepStats/DegradedResult
+/// instead of asserting. All totals are thread-count invariant (serial
+/// protocol passes plus commutative atomic sums from the routing kernels).
+struct FaultReport {
+  i64 dead_nodes = 0;        ///< static: dead processors in the plan
+  i64 dead_modules = 0;      ///< static: dead memory modules (incl. node faults)
+  i64 copies_lost = 0;       ///< dead copies among this step's requested vars
+  i64 requests_failed = 0;   ///< no surviving target set / dead origin
+  i64 requests_degraded = 0; ///< served at CULLING degradation level > 0
+  i64 packets_retried = 0;   ///< hop attempts blocked (stall backoff) or dropped
+  i64 packets_dropped = 0;   ///< link-level drops (detected and retransmitted)
+  i64 packets_detoured = 0;  ///< hops taken off the XY path around dead links
+
+  bool any_failures() const { return requests_failed > 0; }
+  bool any_faults_hit() const {
+    return copies_lost > 0 || requests_failed > 0 || requests_degraded > 0 ||
+           packets_retried > 0 || packets_detoured > 0;
+  }
+};
+
+/// Rates for randomly generated plans (FaultPlan::random). Every entity's
+/// fate is a pure hash of (seed, entity), so the same spec always yields the
+/// same plan regardless of iteration order.
+struct FaultSpec {
+  u64 seed = 1;
+  double node_rate = 0;    ///< P[node fail-stop]
+  double module_rate = 0;  ///< P[memory-only fault] (on top of node faults)
+  double link_rate = 0;    ///< P[permanent symmetric link death]
+  double stall_rate = 0;   ///< P[link gets one stall window per route call]
+  i64 stall_from = 1;      ///< first routing step of generated stall windows
+  i64 stall_len = 4;       ///< length of generated stall windows
+  double drop_rate = 0;    ///< P[drop per link traversal]
+};
+
+/// A transient link stall: link (node, dir) transmits nothing while
+/// pram_from <= PRAM step < pram_to AND route_from <= routing step < route_to
+/// (routing steps are 1-based within each route_greedy call).
+struct StallWindow {
+  i32 node = -1;
+  Dir dir = Dir::North;
+  i64 pram_from = 0;
+  i64 pram_to = kForever;
+  i64 route_from = 1;
+  i64 route_to = kForever;
+
+  static constexpr i64 kForever = i64{1} << 60;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  FaultPlan(int rows, int cols);
+
+  // ---- construction (before installing on a Mesh) ----
+  /// Fail-stop: processor + module dead, incident links dead (both ends).
+  void kill_node(i32 node);
+  /// Memory-only fault: copies lost, processor/routing unaffected.
+  void kill_module(i32 node);
+  /// Permanently kills the link between `node` and its `d` neighbor, in both
+  /// directions. Out-of-mesh directions are ignored.
+  void kill_link(i32 node, Dir d);
+  /// Adds a transient stall window (both directions of the link).
+  void add_stall(const StallWindow& w);
+  /// Bernoulli drop rate per link traversal, decided by a seeded hash.
+  void set_drop_rate(double rate, u64 seed);
+
+  /// Seeded random plan over a rows x cols mesh.
+  static FaultPlan random(int rows, int cols, const FaultSpec& spec);
+  /// Plan from a "key=value,key=value" spec string (keys: seed, nodes,
+  /// modules, links, stalls, stall_from, stall_len, drop). Throws ConfigError
+  /// on unknown keys or malformed values.
+  static FaultPlan parse(int rows, int cols, std::string_view spec);
+  /// Plan from the MESHPRAM_FAULT_PLAN environment variable (empty plan when
+  /// unset).
+  static FaultPlan from_env(int rows, int cols);
+
+  /// Rejects plans the protocol cannot even start on (no alive node, no
+  /// alive module). Called by the simulator at installation.
+  void validate() const;
+
+  // ---- queries (hot paths; all pure) ----
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  bool empty() const {
+    return dead_node_count_ == 0 && dead_module_count_ == 0 &&
+           dead_link_count_ == 0 && stalls_.empty() && drop_rate_ <= 0;
+  }
+
+  bool node_dead(i32 node) const {
+    return dead_node_count_ > 0 && node_dead_[static_cast<size_t>(node)] != 0;
+  }
+  /// True for module faults AND node faults (a dead node's module is dead).
+  bool module_dead(i32 node) const {
+    return dead_module_count_ > 0 &&
+           module_dead_[static_cast<size_t>(node)] != 0;
+  }
+  bool link_dead(i32 node, Dir d) const {
+    return dead_link_count_ > 0 &&
+           link_dead_[link_index(node, d)] != 0;
+  }
+  /// Stalled (but not dead) at (PRAM step, routing step)?
+  bool link_stalled(i32 node, Dir d, i64 pram_step, i64 route_step) const;
+  /// Seeded per-traversal drop decision.
+  bool drop(i32 node, Dir d, i64 pram_step, i64 route_step) const;
+
+  bool has_dead_nodes() const { return dead_node_count_ > 0; }
+  bool has_dead_modules() const { return dead_module_count_ > 0; }
+  /// Any fault the greedy routing layer must handle (dead/stalled links or a
+  /// positive drop rate). Dead modules alone route on the fast path.
+  bool affects_routing() const {
+    return dead_link_count_ > 0 || !stalls_.empty() || drop_rate_ > 0;
+  }
+  i64 dead_node_count() const { return dead_node_count_; }
+  i64 dead_module_count() const { return dead_module_count_; }
+  i64 dead_link_count() const { return dead_link_count_; }
+
+  /// Human-readable one-liner for logs and bench tables.
+  std::string summary() const;
+
+ private:
+  size_t link_index(i32 node, Dir d) const {
+    return static_cast<size_t>(node) * kNumDirs + static_cast<size_t>(d);
+  }
+  bool in_mesh(Coord x) const {
+    return 0 <= x.r && x.r < rows_ && 0 <= x.c && x.c < cols_;
+  }
+  void kill_link_directed(i32 node, Dir d);
+  void ensure_sized() const;
+
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<unsigned char> node_dead_;
+  std::vector<unsigned char> module_dead_;
+  std::vector<unsigned char> link_dead_;     // [node*4 + dir]
+  std::vector<unsigned char> link_stalled_;  // [node*4 + dir]: any window?
+  std::vector<StallWindow> stalls_;
+  i64 dead_node_count_ = 0;
+  i64 dead_module_count_ = 0;
+  i64 dead_link_count_ = 0;
+  double drop_rate_ = 0;
+  u64 drop_threshold_ = 0;
+  u64 drop_seed_ = 0;
+};
+
+}  // namespace meshpram::fault

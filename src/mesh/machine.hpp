@@ -16,8 +16,10 @@
 // the parallel engine (mesh/parallel.hpp) relies on exactly that.
 #pragma once
 
+#include <atomic>
 #include <vector>
 
+#include "fault/plan.hpp"
 #include "mesh/arena.hpp"
 #include "mesh/geometry.hpp"
 #include "mesh/packet.hpp"
@@ -27,6 +29,27 @@
 #include "util/error.hpp"
 
 namespace meshpram {
+
+/// Commutative fault-event tally shared by all routing kernels of one PRAM
+/// step (atomic adds only, so the totals are thread-count invariant). The
+/// protocol drains it into FaultReport after the step's parallel work joins.
+struct FaultTally {
+  std::atomic<i64> retried{0};
+  std::atomic<i64> dropped{0};
+  std::atomic<i64> detoured{0};
+
+  void reset() {
+    retried.store(0, std::memory_order_relaxed);
+    dropped.store(0, std::memory_order_relaxed);
+    detoured.store(0, std::memory_order_relaxed);
+  }
+  /// Adds the tallied events to `report` and zeroes the tally.
+  void drain_into(fault::FaultReport& report) {
+    report.packets_retried += retried.exchange(0, std::memory_order_relaxed);
+    report.packets_dropped += dropped.exchange(0, std::memory_order_relaxed);
+    report.packets_detoured += detoured.exchange(0, std::memory_order_relaxed);
+  }
+};
 
 /// One replicated copy held in a node's local memory: value + timestamp
 /// (the majority/timestamp machinery of Gifford/Thomas/UW87, Def. 2).
@@ -178,6 +201,30 @@ class Mesh {
   /// mutex), which the rest of the system already assumed.
   ArenaPool& route_arenas() { return arenas_; }
 
+  /// Installs a fault plan (non-owning; nullptr = fault-free). The plan must
+  /// be immutable and outlive the mesh's use of it; with no plan (or an empty
+  /// one) every hot path stays on the exact fault-free code.
+  void set_fault_plan(const fault::FaultPlan* plan) {
+    MP_REQUIRE(plan == nullptr ||
+                   (plan->rows() == rows_ && plan->cols() == cols_),
+               "fault plan sized for a different mesh");
+    fault_plan_ = (plan != nullptr && plan->empty()) ? nullptr : plan;
+  }
+  const fault::FaultPlan* fault_plan() const { return fault_plan_; }
+
+  /// Current PRAM step, fed to the plan's transient-fault schedules. Set by
+  /// the access protocol at the top of each step.
+  void set_fault_now(i64 pram_step) { fault_now_ = pram_step; }
+  i64 fault_now() const { return fault_now_; }
+
+  /// Fault events tallied by the routing kernels since the last drain.
+  FaultTally& fault_tally() { return fault_tally_; }
+
+  /// True when `id` is an alive processor (no plan = everything alive).
+  bool node_alive(i32 id) const {
+    return fault_plan_ == nullptr || !fault_plan_->node_dead(id);
+  }
+
  private:
   int rows_;
   int cols_;
@@ -186,6 +233,9 @@ class Mesh {
   StepCounter clock_;
   telemetry::MeshCounters counters_;
   ArenaPool arenas_;
+  const fault::FaultPlan* fault_plan_ = nullptr;
+  i64 fault_now_ = 0;
+  FaultTally fault_tally_;
 };
 
 }  // namespace meshpram

@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "telemetry/telemetry.hpp"
+#include "util/env.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -75,9 +76,9 @@ namespace {
 std::atomic<i64> g_stripe_min_nodes{0};  // 0 = env/default
 
 i64 default_stripe_min_nodes() {
-  if (const char* env = std::getenv("MESHPRAM_STRIPE_MIN_NODES")) {
-    const i64 n = std::atoll(env);
-    if (n >= 1) return n;
+  if (const auto n = env_i64("MESHPRAM_STRIPE_MIN_NODES", 1,
+                             i64{1} << 40)) {
+    return *n;
   }
   return 4096;
 }

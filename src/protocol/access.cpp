@@ -69,6 +69,8 @@ i64 AccessProtocol::distribute_stage(const Region& region, int dest_level) {
   steps += rank_within_groups(mesh_, region);
 
   const auto& pages = placement_.pages(dest_level);
+  const fault::FaultPlan* plan = mesh_.fault_plan();
+  const bool skip_dead = plan != nullptr && plan->has_dead_nodes();
   for_each_region_chunk(
       mesh_, region, kNodeGrain, [&](RegionCursor& cur, i64 end) {
         for (; cur.pos() < end; cur.advance()) {
@@ -76,12 +78,34 @@ i64 AccessProtocol::distribute_stage(const Region& region, int dest_level) {
             const Region& sub = pages[static_cast<size_t>(p.key)].region;
             MP_ASSERT(region.contains(sub.at_snake(0)),
                       "destination page region escapes the stage region");
-            p.dest = mesh_.node_id(
-                sub.at_snake(static_cast<i64>(p.rank) % sub.size()));
+            if (skip_dead) {
+              // Degraded mode: spread rank r over the page's alive nodes
+              // only — dead processors host no intermediate stops. With no
+              // dead node in the page this equals the fault-free formula.
+              const auto& alive =
+                  alive_slots_[static_cast<size_t>(dest_level)]
+                              [static_cast<size_t>(p.key)];
+              MP_ASSERT(!alive.empty(),
+                        "packet targets a fully dead page region; its copies "
+                        "should have been culled");
+              p.dest = alive[static_cast<size_t>(
+                  static_cast<i64>(p.rank) %
+                  static_cast<i64>(alive.size()))];
+            } else {
+              p.dest = mesh_.node_id(
+                  sub.at_snake(static_cast<i64>(p.rank) % sub.size()));
+            }
           }
         }
       });
-  steps += route_greedy(mesh_, region).steps;
+  // Under routing faults a detour may have to leave the stage submesh (a dead
+  // link inside a 1-wide strip disconnects the strip internally, while the
+  // surrounding mesh still has paths around), so route at whole-mesh scope.
+  // execute() serializes the stage loop in that case: only this region's
+  // packets are in flight — every other buffered packet is already at its
+  // node (dest == id) and stays in place at zero cost.
+  const bool routing_faults = plan != nullptr && plan->affects_routing();
+  steps += route_greedy(mesh_, routing_faults ? mesh_.whole() : region).steps;
 
   // Record the stop for the return journey.
   for_each_region_chunk(
@@ -93,6 +117,30 @@ i64 AccessProtocol::distribute_stage(const Region& region, int dest_level) {
       });
   span.set_steps(steps);
   return steps;
+}
+
+void AccessProtocol::build_alive_slots(const fault::FaultPlan* plan) {
+  const int k = placement_.map().params().k();
+  alive_slots_.assign(static_cast<size_t>(k) + 1, {});
+  for (int level = 1; level <= k; ++level) {
+    const auto& pages = placement_.pages(level);
+    auto& lvl = alive_slots_[static_cast<size_t>(level)];
+    lvl.resize(pages.size());
+    for (size_t pg = 0; pg < pages.size(); ++pg) {
+      const Region& g = pages[pg].region;
+      auto& slots = lvl[pg];
+      slots.reserve(static_cast<size_t>(g.size()));
+      for (i64 s = 0; s < g.size(); ++s) {
+        const i32 id = mesh_.node_id(g.at_snake(s));
+        if (!plan->node_dead(id)) slots.push_back(id);
+      }
+      // A fully dead page region is legal: every copy under it sits on a
+      // dead module (node faults kill the module too), so CULLING never
+      // selects one and no packet ever targets the page. The slot list stays
+      // empty; distribute_stage asserts it is never consulted.
+    }
+  }
+  alive_plan_ = plan;
 }
 
 std::vector<i64> AccessProtocol::execute(
@@ -122,20 +170,49 @@ std::vector<i64> AccessProtocol::execute(
   StepStats& st = stats != nullptr ? *stats : local;
   st = StepStats{};
 
+  // ---- Fault-plan setup ---------------------------------------------------
+  const fault::FaultPlan* plan = mesh_.fault_plan();
+  std::vector<char> request_ok;
+  if (plan != nullptr) {
+    mesh_.set_fault_now(timestamp);
+    mesh_.fault_tally().reset();
+    st.fault.dead_nodes = plan->dead_node_count();
+    st.fault.dead_modules = plan->dead_module_count();
+    request_ok.assign(static_cast<size_t>(n), 1);
+    if (plan->has_dead_nodes() && alive_plan_ != plan) {
+      build_alive_slots(plan);
+    }
+  }
+
   // ---- Copy selection -----------------------------------------------------
   std::vector<i64> request_vars(static_cast<size_t>(n), -1);
   for (i64 node = 0; node < n; ++node) {
     request_vars[static_cast<size_t>(node)] =
         requests[static_cast<size_t>(node)].var;
   }
+  if (plan != nullptr && plan->has_dead_nodes()) {
+    // A fail-stop processor issues no requests: its access fails up front.
+    for (i64 node = 0; node < n; ++node) {
+      if (request_vars[static_cast<size_t>(node)] >= 0 &&
+          plan->node_dead(static_cast<i32>(node))) {
+        request_vars[static_cast<size_t>(node)] = -1;
+        request_ok[static_cast<size_t>(node)] = 0;
+        ++st.fault.requests_failed;
+      }
+    }
+  }
   Culling culling(mesh_, placement_, sort_opts_);
   std::vector<std::vector<i64>> selections;
   {
     telemetry::Span culling_span(telemetry::Cat::Phase, kCullingRun);
-    selections = culling.run(request_vars, &st.culling);
+    selections = culling.run(request_vars, &st.culling,
+                             plan != nullptr ? &request_ok : nullptr);
     st.culling_steps = st.culling.steps;
     culling_span.set_steps(st.culling_steps);
   }
+  st.fault.copies_lost += st.culling.copies_lost;
+  st.fault.requests_degraded += st.culling.requests_degraded;
+  st.fault.requests_failed += st.culling.requests_failed;
 
   // ---- Packet generation --------------------------------------------------
   {
@@ -166,12 +243,22 @@ std::vector<i64> AccessProtocol::execute(
 
   // ---- Forward stages k+1 .. 2 -------------------------------------------
   // Stage k+1 spans the whole mesh; the inner stages run one worker per
-  // level-i submesh (disjoint regions, see mesh/parallel.hpp).
+  // level-i submesh (disjoint regions, see mesh/parallel.hpp). Under routing
+  // faults the submeshes cannot run concurrently (detours may cross their
+  // boundaries, see distribute_stage), so the stage loop runs serially and
+  // is charged the sum of its submesh costs instead of the max.
+  const bool routing_faults = plan != nullptr && plan->affects_routing();
   for (int stage = k + 1; stage >= 2; --stage) {
     telemetry::Span stage_span(telemetry::Cat::Stage, kForwardStage, stage);
     ParallelCost pc;
     if (stage == k + 1) {
       pc.observe(distribute_stage(mesh_.whole(), k));
+    } else if (routing_faults) {
+      i64 sum = 0;
+      for (const Region& g : level_regions_[static_cast<size_t>(stage)]) {
+        sum += distribute_stage(g, stage - 1);
+      }
+      pc.observe(sum);
     } else {
       pc.observe_all(parallel_for_regions(
           mesh_, level_regions_[static_cast<size_t>(stage)],
@@ -186,16 +273,21 @@ std::vector<i64> AccessProtocol::execute(
   {
     telemetry::Span deliver_span(telemetry::Cat::Stage, kDeliverStage, 1);
     ParallelCost pc;
-    pc.observe_all(parallel_for_regions(
-        mesh_, level_regions_[1], [&](const Region& g) {
-          for (RegionCursor cur = mesh_.cursor(g); cur.valid();
-               cur.advance()) {
-            for (Packet& p : mesh_.buf(cur.id())) {
-              p.dest = mesh_.node_id(placement_.locate(p.copy).node);
-            }
-          }
-          return route_greedy(mesh_, g).steps;
-        }));
+    auto deliver = [&](const Region& g) -> i64 {
+      for (RegionCursor cur = mesh_.cursor(g); cur.valid(); cur.advance()) {
+        for (Packet& p : mesh_.buf(cur.id())) {
+          p.dest = mesh_.node_id(placement_.locate(p.copy).node);
+        }
+      }
+      return route_greedy(mesh_, routing_faults ? mesh_.whole() : g).steps;
+    };
+    if (routing_faults) {
+      i64 sum = 0;
+      for (const Region& g : level_regions_[1]) sum += deliver(g);
+      pc.observe(sum);
+    } else {
+      pc.observe_all(parallel_for_regions(mesh_, level_regions_[1], deliver));
+    }
     st.forward_stage_steps.push_back(pc.max());
     st.forward_steps += pc.max();
     deliver_span.set_steps(pc.max());
@@ -237,20 +329,28 @@ std::vector<i64> AccessProtocol::execute(
     telemetry::Span stage_span(telemetry::Cat::Stage, kReturnStage, stage);
     const int trail_idx = k - stage;  // trail[k-1] = innermost stop
     ParallelCost pc;
-    pc.observe_all(parallel_for_regions(
-        mesh_, level_regions_[static_cast<size_t>(stage)],
-        [&](const Region& g) -> i64 {
-          bool any = false;
-          for (RegionCursor cur = mesh_.cursor(g); cur.valid();
-               cur.advance()) {
-            for (Packet& p : mesh_.buf(cur.id())) {
-              MP_ASSERT(p.trail_len == k, "packet with incomplete trail");
-              p.dest = p.trail[static_cast<size_t>(trail_idx)];
-              any = true;
-            }
-          }
-          return any ? route_greedy(mesh_, g).steps : 0;
-        }));
+    auto retrace = [&](const Region& g) -> i64 {
+      bool any = false;
+      for (RegionCursor cur = mesh_.cursor(g); cur.valid(); cur.advance()) {
+        for (Packet& p : mesh_.buf(cur.id())) {
+          MP_ASSERT(p.trail_len == k, "packet with incomplete trail");
+          p.dest = p.trail[static_cast<size_t>(trail_idx)];
+          any = true;
+        }
+      }
+      if (!any) return 0;
+      return route_greedy(mesh_, routing_faults ? mesh_.whole() : g).steps;
+    };
+    if (routing_faults) {
+      i64 sum = 0;
+      for (const Region& g : level_regions_[static_cast<size_t>(stage)]) {
+        sum += retrace(g);
+      }
+      pc.observe(sum);
+    } else {
+      pc.observe_all(parallel_for_regions(
+          mesh_, level_regions_[static_cast<size_t>(stage)], retrace));
+    }
     st.return_steps += pc.max();
     stage_span.set_steps(pc.max());
   }
@@ -286,18 +386,32 @@ std::vector<i64> AccessProtocol::execute(
         }
       }
       if (req.var >= 0) {
-        MP_ASSERT(
-            got == static_cast<i64>(
-                       selections[static_cast<size_t>(node)].size()),
-            "lost packets: " << got << " of "
-                             << selections[static_cast<size_t>(node)].size()
-                             << " returned");
-        if (req.op == Op::Read) results[static_cast<size_t>(node)] = best_val;
+        if (request_ok.empty() || request_ok[static_cast<size_t>(node)] != 0) {
+          // No fault ever destroys an in-flight packet (drops are
+          // retransmitted, stalls delay, detours reroute), so conservation
+          // holds even under an active plan.
+          MP_ASSERT(
+              got == static_cast<i64>(
+                         selections[static_cast<size_t>(node)].size()),
+              "lost packets: " << got << " of "
+                               << selections[static_cast<size_t>(node)].size()
+                               << " returned");
+          if (req.op == Op::Read) {
+            results[static_cast<size_t>(node)] = best_val;
+          }
+        } else {
+          MP_ASSERT(got == 0, "failed request received " << got
+                                                         << " packets");
+        }
       }
       b.clear();
     }
   });
 
+  if (plan != nullptr) {
+    mesh_.fault_tally().drain_into(st.fault);
+    st.request_ok = std::move(request_ok);
+  }
   st.total_steps = st.culling_steps + st.forward_steps + st.return_steps;
   return results;
 }

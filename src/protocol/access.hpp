@@ -40,6 +40,11 @@ struct StepStats {
   i64 packets = 0;
   /// forward_stage_steps[0] = stage k+1, ..., last = stage 1.
   std::vector<i64> forward_stage_steps;
+  /// Fault accounting for the step (all zero without an installed plan).
+  fault::FaultReport fault;
+  /// request_ok[node] = 0 iff that processor's request failed (dead origin
+  /// or no surviving target set). Empty when the mesh has no fault plan.
+  std::vector<char> request_ok;
 };
 
 class AccessProtocol {
@@ -51,6 +56,15 @@ class AccessProtocol {
   /// increasing across steps). requests[node] describes the access issued by
   /// that processor. Variables must be distinct (EREW). Returns per-node
   /// read results (0 for idle processors and writers).
+  ///
+  /// Degraded mode (mesh carries a fault plan): requests from dead
+  /// processors and variables without a surviving target set fail up front
+  /// (StepStats::request_ok / StepStats::fault) and everything else is
+  /// served — copies on dead modules are excluded by CULLING, intermediate
+  /// stops land only on alive processors, and the routing layer retries or
+  /// detours around link faults. Every surviving read still returns the
+  /// newest surviving timestamp, so reads that succeed agree with the
+  /// fault-free values.
   std::vector<i64> execute(const std::vector<AccessRequest>& requests,
                            i64 timestamp, StepStats* stats = nullptr);
 
@@ -60,11 +74,22 @@ class AccessProtocol {
   /// (0 = final processor delivery).
   i64 distribute_stage(const Region& region, int dest_level);
 
+  /// Rebuilds alive_slots_ for the installed plan (per-level, per-page alive
+  /// node ids in snake order). A fully dead page region gets an empty list —
+  /// legal, because no surviving copy can target it.
+  void build_alive_slots(const fault::FaultPlan* plan);
+
   Mesh& mesh_;
   const Placement& placement_;
   SortOptions sort_opts_;
   /// Deduplicated page regions per level (shared 1x1 regions collapse).
   std::vector<std::vector<Region>> level_regions_;
+  /// Degraded-mode intermediate-stop slots: alive_slots_[level][page] = alive
+  /// node ids of that page's region in snake order. Built lazily per plan
+  /// (static, so rebuilt only when the installed plan changes) and empty on
+  /// the fault-free path.
+  std::vector<std::vector<std::vector<i32>>> alive_slots_;
+  const fault::FaultPlan* alive_plan_ = nullptr;
 };
 
 }  // namespace meshpram

@@ -31,7 +31,8 @@ Culling::Culling(Mesh& mesh, const Placement& placement,
                 placement.map().params().k()) {}
 
 std::vector<std::vector<i64>> Culling::run(
-    const std::vector<i64>& request_vars, CullingStats* stats) {
+    const std::vector<i64>& request_vars, CullingStats* stats,
+    std::vector<char>* request_ok) {
   const HmosParams& params = placement_.map().params();
   const i64 n = mesh_.size();
   MP_REQUIRE(static_cast<i64>(request_vars.size()) == n,
@@ -45,20 +46,79 @@ std::vector<std::vector<i64>> Culling::run(
   CullingStats& st = stats != nullptr ? *stats : local_stats;
   st = CullingStats{};
 
+  const fault::FaultPlan* plan = mesh_.fault_plan();
+  const bool degraded = plan != nullptr && plan->has_dead_modules();
+  const bool count_lost = degraded && telemetry::sampling_on();
+
+  // Effective requests: failed variables are culled out up front so every
+  // loop below treats them exactly like idle processors.
+  std::vector<i64> vars = request_vars;
+  // Per-node degradation level (0 = full strength): iteration i extracts at
+  // level max(i, deg). Allocated only in degraded mode.
+  std::vector<int> deg;
+  if (degraded) deg.assign(static_cast<size_t>(n), 0);
+
   // Per-node candidate bitmaps over the q^k codes: C_v^0 = minimal level-0
-  // target set.
+  // target set (at degradation level d, a minimal level-d target set within
+  // the surviving copies).
   const i64 ncodes = selector_.num_codes();
   std::vector<std::vector<char>> candidate(static_cast<size_t>(n));
   const auto init_codes = selector_.initial(0);
+  std::vector<char> avail;
   for (i64 node = 0; node < n; ++node) {
-    if (request_vars[static_cast<size_t>(node)] < 0) continue;
-    MP_REQUIRE(request_vars[static_cast<size_t>(node)] < params.num_vars(),
-               "variable " << request_vars[static_cast<size_t>(node)]
-                           << " outside shared memory");
+    const i64 var = vars[static_cast<size_t>(node)];
+    if (var < 0) continue;
+    MP_REQUIRE(var < params.num_vars(),
+               "variable " << var << " outside shared memory");
     auto& bits = candidate[static_cast<size_t>(node)];
     bits.assign(static_cast<size_t>(ncodes), 0);
-    for (i64 code : init_codes) bits[static_cast<size_t>(code)] = 1;
+    if (!degraded) {
+      for (i64 code : init_codes) bits[static_cast<size_t>(code)] = 1;
+      continue;
+    }
+    // Surviving-copy bitmap: a copy is available iff the module of the node
+    // it lives on is alive. The plan is static, so this is decided once.
+    avail.assign(static_cast<size_t>(ncodes), 1);
+    i64 lost = 0;
+    for (i64 code = 0; code < ncodes; ++code) {
+      const u64 copy = static_cast<u64>(var) *
+                           static_cast<u64>(params.redundancy()) +
+                       static_cast<u64>(code);
+      const i32 holder = mesh_.node_id(placement_.locate(copy).node);
+      if (plan->module_dead(holder)) {
+        avail[static_cast<size_t>(code)] = 0;
+        ++lost;
+        if (count_lost) mesh_.counters().add_copies_lost(holder, 1);
+      }
+    }
+    st.copies_lost += lost;
+    if (lost == 0) {
+      for (i64 code : init_codes) bits[static_cast<size_t>(code)] = 1;
+      continue;
+    }
+    // Smallest degradation level whose requirement the survivors still meet.
+    // Level k = ordinary target set; failing even that means the variable is
+    // unreadable, reported instead of asserted.
+    TargetSelector::Selection sel;
+    int d = -1;
+    for (int lvl = 0; lvl <= params.k(); ++lvl) {
+      sel = selector_.select(lvl, avail, avail);
+      if (sel.feasible) {
+        d = lvl;
+        break;
+      }
+    }
+    if (d < 0) {
+      ++st.requests_failed;
+      if (request_ok != nullptr) (*request_ok)[static_cast<size_t>(node)] = 0;
+      vars[static_cast<size_t>(node)] = -1;
+      continue;
+    }
+    if (d > 0) ++st.requests_degraded;
+    deg[static_cast<size_t>(node)] = d;
+    for (i64 code : sel.codes) bits[static_cast<size_t>(code)] = 1;
   }
+  const std::vector<i64>& request_vars_eff = vars;
 
   std::vector<std::vector<char>> marked(static_cast<size_t>(n));
 
@@ -71,7 +131,7 @@ std::vector<std::vector<i64>> Culling::run(
     // node fills only its own buffer, so the loop chunks over nodes.
     execution_pool().for_each_chunk(n, kNodeGrain, [&](i64 lo, i64 hi) {
       for (i64 node = lo; node < hi; ++node) {
-        const i64 var = request_vars[static_cast<size_t>(node)];
+        const i64 var = request_vars_eff[static_cast<size_t>(node)];
         if (var < 0) continue;
         const auto& bits = candidate[static_cast<size_t>(node)];
         auto& b = mesh_.buf(static_cast<i32>(node));
@@ -125,9 +185,14 @@ std::vector<std::vector<i64>> Culling::run(
     execution_pool().for_each_chunk(n, /*min_grain=*/8, [&](i64 lo, i64 hi) {
       std::vector<char> m_only(static_cast<size_t>(ncodes), 0);
       for (i64 node = lo; node < hi; ++node) {
-        if (request_vars[static_cast<size_t>(node)] < 0) continue;
+        if (request_vars_eff[static_cast<size_t>(node)] < 0) continue;
         auto& cand = candidate[static_cast<size_t>(node)];
         const auto& mk = marked[static_cast<size_t>(node)];
+        // Degraded variables extract at max(iter, d): a level-j target set
+        // is also a level-j' target set for every j' >= j, so the invariant
+        // below carries from iteration to iteration unchanged.
+        const int level =
+            degraded ? std::max(iter, deg[static_cast<size_t>(node)]) : iter;
         // Try M alone first (the pseudo-code's "if M contains a target set").
         for (i64 c = 0; c < ncodes; ++c) {
           m_only[static_cast<size_t>(c)] =
@@ -135,12 +200,12 @@ std::vector<std::vector<i64>> Culling::run(
                                 mk[static_cast<size_t>(c)]);
         }
         TargetSelector::Selection sel =
-            selector_.select(iter, m_only, m_only);
+            selector_.select(level, m_only, m_only);
         if (!sel.feasible) {
           // Augment with the fewest possible unmarked copies from C.
-          sel = selector_.select(iter, cand, m_only);
+          sel = selector_.select(level, cand, m_only);
           MP_ASSERT(sel.feasible,
-                    "C_v^{i-1} lost the level-" << iter
+                    "C_v^{i-1} lost the level-" << level
                                                 << " target set invariant");
         }
         cand.assign(static_cast<size_t>(ncodes), 0);
@@ -158,7 +223,7 @@ std::vector<std::vector<i64>> Culling::run(
     execution_pool().for_each_chunk(n, kNodeGrain, [&](i64 lo, i64 hi) {
       std::unordered_map<i64, i64> chunk_load;
       for (i64 node = lo; node < hi; ++node) {
-        const i64 var = request_vars[static_cast<size_t>(node)];
+        const i64 var = request_vars_eff[static_cast<size_t>(node)];
         if (var < 0) continue;
         const auto& bits = candidate[static_cast<size_t>(node)];
         for (i64 code = 0; code < ncodes; ++code) {
@@ -183,7 +248,7 @@ std::vector<std::vector<i64>> Culling::run(
   const bool count_survivors = telemetry::sampling_on();
   std::vector<std::vector<i64>> out(static_cast<size_t>(n));
   for (i64 node = 0; node < n; ++node) {
-    if (request_vars[static_cast<size_t>(node)] < 0) continue;
+    if (request_vars_eff[static_cast<size_t>(node)] < 0) continue;
     const auto& bits = candidate[static_cast<size_t>(node)];
     for (i64 code = 0; code < ncodes; ++code) {
       if (bits[static_cast<size_t>(code)]) {

@@ -32,6 +32,10 @@ struct CullingStats {
   std::vector<i64> max_page_load;
   std::vector<i64> bound;  ///< theorem3_bound(i), aligned with the above
   i64 selected_copies = 0; ///< |union of final target sets|
+  // Degraded-mode accounting (all zero without dead memory modules):
+  i64 copies_lost = 0;        ///< requested copies on dead modules
+  i64 requests_degraded = 0;  ///< served at degradation level > 0
+  i64 requests_failed = 0;    ///< no surviving target set at any level
 };
 
 class Culling {
@@ -40,8 +44,20 @@ class Culling {
 
   /// request_vars[node] = variable the processor wants, or -1 for idle.
   /// Returns per-node selected copy codes (empty for idle processors).
+  ///
+  /// Degraded mode: when the mesh carries a fault plan with dead memory
+  /// modules, copies on dead modules are excluded up front and each affected
+  /// variable is served at the smallest degradation level d for which its
+  /// surviving copies still contain a level-d target set (iteration i then
+  /// extracts at level max(i, d)). Level k is the ordinary target set, so
+  /// consistency (quorum intersection) survives at every degradation level —
+  /// only the congestion bounds of Theorem 3 weaken (DESIGN.md §10). A
+  /// variable with no surviving level-k target set is reported through
+  /// `request_ok` (cell set to 0) and stats instead of asserting; its
+  /// selection stays empty.
   std::vector<std::vector<i64>> run(const std::vector<i64>& request_vars,
-                                    CullingStats* stats);
+                                    CullingStats* stats,
+                                    std::vector<char>* request_ok = nullptr);
 
  private:
   Mesh& mesh_;

@@ -19,6 +19,16 @@ PramMeshSimulator::PramMeshSimulator(const SimConfig& config) {
   placement_ = std::make_unique<Placement>(*map_, mesh_->whole());
   protocol_ = std::make_unique<AccessProtocol>(
       *mesh_, *placement_, SortOptions{config.sort_mode});
+  fault_policy_ = config.fault_policy;
+  fault::FaultPlan plan =
+      config.fault_plan.empty()
+          ? fault::FaultPlan::from_env(config.mesh_rows, config.mesh_cols)
+          : config.fault_plan;
+  if (!plan.empty()) {
+    plan.validate();
+    fault_plan_ = std::make_unique<fault::FaultPlan>(std::move(plan));
+    mesh_->set_fault_plan(fault_plan_.get());
+  }
 }
 
 std::vector<i64> PramMeshSimulator::step(
@@ -41,7 +51,28 @@ std::vector<i64> PramMeshSimulator::step(
   if (stats != nullptr) {
     mesh_->clock().add("pram_step", stats->total_steps);
   }
+  if (fault_policy_ == FaultPolicy::HardFail && st.fault.any_failures()) {
+    throw fault::FaultError(
+        std::to_string(st.fault.requests_failed) +
+        " request(s) failed under the installed fault plan "
+        "(FaultPolicy::HardFail)");
+  }
   return results;
+}
+
+DegradedResult PramMeshSimulator::step_degraded(
+    const std::vector<AccessRequest>& requests, StepStats* stats) {
+  StepStats local;
+  StepStats& st = stats != nullptr ? *stats : local;
+  DegradedResult r;
+  r.values = step(requests, &st);
+  r.report = st.fault;
+  if (st.request_ok.empty()) {
+    r.ok.assign(static_cast<size_t>(processors()), 1);
+  } else {
+    r.ok = st.request_ok;
+  }
+  return r;
 }
 
 void PramMeshSimulator::write_step(const std::vector<i64>& vars,

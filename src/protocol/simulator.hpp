@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/plan.hpp"
 #include "hmos/memory_map.hpp"
 #include "hmos/params.hpp"
 #include "hmos/placement.hpp"
@@ -16,6 +17,13 @@
 
 namespace meshpram {
 
+/// What to do when a request cannot be served under the installed fault plan
+/// (dead origin, or no surviving target set for the variable).
+enum class FaultPolicy {
+  Degrade,   ///< serve the survivors; failures reported per step
+  HardFail,  ///< throw fault::FaultError on the first failed request
+};
+
 struct SimConfig {
   int mesh_rows = 32;
   int mesh_cols = 32;
@@ -23,6 +31,20 @@ struct SimConfig {
   i64 q = 3;            ///< replication branching (prime power >= 3)
   int k = 2;            ///< HMOS depth; redundancy = q^k
   SortMode sort_mode = SortMode::Simulated;
+  /// Fault plan to install (copied). An empty plan (the default) falls back
+  /// to MESHPRAM_FAULT_PLAN; if that is unset too, the run is fault-free.
+  fault::FaultPlan fault_plan;
+  FaultPolicy fault_policy = FaultPolicy::Degrade;
+};
+
+/// Per-step outcome under fault injection: read values, per-processor
+/// success flags, and the step's FaultReport.
+struct DegradedResult {
+  std::vector<i64> values;
+  std::vector<char> ok;  ///< ok[i] = 0 iff processor i's request failed
+  fault::FaultReport report;
+
+  bool all_ok() const { return report.requests_failed == 0; }
 };
 
 class PramMeshSimulator {
@@ -37,6 +59,13 @@ class PramMeshSimulator {
   /// per-processor read results; stats (optional) receives the step costs.
   std::vector<i64> step(const std::vector<AccessRequest>& requests,
                         StepStats* stats = nullptr);
+
+  /// Like step(), but surfaces the degraded-mode outcome (per-processor
+  /// success flags + FaultReport) instead of burying it in StepStats. Under
+  /// FaultPolicy::HardFail both step() and step_degraded() throw
+  /// fault::FaultError as soon as any request fails.
+  DegradedResult step_degraded(const std::vector<AccessRequest>& requests,
+                               StepStats* stats = nullptr);
 
   /// Convenience: every processor writes values[i] to vars[i] (one step).
   void write_step(const std::vector<i64>& vars, const std::vector<i64>& values,
@@ -54,12 +83,20 @@ class PramMeshSimulator {
   Mesh& mesh() { return *mesh_; }
   const Mesh& mesh() const { return *mesh_; }
 
+  /// The installed fault plan, or nullptr for a fault-free run.
+  const fault::FaultPlan* fault_plan() const { return mesh_->fault_plan(); }
+  FaultPolicy fault_policy() const { return fault_policy_; }
+
  private:
   std::unique_ptr<HmosParams> params_;
   std::unique_ptr<MemoryMap> map_;
   std::unique_ptr<Mesh> mesh_;
   std::unique_ptr<Placement> placement_;
   std::unique_ptr<AccessProtocol> protocol_;
+  /// Owned copy of the active plan; unique_ptr so the address handed to the
+  /// mesh stays stable if the simulator is moved.
+  std::unique_ptr<fault::FaultPlan> fault_plan_;
+  FaultPolicy fault_policy_ = FaultPolicy::Degrade;
   i64 now_ = 0;
 };
 

@@ -9,6 +9,7 @@
 
 #include "mesh/arena.hpp"
 #include "mesh/parallel.hpp"
+#include "routing/xy.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
@@ -20,40 +21,8 @@ namespace {
 const telemetry::Label kRouteGreedy = telemetry::intern("route.greedy");
 const telemetry::Label kRouteStripe = telemetry::intern("route.stripe");
 
-/// XY routing decision: east/west until the column matches, then north/south.
-/// Returns false when the packet is at its destination.
-bool next_dir(Coord at, int dest_r, int dest_c, Dir* out) {
-  if (at.c < dest_c) {
-    *out = Dir::East;
-  } else if (at.c > dest_c) {
-    *out = Dir::West;
-  } else if (at.r < dest_r) {
-    *out = Dir::South;
-  } else if (at.r > dest_r) {
-    *out = Dir::North;
-  } else {
-    return false;
-  }
-  return true;
-}
-
-/// Incoming lane of a packet that moved in direction d (indexed by Dir value
-/// N,E,S,W): moved South = sent by the row above, etc. Lane numbering is
-/// chosen so lanes 0..3 in order are the serial absorb's arrival order for an
-/// east-going snake row; see kLaneOrder* below.
-constexpr int kLaneOfMove[kNumDirs] = {/*North*/ 3, /*East*/ 1, /*South*/ 0,
-                                       /*West*/ 2};
-
-/// Absorb order over lanes, reproducing the serial path's arrival order: the
-/// serial forward sweep visits source nodes in snake order, so a node's
-/// arrivals come from the row above first (lane 0 = moved South), then the
-/// same-row neighbors in the row's snake direction (on an east-going row the
-/// west neighbor precedes the east neighbor, i.e. lane 1 = moved East before
-/// lane 2 = moved West; reversed on west-going rows), then the row below
-/// (lane 3 = moved North). Each source forwards at most one packet per
-/// direction, so one slot per lane always suffices.
-constexpr int kLaneOrderEast[kNumDirs] = {0, 1, 2, 3};
-constexpr int kLaneOrderWest[kNumDirs] = {0, 2, 1, 3};
+/// Extra queue capacity beyond the setup max depth (set_route_initial_headroom).
+i64 g_route_headroom = 2;
 
 /// Padded per-stripe accumulators: delivered is summed by every rank after
 /// each step (all ranks compute the same total), max_queue is merged by the
@@ -125,7 +94,7 @@ void forward_sweep(RouteShared& sh, int rank) {
     std::array<i64, kNumDirs> best_dist{};
     for (i32 i = 0; i < cnt; ++i) {
       Dir dir;
-      MP_ASSERT(next_dir(at, q[i].dest_r, q[i].dest_c, &dir),
+      MP_ASSERT(xy_next_dir(at, q[i].dest_r, q[i].dest_c, &dir),
                 "arrived packet still in transit");
       const i64 rem =
           std::abs(q[i].dest_r - at.r) + std::abs(q[i].dest_c - at.c);
@@ -249,6 +218,13 @@ void route_stripe_worker(RouteShared& sh, int rank) {
 
 }  // namespace
 
+void set_route_initial_headroom(i64 slots) {
+  MP_REQUIRE(slots >= 0, "route headroom " << slots);
+  g_route_headroom = slots;
+}
+
+i64 route_initial_headroom() { return g_route_headroom; }
+
 RouteStats route_greedy(Mesh& mesh, const Region& region) {
   telemetry::Span span(telemetry::Cat::Phase, kRouteGreedy);
   // Per-node congestion counters are hot-loop writes; hoist the gate. Each
@@ -309,11 +285,22 @@ RouteStats route_greedy(Mesh& mesh, const Region& region) {
     }
     // Initial capacity with headroom so the first arrivals don't force an
     // immediate grow; doubling takes over from there.
-    ar.layout(std::max<i64>(kNumDirs, max_depth + 2));
+    ar.layout(std::max<i64>(kNumDirs, max_depth + g_route_headroom));
     for (i64 pos = 0; pos < m; ++pos) ar.count(pos) = 0;
     for (size_t i = 0; i < ar.setup_rec.size(); ++i) {
       const i64 pos = ar.setup_pos[i];
       ar.queue(pos)[ar.count(pos)++] = ar.setup_rec[i];
+    }
+
+    // Fault plans that touch routing divert to the serial fault-aware kernel
+    // (stall backoff, detours, drop retransmission). Module-only plans — and
+    // no plan at all — keep the fast path below, so their step counts stay
+    // bit-identical to the fault-free run.
+    const fault::FaultPlan* plan = mesh.fault_plan();
+    if (plan != nullptr && plan->affects_routing()) {
+      detail::route_greedy_fault(mesh, region, ar, in_flight, stats);
+      span.set_steps(stats.steps);
+      return stats;
     }
 
     // Stripe team: contiguous row bands, one pool thread each. Serial when

@@ -20,6 +20,11 @@ struct RouteStats {
   i64 max_queue = 0;      ///< peak per-node transit queue occupancy
   i64 packets = 0;        ///< packets routed
   i64 total_distance = 0; ///< sum of source-destination Manhattan distances
+  // Fault-injection accounting (all zero without an active fault plan that
+  // affects routing; see fault/plan.hpp for the event semantics).
+  i64 fault_retried = 0;  ///< hop attempts blocked by stall backoff or drops
+  i64 fault_dropped = 0;  ///< link-level drops (detected and retransmitted)
+  i64 fault_detoured = 0; ///< hops taken off the XY path around dead links
 };
 
 /// Routes every packet buffered in `region` to its Packet::dest node buffer.
@@ -30,6 +35,31 @@ struct RouteStats {
 /// sweep; results, RouteStats, and the congestion counter grids are
 /// bit-identical to the serial path at any thread count (see DESIGN.md §9
 /// for the determinism argument).
+///
+/// When the mesh carries a fault plan that affects routing (dead or stalled
+/// links, a positive drop rate), the call switches to the serial fault-aware
+/// kernel (greedy_fault.cpp): stalled hops back off and retry, dead links are
+/// detoured, drops are retransmitted — no packet is ever lost. Plans that
+/// only kill memory modules stay on the fast path, so their step counts are
+/// bit-identical to the fault-free run.
 RouteStats route_greedy(Mesh& mesh, const Region& region);
+
+/// Test hook: extra per-node queue capacity laid out beyond the setup-time
+/// maximum depth (default 2). Raising it pre-grows the arena so the overflow
+/// grow path never triggers; the adversarial-burst tests compare the two
+/// configurations for bit-identical delivery. Not thread-safe; set it before
+/// spawning work.
+void set_route_initial_headroom(i64 slots);
+i64 route_initial_headroom();
+
+namespace detail {
+/// Serial fault-aware greedy kernel. Called by route_greedy after arena
+/// setup; `in_flight` is the number of in-transit records already scattered
+/// into `ar`'s queues. Fills steps/max_queue/fault_* of `stats` and adds the
+/// fault events to mesh.fault_tally(). Throws fault::FaultError if the plan
+/// leaves some packet unroutable (step cap exceeded).
+void route_greedy_fault(Mesh& mesh, const Region& region, RouteArena& ar,
+                        i64 in_flight, RouteStats& stats);
+}  // namespace detail
 
 }  // namespace meshpram

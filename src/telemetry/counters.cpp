@@ -13,6 +13,8 @@ void MeshCounters::resize(int rows, int cols) {
   forwarded_.assign(n, 0);
   copies_touched_.assign(n, 0);
   survivors_.assign(n, 0);
+  retries_.assign(n, 0);
+  copies_lost_.assign(n, 0);
 }
 
 void MeshCounters::reset() {
@@ -20,6 +22,8 @@ void MeshCounters::reset() {
   forwarded_.assign(forwarded_.size(), 0);
   copies_touched_.assign(copies_touched_.size(), 0);
   survivors_.assign(survivors_.size(), 0);
+  retries_.assign(retries_.size(), 0);
+  copies_lost_.assign(copies_lost_.size(), 0);
 }
 
 }  // namespace meshpram::telemetry

@@ -1,10 +1,13 @@
 // Per-node congestion counters for the simulated mesh (DESIGN.md §8).
 //
-// Four counters per node, accumulated by the instrumented hot loops:
+// Six counters per node, accumulated by the instrumented hot loops:
 //   max_queue       — peak transit-queue depth the node ever saw (routing)
 //   forwarded       — packets the node forwarded over its links (routing)
 //   copies_touched  — copy slots read/written at the node (access stage 1)
 //   survivors       — copies CULLING finally selected at the node
+//   retries         — hop attempts the node retried under fault injection
+//                     (stall backoff and link-level drop retransmissions)
+//   copies_lost     — requested copies living on the node's dead module
 //
 // Determinism: counter updates come either from sequential per-node loops or
 // from region workers that own the node under the disjoint-region rule
@@ -49,11 +52,19 @@ class MeshCounters {
   void add_survivors(i32 node, i64 n) {
     survivors_[static_cast<size_t>(node)] += n;
   }
+  void add_retries(i32 node, i64 n) {
+    retries_[static_cast<size_t>(node)] += n;
+  }
+  void add_copies_lost(i32 node, i64 n) {
+    copies_lost_[static_cast<size_t>(node)] += n;
+  }
 
   const std::vector<i64>& max_queue() const { return max_queue_; }
   const std::vector<i64>& forwarded() const { return forwarded_; }
   const std::vector<i64>& copies_touched() const { return copies_touched_; }
   const std::vector<i64>& survivors() const { return survivors_; }
+  const std::vector<i64>& retries() const { return retries_; }
+  const std::vector<i64>& copies_lost() const { return copies_lost_; }
 
  private:
   int rows_ = 0;
@@ -62,6 +73,8 @@ class MeshCounters {
   std::vector<i64> forwarded_;
   std::vector<i64> copies_touched_;
   std::vector<i64> survivors_;
+  std::vector<i64> retries_;
+  std::vector<i64> copies_lost_;
 };
 
 }  // namespace meshpram::telemetry

@@ -97,13 +97,15 @@ void write_chrome_trace(const std::string& path) {
 }
 
 void write_heatmap_csv(const MeshCounters& counters, std::ostream& os) {
-  os << "node,row,col,max_queue,forwarded,copies_touched,survivors\n";
+  os << "node,row,col,max_queue,forwarded,copies_touched,survivors,"
+        "retries,copies_lost\n";
   for (i64 node = 0; node < counters.nodes(); ++node) {
     const auto i = static_cast<size_t>(node);
     os << node << ',' << node / counters.cols() << ',' << node % counters.cols()
        << ',' << counters.max_queue()[i] << ',' << counters.forwarded()[i]
        << ',' << counters.copies_touched()[i] << ','
-       << counters.survivors()[i] << '\n';
+       << counters.survivors()[i] << ',' << counters.retries()[i] << ','
+       << counters.copies_lost()[i] << '\n';
   }
 }
 

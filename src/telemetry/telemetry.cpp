@@ -7,6 +7,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "util/env.hpp"
 #include "util/error.hpp"
 
 namespace meshpram::telemetry {
@@ -18,6 +19,7 @@ const char* cat_name(Cat cat) {
     case Cat::Phase: return "phase";
     case Cat::Region: return "region";
     case Cat::Counter: return "counter";
+    case Cat::Fault: return "fault";
   }
   return "?";
 }
@@ -62,9 +64,8 @@ struct Registry {
 Registry& registry() {
   static Registry* r = [] {
     auto* reg = new Registry;
-    if (const char* env = std::getenv("MESHPRAM_TRACE_CAPACITY")) {
-      const long long n = std::atoll(env);
-      if (n > 0) reg->capacity = static_cast<size_t>(n);
+    if (const auto n = env_i64("MESHPRAM_TRACE_CAPACITY", 1, i64{1} << 32)) {
+      reg->capacity = static_cast<size_t>(*n);
     }
     return reg;
   }();

@@ -53,6 +53,7 @@ enum class Cat : unsigned char {
   Phase,     ///< sub-phase inside a stage (sort, rank, route, drain, ...)
   Region,    ///< one parallel region-worker task
   Counter,   ///< instant value sample (StepCounter phase charges)
+  Fault,     ///< degraded-mode work (fault-aware routing, degraded CULLING)
 };
 
 /// Lower-case name used as the Chrome trace "cat" field.

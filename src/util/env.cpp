@@ -1,0 +1,28 @@
+#include "util/env.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "util/log.hpp"
+
+namespace meshpram {
+
+std::optional<i64> env_i64(const char* name, i64 min, i64 max) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0' || errno == ERANGE) {
+    MP_WARN(name << "='" << raw << "' is not an integer; ignoring it");
+    return std::nullopt;
+  }
+  if (v < min || v > max) {
+    MP_WARN(name << '=' << v << " outside [" << min << ", " << max
+                 << "]; ignoring it");
+    return std::nullopt;
+  }
+  return static_cast<i64>(v);
+}
+
+}  // namespace meshpram

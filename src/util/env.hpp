@@ -1,0 +1,22 @@
+// Checked environment-variable parsing.
+//
+// The tuning knobs (MESHPRAM_THREADS, MESHPRAM_STRIPE_MIN_NODES,
+// MESHPRAM_BENCH_MAX_SIDE, ...) used to go through atoi/atoll, which silently
+// turn garbage into 0 and wrap negatives into nonsense thresholds. env_i64
+// parses strictly: the whole value must be a decimal integer within
+// [min, max]; anything else logs one warning naming the variable and returns
+// nullopt so the caller falls back to its default.
+#pragma once
+
+#include <optional>
+
+#include "util/math.hpp"
+
+namespace meshpram {
+
+/// Value of environment variable `name` as an integer in [min, max], or
+/// nullopt when the variable is unset, empty, non-numeric (including trailing
+/// junk), or out of range. Every rejected set value logs a warning.
+std::optional<i64> env_i64(const char* name, i64 min, i64 max);
+
+}  // namespace meshpram

@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/env.hpp"
 #include "util/error.hpp"
 
 namespace meshpram {
@@ -157,9 +158,8 @@ void ThreadPool::for_each_chunk(i64 count, i64 min_grain,
 namespace {
 
 int default_threads() {
-  if (const char* env = std::getenv("MESHPRAM_THREADS")) {
-    const int n = std::atoi(env);
-    if (n >= 1) return n;
+  if (const auto n = env_i64("MESHPRAM_THREADS", 1, 4096)) {
+    return static_cast<int>(*n);
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw >= 1 ? static_cast<int>(hw) : 1;

@@ -486,6 +486,91 @@ TEST(Greedy, StripedHotSpotMatchesSerial) {
   });
 }
 
+TEST(Greedy, ArenaGrowMatchesPreGrownArena) {
+  // Adversarial convergence burst: every node fires 6 packets at a 2-node
+  // hot spot, so arrival queues overflow the initial arena layout (setup
+  // depth 6 + default headroom 2) and the in-place grow path runs. A second
+  // mesh routes the identical workload with the arena pre-grown far past the
+  // peak queue (headroom 512, grow never triggers); stats and node-by-node
+  // delivery order must be bit-identical.
+  const auto load = [](Mesh& mesh) {
+    int i = 0;
+    for (i32 id = 0; id < mesh.size(); ++id) {
+      for (int j = 0; j < 6; ++j) {
+        Packet p = mk(0, i++, id);
+        p.dest = mesh.node_id({4, 4 + (id + j) % 2});
+        mesh.buf(id).push_back(p);
+      }
+    }
+  };
+  Mesh grown(8, 8), pre(8, 8);
+  load(grown);
+  load(pre);
+
+  ASSERT_EQ(route_initial_headroom(), 2);  // default: grow path will trigger
+  const RouteStats gs = route_greedy(grown, grown.whole());
+  // Peak queue beyond setup depth + headroom proves the arena actually grew.
+  ASSERT_GT(gs.max_queue, 6 + 2);
+
+  set_route_initial_headroom(512);
+  const RouteStats ps = route_greedy(pre, pre.whole());
+  set_route_initial_headroom(2);
+
+  EXPECT_EQ(gs.steps, ps.steps);
+  EXPECT_EQ(gs.max_queue, ps.max_queue);
+  EXPECT_EQ(gs.packets, ps.packets);
+  EXPECT_EQ(gs.total_distance, ps.total_distance);
+  for (i32 id = 0; id < grown.size(); ++id) {
+    const auto& bg = grown.buf(id);
+    const auto& bp = pre.buf(id);
+    ASSERT_EQ(bg.size(), bp.size()) << "node " << id;
+    for (size_t i = 0; i < bg.size(); ++i) {
+      EXPECT_EQ(bg[i].var, bp[i].var) << "node " << id << " slot " << i;
+      EXPECT_EQ(bg[i].origin, bp[i].origin) << "node " << id << " slot " << i;
+    }
+  }
+}
+
+TEST(Greedy, ArenaGrowUnderStripesMatchesPreGrown) {
+  // Same adversarial burst on a forced stripe team: overflow takes the
+  // spill-and-merge path (workers may not resize the shared slab) instead of
+  // the serial in-place grow. Pre-growing must again change nothing.
+  Mesh grown(16, 16), pre(16, 16);
+  const auto load = [](Mesh& mesh) {
+    int i = 0;
+    for (i32 id = 0; id < mesh.size(); ++id) {
+      for (int j = 0; j < 6; ++j) {
+        Packet p = mk(0, i++, id);
+        p.dest = mesh.node_id({8, 7 + (id + j) % 2});
+        mesh.buf(id).push_back(p);
+      }
+    }
+  };
+  load(grown);
+  load(pre);
+
+  set_execution_threads(4);
+  set_stripe_min_nodes(1);
+  const RouteStats gs = route_greedy(grown, grown.whole());
+  ASSERT_GT(gs.max_queue, 6 + 2);
+  set_route_initial_headroom(1024);
+  const RouteStats ps = route_greedy(pre, pre.whole());
+  set_route_initial_headroom(2);
+  set_stripe_min_nodes(0);
+  set_execution_threads(0);
+
+  EXPECT_EQ(gs.steps, ps.steps);
+  EXPECT_EQ(gs.max_queue, ps.max_queue);
+  for (i32 id = 0; id < grown.size(); ++id) {
+    const auto& bg = grown.buf(id);
+    const auto& bp = pre.buf(id);
+    ASSERT_EQ(bg.size(), bp.size()) << "node " << id;
+    for (size_t i = 0; i < bg.size(); ++i) {
+      EXPECT_EQ(bg[i].origin, bp[i].origin) << "node " << id << " slot " << i;
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // (l1,l2)-routing strategies.
 // ---------------------------------------------------------------------------

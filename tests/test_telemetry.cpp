@@ -113,7 +113,9 @@ TEST(Telemetry, EmptyTraceExportsAreWellFormed) {
   telemetry::write_heatmap_csv(counters, csv);
   std::string header;
   std::getline(csv, header);
-  EXPECT_EQ(header, "node,row,col,max_queue,forwarded,copies_touched,survivors");
+  EXPECT_EQ(header,
+            "node,row,col,max_queue,forwarded,copies_touched,survivors,"
+            "retries,copies_lost");
   int rows = 0;
   for (std::string line; std::getline(csv, line);) {
     if (!line.empty()) ++rows;
@@ -233,15 +235,22 @@ TEST(Telemetry, HeatmapCsvMatchesCounters) {
   telemetry::write_heatmap_csv(c, csv);
   std::string header;
   std::getline(csv, header);
-  EXPECT_EQ(header, "node,row,col,max_queue,forwarded,copies_touched,survivors");
+  EXPECT_EQ(header,
+            "node,row,col,max_queue,forwarded,copies_touched,survivors,"
+            "retries,copies_lost");
   i64 csv_rows = 0;
   i64 csv_survivors = 0;
   for (std::string line; std::getline(csv, line);) {
     if (line.empty()) continue;
     ++csv_rows;
-    const size_t pos = line.rfind(',');
-    ASSERT_NE(pos, std::string::npos);
-    csv_survivors += std::stoll(line.substr(pos + 1));
+    // survivors is the 7th of the 9 columns.
+    size_t pos = 0;
+    for (int field = 0; field < 6; ++field) {
+      pos = line.find(',', pos);
+      ASSERT_NE(pos, std::string::npos);
+      ++pos;
+    }
+    csv_survivors += std::stoll(line.substr(pos));
   }
   EXPECT_EQ(csv_rows, c.nodes());
   EXPECT_EQ(csv_survivors, survivors);

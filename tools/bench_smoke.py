@@ -18,6 +18,7 @@ change is a semantic change, not noise, and always fails the gate.
 import argparse
 import json
 import os
+import re
 import subprocess
 import sys
 import tempfile
@@ -29,7 +30,12 @@ REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BENCHES = [
     "simulation_mid_mem",
     "routing_general",
+    "fault_sweep",
 ]
+
+
+class SmokeError(Exception):
+    """A setup problem worth a one-line explanation, not a stack trace."""
 
 
 def run(cmd, **kw):
@@ -37,10 +43,28 @@ def run(cmd, **kw):
     subprocess.run(cmd, check=True, **kw)
 
 
-def load_points(path):
+def current_schema_version():
+    """kSchemaVersion from bench/recorder.hpp — the schema this tree writes."""
+    path = os.path.join(REPO, "bench", "recorder.hpp")
     with open(path) as f:
-        doc = json.load(f)
-    return {p["config"]: p for p in doc["points"]}
+        m = re.search(r"kSchemaVersion\s*=\s*(\d+)", f.read())
+    if not m:
+        raise SmokeError(f"could not find kSchemaVersion in {path}")
+    return int(m.group(1))
+
+
+def load_doc(path, label):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except FileNotFoundError:
+        raise SmokeError(f"{label} not found at {path}") from None
+    except json.JSONDecodeError as e:
+        raise SmokeError(f"{label} at {path} is not valid JSON: {e}") from None
+
+
+def load_points(path, label):
+    return {p["config"]: p for p in load_doc(path, label)["points"]}
 
 
 def main():
@@ -58,25 +82,44 @@ def main():
         run(["cmake", "--preset", "bench-smoke"], cwd=REPO)
         run(["cmake", "--build", "--preset", "bench-smoke", "-j"], cwd=REPO)
 
+    schema = current_schema_version()
     failures = []
+    fresh_docs = {}
     with tempfile.TemporaryDirectory() as tmp:
         env = dict(os.environ)
         env["MESHPRAM_BENCH_DIR"] = tmp
         env["MESHPRAM_BENCH_MAX_SIDE"] = str(args.max_side)
+        # A committed MESHPRAM_FAULT_PLAN would skew every bench; the gate
+        # always measures the fault-free configuration.
+        env.pop("MESHPRAM_FAULT_PLAN", None)
 
         for bench in BENCHES:
             baseline_path = os.path.join(REPO, f"BENCH_{bench}.json")
             if not os.path.exists(baseline_path):
-                print(f"[skip] {bench}: no committed BENCH_{bench}.json")
+                print(f"[skip] {bench}: no committed BENCH_{bench}.json at "
+                      f"the repo root — run bench_{bench} from a Release "
+                      f"build and commit its output to enable this gate")
                 continue
             binary = os.path.join(build_dir, "bench", f"bench_{bench}")
             if not os.path.exists(binary):
                 print(f"[skip] {bench}: binary not built at {binary}")
                 continue
 
+            base_doc = load_doc(baseline_path,
+                                f"committed {bench} baseline")
+            base_schema = base_doc.get("schema_version", 1)
+            if base_schema < schema:
+                raise SmokeError(
+                    f"committed BENCH_{bench}.json uses schema_version "
+                    f"{base_schema}, older than the current recorder "
+                    f"({schema}); regenerate it by running bench_{bench} "
+                    f"from a Release build and commit the fresh file")
+
             run([binary], env=env, stdout=subprocess.DEVNULL)
-            fresh = load_points(os.path.join(tmp, f"BENCH_{bench}.json"))
-            base = load_points(baseline_path)
+            fresh = load_points(os.path.join(tmp, f"BENCH_{bench}.json"),
+                                f"fresh {bench} output")
+            base = {p["config"]: p for p in base_doc["points"]}
+            fresh_docs[bench] = fresh
 
             shared = sorted(set(fresh) & set(base))
             if not shared:
@@ -100,6 +143,22 @@ def main():
                     f"{bench}: wall-clock regressed x{ratio:.2f} "
                     f"(> x{1.0 + args.threshold:.2f} allowed)")
 
+        # Degraded-mode equivalence gate: the rate-0 points of the fault
+        # sweep run the same seeds and configs as simulation_mid_mem, so an
+        # empty fault plan must cost exactly zero extra mesh steps.
+        if "fault_sweep" in fresh_docs and "simulation_mid_mem" in fresh_docs:
+            mid = fresh_docs["simulation_mid_mem"]
+            zero_rate = [c for c in fresh_docs["fault_sweep"]
+                         if " rate=" not in c]
+            for c in sorted(set(zero_rate) & set(mid)):
+                fs = fresh_docs["fault_sweep"][c]["mesh_steps"]
+                ms = mid[c]["mesh_steps"]
+                if fs != ms:
+                    failures.append(
+                        f"fault_sweep/{c}: rate-0 mesh_steps {fs} != "
+                        f"simulation_mid_mem {ms} — the fault-free fast "
+                        f"path is no longer bit-identical")
+
     if failures:
         print("\nBENCH SMOKE FAILED:")
         for f in failures:
@@ -110,4 +169,8 @@ def main():
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except SmokeError as e:
+        print(f"bench smoke: {e}", file=sys.stderr)
+        sys.exit(1)
