@@ -1,0 +1,288 @@
+// EXP-S1 — multi-session serving (DESIGN.md §11): fair-scheduler multiplexing
+// overhead, admission control under over-capacity open-loop load, and
+// snapshot/restore parity, all in one deterministic record.
+//
+// Three scenario families, every mesh_steps value thread-count invariant:
+//   multiplex — 8 sessions interleaved round-robin through the FairScheduler;
+//     the binary re-runs every session's workload on a solo simulator and
+//     aborts unless values and counted steps match bit for bit (the "shared
+//     service costs nothing in determinism" claim). A second run on a
+//     scheduler-owned 2-thread pool (ScopedPool injection) must agree too.
+//   overload — seeded Poisson load at ~3x service capacity through the wire
+//     API; the recorded points include explicit rejection and peak-queue
+//     counts (in the mesh_steps field so tools/bench_smoke.py pins them):
+//     bounded queues + rejected-with-reason, never unbounded growth.
+//   snapshot — mid-workload snapshot over the wire, restore into a fresh
+//     manager/scheduler stack, remaining workload must reproduce exactly.
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "serve/api.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/manager.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/snapshot.hpp"
+#include "util/table.hpp"
+
+using namespace meshpram;
+using namespace meshpram::benchutil;
+using namespace meshpram::serve;
+
+namespace {
+
+SimConfig serve_config(int side) {
+  SimConfig cfg;
+  cfg.mesh_rows = side;
+  cfg.mesh_cols = side;
+  const i64 n = static_cast<i64>(side) * side;
+  cfg.num_vars = n * 8;
+  cfg.q = 3;
+  cfg.k = 2;
+  cfg.sort_mode = SortMode::Analytic;
+  return cfg;
+}
+
+/// Session s, step t: alternating write/read EREW steps from a per-session
+/// seeded stream (pure function of (side, s, t)).
+std::vector<AccessRequest> session_step(const SimConfig& cfg, i64 session,
+                                        i64 step) {
+  Rng rng(10007u * static_cast<u64>(session) + static_cast<u64>(step) + 1);
+  const i64 n = static_cast<i64>(cfg.mesh_rows) * cfg.mesh_cols;
+  return random_requests(n, cfg.num_vars, rng,
+                         step % 2 == 0 ? Op::Write : Op::Read);
+}
+
+struct MultiplexResult {
+  i64 total_mesh_steps = 0;
+  double wall_ms = 0;
+};
+
+/// Runs sessions*steps requests through a FairScheduler and checks every
+/// response against a solo serial run of the same session workload.
+MultiplexResult run_multiplex(int side, i64 sessions, i64 steps,
+                              int pool_threads) {
+  const SimConfig cfg = serve_config(side);
+  SessionManager mgr;
+  std::vector<u32> ids;
+  for (i64 s = 0; s < sessions; ++s) {
+    ids.push_back(mgr.create("m" + std::to_string(s), cfg).id());
+  }
+  SchedulerConfig scfg;
+  scfg.threads = pool_threads;
+  scfg.global_inflight = sessions * steps + 1;
+  FairScheduler sched(mgr, scfg);
+  std::map<u64, Response> done;
+  sched.set_completion_sink([&done](Response&& r) {
+    done[r.id] = std::move(r);
+  });
+
+  const WallTimer timer;
+  for (i64 t = 0; t < steps; ++t) {
+    for (i64 s = 0; s < sessions; ++s) {
+      Request req;
+      req.id = static_cast<u64>(s * 10000 + t);
+      req.accesses = session_step(cfg, s, t);
+      const Admission verdict =
+          sched.submit(ids[static_cast<size_t>(s)], std::move(req));
+      if (!verdict.accepted) {
+        std::cerr << "multiplex admission failed: " << verdict.reason << '\n';
+        std::exit(1);
+      }
+    }
+  }
+  sched.run_until_idle();
+  MultiplexResult out;
+  out.wall_ms = timer.ms();
+
+  // Solo parity: each session's workload alone must match bit for bit.
+  for (i64 s = 0; s < sessions; ++s) {
+    PramMeshSimulator solo(cfg);
+    for (i64 t = 0; t < steps; ++t) {
+      StepStats st;
+      const std::vector<i64> want = solo.step(session_step(cfg, s, t), &st);
+      const auto it = done.find(static_cast<u64>(s * 10000 + t));
+      if (it == done.end() || !it->second.ok ||
+          it->second.values != want || it->second.mesh_steps != st.total_steps) {
+        std::cerr << "multiplex/solo mismatch: session " << s << " step " << t
+                  << '\n';
+        std::exit(1);
+      }
+      out.total_mesh_steps += st.total_steps;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  set_log_level(LogLevel::Error);  // the t_i<1 warning is expected here
+  std::cout << "=== EXP-S1: multi-session serving (fair scheduler, admission "
+               "control, snapshot/restore) ===\n";
+  BenchRecorder rec("serve_multisession");
+
+  // ---- multiplex: 8 sessions, round-robin, solo-parity enforced ----------
+  Table mt({"side", "sessions", "steps", "pool", "T_sim_total", "wall_ms"});
+  for (const int side : {8, 16}) {
+    if (side > bench_max_side()) continue;
+    const i64 sessions = 8;
+    const i64 steps = 4;
+    const MultiplexResult ambient = run_multiplex(side, sessions, steps, 0);
+    const MultiplexResult pooled = run_multiplex(side, sessions, steps, 2);
+    if (pooled.total_mesh_steps != ambient.total_mesh_steps) {
+      std::cerr << "pooled scheduler changed counted steps\n";
+      return 1;
+    }
+    mt.add(side, sessions, steps, "ambient", ambient.total_mesh_steps,
+           ambient.wall_ms);
+    mt.add(side, sessions, steps, "owned:2", pooled.total_mesh_steps,
+           pooled.wall_ms);
+    const std::string tag = "multiplex side=" + std::to_string(side) +
+                            " sessions=8 steps=4";
+    rec.point(tag, ambient.wall_ms, ambient.total_mesh_steps);
+    rec.point(tag + " pooled", pooled.wall_ms, pooled.total_mesh_steps);
+  }
+  mt.print(std::cout);
+
+  // ---- overload: open-loop Poisson at ~3x capacity through the wire API --
+  {
+    const SimConfig cfg = serve_config(8);
+    SessionManager mgr;
+    SessionLimits limits;
+    limits.queue_capacity = 8;
+    std::vector<std::string> names;
+    std::vector<SessionShape> shapes;
+    for (i64 s = 0; s < 4; ++s) {
+      Session& sess = mgr.create("ov" + std::to_string(s), cfg, limits);
+      names.push_back(sess.name());
+      shapes.push_back({sess.sim().processors(), sess.sim().num_vars()});
+    }
+    SchedulerConfig scfg;
+    scfg.global_inflight = 24;
+    FairScheduler sched(mgr, scfg);
+    LoopbackDriver driver(mgr, sched);
+
+    LoadgenConfig lg;
+    lg.requests = 200;
+    lg.arrivals_per_slice = 6.0;  // 1.5x the 4 steps/slice service capacity
+    lg.seed = 17;
+    lg.accesses_per_request = 32;
+    const LoadgenReport rep = run_loadgen(driver, sched, names, shapes, lg);
+
+    if (rep.rejected == 0 || rep.peak_queue_depth > limits.queue_capacity ||
+        rep.failed != 0) {
+      std::cerr << "overload scenario did not exercise bounded admission "
+                   "control (rejected="
+                << rep.rejected << " peak=" << rep.peak_queue_depth
+                << " failed=" << rep.failed << ")\n";
+      return 1;
+    }
+
+    Table ot({"offered", "completed", "rejected", "peak_q", "slices",
+              "p50_sl", "p95_sl", "p99_sl", "goodput/sl", "wall_ms"});
+    ot.add(rep.offered, rep.completed, rep.rejected, rep.peak_queue_depth,
+           rep.slices, rep.p50_slices, rep.p95_slices, rep.p99_slices,
+           rep.goodput_per_slice, rep.wall_seconds * 1000.0);
+    ot.print(std::cout);
+
+    // Deterministic admission-control evidence: counts ride in the
+    // mesh_steps field so the smoke gate pins them exactly.
+    const std::string tag = "overload sessions=4 cap=8 rate=6";
+    rec.point(tag + " completed", rep.wall_seconds * 1000.0, rep.completed);
+    rec.point(tag + " rejected", 0, rep.rejected);
+    rec.point(tag + " peak_queue", 0, rep.peak_queue_depth);
+    rec.point(tag + " slices", 0, rep.slices);
+    rec.point(tag + " mesh_steps", 0, rep.total_mesh_steps);
+    rec.point(tag + " p95_slices_x100", 0,
+              static_cast<i64>(rep.p95_slices * 100.0 + 0.5));
+  }
+
+  // ---- snapshot: capture over the wire, restore, finish bit-identically --
+  {
+    const SimConfig cfg = serve_config(8);
+    SessionManager mgr;
+    Session& s = mgr.create("snap", cfg);
+    FairScheduler sched(mgr);
+    LoopbackDriver driver(mgr, sched);
+    std::map<u64, Response> done;
+    sched.set_completion_sink([&done](Response&& r) {
+      done[r.id] = std::move(r);
+    });
+
+    const i64 prefix = 3, remaining = 3;
+    for (i64 t = 0; t < prefix; ++t) {
+      Request req;
+      req.id = static_cast<u64>(t);
+      req.accesses = session_step(cfg, 99, t);
+      sched.submit(s.id(), std::move(req));
+    }
+    sched.run_until_idle();
+
+    driver.submit(encode_control(MsgType::Snapshot, 1000, "snap"));
+    const auto frames = driver.poll();
+    std::string_view buf = frames.back();
+    const WireResponse snap = decode_response(*next_frame(buf));
+    if (!snap.ok || snap.snapshot_bytes.empty()) {
+      std::cerr << "snapshot over the wire failed: " << snap.error << '\n';
+      return 1;
+    }
+
+    // Original finishes its remaining workload...
+    i64 want_steps = 0;
+    for (i64 t = prefix; t < prefix + remaining; ++t) {
+      Request req;
+      req.id = static_cast<u64>(t);
+      req.accesses = session_step(cfg, 99, t);
+      sched.submit(s.id(), std::move(req));
+    }
+    sched.run_until_idle();
+    for (i64 t = prefix; t < prefix + remaining; ++t) {
+      want_steps += done[static_cast<u64>(t)].mesh_steps;
+    }
+
+    // ...and a fresh stack restored from the bytes must reproduce it.
+    const WallTimer timer;
+    SessionManager mgr2;
+    Session& r = mgr2.restore("snap2", snap.snapshot_bytes);
+    FairScheduler sched2(mgr2);
+    std::map<u64, Response> done2;
+    sched2.set_completion_sink([&done2](Response&& resp) {
+      done2[resp.id] = std::move(resp);
+    });
+    for (i64 t = prefix; t < prefix + remaining; ++t) {
+      Request req;
+      req.id = static_cast<u64>(t);
+      req.accesses = session_step(cfg, 99, t);
+      sched2.submit(r.id(), std::move(req));
+    }
+    sched2.run_until_idle();
+    const double restore_ms = timer.ms();
+
+    i64 got_steps = 0;
+    for (i64 t = prefix; t < prefix + remaining; ++t) {
+      const Response& a = done[static_cast<u64>(t)];
+      const Response& b = done2[static_cast<u64>(t)];
+      if (a.values != b.values || a.mesh_steps != b.mesh_steps) {
+        std::cerr << "restored run diverged at step " << t << '\n';
+        return 1;
+      }
+      got_steps += b.mesh_steps;
+    }
+    if (got_steps != want_steps) {
+      std::cerr << "restored run step totals diverged\n";
+      return 1;
+    }
+    Table st({"prefix", "remaining", "T_sim_remaining", "restore+run_ms"});
+    st.add(prefix, remaining, got_steps, restore_ms);
+    st.print(std::cout);
+    rec.point("snapshot side=8 prefix=3 remaining=3", restore_ms, got_steps);
+  }
+
+  rec.write();
+  std::cout << "wrote " << rec.output_path() << '\n';
+  return 0;
+}

@@ -183,8 +183,8 @@ inline SimPoint measure_sim_step(int side, i64 M, i64 q, int k, u64 seed,
   // measured step and drops TRACE_<config>.json (Chrome trace) plus
   // TRACE_<config>.csv (congestion heatmap) into <dir>. A no-op in
   // MESHPRAM_TELEMETRY=OFF builds.
-  const char* trace_dir = std::getenv("MESHPRAM_TRACE_DIR");
-  if (trace_dir != nullptr && *trace_dir != '\0') {
+  const std::optional<std::string> trace_dir = env_str("MESHPRAM_TRACE_DIR");
+  if (trace_dir) {
     telemetry::clear();
     telemetry::set_enabled(true);
   }
@@ -193,12 +193,12 @@ inline SimPoint measure_sim_step(int side, i64 M, i64 q, int k, u64 seed,
   sim.step(reqs, &st);
   SimPoint p;
   p.wall_ms = timer.ms();
-  if (trace_dir != nullptr && *trace_dir != '\0') {
+  if (trace_dir) {
     telemetry::set_enabled(false);
     const std::string tag = "side" + std::to_string(side) + "_M" +
                             std::to_string(M) + "_k" + std::to_string(k) +
                             (adversarial ? "_adv" : "");
-    const std::string base = std::string(trace_dir) + "/TRACE_" + tag;
+    const std::string base = *trace_dir + "/TRACE_" + tag;
     telemetry::write_chrome_trace(base + ".json");
     telemetry::write_heatmap_csv(sim.mesh().counters(), base + ".csv");
   }

@@ -14,11 +14,11 @@
 #pragma once
 
 #include <chrono>
-#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "util/env.hpp"
 #include "util/math.hpp"
 #include "util/thread_pool.hpp"
 
@@ -42,9 +42,7 @@ class WallTimer {
 /// Directory BENCH_<name>.json files land in; see the header comment for
 /// the precedence order.
 inline std::string bench_output_dir() {
-  if (const char* dir = std::getenv("MESHPRAM_BENCH_DIR")) {
-    if (*dir != '\0') return dir;
-  }
+  if (const auto dir = env_str("MESHPRAM_BENCH_DIR")) return *dir;
 #ifdef MESHPRAM_REPO_ROOT
   return MESHPRAM_REPO_ROOT;
 #else

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "util/env.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -231,9 +232,9 @@ FaultPlan FaultPlan::parse(int rows, int cols, std::string_view spec) {
 }
 
 FaultPlan FaultPlan::from_env(int rows, int cols) {
-  const char* env = std::getenv("MESHPRAM_FAULT_PLAN");
-  if (env == nullptr || *env == '\0') return FaultPlan(rows, cols);
-  FaultPlan plan = parse(rows, cols, env);
+  const std::optional<std::string> env = env_str("MESHPRAM_FAULT_PLAN");
+  if (!env) return FaultPlan(rows, cols);
+  FaultPlan plan = parse(rows, cols, *env);
   MP_INFO("MESHPRAM_FAULT_PLAN active: " << plan.summary());
   return plan;
 }
@@ -243,6 +244,83 @@ void FaultPlan::validate() const {
   const i64 n = static_cast<i64>(rows_) * cols_;
   MP_REQUIRE(dead_node_count_ < n, "fault plan kills every node");
   MP_REQUIRE(dead_module_count_ < n, "fault plan kills every memory module");
+}
+
+void FaultPlan::serialize(ByteWriter& w) const {
+  ensure_sized();
+  w.put_u32(static_cast<u32>(rows_));
+  w.put_u32(static_cast<u32>(cols_));
+  // Dead entities as index lists (index order, so the bytes are canonical).
+  const auto put_set = [&w](const std::vector<unsigned char>& cells) {
+    u32 count = 0;
+    for (const unsigned char c : cells) count += c != 0;
+    w.put_u32(count);
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (cells[i] != 0) w.put_u32(static_cast<u32>(i));
+    }
+  };
+  put_set(node_dead_);
+  put_set(module_dead_);
+  put_set(link_dead_);
+  w.put_u32(static_cast<u32>(stalls_.size()));
+  for (const StallWindow& s : stalls_) {
+    w.put_u32(static_cast<u32>(s.node));
+    w.put_u8(static_cast<unsigned char>(s.dir));
+    w.put_i64(s.pram_from);
+    w.put_i64(s.pram_to);
+    w.put_i64(s.route_from);
+    w.put_i64(s.route_to);
+  }
+  w.put_f64(drop_rate_);
+  w.put_u64(drop_seed_);
+}
+
+FaultPlan FaultPlan::deserialize(ByteReader& r) {
+  const u32 rows = r.get_u32();
+  const u32 cols = r.get_u32();
+  MP_REQUIRE(rows >= 1 && cols >= 1 && rows <= 1u << 20 && cols <= 1u << 20,
+             "fault plan encoding: implausible mesh " << rows << 'x' << cols);
+  FaultPlan plan(static_cast<int>(rows), static_cast<int>(cols));
+  const auto get_set = [&r](std::vector<unsigned char>& cells, i64& count,
+                            const char* what) {
+    const u32 n = r.get_u32();
+    for (u32 i = 0; i < n; ++i) {
+      const u32 idx = r.get_u32();
+      MP_REQUIRE(idx < cells.size(), "fault plan encoding: " << what
+                                        << " index " << idx << " out of range");
+      MP_REQUIRE(cells[idx] == 0,
+                 "fault plan encoding: duplicate " << what << " index " << idx);
+      cells[idx] = 1;
+      ++count;
+    }
+  };
+  get_set(plan.node_dead_, plan.dead_node_count_, "dead node");
+  get_set(plan.module_dead_, plan.dead_module_count_, "dead module");
+  get_set(plan.link_dead_, plan.dead_link_count_, "dead link");
+  const u32 stalls = r.get_u32();
+  for (u32 i = 0; i < stalls; ++i) {
+    StallWindow s;
+    const u32 node = r.get_u32();
+    MP_REQUIRE(node < static_cast<u64>(rows) * cols,
+               "fault plan encoding: stall node " << node);
+    s.node = static_cast<i32>(node);
+    const unsigned char dir = r.get_u8();
+    MP_REQUIRE(dir < kNumDirs, "fault plan encoding: stall direction "
+                                   << static_cast<int>(dir));
+    s.dir = static_cast<Dir>(dir);
+    s.pram_from = r.get_i64();
+    s.pram_to = r.get_i64();
+    s.route_from = r.get_i64();
+    s.route_to = r.get_i64();
+    // Raw windows were recorded per direction already (add_stall mirrors
+    // them), so restore the vector and the per-link bit directly.
+    plan.stalls_.push_back(s);
+    plan.link_stalled_[plan.link_index(s.node, s.dir)] = 1;
+  }
+  const double drop_rate = r.get_f64();
+  const u64 drop_seed = r.get_u64();
+  if (drop_rate > 0) plan.set_drop_rate(drop_rate, drop_seed);
+  return plan;
 }
 
 std::string FaultPlan::summary() const {

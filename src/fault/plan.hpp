@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "mesh/geometry.hpp"
+#include "util/bytes.hpp"
 #include "util/math.hpp"
 
 namespace meshpram::fault {
@@ -172,6 +173,13 @@ class FaultPlan {
 
   /// Human-readable one-liner for logs and bench tables.
   std::string summary() const;
+
+  /// Appends a self-contained binary encoding of the plan (the serve
+  /// snapshot format embeds it, so a restored session reproduces the exact
+  /// fault behaviour without re-reading MESHPRAM_FAULT_PLAN). deserialize
+  /// reads what serialize wrote and throws ConfigError on malformed input.
+  void serialize(ByteWriter& w) const;
+  static FaultPlan deserialize(ByteReader& r);
 
  private:
   size_t link_index(i32 node, Dir d) const {

@@ -89,6 +89,15 @@ class CopyStore {
   i64 size() const { return static_cast<i64>(count_); }
   bool empty() const { return count_ == 0; }
 
+  /// Visits every held copy as f(key, slot), in hash-table order (arbitrary
+  /// but complete). Serialization callers sort by key for canonical output.
+  template <class F>
+  void for_each(F&& f) const {
+    for (const Entry& e : entries_) {
+      if (e.key != kEmptyKey) f(e.key, e.slot);
+    }
+  }
+
  private:
   static constexpr u64 kEmptyKey = ~0ULL;
 
@@ -168,6 +177,10 @@ class Mesh {
   }
 
   CopyStore& store(i32 id) {
+    MP_REQUIRE(0 <= id && id < size(), "node id " << id);
+    return stores_[static_cast<size_t>(id)];
+  }
+  const CopyStore& store(i32 id) const {
     MP_REQUIRE(0 <= id && id < size(), "node id " << id);
     return stores_[static_cast<size_t>(id)];
   }

@@ -11,7 +11,8 @@ const telemetry::Label kPramStep = telemetry::intern("pram.step");
 
 }  // namespace
 
-PramMeshSimulator::PramMeshSimulator(const SimConfig& config) {
+PramMeshSimulator::PramMeshSimulator(const SimConfig& config)
+    : config_(config) {
   params_ = std::make_unique<HmosParams>(config.q, config.k, config.num_vars,
                                          config.mesh_rows, config.mesh_cols);
   map_ = std::make_unique<MemoryMap>(*params_);
@@ -21,13 +22,14 @@ PramMeshSimulator::PramMeshSimulator(const SimConfig& config) {
       *mesh_, *placement_, SortOptions{config.sort_mode});
   fault_policy_ = config.fault_policy;
   fault::FaultPlan plan =
-      config.fault_plan.empty()
+      config.fault_plan.empty() && config.fault_plan_from_env
           ? fault::FaultPlan::from_env(config.mesh_rows, config.mesh_cols)
           : config.fault_plan;
   if (!plan.empty()) {
     plan.validate();
     fault_plan_ = std::make_unique<fault::FaultPlan>(std::move(plan));
     mesh_->set_fault_plan(fault_plan_.get());
+    config_.fault_plan = *fault_plan_;  // retain the effective plan
   }
 }
 

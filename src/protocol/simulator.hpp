@@ -35,6 +35,10 @@ struct SimConfig {
   /// to MESHPRAM_FAULT_PLAN; if that is unset too, the run is fault-free.
   fault::FaultPlan fault_plan;
   FaultPolicy fault_policy = FaultPolicy::Degrade;
+  /// Snapshot restore sets this false: a restored simulator must reproduce
+  /// the captured run exactly, so an empty embedded plan means fault-free
+  /// even when MESHPRAM_FAULT_PLAN is set in the restoring process.
+  bool fault_plan_from_env = true;
 };
 
 /// Per-step outcome under fault injection: read values, per-processor
@@ -77,6 +81,17 @@ class PramMeshSimulator {
   /// Logical time = number of executed PRAM steps.
   i64 now() const { return now_; }
 
+  /// The configuration this simulator was built from (fault_plan holds the
+  /// effective installed plan, resolved from the env fallback if that was
+  /// the source). Rebuilding from it reproduces identical placements.
+  const SimConfig& config() const { return config_; }
+
+  /// Snapshot-restore hook (serve/snapshot.cpp): sets the logical clock of a
+  /// freshly built simulator to the captured step count so timestamps of
+  /// subsequent writes continue the original sequence. Not for general use —
+  /// rewinding time would violate the strictly-increasing timestamp contract.
+  void set_logical_time(i64 now) { now_ = now; }
+
   const HmosParams& params() const { return *params_; }
   const MemoryMap& memory_map() const { return *map_; }
   const Placement& placement() const { return *placement_; }
@@ -88,6 +103,7 @@ class PramMeshSimulator {
   FaultPolicy fault_policy() const { return fault_policy_; }
 
  private:
+  SimConfig config_;
   std::unique_ptr<HmosParams> params_;
   std::unique_ptr<MemoryMap> map_;
   std::unique_ptr<Mesh> mesh_;

@@ -44,6 +44,7 @@
 #include "routing/greedy.hpp"
 #include "routing/xy.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/env.hpp"
 #include "util/error.hpp"
 
 namespace meshpram::detail {
@@ -89,8 +90,8 @@ void route_greedy_fault(Mesh& mesh, const Region& region, RouteArena& ar,
   const auto nid_of = [&](Coord x) {
     return static_cast<i32>(x.r * mesh_cols + x.c);
   };
-  const char* tr_env = std::getenv("MESHPRAM_FAULT_TRACE");
-  const i32 trace_dest = tr_env ? std::atoi(tr_env) : -1;
+  const i32 trace_dest = static_cast<i32>(
+      env_i64("MESHPRAM_FAULT_TRACE", 0, mesh.size() - 1).value_or(-1));
 
   i64 retried = 0;
   i64 dropped = 0;

@@ -1,0 +1,358 @@
+#include "serve/api.hpp"
+
+#include <utility>
+
+#include "serve/snapshot.hpp"
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+namespace meshpram::serve {
+
+namespace {
+
+/// Frames larger than this are a protocol error, not a big request.
+constexpr u64 kMaxFrameBytes = u64{1} << 30;
+
+void put_frame_prefix(std::string& out) {
+  // Placeholder length; patched once the payload is known.
+  out.append(4, '\0');
+}
+
+void patch_frame_prefix(std::string& out) {
+  const u64 payload = out.size() - 4;
+  MP_REQUIRE(payload <= kMaxFrameBytes, "frame payload " << payload
+                                                         << " bytes");
+  for (int i = 0; i < 4; ++i) {
+    out[static_cast<size_t>(i)] =
+        static_cast<char>((payload >> (8 * i)) & 0xff);
+  }
+}
+
+void put_accesses(ByteWriter& w, const std::vector<AccessRequest>& accesses) {
+  w.put_u32(static_cast<u32>(accesses.size()));
+  for (const AccessRequest& a : accesses) {
+    w.put_i64(a.var);
+    w.put_u8(static_cast<unsigned char>(a.op));
+    w.put_i64(a.value);
+  }
+}
+
+std::vector<AccessRequest> get_accesses(ByteReader& r) {
+  const u32 n = r.get_u32();
+  std::vector<AccessRequest> out;
+  out.reserve(n);
+  for (u32 i = 0; i < n; ++i) {
+    AccessRequest a;
+    a.var = r.get_i64();
+    const unsigned char op = r.get_u8();
+    MP_REQUIRE(op <= static_cast<unsigned char>(Op::Write),
+               "frame: unknown access op " << static_cast<int>(op));
+    a.op = static_cast<Op>(op);
+    a.value = r.get_i64();
+    out.push_back(a);
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* msg_type_name(MsgType t) {
+  switch (t) {
+    case MsgType::BatchRead: return "batch_read";
+    case MsgType::BatchWrite: return "batch_write";
+    case MsgType::Step: return "step";
+    case MsgType::Snapshot: return "snapshot";
+    case MsgType::Restore: return "restore";
+    case MsgType::Stats: return "stats";
+  }
+  return "?";
+}
+
+std::string encode_request(const WireRequest& req) {
+  std::string out;
+  put_frame_prefix(out);
+  ByteWriter w(out);
+  w.put_u8(static_cast<unsigned char>(req.type));
+  w.put_u64(req.request_id);
+  w.put_str(req.session);
+  switch (req.type) {
+    case MsgType::BatchRead:
+    case MsgType::BatchWrite:
+    case MsgType::Step:
+      put_accesses(w, req.accesses);
+      break;
+    case MsgType::Restore:
+      w.put_blob(req.snapshot_bytes);
+      break;
+    case MsgType::Snapshot:
+    case MsgType::Stats:
+      break;
+  }
+  patch_frame_prefix(out);
+  return out;
+}
+
+std::string encode_response(const WireResponse& resp) {
+  std::string out;
+  put_frame_prefix(out);
+  ByteWriter w(out);
+  w.put_u8(static_cast<unsigned char>(resp.type));
+  w.put_u64(resp.request_id);
+  w.put_u8(resp.ok ? 1 : 0);
+  w.put_str(resp.error);
+  w.put_u32(static_cast<u32>(resp.values.size()));
+  for (const i64 v : resp.values) w.put_i64(v);
+  w.put_i64(resp.mesh_steps);
+  w.put_i64(resp.slice);
+  w.put_blob(resp.snapshot_bytes);
+  w.put_i64(resp.stats.steps_executed);
+  w.put_i64(resp.stats.mesh_steps);
+  w.put_i64(resp.stats.accepted);
+  w.put_i64(resp.stats.rejected);
+  w.put_i64(resp.stats.queue_depth);
+  w.put_i64(resp.stats.peak_queue_depth);
+  patch_frame_prefix(out);
+  return out;
+}
+
+std::string encode_batch_read(u64 request_id, const std::string& session,
+                              const std::vector<i64>& vars) {
+  WireRequest req;
+  req.type = MsgType::BatchRead;
+  req.request_id = request_id;
+  req.session = session;
+  req.accesses.reserve(vars.size());
+  for (const i64 var : vars) {
+    AccessRequest a;
+    a.var = var;
+    a.op = Op::Read;
+    req.accesses.push_back(a);
+  }
+  return encode_request(req);
+}
+
+std::string encode_batch_write(u64 request_id, const std::string& session,
+                               const std::vector<i64>& vars,
+                               const std::vector<i64>& values) {
+  MP_REQUIRE(vars.size() == values.size(),
+             "batch write: " << vars.size() << " vars vs " << values.size()
+                             << " values");
+  WireRequest req;
+  req.type = MsgType::BatchWrite;
+  req.request_id = request_id;
+  req.session = session;
+  req.accesses.reserve(vars.size());
+  for (size_t i = 0; i < vars.size(); ++i) {
+    AccessRequest a;
+    a.var = vars[i];
+    a.op = Op::Write;
+    a.value = values[i];
+    req.accesses.push_back(a);
+  }
+  return encode_request(req);
+}
+
+std::string encode_step(u64 request_id, const std::string& session,
+                        const std::vector<AccessRequest>& accesses) {
+  WireRequest req;
+  req.type = MsgType::Step;
+  req.request_id = request_id;
+  req.session = session;
+  req.accesses = accesses;
+  return encode_request(req);
+}
+
+std::string encode_control(MsgType type, u64 request_id,
+                           const std::string& session,
+                           std::string_view snapshot_bytes) {
+  MP_REQUIRE(type == MsgType::Snapshot || type == MsgType::Restore ||
+                 type == MsgType::Stats,
+             "encode_control: " << msg_type_name(type)
+                                << " is not a control message");
+  WireRequest req;
+  req.type = type;
+  req.request_id = request_id;
+  req.session = session;
+  req.snapshot_bytes.assign(snapshot_bytes);
+  return encode_request(req);
+}
+
+std::optional<std::string_view> next_frame(std::string_view& buf) {
+  if (buf.size() < 4) return std::nullopt;
+  u64 len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<u64>(static_cast<unsigned char>(buf[static_cast<size_t>(i)]))
+           << (8 * i);
+  }
+  MP_REQUIRE(len <= kMaxFrameBytes, "frame prefix declares " << len
+                                                             << " bytes");
+  if (buf.size() < 4 + len) return std::nullopt;
+  const std::string_view payload = buf.substr(4, len);
+  buf.remove_prefix(4 + len);
+  return payload;
+}
+
+WireRequest decode_request(std::string_view payload) {
+  ByteReader r(payload, "request frame");
+  WireRequest req;
+  const unsigned char type = r.get_u8();
+  MP_REQUIRE(type >= static_cast<unsigned char>(MsgType::BatchRead) &&
+                 type <= static_cast<unsigned char>(MsgType::Stats),
+             "frame: unknown message type " << static_cast<int>(type));
+  req.type = static_cast<MsgType>(type);
+  req.request_id = r.get_u64();
+  req.session = r.get_str();
+  switch (req.type) {
+    case MsgType::BatchRead:
+    case MsgType::BatchWrite:
+    case MsgType::Step:
+      req.accesses = get_accesses(r);
+      break;
+    case MsgType::Restore:
+      req.snapshot_bytes = r.get_blob();
+      break;
+    case MsgType::Snapshot:
+    case MsgType::Stats:
+      break;
+  }
+  r.expect_done();
+  return req;
+}
+
+WireResponse decode_response(std::string_view payload) {
+  ByteReader r(payload, "response frame");
+  WireResponse resp;
+  const unsigned char type = r.get_u8();
+  MP_REQUIRE(type >= static_cast<unsigned char>(MsgType::BatchRead) &&
+                 type <= static_cast<unsigned char>(MsgType::Stats),
+             "frame: unknown message type " << static_cast<int>(type));
+  resp.type = static_cast<MsgType>(type);
+  resp.request_id = r.get_u64();
+  resp.ok = r.get_u8() != 0;
+  resp.error = r.get_str();
+  const u32 n = r.get_u32();
+  resp.values.reserve(n);
+  for (u32 i = 0; i < n; ++i) resp.values.push_back(r.get_i64());
+  resp.mesh_steps = r.get_i64();
+  resp.slice = r.get_i64();
+  resp.snapshot_bytes = r.get_blob();
+  resp.stats.steps_executed = r.get_i64();
+  resp.stats.mesh_steps = r.get_i64();
+  resp.stats.accepted = r.get_i64();
+  resp.stats.rejected = r.get_i64();
+  resp.stats.queue_depth = r.get_i64();
+  resp.stats.peak_queue_depth = r.get_i64();
+  r.expect_done();
+  return resp;
+}
+
+LoopbackDriver::LoopbackDriver(SessionManager& manager,
+                               FairScheduler& scheduler)
+    : manager_(manager), scheduler_(scheduler) {
+  scheduler_.set_completion_sink([this](Response&& done) {
+    WireResponse resp;
+    const auto it = inflight_types_.find(done.id);
+    resp.type = it == inflight_types_.end() ? MsgType::Step : it->second;
+    if (it != inflight_types_.end()) inflight_types_.erase(it);
+    resp.request_id = done.id;
+    resp.ok = done.ok;
+    resp.error = std::move(done.error);
+    // Write-only steps return no data; reads return per-processor values.
+    if (resp.type != MsgType::BatchWrite) resp.values = std::move(done.values);
+    resp.mesh_steps = done.mesh_steps;
+    resp.slice = done.slice;
+    push(std::move(resp));
+  });
+}
+
+void LoopbackDriver::submit(std::string_view frame) {
+  WireResponse err;
+  err.ok = false;
+  try {
+    std::string_view buf = frame;
+    const std::optional<std::string_view> payload = next_frame(buf);
+    MP_REQUIRE(payload.has_value(), "incomplete frame (" << frame.size()
+                                                         << " bytes)");
+    MP_REQUIRE(buf.empty(), "trailing bytes after frame");
+    handle(decode_request(*payload));
+    return;
+  } catch (const std::exception& e) {
+    err.error = e.what();
+  }
+  push(std::move(err));
+}
+
+void LoopbackDriver::handle(const WireRequest& req) {
+  WireResponse resp;
+  resp.type = req.type;
+  resp.request_id = req.request_id;
+
+  if (req.type == MsgType::Restore) {
+    try {
+      manager_.restore(req.session, req.snapshot_bytes);
+    } catch (const std::exception& e) {
+      resp.ok = false;
+      resp.error = e.what();
+    }
+    push(std::move(resp));
+    return;
+  }
+
+  Session* s = manager_.find_by_name(req.session);
+  if (s == nullptr) {
+    resp.ok = false;
+    resp.error = "unknown session '" + req.session + "'";
+    push(std::move(resp));
+    return;
+  }
+
+  switch (req.type) {
+    case MsgType::BatchRead:
+    case MsgType::BatchWrite:
+    case MsgType::Step: {
+      Request work;
+      work.id = req.request_id;
+      work.accesses = req.accesses;
+      const Admission verdict = scheduler_.submit(s->id(), std::move(work));
+      if (!verdict.accepted) {
+        resp.ok = false;
+        resp.error = verdict.reason;
+        push(std::move(resp));
+      } else {
+        inflight_types_[req.request_id] = req.type;
+      }
+      break;
+    }
+    case MsgType::Snapshot:
+      try {
+        resp.snapshot_bytes = s->snapshot();
+      } catch (const std::exception& e) {
+        resp.ok = false;
+        resp.error = e.what();
+      }
+      push(std::move(resp));
+      break;
+    case MsgType::Stats:
+      resp.stats = s->stats();
+      push(std::move(resp));
+      break;
+    case MsgType::Restore:
+      break;  // handled above
+  }
+}
+
+void LoopbackDriver::push(WireResponse resp) {
+  outbox_.push_back(encode_response(resp));
+}
+
+std::vector<std::string> LoopbackDriver::poll() {
+  std::vector<std::string> out;
+  out.reserve(outbox_.size());
+  while (!outbox_.empty()) {
+    out.push_back(std::move(outbox_.front()));
+    outbox_.pop_front();
+  }
+  return out;
+}
+
+}  // namespace meshpram::serve

@@ -1,0 +1,120 @@
+// Batched request API: length-prefixed binary wire format + loopback driver.
+//
+// Frame = u32 little-endian payload length, then the payload. Request payload:
+//   u8 MsgType | u64 request_id | str session-name | type-specific body
+// Response payload:
+//   u8 MsgType | u64 request_id | u8 ok | str error | u32 n + n*i64 values |
+//   i64 mesh_steps | i64 slice | blob snapshot | 6*i64 stats
+// (responses carry every field; unused ones are empty/zero — the format is a
+// loopback protocol, not a space-optimised one).
+//
+// The LoopbackDriver is the in-process server half: feed it request frames
+// with submit(), advance the scheduler, and drain encoded response frames
+// with poll(). Execution responses (BatchRead/BatchWrite/Step) appear after
+// the scheduler slice that runs them; control responses (Snapshot/Restore/
+// Stats and every rejection) appear immediately.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/scheduler.hpp"
+
+namespace meshpram::serve {
+
+enum class MsgType : unsigned char {
+  BatchRead = 1,   ///< one PRAM step of reads: body = u32 n, n*i64 vars
+  BatchWrite = 2,  ///< one PRAM step of writes: body = u32 n, n*(var, value)
+  Step = 3,        ///< mixed step: body = u32 n, n*(i64 var, u8 op, i64 value)
+  Snapshot = 4,    ///< serialize the named session (no body)
+  Restore = 5,     ///< body = blob of snapshot bytes; creates session-name
+  Stats = 6,       ///< per-session accounting (no body)
+};
+
+const char* msg_type_name(MsgType t);
+
+/// Decoded request frame (see the format comment above).
+struct WireRequest {
+  MsgType type = MsgType::Step;
+  u64 request_id = 0;
+  std::string session;  ///< session name (Restore: the name to create)
+  std::vector<AccessRequest> accesses;  ///< BatchRead/BatchWrite/Step
+  std::string snapshot_bytes;           ///< Restore
+};
+
+/// Decoded response frame.
+struct WireResponse {
+  MsgType type = MsgType::Step;
+  u64 request_id = 0;
+  bool ok = true;
+  std::string error;
+  std::vector<i64> values;     ///< per-processor read results
+  i64 mesh_steps = 0;          ///< counted mesh steps of the executed step
+  i64 slice = -1;              ///< scheduler slice that executed it (-1: none)
+  std::string snapshot_bytes;  ///< Snapshot reply payload
+  SessionStats stats;          ///< Stats reply payload
+};
+
+// ---- encoding (each returns one complete frame incl. the length prefix) ----
+std::string encode_request(const WireRequest& req);
+std::string encode_response(const WireResponse& resp);
+
+/// Convenience builders for the three execution requests.
+std::string encode_batch_read(u64 request_id, const std::string& session,
+                              const std::vector<i64>& vars);
+std::string encode_batch_write(u64 request_id, const std::string& session,
+                               const std::vector<i64>& vars,
+                               const std::vector<i64>& values);
+std::string encode_step(u64 request_id, const std::string& session,
+                        const std::vector<AccessRequest>& accesses);
+std::string encode_control(MsgType type, u64 request_id,
+                           const std::string& session,
+                           std::string_view snapshot_bytes = {});
+
+// ---- decoding ----
+/// Strips one frame off the front of `buf` (advancing it); nullopt when the
+/// buffer holds less than a complete frame. Throws ConfigError on a frame
+/// whose declared length is implausible (> 1 GiB).
+std::optional<std::string_view> next_frame(std::string_view& buf);
+
+/// Decodes a frame *payload* (what next_frame returns). Throws ConfigError on
+/// malformed bytes.
+WireRequest decode_request(std::string_view payload);
+WireResponse decode_response(std::string_view payload);
+
+/// In-process server half: decodes request frames, routes them through the
+/// session manager / fair scheduler, and queues encoded response frames.
+/// Installs itself as the scheduler's completion sink.
+class LoopbackDriver {
+ public:
+  LoopbackDriver(SessionManager& manager, FairScheduler& scheduler);
+  LoopbackDriver(const LoopbackDriver&) = delete;
+  LoopbackDriver& operator=(const LoopbackDriver&) = delete;
+
+  /// Accepts one request frame (prefix + payload). Malformed frames produce
+  /// an ok=false response rather than throwing: the driver is the process
+  /// boundary, so client errors must not kill the server loop.
+  void submit(std::string_view frame);
+
+  /// Drains every queued response frame (each incl. its length prefix).
+  std::vector<std::string> poll();
+
+  i64 pending_responses() const { return static_cast<i64>(outbox_.size()); }
+
+ private:
+  void handle(const WireRequest& req);
+  void push(WireResponse resp);
+
+  SessionManager& manager_;
+  FairScheduler& scheduler_;
+  std::deque<std::string> outbox_;
+  /// request_id -> MsgType for in-flight execution requests, so completions
+  /// from the scheduler sink are encoded with the right response type.
+  std::map<u64, MsgType> inflight_types_;
+};
+
+}  // namespace meshpram::serve

@@ -1,0 +1,172 @@
+#include "serve/loadgen.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace meshpram::serve {
+
+namespace {
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double pos = p * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::vector<GeneratedRequest> generate_workload(
+    const LoadgenConfig& config, const std::vector<SessionShape>& shapes) {
+  MP_REQUIRE(!shapes.empty(), "loadgen: no target sessions");
+  MP_REQUIRE(config.requests >= 1, "loadgen: " << config.requests
+                                               << " requests");
+  MP_REQUIRE(config.arrivals_per_slice > 0.0,
+             "loadgen: arrival rate " << config.arrivals_per_slice);
+  MP_REQUIRE(config.write_fraction >= 0.0 && config.write_fraction <= 1.0,
+             "loadgen: write fraction " << config.write_fraction);
+
+  Rng rng(config.seed);
+  std::vector<GeneratedRequest> out;
+  out.reserve(static_cast<size_t>(config.requests));
+  double t = 0.0;
+  for (i64 i = 0; i < config.requests; ++i) {
+    // Exponential inter-arrival gap; 1-uniform() keeps log() away from 0.
+    t += -std::log(1.0 - rng.uniform()) / config.arrivals_per_slice;
+    GeneratedRequest req;
+    req.id = static_cast<u64>(i + 1);
+    req.session_index = static_cast<i64>(rng.below(shapes.size()));
+    req.arrival_slice = static_cast<i64>(t);
+    const SessionShape& shape = shapes[static_cast<size_t>(req.session_index)];
+    i64 accesses = config.accesses_per_request > 0
+                       ? std::min(config.accesses_per_request,
+                                  shape.processors)
+                       : shape.processors;
+    accesses = std::min(accesses, shape.num_vars);  // EREW needs distinct vars
+    const std::vector<i64> vars = rng.sample(shape.num_vars, accesses);
+    req.accesses.reserve(static_cast<size_t>(accesses));
+    for (const i64 var : vars) {
+      AccessRequest a;
+      a.var = var;
+      if (rng.uniform() < config.write_fraction) {
+        a.op = Op::Write;
+        a.value = rng.range(-1'000'000, 1'000'000);
+      }
+      req.accesses.push_back(a);
+    }
+    out.push_back(std::move(req));
+  }
+  return out;
+}
+
+LoadgenReport run_loadgen(LoopbackDriver& driver, FairScheduler& scheduler,
+                          const std::vector<std::string>& session_names,
+                          const std::vector<SessionShape>& shapes,
+                          const LoadgenConfig& config) {
+  MP_REQUIRE(session_names.size() == shapes.size(),
+             "loadgen: " << session_names.size() << " session names vs "
+                         << shapes.size() << " shapes");
+  const std::vector<GeneratedRequest> workload =
+      generate_workload(config, shapes);
+
+  struct Inflight {
+    i64 arrival_slice = 0;
+    double submit_seconds = 0.0;
+  };
+  std::map<u64, Inflight> inflight;
+
+  LoadgenReport report;
+  report.offered = static_cast<i64>(workload.size());
+  std::vector<double> lat_slices;
+  std::vector<double> lat_us;
+  lat_slices.reserve(workload.size());
+  lat_us.reserve(workload.size());
+
+  const double wall_start = now_seconds();
+  size_t next = 0;       // next workload entry to submit
+  i64 resolved = 0;      // rejected + completed + failed
+  i64 slice = 0;
+  for (; resolved < report.offered; ++slice) {
+    MP_REQUIRE(slice <= config.max_slices,
+               "loadgen: exceeded " << config.max_slices
+                                    << " slices with " << resolved << '/'
+                                    << report.offered << " resolved — "
+                                    << "scheduler is not making progress");
+    // Open loop: everything whose arrival time has passed goes in now,
+    // regardless of how far behind the scheduler is.
+    for (; next < workload.size() &&
+           workload[next].arrival_slice <= slice;
+         ++next) {
+      const GeneratedRequest& req = workload[next];
+      const std::string& name =
+          session_names[static_cast<size_t>(req.session_index)];
+      inflight[req.id] = {slice, now_seconds()};
+      driver.submit(encode_step(req.id, name, req.accesses));
+    }
+    scheduler.run_slice();
+    for (const std::string& frame : driver.poll()) {
+      std::string_view buf = frame;
+      const auto payload = next_frame(buf);
+      MP_ASSERT(payload.has_value(), "driver emitted an incomplete frame");
+      const WireResponse resp = decode_response(*payload);
+      const auto it = inflight.find(resp.request_id);
+      MP_ASSERT(it != inflight.end(),
+                "response for unknown request id " << resp.request_id);
+      ++resolved;
+      if (!resp.ok && resp.slice < 0) {
+        report.rejected += 1;
+      } else {
+        (resp.ok ? report.completed : report.failed) += 1;
+        report.total_mesh_steps += resp.mesh_steps;
+        lat_slices.push_back(
+            static_cast<double>(slice - it->second.arrival_slice + 1));
+        lat_us.push_back((now_seconds() - it->second.submit_seconds) * 1e6);
+      }
+      inflight.erase(it);
+    }
+  }
+  report.slices = slice;
+  report.wall_seconds = now_seconds() - wall_start;
+
+  // Per-session accounting: peak queue depth + rejections the driver turned
+  // into immediate responses are already counted above; the high-water mark
+  // lives in the session stats.
+  for (Session* s : scheduler.manager().sessions()) {
+    report.peak_queue_depth =
+        std::max(report.peak_queue_depth, s->stats().peak_queue_depth);
+  }
+
+  std::sort(lat_slices.begin(), lat_slices.end());
+  std::sort(lat_us.begin(), lat_us.end());
+  report.p50_slices = percentile(lat_slices, 0.50);
+  report.p95_slices = percentile(lat_slices, 0.95);
+  report.p99_slices = percentile(lat_slices, 0.99);
+  report.p50_us = percentile(lat_us, 0.50);
+  report.p95_us = percentile(lat_us, 0.95);
+  report.p99_us = percentile(lat_us, 0.99);
+  if (report.slices > 0) {
+    report.goodput_per_slice = static_cast<double>(report.completed) /
+                               static_cast<double>(report.slices);
+  }
+  if (report.wall_seconds > 0.0) {
+    report.goodput_rps =
+        static_cast<double>(report.completed) / report.wall_seconds;
+  }
+  return report;
+}
+
+}  // namespace meshpram::serve

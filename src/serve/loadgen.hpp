@@ -1,0 +1,84 @@
+// Open-loop load generator for the serving subsystem.
+//
+// Arrivals are a seeded Poisson process over *virtual time* (scheduler
+// slices): request i arrives at slice floor(sum of exponential gaps), is
+// submitted through the wire API, and completes at the slice that executes
+// it. Because arrival times, session choice and access patterns are all pure
+// functions of the seed, the offered load — and therefore accepted/rejected
+// counts, queue depths and per-request latencies in slices — is bit-identical
+// across runs and thread counts. Open-loop means arrivals do NOT wait for
+// completions, so an over-capacity rate exercises admission control instead
+// of silently self-throttling.
+//
+// Wall-clock timings (per-request microseconds, goodput in requests/s) are
+// measured alongside and reported separately; they are informational and
+// machine-dependent, never part of the deterministic record.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "serve/api.hpp"
+
+namespace meshpram::serve {
+
+struct LoadgenConfig {
+  i64 requests = 256;              ///< total offered requests
+  double arrivals_per_slice = 2.0; ///< Poisson rate over virtual time
+  u64 seed = 1;
+  /// Accesses per request; 0 = one full PRAM step (all processors).
+  i64 accesses_per_request = 0;
+  double write_fraction = 0.5;     ///< per-access probability of a write
+  /// Safety bound on the driving loop (a stuck scheduler fails loudly
+  /// instead of spinning forever).
+  i64 max_slices = 1 << 20;
+};
+
+/// One pre-generated client request (pure function of LoadgenConfig + the
+/// per-session shapes). The bench replays a session's slice of these on a
+/// solo simulator to check bit-identity.
+struct GeneratedRequest {
+  u64 id = 0;
+  i64 session_index = 0;  ///< index into the session list, not a session id
+  i64 arrival_slice = 0;
+  std::vector<AccessRequest> accesses;
+};
+
+/// Shape of one target session, enough to generate valid EREW workloads.
+struct SessionShape {
+  i64 processors = 0;
+  i64 num_vars = 0;
+};
+
+/// Deterministically expands the config into the full offered-request list
+/// (ids 1..requests, arrival slices non-decreasing).
+std::vector<GeneratedRequest> generate_workload(
+    const LoadgenConfig& config, const std::vector<SessionShape>& shapes);
+
+struct LoadgenReport {
+  i64 offered = 0;
+  i64 accepted = 0;
+  i64 rejected = 0;   ///< refused by admission control (never executed)
+  i64 completed = 0;  ///< executed successfully
+  i64 failed = 0;     ///< executed but the step threw (ok=false, slice >= 0)
+  i64 slices = 0;     ///< virtual slices the run took
+  i64 total_mesh_steps = 0;
+  i64 peak_queue_depth = 0;  ///< max per-session high-water mark
+  // Deterministic latency record, in slices (completion - arrival + 1).
+  double p50_slices = 0, p95_slices = 0, p99_slices = 0;
+  double goodput_per_slice = 0;  ///< completed / slices
+  // Wall-clock record (informational, machine-dependent).
+  double p50_us = 0, p95_us = 0, p99_us = 0;
+  double wall_seconds = 0;
+  double goodput_rps = 0;  ///< completed / wall_seconds
+};
+
+/// Drives `sessions` (names resolved through the driver's manager) with the
+/// generated workload through the wire API until every offered request is
+/// resolved. The scheduler is advanced one slice per virtual time unit.
+LoadgenReport run_loadgen(LoopbackDriver& driver, FairScheduler& scheduler,
+                          const std::vector<std::string>& session_names,
+                          const std::vector<SessionShape>& shapes,
+                          const LoadgenConfig& config);
+
+}  // namespace meshpram::serve

@@ -1,0 +1,96 @@
+#include "serve/manager.hpp"
+
+#include "serve/snapshot.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace meshpram::serve {
+
+Session& SessionManager::create(const std::string& name,
+                                const SimConfig& config,
+                                SessionLimits limits) {
+  MP_REQUIRE(find_by_name(name) == nullptr,
+             "session name '" << name << "' already exists");
+  const u32 id = next_id_++;
+  auto session = std::make_unique<Session>(id, name, config, limits);
+  Session& ref = *session;
+  sessions_.emplace(id, std::move(session));
+  MP_INFO("session " << id << " '" << name << "' created ("
+                     << config.mesh_rows << 'x' << config.mesh_cols << ", M="
+                     << config.num_vars << ")");
+  return ref;
+}
+
+Session& SessionManager::restore(const std::string& name,
+                                 std::string_view snapshot_bytes) {
+  MP_REQUIRE(find_by_name(name) == nullptr,
+             "session name '" << name << "' already exists");
+  ParsedSnapshot parsed = parse_snapshot(snapshot_bytes);
+  const u32 id = next_id_++;
+  const SessionLimits limits =
+      parsed.has_session ? parsed.limits : SessionLimits{};
+  auto session =
+      std::make_unique<Session>(id, name, std::move(parsed.sim), limits);
+  if (parsed.has_session) {
+    session->rng_.set_state(parsed.rng_state);
+    session->stats_ = parsed.stats;
+    session->queue_ = std::move(parsed.queue);
+    if (!session->queue_.empty()) session->state_ = SessionState::Running;
+  }
+  Session& ref = *session;
+  sessions_.emplace(id, std::move(session));
+  MP_INFO("session " << id << " '" << name << "' restored from snapshot"
+                     << (parsed.has_session
+                             ? " (captured as '" + parsed.session_name + "')"
+                             : ""));
+  return ref;
+}
+
+void SessionManager::destroy(u32 id) {
+  const auto it = sessions_.find(id);
+  MP_REQUIRE(it != sessions_.end(), "unknown session id " << id);
+  MP_INFO("session " << id << " '" << it->second->name() << "' destroyed ("
+                     << it->second->queue_depth() << " queued request(s) "
+                     << "dropped)");
+  sessions_.erase(it);
+}
+
+i64 SessionManager::reap_drained() {
+  i64 reaped = 0;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (it->second->drained()) {
+      it = sessions_.erase(it);
+      ++reaped;
+    } else {
+      ++it;
+    }
+  }
+  return reaped;
+}
+
+Session* SessionManager::find(u32 id) {
+  const auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+Session* SessionManager::find_by_name(std::string_view name) {
+  for (auto& [id, session] : sessions_) {
+    if (session->name() == name) return session.get();
+  }
+  return nullptr;
+}
+
+std::vector<Session*> SessionManager::sessions() {
+  std::vector<Session*> out;
+  out.reserve(sessions_.size());
+  for (auto& [id, session] : sessions_) out.push_back(session.get());
+  return out;
+}
+
+i64 SessionManager::total_pending() const {
+  i64 total = 0;
+  for (const auto& [id, session] : sessions_) total += session->queue_depth();
+  return total;
+}
+
+}  // namespace meshpram::serve

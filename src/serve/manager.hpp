@@ -1,0 +1,61 @@
+// Session registry: create / restore / destroy named sessions.
+//
+// Sessions get monotonically increasing ids in creation order; the fair
+// scheduler iterates them in id order, which is what makes its round-robin
+// deterministic. Names are unique among live sessions (create throws
+// ConfigError on a duplicate).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/session.hpp"
+
+namespace meshpram::serve {
+
+class SessionManager {
+ public:
+  SessionManager() = default;
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Creates a fresh session; throws ConfigError if `name` is taken.
+  Session& create(const std::string& name, const SimConfig& config,
+                  SessionLimits limits = {});
+
+  /// Rebuilds a session from snapshot bytes under `name` (the name may
+  /// differ from the captured one — restoring under a new name forks the
+  /// workload). Limits, RNG stream, stats and the pending queue come from
+  /// the snapshot when it carries session extras. Throws SnapshotError on
+  /// malformed bytes, ConfigError on a duplicate name.
+  Session& restore(const std::string& name, std::string_view snapshot_bytes);
+
+  /// Removes a session in any state, dropping queued work. Throws
+  /// ConfigError for an unknown id.
+  void destroy(u32 id);
+
+  /// Removes every drained session (Draining with an empty queue); returns
+  /// how many were reaped.
+  i64 reap_drained();
+
+  Session* find(u32 id);
+  Session* find_by_name(std::string_view name);
+
+  /// Live sessions in ascending id order — the scheduler's round-robin order.
+  std::vector<Session*> sessions();
+
+  i64 size() const { return static_cast<i64>(sessions_.size()); }
+
+  /// Total pending requests across all sessions (the scheduler's global
+  /// in-flight gauge).
+  i64 total_pending() const;
+
+ private:
+  std::map<u32, std::unique_ptr<Session>> sessions_;  // keyed by id, ordered
+  u32 next_id_ = 1;
+};
+
+}  // namespace meshpram::serve

@@ -1,0 +1,101 @@
+#include "serve/scheduler.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "telemetry/telemetry.hpp"
+#include "util/error.hpp"
+
+namespace meshpram::serve {
+
+FairScheduler::FairScheduler(SessionManager& manager, SchedulerConfig config)
+    : manager_(manager), config_(config) {
+  MP_REQUIRE(config_.threads >= 0,
+             "scheduler thread count " << config_.threads);
+  MP_REQUIRE(config_.global_inflight >= 1,
+             "scheduler global in-flight budget " << config_.global_inflight);
+  if (config_.threads > 0) {
+    pool_ = std::make_unique<ThreadPool>(config_.threads);
+  }
+}
+
+FairScheduler::~FairScheduler() = default;
+
+void FairScheduler::set_completion_sink(std::function<void(Response&&)> sink) {
+  sink_ = std::move(sink);
+}
+
+Admission FairScheduler::submit(u32 session_id, Request req) {
+  Session* s = manager_.find(session_id);
+  if (s == nullptr) {
+    return {false, "unknown session id " + std::to_string(session_id)};
+  }
+  if (!s->admissible()) {
+    s->stats().rejected += 1;
+    return {false, std::string("session '") + s->name() + "' is " +
+                       state_name(s->state())};
+  }
+  if (s->queue_full()) {
+    s->stats().rejected += 1;
+    return {false, "queue full (capacity " +
+                       std::to_string(s->limits().queue_capacity) + ")"};
+  }
+  if (manager_.total_pending() >= config_.global_inflight) {
+    s->stats().rejected += 1;
+    return {false, "global in-flight budget exceeded (" +
+                       std::to_string(config_.global_inflight) + " pending)"};
+  }
+  s->enqueue(std::move(req));
+  return {true, {}};
+}
+
+i64 FairScheduler::run_slice() {
+  i64 executed = 0;
+  for (Session* s : manager_.sessions()) {
+    if (!s->runnable()) continue;
+    execute(*s, s->dequeue());
+    ++executed;
+  }
+  if (executed > 0) ++slices_;
+  return executed;
+}
+
+i64 FairScheduler::run_until_idle(i64 max_slices) {
+  i64 total = 0;
+  while (max_slices < 0 || max_slices-- > 0) {
+    const i64 n = run_slice();
+    if (n == 0) break;
+    total += n;
+  }
+  return total;
+}
+
+i64 FairScheduler::inflight() const { return manager_.total_pending(); }
+
+void FairScheduler::execute(Session& s, Request req) {
+  // Install the scheduler-owned pool (if any) for the duration of the step so
+  // this scheduler never contends with other simulators on the process pool.
+  std::unique_ptr<ScopedPool> guard;
+  if (pool_) guard = std::make_unique<ScopedPool>(*pool_);
+
+  telemetry::Span span(telemetry::Cat::Serve, s.span_label(),
+                       static_cast<i64>(req.id));
+  Response resp;
+  resp.id = req.id;
+  resp.session = s.id();
+  resp.slice = slices_;
+  try {
+    StepStats stats;
+    resp.values = s.sim().step(req.accesses, &stats);
+    resp.mesh_steps = stats.total_steps;
+    s.stats().steps_executed += 1;
+    s.stats().mesh_steps += stats.total_steps;
+    span.set_steps(stats.total_steps);
+  } catch (const std::exception& e) {
+    resp.ok = false;
+    resp.error = e.what();
+  }
+  if (sink_) sink_(std::move(resp));
+}
+
+}  // namespace meshpram::serve

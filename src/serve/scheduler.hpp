@@ -1,0 +1,85 @@
+// Work-conserving deterministic fair scheduler over N sessions.
+//
+// One slice = at most one PRAM step per runnable session, executed in
+// ascending session-id order. That is round-robin fairness with a
+// deterministic schedule: because sessions share no simulator state, the
+// interleaving cannot change any session's results — every session's values
+// and mesh_steps are bit-identical to running it alone (the invariant
+// bench_serve_multisession and tests/test_serve.cpp enforce).
+//
+// Admission control (submit): a request is rejected with a reason when the
+// session is unknown / suspended / draining, its bounded queue is full, or
+// the global in-flight budget is exceeded — so an over-capacity load shows
+// bounded queues and explicit rejections, never unbounded memory growth.
+//
+// Pool injection: a scheduler built with threads > 0 owns a ThreadPool and
+// installs it (util ScopedPool) around every step it executes, so concurrent
+// schedulers/simulators on other threads never contend on the process pool.
+// threads == 0 uses the ambient execution_pool() of the calling thread.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "serve/manager.hpp"
+#include "util/thread_pool.hpp"
+
+namespace meshpram::serve {
+
+struct SchedulerConfig {
+  /// Size of the scheduler-owned pool; 0 = use the ambient execution pool.
+  int threads = 0;
+  /// Global admission budget: total pending requests across all sessions.
+  i64 global_inflight = 256;
+};
+
+/// Admission-control verdict for one submitted request.
+struct Admission {
+  bool accepted = false;
+  std::string reason;  ///< human-readable rejection reason when !accepted
+};
+
+class FairScheduler {
+ public:
+  FairScheduler(SessionManager& manager, SchedulerConfig config = {});
+  ~FairScheduler();
+  FairScheduler(const FairScheduler&) = delete;
+  FairScheduler& operator=(const FairScheduler&) = delete;
+
+  /// Admission control + enqueue. Accepted requests execute during a later
+  /// run_slice(); their Response goes to the completion sink.
+  Admission submit(u32 session_id, Request req);
+
+  /// Executes at most one pending request per runnable session, in ascending
+  /// session-id order. Returns the number of requests executed (0 = idle).
+  i64 run_slice();
+
+  /// Runs slices until no session is runnable (or max_slices, if >= 0, is
+  /// exhausted). Returns the total requests executed.
+  i64 run_until_idle(i64 max_slices = -1);
+
+  /// Slices executed so far (the logical clock completions are stamped with).
+  i64 slices() const { return slices_; }
+
+  /// Current pending total across sessions (admission gauge).
+  i64 inflight() const;
+
+  const SchedulerConfig& config() const { return config_; }
+  SessionManager& manager() { return manager_; }
+
+  /// Receives every completed Response (also rejected executions — ok=false
+  /// with the error text). Defaults to discarding.
+  void set_completion_sink(std::function<void(Response&&)> sink);
+
+ private:
+  void execute(Session& s, Request req);
+
+  SessionManager& manager_;
+  SchedulerConfig config_;
+  std::unique_ptr<ThreadPool> pool_;  ///< owned pool when config.threads > 0
+  std::function<void(Response&&)> sink_;
+  i64 slices_ = 0;
+};
+
+}  // namespace meshpram::serve

@@ -1,0 +1,118 @@
+#include "serve/session.hpp"
+
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+namespace meshpram::serve {
+
+namespace {
+
+/// Stable session seed: splitmix64 over the name bytes, so a session's
+/// default workload stream depends only on its name.
+u64 name_seed(const std::string& name) {
+  u64 h = 0x5e55ed5e55ed5e55ULL;
+  for (const char c : name) {
+    u64 s = h ^ static_cast<unsigned char>(c);
+    h = splitmix64(s);
+  }
+  return h;
+}
+
+telemetry::Label intern_span(const std::string& name) {
+  return telemetry::intern("serve." + name);
+}
+
+telemetry::Label intern_queue(const std::string& name) {
+  return telemetry::intern("serve.queue." + name);
+}
+
+}  // namespace
+
+const char* state_name(SessionState s) {
+  switch (s) {
+    case SessionState::Idle: return "idle";
+    case SessionState::Running: return "running";
+    case SessionState::Suspended: return "suspended";
+    case SessionState::Draining: return "draining";
+  }
+  return "?";
+}
+
+Session::Session(u32 id, std::string name, const SimConfig& config,
+                 SessionLimits limits)
+    : id_(id),
+      name_(std::move(name)),
+      limits_(limits),
+      sim_(std::make_unique<PramMeshSimulator>(config)),
+      rng_(name_seed(name_)),
+      span_label_(intern_span(name_)),
+      queue_label_(intern_queue(name_)) {
+  MP_REQUIRE(!name_.empty(), "session name must be non-empty");
+  MP_REQUIRE(limits_.queue_capacity >= 1,
+             "session queue capacity " << limits_.queue_capacity);
+}
+
+Session::Session(u32 id, std::string name,
+                 std::unique_ptr<PramMeshSimulator> sim, SessionLimits limits)
+    : id_(id),
+      name_(std::move(name)),
+      limits_(limits),
+      sim_(std::move(sim)),
+      rng_(name_seed(name_)),
+      span_label_(intern_span(name_)),
+      queue_label_(intern_queue(name_)) {
+  MP_REQUIRE(!name_.empty(), "session name must be non-empty");
+  MP_REQUIRE(limits_.queue_capacity >= 1,
+             "session queue capacity " << limits_.queue_capacity);
+}
+
+void Session::enqueue(Request req) {
+  MP_ASSERT(!queue_full(), "enqueue past capacity — admission control must "
+                           "run first");
+  queue_.push_back(std::move(req));
+  if (state_ == SessionState::Idle) state_ = SessionState::Running;
+  stats_.accepted += 1;
+  stats_.queue_depth = queue_depth();
+  if (stats_.queue_depth > stats_.peak_queue_depth) {
+    stats_.peak_queue_depth = stats_.queue_depth;
+  }
+  if (telemetry::sampling_on()) {
+    telemetry::record_counter(queue_label_, telemetry::Cat::Counter,
+                              stats_.queue_depth);
+  }
+}
+
+Request Session::dequeue() {
+  MP_ASSERT(!queue_.empty(), "dequeue from an empty session queue");
+  Request req = std::move(queue_.front());
+  queue_.pop_front();
+  after_dequeue();
+  return req;
+}
+
+void Session::after_dequeue() {
+  stats_.queue_depth = queue_depth();
+  if (queue_.empty() && state_ == SessionState::Running) {
+    state_ = SessionState::Idle;
+  }
+  if (telemetry::sampling_on()) {
+    telemetry::record_counter(queue_label_, telemetry::Cat::Counter,
+                              stats_.queue_depth);
+  }
+}
+
+void Session::suspend() {
+  MP_REQUIRE(state_ != SessionState::Draining,
+             "cannot suspend a draining session");
+  state_ = SessionState::Suspended;
+}
+
+void Session::resume() {
+  MP_REQUIRE(state_ == SessionState::Suspended,
+             "resume on a session in state " << state_name(state_));
+  state_ = queue_.empty() ? SessionState::Idle : SessionState::Running;
+}
+
+void Session::drain() { state_ = SessionState::Draining; }
+
+}  // namespace meshpram::serve

@@ -1,0 +1,150 @@
+// One served simulation session (DESIGN.md §11).
+//
+// A session owns a PramMeshSimulator (plus its effective fault plan, carried
+// inside SimConfig), a bounded queue of pending requests, a session-scoped
+// workload RNG stream, and per-session accounting. Sessions never share
+// simulator state, which is what makes the fair scheduler's interleaving
+// invisible: a session's results are bit-identical to running it alone.
+//
+// Lifecycle:   Idle <-> Running          (queue empty <-> queue non-empty)
+//                |          |
+//            Suspended   Draining        (suspend(): scheduler skips, queue
+//                                         kept; drain(): no new admissions,
+//                                         queue executes to empty)
+// destroy() is legal in any state and drops whatever is queued.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "protocol/simulator.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/rng.hpp"
+
+namespace meshpram::serve {
+
+enum class SessionState : unsigned char {
+  Idle = 0,       ///< no pending work; schedulable the moment work arrives
+  Running = 1,    ///< pending requests; the scheduler serves it round-robin
+  Suspended = 2,  ///< queue retained but the scheduler skips it
+  Draining = 3,   ///< admissions rejected; remaining queue executes to empty
+};
+
+const char* state_name(SessionState s);
+
+struct SessionLimits {
+  /// Backpressure bound: pending requests beyond this are rejected.
+  i64 queue_capacity = 64;
+};
+
+/// One queued unit of work: a full PRAM step's worth of accesses.
+/// accesses[i] is processor i's access; shorter vectors are padded with idle
+/// processors exactly like PramMeshSimulator::step.
+struct Request {
+  u64 id = 0;  ///< client correlation id (echoed in the Response)
+  std::vector<AccessRequest> accesses;
+};
+
+struct Response {
+  u64 id = 0;
+  u32 session = 0;
+  bool ok = true;
+  std::string error;        ///< failure reason when !ok
+  std::vector<i64> values;  ///< per-processor read results (see step())
+  i64 mesh_steps = 0;       ///< counted mesh steps of the executed PRAM step
+  i64 slice = -1;           ///< scheduler slice index that executed it
+};
+
+struct SessionStats {
+  i64 steps_executed = 0;    ///< PRAM steps run by the scheduler
+  i64 mesh_steps = 0;        ///< counted mesh steps over those PRAM steps
+  i64 accepted = 0;          ///< requests admitted to the queue
+  i64 rejected = 0;          ///< requests refused by admission control
+  i64 queue_depth = 0;       ///< current pending requests
+  i64 peak_queue_depth = 0;  ///< high-water mark of queue_depth
+};
+
+class Session {
+ public:
+  /// Fresh session: builds the simulator from `config`. The workload RNG
+  /// stream is seeded from the session name so two sessions with different
+  /// names draw different workloads by default.
+  Session(u32 id, std::string name, const SimConfig& config,
+          SessionLimits limits);
+  /// Restore path: adopts an already-rebuilt simulator (serve/snapshot.cpp).
+  Session(u32 id, std::string name, std::unique_ptr<PramMeshSimulator> sim,
+          SessionLimits limits);
+
+  u32 id() const { return id_; }
+  const std::string& name() const { return name_; }
+  SessionState state() const { return state_; }
+  const SessionLimits& limits() const { return limits_; }
+  PramMeshSimulator& sim() { return *sim_; }
+  const PramMeshSimulator& sim() const { return *sim_; }
+
+  /// Session-scoped deterministic workload stream; captured by snapshots so
+  /// a restored session continues the exact sequence.
+  Rng& rng() { return rng_; }
+  const Rng& rng() const { return rng_; }
+
+  const SessionStats& stats() const { return stats_; }
+  SessionStats& stats() { return stats_; }
+
+  // ---- queue (called by the scheduler under its admission rules) ----
+  bool queue_full() const {
+    return static_cast<i64>(queue_.size()) >= limits_.queue_capacity;
+  }
+  i64 queue_depth() const { return static_cast<i64>(queue_.size()); }
+  void enqueue(Request req);
+  bool has_work() const { return !queue_.empty(); }
+  Request dequeue();
+  const std::deque<Request>& pending() const { return queue_; }
+
+  /// True when the scheduler may execute this session's next request.
+  bool runnable() const {
+    return has_work() &&
+           (state_ == SessionState::Running || state_ == SessionState::Draining);
+  }
+  /// True when admission control may accept new work.
+  bool admissible() const {
+    return state_ == SessionState::Idle || state_ == SessionState::Running;
+  }
+
+  // ---- lifecycle ----
+  void suspend();
+  void resume();
+  void drain();
+  /// Draining session whose queue has emptied: safe to reap.
+  bool drained() const {
+    return state_ == SessionState::Draining && queue_.empty();
+  }
+
+  /// Interned telemetry labels ("serve.<name>" span per executed request,
+  /// "serve.queue.<name>" instant queue-depth samples).
+  telemetry::Label span_label() const { return span_label_; }
+  telemetry::Label queue_label() const { return queue_label_; }
+
+  /// Serializes the full session (simulator machine state + RNG stream +
+  /// pending queue + accounting) into the versioned snapshot format.
+  std::string snapshot() const;
+
+ private:
+  friend class SessionManager;  // restore path re-seats queue/rng/stats
+
+  void after_dequeue();
+
+  u32 id_;
+  std::string name_;
+  SessionLimits limits_;
+  std::unique_ptr<PramMeshSimulator> sim_;
+  Rng rng_;
+  SessionState state_ = SessionState::Idle;
+  std::deque<Request> queue_;
+  SessionStats stats_;
+  telemetry::Label span_label_ = 0;
+  telemetry::Label queue_label_ = 0;
+};
+
+}  // namespace meshpram::serve

@@ -1,0 +1,252 @@
+#include "serve/snapshot.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace meshpram::serve {
+
+namespace {
+
+constexpr u32 kMagic = 0x4e53504dU;  // "MPSN" in little-endian byte order
+
+/// Simulator machine state: config (with effective plan), logical time,
+/// per-phase step counters, every node's copy store in canonical order.
+void write_core(ByteWriter& w, const PramMeshSimulator& sim) {
+  const SimConfig& cfg = sim.config();
+  w.put_u32(static_cast<u32>(cfg.mesh_rows));
+  w.put_u32(static_cast<u32>(cfg.mesh_cols));
+  w.put_i64(cfg.num_vars);
+  w.put_i64(cfg.q);
+  w.put_u32(static_cast<u32>(cfg.k));
+  w.put_u8(static_cast<unsigned char>(cfg.sort_mode));
+  w.put_u8(static_cast<unsigned char>(cfg.fault_policy));
+  const fault::FaultPlan* plan = sim.fault_plan();
+  w.put_u8(plan != nullptr ? 1 : 0);
+  if (plan != nullptr) plan->serialize(w);
+
+  w.put_i64(sim.now());
+
+  const std::map<std::string, i64> phases = sim.mesh().clock().by_phase();
+  w.put_u32(static_cast<u32>(phases.size()));
+  for (const auto& [label, steps] : phases) {
+    w.put_str(label);
+    w.put_i64(steps);
+  }
+
+  const Mesh& mesh = sim.mesh();
+  w.put_u32(static_cast<u32>(mesh.size()));
+  std::vector<std::pair<u64, CopySlot>> copies;
+  for (i32 node = 0; node < mesh.size(); ++node) {
+    const CopyStore& store = mesh.store(node);
+    copies.clear();
+    copies.reserve(static_cast<size_t>(store.size()));
+    store.for_each(
+        [&copies](u64 key, const CopySlot& slot) { copies.emplace_back(key, slot); });
+    std::sort(copies.begin(), copies.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    w.put_u32(static_cast<u32>(copies.size()));
+    for (const auto& [key, slot] : copies) {
+      w.put_u64(key);
+      w.put_i64(slot.value);
+      w.put_i64(slot.timestamp);
+    }
+  }
+}
+
+std::unique_ptr<PramMeshSimulator> read_core(ByteReader& r) {
+  SimConfig cfg;
+  cfg.mesh_rows = static_cast<int>(r.get_u32());
+  cfg.mesh_cols = static_cast<int>(r.get_u32());
+  cfg.num_vars = r.get_i64();
+  cfg.q = r.get_i64();
+  cfg.k = static_cast<int>(r.get_u32());
+  const unsigned char sort_mode = r.get_u8();
+  MP_REQUIRE(sort_mode <= static_cast<unsigned char>(SortMode::Analytic),
+             "snapshot: unknown sort mode " << static_cast<int>(sort_mode));
+  cfg.sort_mode = static_cast<SortMode>(sort_mode);
+  const unsigned char policy = r.get_u8();
+  MP_REQUIRE(policy <= static_cast<unsigned char>(FaultPolicy::HardFail),
+             "snapshot: unknown fault policy " << static_cast<int>(policy));
+  cfg.fault_policy = static_cast<FaultPolicy>(policy);
+  cfg.fault_plan_from_env = false;  // the embedded plan is authoritative
+  if (r.get_u8() != 0) {
+    cfg.fault_plan = fault::FaultPlan::deserialize(r);
+    MP_REQUIRE(cfg.fault_plan.rows() == cfg.mesh_rows &&
+                   cfg.fault_plan.cols() == cfg.mesh_cols,
+               "snapshot: embedded fault plan sized "
+                   << cfg.fault_plan.rows() << 'x' << cfg.fault_plan.cols()
+                   << " for a " << cfg.mesh_rows << 'x' << cfg.mesh_cols
+                   << " mesh");
+  }
+
+  // Rebuilding from the config reproduces params/map/placement exactly
+  // (they are deterministic functions of it); only mutable state follows.
+  auto sim = std::make_unique<PramMeshSimulator>(cfg);
+  sim->set_logical_time(r.get_i64());
+
+  const u32 phases = r.get_u32();
+  for (u32 i = 0; i < phases; ++i) {
+    const std::string label = r.get_str();
+    const i64 steps = r.get_i64();
+    MP_REQUIRE(steps >= 0, "snapshot: negative step count for phase '"
+                               << label << "'");
+    sim->mesh().clock().add(label, steps);
+  }
+
+  const u32 nodes = r.get_u32();
+  MP_REQUIRE(nodes == static_cast<u64>(sim->mesh().size()),
+             "snapshot: " << nodes << " node stores for a "
+                          << sim->mesh().size() << "-node mesh");
+  for (u32 node = 0; node < nodes; ++node) {
+    const u32 count = r.get_u32();
+    CopyStore& store = sim->mesh().store(static_cast<i32>(node));
+    u64 prev_key = 0;
+    for (u32 c = 0; c < count; ++c) {
+      const u64 key = r.get_u64();
+      MP_REQUIRE(c == 0 || key > prev_key,
+                 "snapshot: node " << node << " copy ids not strictly "
+                                   << "increasing (corrupt store dump)");
+      prev_key = key;
+      CopySlot& slot = store[key];
+      slot.value = r.get_i64();
+      slot.timestamp = r.get_i64();
+    }
+  }
+  return sim;
+}
+
+void write_session_extras(ByteWriter& w, const Session& s) {
+  w.put_str(s.name());
+  for (const u64 word : s.rng().state()) w.put_u64(word);
+  w.put_i64(s.limits().queue_capacity);
+  const SessionStats& st = s.stats();
+  w.put_i64(st.steps_executed);
+  w.put_i64(st.mesh_steps);
+  w.put_i64(st.accepted);
+  w.put_i64(st.rejected);
+  w.put_i64(st.peak_queue_depth);
+  w.put_u32(static_cast<u32>(s.pending().size()));
+  for (const Request& req : s.pending()) {
+    w.put_u64(req.id);
+    w.put_u32(static_cast<u32>(req.accesses.size()));
+    for (const AccessRequest& a : req.accesses) {
+      w.put_i64(a.var);
+      w.put_u8(static_cast<unsigned char>(a.op));
+      w.put_i64(a.value);
+    }
+  }
+}
+
+void read_session_extras(ByteReader& r, ParsedSnapshot& out) {
+  out.has_session = true;
+  out.session_name = r.get_str();
+  for (u64& word : out.rng_state) word = r.get_u64();
+  out.limits.queue_capacity = r.get_i64();
+  MP_REQUIRE(out.limits.queue_capacity >= 1,
+             "snapshot: queue capacity " << out.limits.queue_capacity);
+  out.stats.steps_executed = r.get_i64();
+  out.stats.mesh_steps = r.get_i64();
+  out.stats.accepted = r.get_i64();
+  out.stats.rejected = r.get_i64();
+  out.stats.peak_queue_depth = r.get_i64();
+  const u32 pending = r.get_u32();
+  for (u32 i = 0; i < pending; ++i) {
+    Request req;
+    req.id = r.get_u64();
+    const u32 accesses = r.get_u32();
+    req.accesses.reserve(accesses);
+    for (u32 a = 0; a < accesses; ++a) {
+      AccessRequest ar;
+      ar.var = r.get_i64();
+      const unsigned char op = r.get_u8();
+      MP_REQUIRE(op <= static_cast<unsigned char>(Op::Write),
+                 "snapshot: unknown access op " << static_cast<int>(op));
+      ar.op = static_cast<Op>(op);
+      ar.value = r.get_i64();
+      req.accesses.push_back(ar);
+    }
+    out.queue.push_back(std::move(req));
+  }
+  out.stats.queue_depth = static_cast<i64>(out.queue.size());
+}
+
+std::string finish(std::string payload) {
+  std::string out = std::move(payload);
+  ByteWriter w(out);
+  w.put_u64(fnv1a64(std::string_view(out.data(), out.size() )));
+  return out;
+}
+
+}  // namespace
+
+std::string snapshot_simulator(const PramMeshSimulator& sim) {
+  std::string bytes;
+  ByteWriter w(bytes);
+  w.put_u32(kMagic);
+  w.put_u32(kSnapshotVersion);
+  write_core(w, sim);
+  w.put_u8(0);  // no session extras
+  return finish(std::move(bytes));
+}
+
+std::string Session::snapshot() const {
+  std::string bytes;
+  ByteWriter w(bytes);
+  w.put_u32(kMagic);
+  w.put_u32(kSnapshotVersion);
+  write_core(w, *sim_);
+  w.put_u8(1);
+  write_session_extras(w, *this);
+  return finish(std::move(bytes));
+}
+
+ParsedSnapshot parse_snapshot(std::string_view bytes) {
+  // Checksum first: parse only verified bytes.
+  if (bytes.size() < 4 + 4 + 8) {
+    throw SnapshotError("snapshot rejected: " + std::to_string(bytes.size()) +
+                        " bytes is shorter than the smallest valid snapshot");
+  }
+  const std::string_view payload = bytes.substr(0, bytes.size() - 8);
+  ByteReader trailer(bytes.substr(bytes.size() - 8), "snapshot trailer");
+  const u64 stored = trailer.get_u64();
+  const u64 computed = fnv1a64(payload);
+  if (stored != computed) {
+    throw SnapshotError(
+        "snapshot rejected: checksum mismatch (corrupted or truncated "
+        "snapshot bytes)");
+  }
+  try {
+    ByteReader r(payload, "snapshot");
+    const u32 magic = r.get_u32();
+    if (magic != kMagic) {
+      throw SnapshotError("snapshot rejected: bad magic (not a meshpram "
+                          "snapshot)");
+    }
+    const u32 version = r.get_u32();
+    if (version != kSnapshotVersion) {
+      throw SnapshotError("snapshot rejected: format version " +
+                          std::to_string(version) + " (this build reads " +
+                          std::to_string(kSnapshotVersion) + ")");
+    }
+    ParsedSnapshot out;
+    out.sim = read_core(r);
+    if (r.get_u8() != 0) read_session_extras(r, out);
+    r.expect_done();
+    return out;
+  } catch (const SnapshotError&) {
+    throw;
+  } catch (const ConfigError& e) {
+    // Bounds/validation failures inside the decoders carry the detail.
+    throw SnapshotError(std::string("snapshot rejected: ") + e.what());
+  }
+}
+
+std::unique_ptr<PramMeshSimulator> restore_simulator(std::string_view bytes) {
+  return parse_snapshot(bytes).sim;
+}
+
+}  // namespace meshpram::serve

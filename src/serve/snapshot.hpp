@@ -1,0 +1,71 @@
+// Versioned binary snapshot/restore of simulator state (DESIGN.md §11).
+//
+// A snapshot captures everything a PramMeshSimulator needs to continue a
+// workload bit-identically in a fresh process: the SimConfig (including the
+// *effective* fault plan, so the restoring process never consults
+// MESHPRAM_FAULT_PLAN), the logical clock, the per-phase step counters, and
+// every node's copy store (values + timestamps). Derived structures (HMOS
+// parameters, memory map, placement, level regions) are deliberately NOT
+// serialized — they are pure functions of the config and are rebuilt on
+// restore, which keeps the format small and forward-portable.
+//
+// Canonical bytes: stores are dumped sorted by copy id and counters in
+// label-sorted order, so the same machine state always produces the same
+// snapshot bytes regardless of thread count or hash-table history. A trailing
+// FNV-1a checksum makes truncation and bit corruption a clear SnapshotError
+// instead of a quiet wrong restore.
+//
+// Snapshots are taken between PRAM steps (the only quiescent points: packet
+// buffers are empty and no parallel work is in flight).
+#pragma once
+
+#include <array>
+#include <deque>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "serve/session.hpp"
+#include "util/error.hpp"
+
+namespace meshpram::serve {
+
+/// Rejected snapshot bytes (bad magic, unsupported version, checksum
+/// mismatch, truncation, or implausible embedded fields).
+class SnapshotError : public ConfigError {
+ public:
+  explicit SnapshotError(const std::string& what) : ConfigError(what) {}
+};
+
+/// Current snapshot format version. History:
+///   1 — initial: config + fault plan + logical time + step counters +
+///       copy stores + session extras (RNG stream, pending queue, stats)
+inline constexpr u32 kSnapshotVersion = 1;
+
+/// Serializes the simulator's machine state. The simulator must be quiescent
+/// (between PRAM steps).
+std::string snapshot_simulator(const PramMeshSimulator& sim);
+
+/// Rebuilds a simulator from snapshot bytes; throws SnapshotError on any
+/// malformed input. The restored simulator reproduces the captured run
+/// bit-identically (same mesh_steps, same values) at any thread count.
+std::unique_ptr<PramMeshSimulator> restore_simulator(std::string_view bytes);
+
+/// Fully decoded snapshot: the rebuilt simulator plus the session extras
+/// (present iff the snapshot came from Session::snapshot rather than
+/// snapshot_simulator). SessionManager::restore re-seats the extras.
+struct ParsedSnapshot {
+  std::unique_ptr<PramMeshSimulator> sim;
+  bool has_session = false;
+  std::string session_name;  ///< name at capture time
+  std::array<u64, 4> rng_state{};
+  SessionLimits limits;
+  SessionStats stats;
+  std::deque<Request> queue;
+};
+
+/// Validates (magic, version, checksum) and decodes `bytes`; throws
+/// SnapshotError on malformed input.
+ParsedSnapshot parse_snapshot(std::string_view bytes);
+
+}  // namespace meshpram::serve

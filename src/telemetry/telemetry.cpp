@@ -20,6 +20,7 @@ const char* cat_name(Cat cat) {
     case Cat::Region: return "region";
     case Cat::Counter: return "counter";
     case Cat::Fault: return "fault";
+    case Cat::Serve: return "serve";
   }
   return "?";
 }

@@ -54,6 +54,9 @@ enum class Cat : unsigned char {
   Region,    ///< one parallel region-worker task
   Counter,   ///< instant value sample (StepCounter phase charges)
   Fault,     ///< degraded-mode work (fault-aware routing, degraded CULLING)
+  Serve,     ///< serving layer: one span per scheduled request, labeled with
+             ///< the session's interned name (per-session trace scoping), plus
+             ///< queue-depth counter samples from the fair scheduler
 };
 
 /// Lower-case name used as the Chrome trace "cat" field.

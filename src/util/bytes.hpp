@@ -1,0 +1,124 @@
+// Bounds-checked little-endian binary encoding.
+//
+// Shared by the fault-plan serializer, the serve snapshot format and the
+// serve wire protocol: one writer/reader pair so every binary surface in the
+// tree agrees on endianness and on how truncation is reported. Readers throw
+// ConfigError (never read past the end, never trust an embedded length), so a
+// corrupted or truncated input becomes a clear message instead of UB.
+#pragma once
+
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace meshpram {
+
+/// Appends fixed-width little-endian values to a byte string.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::string& out) : out_(out) {}
+
+  void put_u8(unsigned char v) { out_.push_back(static_cast<char>(v)); }
+  void put_u32(u32 v) { put_le(v, 4); }
+  void put_u64(u64 v) { put_le(v, 8); }
+  void put_i64(i64 v) { put_le(static_cast<u64>(v), 8); }
+  void put_f64(double v) {
+    u64 bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    put_le(bits, 8);
+  }
+  /// Length-prefixed (u32) byte blob.
+  void put_blob(std::string_view bytes) {
+    put_u32(static_cast<u32>(bytes.size()));
+    out_.append(bytes.data(), bytes.size());
+  }
+  void put_str(std::string_view s) { put_blob(s); }
+
+  size_t size() const { return out_.size(); }
+
+ private:
+  void put_le(u64 v, int bytes) {
+    for (int i = 0; i < bytes; ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+
+  std::string& out_;
+};
+
+/// Reads what ByteWriter wrote; every read is bounds-checked against the
+/// underlying view and throws ConfigError on truncation.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes, std::string_view what = "input")
+      : bytes_(bytes), what_(what) {}
+
+  unsigned char get_u8() { return static_cast<unsigned char>(take(1)[0]); }
+  u32 get_u32() { return static_cast<u32>(get_le(4)); }
+  u64 get_u64() { return get_le(8); }
+  i64 get_i64() { return static_cast<i64>(get_le(8)); }
+  double get_f64() {
+    const u64 bits = get_le(8);
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  std::string_view get_blob() {
+    const u32 len = get_u32();
+    return take(len);
+  }
+  std::string get_str() { return std::string(get_blob()); }
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+  bool done() const { return pos_ == bytes_.size(); }
+  size_t pos() const { return pos_; }
+  /// Bytes consumed so far (for checksumming a prefix).
+  std::string_view consumed() const { return bytes_.substr(0, pos_); }
+
+  /// Fails with a clear message unless exactly everything was consumed.
+  void expect_done() const {
+    MP_REQUIRE(done(), what_ << ": " << remaining()
+                             << " trailing byte(s) after the last field");
+  }
+
+ private:
+  std::string_view take(size_t n) {
+    MP_REQUIRE(n <= remaining(), what_ << ": truncated — needed " << n
+                                       << " byte(s) at offset " << pos_
+                                       << ", have " << remaining());
+    const std::string_view v = bytes_.substr(pos_, n);
+    pos_ += n;
+    return v;
+  }
+
+  u64 get_le(int bytes) {
+    const std::string_view v = take(static_cast<size_t>(bytes));
+    u64 out = 0;
+    for (int i = 0; i < bytes; ++i) {
+      out |= static_cast<u64>(
+                 static_cast<unsigned char>(v[static_cast<size_t>(i)]))
+             << (8 * i);
+    }
+    return out;
+  }
+
+  std::string_view bytes_;
+  std::string_view what_;
+  size_t pos_ = 0;
+};
+
+/// FNV-1a 64-bit checksum (the snapshot trailer; not cryptographic, catches
+/// truncation and bit corruption).
+inline u64 fnv1a64(std::string_view bytes) {
+  u64 h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace meshpram

@@ -25,4 +25,10 @@ std::optional<i64> env_i64(const char* name, i64 min, i64 max) {
   return static_cast<i64>(v);
 }
 
+std::optional<std::string> env_str(const char* name) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return std::nullopt;
+  return std::string(raw);
+}
+
 }  // namespace meshpram

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <optional>
+#include <string>
 
 #include "util/math.hpp"
 
@@ -18,5 +19,11 @@ namespace meshpram {
 /// nullopt when the variable is unset, empty, non-numeric (including trailing
 /// junk), or out of range. Every rejected set value logs a warning.
 std::optional<i64> env_i64(const char* name, i64 min, i64 max);
+
+/// Value of environment variable `name` as a string, or nullopt when unset or
+/// empty. The single sanctioned getenv wrapper for string-valued knobs
+/// (MESHPRAM_FAULT_PLAN, MESHPRAM_TRACE_DIR, ...), so every env read in the
+/// tree goes through util/env and shows up in one grep.
+std::optional<std::string> env_str(const char* name);
 
 }  // namespace meshpram

@@ -7,6 +7,7 @@ namespace meshpram {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Warn};
+LogSink g_sink;  // empty = default clog output
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -27,7 +28,13 @@ void set_log_level(LogLevel level) {
 }
 
 void log_message(LogLevel level, const std::string& msg) {
+  if (g_sink) {
+    g_sink(level, msg);
+    return;
+  }
   std::clog << "[meshpram " << level_name(level) << "] " << msg << '\n';
 }
+
+void set_log_sink(LogSink sink) { g_sink = std::move(sink); }
 
 }  // namespace meshpram

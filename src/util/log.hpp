@@ -2,6 +2,7 @@
 // tests/benches; examples raise it to Info to narrate what the simulator does.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -13,6 +14,13 @@ LogLevel log_level();
 void set_log_level(LogLevel level);
 
 void log_message(LogLevel level, const std::string& msg);
+
+/// Redirects log_message into `sink` instead of std::clog (empty function
+/// restores the default). For tests that assert on warning text (e.g. the
+/// env-var rejection messages); not thread-safe against concurrent logging,
+/// so install it only around serial code.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+void set_log_sink(LogSink sink);
 
 }  // namespace meshpram
 

@@ -6,6 +6,8 @@
 // depending on the unspecified std::mt19937 stream across standard libraries.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -48,6 +50,13 @@ class Rng {
 
   /// Random sample of k distinct values from [0, n) (k <= n).
   std::vector<i64> sample(i64 n, i64 k);
+
+  /// The 256-bit generator state, for checkpointing a stream mid-sequence
+  /// (serve snapshots): set_state(state()) resumes the exact sequence.
+  std::array<u64, 4> state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+  void set_state(const std::array<u64, 4>& s) {
+    for (int i = 0; i < 4; ++i) s_[i] = s[static_cast<size_t>(i)];
+  }
 
  private:
   u64 s_[4];

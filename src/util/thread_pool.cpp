@@ -170,9 +170,30 @@ std::unique_ptr<ThreadPool>& pool_slot() {
   return pool;
 }
 
+// Per-thread override installed by ScopedPool. Worker threads never read the
+// slot (they are serial by the in_parallel_worker() rule), so the override
+// only has to be visible to the thread that installed it.
+thread_local ThreadPool* tl_pool_override = nullptr;
+
+// Guards lazy construction of the shared default pool: without it, two
+// threads stepping simulators concurrently (no ScopedPool installed) could
+// both construct the singleton.
+std::mutex& pool_slot_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
 }  // namespace
 
+ScopedPool::ScopedPool(ThreadPool& pool) : prev_(tl_pool_override) {
+  tl_pool_override = &pool;
+}
+
+ScopedPool::~ScopedPool() { tl_pool_override = prev_; }
+
 ThreadPool& execution_pool() {
+  if (tl_pool_override != nullptr) return *tl_pool_override;
+  std::lock_guard<std::mutex> lock(pool_slot_mu());
   auto& pool = pool_slot();
   if (!pool) pool = std::make_unique<ThreadPool>(default_threads());
   return *pool;
@@ -182,6 +203,10 @@ int execution_threads() { return execution_pool().threads(); }
 
 void set_execution_threads(int threads) {
   MP_REQUIRE(threads >= 0, "execution thread count " << threads);
+  MP_REQUIRE(tl_pool_override == nullptr,
+             "set_execution_threads resizes the shared pool; it cannot be "
+             "called under a ScopedPool override");
+  std::lock_guard<std::mutex> lock(pool_slot_mu());
   pool_slot() =
       std::make_unique<ThreadPool>(threads == 0 ? default_threads() : threads);
 }

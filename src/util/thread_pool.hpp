@@ -48,10 +48,32 @@ class ThreadPool {
   int threads_;
 };
 
-/// Process-wide pool used by the mesh execution engine. Sized by the last
+/// Pool used by the mesh execution engine for the calling thread. By default
+/// every thread shares one process-wide pool, sized by the last
 /// set_execution_threads() call, else the MESHPRAM_THREADS environment
-/// variable, else std::thread::hardware_concurrency().
+/// variable, else std::thread::hardware_concurrency(). A ScopedPool guard
+/// overrides the answer for the installing thread only, so independent
+/// drivers (one simulator per thread, or a serve scheduler) each get a pool
+/// of their own instead of colliding on the shared one — ThreadPool is not
+/// reentrant, so two threads racing for_each_index on the same pool was a
+/// latent crash, not just unfairness.
 ThreadPool& execution_pool();
+
+/// RAII override of execution_pool() for the current thread. While alive,
+/// every execution_pool()/execution_threads() call made on this thread (and
+/// only this thread — pool worker threads stay serial by the
+/// in_parallel_worker() rule, so they never consult the slot) resolves to
+/// `pool`. Guards nest; destruction restores the previous override.
+class ScopedPool {
+ public:
+  explicit ScopedPool(ThreadPool& pool);
+  ~ScopedPool();
+  ScopedPool(const ScopedPool&) = delete;
+  ScopedPool& operator=(const ScopedPool&) = delete;
+
+ private:
+  ThreadPool* prev_;
+};
 
 /// True while the calling thread is executing loop indices handed out by a
 /// ThreadPool (including the calling thread's own participation). Kernels

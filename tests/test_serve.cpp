@@ -1,0 +1,771 @@
+// Serving subsystem tests (DESIGN.md §11): session lifecycle, admission
+// control, fair-scheduler determinism (multiplexed sessions bit-identical to
+// solo runs), snapshot/restore round trips (fault-free, under an active fault
+// plan, across thread counts, with a pending queue), corrupted/truncated
+// snapshot rejection, the wire API + loopback driver, ScopedPool isolation of
+// concurrent simulators, and load-generator determinism.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "serve/api.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/manager.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/snapshot.hpp"
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace meshpram::serve {
+namespace {
+
+SimConfig small_config() {
+  SimConfig cfg;
+  cfg.mesh_rows = 8;
+  cfg.mesh_cols = 8;
+  cfg.num_vars = 1080;
+  cfg.q = 3;
+  cfg.k = 2;
+  return cfg;
+}
+
+/// Deterministic EREW request for (session tag, step index): processor i
+/// accesses var (i*7 + tag*13 + step*29) % 1080 — i*7 stays distinct over
+/// i < 64 because 7*64 < 1080, and the offset preserves distinctness.
+Request make_request(u64 id, i64 tag, i64 step, i64 n, i64 num_vars) {
+  Request req;
+  req.id = id;
+  req.accesses.reserve(static_cast<size_t>(n));
+  for (i64 i = 0; i < n; ++i) {
+    AccessRequest a;
+    a.var = (i * 7 + tag * 13 + step * 29) % num_vars;
+    if ((i + step) % 2 == 0) {
+      a.op = Op::Write;
+      a.value = tag * 10000 + step * 100 + i;
+    }
+    req.accesses.push_back(a);
+  }
+  return req;
+}
+
+/// Collects scheduler completions keyed by request id.
+struct CollectSink {
+  std::map<u64, Response> done;
+  void install(FairScheduler& sched) {
+    sched.set_completion_sink([this](Response&& r) {
+      done[r.id] = std::move(r);
+    });
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Session lifecycle.
+// ---------------------------------------------------------------------------
+
+TEST(SessionLifecycle, StatesFollowQueueAndControls) {
+  SessionManager mgr;
+  Session& s = mgr.create("a", small_config());
+  EXPECT_EQ(s.state(), SessionState::Idle);
+  EXPECT_TRUE(s.admissible());
+  EXPECT_FALSE(s.runnable());
+
+  s.enqueue(make_request(1, 0, 0, 4, 1080));
+  EXPECT_EQ(s.state(), SessionState::Running);
+  EXPECT_TRUE(s.runnable());
+
+  s.suspend();
+  EXPECT_EQ(s.state(), SessionState::Suspended);
+  EXPECT_FALSE(s.runnable());
+  EXPECT_FALSE(s.admissible());
+  s.resume();
+  EXPECT_EQ(s.state(), SessionState::Running);  // queue still non-empty
+
+  (void)s.dequeue();
+  EXPECT_EQ(s.state(), SessionState::Idle);  // drained back to idle
+
+  s.drain();
+  EXPECT_EQ(s.state(), SessionState::Draining);
+  EXPECT_TRUE(s.drained());
+  EXPECT_THROW(s.suspend(), ConfigError);
+  EXPECT_EQ(mgr.reap_drained(), 1);
+  EXPECT_EQ(mgr.size(), 0);
+}
+
+TEST(SessionLifecycle, ManagerRejectsDuplicatesAndUnknownIds) {
+  SessionManager mgr;
+  Session& a = mgr.create("a", small_config());
+  EXPECT_THROW(mgr.create("a", small_config()), ConfigError);
+  EXPECT_THROW(mgr.destroy(a.id() + 77), ConfigError);
+  EXPECT_EQ(mgr.find_by_name("a"), &a);
+  EXPECT_EQ(mgr.find_by_name("b"), nullptr);
+  mgr.destroy(a.id());
+  EXPECT_EQ(mgr.size(), 0);
+  // The name is free again after destroy.
+  mgr.create("a", small_config());
+}
+
+TEST(SessionLifecycle, SessionsListedInIdOrder) {
+  SessionManager mgr;
+  mgr.create("c", small_config());
+  mgr.create("a", small_config());
+  mgr.create("b", small_config());
+  const std::vector<Session*> order = mgr.sessions();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_LT(order[0]->id(), order[1]->id());
+  EXPECT_LT(order[1]->id(), order[2]->id());
+  EXPECT_EQ(order[0]->name(), "c");  // creation order, not name order
+}
+
+// ---------------------------------------------------------------------------
+// Admission control.
+// ---------------------------------------------------------------------------
+
+TEST(Admission, BoundedQueueRejectsWithReason) {
+  SessionManager mgr;
+  SessionLimits limits;
+  limits.queue_capacity = 2;
+  Session& s = mgr.create("a", small_config(), limits);
+  FairScheduler sched(mgr);
+
+  EXPECT_TRUE(sched.submit(s.id(), make_request(1, 0, 0, 4, 1080)).accepted);
+  EXPECT_TRUE(sched.submit(s.id(), make_request(2, 0, 1, 4, 1080)).accepted);
+  const Admission third = sched.submit(s.id(), make_request(3, 0, 2, 4, 1080));
+  EXPECT_FALSE(third.accepted);
+  EXPECT_NE(third.reason.find("queue full"), std::string::npos);
+  EXPECT_EQ(s.stats().rejected, 1);
+  EXPECT_EQ(s.stats().accepted, 2);
+  EXPECT_EQ(s.stats().peak_queue_depth, 2);
+  EXPECT_EQ(s.queue_depth(), 2);  // bounded: the reject did not enqueue
+}
+
+TEST(Admission, LifecycleAndBudgetRejections) {
+  SessionManager mgr;
+  Session& a = mgr.create("a", small_config());
+  Session& b = mgr.create("b", small_config());
+  SchedulerConfig cfg;
+  cfg.global_inflight = 3;
+  FairScheduler sched(mgr, cfg);
+
+  const Admission unknown = sched.submit(9999, make_request(1, 0, 0, 4, 1080));
+  EXPECT_FALSE(unknown.accepted);
+  EXPECT_NE(unknown.reason.find("unknown session"), std::string::npos);
+
+  a.suspend();
+  const Admission susp = sched.submit(a.id(), make_request(2, 0, 0, 4, 1080));
+  EXPECT_FALSE(susp.accepted);
+  EXPECT_NE(susp.reason.find("suspended"), std::string::npos);
+  a.resume();
+
+  a.drain();
+  const Admission drain = sched.submit(a.id(), make_request(3, 0, 0, 4, 1080));
+  EXPECT_FALSE(drain.accepted);
+  EXPECT_NE(drain.reason.find("draining"), std::string::npos);
+
+  // Fill the global budget through session b, then overflow it.
+  for (u64 id = 10; id < 13; ++id) {
+    EXPECT_TRUE(sched.submit(b.id(), make_request(id, 1, 0, 4, 1080)).accepted);
+  }
+  const Admission over = sched.submit(b.id(), make_request(13, 1, 0, 4, 1080));
+  EXPECT_FALSE(over.accepted);
+  EXPECT_NE(over.reason.find("global in-flight"), std::string::npos);
+  EXPECT_EQ(sched.inflight(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Fair scheduler: multiplexed == solo, bit for bit.
+// ---------------------------------------------------------------------------
+
+TEST(Scheduler, MultiplexedSessionsMatchSoloRuns) {
+  constexpr i64 kSessions = 4;
+  constexpr i64 kSteps = 6;
+  const SimConfig cfg = small_config();
+
+  SessionManager mgr;
+  std::vector<u32> ids;
+  for (i64 s = 0; s < kSessions; ++s) {
+    ids.push_back(mgr.create("s" + std::to_string(s), cfg).id());
+  }
+  FairScheduler sched(mgr);
+  CollectSink sink;
+  sink.install(sched);
+
+  // Interleave submissions across sessions; the scheduler serves them
+  // round-robin, one PRAM step per session per slice.
+  const i64 n = mgr.find(ids[0])->sim().processors();
+  for (i64 step = 0; step < kSteps; ++step) {
+    for (i64 s = 0; s < kSessions; ++s) {
+      const u64 id = static_cast<u64>(s * 1000 + step);
+      ASSERT_TRUE(
+          sched.submit(ids[static_cast<size_t>(s)],
+                       make_request(id, s, step, n, cfg.num_vars))
+              .accepted);
+    }
+  }
+  EXPECT_EQ(sched.run_until_idle(), kSessions * kSteps);
+  EXPECT_EQ(sched.slices(), kSteps);
+
+  // Solo baseline: each session's workload on a private simulator.
+  for (i64 s = 0; s < kSessions; ++s) {
+    PramMeshSimulator solo(cfg);
+    for (i64 step = 0; step < kSteps; ++step) {
+      StepStats stats;
+      const std::vector<i64> want =
+          solo.step(make_request(0, s, step, n, cfg.num_vars).accesses,
+                    &stats);
+      const auto it = sink.done.find(static_cast<u64>(s * 1000 + step));
+      ASSERT_NE(it, sink.done.end());
+      EXPECT_TRUE(it->second.ok);
+      EXPECT_EQ(it->second.values, want) << "session " << s << " step "
+                                         << step;
+      EXPECT_EQ(it->second.mesh_steps, stats.total_steps);
+      EXPECT_EQ(it->second.slice, step);  // round-robin: step k in slice k
+    }
+  }
+}
+
+TEST(Scheduler, SuspendedSessionsAreSkippedNotStarved) {
+  SessionManager mgr;
+  const SimConfig cfg = small_config();
+  Session& a = mgr.create("a", cfg);
+  Session& b = mgr.create("b", cfg);
+  FairScheduler sched(mgr);
+  CollectSink sink;
+  sink.install(sched);
+
+  const i64 n = a.sim().processors();
+  ASSERT_TRUE(sched.submit(a.id(), make_request(1, 0, 0, n, cfg.num_vars))
+                  .accepted);
+  ASSERT_TRUE(sched.submit(b.id(), make_request(2, 1, 0, n, cfg.num_vars))
+                  .accepted);
+  a.suspend();
+  EXPECT_EQ(sched.run_slice(), 1);  // only b ran
+  EXPECT_EQ(sink.done.count(1), 0u);
+  EXPECT_EQ(sink.done.count(2), 1u);
+  a.resume();
+  EXPECT_EQ(sched.run_slice(), 1);  // a's queued work survives suspension
+  EXPECT_EQ(sink.done.count(1), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot / restore.
+// ---------------------------------------------------------------------------
+
+/// Runs `steps` PRAM steps with tag `tag` starting at `first`, returning
+/// (values, mesh_steps) per step.
+std::vector<std::pair<std::vector<i64>, i64>> run_steps(PramMeshSimulator& sim,
+                                                        i64 tag, i64 first,
+                                                        i64 steps) {
+  std::vector<std::pair<std::vector<i64>, i64>> out;
+  const i64 n = sim.processors();
+  for (i64 s = first; s < first + steps; ++s) {
+    StepStats stats;
+    std::vector<i64> values =
+        sim.step(make_request(0, tag, s, n, sim.num_vars()).accesses, &stats);
+    out.emplace_back(std::move(values), stats.total_steps);
+  }
+  return out;
+}
+
+TEST(Snapshot, RoundTripIsBitIdentical) {
+  PramMeshSimulator sim(small_config());
+  run_steps(sim, 3, 0, 5);
+
+  const std::string bytes = snapshot_simulator(sim);
+  std::unique_ptr<PramMeshSimulator> restored = restore_simulator(bytes);
+  EXPECT_EQ(restored->now(), sim.now());
+  EXPECT_FALSE(restored->config().fault_plan_from_env);
+
+  // Canonical bytes: the restored machine re-snapshots to the same bytes.
+  EXPECT_EQ(snapshot_simulator(*restored), bytes);
+
+  // The remaining workload is bit-identical (values AND counted steps).
+  const auto want = run_steps(sim, 3, 5, 5);
+  const auto got = run_steps(*restored, 3, 5, 5);
+  ASSERT_EQ(want.size(), got.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i].first, got[i].first) << "step " << i;
+    EXPECT_EQ(want[i].second, got[i].second) << "step " << i;
+  }
+}
+
+TEST(Snapshot, RoundTripUnderActiveFaultPlan) {
+  fault::FaultSpec spec;
+  spec.seed = 7;
+  spec.node_rate = 0.03;
+  spec.link_rate = 0.03;
+  spec.stall_rate = 0.05;
+  spec.drop_rate = 0.01;
+  SimConfig cfg = small_config();
+  cfg.fault_plan = fault::FaultPlan::random(8, 8, spec);
+  cfg.fault_policy = FaultPolicy::Degrade;
+
+  PramMeshSimulator sim(cfg);
+  ASSERT_NE(sim.fault_plan(), nullptr);
+  run_steps(sim, 4, 0, 4);
+
+  const std::string bytes = snapshot_simulator(sim);
+  std::unique_ptr<PramMeshSimulator> restored = restore_simulator(bytes);
+  ASSERT_NE(restored->fault_plan(), nullptr);
+  EXPECT_EQ(restored->fault_plan()->summary(), sim.fault_plan()->summary());
+
+  const i64 n = sim.processors();
+  for (i64 s = 4; s < 8; ++s) {
+    StepStats ws, gs;
+    const auto accesses =
+        make_request(0, 4, s, n, sim.num_vars()).accesses;
+    const DegradedResult want = sim.step_degraded(accesses, &ws);
+    const DegradedResult got = restored->step_degraded(accesses, &gs);
+    EXPECT_EQ(want.values, got.values) << "step " << s;
+    EXPECT_EQ(want.ok, got.ok) << "step " << s;
+    EXPECT_EQ(ws.total_steps, gs.total_steps) << "step " << s;
+    EXPECT_EQ(want.report.requests_failed, got.report.requests_failed);
+  }
+}
+
+TEST(Snapshot, RestoreIntoDifferentThreadCount) {
+  ThreadPool one(1);
+  ThreadPool four(4);
+
+  std::string bytes;
+  std::vector<std::pair<std::vector<i64>, i64>> want;
+  {
+    ScopedPool guard(one);
+    PramMeshSimulator sim(small_config());
+    run_steps(sim, 5, 0, 4);
+    bytes = snapshot_simulator(sim);
+    want = run_steps(sim, 5, 4, 4);
+  }
+  {
+    ScopedPool guard(four);
+    std::unique_ptr<PramMeshSimulator> restored = restore_simulator(bytes);
+    const auto got = run_steps(*restored, 5, 4, 4);
+    ASSERT_EQ(want.size(), got.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(want[i].first, got[i].first) << "step " << i;
+      EXPECT_EQ(want[i].second, got[i].second) << "step " << i;
+    }
+  }
+}
+
+TEST(Snapshot, SessionSnapshotCarriesQueueRngAndStats) {
+  SessionManager mgr;
+  const SimConfig cfg = small_config();
+  Session& s = mgr.create("orig", cfg);
+  FairScheduler sched(mgr);
+  CollectSink sink;
+  sink.install(sched);
+
+  const i64 n = s.sim().processors();
+  // Execute two steps, then leave three queued.
+  for (u64 id = 1; id <= 2; ++id) {
+    ASSERT_TRUE(sched.submit(s.id(), make_request(id, 6, static_cast<i64>(id),
+                                                  n, cfg.num_vars))
+                    .accepted);
+  }
+  sched.run_until_idle();
+  for (u64 id = 3; id <= 5; ++id) {
+    ASSERT_TRUE(sched.submit(s.id(), make_request(id, 6, static_cast<i64>(id),
+                                                  n, cfg.num_vars))
+                    .accepted);
+  }
+  (void)s.rng()();  // advance the workload stream past its seed state
+  const std::array<u64, 4> rng_state = s.rng().state();
+  const std::string bytes = s.snapshot();
+
+  // "Kill the process": a fresh manager/scheduler stack restores the bytes.
+  SessionManager mgr2;
+  Session& r = mgr2.restore("fork", bytes);
+  EXPECT_EQ(r.name(), "fork");  // restored under a new name
+  EXPECT_EQ(r.state(), SessionState::Running);
+  EXPECT_EQ(r.queue_depth(), 3);
+  EXPECT_EQ(r.stats().steps_executed, 2);
+  EXPECT_EQ(r.stats().accepted, 5);
+  EXPECT_EQ(r.rng().state(), rng_state);
+
+  FairScheduler sched2(mgr2);
+  CollectSink sink2;
+  sink2.install(sched2);
+  EXPECT_EQ(sched2.run_until_idle(), 3);
+
+  // The original finishes its queue too; both must agree bit for bit.
+  sched.run_until_idle();
+  for (u64 id = 3; id <= 5; ++id) {
+    ASSERT_EQ(sink.done.count(id), 1u);
+    ASSERT_EQ(sink2.done.count(id), 1u);
+    EXPECT_EQ(sink.done[id].values, sink2.done[id].values) << "req " << id;
+    EXPECT_EQ(sink.done[id].mesh_steps, sink2.done[id].mesh_steps);
+  }
+}
+
+TEST(Snapshot, RejectsCorruptionTruncationAndVersionSkew) {
+  PramMeshSimulator sim(small_config());
+  run_steps(sim, 8, 0, 2);
+  const std::string bytes = snapshot_simulator(sim);
+
+  // Truncation at several depths.
+  for (const size_t keep : {0u, 3u, 17u}) {
+    EXPECT_THROW((void)restore_simulator(std::string_view(bytes).substr(
+                     0, std::min(keep, bytes.size()))),
+                 SnapshotError);
+  }
+  EXPECT_THROW((void)restore_simulator(
+                   std::string_view(bytes).substr(0, bytes.size() - 1)),
+               SnapshotError);
+
+  // Bit corruption anywhere (payload or trailer) fails the checksum.
+  for (const size_t at : {size_t{0}, size_t{9}, bytes.size() / 2,
+                          bytes.size() - 1}) {
+    std::string bad = bytes;
+    bad[at] = static_cast<char>(bad[at] ^ 0x40);
+    EXPECT_THROW((void)restore_simulator(bad), SnapshotError) << "at " << at;
+  }
+
+  // Re-checksummed tampering reaches the structured validators.
+  const auto rechecksum = [](std::string payload) {
+    ByteWriter w(payload);
+    w.put_u64(fnv1a64(std::string_view(payload.data(), payload.size() - 0)));
+    return payload;
+  };
+  std::string payload(bytes.data(), bytes.size() - 8);
+  {
+    std::string bad = payload;
+    bad[0] = static_cast<char>(bad[0] ^ 0xff);  // magic
+    try {
+      (void)restore_simulator(rechecksum(bad));
+      FAIL() << "bad magic accepted";
+    } catch (const SnapshotError& e) {
+      EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos);
+    }
+  }
+  {
+    std::string bad = payload;
+    bad[4] = static_cast<char>(bad[4] + 1);  // version
+    try {
+      (void)restore_simulator(rechecksum(bad));
+      FAIL() << "future version accepted";
+    } catch (const SnapshotError& e) {
+      EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ScopedPool: concurrent simulators stop contending on the process pool.
+// ---------------------------------------------------------------------------
+
+TEST(ScopedPool, TwoConcurrentSimulatorsMatchSerialBaseline) {
+  const SimConfig cfg = small_config();
+  constexpr i64 kSteps = 4;
+
+  // Serial baseline per tag.
+  std::vector<std::vector<std::pair<std::vector<i64>, i64>>> want;
+  for (i64 tag = 0; tag < 2; ++tag) {
+    PramMeshSimulator solo(cfg);
+    want.push_back(run_steps(solo, tag, 0, kSteps));
+  }
+
+  // The same two workloads on two OS threads, each with a private pool.
+  std::vector<std::vector<std::pair<std::vector<i64>, i64>>> got(2);
+  std::vector<std::thread> threads;
+  for (i64 tag = 0; tag < 2; ++tag) {
+    threads.emplace_back([&, tag] {
+      ThreadPool pool(2);
+      ScopedPool guard(pool);
+      PramMeshSimulator sim(cfg);
+      got[static_cast<size_t>(tag)] = run_steps(sim, tag, 0, kSteps);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(got[0], want[0]);
+  EXPECT_EQ(got[1], want[1]);
+}
+
+TEST(ScopedPool, FourConcurrentScheduledSessionsMatchSolo) {
+  // The tsan-serve gate: four serving stacks on four OS threads, each
+  // scheduler owning a private pool via ScopedPool injection, all running
+  // concurrently — results must match the serial solo baseline, and the
+  // whole thing must be TSan-clean.
+  const SimConfig cfg = small_config();
+  constexpr i64 kStacks = 4;
+  constexpr i64 kSteps = 3;
+
+  std::vector<std::vector<std::pair<std::vector<i64>, i64>>> want;
+  for (i64 tag = 0; tag < kStacks; ++tag) {
+    PramMeshSimulator solo(cfg);
+    want.push_back(run_steps(solo, tag, 0, kSteps));
+  }
+
+  std::vector<std::vector<std::pair<std::vector<i64>, i64>>> got(kStacks);
+  std::vector<std::thread> threads;
+  for (i64 tag = 0; tag < kStacks; ++tag) {
+    threads.emplace_back([&, tag] {
+      SessionManager mgr;
+      Session& s = mgr.create("t" + std::to_string(tag), cfg);
+      SchedulerConfig scfg;
+      scfg.threads = 2;  // scheduler-owned pool, installed per step
+      FairScheduler sched(mgr, scfg);
+      std::map<u64, Response> done;
+      sched.set_completion_sink(
+          [&done](Response&& r) { done[r.id] = std::move(r); });
+      const i64 n = s.sim().processors();
+      for (i64 t = 0; t < kSteps; ++t) {
+        Request req = make_request(static_cast<u64>(t + 1), tag, t, n,
+                                   cfg.num_vars);
+        ASSERT_TRUE(sched.submit(s.id(), std::move(req)).accepted);
+      }
+      sched.run_until_idle();
+      for (i64 t = 0; t < kSteps; ++t) {
+        Response& r = done[static_cast<u64>(t + 1)];
+        got[static_cast<size_t>(tag)].emplace_back(std::move(r.values),
+                                                   r.mesh_steps);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (i64 tag = 0; tag < kStacks; ++tag) {
+    EXPECT_EQ(got[static_cast<size_t>(tag)], want[static_cast<size_t>(tag)])
+        << "stack " << tag;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Wire API + loopback driver.
+// ---------------------------------------------------------------------------
+
+TEST(WireApi, RequestAndResponseRoundTrip) {
+  WireRequest req;
+  req.type = MsgType::Step;
+  req.request_id = 42;
+  req.session = "alpha";
+  req.accesses = make_request(0, 1, 2, 8, 1080).accesses;
+  const std::string frame = encode_request(req);
+
+  std::string_view buf = frame;
+  const auto payload = next_frame(buf);
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_TRUE(buf.empty());
+  const WireRequest back = decode_request(*payload);
+  EXPECT_EQ(back.type, MsgType::Step);
+  EXPECT_EQ(back.request_id, 42u);
+  EXPECT_EQ(back.session, "alpha");
+  ASSERT_EQ(back.accesses.size(), req.accesses.size());
+  for (size_t i = 0; i < req.accesses.size(); ++i) {
+    EXPECT_EQ(back.accesses[i].var, req.accesses[i].var);
+    EXPECT_EQ(back.accesses[i].op, req.accesses[i].op);
+    EXPECT_EQ(back.accesses[i].value, req.accesses[i].value);
+  }
+
+  WireResponse resp;
+  resp.type = MsgType::BatchRead;
+  resp.request_id = 42;
+  resp.values = {1, -2, 3};
+  resp.mesh_steps = 77;
+  resp.slice = 5;
+  resp.stats.accepted = 9;
+  const std::string rframe = encode_response(resp);
+  std::string_view rbuf = rframe;
+  const WireResponse rback = decode_response(*next_frame(rbuf));
+  EXPECT_EQ(rback.type, MsgType::BatchRead);
+  EXPECT_TRUE(rback.ok);
+  EXPECT_EQ(rback.values, resp.values);
+  EXPECT_EQ(rback.mesh_steps, 77);
+  EXPECT_EQ(rback.slice, 5);
+  EXPECT_EQ(rback.stats.accepted, 9);
+}
+
+TEST(WireApi, FramingHandlesPartialAndConcatenatedBuffers) {
+  const std::string f1 = encode_control(MsgType::Stats, 1, "a");
+  const std::string f2 = encode_control(MsgType::Snapshot, 2, "b");
+  const std::string joined = f1 + f2;
+
+  std::string_view partial(joined.data(), 2);
+  EXPECT_FALSE(next_frame(partial).has_value());
+  std::string_view cut(joined.data(), f1.size() + 3);
+  EXPECT_TRUE(next_frame(cut).has_value());   // f1 complete
+  EXPECT_FALSE(next_frame(cut).has_value());  // f2 only partially present
+
+  std::string_view both = joined;
+  EXPECT_EQ(decode_request(*next_frame(both)).request_id, 1u);
+  EXPECT_EQ(decode_request(*next_frame(both)).request_id, 2u);
+  EXPECT_TRUE(both.empty());
+}
+
+TEST(LoopbackDriver, EndToEndWriteReadSnapshotRestoreStats) {
+  const SimConfig cfg = small_config();
+  SessionManager mgr;
+  Session& s = mgr.create("alpha", cfg);
+  FairScheduler sched(mgr);
+  LoopbackDriver driver(mgr, sched);
+
+  const i64 n = s.sim().processors();
+  std::vector<i64> vars, vals;
+  for (i64 i = 0; i < n; ++i) {
+    vars.push_back((i * 7) % cfg.num_vars);
+    vals.push_back(500 + i);
+  }
+  driver.submit(encode_batch_write(1, "alpha", vars, vals));
+  driver.submit(encode_batch_read(2, "alpha", vars));
+  sched.run_until_idle();
+
+  std::map<u64, WireResponse> got;
+  for (const std::string& frame : driver.poll()) {
+    std::string_view buf = frame;
+    const WireResponse r = decode_response(*next_frame(buf));
+    got[r.request_id] = r;
+  }
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_TRUE(got[1].ok);
+  EXPECT_EQ(got[1].type, MsgType::BatchWrite);
+  EXPECT_TRUE(got[1].values.empty());
+  EXPECT_TRUE(got[2].ok);
+  ASSERT_EQ(got[2].values.size(), static_cast<size_t>(n));
+  EXPECT_EQ(got[2].values, vals);
+  EXPECT_GT(got[2].mesh_steps, 0);
+
+  // Stats over the wire.
+  driver.submit(encode_control(MsgType::Stats, 3, "alpha"));
+  // Snapshot over the wire, then restore under a new name and re-read.
+  driver.submit(encode_control(MsgType::Snapshot, 4, "alpha"));
+  auto frames = driver.poll();
+  ASSERT_EQ(frames.size(), 2u);
+  std::string_view b3 = frames[0];
+  const WireResponse stats = decode_response(*next_frame(b3));
+  EXPECT_EQ(stats.type, MsgType::Stats);
+  EXPECT_EQ(stats.stats.steps_executed, 2);
+  std::string_view b4 = frames[1];
+  const WireResponse snap = decode_response(*next_frame(b4));
+  ASSERT_TRUE(snap.ok);
+  ASSERT_FALSE(snap.snapshot_bytes.empty());
+
+  driver.submit(
+      encode_control(MsgType::Restore, 5, "beta", snap.snapshot_bytes));
+  driver.submit(encode_batch_read(6, "beta", vars));
+  sched.run_until_idle();
+  frames = driver.poll();
+  ASSERT_EQ(frames.size(), 2u);
+  std::string_view b6 = frames[1];
+  const WireResponse reread = decode_response(*next_frame(b6));
+  EXPECT_TRUE(reread.ok);
+  EXPECT_EQ(reread.values, vals);  // restored memory serves the same reads
+}
+
+TEST(LoopbackDriver, MalformedFramesAndRejectionsBecomeErrorResponses) {
+  SessionManager mgr;
+  SessionLimits limits;
+  limits.queue_capacity = 1;
+  Session& s = mgr.create("alpha", small_config(), limits);
+  FairScheduler sched(mgr);
+  LoopbackDriver driver(mgr, sched);
+
+  driver.submit("garbage-not-a-frame");
+  driver.submit(encode_batch_read(1, "ghost", {0, 1}));
+  driver.submit(encode_batch_read(2, "alpha", {0, 1}));
+  driver.submit(encode_batch_read(3, "alpha", {2, 3}));  // queue full
+  const auto frames = driver.poll();
+  ASSERT_EQ(frames.size(), 3u);  // garbage + ghost + rejection; id 2 pending
+  for (const std::string& frame : frames) {
+    std::string_view buf = frame;
+    const WireResponse r = decode_response(*next_frame(buf));
+    EXPECT_FALSE(r.ok);
+    EXPECT_FALSE(r.error.empty());
+    EXPECT_EQ(r.slice, -1);  // never executed
+  }
+  EXPECT_EQ(s.stats().rejected, 1);
+  sched.run_until_idle();
+  EXPECT_EQ(driver.poll().size(), 1u);  // id 2 completed
+}
+
+// ---------------------------------------------------------------------------
+// Load generator.
+// ---------------------------------------------------------------------------
+
+struct LoadgenStack {
+  SessionManager mgr;
+  std::unique_ptr<FairScheduler> sched;
+  std::unique_ptr<LoopbackDriver> driver;
+  std::vector<std::string> names;
+  std::vector<SessionShape> shapes;
+
+  explicit LoadgenStack(i64 sessions, i64 queue_capacity,
+                        i64 global_inflight) {
+    const SimConfig cfg = small_config();
+    SessionLimits limits;
+    limits.queue_capacity = queue_capacity;
+    for (i64 s = 0; s < sessions; ++s) {
+      Session& sess =
+          mgr.create("lg" + std::to_string(s), cfg, limits);
+      names.push_back(sess.name());
+      shapes.push_back({sess.sim().processors(), sess.sim().num_vars()});
+    }
+    SchedulerConfig scfg;
+    scfg.global_inflight = global_inflight;
+    sched = std::make_unique<FairScheduler>(mgr, scfg);
+    driver = std::make_unique<LoopbackDriver>(mgr, *sched);
+  }
+
+  LoadgenReport run(const LoadgenConfig& cfg) {
+    return run_loadgen(*driver, *sched, names, shapes, cfg);
+  }
+};
+
+TEST(Loadgen, DeterministicAcrossRuns) {
+  LoadgenConfig cfg;
+  cfg.requests = 60;
+  cfg.arrivals_per_slice = 3.0;  // over capacity: 3 arrivals, 2 sessions
+  cfg.seed = 11;
+  cfg.accesses_per_request = 16;
+
+  LoadgenStack a(2, 4, 64);
+  LoadgenStack b(2, 4, 64);
+  const LoadgenReport ra = a.run(cfg);
+  const LoadgenReport rb = b.run(cfg);
+
+  EXPECT_EQ(ra.offered, 60);
+  EXPECT_EQ(ra.rejected + ra.completed + ra.failed, ra.offered);
+  EXPECT_EQ(ra.failed, 0);
+  EXPECT_GT(ra.rejected, 0);  // over-capacity load must hit admission control
+  EXPECT_LE(ra.peak_queue_depth, 4);  // bounded queue, never exceeded
+
+  EXPECT_EQ(ra.completed, rb.completed);
+  EXPECT_EQ(ra.rejected, rb.rejected);
+  EXPECT_EQ(ra.slices, rb.slices);
+  EXPECT_EQ(ra.total_mesh_steps, rb.total_mesh_steps);
+  EXPECT_EQ(ra.peak_queue_depth, rb.peak_queue_depth);
+  EXPECT_EQ(ra.p50_slices, rb.p50_slices);
+  EXPECT_EQ(ra.p99_slices, rb.p99_slices);
+}
+
+TEST(Loadgen, WorkloadGenerationIsPureAndErew) {
+  LoadgenConfig cfg;
+  cfg.requests = 40;
+  cfg.seed = 5;
+  const std::vector<SessionShape> shapes = {{64, 1080}, {64, 1080}};
+  const auto w1 = generate_workload(cfg, shapes);
+  const auto w2 = generate_workload(cfg, shapes);
+  ASSERT_EQ(w1.size(), 40u);
+  for (size_t i = 0; i < w1.size(); ++i) {
+    EXPECT_EQ(w1[i].id, w2[i].id);
+    EXPECT_EQ(w1[i].session_index, w2[i].session_index);
+    EXPECT_EQ(w1[i].arrival_slice, w2[i].arrival_slice);
+    ASSERT_EQ(w1[i].accesses.size(), w2[i].accesses.size());
+    // EREW: distinct vars within one request.
+    std::vector<i64> vars;
+    for (const AccessRequest& a : w1[i].accesses) vars.push_back(a.var);
+    std::sort(vars.begin(), vars.end());
+    EXPECT_EQ(std::adjacent_find(vars.begin(), vars.end()), vars.end());
+    if (i > 0) {
+      EXPECT_GE(w1[i].arrival_slice, w1[i - 1].arrival_slice);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace meshpram::serve

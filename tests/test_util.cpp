@@ -4,13 +4,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <functional>
 #include <limits>
 #include <set>
 #include <sstream>
+#include <string>
 #include <vector>
 
 #include "util/csv.hpp"
+#include "util/env.hpp"
 #include "util/error.hpp"
+#include "util/log.hpp"
 #include "util/math.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -274,6 +279,67 @@ TEST(Errors, RequireThrowsConfigWithContext) {
 
 TEST(Errors, AssertThrowsInternal) {
   EXPECT_THROW(MP_ASSERT(1 == 2, "bug"), InternalError);
+}
+
+// ---------------------------------------------------------------------------
+// Environment-variable parsing: malformed knobs are rejected with a warning
+// that names the variable, and the caller falls back to its default.
+// ---------------------------------------------------------------------------
+
+/// Captures every warning logged while `fn` runs, with the env var set.
+std::vector<std::string> warnings_with_env(const char* name, const char* value,
+                                           const std::function<i64()>& fn,
+                                           i64* result) {
+  std::vector<std::string> warnings;
+  set_log_sink([&warnings](LogLevel level, const std::string& msg) {
+    if (level == LogLevel::Warn) warnings.push_back(msg);
+  });
+  EXPECT_EQ(setenv(name, value, 1), 0);
+  *result = fn();
+  unsetenv(name);
+  set_log_sink({});
+  return warnings;
+}
+
+class EnvKnobs : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EnvKnobs, MalformedValuesAreRejectedWithAClearMessage) {
+  const char* name = GetParam();
+  for (const char* bad : {"banana", "12x", "", "-3", "999999999999999999999"}) {
+    i64 got = -1;
+    const auto warnings = warnings_with_env(
+        name, bad, [name] { return env_i64(name, 1, 32767).value_or(-1); },
+        &got);
+    EXPECT_EQ(got, -1) << name << "='" << bad << "' must fall back";
+    if (*bad == '\0') {
+      EXPECT_TRUE(warnings.empty());  // unset/empty is not an error
+      continue;
+    }
+    ASSERT_EQ(warnings.size(), 1u) << name << "='" << bad << "'";
+    // The message names the variable and echoes the offending value.
+    EXPECT_NE(warnings[0].find(name), std::string::npos) << warnings[0];
+  }
+  // A well-formed value passes through untouched, silently.
+  i64 got = -1;
+  const auto warnings = warnings_with_env(
+      name, "128", [name] { return env_i64(name, 1, 32767).value_or(-1); },
+      &got);
+  EXPECT_EQ(got, 128);
+  EXPECT_TRUE(warnings.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(TuningKnobs, EnvKnobs,
+                         ::testing::Values("MESHPRAM_STRIPE_MIN_NODES",
+                                           "MESHPRAM_BENCH_MAX_SIDE"));
+
+TEST(Env, StrReturnsNulloptForUnsetOrEmpty) {
+  unsetenv("MESHPRAM_TEST_STR");
+  EXPECT_FALSE(env_str("MESHPRAM_TEST_STR").has_value());
+  ASSERT_EQ(setenv("MESHPRAM_TEST_STR", "", 1), 0);
+  EXPECT_FALSE(env_str("MESHPRAM_TEST_STR").has_value());
+  ASSERT_EQ(setenv("MESHPRAM_TEST_STR", "hello", 1), 0);
+  EXPECT_EQ(env_str("MESHPRAM_TEST_STR").value(), "hello");
+  unsetenv("MESHPRAM_TEST_STR");
 }
 
 }  // namespace
