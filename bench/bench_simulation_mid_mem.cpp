@@ -28,7 +28,7 @@ int main() {
       const i64 M = static_cast<i64>(std::llround(std::pow(n, alpha)));
       const SimPoint p = measure_sim_step(side, M, 3, k, 7);
       rec.point("k=" + std::to_string(k) + " side=" + std::to_string(side),
-                p.wall_ms, p.steps);
+                p.wall_ms, p.steps, p.perf);
       t.add(p.k, p.n, p.M, p.redundancy, p.steps,
             static_cast<double>(p.steps) /
                 std::sqrt(static_cast<double>(p.n)),

@@ -129,6 +129,7 @@ inline void fill_tessellated_instance(Mesh& mesh,
 }  // namespace meshpram::benchutil
 
 #include <cstdlib>
+#include <fstream>
 
 #include "protocol/simulator.hpp"
 #include "telemetry/export.hpp"
@@ -160,6 +161,7 @@ struct SimPoint {
   i64 forward = 0;
   bool degraded = false;
   double wall_ms = 0;  ///< host wall-clock of the step() call
+  telemetry::PerfSample perf;  ///< hardware counters over the step() call
 };
 
 /// One full PRAM access step (read) on the mesh simulator; Analytic sort mode
@@ -189,9 +191,12 @@ inline SimPoint measure_sim_step(int side, i64 M, i64 q, int k, u64 seed,
     telemetry::set_enabled(true);
   }
   StepStats st;
+  telemetry::PerfCounters perf;  // absent (no columns) when unavailable
   const WallTimer timer;
+  perf.start();
   sim.step(reqs, &st);
   SimPoint p;
+  p.perf = perf.stop();
   p.wall_ms = timer.ms();
   if (trace_dir) {
     telemetry::set_enabled(false);
@@ -201,6 +206,10 @@ inline SimPoint measure_sim_step(int side, i64 M, i64 q, int k, u64 seed,
     const std::string base = *trace_dir + "/TRACE_" + tag;
     telemetry::write_chrome_trace(base + ".json");
     telemetry::write_heatmap_csv(sim.mesh().counters(), base + ".csv");
+    // Per-stage wall/step aggregate plus the run-level hardware-counter
+    // footer (absent when perf_event_open is unavailable on the host).
+    std::ofstream stages(base + "_stages.txt");
+    telemetry::write_stage_summary(stages, p.perf);
   }
   p.n = n;
   p.M = M;

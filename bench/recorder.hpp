@@ -11,6 +11,12 @@
 //   3 — adds "threads" (host worker count the run used), "git_sha" and
 //       "build_type" (both baked in by bench/CMakeLists.txt), so a recorded
 //       wall_ms can be matched to the machine configuration that produced it
+//   4 — adds "node_order" and "simd" (the physical layout and kernel variant
+//       the run used) and optional per-point hardware counter columns
+//       (instructions, cycles, llc_refs, llc_misses, llc_miss_rate,
+//       branch_misses via perf_event_open). Perf columns are informational:
+//       they appear only when the counters were readable on the host and are
+//       never diffed by tools/bench_smoke.py
 #pragma once
 
 #include <chrono>
@@ -18,7 +24,10 @@
 #include <string>
 #include <vector>
 
+#include "mesh/node_order.hpp"
+#include "telemetry/perf_counters.hpp"
 #include "util/env.hpp"
+#include "util/simd.hpp"
 #include "util/math.hpp"
 #include "util/thread_pool.hpp"
 
@@ -53,12 +62,18 @@ inline std::string bench_output_dir() {
 /// Collects per-configuration measurements and writes BENCH_<name>.json.
 class BenchRecorder {
  public:
-  static constexpr int kSchemaVersion = 3;
+  static constexpr int kSchemaVersion = 4;
 
   explicit BenchRecorder(std::string name) : name_(std::move(name)) {}
 
   void point(std::string config, double wall_ms, i64 mesh_steps) {
-    points_.push_back({std::move(config), wall_ms, mesh_steps});
+    points_.push_back({std::move(config), wall_ms, mesh_steps, {}});
+  }
+
+  /// Point with hardware counters; absent samples record no perf columns.
+  void point(std::string config, double wall_ms, i64 mesh_steps,
+             const telemetry::PerfSample& perf) {
+    points_.push_back({std::move(config), wall_ms, mesh_steps, perf});
   }
 
   std::string output_path() const {
@@ -81,13 +96,23 @@ class BenchRecorder {
 #else
         "unknown"
 #endif
+        << "\",\n  \"node_order\": \"" << node_order_name(node_order_default())
+        << "\",\n  \"simd\": \"" << simd::kernel_name()
         << "\",\n  \"points\": [\n";
     for (size_t i = 0; i < points_.size(); ++i) {
       const Point& p = points_[i];
       out << "    {\"config\": \"" << p.config
           << "\", \"wall_ms\": " << p.wall_ms
-          << ", \"mesh_steps\": " << p.mesh_steps << '}'
-          << (i + 1 < points_.size() ? "," : "") << '\n';
+          << ", \"mesh_steps\": " << p.mesh_steps;
+      if (p.perf.available) {
+        out << ", \"instructions\": " << p.perf.instructions
+            << ", \"cycles\": " << p.perf.cycles
+            << ", \"llc_refs\": " << p.perf.cache_refs
+            << ", \"llc_misses\": " << p.perf.cache_misses
+            << ", \"llc_miss_rate\": " << p.perf.llc_miss_rate()
+            << ", \"branch_misses\": " << p.perf.branch_misses;
+      }
+      out << '}' << (i + 1 < points_.size() ? "," : "") << '\n';
     }
     out << "  ]\n}\n";
   }
@@ -97,6 +122,7 @@ class BenchRecorder {
     std::string config;
     double wall_ms = 0;
     i64 mesh_steps = 0;
+    telemetry::PerfSample perf;
   };
   std::string name_;
   std::vector<Point> points_;

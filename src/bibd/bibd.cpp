@@ -33,8 +33,48 @@ i64 Bibd::encode_input(const Phi& phi) const {
          phi.A * qpow_[static_cast<size_t>(phi.h)] + phi.B;
 }
 
+template <i64 Q>
+i64 Bibd::neighbor_fixed(i64 w, i64 x) const {
+  MP_REQUIRE(0 <= w && w < num_inputs_,
+             "input index " << w << " outside [0, " << num_inputs_ << ')');
+  int h = 0;
+  while (w >= block_offset_[static_cast<size_t>(h) + 1]) ++h;
+  i64 local = w - block_offset_[static_cast<size_t>(h)];
+  // local = A·q^h + B with B < q^h, so its base-q digits are B's digits in
+  // positions [0, h) followed by A's digits in positions [h, h + d - 1).
+  // One divmod chain replaces the two divisions digit() pays per digit.
+  i64 dig[126];  // h + d - 1 <= 2d - 2, and q^{2d-2} <= |W|·q fits in i64
+  const int nd = h + d_ - 1;
+  for (int j = 0; j < nd; ++j) {
+    dig[j] = local % Q;
+    local /= Q;
+  }
+  i64 u = 0;
+  // Top digits j in (h, d-1]: a_{j-1}.
+  for (int j = d_ - 1; j > h; --j) u = u * Q + dig[h + j - 1];
+  // Digit h: x.
+  u = u * Q + x;
+  // Low digits j in [0, h): a_j + x·b_j.
+  for (int j = h - 1; j >= 0; --j) {
+    u = u * Q + field_.add(dig[h + j], field_.mul(x, dig[j]));
+  }
+  return u;
+}
+
 i64 Bibd::neighbor(i64 w, i64 x) const {
   MP_REQUIRE(0 <= x && x < q_, "field element " << x);
+  // Fixed-q bodies let the compiler strength-reduce every base-q divmod;
+  // the switch covers the small prime powers the paper's configs use.
+  switch (q_) {
+    case 2: return neighbor_fixed<2>(w, x);
+    case 3: return neighbor_fixed<3>(w, x);
+    case 4: return neighbor_fixed<4>(w, x);
+    case 5: return neighbor_fixed<5>(w, x);
+    case 7: return neighbor_fixed<7>(w, x);
+    case 8: return neighbor_fixed<8>(w, x);
+    case 9: return neighbor_fixed<9>(w, x);
+    default: break;
+  }
   const Phi phi = decode_input(w);
   // Digits of A are (a_{d-2}, ..., a_0); digits of B are (b_{h-1}, ..., b_0).
   i64 u = 0;

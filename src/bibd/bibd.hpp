@@ -101,6 +101,13 @@ class Bibd {
     return (v / qpow_[static_cast<size_t>(j)]) % q_;
   }
 
+  /// neighbor() with q fixed at compile time, so every base-q divmod
+  /// compiles to a multiply-shift instead of a hardware divide. The generic
+  /// digit() path costs ~8 i64 divisions per call, and neighbor dominates
+  /// the protocol's module-path computations.
+  template <i64 Q>
+  i64 neighbor_fixed(i64 w, i64 x) const;
+
   const GF& field_;
   i64 q_;
   int d_;

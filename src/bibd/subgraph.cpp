@@ -4,11 +4,12 @@
 
 namespace meshpram {
 
-BibdSubgraph::BibdSubgraph(i64 q, int d, i64 m) : bibd_(q, d), m_(m) {
+BibdSubgraph::BibdSubgraph(i64 q, int d, i64 m)
+    : bibd_(q, d), m_(m), qd1_(ipow(q, d - 1)) {
   MP_REQUIRE(1 <= m && m <= bibd_.num_inputs(),
              "subgraph input count m=" << m << " outside [1, "
                                        << bibd_.num_inputs() << ']');
-  const i64 qd1 = ipow(q, d - 1);
+  const i64 qd1 = qd1_;
   // l = largest value with q^{d-1}(q^l - 1)/(q - 1) <= m (l may equal d when
   // m = f(d), in which case V2 and V3 are empty).
   l_ = 0;
@@ -37,7 +38,7 @@ i64 BibdSubgraph::to_full(i64 v) const {
     // V1: identical layout to the full design for blocks h < l.
     return v;
   }
-  const i64 qd1 = ipow(q(), d() - 1);
+  const i64 qd1 = qd1_;
   i64 local = v - base_l_;
   if (local < qd1 * w_) {
     // V2: h = l, B in [0, w), position A*w + B.
@@ -55,7 +56,7 @@ i64 BibdSubgraph::from_full(i64 w_full) const {
   if (phi.h > l_) return -1;
   if (phi.B < w_) return base_l_ + phi.A * w_ + phi.B;
   if (phi.B == w_ && phi.A < z_) {
-    return base_l_ + ipow(q(), d() - 1) * w_ + phi.A;
+    return base_l_ + qd1_ * w_ + phi.A;
   }
   return -1;
 }

@@ -72,6 +72,7 @@ class BibdSubgraph {
 
   Bibd bibd_;
   i64 m_;
+  i64 qd1_;     // q^{d-1}, hoisted off the per-query translation path
   int l_;       // largest l with q^{d-1}(q^l-1)/(q-1) <= m
   i64 w_;       // full B-columns kept at h = l
   i64 z_;       // partial column: inputs with B = w and A < z

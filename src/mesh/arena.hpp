@@ -31,10 +31,21 @@
 #include <vector>
 
 #include "mesh/geometry.hpp"
+#include "mesh/node_order.hpp"
 #include "mesh/packet.hpp"
+#include "mesh/region.hpp"
 #include "util/error.hpp"
 
 namespace meshpram {
+
+/// Entry of the serial router's active lists: a snake position with its
+/// coordinate cached, so the per-step loops never re-derive (r, c) from the
+/// position. 8 bytes.
+struct ActiveNode {
+  i32 pos;
+  i16 r;
+  i16 c;
+};
 
 /// A packet in transit: handle into RouteArena::payload plus the destination
 /// coordinate cached at setup, so the per-step loops stop re-deriving it from
@@ -52,17 +63,27 @@ class RouteArena {
   /// Tombstone handle used by the mark-and-compact commit in route_greedy.
   static constexpr u32 kInvalidHandle = ~0u;
 
-  /// Starts a new route call over `nodes` snake positions: clears the payload
-  /// and setup scratch, zeroes queue counts and lane flags. Capacities of all
-  /// slabs are kept (reuse contract).
-  void reset(i64 nodes) {
-    nodes_ = nodes;
+  /// Starts a new route call over `region`: clears the payload and setup
+  /// scratch, zeroes queue counts and lane flags. Capacities of all slabs are
+  /// kept (reuse contract). `order` picks the physical placement of the
+  /// per-node queue/lane blocks: under Hilbert the blocks follow the same
+  /// curve as the mesh's node state, so neighboring nodes' transit queues
+  /// share cache lines at every tessellation level. Purely physical — every
+  /// accessor below still takes snake positions.
+  void reset(const Region& region, NodeOrderKind order) {
+    nodes_ = region.size();
     payload.clear();
     setup_rec.clear();
     setup_pos.clear();
-    count_.assign(static_cast<size_t>(nodes), 0);
-    in_rec_.resize(static_cast<size_t>(nodes) * kNumDirs);
-    in_full_.assign(static_cast<size_t>(nodes) * kNumDirs, 0);
+    build_slot_map(region, order);
+    count_.assign(static_cast<size_t>(nodes_), 0);
+    in_rec_.resize(static_cast<size_t>(nodes_) * kNumDirs);
+    in_full_.assign(static_cast<size_t>(nodes_) * kNumDirs, 0);
+    arrival_mark.assign(static_cast<size_t>(nodes_), 0);
+    in_frontier.assign(static_cast<size_t>(nodes_), 0);
+    frontier.clear();
+    frontier_next.clear();
+    arrivals.clear();
   }
 
   /// Sizes the strided queue slab for `cap` records per node. Contents are
@@ -74,14 +95,14 @@ class RouteArena {
   }
 
   /// Grows every queue to `new_cap` records in place, preserving contents.
-  /// Walks nodes back-to-front so the strided moves never overlap.
+  /// Walks physical slots back-to-front so the strided moves never overlap.
   void grow(i64 new_cap) {
     MP_ASSERT(new_cap > cap_, "arena grow to " << new_cap);
     rec_.resize(static_cast<size_t>(nodes_) * static_cast<size_t>(new_cap));
-    for (i64 pos = nodes_ - 1; pos > 0; --pos) {
-      const i32 cnt = count_[static_cast<size_t>(pos)];
+    for (i64 slot = nodes_ - 1; slot > 0; --slot) {
+      const i32 cnt = count_[static_cast<size_t>(slot)];
       if (cnt > 0) {
-        std::memmove(rec_.data() + pos * new_cap, rec_.data() + pos * cap_,
+        std::memmove(rec_.data() + slot * new_cap, rec_.data() + slot * cap_,
                      static_cast<size_t>(cnt) * sizeof(TransitRec));
       }
     }
@@ -89,13 +110,27 @@ class RouteArena {
   }
 
   i64 cap() const { return cap_; }
-  TransitRec* queue(i64 pos) { return rec_.data() + pos * cap_; }
-  i32& count(i64 pos) { return count_[static_cast<size_t>(pos)]; }
+  TransitRec* queue(i64 pos) { return rec_.data() + slot(pos) * cap_; }
+  i32& count(i64 pos) { return count_[static_cast<size_t>(slot(pos))]; }
   TransitRec& lane_rec(i64 pos, int lane) {
-    return in_rec_[static_cast<size_t>(pos * kNumDirs + lane)];
+    return in_rec_[static_cast<size_t>(slot(pos) * kNumDirs + lane)];
   }
   unsigned char* lane_flags(i64 pos) {
-    return in_full_.data() + pos * kNumDirs;
+    return in_full_.data() + slot(pos) * kNumDirs;
+  }
+
+  /// Slot-addressed variants for hot loops: under a curve order every
+  /// position-addressed accessor above pays a pos→slot table load, so the
+  /// serial router translates each position once and addresses the per-node
+  /// arrays by slot from then on.
+  i64 slot_of(i64 pos) const { return slot(pos); }
+  TransitRec* queue_at(i64 s) { return rec_.data() + s * cap_; }
+  i32& count_at(i64 s) { return count_[static_cast<size_t>(s)]; }
+  TransitRec& lane_rec_at(i64 s, int lane) {
+    return in_rec_[static_cast<size_t>(s * kNumDirs + lane)];
+  }
+  unsigned char* lane_flags_at(i64 s) {
+    return in_full_.data() + s * kNumDirs;
   }
 
   /// In-flight packets, appended at setup; stable until the call completes.
@@ -105,9 +140,49 @@ class RouteArena {
   std::vector<TransitRec> setup_rec;
   std::vector<i64> setup_pos;
 
+  /// Serial-path active lists (see route_greedy): nodes with a non-empty
+  /// transit queue, nodes that received a lane deposit this step, and their
+  /// membership bytes (indexed by snake position).
+  std::vector<ActiveNode> frontier;
+  std::vector<ActiveNode> frontier_next;
+  std::vector<ActiveNode> arrivals;
+  std::vector<unsigned char> arrival_mark;
+  std::vector<unsigned char> in_frontier;
+
  private:
+  i64 slot(i64 pos) const {
+    return pos_slot_.empty() ? pos : pos_slot_[static_cast<size_t>(pos)];
+  }
+
+  /// Physical slot of each snake position under `order`, cached per region
+  /// geometry (route calls repeat the same tessellation extents constantly).
+  void build_slot_map(const Region& region, NodeOrderKind order) {
+    if (order == NodeOrderKind::RowMajor) {
+      pos_slot_.clear();
+      curve_rows_ = curve_cols_ = 0;
+      return;
+    }
+    if (curve_rows_ == region.rows() && curve_cols_ == region.cols()) return;
+    curve_rows_ = region.rows();
+    curve_cols_ = region.cols();
+    std::vector<i32> id_at_slot;
+    fill_curve_order(curve_rows_, curve_cols_, order, id_at_slot);
+    pos_slot_.assign(id_at_slot.size(), 0);
+    const int cols = curve_cols_;
+    for (size_t s = 0; s < id_at_slot.size(); ++s) {
+      const i32 rm = id_at_slot[s];
+      const int r = rm / cols, c = rm % cols;
+      const i64 pos =
+          static_cast<i64>(r) * cols + ((r & 1) == 0 ? c : cols - 1 - c);
+      pos_slot_[static_cast<size_t>(pos)] = static_cast<i32>(s);
+    }
+  }
+
   i64 nodes_ = 0;
   i64 cap_ = 0;
+  int curve_rows_ = 0;
+  int curve_cols_ = 0;
+  std::vector<i32> pos_slot_;
   std::vector<TransitRec> rec_;
   std::vector<i32> count_;
   std::vector<TransitRec> in_rec_;

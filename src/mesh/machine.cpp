@@ -13,7 +13,8 @@ const telemetry::Label kDrainLabel = telemetry::intern("mesh.drain");
 
 }  // namespace
 
-Mesh::Mesh(int rows, int cols) : rows_(rows), cols_(cols) {
+Mesh::Mesh(int rows, int cols, NodeOrderKind order)
+    : rows_(rows), cols_(cols), order_(rows, cols, order) {
   MP_REQUIRE(rows >= 1 && cols >= 1, "mesh " << rows << 'x' << cols);
   bufs_.resize(static_cast<size_t>(size()));
   stores_.resize(static_cast<size_t>(size()));
@@ -23,7 +24,8 @@ Mesh::Mesh(int rows, int cols) : rows_(rows), cols_(cols) {
 i64 Mesh::total_packets(const Region& region) const {
   i64 total = 0;
   for (RegionCursor cur = cursor(region); cur.valid(); cur.advance()) {
-    total += static_cast<i64>(bufs_[static_cast<size_t>(cur.id())].size());
+    total += static_cast<i64>(
+        bufs_[static_cast<size_t>(order_.slot_of(cur.id()))].size());
   }
   return total;
 }
@@ -31,8 +33,10 @@ i64 Mesh::total_packets(const Region& region) const {
 i64 Mesh::max_load(const Region& region) const {
   i64 load = 0;
   for (RegionCursor cur = cursor(region); cur.valid(); cur.advance()) {
-    load = std::max(
-        load, static_cast<i64>(bufs_[static_cast<size_t>(cur.id())].size()));
+    load = std::max(load,
+                    static_cast<i64>(
+                        bufs_[static_cast<size_t>(order_.slot_of(cur.id()))]
+                            .size()));
   }
   return load;
 }
@@ -42,15 +46,20 @@ void Mesh::clear_buffers() {
 }
 
 std::vector<Packet> Mesh::drain(const Region& region) {
-  telemetry::Span span(telemetry::Cat::Phase, kDrainLabel);
   std::vector<Packet> out;
+  drain_into(region, out);
+  return out;
+}
+
+void Mesh::drain_into(const Region& region, std::vector<Packet>& out) {
+  telemetry::Span span(telemetry::Cat::Phase, kDrainLabel);
+  out.clear();
   out.reserve(static_cast<size_t>(total_packets(region)));
   for (RegionCursor cur = cursor(region); cur.valid(); cur.advance()) {
-    auto& b = bufs_[static_cast<size_t>(cur.id())];
+    auto& b = bufs_[static_cast<size_t>(order_.slot_of(cur.id()))];
     out.insert(out.end(), b.begin(), b.end());
     b.clear();
   }
-  return out;
 }
 
 }  // namespace meshpram

@@ -17,16 +17,19 @@
 #pragma once
 
 #include <atomic>
+#include <utility>
 #include <vector>
 
 #include "fault/plan.hpp"
 #include "mesh/arena.hpp"
 #include "mesh/geometry.hpp"
+#include "mesh/node_order.hpp"
 #include "mesh/packet.hpp"
 #include "mesh/region.hpp"
 #include "mesh/step_counter.hpp"
 #include "telemetry/counters.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace meshpram {
 
@@ -82,7 +85,7 @@ class CopyStore {
   /// Slot for `key`, or nullptr if the node holds no such copy.
   const CopySlot* find(u64 key) const {
     if (entries_.empty()) return nullptr;
-    const Entry& e = const_cast<CopyStore*>(this)->probe(key);
+    const Entry& e = probe(key);
     return e.key == kEmptyKey ? nullptr : &e.slot;
   }
 
@@ -114,13 +117,17 @@ class CopyStore {
     return x ^ (x >> 31);
   }
 
-  Entry& probe(u64 key) {
+  const Entry& probe(u64 key) const {
     const size_t mask = entries_.size() - 1;
     size_t i = static_cast<size_t>(mix(key)) & mask;
     while (entries_[i].key != kEmptyKey && entries_[i].key != key) {
       i = (i + 1) & mask;
     }
     return entries_[i];
+  }
+
+  Entry& probe(u64 key) {
+    return const_cast<Entry&>(std::as_const(*this).probe(key));
   }
 
   void grow() {
@@ -137,7 +144,11 @@ class CopyStore {
 
 class Mesh {
  public:
-  Mesh(int rows, int cols);
+  /// `order` picks the physical layout of the per-node state arrays (buffers
+  /// and copy stores); it is invisible to every logical observer (see
+  /// mesh/node_order.hpp). Defaults to the process-wide node_order_default().
+  explicit Mesh(int rows, int cols,
+                NodeOrderKind order = node_order_default());
 
   int rows() const { return rows_; }
   int cols() const { return cols_; }
@@ -168,22 +179,34 @@ class Mesh {
 
   std::vector<Packet>& buf(i32 id) {
     MP_REQUIRE(0 <= id && id < size(), "node id " << id);
-    return bufs_[static_cast<size_t>(id)];
+    return bufs_[static_cast<size_t>(order_.slot_of(id))];
   }
 
   const std::vector<Packet>& buf(i32 id) const {
     MP_REQUIRE(0 <= id && id < size(), "node id " << id);
-    return bufs_[static_cast<size_t>(id)];
+    return bufs_[static_cast<size_t>(order_.slot_of(id))];
   }
 
   CopyStore& store(i32 id) {
     MP_REQUIRE(0 <= id && id < size(), "node id " << id);
-    return stores_[static_cast<size_t>(id)];
+    return stores_[static_cast<size_t>(order_.slot_of(id))];
   }
   const CopyStore& store(i32 id) const {
     MP_REQUIRE(0 <= id && id < size(), "node id " << id);
-    return stores_[static_cast<size_t>(id)];
+    return stores_[static_cast<size_t>(order_.slot_of(id))];
   }
+
+  /// The physical id <-> slot bijection of this mesh's per-node arrays.
+  /// Per-node sweeps whose body is node-independent iterate slots (via
+  /// for_each_node below) so consecutive work touches consecutive memory.
+  const NodeOrder& order() const { return order_; }
+
+  /// Runs fn(id) for every node, chunked over the execution pool in physical
+  /// slot order. Legal whenever per-node work is disjoint and the caller's
+  /// merges are commutative (the for_each_chunk contract): the set of nodes
+  /// visited is the same, only the schedule changes with the layout.
+  template <class F>
+  void for_each_node(i64 min_grain, F&& fn) const;
 
   StepCounter& clock() { return clock_; }
   const StepCounter& clock() const { return clock_; }
@@ -207,6 +230,11 @@ class Mesh {
   /// The result is reserved up-front via total_packets; the emptied node
   /// buffers keep their capacity (reuse contract above).
   std::vector<Packet> drain(const Region& region);
+
+  /// drain() into a caller-owned buffer (cleared first, capacity kept), so
+  /// steady-state sort calls recycle one allocation instead of returning a
+  /// fresh vector per call.
+  void drain_into(const Region& region, std::vector<Packet>& out);
 
   /// Reusable flat transit arenas for route_greedy (mesh/arena.hpp). One
   /// lease per route call; pooled because parallel_for_regions runs several
@@ -241,6 +269,7 @@ class Mesh {
  private:
   int rows_;
   int cols_;
+  NodeOrder order_;
   std::vector<std::vector<Packet>> bufs_;
   std::vector<CopyStore> stores_;
   StepCounter clock_;
@@ -250,5 +279,14 @@ class Mesh {
   i64 fault_now_ = 0;
   FaultTally fault_tally_;
 };
+
+template <class F>
+void Mesh::for_each_node(i64 min_grain, F&& fn) const {
+  execution_pool().for_each_chunk(size(), min_grain, [&](i64 lo, i64 hi) {
+    for (i64 slot = lo; slot < hi; ++slot) {
+      fn(order_.id_of(static_cast<i32>(slot)));
+    }
+  });
+}
 
 }  // namespace meshpram

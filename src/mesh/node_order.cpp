@@ -1,0 +1,144 @@
+#include "mesh/node_order.hpp"
+
+#include <cstdlib>
+#include <mutex>
+
+#include "util/env.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace meshpram {
+
+namespace {
+
+int sgn(int v) { return (v > 0) - (v < 0); }
+
+/// Generalized Hilbert ("gilbert") curve for an arbitrary w x h rectangle:
+/// emits every cell of the axis-aligned parallelogram spanned by vectors
+/// (ax, ay) and (bx, by) starting at (x, y), consecutive cells always mesh
+/// neighbors. Splits the long axis recursively, flipping orientation so the
+/// sub-curves chain head-to-tail (Červený's construction).
+void gilbert(int x, int y, int ax, int ay, int bx, int by, int cols,
+             std::vector<i32>& out) {
+  const int w = std::abs(ax + ay);
+  const int h = std::abs(bx + by);
+  const int dax = sgn(ax), day = sgn(ay);  // unit major direction
+  const int dbx = sgn(bx), dby = sgn(by);  // unit orthogonal direction
+
+  if (h == 1) {
+    for (int i = 0; i < w; ++i) {
+      out.push_back(static_cast<i32>(y) * cols + x);
+      x += dax;
+      y += day;
+    }
+    return;
+  }
+  if (w == 1) {
+    for (int i = 0; i < h; ++i) {
+      out.push_back(static_cast<i32>(y) * cols + x);
+      x += dbx;
+      y += dby;
+    }
+    return;
+  }
+
+  int ax2 = ax / 2, ay2 = ay / 2;
+  int bx2 = bx / 2, by2 = by / 2;
+  const int w2 = std::abs(ax2 + ay2);
+  const int h2 = std::abs(bx2 + by2);
+
+  if (2 * w > 3 * h) {
+    if ((w2 % 2) != 0 && w > 2) {
+      ax2 += dax;
+      ay2 += day;
+    }
+    // Long case: split the major axis only.
+    gilbert(x, y, ax2, ay2, bx, by, cols, out);
+    gilbert(x + ax2, y + ay2, ax - ax2, ay - ay2, bx, by, cols, out);
+  } else {
+    if ((h2 % 2) != 0 && h > 2) {
+      bx2 += dbx;
+      by2 += dby;
+    }
+    // Standard case: one step sideways, one long leg, one step back.
+    gilbert(x, y, bx2, by2, ax2, ay2, cols, out);
+    gilbert(x + bx2, y + by2, ax, ay, bx - bx2, by - by2, cols, out);
+    gilbert(x + (ax - dax) + (bx2 - dbx), y + (ay - day) + (by2 - dby), -bx2,
+            -by2, -(ax - ax2), -(ay - ay2), cols, out);
+  }
+}
+
+/// Test override installed by set_node_order_override (process-wide; the
+/// layout suite swaps it around Mesh construction).
+std::optional<NodeOrderKind> g_override;
+
+}  // namespace
+
+const char* node_order_name(NodeOrderKind kind) {
+  switch (kind) {
+    case NodeOrderKind::RowMajor:
+      return "row-major";
+    case NodeOrderKind::Hilbert:
+      return "hilbert";
+  }
+  return "?";
+}
+
+std::optional<NodeOrderKind> parse_node_order(std::string_view s) {
+  if (s == "row-major" || s == "rowmajor" || s == "row_major") {
+    return NodeOrderKind::RowMajor;
+  }
+  if (s == "hilbert") return NodeOrderKind::Hilbert;
+  return std::nullopt;
+}
+
+void set_node_order_override(std::optional<NodeOrderKind> kind) {
+  g_override = kind;
+}
+
+NodeOrderKind node_order_default() {
+  if (g_override) return *g_override;
+  if (const auto s = env_str("MESHPRAM_NODE_ORDER")) {
+    if (const auto kind = parse_node_order(*s)) return *kind;
+    static std::once_flag warned;
+    std::call_once(warned, [&] {
+      MP_WARN("MESHPRAM_NODE_ORDER=" << *s
+                                     << " is not a node order (row-major | "
+                                        "hilbert); using hilbert");
+    });
+  }
+  return NodeOrderKind::Hilbert;
+}
+
+void fill_curve_order(int rows, int cols, NodeOrderKind kind,
+                      std::vector<i32>& id_at_slot) {
+  MP_REQUIRE(rows >= 1 && cols >= 1, "curve order " << rows << 'x' << cols);
+  id_at_slot.clear();
+  id_at_slot.reserve(static_cast<size_t>(rows) * cols);
+  if (kind == NodeOrderKind::RowMajor) {
+    for (i32 id = 0; id < rows * cols; ++id) id_at_slot.push_back(id);
+    return;
+  }
+  // Start the curve along the longer axis so the splits stay near-square.
+  if (cols >= rows) {
+    gilbert(0, 0, cols, 0, 0, rows, cols, id_at_slot);
+  } else {
+    gilbert(0, 0, 0, rows, cols, 0, cols, id_at_slot);
+  }
+  MP_ASSERT(static_cast<i64>(id_at_slot.size()) ==
+                static_cast<i64>(rows) * cols,
+            "curve order covered " << id_at_slot.size() << " of "
+                                   << static_cast<i64>(rows) * cols
+                                   << " cells");
+}
+
+NodeOrder::NodeOrder(int rows, int cols, NodeOrderKind kind) : kind_(kind) {
+  if (kind == NodeOrderKind::RowMajor) return;  // identity, no tables
+  fill_curve_order(rows, cols, kind, id_of_);
+  slot_of_.assign(id_of_.size(), 0);
+  for (size_t slot = 0; slot < id_of_.size(); ++slot) {
+    slot_of_[static_cast<size_t>(id_of_[slot])] = static_cast<i32>(slot);
+  }
+}
+
+}  // namespace meshpram

@@ -1,0 +1,83 @@
+// Physical node-order abstraction: where a node's hot state lives in memory.
+//
+// Logically the mesh is addressed by node id (r * cols + c, row-major) and
+// every algorithm keeps using that addressing. Physically, the per-node state
+// arrays (packet buffers, copy stores, the protocol's per-node bitmaps) are
+// laid out by *slot*, and a NodeOrder is the bijection id <-> slot. Row-major
+// is the identity; Hilbert places nodes along a generalized Hilbert curve
+// (works for any rows x cols rectangle, not just powers of two).
+//
+// Why: the paper's protocol is region-recursive — every CULLING iteration,
+// sort round and routing sweep walks one tessellation level. Under row-major
+// layout a level-i submesh of side s touches s widely separated row segments;
+// under the Hilbert order any aligned submesh occupies O(1) contiguous runs
+// of the slot space *at every recursion level at once* (the cache-oblivious
+// mesh layout of Bender et al., arXiv:0705.1033). No tuning parameter, no
+// per-level re-layout.
+//
+// Contract: the order is purely physical. Results, counted mesh steps, and
+// congestion counters are bit-identical for every NodeOrderKind (enforced by
+// the ctest -L layout suite); only wall-clock and cache-miss rates may move.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/math.hpp"
+
+namespace meshpram {
+
+enum class NodeOrderKind { RowMajor, Hilbert };
+
+/// Stable lower-case name ("row-major", "hilbert") for logs and bench JSON.
+const char* node_order_name(NodeOrderKind kind);
+
+/// Parses a node-order name (the MESHPRAM_NODE_ORDER values); nullopt if
+/// unrecognized.
+std::optional<NodeOrderKind> parse_node_order(std::string_view s);
+
+/// Process-wide default order: MESHPRAM_NODE_ORDER if set and valid
+/// (a malformed value falls back with a warning), else Hilbert.
+NodeOrderKind node_order_default();
+
+/// Overrides node_order_default() (nullopt restores the environment answer).
+/// For the layout test suite; not thread-safe against concurrent Mesh
+/// construction.
+void set_node_order_override(std::optional<NodeOrderKind> kind);
+
+/// Fills `id_at_slot` with the node id (r * cols + c) occupying each physical
+/// slot, in curve order. Exposed separately from NodeOrder so region-local
+/// consumers (the meshsort block slab) can lay out their own storage along
+/// the same curve without paying for the inverse table.
+void fill_curve_order(int rows, int cols, NodeOrderKind kind,
+                      std::vector<i32>& id_at_slot);
+
+/// The id <-> slot bijection for one mesh extent. Row-major keeps no tables
+/// (identity); Hilbert precomputes both directions (2 * 4 bytes per node).
+class NodeOrder {
+ public:
+  NodeOrder() = default;
+  NodeOrder(int rows, int cols, NodeOrderKind kind);
+
+  NodeOrderKind kind() const { return kind_; }
+  bool identity() const { return slot_of_.empty(); }
+
+  /// Physical slot of node `id`.
+  i32 slot_of(i32 id) const {
+    return slot_of_.empty() ? id : slot_of_[static_cast<size_t>(id)];
+  }
+
+  /// Node id stored at physical slot `slot`.
+  i32 id_of(i32 slot) const {
+    return id_of_.empty() ? slot : id_of_[static_cast<size_t>(slot)];
+  }
+
+ private:
+  NodeOrderKind kind_ = NodeOrderKind::RowMajor;
+  std::vector<i32> slot_of_;
+  std::vector<i32> id_of_;
+};
+
+}  // namespace meshpram

@@ -218,9 +218,11 @@ std::vector<i64> AccessProtocol::execute(
   {
     telemetry::Span gen_span(telemetry::Cat::Phase, kGenPackets);
     std::atomic<i64> packets{0};  // commutative sum: thread-count invariant
+    // Chunked over physical slots so the buffer writes stream the slab.
     execution_pool().for_each_chunk(n, kNodeGrain, [&](i64 begin, i64 end) {
       i64 local = 0;
-      for (i64 node = begin; node < end; ++node) {
+      for (i64 slot = begin; slot < end; ++slot) {
+        const i32 node = mesh_.order().id_of(static_cast<i32>(slot));
         const AccessRequest& req = requests[static_cast<size_t>(node)];
         if (req.var < 0) continue;
         for (i64 code : selections[static_cast<size_t>(node)]) {
@@ -229,10 +231,10 @@ std::vector<i64> AccessProtocol::execute(
           p.copy = static_cast<u64>(req.var) *
                        static_cast<u64>(params.redundancy()) +
                    static_cast<u64>(code);
-          p.origin = static_cast<i32>(node);
+          p.origin = node;
           p.op = req.op;
           p.value = req.value;
-          mesh_.buf(static_cast<i32>(node)).push_back(p);
+          mesh_.buf(node).push_back(p);
           ++local;
         }
       }
@@ -296,26 +298,23 @@ std::vector<i64> AccessProtocol::execute(
     // Perform the accesses at the destination processors.
     telemetry::Span apply_span(telemetry::Cat::Phase, kApplyAccess);
     const bool count_touches = telemetry::sampling_on();
-    execution_pool().for_each_chunk(n, kNodeGrain, [&](i64 begin, i64 end) {
-      for (i64 node = begin; node < end; ++node) {
-        auto& store = mesh_.store(static_cast<i32>(node));
-        auto& b = mesh_.buf(static_cast<i32>(node));
-        if (count_touches && !b.empty()) {
-          mesh_.counters().add_copies_touched(static_cast<i32>(node),
-                                              static_cast<i64>(b.size()));
-        }
-        for (Packet& p : b) {
-          if (p.op == Op::Write) {
-            store[p.copy] = CopySlot{p.value, timestamp};
+    mesh_.for_each_node(kNodeGrain, [&](i32 node) {
+      auto& store = mesh_.store(node);
+      auto& b = mesh_.buf(node);
+      if (count_touches && !b.empty()) {
+        mesh_.counters().add_copies_touched(node, static_cast<i64>(b.size()));
+      }
+      for (Packet& p : b) {
+        if (p.op == Op::Write) {
+          store[p.copy] = CopySlot{p.value, timestamp};
+        } else {
+          const CopySlot* slot = store.find(p.copy);
+          if (slot != nullptr) {
+            p.value = slot->value;
+            p.timestamp = slot->timestamp;
           } else {
-            const CopySlot* slot = store.find(p.copy);
-            if (slot != nullptr) {
-              p.value = slot->value;
-              p.timestamp = slot->timestamp;
-            } else {
-              p.value = 0;
-              p.timestamp = -1;
-            }
+            p.value = 0;
+            p.timestamp = -1;
           }
         }
       }
@@ -356,10 +355,8 @@ std::vector<i64> AccessProtocol::execute(
   }
   {
     telemetry::Span stage_span(telemetry::Cat::Stage, kReturnStage, k + 1);
-    execution_pool().for_each_chunk(n, kNodeGrain, [&](i64 begin, i64 end) {
-      for (i64 node = begin; node < end; ++node) {
-        for (Packet& p : mesh_.buf(static_cast<i32>(node))) p.dest = p.origin;
-      }
+    mesh_.for_each_node(kNodeGrain, [&](i32 node) {
+      for (Packet& p : mesh_.buf(node)) p.dest = p.origin;
     });
     const i64 steps = route_greedy(mesh_, mesh_.whole()).steps;
     st.return_steps += steps;
@@ -369,43 +366,40 @@ std::vector<i64> AccessProtocol::execute(
   // ---- Collect results -----------------------------------------------------
   telemetry::Span collect_span(telemetry::Cat::Phase, kCollect);
   std::vector<i64> results(static_cast<size_t>(n), 0);
-  execution_pool().for_each_chunk(n, kNodeGrain, [&](i64 begin, i64 end) {
-    for (i64 node = begin; node < end; ++node) {
-      auto& b = mesh_.buf(static_cast<i32>(node));
-      const AccessRequest& req = requests[static_cast<size_t>(node)];
-      i64 best_ts = -2;
-      i64 best_val = 0;
-      i64 got = 0;
-      for (const Packet& p : b) {
-        MP_ASSERT(p.origin == static_cast<i32>(node) && p.var == req.var,
-                  "packet returned to the wrong origin");
-        ++got;
-        if (p.op == Op::Read && p.timestamp > best_ts) {
-          best_ts = p.timestamp;
-          best_val = p.value;
-        }
+  mesh_.for_each_node(kNodeGrain, [&](i32 node) {
+    auto& b = mesh_.buf(node);
+    const AccessRequest& req = requests[static_cast<size_t>(node)];
+    i64 best_ts = -2;
+    i64 best_val = 0;
+    i64 got = 0;
+    for (const Packet& p : b) {
+      MP_ASSERT(p.origin == node && p.var == req.var,
+                "packet returned to the wrong origin");
+      ++got;
+      if (p.op == Op::Read && p.timestamp > best_ts) {
+        best_ts = p.timestamp;
+        best_val = p.value;
       }
-      if (req.var >= 0) {
-        if (request_ok.empty() || request_ok[static_cast<size_t>(node)] != 0) {
-          // No fault ever destroys an in-flight packet (drops are
-          // retransmitted, stalls delay, detours reroute), so conservation
-          // holds even under an active plan.
-          MP_ASSERT(
-              got == static_cast<i64>(
-                         selections[static_cast<size_t>(node)].size()),
-              "lost packets: " << got << " of "
-                               << selections[static_cast<size_t>(node)].size()
-                               << " returned");
-          if (req.op == Op::Read) {
-            results[static_cast<size_t>(node)] = best_val;
-          }
-        } else {
-          MP_ASSERT(got == 0, "failed request received " << got
-                                                         << " packets");
-        }
-      }
-      b.clear();
     }
+    if (req.var >= 0) {
+      if (request_ok.empty() || request_ok[static_cast<size_t>(node)] != 0) {
+        // No fault ever destroys an in-flight packet (drops are
+        // retransmitted, stalls delay, detours reroute), so conservation
+        // holds even under an active plan.
+        MP_ASSERT(
+            got == static_cast<i64>(
+                       selections[static_cast<size_t>(node)].size()),
+            "lost packets: " << got << " of "
+                             << selections[static_cast<size_t>(node)].size()
+                             << " returned");
+        if (req.op == Op::Read) {
+          results[static_cast<size_t>(node)] = best_val;
+        }
+      } else {
+        MP_ASSERT(got == 0, "failed request received " << got << " packets");
+      }
+    }
+    b.clear();
   });
 
   if (plan != nullptr) {

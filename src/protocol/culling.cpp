@@ -1,6 +1,7 @@
 #include "protocol/culling.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <mutex>
 #include <unordered_map>
 
@@ -8,6 +9,7 @@
 #include "routing/rank.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace meshpram {
@@ -60,9 +62,20 @@ std::vector<std::vector<i64>> Culling::run(
 
   // Per-node candidate bitmaps over the q^k codes: C_v^0 = minimal level-0
   // target set (at degradation level d, a minimal level-d target set within
-  // the surviving copies).
+  // the surviving copies). One flat slab indexed by PHYSICAL slot — node
+  // `id`'s row is candidate[order.slot_of(id) * ncodes ...] — so the
+  // slot-order sweeps below stream the slab front to back.
   const i64 ncodes = selector_.num_codes();
-  std::vector<std::vector<char>> candidate(static_cast<size_t>(n));
+  const NodeOrder& order = mesh_.order();
+  std::vector<char> candidate(static_cast<size_t>(n * ncodes), 0);
+  std::vector<char> marked(static_cast<size_t>(n * ncodes), 0);
+  // Level-i page id of each selected copy, cached by the emit loop (same
+  // slab indexing). The selection loop only ever shrinks a node's candidate
+  // set, so entries written at emit time cover every later read this iter.
+  std::vector<i64> pages(static_cast<size_t>(n * ncodes), 0);
+  const auto row_of = [&](i64 slot, std::vector<char>& slab) -> char* {
+    return slab.data() + slot * ncodes;
+  };
   const auto init_codes = selector_.initial(0);
   std::vector<char> avail;
   for (i64 node = 0; node < n; ++node) {
@@ -70,10 +83,9 @@ std::vector<std::vector<i64>> Culling::run(
     if (var < 0) continue;
     MP_REQUIRE(var < params.num_vars(),
                "variable " << var << " outside shared memory");
-    auto& bits = candidate[static_cast<size_t>(node)];
-    bits.assign(static_cast<size_t>(ncodes), 0);
+    char* bits = row_of(order.slot_of(static_cast<i32>(node)), candidate);
     if (!degraded) {
-      for (i64 code : init_codes) bits[static_cast<size_t>(code)] = 1;
+      for (i64 code : init_codes) bits[code] = 1;
       continue;
     }
     // Surviving-copy bitmap: a copy is available iff the module of the node
@@ -116,34 +128,36 @@ std::vector<std::vector<i64>> Culling::run(
     }
     if (d > 0) ++st.requests_degraded;
     deg[static_cast<size_t>(node)] = d;
-    for (i64 code : sel.codes) bits[static_cast<size_t>(code)] = 1;
+    for (i64 code : sel.codes) bits[code] = 1;
   }
   const std::vector<i64>& request_vars_eff = vars;
-
-  std::vector<std::vector<char>> marked(static_cast<size_t>(n));
 
   for (int iter = 1; iter <= params.k(); ++iter) {
     telemetry::Span iter_span(telemetry::Cat::Stage, kCullIter, iter);
     const i64 steps_before = st.steps;
     const i64 tau = params.culling_threshold(iter);
 
-    // Emit one packet per selected copy, keyed by its level-i page. Each
-    // node fills only its own buffer, so the loop chunks over nodes.
+    // Emit one packet per selected copy, keyed by its level-i page (cached
+    // for the load instrumentation below). Each node fills only its own
+    // buffer and slab row, so the loop chunks over physical slots.
     execution_pool().for_each_chunk(n, kNodeGrain, [&](i64 lo, i64 hi) {
-      for (i64 node = lo; node < hi; ++node) {
+      for (i64 slot = lo; slot < hi; ++slot) {
+        const i32 node = order.id_of(static_cast<i32>(slot));
         const i64 var = request_vars_eff[static_cast<size_t>(node)];
         if (var < 0) continue;
-        const auto& bits = candidate[static_cast<size_t>(node)];
-        auto& b = mesh_.buf(static_cast<i32>(node));
+        const char* bits = row_of(slot, candidate);
+        i64* page_row = pages.data() + slot * ncodes;
+        auto& b = mesh_.buf(node);
         for (i64 code = 0; code < ncodes; ++code) {
-          if (!bits[static_cast<size_t>(code)]) continue;
+          if (!bits[code]) continue;
           Packet p;
           p.var = var;
           p.copy = static_cast<u64>(var) *
                        static_cast<u64>(params.redundancy()) +
                    static_cast<u64>(code);
           p.key = static_cast<u64>(placement_.page_at(p.copy, iter));
-          p.origin = static_cast<i32>(node);
+          p.origin = node;
+          page_row[code] = static_cast<i64>(p.key);
           b.push_back(p);
         }
       }
@@ -152,12 +166,10 @@ std::vector<std::vector<i64>> Culling::run(
     // Sort by page, rank within page, mark the first tau of each page.
     st.steps += sort_region(mesh_, whole, sort_opts_);
     st.steps += rank_within_groups(mesh_, whole);
-    execution_pool().for_each_chunk(n, kNodeGrain, [&](i64 lo, i64 hi) {
-      for (i64 s = lo; s < hi; ++s) {
-        for (Packet& p : mesh_.buf(static_cast<i32>(s))) {
-          p.value = (static_cast<i64>(p.rank) < tau) ? 1 : 0;
-          p.dest = p.origin;
-        }
+    mesh_.for_each_node(kNodeGrain, [&](i32 id) {
+      for (Packet& p : mesh_.buf(id)) {
+        p.value = (static_cast<i64>(p.rank) < tau) ? 1 : 0;
+        p.dest = p.origin;
       }
     });
 
@@ -165,18 +177,20 @@ std::vector<std::vector<i64>> Culling::run(
     st.steps += route_sorted(mesh_, whole, sort_opts_).steps;
 
     // Local selection: prefer marked copies; add unmarked only if needed.
-    // Node `s` only writes marked[s] / candidate[s] and drains its own
-    // buffer, so both passes chunk over nodes.
+    // A node only writes its own slab rows and drains its own buffer, so
+    // both passes chunk over physical slots.
     execution_pool().for_each_chunk(n, kNodeGrain, [&](i64 lo, i64 hi) {
-      for (i64 s = lo; s < hi; ++s) {
-        marked[static_cast<size_t>(s)].assign(static_cast<size_t>(ncodes), 0);
-        auto& b = mesh_.buf(static_cast<i32>(s));
+      for (i64 slot = lo; slot < hi; ++slot) {
+        const i32 id = order.id_of(static_cast<i32>(slot));
+        char* mk = row_of(slot, marked);
+        std::memset(mk, 0, static_cast<size_t>(ncodes));
+        auto& b = mesh_.buf(id);
         for (const Packet& p : b) {
-          MP_ASSERT(p.dest == static_cast<i32>(s), "mark bit went astray");
+          MP_ASSERT(p.dest == id, "mark bit went astray");
           if (p.value != 0) {
             const i64 code = static_cast<i64>(
                 p.copy % static_cast<u64>(params.redundancy()));
-            marked[static_cast<size_t>(s)][static_cast<size_t>(code)] = 1;
+            mk[code] = 1;
           }
         }
         b.clear();
@@ -184,54 +198,54 @@ std::vector<std::vector<i64>> Culling::run(
     });
     execution_pool().for_each_chunk(n, /*min_grain=*/8, [&](i64 lo, i64 hi) {
       std::vector<char> m_only(static_cast<size_t>(ncodes), 0);
-      for (i64 node = lo; node < hi; ++node) {
+      std::vector<char> cand_vec;  // select() wants a vector view of the row
+      for (i64 slot = lo; slot < hi; ++slot) {
+        const i32 node = order.id_of(static_cast<i32>(slot));
         if (request_vars_eff[static_cast<size_t>(node)] < 0) continue;
-        auto& cand = candidate[static_cast<size_t>(node)];
-        const auto& mk = marked[static_cast<size_t>(node)];
+        char* cand = row_of(slot, candidate);
+        const char* mk = row_of(slot, marked);
         // Degraded variables extract at max(iter, d): a level-j target set
         // is also a level-j' target set for every j' >= j, so the invariant
         // below carries from iteration to iteration unchanged.
         const int level =
             degraded ? std::max(iter, deg[static_cast<size_t>(node)]) : iter;
         // Try M alone first (the pseudo-code's "if M contains a target set").
-        for (i64 c = 0; c < ncodes; ++c) {
-          m_only[static_cast<size_t>(c)] =
-              static_cast<char>(cand[static_cast<size_t>(c)] &&
-                                mk[static_cast<size_t>(c)]);
-        }
+        simd::and_bytes(reinterpret_cast<unsigned char*>(m_only.data()),
+                        reinterpret_cast<const unsigned char*>(cand),
+                        reinterpret_cast<const unsigned char*>(mk), ncodes);
         TargetSelector::Selection sel =
             selector_.select(level, m_only, m_only);
         if (!sel.feasible) {
           // Augment with the fewest possible unmarked copies from C.
-          sel = selector_.select(level, cand, m_only);
+          cand_vec.assign(cand, cand + ncodes);
+          sel = selector_.select(level, cand_vec, m_only);
           MP_ASSERT(sel.feasible,
                     "C_v^{i-1} lost the level-" << level
                                                 << " target set invariant");
         }
-        cand.assign(static_cast<size_t>(ncodes), 0);
-        for (i64 code : sel.codes) cand[static_cast<size_t>(code)] = 1;
+        std::memset(cand, 0, static_cast<size_t>(ncodes));
+        for (i64 code : sel.codes) cand[code] = 1;
       }
     });
     // Local DP over the q^k-leaf tree: O(q^k) per processor (Eq. 2 charge).
     st.steps += params.redundancy();
 
-    // Instrumentation: per-level-i page load of the union of C_v^i. Each
-    // chunk counts into its own map; maps sum-merge under a mutex, which is
+    // Instrumentation: per-level-i page load of the union of C_v^i, read
+    // from the page cache the emit loop filled (C_v^i is a subset of the
+    // emitted C_v^{i-1}, so every live code has a cached page). Each chunk
+    // counts into its own map; maps sum-merge under a mutex, which is
     // commutative, so the final counts are thread-count invariant.
     std::unordered_map<i64, i64> load;
     std::mutex load_mu;
     execution_pool().for_each_chunk(n, kNodeGrain, [&](i64 lo, i64 hi) {
       std::unordered_map<i64, i64> chunk_load;
-      for (i64 node = lo; node < hi; ++node) {
-        const i64 var = request_vars_eff[static_cast<size_t>(node)];
-        if (var < 0) continue;
-        const auto& bits = candidate[static_cast<size_t>(node)];
+      for (i64 slot = lo; slot < hi; ++slot) {
+        const i32 node = order.id_of(static_cast<i32>(slot));
+        if (request_vars_eff[static_cast<size_t>(node)] < 0) continue;
+        const char* bits = row_of(slot, candidate);
+        const i64* page_row = pages.data() + slot * ncodes;
         for (i64 code = 0; code < ncodes; ++code) {
-          if (!bits[static_cast<size_t>(code)]) continue;
-          const u64 copy = static_cast<u64>(var) *
-                               static_cast<u64>(params.redundancy()) +
-                           static_cast<u64>(code);
-          ++chunk_load[placement_.page_at(copy, iter)];
+          if (bits[code]) ++chunk_load[page_row[code]];
         }
       }
       const std::lock_guard<std::mutex> lock(load_mu);
@@ -249,9 +263,9 @@ std::vector<std::vector<i64>> Culling::run(
   std::vector<std::vector<i64>> out(static_cast<size_t>(n));
   for (i64 node = 0; node < n; ++node) {
     if (request_vars_eff[static_cast<size_t>(node)] < 0) continue;
-    const auto& bits = candidate[static_cast<size_t>(node)];
+    const char* bits = row_of(order.slot_of(static_cast<i32>(node)), candidate);
     for (i64 code = 0; code < ncodes; ++code) {
-      if (bits[static_cast<size_t>(code)]) {
+      if (bits[code]) {
         out[static_cast<size_t>(node)].push_back(code);
         ++st.selected_copies;
       }

@@ -4,6 +4,7 @@
 #include <array>
 #include <atomic>
 #include <cstdlib>
+#include <cstring>
 #include <utility>
 #include <vector>
 
@@ -12,11 +13,36 @@
 #include "routing/xy.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace meshpram {
 
 namespace {
+
+/// Queues at most this deep scan into stack buffers instead of the heap
+/// scratch — routing queues are mostly a handful of records.
+constexpr i32 kSmallScan = 32;
+
+/// Per-worker scratch for the vectorized candidate scan (direction + distance
+/// of every queued record at once). thread_local: both the serial router and
+/// each stripe worker scan one node at a time.
+struct ScanScratch {
+  std::vector<unsigned char> dir;
+  std::vector<u16> rem;
+
+  void fit(i32 n) {
+    if (dir.size() < static_cast<size_t>(n)) {
+      dir.resize(static_cast<size_t>(n));
+      rem.resize(static_cast<size_t>(n));
+    }
+  }
+};
+
+ScanScratch& scan_scratch() {
+  static thread_local ScanScratch s;
+  return s;
+}
 
 const telemetry::Label kRouteGreedy = telemetry::intern("route.greedy");
 const telemetry::Label kRouteStripe = telemetry::intern("route.stripe");
@@ -82,6 +108,9 @@ void forward_sweep(RouteShared& sh, int rank) {
   RouteArena& ar = sh.ar;
   const Region& region = sh.region;
   const Stripe s = sh.stripes[static_cast<size_t>(rank)];
+  ScanScratch& sc = scan_scratch();
+  unsigned char dir_buf[kSmallScan];
+  u16 rem_buf[kSmallScan];
   RegionCursor cur(region, sh.mesh.cols(), s.pos_begin);
   for (; cur.pos() < s.pos_end; cur.advance()) {
     const i64 pos = cur.pos();
@@ -89,16 +118,27 @@ void forward_sweep(RouteShared& sh, int rank) {
     if (cnt == 0) continue;
     TransitRec* q = ar.queue(pos);
     const Coord at = cur.coord();
+    // Vectorized scan: direction and remaining distance of every queued
+    // record (the kernel mirrors xy_next_dir's east/west-then-south/north
+    // priority); the argmax keeps the scalar first-occurrence tie-break.
+    // Shallow queues (the common case) use stack buffers over the heap
+    // scratch.
+    unsigned char* dirs = dir_buf;
+    u16* rems = rem_buf;
+    if (cnt > kSmallScan) {
+      sc.fit(cnt);
+      dirs = sc.dir.data();
+      rems = sc.rem.data();
+    }
+    simd::transit_scan(q, cnt, static_cast<i16>(at.r), static_cast<i16>(at.c),
+                       dirs, rems);
     std::array<i32, kNumDirs> best;
     best.fill(-1);
     std::array<i64, kNumDirs> best_dist{};
     for (i32 i = 0; i < cnt; ++i) {
-      Dir dir;
-      MP_ASSERT(xy_next_dir(at, q[i].dest_r, q[i].dest_c, &dir),
-                "arrived packet still in transit");
-      const i64 rem =
-          std::abs(q[i].dest_r - at.r) + std::abs(q[i].dest_c - at.c);
-      const auto di = static_cast<size_t>(dir);
+      const i64 rem = rems[i];
+      MP_ASSERT(rem > 0, "arrived packet still in transit");
+      const auto di = static_cast<size_t>(dirs[i]);
       if (best[di] < 0 || rem > best_dist[di]) {
         best[di] = i;
         best_dist[di] = rem;
@@ -216,6 +256,174 @@ void route_stripe_worker(RouteShared& sh, int rank) {
   sh.slots[static_cast<size_t>(rank)].steps = steps;
 }
 
+/// Serial variant of the step loop driven by active lists instead of full
+/// region sweeps: `frontier` holds the nodes with queued packets, `arrivals`
+/// the nodes deposited into this step, so a step costs O(active), not
+/// O(region) — the tail of a route call touches a shrinking set of nodes.
+/// Bit-identical to the sweeps: a step's moves depend only on per-node state,
+/// never on the order nodes are visited (each lane has one writer, each
+/// buffer one owner, and the counters are per-node).
+void route_serial(RouteShared& sh) {
+  RouteArena& ar = sh.ar;
+  const Region& region = sh.region;
+  RankSlot& slot = sh.slots[0];
+  const int cols = sh.mesh.cols();
+  const i64 rcols = region.cols();
+
+  // Seed: rewrite each queued record's coordinate fields from the absolute
+  // destination to the remaining (dr, dc) offset. route_serial owns the
+  // arena until every queue drains, so nothing else sees the relative
+  // encoding; it makes a record's direction and distance two register-width
+  // reads that update incrementally per hop instead of a rescan every step.
+  // The caller recorded the nodes with queued packets while it split the
+  // buffers, so seeding costs O(active), not an O(region) sweep.
+  for (const ActiveNode& an : ar.frontier) {
+    const i64 s = ar.slot_of(an.pos);
+    const i32 cnt = ar.count_at(s);
+    TransitRec* q = ar.queue_at(s);
+    for (i32 i = 0; i < cnt; ++i) {
+      q[i].dest_r = static_cast<i16>(q[i].dest_r - an.r);
+      q[i].dest_c = static_cast<i16>(q[i].dest_c - an.c);
+      MP_ASSERT(q[i].dest_r != 0 || q[i].dest_c != 0,
+                "arrived packet still in transit");
+    }
+    ar.in_frontier[static_cast<size_t>(an.pos)] = 1;
+  }
+
+  i64 steps = 0;
+  i64 in_flight = sh.in_flight0;
+  while (in_flight > 0) {
+    ++steps;
+    // Forward: best candidate per direction from every active node — the
+    // argmax derives (dir, rem) from the stored offsets in registers.
+    for (const ActiveNode& an : ar.frontier) {
+      const i64 pos = an.pos;
+      const i64 s = ar.slot_of(pos);
+      const i32 cnt = ar.count_at(s);
+      TransitRec* q = ar.queue_at(s);
+      std::array<i32, kNumDirs> best;
+      best.fill(-1);
+      std::array<i32, kNumDirs> best_dist{};
+      for (i32 i = 0; i < cnt; ++i) {
+        const int dr = q[i].dest_r;
+        const int dc = q[i].dest_c;
+        // Same decision table as simd::transit_scan: column first (XY).
+        const size_t di = dc > 0 ? 1u : dc < 0 ? 3u : dr > 0 ? 2u : 0u;
+        const i32 rem = (dr < 0 ? -dr : dr) + (dc < 0 ? -dc : dc);
+        if (best[di] < 0 || rem > best_dist[di]) {
+          best[di] = i;
+          best_dist[di] = rem;
+        }
+      }
+      i64 moves = 0;
+      const i64 rr = an.r - region.r0();
+      const bool east_row = (rr & 1) == 0;
+      for (int di = 0; di < kNumDirs; ++di) {
+        const i32 idx = best[static_cast<size_t>(di)];
+        if (idx < 0) continue;
+        TransitRec rec = q[idx];
+        q[idx].handle = RouteArena::kInvalidHandle;
+        const Coord to = step_toward({an.r, an.c}, static_cast<Dir>(di));
+        MP_ASSERT(region.contains(to), "XY routing left the region");
+        // Neighbour's snake position without the general snake_of: lateral
+        // moves step by one (sign flips on odd rows), vertical moves land on
+        // the mirrored offset of the adjacent row.
+        i64 dpos;
+        if (di == 1) {
+          dpos = east_row ? pos + 1 : pos - 1;  // East
+        } else if (di == 3) {
+          dpos = east_row ? pos - 1 : pos + 1;  // West
+        } else if (di == 2) {
+          dpos = 2 * (rr + 1) * rcols - 1 - pos;  // South
+        } else {
+          dpos = 2 * rr * rcols - 1 - pos;  // North
+        }
+        MP_ASSERT(dpos == region.snake_of(to), "snake arithmetic mismatch");
+        // Account for the hop the record is about to take.
+        if (di == 1) {
+          --rec.dest_c;
+        } else if (di == 3) {
+          ++rec.dest_c;
+        } else if (di == 2) {
+          --rec.dest_r;
+        } else {
+          ++rec.dest_r;
+        }
+        const i64 ds = ar.slot_of(dpos);
+        ar.lane_rec_at(ds, kLaneOfMove[di]) = rec;
+        ar.lane_flags_at(ds)[kLaneOfMove[di]] = 1;
+        if (!ar.arrival_mark[static_cast<size_t>(dpos)]) {
+          ar.arrival_mark[static_cast<size_t>(dpos)] = 1;
+          ar.arrivals.push_back({static_cast<i32>(dpos),
+                                 static_cast<i16>(to.r),
+                                 static_cast<i16>(to.c)});
+        }
+        ++moves;
+      }
+      if (moves > 0) {
+        i32 w = 0;
+        for (i32 i = 0; i < cnt; ++i) {
+          if (q[i].handle != RouteArena::kInvalidHandle) q[w++] = q[i];
+        }
+        ar.count_at(s) = w;
+        if (sh.count_congestion) {
+          sh.mesh.counters().add_forwarded(an.r * cols + an.c, moves);
+        }
+      }
+    }
+    // Absorb: only nodes that received a deposit have work.
+    i64 delivered = 0;
+    for (const ActiveNode& an : ar.arrivals) {
+      const i64 s = ar.slot_of(an.pos);
+      unsigned char* flags = ar.lane_flags_at(s);
+      const Coord at{an.r, an.c};
+      const bool east_row = ((at.r - region.r0()) & 1) == 0;
+      const int* order = east_row ? kLaneOrderEast : kLaneOrderWest;
+      for (int oi = 0; oi < kNumDirs; ++oi) {
+        const int lane = order[oi];
+        if (!flags[lane]) continue;
+        flags[lane] = 0;
+        const TransitRec rec = ar.lane_rec_at(s, lane);
+        if (rec.dest_r == 0 && rec.dest_c == 0) {
+          sh.mesh.buf(at.r * cols + at.c).push_back(ar.payload[rec.handle]);
+          ++delivered;
+        } else {
+          // The offset was updated at the sender; requeue verbatim.
+          if (ar.count_at(s) >= ar.cap()) ar.grow(ar.cap() * 2);
+          ar.queue_at(s)[ar.count_at(s)++] = rec;
+        }
+      }
+      const i64 logical = ar.count_at(s);
+      slot.max_queue = std::max(slot.max_queue, logical);
+      if (sh.count_congestion) {
+        sh.mesh.counters().observe_queue(at.r * cols + at.c, logical);
+      }
+    }
+    // Next frontier: survivors of the old one plus arrivals that queued.
+    ar.frontier_next.clear();
+    for (const ActiveNode& an : ar.frontier) {
+      if (ar.count(an.pos) > 0) {
+        ar.frontier_next.push_back(an);
+      } else {
+        ar.in_frontier[static_cast<size_t>(an.pos)] = 0;
+      }
+    }
+    for (const ActiveNode& an : ar.arrivals) {
+      ar.arrival_mark[static_cast<size_t>(an.pos)] = 0;
+      if (ar.count(an.pos) > 0 &&
+          !ar.in_frontier[static_cast<size_t>(an.pos)]) {
+        ar.in_frontier[static_cast<size_t>(an.pos)] = 1;
+        ar.frontier_next.push_back(an);
+      }
+    }
+    ar.arrivals.clear();
+    ar.frontier.swap(ar.frontier_next);
+    slot.delivered += delivered;
+    in_flight -= delivered;
+  }
+  slot.steps = steps;
+}
+
 }  // namespace
 
 void set_route_initial_headroom(i64 slots) {
@@ -242,7 +450,7 @@ RouteStats route_greedy(Mesh& mesh, const Region& region) {
     ~Lease() { mesh.route_arenas().release(arena); }
   } lease{mesh, arena};
   RouteArena& ar = *arena;
-  ar.reset(m);
+  ar.reset(region, mesh.order().kind());
 
   // Serial setup on the calling thread: split each buffer into home packets
   // (kept in place) and in-transit payload, recording 8-byte transit records
@@ -250,6 +458,8 @@ RouteStats route_greedy(Mesh& mesh, const Region& region) {
   MP_REQUIRE(mesh.rows() <= 32767 && mesh.cols() <= 32767,
              "mesh too large for 16-bit transit coordinates");
   i64 in_flight = 0;
+  i64 max_depth = 0;
+  ar.frontier.clear();  // nodes with queued packets, recorded in snake order
   for (RegionCursor cur = mesh.cursor(region); cur.valid(); cur.advance()) {
     const Coord x = cur.coord();
     const i32 id = cur.id();
@@ -271,7 +481,13 @@ RouteStats route_greedy(Mesh& mesh, const Region& region) {
                                           static_cast<i16>(d.c)});
         ar.setup_pos.push_back(cur.pos());
         ar.payload.push_back(p);
-        ++ar.count(cur.pos());
+        const i32 depth = ++ar.count(cur.pos());
+        if (depth == 1) {
+          ar.frontier.push_back({static_cast<i32>(cur.pos()),
+                                 static_cast<i16>(x.r),
+                                 static_cast<i16>(x.c)});
+        }
+        max_depth = std::max<i64>(max_depth, depth);
         ++in_flight;
       }
     }
@@ -279,14 +495,12 @@ RouteStats route_greedy(Mesh& mesh, const Region& region) {
   }
 
   if (in_flight > 0) {
-    i64 max_depth = 0;
-    for (i64 pos = 0; pos < m; ++pos) {
-      max_depth = std::max(max_depth, static_cast<i64>(ar.count(pos)));
-    }
     // Initial capacity with headroom so the first arrivals don't force an
-    // immediate grow; doubling takes over from there.
+    // immediate grow; doubling takes over from there. Only the nodes in the
+    // active list hold a nonzero count, so the post-layout re-zero before the
+    // scatter touches O(active) nodes, not O(region).
     ar.layout(std::max<i64>(kNumDirs, max_depth + g_route_headroom));
-    for (i64 pos = 0; pos < m; ++pos) ar.count(pos) = 0;
+    for (const ActiveNode& an : ar.frontier) ar.count(an.pos) = 0;
     for (size_t i = 0; i < ar.setup_rec.size(); ++i) {
       const i64 pos = ar.setup_pos[i];
       ar.queue(pos)[ar.count(pos)++] = ar.setup_rec[i];
@@ -324,7 +538,7 @@ RouteStats route_greedy(Mesh& mesh, const Region& region) {
       row += nrows;
     }
     if (team == 1) {
-      route_stripe_worker(sh, 0);
+      route_serial(sh);
     } else {
       execution_pool().for_each_index(team, [&sh](i64 rank) {
         telemetry::Span worker(telemetry::Cat::Region, kRouteStripe, rank);

@@ -3,30 +3,37 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstring>
 #include <tuple>
 #include <vector>
 
+#include "mesh/node_order.hpp"
 #include "mesh/parallel.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace meshpram {
 
 namespace {
 
-/// Compact sort record: the (key, copy) prefix decides almost every
-/// comparison in the protocol's workloads (copy ids are unique per packet
-/// there); the handle indirects into a payload arena for the rare full
-/// tie-break and for the final writeback. Merging 24-byte records instead of
-/// ~112-byte Packets is the main bandwidth win of the sorter.
+/// Compact sort record: the (key, copy, var) prefix decides every comparison
+/// in the protocol's workloads without touching the payload arena (copy ids
+/// are unique per packet there; var is the first payload tie field, carried
+/// inline so the comparator has no dependent load). The handle indirects into
+/// the payload for the rare deeper tie-break and for the final writeback.
+/// 32 bytes — merging records instead of ~112-byte Packets is the main
+/// bandwidth win of the sorter, and one record is exactly one AVX2 vector.
 struct SortRec {
   u64 key;
   u64 copy;
+  i64 var;
   u32 handle;
 };
+static_assert(sizeof(SortRec) == 32, "SortRec must stay one vector register");
 
-SortRec make_hole_rec() { return SortRec{kHoleKey, 0, ~0u}; }
+SortRec make_hole_rec() { return SortRec{kHoleKey, 0, 0, ~0u}; }
 
 bool is_hole_rec(const SortRec& r) { return r.key == kHoleKey; }
 
@@ -38,25 +45,123 @@ bool rec_less(const std::vector<Packet>& payload, const SortRec& a,
   if (a.key != b.key) return a.key < b.key;
   if (a.copy != b.copy) return a.copy < b.copy;
   if (a.key == kHoleKey) return false;  // holes compare equal
+  if (a.var != b.var) return a.var < b.var;
   const Packet& pa = payload[a.handle];
   const Packet& pb = payload[b.handle];
-  return std::tie(pa.var, pa.origin, pa.op, pa.value) <
-         std::tie(pb.var, pb.origin, pb.op, pb.value);
+  return std::tie(pa.origin, pa.op, pa.value) <
+         std::tie(pb.origin, pb.op, pb.value);
+}
+
+/// Reusable per-thread sort storage (the treatment RouteArena gave the
+/// router in PR 3): payload/record slabs for the block grid, drain/order/
+/// radix buffers for the analytic path, and the cached block-slot curve
+/// table. One instance per pool thread; a thread runs at most one
+/// sort_region call at a time (region tasks don't nest), so borrowing these
+/// is race-free and every steady-state sort reuses the same allocations.
+struct SortBuffers {
+  std::vector<Packet> payload;
+  std::vector<SortRec> recs;
+  std::vector<Packet> drained;
+  std::vector<SortRec> order;
+  std::vector<SortRec> radix;
+  // Block-slot map (see BlockGrid): physical slot of each region-local
+  // row-major block index, cached by geometry.
+  std::vector<i32> slot_of_rm;
+  std::vector<i32> curve_tmp;
+  int curve_rows = 0;
+  int curve_cols = 0;
+  NodeOrderKind curve_kind = NodeOrderKind::RowMajor;
+};
+
+SortBuffers& sort_buffers() {
+  static thread_local SortBuffers b;
+  return b;
+}
+
+/// Per-worker merge scratch, reused across rounds and sort calls.
+std::vector<SortRec>& merge_scratch() {
+  static thread_local std::vector<SortRec> s;
+  return s;
+}
+
+/// Sorts `v` into the canonical rec_less order. Small inputs use introsort
+/// directly; large inputs take a stable LSD byte radix over (copy, key) —
+/// skipping bytes that are zero across the input — which yields the (key,
+/// copy) order with ties in input order, then canonicalizes the rare runs of
+/// equal (key, copy) with the full comparator. Both paths produce the same
+/// sequence under the strict total order, so the choice is invisible.
+void canonical_sort(std::vector<SortRec>& v, std::vector<SortRec>& scratch,
+                    const std::vector<Packet>& payload) {
+  const size_t n = v.size();
+  const auto cmp = [&payload](const SortRec& a, const SortRec& b) {
+    return rec_less(payload, a, b);
+  };
+  if (n < 4096) {
+    std::sort(v.begin(), v.end(), cmp);
+    return;
+  }
+  u64 key_or = 0, copy_or = 0;
+  for (const SortRec& r : v) {
+    key_or |= r.key;
+    copy_or |= r.copy;
+  }
+  scratch.resize(n);
+  SortRec* a = v.data();
+  SortRec* b = scratch.data();
+  size_t hist[256];
+  const auto pass = [&](int shift, bool on_copy) {
+    std::memset(hist, 0, sizeof(hist));
+    for (size_t i = 0; i < n; ++i) {
+      ++hist[((on_copy ? a[i].copy : a[i].key) >> shift) & 0xff];
+    }
+    size_t sum = 0;
+    for (size_t j = 0; j < 256; ++j) {
+      const size_t c = hist[j];
+      hist[j] = sum;
+      sum += c;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      b[hist[((on_copy ? a[i].copy : a[i].key) >> shift) & 0xff]++] = a[i];
+    }
+    std::swap(a, b);
+  };
+  for (int s = 0; s < 64; s += 8) {
+    if (((copy_or >> s) & 0xff) != 0) pass(s, /*on_copy=*/true);
+  }
+  for (int s = 0; s < 64; s += 8) {
+    if (((key_or >> s) & 0xff) != 0) pass(s, /*on_copy=*/false);
+  }
+  if (a != v.data()) std::memcpy(v.data(), a, n * sizeof(SortRec));
+  for (size_t i = 0; i + 1 < n;) {
+    if (v[i].key == v[i + 1].key && v[i].copy == v[i + 1].copy) {
+      size_t j = i + 2;
+      while (j < n && v[j].key == v[i].key && v[j].copy == v[i].copy) ++j;
+      std::sort(v.begin() + static_cast<i64>(i), v.begin() + static_cast<i64>(j),
+                cmp);
+      i = j;
+    } else {
+      ++i;
+    }
+  }
 }
 
 /// Working state: grid of fixed-capacity sorted blocks, local (row, col).
-/// Blocks live in one strided record slab (block (r,c) occupies
-/// [(r*cols + c) * cap, ... + cap)); packets sit still in the payload arena
-/// until flush(). Rows are pairwise independent within a row round (and
-/// columns within a column round), so rounds run chunk-parallel over the
-/// pool with per-chunk merge scratch — the merge outcomes are data-dependent
-/// only, hence identical under any chunking.
+/// Blocks live in one strided record slab borrowed from the thread's
+/// SortBuffers; under a Hilbert mesh order the blocks are placed along the
+/// same curve (block (r,c) occupies [slot(r,c) * cap, ... + cap)), so a
+/// row/column round streams the curve's contiguous runs. Packets sit still
+/// in the payload arena until flush(). Rows are pairwise independent within
+/// a row round (and columns within a column round), so rounds run
+/// chunk-parallel over the pool with per-worker merge scratch — the merge
+/// outcomes are data-dependent only, hence identical under any chunking.
 class BlockGrid {
  public:
-  BlockGrid(Mesh& mesh, const Region& region)
+  BlockGrid(Mesh& mesh, const Region& region, SortBuffers& bufs)
       : mesh_(mesh), region_(region), rows_(region.rows()),
-        cols_(region.cols()) {
+        cols_(region.cols()), payload_(bufs.payload), recs_(bufs.recs) {
+    build_slot_map(bufs, mesh.order().kind());
     cap_ = std::max<i64>(1, mesh.max_load(region));
+    payload_.clear();
     payload_.reserve(static_cast<size_t>(mesh.total_packets(region)));
     recs_.assign(static_cast<size_t>(rows_ * cols_ * cap_), make_hole_rec());
     for (int r = 0; r < rows_; ++r) {
@@ -66,7 +171,7 @@ class BlockGrid {
         i64 j = 0;
         for (const Packet& p : b) {
           MP_REQUIRE(p.key != kHoleKey, "packet key collides with sentinel");
-          blk[j++] = SortRec{p.key, p.copy,
+          blk[j++] = SortRec{p.key, p.copy, p.var,
                              static_cast<u32>(payload_.size())};
           payload_.push_back(p);
         }
@@ -83,29 +188,38 @@ class BlockGrid {
   i64 capacity() const { return cap_; }
 
   SortRec* at(int r, int c) {
-    return recs_.data() +
-           (static_cast<i64>(r) * cols_ + c) * cap_;
+    return recs_.data() + slot(r, c) * cap_;
   }
   const SortRec* at(int r, int c) const {
-    return recs_.data() +
-           (static_cast<i64>(r) * cols_ + c) * cap_;
+    return recs_.data() + slot(r, c) * cap_;
   }
 
   /// Merge-split comparator: after the call, `small` holds the cap smallest
   /// of the union and `large` the cap largest. Returns true if anything
-  /// changed (used for early exit).
+  /// changed (used for early exit). The merge writes into pre-sized scratch
+  /// (no push_back in the inner loop); ties take the `small` side, exactly
+  /// like std::merge.
   bool merge_split(SortRec* small, SortRec* large,
                    std::vector<SortRec>& scratch) const {
     // Fast path: already in order (last of small <= first of large).
     if (!rec_less(payload_, large[0], small[cap_ - 1])) return false;
-    scratch.clear();
-    std::merge(small, small + cap_, large, large + cap_,
-               std::back_inserter(scratch),
-               [this](const SortRec& a, const SortRec& b) {
-                 return rec_less(payload_, a, b);
-               });
-    std::copy(scratch.begin(), scratch.begin() + cap_, small);
-    std::copy(scratch.begin() + cap_, scratch.end(), large);
+    scratch.resize(static_cast<size_t>(2 * cap_));
+    SortRec* out = scratch.data();
+    const SortRec* a = small;
+    const SortRec* const ae = small + cap_;
+    const SortRec* b = large;
+    const SortRec* const be = large + cap_;
+    while (a != ae && b != be) {
+      if (rec_less(payload_, *b, *a)) {
+        *out++ = *b++;
+      } else {
+        *out++ = *a++;
+      }
+    }
+    out = std::copy(a, ae, out);
+    std::copy(b, be, out);
+    std::copy(scratch.data(), scratch.data() + cap_, small);
+    std::copy(scratch.data() + cap_, scratch.data() + 2 * cap_, large);
     return true;
   }
 
@@ -115,8 +229,7 @@ class BlockGrid {
   bool row_round(int parity) {
     std::atomic<int> changed{0};
     run_lines(rows_, [&](i64 lb, i64 le) {
-      std::vector<SortRec> scratch;
-      scratch.reserve(static_cast<size_t>(2 * cap_));
+      std::vector<SortRec>& scratch = merge_scratch();
       bool ch = false;
       for (i64 r = lb; r < le; ++r) {
         const bool ascending = (r % 2 == 0);
@@ -136,8 +249,7 @@ class BlockGrid {
   bool col_round(int parity) {
     std::atomic<int> changed{0};
     run_lines(cols_, [&](i64 lb, i64 le) {
-      std::vector<SortRec> scratch;
-      scratch.reserve(static_cast<size_t>(2 * cap_));
+      std::vector<SortRec>& scratch = merge_scratch();
       bool ch = false;
       for (i64 c = lb; c < le; ++c) {
         for (int r = parity; r + 1 < rows_; r += 2) {
@@ -180,10 +292,14 @@ class BlockGrid {
     for (RegionCursor cur(region_); cur.valid(); cur.advance()) {
       const Coord x = cur.coord();
       const SortRec* blk = at(x.r - region_.r0(), x.c - region_.c0());
-      for (i64 j = 0; j < cap_; ++j) {
-        if (prev != nullptr && rec_less(payload_, blk[j], *prev)) return false;
-        prev = blk + j;
+      if (prev != nullptr && rec_less(payload_, blk[0], *prev)) return false;
+      // Strictly increasing keys need no further checks; the kernel returns
+      // where that stops and the full comparator takes over from there.
+      i64 j = simd::first_key_violation(blk, sizeof(SortRec), cap_);
+      for (; j + 1 < cap_; ++j) {
+        if (rec_less(payload_, blk[j + 1], blk[j])) return false;
       }
+      prev = blk + cap_ - 1;
     }
     return true;
   }
@@ -205,6 +321,32 @@ class BlockGrid {
   }
 
  private:
+  /// Physical slot of region-local block (r, c); identity under row-major.
+  i64 slot(int r, int c) const {
+    const i64 rm = static_cast<i64>(r) * cols_ + c;
+    return slot_map_ == nullptr ? rm : (*slot_map_)[static_cast<size_t>(rm)];
+  }
+
+  void build_slot_map(SortBuffers& bufs, NodeOrderKind kind) {
+    if (kind == NodeOrderKind::RowMajor) {
+      slot_map_ = nullptr;
+      return;
+    }
+    if (bufs.curve_rows != rows_ || bufs.curve_cols != cols_ ||
+        bufs.curve_kind != kind) {
+      bufs.curve_rows = rows_;
+      bufs.curve_cols = cols_;
+      bufs.curve_kind = kind;
+      fill_curve_order(rows_, cols_, kind, bufs.curve_tmp);
+      bufs.slot_of_rm.assign(bufs.curve_tmp.size(), 0);
+      for (size_t s = 0; s < bufs.curve_tmp.size(); ++s) {
+        bufs.slot_of_rm[static_cast<size_t>(bufs.curve_tmp[s])] =
+            static_cast<i32>(s);
+      }
+    }
+    slot_map_ = &bufs.slot_of_rm;
+  }
+
   /// Runs fn(begin, end) over [0, lines) — chunked on the pool when the
   /// region qualified at construction, one serial chunk otherwise.
   void run_lines(int lines, const std::function<void(i64, i64)>& fn) {
@@ -221,8 +363,9 @@ class BlockGrid {
   int cols_;
   i64 cap_ = 1;
   bool parallel_rounds_ = false;
-  std::vector<Packet> payload_;
-  std::vector<SortRec> recs_;
+  std::vector<Packet>& payload_;
+  std::vector<SortRec>& recs_;
+  const std::vector<i32>* slot_map_ = nullptr;
 };
 
 int shear_phases(int rows) {
@@ -271,18 +414,19 @@ i64 sort_region_impl(Mesh& mesh, const Region& region,
 
   if (opts.mode == SortMode::Analytic) {
     // Identical final placement; charged the oblivious worst-case cost.
-    // Sorting 24-byte records (with handles into the drained packets)
+    // Sorting 32-byte records (with handles into the drained packets)
     // instead of the packets themselves, then scattering each packet once.
+    SortBuffers& bufs = sort_buffers();
     const i64 cap = std::max<i64>(1, mesh.max_load(region));
-    std::vector<Packet> all = mesh.drain(region);
-    std::vector<SortRec> order(all.size());
+    std::vector<Packet>& all = bufs.drained;
+    mesh.drain_into(region, all);
+    std::vector<SortRec>& order = bufs.order;
+    order.resize(all.size());
     for (size_t i = 0; i < all.size(); ++i) {
-      order[i] = SortRec{all[i].key, all[i].copy, static_cast<u32>(i)};
+      order[i] = SortRec{all[i].key, all[i].copy, all[i].var,
+                         static_cast<u32>(i)};
     }
-    std::sort(order.begin(), order.end(),
-              [&all](const SortRec& a, const SortRec& b) {
-                return rec_less(all, a, b);
-              });
+    canonical_sort(order, bufs.radix, all);
     RegionCursor cur = mesh.cursor(region);
     for (size_t i = 0; i < order.size(); ++i) {
       // Packet i lands at snake position i / cap; the cursor advances once
@@ -293,7 +437,7 @@ i64 sort_region_impl(Mesh& mesh, const Region& region,
     return shearsort_step_bound(region, cap);
   }
 
-  BlockGrid grid(mesh, region);
+  BlockGrid grid(mesh, region, sort_buffers());
   const int max_phases = shear_phases(region.rows());
   i64 rounds = 0;
   // Shearsort: log(rows)+1 alternating row/column passes...

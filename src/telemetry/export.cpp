@@ -138,4 +138,16 @@ void write_stage_summary(std::ostream& os) {
   t.print(os);
 }
 
+void write_stage_summary(std::ostream& os, const PerfSample& perf) {
+  write_stage_summary(os);
+  // Hardware counters are sampled over the whole measured region, not per
+  // span, so they render as a footer rather than a table column.
+  if (!perf.available) return;
+  Table t({"instructions", "ipc", "llc_refs", "llc_miss_rate",
+           "branch_misses"});
+  t.add(perf.instructions, perf.ipc(), perf.cache_refs, perf.llc_miss_rate(),
+        perf.branch_misses);
+  t.print(os);
+}
+
 }  // namespace meshpram::telemetry

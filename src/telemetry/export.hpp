@@ -5,7 +5,10 @@
 //  * write_heatmap_csv — one row per mesh node with the four congestion
 //    counters (node,row,col,max_queue,forwarded,copies_touched,survivors).
 //  * write_stage_summary — ASCII table aggregating the recorded spans by
-//    (cat, name): call count, wall-clock total, attributed mesh steps.
+//    (cat, name): call count, wall-clock total, attributed mesh steps. The
+//    PerfSample overload appends a run-level hardware-counter footer
+//    (instructions, IPC, LLC miss rate, branch misses) when the sample was
+//    readable on the host; an unavailable sample prints nothing extra.
 //
 // All exporters read the telemetry ring buffers and must run while no
 // instrumented work is in flight (after the step / pool join). They compile
@@ -16,6 +19,7 @@
 #include <string>
 
 #include "telemetry/counters.hpp"
+#include "telemetry/perf_counters.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace meshpram::telemetry {
@@ -28,5 +32,6 @@ void write_heatmap_csv(const MeshCounters& counters, std::ostream& os);
 void write_heatmap_csv(const MeshCounters& counters, const std::string& path);
 
 void write_stage_summary(std::ostream& os);
+void write_stage_summary(std::ostream& os, const PerfSample& perf);
 
 }  // namespace meshpram::telemetry

@@ -1,0 +1,107 @@
+#include "telemetry/perf_counters.hpp"
+
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace meshpram::telemetry {
+
+#if defined(__linux__)
+
+namespace {
+
+int open_event(u32 type, u64 config, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = type;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = group_fd < 0 ? 1 : 0;  // group enabled via the leader
+  attr.exclude_kernel = 1;               // works at perf_event_paranoid <= 2
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP;
+  attr.inherit = 0;
+  return static_cast<int>(syscall(__NR_perf_event_open, &attr, /*pid=*/0,
+                                  /*cpu=*/-1, group_fd, /*flags=*/0UL));
+}
+
+// Order must match PerfSample field extraction in stop().
+struct EventSpec {
+  u32 type;
+  u64 config;
+};
+constexpr EventSpec kSpecs[] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+};
+
+}  // namespace
+
+PerfCounters::PerfCounters() {
+  static_assert(sizeof(kSpecs) / sizeof(kSpecs[0]) == kEvents);
+  for (int i = 0; i < kEvents; ++i) {
+    fds_[i] = open_event(kSpecs[i].type, kSpecs[i].config,
+                         i == 0 ? -1 : fds_[0]);
+    if (fds_[i] < 0) {
+      // Partial groups are useless for the fixed read layout: close and
+      // report the whole facility as unavailable.
+      for (int j = 0; j < i; ++j) {
+        close(fds_[j]);
+        fds_[j] = -1;
+      }
+      return;
+    }
+  }
+  leader_ = fds_[0];
+}
+
+PerfCounters::~PerfCounters() {
+  for (int i = 0; i < kEvents; ++i) {
+    if (fds_[i] >= 0) close(fds_[i]);
+  }
+}
+
+void PerfCounters::start() {
+  if (leader_ < 0) return;
+  ioctl(leader_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(leader_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+PerfSample PerfCounters::stop() {
+  PerfSample s;
+  if (leader_ < 0) return s;
+  ioctl(leader_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+  // PERF_FORMAT_GROUP layout: { u64 nr; u64 values[nr]; }.
+  u64 buf[1 + kEvents];
+  const ssize_t want = static_cast<ssize_t>(sizeof(buf));
+  if (read(leader_, buf, sizeof(buf)) != want ||
+      buf[0] != static_cast<u64>(kEvents)) {
+    return s;
+  }
+  s.available = true;
+  s.instructions = static_cast<i64>(buf[1]);
+  s.cycles = static_cast<i64>(buf[2]);
+  s.cache_refs = static_cast<i64>(buf[3]);
+  s.cache_misses = static_cast<i64>(buf[4]);
+  s.branch_misses = static_cast<i64>(buf[5]);
+  return s;
+}
+
+#else  // !__linux__
+
+PerfCounters::PerfCounters() = default;
+PerfCounters::~PerfCounters() = default;
+void PerfCounters::start() {}
+PerfSample PerfCounters::stop() { return PerfSample{}; }
+
+#endif
+
+}  // namespace meshpram::telemetry

@@ -1,0 +1,67 @@
+// Hardware performance counters via perf_event_open (DESIGN.md §12).
+//
+// One process-wide counter group (instructions, cycles, LLC references, LLC
+// misses, branch misses), counting user-space only (exclude_kernel, so it
+// works under perf_event_paranoid <= 2 without extra privileges). The whole
+// facility degrades gracefully: when the syscall is unavailable — containers
+// without the PMU, seccomp filters, non-Linux hosts — available() is false
+// and every sample reads as absent. Callers (the bench recorder and the
+// telemetry stage summary) must treat absent samples as "no columns", never
+// as zeros.
+#pragma once
+
+#include "util/math.hpp"
+
+namespace meshpram::telemetry {
+
+/// Counter deltas over one measured span. `available` is false when the
+/// group could not be opened or read; all counts are zero then.
+struct PerfSample {
+  bool available = false;
+  i64 instructions = 0;
+  i64 cycles = 0;
+  i64 cache_refs = 0;    ///< LLC references
+  i64 cache_misses = 0;  ///< LLC misses
+  i64 branch_misses = 0;
+
+  /// LLC misses per reference in [0, 1]; 0 when no references were counted.
+  double llc_miss_rate() const {
+    return cache_refs > 0
+               ? static_cast<double>(cache_misses) /
+                     static_cast<double>(cache_refs)
+               : 0.0;
+  }
+  /// Instructions per cycle; 0 when cycles were not counted.
+  double ipc() const {
+    return cycles > 0 ? static_cast<double>(instructions) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+  }
+};
+
+/// An open counter group. start()/stop() pairs may be reused; the group
+/// counts this thread's user-space execution (inherited by pool threads
+/// spawned after construction is NOT attempted — measure on the calling
+/// thread, which is where the serial benches run).
+class PerfCounters {
+ public:
+  PerfCounters();
+  ~PerfCounters();
+  PerfCounters(const PerfCounters&) = delete;
+  PerfCounters& operator=(const PerfCounters&) = delete;
+
+  /// True when the group opened and samples will carry counts.
+  bool available() const { return leader_ >= 0; }
+
+  /// Zeroes and enables the group.
+  void start();
+  /// Disables the group and returns the deltas since start().
+  PerfSample stop();
+
+ private:
+  static constexpr int kEvents = 5;
+  int leader_ = -1;
+  int fds_[kEvents] = {-1, -1, -1, -1, -1};
+};
+
+}  // namespace meshpram::telemetry

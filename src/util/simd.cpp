@@ -1,0 +1,236 @@
+#include "util/simd.hpp"
+
+#include <cstring>
+
+#include "util/env.hpp"
+
+#if !defined(MESHPRAM_NO_SIMD) && defined(__x86_64__)
+#define MESHPRAM_HAVE_AVX2_BUILD 1
+#include <immintrin.h>
+#else
+#define MESHPRAM_HAVE_AVX2_BUILD 0
+#endif
+
+namespace meshpram::simd {
+
+namespace {
+
+/// -1 = undecided, 0 = scalar, 1 = avx2. Plain int: decided once up front in
+/// practice; set_enabled() is test-only and not raced against kernel calls.
+int g_dispatch = -1;
+
+bool cpu_and_env_allow() {
+#if MESHPRAM_HAVE_AVX2_BUILD
+  if (!__builtin_cpu_supports("avx2")) return false;
+  if (const auto v = env_str("MESHPRAM_SIMD")) {
+    if (*v == "off" || *v == "0" || *v == "OFF") return false;
+  }
+  return true;
+#else
+  return false;
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Scalar definitions (the semantic reference).
+
+void transit_scan_scalar(const void* recs, i64 n, i16 at_r, i16 at_c,
+                         unsigned char* dirs, u16* rems) {
+  const unsigned char* p = static_cast<const unsigned char*>(recs);
+  for (i64 i = 0; i < n; ++i, p += 8) {
+    i16 dest_r, dest_c;
+    std::memcpy(&dest_r, p + 4, sizeof(dest_r));
+    std::memcpy(&dest_c, p + 6, sizeof(dest_c));
+    const int dr = dest_r - at_r;
+    const int dc = dest_c - at_c;
+    unsigned char d = 0;  // North (dr < 0) and "arrived" both encode as 0.
+    if (dc > 0) {
+      d = 1;  // East
+    } else if (dc < 0) {
+      d = 3;  // West
+    } else if (dr > 0) {
+      d = 2;  // South
+    }
+    dirs[i] = d;
+    rems[i] = static_cast<u16>((dr < 0 ? -dr : dr) + (dc < 0 ? -dc : dc));
+  }
+}
+
+i64 first_key_violation_scalar(const void* recs, i64 rec_bytes, i64 n) {
+  const unsigned char* p = static_cast<const unsigned char*>(recs);
+  for (i64 i = 0; i + 1 < n; ++i) {
+    u64 a, b;
+    std::memcpy(&a, p + i * rec_bytes, sizeof(a));
+    std::memcpy(&b, p + (i + 1) * rec_bytes, sizeof(b));
+    if (a >= b) return i;
+  }
+  return n > 0 ? n - 1 : 0;
+}
+
+void and_bytes_scalar(unsigned char* dst, const unsigned char* a,
+                      const unsigned char* b, i64 n) {
+  for (i64 i = 0; i < n; ++i) dst[i] = static_cast<unsigned char>(a[i] & b[i]);
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 variants. Compiled with a function-level target so the translation
+// unit (and everything else) keeps the baseline ISA.
+#if MESHPRAM_HAVE_AVX2_BUILD
+
+__attribute__((target("avx2"))) void transit_scan_avx2(
+    const void* recs, i64 n, i16 at_r, i16 at_c, unsigned char* dirs,
+    u16* rems) {
+  // Four 8-byte records per 256-bit vector; each record is four i16 lanes
+  // [handle_lo, handle_hi, dest_r, dest_c].
+  const __m256i base = _mm256_set_epi16(at_c, at_r, 0, 0, at_c, at_r, 0, 0,
+                                        at_c, at_r, 0, 0, at_c, at_r, 0, 0);
+  // madd selector: 1 at the dr/dc lanes, 0 at the handle lanes, so the
+  // per-pair products sum to [0, |dr|+|dc|] per record.
+  const __m256i sel = _mm256_set_epi16(1, 1, 0, 0, 1, 1, 0, 0, 1, 1, 0, 0, 1,
+                                       1, 0, 0);
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i one = _mm256_set1_epi16(1);
+  const __m256i two = _mm256_set1_epi16(2);
+  const __m256i three = _mm256_set1_epi16(3);
+  const unsigned char* p = static_cast<const unsigned char*>(recs);
+  i64 i = 0;
+  alignas(32) i16 dir16[16];
+  alignas(32) i32 rem32[8];
+  for (; i + 4 <= n; i += 4, p += 32) {
+    const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+    const __m256i d = _mm256_sub_epi16(v, base);  // dr at lane 2, dc at 3
+    const __m256i rem =
+        _mm256_madd_epi16(_mm256_abs_epi16(d), sel);  // [.., rem] epi32 pairs
+    _mm256_store_si256(reinterpret_cast<__m256i*>(rem32), rem);
+    // Align dc onto the dr lane (per-128 byte shift), then decide the
+    // direction branchlessly at lane 4j+2 of each record.
+    const __m256i dc = _mm256_srli_si256(d, 2);
+    const __m256i east = _mm256_cmpgt_epi16(dc, zero);
+    const __m256i west = _mm256_cmpgt_epi16(zero, dc);
+    const __m256i south = _mm256_andnot_si256(
+        _mm256_or_si256(east, west), _mm256_cmpgt_epi16(d, zero));
+    const __m256i dir = _mm256_or_si256(
+        _mm256_or_si256(_mm256_and_si256(east, one),
+                        _mm256_and_si256(west, three)),
+        _mm256_and_si256(south, two));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(dir16), dir);
+    dirs[i + 0] = static_cast<unsigned char>(dir16[2]);
+    dirs[i + 1] = static_cast<unsigned char>(dir16[6]);
+    dirs[i + 2] = static_cast<unsigned char>(dir16[10]);
+    dirs[i + 3] = static_cast<unsigned char>(dir16[14]);
+    rems[i + 0] = static_cast<u16>(rem32[1]);
+    rems[i + 1] = static_cast<u16>(rem32[3]);
+    rems[i + 2] = static_cast<u16>(rem32[5]);
+    rems[i + 3] = static_cast<u16>(rem32[7]);
+  }
+  if (i < n) transit_scan_scalar(p, n - i, at_r, at_c, dirs + i, rems + i);
+}
+
+__attribute__((target("avx2"))) i64 first_key_violation_avx2(
+    const void* recs, i64 rec_bytes, i64 n) {
+  if (n < 2) return n > 0 ? n - 1 : 0;
+  if (rec_bytes != 32) return first_key_violation_scalar(recs, rec_bytes, n);
+  // 32-byte records: the leading keys of records i..i+3 sit 32 bytes apart.
+  // Gather four keys by interleaving two strided loads, compare against the
+  // shifted sequence; unsigned order via the sign-flip trick.
+  const unsigned char* p = static_cast<const unsigned char*>(recs);
+  const __m256i flip = _mm256_set1_epi64x(static_cast<long long>(1ULL << 63));
+  i64 i = 0;
+  for (; i + 5 <= n; i += 4) {
+    // keys[i..i+4]: load the leading u64 of five consecutive records.
+    const __m256i a = _mm256_set_epi64x(
+        static_cast<long long>(*reinterpret_cast<const u64*>(p + (i + 3) * 32)),
+        static_cast<long long>(*reinterpret_cast<const u64*>(p + (i + 2) * 32)),
+        static_cast<long long>(*reinterpret_cast<const u64*>(p + (i + 1) * 32)),
+        static_cast<long long>(*reinterpret_cast<const u64*>(p + (i + 0) * 32)));
+    const __m256i b = _mm256_set_epi64x(
+        static_cast<long long>(*reinterpret_cast<const u64*>(p + (i + 4) * 32)),
+        static_cast<long long>(*reinterpret_cast<const u64*>(p + (i + 3) * 32)),
+        static_cast<long long>(*reinterpret_cast<const u64*>(p + (i + 2) * 32)),
+        static_cast<long long>(*reinterpret_cast<const u64*>(p + (i + 1) * 32)));
+    // a[j] >= b[j]  <=>  NOT (a[j] < b[j])  (unsigned)
+    const __m256i lt = _mm256_cmpgt_epi64(_mm256_xor_si256(b, flip),
+                                          _mm256_xor_si256(a, flip));
+    const int mask = _mm256_movemask_epi8(lt);
+    if (mask != -1) {
+      // Some lane not strictly increasing: find the first one.
+      for (i64 j = i; j < i + 4; ++j) {
+        u64 ka, kb;
+        std::memcpy(&ka, p + j * 32, sizeof(ka));
+        std::memcpy(&kb, p + (j + 1) * 32, sizeof(kb));
+        if (ka >= kb) return j;
+      }
+    }
+  }
+  for (; i + 1 < n; ++i) {
+    u64 ka, kb;
+    std::memcpy(&ka, p + i * 32, sizeof(ka));
+    std::memcpy(&kb, p + (i + 1) * 32, sizeof(kb));
+    if (ka >= kb) return i;
+  }
+  return n - 1;
+}
+
+__attribute__((target("avx2"))) void and_bytes_avx2(unsigned char* dst,
+                                                    const unsigned char* a,
+                                                    const unsigned char* b,
+                                                    i64 n) {
+  i64 i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_and_si256(va, vb));
+  }
+  for (; i < n; ++i) dst[i] = static_cast<unsigned char>(a[i] & b[i]);
+}
+
+#endif  // MESHPRAM_HAVE_AVX2_BUILD
+
+int dispatch() {
+  if (g_dispatch < 0) g_dispatch = cpu_and_env_allow() ? 1 : 0;
+  return g_dispatch;
+}
+
+}  // namespace
+
+bool available() { return dispatch() == 1; }
+
+void set_enabled(bool on) { g_dispatch = (on && cpu_and_env_allow()) ? 1 : 0; }
+
+const char* kernel_name() { return available() ? "avx2" : "scalar"; }
+
+void transit_scan(const void* recs, i64 n, i16 at_r, i16 at_c,
+                  unsigned char* dirs, u16* rems) {
+#if MESHPRAM_HAVE_AVX2_BUILD
+  // The vector body pays a fixed six-constant setup; routing queues are
+  // mostly 1-4 deep, where that setup costs more than the whole scalar scan.
+  if (n >= 8 && dispatch() == 1) {
+    transit_scan_avx2(recs, n, at_r, at_c, dirs, rems);
+    return;
+  }
+#endif
+  transit_scan_scalar(recs, n, at_r, at_c, dirs, rems);
+}
+
+i64 first_key_violation(const void* recs, i64 rec_bytes, i64 n) {
+#if MESHPRAM_HAVE_AVX2_BUILD
+  if (dispatch() == 1) return first_key_violation_avx2(recs, rec_bytes, n);
+#endif
+  return first_key_violation_scalar(recs, rec_bytes, n);
+}
+
+void and_bytes(unsigned char* dst, const unsigned char* a,
+               const unsigned char* b, i64 n) {
+#if MESHPRAM_HAVE_AVX2_BUILD
+  if (dispatch() == 1) {
+    and_bytes_avx2(dst, a, b, n);
+    return;
+  }
+#endif
+  and_bytes_scalar(dst, a, b, n);
+}
+
+}  // namespace meshpram::simd

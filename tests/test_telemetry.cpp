@@ -273,6 +273,39 @@ TEST(Telemetry, StageSummaryListsRecordedSpans) {
   EXPECT_NE(out.find("access.return"), std::string::npos);
 }
 
+/// The PerfSample overload appends a hardware-counter footer only when the
+/// sample was actually readable (perf_event_open may be unavailable in
+/// containers); the span table itself is identical either way.
+TEST(Telemetry, StageSummaryPerfFooterTracksAvailability) {
+  telemetry::clear();
+  telemetry::set_sample_every(1);
+  telemetry::set_enabled(true);
+  run_workload(1);
+  telemetry::set_enabled(false);
+  set_execution_threads(0);
+
+  telemetry::PerfSample absent;  // default: available == false
+  std::stringstream without;
+  telemetry::write_stage_summary(without, absent);
+  EXPECT_EQ(without.str().find("llc_miss_rate"), std::string::npos);
+  EXPECT_NE(without.str().find("pram.step"), std::string::npos);
+
+  telemetry::PerfSample sample;
+  sample.available = true;
+  sample.instructions = 1000;
+  sample.cycles = 500;
+  sample.cache_refs = 100;
+  sample.cache_misses = 25;
+  sample.branch_misses = 7;
+  std::stringstream with;
+  telemetry::write_stage_summary(with, sample);
+  EXPECT_NE(with.str().find("llc_miss_rate"), std::string::npos);
+  EXPECT_NE(with.str().find("branch_misses"), std::string::npos);
+  // Footer table must carry the derived rates computed from the raw counts.
+  EXPECT_EQ(sample.llc_miss_rate(), 0.25);
+  EXPECT_EQ(sample.ipc(), 2.0);
+}
+
 /// Ring wrap-around: oldest events are overwritten, newest survive, and the
 /// drop accounting reports exactly what was lost.
 TEST(Telemetry, RingWrapKeepsNewestAndCountsDropped) {

@@ -42,11 +42,17 @@ TOLERANCES = {
     "serve_multisession": 0.60,
 }
 
-# Top-level fields the current recorder writes (schema 3). Used to print a
+# Top-level fields the current recorder writes (schema 4). Used to print a
 # field-level diff when a committed baseline predates the current schema.
 CURRENT_FIELDS = {"bench", "schema_version", "threads", "git_sha",
-                  "build_type", "points"}
+                  "build_type", "node_order", "simd", "points"}
 CURRENT_POINT_FIELDS = {"config", "wall_ms", "mesh_steps"}
+
+# Schema-4 hardware-counter columns (perf_event_open). Informational only:
+# they appear when the recording host could read the counters and are never
+# diffed — containerized runs commonly cannot open perf events at all.
+PERF_POINT_FIELDS = {"instructions", "cycles", "llc_refs", "llc_misses",
+                     "llc_miss_rate", "branch_misses"}
 
 
 class SmokeError(Exception):
@@ -98,7 +104,7 @@ def schema_field_diff(doc):
     if points:
         phave = set(points[0].keys())
         pmissing = sorted(CURRENT_POINT_FIELDS - phave)
-        pextra = sorted(phave - CURRENT_POINT_FIELDS)
+        pextra = sorted(phave - CURRENT_POINT_FIELDS - PERF_POINT_FIELDS)
         if pmissing:
             parts.append("points[] missing: " + ", ".join(pmissing))
         if pextra:
