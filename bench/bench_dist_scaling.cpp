@@ -1,0 +1,74 @@
+// EXP-D1 — SPMD rank-sharded simulation: one PRAM access step on a
+// DistMachine at ranks {1, 2, 4}, k = 3, mid-size memory (alpha = 1.5).
+//
+// Reports wall-clock next to the distributed-run overheads the bit-identity
+// contract makes visible: boundary-lane bytes crossing band cuts and time
+// each rank spends blocked in collectives. Rank 1 runs the same partitioned
+// code path with no exchange, so its wall_ms is the parity reference against
+// bench_simulation_mid_mem (k=3 rows); tools/bench_smoke.py enforces it.
+#include <cmath>
+#include <iostream>
+
+#include "common.hpp"
+#include "dist/machine.hpp"
+#include "util/table.hpp"
+
+using namespace meshpram;
+using namespace meshpram::benchutil;
+
+int main() {
+  const double alpha = 1.5;
+  const int k = 3;
+  std::cout << "=== EXP-D1: distributed rank scaling, alpha = 1.5, k = 3 "
+               "===\n";
+  set_log_level(LogLevel::Error);  // the t_i<1 warning is expected here
+  BenchRecorder rec("dist_scaling");
+  rec.set_transport("channel");  // in-process channel hub (threads + queues)
+  Table t({"ranks", "n", "M", "T_sim", "wall_ms", "boundary_bytes",
+           "barrier_wait_ms"});
+  for (int side : {16, 32, 64}) {
+    if (side > bench_max_side()) continue;
+    const i64 n = static_cast<i64>(side) * side;
+    const i64 M = static_cast<i64>(std::llround(std::pow(n, alpha)));
+    SimConfig cfg;
+    cfg.mesh_rows = side;
+    cfg.mesh_cols = side;
+    cfg.num_vars = M;
+    cfg.q = 3;
+    cfg.k = k;
+    cfg.sort_mode = SortMode::Analytic;
+    cfg.fault_plan_from_env = false;
+    const int max_ranks = dist::DistMachine::max_ranks(cfg);
+    for (int ranks : {1, 2, 4}) {
+      if (ranks > max_ranks) {
+        std::cout << "side=" << side << " ranks=" << ranks
+                  << ": skipped (band cuts admit at most " << max_ranks
+                  << " ranks)\n";
+        continue;
+      }
+      dist::DistConfig dc;
+      dc.sim = cfg;
+      dc.ranks = ranks;
+      dc.validate = 0;
+      dist::DistMachine machine(dc);
+      Rng rng(7);
+      const auto reqs = random_requests(n, M, rng);
+      StepStats st;
+      const WallTimer timer;
+      machine.step(reqs, &st);
+      const double wall_ms = timer.ms();
+      rec.set_ranks(ranks);  // last point's rank count also stamps the run
+      rec.point_dist("ranks=" + std::to_string(ranks) +
+                         " k=" + std::to_string(k) +
+                         " side=" + std::to_string(side),
+                     wall_ms, st.total_steps, machine.boundary_bytes(),
+                     machine.wait_totals().wait_ms);
+      t.add(ranks, n, M, st.total_steps, wall_ms, machine.boundary_bytes(),
+            machine.wait_totals().wait_ms);
+    }
+  }
+  rec.set_ranks(4);  // the sweep's headline configuration
+  t.print(std::cout);
+  rec.write();
+  return 0;
+}

@@ -17,6 +17,10 @@
 //       branch_misses via perf_event_open). Perf columns are informational:
 //       they appear only when the counters were readable on the host and are
 //       never diffed by tools/bench_smoke.py
+//   5 — adds "ranks" (SPMD rank count the run used, 1 for single-process
+//       benches) and "transport" (boundary-exchange transport name, "local"
+//       when no transport is involved), plus optional per-point distributed
+//       columns (boundary_bytes, barrier_wait_ms) recorded by point_dist
 #pragma once
 
 #include <chrono>
@@ -62,18 +66,35 @@ inline std::string bench_output_dir() {
 /// Collects per-configuration measurements and writes BENCH_<name>.json.
 class BenchRecorder {
  public:
-  static constexpr int kSchemaVersion = 4;
+  static constexpr int kSchemaVersion = 5;
 
   explicit BenchRecorder(std::string name) : name_(std::move(name)) {}
 
+  /// Stamp the SPMD rank count / transport the whole run used. Benches that
+  /// never touch src/dist keep the defaults (ranks 1, transport "local").
+  void set_ranks(int ranks) { ranks_ = ranks; }
+  void set_transport(std::string transport) {
+    transport_ = std::move(transport);
+  }
+
   void point(std::string config, double wall_ms, i64 mesh_steps) {
-    points_.push_back({std::move(config), wall_ms, mesh_steps, {}});
+    points_.push_back({std::move(config), wall_ms, mesh_steps, {}, false});
   }
 
   /// Point with hardware counters; absent samples record no perf columns.
   void point(std::string config, double wall_ms, i64 mesh_steps,
              const telemetry::PerfSample& perf) {
-    points_.push_back({std::move(config), wall_ms, mesh_steps, perf});
+    points_.push_back({std::move(config), wall_ms, mesh_steps, perf, false});
+  }
+
+  /// Point with distributed-run columns (boundary-lane traffic and time
+  /// spent blocked in collectives across all ranks).
+  void point_dist(std::string config, double wall_ms, i64 mesh_steps,
+                  i64 boundary_bytes, double barrier_wait_ms) {
+    Point p{std::move(config), wall_ms, mesh_steps, {}, true};
+    p.boundary_bytes = boundary_bytes;
+    p.barrier_wait_ms = barrier_wait_ms;
+    points_.push_back(std::move(p));
   }
 
   std::string output_path() const {
@@ -98,6 +119,8 @@ class BenchRecorder {
 #endif
         << "\",\n  \"node_order\": \"" << node_order_name(node_order_default())
         << "\",\n  \"simd\": \"" << simd::kernel_name()
+        << "\",\n  \"ranks\": " << ranks_
+        << ",\n  \"transport\": \"" << transport_
         << "\",\n  \"points\": [\n";
     for (size_t i = 0; i < points_.size(); ++i) {
       const Point& p = points_[i];
@@ -112,6 +135,10 @@ class BenchRecorder {
             << ", \"llc_miss_rate\": " << p.perf.llc_miss_rate()
             << ", \"branch_misses\": " << p.perf.branch_misses;
       }
+      if (p.has_dist) {
+        out << ", \"boundary_bytes\": " << p.boundary_bytes
+            << ", \"barrier_wait_ms\": " << p.barrier_wait_ms;
+      }
       out << '}' << (i + 1 < points_.size() ? "," : "") << '\n';
     }
     out << "  ]\n}\n";
@@ -123,8 +150,13 @@ class BenchRecorder {
     double wall_ms = 0;
     i64 mesh_steps = 0;
     telemetry::PerfSample perf;
+    bool has_dist = false;
+    i64 boundary_bytes = 0;
+    double barrier_wait_ms = 0;
   };
   std::string name_;
+  int ranks_ = 1;
+  std::string transport_ = "local";
   std::vector<Point> points_;
 };
 

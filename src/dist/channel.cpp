@@ -1,0 +1,47 @@
+#include "dist/channel.hpp"
+
+#include "util/error.hpp"
+
+namespace meshpram::dist {
+
+ChannelHub::ChannelHub(int ranks) : ranks_(ranks) {
+  MP_REQUIRE(ranks >= 1, "channel hub rank count " << ranks);
+  pipes_.reserve(static_cast<size_t>(ranks) * static_cast<size_t>(ranks));
+  for (int i = 0; i < ranks * ranks; ++i) {
+    pipes_.push_back(std::make_unique<Pipe>());
+  }
+}
+
+void ChannelHub::send(int from, int to, std::string frame) {
+  Pipe& p = pipe(from, to);
+  {
+    std::lock_guard<std::mutex> lock(p.mu);
+    p.frames.push_back(std::move(frame));
+  }
+  p.cv.notify_one();
+}
+
+std::string ChannelHub::recv(int from, int to) {
+  Pipe& p = pipe(from, to);
+  std::unique_lock<std::mutex> lock(p.mu);
+  p.cv.wait(lock, [&] { return !p.frames.empty() || killed(); });
+  if (p.frames.empty()) {
+    throw TransportError("channel hub shut down while waiting for rank " +
+                         std::to_string(from));
+  }
+  std::string frame = std::move(p.frames.front());
+  p.frames.pop_front();
+  return frame;
+}
+
+void ChannelHub::kill() {
+  killed_.store(true, std::memory_order_release);
+  for (auto& p : pipes_) {
+    // Take the lock so a receiver between its predicate check and its wait
+    // cannot miss the wakeup.
+    std::lock_guard<std::mutex> lock(p->mu);
+    p->cv.notify_all();
+  }
+}
+
+}  // namespace meshpram::dist

@@ -1,0 +1,81 @@
+// In-process transport: N ranks as threads over mutex+condvar queues.
+//
+// A ChannelHub owns ranks² ordered pipes (one per directed rank pair); a
+// ChannelTransport is one rank's endpoint. kill() wakes every blocked
+// receiver with a TransportError — the driver uses it to collapse the whole
+// step when any rank throws, so no thread is left waiting on a peer that
+// will never send.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dist/transport.hpp"
+
+namespace meshpram::dist {
+
+class ChannelHub {
+ public:
+  explicit ChannelHub(int ranks);
+
+  int ranks() const { return ranks_; }
+
+  void send(int from, int to, std::string frame);
+  std::string recv(int from, int to);
+
+  /// Shuts the hub down: every current and future recv on an empty pipe
+  /// throws TransportError. Idempotent.
+  void kill();
+  bool killed() const { return killed_.load(std::memory_order_acquire); }
+
+ private:
+  struct Pipe {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::string> frames;
+  };
+
+  Pipe& pipe(int from, int to) {
+    return *pipes_[static_cast<size_t>(from) * static_cast<size_t>(ranks_) +
+                   static_cast<size_t>(to)];
+  }
+
+  int ranks_;
+  std::vector<std::unique_ptr<Pipe>> pipes_;
+  std::atomic<bool> killed_{false};
+};
+
+class ChannelTransport final : public Transport {
+ public:
+  ChannelTransport(ChannelHub& hub, int rank) : hub_(hub), rank_(rank) {}
+
+  int rank() const override { return rank_; }
+  int ranks() const override { return hub_.ranks(); }
+
+  void send(int to, std::string frame) override {
+    stats_.messages_sent += 1;
+    stats_.bytes_sent += static_cast<i64>(frame.size());
+    hub_.send(rank_, to, std::move(frame));
+  }
+
+  std::string recv(int from) override {
+    std::string frame = hub_.recv(from, rank_);
+    stats_.messages_received += 1;
+    stats_.bytes_received += static_cast<i64>(frame.size());
+    return frame;
+  }
+
+  const TransportStats& stats() const override { return stats_; }
+
+ private:
+  ChannelHub& hub_;
+  int rank_;
+  TransportStats stats_;
+};
+
+}  // namespace meshpram::dist

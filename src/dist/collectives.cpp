@@ -1,0 +1,97 @@
+#include "dist/collectives.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+namespace meshpram::dist {
+
+Collectives::Collectives(Transport& transport)
+    : transport_(transport),
+      rank_(transport.rank()),
+      ranks_(transport.ranks()) {}
+
+std::string Collectives::timed_recv(int from) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::string frame = transport_.recv(from);
+  const auto t1 = std::chrono::steady_clock::now();
+  wait_.calls += 1;
+  wait_.wait_ms +=
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          t1 - t0)
+          .count();
+  return frame;
+}
+
+std::vector<std::string> Collectives::allgather(std::string_view local) {
+  std::vector<std::string> out(static_cast<size_t>(ranks_));
+  out[static_cast<size_t>(rank_)] = std::string(local);
+  if (ranks_ == 1) return out;
+  if (rank_ == 0) {
+    for (int r = 1; r < ranks_; ++r) {
+      out[static_cast<size_t>(r)] = timed_recv(r);
+    }
+    std::string packed;
+    ByteWriter w(packed);
+    for (const std::string& s : out) w.put_blob(s);
+    for (int r = 1; r < ranks_; ++r) transport_.send(r, packed);
+  } else {
+    transport_.send(0, std::string(local));
+    const std::string packed = timed_recv(0);
+    ByteReader rd(packed, "allgather broadcast");
+    for (int r = 0; r < ranks_; ++r) {
+      out[static_cast<size_t>(r)] = std::string(rd.get_blob());
+    }
+    rd.expect_done();
+  }
+  return out;
+}
+
+void Collectives::barrier() { allgather(std::string_view()); }
+
+i64 Collectives::allreduce_sum(i64 v) {
+  if (ranks_ == 1) return v;
+  std::string local;
+  ByteWriter w(local);
+  w.put_i64(v);
+  i64 total = 0;
+  for (const std::string& s : allgather(local)) {
+    ByteReader rd(s, "allreduce_sum");
+    total += rd.get_i64();
+  }
+  return total;
+}
+
+i64 Collectives::allreduce_max(i64 v) {
+  if (ranks_ == 1) return v;
+  std::string local;
+  ByteWriter w(local);
+  w.put_i64(v);
+  i64 best = std::numeric_limits<i64>::min();
+  for (const std::string& s : allgather(local)) {
+    ByteReader rd(s, "allreduce_max");
+    best = std::max(best, rd.get_i64());
+  }
+  return best;
+}
+
+void Collectives::check_uniform(u64 value, const char* what) {
+  if (ranks_ == 1) return;
+  std::string local;
+  ByteWriter w(local);
+  w.put_u64(value);
+  const std::vector<std::string> all = allgather(local);
+  for (int r = 0; r < ranks_; ++r) {
+    ByteReader rd(all[static_cast<size_t>(r)], "check_uniform");
+    const u64 v = rd.get_u64();
+    MP_ASSERT(v == value, "lockstep divergence in " << what << ": rank "
+                                                     << rank_ << " has "
+                                                     << value << ", rank "
+                                                     << r << " has " << v);
+  }
+}
+
+}  // namespace meshpram::dist

@@ -1,0 +1,70 @@
+// Lockstep collectives over a Transport (DESIGN.md §13.3).
+//
+// The SPMD protocol needs exactly four shapes: allgather (buffer
+// replication, fill exchange, result slices), allreduce of step statistics
+// (sum/max), a barrier, and a uniformity check that turns any cross-rank
+// divergence into a hard error at the step where it happened instead of a
+// silently wrong answer later.
+//
+// Topology is a star through rank 0 (gather + broadcast): at in-process
+// rank counts the extra hop is nanoseconds, and the message pattern is
+// deterministic — every pipe carries the same sequence of frames on every
+// run, which keeps mixed collective/boundary-lane traffic FIFO-consistent.
+//
+// Wall-clock time blocked in recv is accumulated per Collectives instance;
+// the distributed machine reports it as barrier-wait time (EXP-D1).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dist/transport.hpp"
+
+namespace meshpram::dist {
+
+struct WaitStats {
+  i64 calls = 0;
+  double wait_ms = 0.0;
+
+  WaitStats& operator+=(const WaitStats& o) {
+    calls += o.calls;
+    wait_ms += o.wait_ms;
+    return *this;
+  }
+};
+
+class Collectives {
+ public:
+  explicit Collectives(Transport& transport);
+
+  int rank() const { return rank_; }
+  int ranks() const { return ranks_; }
+  Transport& transport() { return transport_; }
+
+  /// Every rank contributes `local`; returns all contributions indexed by
+  /// rank, identical on every rank.
+  std::vector<std::string> allgather(std::string_view local);
+
+  void barrier();
+  i64 allreduce_sum(i64 v);
+  i64 allreduce_max(i64 v);
+
+  /// Verifies that every rank computed the same value; throws InternalError
+  /// naming `what` on divergence. This is the bit-identity tripwire: it runs
+  /// on the cheap digests the protocol already has in hand.
+  void check_uniform(u64 value, const char* what);
+
+  /// Time spent blocked in recv since construction.
+  const WaitStats& wait() const { return wait_; }
+
+ private:
+  std::string timed_recv(int from);
+
+  Transport& transport_;
+  int rank_;
+  int ranks_;
+  WaitStats wait_;
+};
+
+}  // namespace meshpram::dist

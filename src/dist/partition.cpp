@@ -1,0 +1,84 @@
+#include "dist/partition.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace meshpram::dist {
+
+std::vector<int> RankPartition::atom_rows(const Placement& placement,
+                                          int rows) {
+  // A cut at row r (splitting between rows r-1 and r) is illegal when any
+  // page region at any level straddles it.
+  std::vector<char> legal(static_cast<size_t>(rows) + 1, 1);
+  const int k = placement.map().params().k();
+  for (int level = 1; level <= k; ++level) {
+    for (const PageInfo& page : placement.pages(level)) {
+      const Region& g = page.region;
+      for (int r = g.r0() + 1; r < g.r0() + g.rows(); ++r) {
+        legal[static_cast<size_t>(r)] = 0;
+      }
+    }
+  }
+  std::vector<int> atoms;  // row counts of the indivisible segments
+  int start = 0;
+  for (int r = 1; r <= rows; ++r) {
+    if (r == rows || legal[static_cast<size_t>(r)]) {
+      atoms.push_back(r - start);
+      start = r;
+    }
+  }
+  return atoms;
+}
+
+int RankPartition::max_ranks(const Placement& placement, int rows) {
+  return static_cast<int>(atom_rows(placement, rows).size());
+}
+
+RankPartition::RankPartition(const Placement& placement, int rows, int cols,
+                             int ranks)
+    : rows_(rows), cols_(cols) {
+  MP_REQUIRE(ranks >= 1, "rank count " << ranks);
+  const std::vector<int> atoms = atom_rows(placement, rows);
+  MP_REQUIRE(static_cast<size_t>(ranks) <= atoms.size(),
+             "rank count " << ranks << " exceeds the " << atoms.size()
+                           << " indivisible row segments of this placement");
+  bands_.reserve(static_cast<size_t>(ranks));
+  size_t a = 0;
+  int row = 0;
+  for (int r = 0; r < ranks; ++r) {
+    const int remaining_ranks = ranks - r;
+    const int remaining_rows = rows - row;
+    const int target = remaining_rows / remaining_ranks;
+    RankBand band;
+    band.row_begin = row;
+    while (true) {
+      row += atoms[a];
+      ++a;
+      const auto atoms_left = static_cast<int>(atoms.size() - a);
+      if (atoms_left == remaining_ranks - 1) break;  // one atom per rank left
+      if (row - band.row_begin >= target) break;
+    }
+    band.row_end = row;
+    band.node_begin = static_cast<i64>(band.row_begin) * cols;
+    band.node_end = static_cast<i64>(band.row_end) * cols;
+    bands_.push_back(band);
+  }
+  MP_ASSERT(row == rows && a == atoms.size(), "partition did not cover mesh");
+  row_owner_.resize(static_cast<size_t>(rows));
+  for (int r = 0; r < ranks; ++r) {
+    for (int i = bands_[static_cast<size_t>(r)].row_begin;
+         i < bands_[static_cast<size_t>(r)].row_end; ++i) {
+      row_owner_[static_cast<size_t>(i)] = r;
+    }
+  }
+}
+
+int RankPartition::owner_of_region(const Region& g) const {
+  const int owner = owner_of_row(g.r0());
+  MP_ASSERT(g.rows() == 0 || owner_of_row(g.r0() + g.rows() - 1) == owner,
+            "page region straddles a rank boundary");
+  return owner;
+}
+
+}  // namespace meshpram::dist

@@ -1,0 +1,76 @@
+// Row-stripe rank partition of the mesh (DESIGN.md §13.1).
+//
+// The distributed machine splits the R×C mesh into contiguous horizontal
+// bands, one per rank. A band boundary is legal only where it does not cut
+// through any HMOS page region at any level: the access protocol's inner
+// stages (k..1) sort and route strictly inside page regions, so a region
+// kept whole inside one band needs no communication at all — the only
+// cross-rank traffic left is the whole-mesh stage (k+1 distribution and the
+// final return), which crosses band edges one vertical hop at a time through
+// the boundary-lane exchange (route.hpp).
+//
+// The legal cut rows decompose the mesh into *atoms* (minimal indivisible
+// row segments); ranks get contiguous runs of atoms balanced by row count.
+// The number of atoms is therefore the maximum usable rank count for a given
+// HMOS geometry — exposed as max_ranks() so callers can refuse or clamp.
+#pragma once
+
+#include <vector>
+
+#include "hmos/placement.hpp"
+#include "util/math.hpp"
+
+namespace meshpram::dist {
+
+/// One rank's row band: rows [row_begin, row_end), nodes (row-major ids)
+/// [node_begin, node_end).
+struct RankBand {
+  int row_begin = 0;
+  int row_end = 0;
+  i64 node_begin = 0;
+  i64 node_end = 0;
+
+  int rows() const { return row_end - row_begin; }
+};
+
+class RankPartition {
+ public:
+  /// Builds the band assignment for `ranks` ranks over a rows×cols mesh
+  /// placed by `placement`. Throws ConfigError when ranks exceeds the atom
+  /// count (use max_ranks() to probe first).
+  RankPartition(const Placement& placement, int rows, int cols, int ranks);
+
+  /// Largest rank count this placement admits (= number of atoms).
+  static int max_ranks(const Placement& placement, int rows);
+
+  int ranks() const { return static_cast<int>(bands_.size()); }
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  const RankBand& band(int rank) const {
+    return bands_[static_cast<size_t>(rank)];
+  }
+
+  int owner_of_row(int row) const {
+    return row_owner_[static_cast<size_t>(row)];
+  }
+  int owner_of_node(i64 node) const {
+    return owner_of_row(static_cast<int>(node / cols_));
+  }
+  bool owns_node(int rank, i64 node) const {
+    return owner_of_node(node) == rank;
+  }
+
+  /// Owner of a region that the legality invariant guarantees lies inside
+  /// one band; asserts containment.
+  int owner_of_region(const Region& g) const;
+
+ private:
+  static std::vector<int> atom_rows(const Placement& placement, int rows);
+
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<RankBand> bands_;
+  std::vector<int> row_owner_;
+};
+
+}  // namespace meshpram::dist

@@ -1,0 +1,44 @@
+#include "dist/serve.hpp"
+
+#include <utility>
+
+#include "serve/snapshot.hpp"
+#include "util/env.hpp"
+
+namespace meshpram::dist {
+
+serve::EngineHooks make_engine_hooks(std::shared_ptr<DistMachine> machine) {
+  serve::EngineHooks hooks;
+  hooks.processors = machine->processors();
+  hooks.step = [machine](const std::vector<AccessRequest>& accesses,
+                         StepStats* stats) {
+    return machine->step(accesses, stats);
+  };
+  hooks.write_core = [machine](ByteWriter& w) {
+    serve::write_simulator_core(w, *machine->materialize());
+  };
+  hooks.engine = std::move(machine);
+  return hooks;
+}
+
+serve::Session& create_dist_session(serve::SessionManager& manager,
+                                    const std::string& name,
+                                    const DistConfig& config,
+                                    serve::SessionLimits limits) {
+  return manager.create_custom(
+      name, make_engine_hooks(std::make_shared<DistMachine>(config)), limits);
+}
+
+serve::Session& restore_dist_session(serve::SessionManager& manager,
+                                     const std::string& name,
+                                     std::string_view snapshot_bytes,
+                                     int ranks) {
+  return manager.restore_custom(
+      name, snapshot_bytes, [ranks](serve::ParsedSnapshot& parsed) {
+        std::shared_ptr<DistMachine> machine =
+            DistMachine::from_simulator(*parsed.sim, ranks);
+        return make_engine_hooks(std::move(machine));
+      });
+}
+
+}  // namespace meshpram::dist

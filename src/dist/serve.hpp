@@ -1,0 +1,37 @@
+// Serving-layer glue for the distributed machine (DESIGN.md §13.5).
+//
+// A DistMachine backs a serve::Session through EngineHooks: the scheduler's
+// step calls fan out over the ranks, and Session::snapshot serializes the
+// materialized single-process core — so a dist-session snapshot is
+// byte-compatible with a classic one, and either kind restores onto either
+// engine (restore_dist_session scatters the decoded stores across the
+// requested rank count via DistMachine::from_simulator).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "dist/machine.hpp"
+#include "serve/manager.hpp"
+
+namespace meshpram::dist {
+
+/// Wraps `machine` as the pluggable engine of a serve session. The hooks
+/// share ownership of the machine.
+serve::EngineHooks make_engine_hooks(std::shared_ptr<DistMachine> machine);
+
+/// Creates a session backed by a fresh DistMachine built from `config`.
+serve::Session& create_dist_session(serve::SessionManager& manager,
+                                    const std::string& name,
+                                    const DistConfig& config,
+                                    serve::SessionLimits limits = {});
+
+/// Restores a (classic or dist) session snapshot onto a DistMachine running
+/// `ranks` ranks (0 = MESHPRAM_RANKS, default 1).
+serve::Session& restore_dist_session(serve::SessionManager& manager,
+                                     const std::string& name,
+                                     std::string_view snapshot_bytes,
+                                     int ranks);
+
+}  // namespace meshpram::dist

@@ -1,0 +1,62 @@
+// Pluggable point-to-point message transport for the distributed machine.
+//
+// The SPMD protocol (protocol.hpp) and the collectives (collectives.hpp)
+// speak only this interface: ordered, reliable byte frames between ranks.
+// The in-process ChannelTransport (channel.hpp) ships first; a socket or MPI
+// transport needs exactly these four operations — non-blocking FIFO send,
+// blocking receive, and the rank/size of the communicator — so it can drop
+// in without touching the protocol layer.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "util/math.hpp"
+
+namespace meshpram::dist {
+
+/// Transport-layer failure: a peer died, the hub was shut down, or a frame
+/// could not be moved. Distinguished from protocol errors so the driver can
+/// tell a primary failure from the secondary wakeups it causes.
+class TransportError : public std::runtime_error {
+ public:
+  explicit TransportError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+struct TransportStats {
+  i64 messages_sent = 0;
+  i64 bytes_sent = 0;
+  i64 messages_received = 0;
+  i64 bytes_received = 0;
+
+  TransportStats& operator+=(const TransportStats& o) {
+    messages_sent += o.messages_sent;
+    bytes_sent += o.bytes_sent;
+    messages_received += o.messages_received;
+    bytes_received += o.bytes_received;
+    return *this;
+  }
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual int rank() const = 0;
+  virtual int ranks() const = 0;
+
+  /// Enqueues `frame` for `to`. Non-blocking; frames between a fixed
+  /// (sender, receiver) pair arrive in send order.
+  virtual void send(int to, std::string frame) = 0;
+
+  /// Blocks until a frame from `from` is available and returns it. Throws
+  /// TransportError if the transport is shut down while waiting.
+  virtual std::string recv(int from) = 0;
+
+  /// Cumulative traffic through this endpoint. Only the owning rank thread
+  /// may be calling send/recv when this is read.
+  virtual const TransportStats& stats() const = 0;
+};
+
+}  // namespace meshpram::dist

@@ -1,0 +1,64 @@
+// Binary codecs for the frames the distributed machine exchanges.
+//
+// Four frame bodies, all little-endian via util/bytes.hpp:
+//   packet       every Packet field in declaration order — the unit of the
+//                other three codecs;
+//   band buffers the full node-buffer contents of one rank band (stage-k+1
+//                replication): per node ascending by id, u32 count + packets
+//                in buffer order;
+//   fills        apply-phase read results of one band's nodes (replicated
+//                fallback): per node ascending, u32 count + (value,
+//                timestamp) pairs in buffer order;
+//   boundary     the per-sweep boundary-lane hops of the distributed router:
+//                u32 count + per hop (col, dest_r, dest_c, packet), with an
+//                FNV-1a trailer so the validate mode can reject a mangled
+//                frame at the receiving edge.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dist/partition.hpp"
+#include "mesh/machine.hpp"
+#include "mesh/packet.hpp"
+#include "util/bytes.hpp"
+
+namespace meshpram::dist {
+
+void put_packet(ByteWriter& w, const Packet& p);
+Packet get_packet(ByteReader& r);
+
+/// Encodes the node buffers of `band` of `mesh` (ascending node id, buffer
+/// order preserved).
+std::string encode_band_buffers(Mesh& mesh, const RankBand& band);
+
+/// Overwrites the node buffers of `band` of `mesh` with the encoded frame.
+void decode_band_buffers(Mesh& mesh, const RankBand& band,
+                         std::string_view frame);
+
+/// Encodes per-node (value, timestamp) of every buffered packet in `band`.
+std::string encode_band_fills(Mesh& mesh, const RankBand& band);
+
+/// Applies a fills frame onto `band`: buffer shapes must match (the packet
+/// sets are replicated); only value/timestamp are overwritten.
+void decode_band_fills(Mesh& mesh, const RankBand& band,
+                       std::string_view frame);
+
+/// One boundary-lane hop: a packet leaving the sender's band through a
+/// vertical link, to be deposited into the receiver's incoming lane at
+/// (boundary_row, col).
+struct BoundaryHop {
+  i32 col = 0;
+  i16 dest_r = 0;
+  i16 dest_c = 0;
+  Packet payload;
+};
+
+/// `checksum` appends the FNV-1a trailer (validate mode); decode verifies it
+/// when present (flagged in the frame header).
+std::string encode_boundary(const std::vector<BoundaryHop>& hops,
+                            bool checksum);
+std::vector<BoundaryHop> decode_boundary(std::string_view frame);
+
+}  // namespace meshpram::dist

@@ -45,6 +45,12 @@ void Mesh::clear_buffers() {
   for (auto& b : bufs_) b.clear();  // clear() keeps capacity (reuse contract)
 }
 
+void Mesh::clear_buffers(const Region& region) {
+  for (RegionCursor cur = cursor(region); cur.valid(); cur.advance()) {
+    bufs_[static_cast<size_t>(order_.slot_of(cur.id()))].clear();
+  }
+}
+
 std::vector<Packet> Mesh::drain(const Region& region) {
   std::vector<Packet> out;
   drain_into(region, out);

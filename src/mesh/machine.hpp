@@ -225,6 +225,8 @@ class Mesh {
   /// Drops every buffered packet (copy stores are preserved). Buffer
   /// capacities are kept so steady-state steps reuse the allocations.
   void clear_buffers();
+  /// Same, restricted to the nodes of `region`.
+  void clear_buffers(const Region& region);
 
   /// Gathers (and removes) all packets buffered in `region`, in snake order.
   /// The result is reserved up-front via total_packets; the emptied node

@@ -299,6 +299,7 @@ std::vector<i64> AccessProtocol::execute(
     telemetry::Span apply_span(telemetry::Cat::Phase, kApplyAccess);
     const bool count_touches = telemetry::sampling_on();
     mesh_.for_each_node(kNodeGrain, [&](i32 node) {
+      if (apply_shard_ != nullptr && !apply_shard_->owns_node(node)) return;
       auto& store = mesh_.store(node);
       auto& b = mesh_.buf(node);
       if (count_touches && !b.empty()) {
@@ -319,6 +320,7 @@ std::vector<i64> AccessProtocol::execute(
         }
       }
     });
+    if (apply_shard_ != nullptr) apply_shard_->exchange_fills(mesh_);
   }
 
   // ---- Return journey ------------------------------------------------------

@@ -25,6 +25,23 @@
 
 namespace meshpram {
 
+namespace dist {
+class DistProtocol;
+}
+
+/// Apply-phase sharding hook for the distributed machine (src/dist). In the
+/// replicated-fallback mode every rank runs the full protocol on its own
+/// mesh replica, but the copy stores stay partitioned: the hook restricts
+/// the apply phase to the nodes the rank owns, then exchanges the read
+/// fills (value/timestamp written into the buffered packets) so every
+/// replica carries identical packets into the return journey.
+class ApplyShard {
+ public:
+  virtual ~ApplyShard() = default;
+  virtual bool owns_node(i32 node) const = 0;
+  virtual void exchange_fills(Mesh& mesh) = 0;
+};
+
 struct AccessRequest {
   i64 var = -1;  ///< requested variable, -1 = processor idle this step
   Op op = Op::Read;
@@ -68,7 +85,15 @@ class AccessProtocol {
   std::vector<i64> execute(const std::vector<AccessRequest>& requests,
                            i64 timestamp, StepStats* stats = nullptr);
 
+  /// Installs (or clears, with nullptr) the apply-phase shard hook. Owned by
+  /// the caller; must outlive every execute() made while installed.
+  void set_apply_shard(ApplyShard* shard) { apply_shard_ = shard; }
+
  private:
+  /// The distributed protocol reuses distribute_stage for the forward stages
+  /// that stay inside one rank band.
+  friend class dist::DistProtocol;
+
   /// Sort-by-subregion, rank, distribute: one forward stage inside `region`.
   /// `dest_level` = the level of the pages packets are heading into
   /// (0 = final processor delivery).
@@ -90,6 +115,7 @@ class AccessProtocol {
   /// the fault-free path.
   std::vector<std::vector<std::vector<i32>>> alive_slots_;
   const fault::FaultPlan* alive_plan_ = nullptr;
+  ApplyShard* apply_shard_ = nullptr;
 };
 
 }  // namespace meshpram

@@ -46,6 +46,50 @@ Session& SessionManager::restore(const std::string& name,
   return ref;
 }
 
+Session& SessionManager::create_custom(const std::string& name,
+                                       EngineHooks hooks,
+                                       SessionLimits limits) {
+  MP_REQUIRE(find_by_name(name) == nullptr,
+             "session name '" << name << "' already exists");
+  const u32 id = next_id_++;
+  auto session =
+      std::make_unique<Session>(id, name, std::move(hooks), limits);
+  Session& ref = *session;
+  sessions_.emplace(id, std::move(session));
+  MP_INFO("session " << id << " '" << name
+                     << "' created (custom engine, "
+                     << ref.limits().queue_capacity << "-deep queue)");
+  return ref;
+}
+
+Session& SessionManager::restore_custom(const std::string& name,
+                                        std::string_view snapshot_bytes,
+                                        const EngineBinder& binder) {
+  MP_REQUIRE(find_by_name(name) == nullptr,
+             "session name '" << name << "' already exists");
+  ParsedSnapshot parsed = parse_snapshot(snapshot_bytes);
+  EngineHooks hooks = binder(parsed);
+  const u32 id = next_id_++;
+  const SessionLimits limits =
+      parsed.has_session ? parsed.limits : SessionLimits{};
+  auto session =
+      std::make_unique<Session>(id, name, std::move(hooks), limits);
+  if (parsed.has_session) {
+    session->rng_.set_state(parsed.rng_state);
+    session->stats_ = parsed.stats;
+    session->queue_ = std::move(parsed.queue);
+    if (!session->queue_.empty()) session->state_ = SessionState::Running;
+  }
+  Session& ref = *session;
+  sessions_.emplace(id, std::move(session));
+  MP_INFO("session " << id << " '" << name
+                     << "' restored from snapshot onto a custom engine"
+                     << (parsed.has_session
+                             ? " (captured as '" + parsed.session_name + "')"
+                             : ""));
+  return ref;
+}
+
 void SessionManager::destroy(u32 id) {
   const auto it = sessions_.find(id);
   MP_REQUIRE(it != sessions_.end(), "unknown session id " << id);

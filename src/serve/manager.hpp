@@ -6,6 +6,7 @@
 // ConfigError on a duplicate).
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -15,6 +16,13 @@
 #include "serve/session.hpp"
 
 namespace meshpram::serve {
+
+struct ParsedSnapshot;
+
+/// Builds the EngineHooks for a custom-engine restore from the decoded
+/// snapshot (the binder typically consumes parsed.sim to seed its engine —
+/// e.g. dist::DistMachine::from_simulator).
+using EngineBinder = std::function<EngineHooks(ParsedSnapshot&)>;
 
 class SessionManager {
  public:
@@ -32,6 +40,18 @@ class SessionManager {
   /// the snapshot when it carries session extras. Throws SnapshotError on
   /// malformed bytes, ConfigError on a duplicate name.
   Session& restore(const std::string& name, std::string_view snapshot_bytes);
+
+  /// Creates a session backed by a custom engine (EngineHooks) instead of an
+  /// owned simulator; throws ConfigError if `name` is taken.
+  Session& create_custom(const std::string& name, EngineHooks hooks,
+                         SessionLimits limits = {});
+
+  /// Restore variant for custom-engine sessions: decodes `snapshot_bytes`,
+  /// hands the ParsedSnapshot to `binder` to build the engine, and re-seats
+  /// the session extras exactly like restore().
+  Session& restore_custom(const std::string& name,
+                          std::string_view snapshot_bytes,
+                          const EngineBinder& binder);
 
   /// Removes a session in any state, dropping queued work. Throws
   /// ConfigError for an unknown id.

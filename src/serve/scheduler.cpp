@@ -86,7 +86,7 @@ void FairScheduler::execute(Session& s, Request req) {
   resp.slice = slices_;
   try {
     StepStats stats;
-    resp.values = s.sim().step(req.accesses, &stats);
+    resp.values = s.step(req.accesses, &stats);
     resp.mesh_steps = stats.total_steps;
     s.stats().steps_executed += 1;
     s.stats().mesh_steps += stats.total_steps;

@@ -66,6 +66,43 @@ Session::Session(u32 id, std::string name,
              "session queue capacity " << limits_.queue_capacity);
 }
 
+Session::Session(u32 id, std::string name, EngineHooks hooks,
+                 SessionLimits limits)
+    : id_(id),
+      name_(std::move(name)),
+      limits_(limits),
+      hooks_(std::move(hooks)),
+      rng_(name_seed(name_)),
+      span_label_(intern_span(name_)),
+      queue_label_(intern_queue(name_)) {
+  MP_REQUIRE(!name_.empty(), "session name must be non-empty");
+  MP_REQUIRE(limits_.queue_capacity >= 1,
+             "session queue capacity " << limits_.queue_capacity);
+  MP_REQUIRE(hooks_.step && hooks_.write_core && hooks_.processors > 0,
+             "custom-engine session needs step, write_core and a positive "
+             "processor count");
+}
+
+PramMeshSimulator& Session::sim() {
+  MP_REQUIRE(sim_ != nullptr, "session '" << name_
+                                          << "' is backed by a custom engine, "
+                                             "not an in-process simulator");
+  return *sim_;
+}
+
+const PramMeshSimulator& Session::sim() const {
+  MP_REQUIRE(sim_ != nullptr, "session '" << name_
+                                          << "' is backed by a custom engine, "
+                                             "not an in-process simulator");
+  return *sim_;
+}
+
+std::vector<i64> Session::step(const std::vector<AccessRequest>& accesses,
+                               StepStats* stats) {
+  if (sim_ != nullptr) return sim_->step(accesses, stats);
+  return hooks_.step(accesses, stats);
+}
+
 void Session::enqueue(Request req) {
   MP_ASSERT(!queue_full(), "enqueue past capacity — admission control must "
                            "run first");

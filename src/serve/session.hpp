@@ -15,12 +15,14 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "protocol/simulator.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/bytes.hpp"
 #include "util/rng.hpp"
 
 namespace meshpram::serve {
@@ -57,6 +59,21 @@ struct Response {
   i64 slice = -1;           ///< scheduler slice index that executed it
 };
 
+/// Pluggable step engine for sessions not backed by an in-process
+/// PramMeshSimulator — e.g. a dist::DistMachine (src/dist/serve.hpp). The
+/// closures capture the engine; `engine` keeps it alive for the session's
+/// lifetime. `write_core` serializes the engine's machine state in the
+/// simulator-core snapshot format (serve::write_simulator_core), so a
+/// custom-engine session snapshot restores through the ordinary path.
+struct EngineHooks {
+  std::shared_ptr<void> engine;
+  std::function<std::vector<i64>(const std::vector<AccessRequest>&,
+                                 StepStats*)>
+      step;
+  std::function<void(ByteWriter&)> write_core;
+  i64 processors = 0;
+};
+
 struct SessionStats {
   i64 steps_executed = 0;    ///< PRAM steps run by the scheduler
   i64 mesh_steps = 0;        ///< counted mesh steps over those PRAM steps
@@ -76,13 +93,22 @@ class Session {
   /// Restore path: adopts an already-rebuilt simulator (serve/snapshot.cpp).
   Session(u32 id, std::string name, std::unique_ptr<PramMeshSimulator> sim,
           SessionLimits limits);
+  /// Custom-engine session: steps and snapshots go through `hooks` instead
+  /// of an owned simulator (sim() is then unavailable).
+  Session(u32 id, std::string name, EngineHooks hooks, SessionLimits limits);
 
   u32 id() const { return id_; }
   const std::string& name() const { return name_; }
   SessionState state() const { return state_; }
   const SessionLimits& limits() const { return limits_; }
-  PramMeshSimulator& sim() { return *sim_; }
-  const PramMeshSimulator& sim() const { return *sim_; }
+  /// The owned simulator; throws ConfigError on a custom-engine session.
+  PramMeshSimulator& sim();
+  const PramMeshSimulator& sim() const;
+  bool has_sim() const { return sim_ != nullptr; }
+
+  /// One PRAM step through whichever engine backs the session.
+  std::vector<i64> step(const std::vector<AccessRequest>& accesses,
+                        StepStats* stats);
 
   /// Session-scoped deterministic workload stream; captured by snapshots so
   /// a restored session continues the exact sequence.
@@ -139,6 +165,7 @@ class Session {
   std::string name_;
   SessionLimits limits_;
   std::unique_ptr<PramMeshSimulator> sim_;
+  EngineHooks hooks_;  ///< set iff sim_ is null (custom-engine session)
   Rng rng_;
   SessionState state_ = SessionState::Idle;
   std::deque<Request> queue_;

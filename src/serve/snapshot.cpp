@@ -193,12 +193,20 @@ std::string snapshot_simulator(const PramMeshSimulator& sim) {
   return finish(std::move(bytes));
 }
 
+void write_simulator_core(ByteWriter& w, const PramMeshSimulator& sim) {
+  write_core(w, sim);
+}
+
 std::string Session::snapshot() const {
   std::string bytes;
   ByteWriter w(bytes);
   w.put_u32(kMagic);
   w.put_u32(kSnapshotVersion);
-  write_core(w, *sim_);
+  if (sim_ != nullptr) {
+    write_core(w, *sim_);
+  } else {
+    hooks_.write_core(w);
+  }
   w.put_u8(1);
   write_session_extras(w, *this);
   return finish(std::move(bytes));

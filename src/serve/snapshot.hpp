@@ -46,6 +46,12 @@ inline constexpr u32 kSnapshotVersion = 1;
 /// (between PRAM steps).
 std::string snapshot_simulator(const PramMeshSimulator& sim);
 
+/// Writes the raw simulator-core section (config + clock + copy stores, no
+/// magic/version framing) into `w`. Custom engines (EngineHooks::write_core)
+/// use this to make their session snapshots byte-compatible with classic
+/// simulator snapshots.
+void write_simulator_core(ByteWriter& w, const PramMeshSimulator& sim);
+
 /// Rebuilds a simulator from snapshot bytes; throws SnapshotError on any
 /// malformed input. The restored simulator reproduces the captured run
 /// bit-identically (same mesh_steps, same values) at any thread count.

@@ -26,4 +26,23 @@ void MeshCounters::reset() {
   copies_lost_.assign(copies_lost_.size(), 0);
 }
 
+void MeshCounters::adopt_range(const MeshCounters& src, i64 node_begin,
+                               i64 node_end) {
+  MP_REQUIRE(src.rows() == rows_ && src.cols() == cols_,
+             "counter grids sized for different meshes");
+  MP_REQUIRE(0 <= node_begin && node_begin <= node_end && node_end <= nodes(),
+             "adopt_range [" << node_begin << ", " << node_end << ")");
+  const auto lo = static_cast<size_t>(node_begin);
+  const auto n = static_cast<size_t>(node_end - node_begin);
+  auto copy = [lo, n](const std::vector<i64>& from, std::vector<i64>& to) {
+    for (size_t i = 0; i < n; ++i) to[lo + i] = from[lo + i];
+  };
+  copy(src.max_queue_, max_queue_);
+  copy(src.forwarded_, forwarded_);
+  copy(src.copies_touched_, copies_touched_);
+  copy(src.survivors_, survivors_);
+  copy(src.retries_, retries_);
+  copy(src.copies_lost_, copies_lost_);
+}
+
 }  // namespace meshpram::telemetry

@@ -59,6 +59,13 @@ class MeshCounters {
     copies_lost_[static_cast<size_t>(node)] += n;
   }
 
+  /// Copies the counters of nodes [node_begin, node_end) from `src` into
+  /// this grid (same mesh shape required). The distributed machine merges
+  /// per-rank counter grids band by band: each rank's owned cells carry the
+  /// authoritative values, so adopting every owner's range reconstructs the
+  /// single-process grid exactly.
+  void adopt_range(const MeshCounters& src, i64 node_begin, i64 node_end);
+
   const std::vector<i64>& max_queue() const { return max_queue_; }
   const std::vector<i64>& forwarded() const { return forwarded_; }
   const std::vector<i64>& copies_touched() const { return copies_touched_; }

@@ -1,5 +1,6 @@
 #include "util/simd.hpp"
 
+#include <atomic>
 #include <cstring>
 
 #include "util/env.hpp"
@@ -15,9 +16,11 @@ namespace meshpram::simd {
 
 namespace {
 
-/// -1 = undecided, 0 = scalar, 1 = avx2. Plain int: decided once up front in
-/// practice; set_enabled() is test-only and not raced against kernel calls.
-int g_dispatch = -1;
+/// -1 = undecided, 0 = scalar, 1 = avx2. Atomic: under the distributed
+/// machine several rank threads can make the first kernel call at once, and
+/// all must see a torn-free decision (every writer computes the same value,
+/// so relaxed ordering suffices).
+std::atomic<int> g_dispatch{-1};
 
 bool cpu_and_env_allow() {
 #if MESHPRAM_HAVE_AVX2_BUILD
@@ -190,15 +193,22 @@ __attribute__((target("avx2"))) void and_bytes_avx2(unsigned char* dst,
 #endif  // MESHPRAM_HAVE_AVX2_BUILD
 
 int dispatch() {
-  if (g_dispatch < 0) g_dispatch = cpu_and_env_allow() ? 1 : 0;
-  return g_dispatch;
+  int d = g_dispatch.load(std::memory_order_relaxed);
+  if (d < 0) {
+    d = cpu_and_env_allow() ? 1 : 0;
+    g_dispatch.store(d, std::memory_order_relaxed);
+  }
+  return d;
 }
 
 }  // namespace
 
 bool available() { return dispatch() == 1; }
 
-void set_enabled(bool on) { g_dispatch = (on && cpu_and_env_allow()) ? 1 : 0; }
+void set_enabled(bool on) {
+  g_dispatch.store((on && cpu_and_env_allow()) ? 1 : 0,
+                   std::memory_order_relaxed);
+}
 
 const char* kernel_name() { return available() ? "avx2" : "scalar"; }
 

@@ -13,6 +13,10 @@ shared configuration points regresses by more than the threshold (default
 Per-point times on small meshes are noisy (microseconds); only the summed
 wall time per bench is gated. mesh_steps must match exactly — a step-count
 change is a semantic change, not noise, and always fails the gate.
+
+The comparison logic lives in plain helpers (point_field, compare_bench,
+rank1_parity_failures) so tools/test_bench_smoke.py can exercise it —
+including the malformed-baseline paths — without running any binary.
 """
 
 import argparse
@@ -32,20 +36,24 @@ BENCHES = [
     "routing_general",
     "fault_sweep",
     "serve_multisession",
+    "dist_scaling",
 ]
 
 # Per-bench wall-clock tolerance overrides (fractional, in place of
 # --threshold). Benches whose points are dominated by sub-millisecond
-# scheduler slices need more headroom than the long-routing sweeps; the
-# mesh_steps equality check is unaffected — it is always exact.
+# scheduler slices or thread spawn/join need more headroom than the
+# long-routing sweeps; the mesh_steps equality check is unaffected — it is
+# always exact.
 TOLERANCES = {
     "serve_multisession": 0.60,
+    "dist_scaling": 0.60,
 }
 
-# Top-level fields the current recorder writes (schema 4). Used to print a
+# Top-level fields the current recorder writes (schema 5). Used to print a
 # field-level diff when a committed baseline predates the current schema.
 CURRENT_FIELDS = {"bench", "schema_version", "threads", "git_sha",
-                  "build_type", "node_order", "simd", "points"}
+                  "build_type", "node_order", "simd", "ranks", "transport",
+                  "points"}
 CURRENT_POINT_FIELDS = {"config", "wall_ms", "mesh_steps"}
 
 # Schema-4 hardware-counter columns (perf_event_open). Informational only:
@@ -53,6 +61,10 @@ CURRENT_POINT_FIELDS = {"config", "wall_ms", "mesh_steps"}
 # diffed — containerized runs commonly cannot open perf events at all.
 PERF_POINT_FIELDS = {"instructions", "cycles", "llc_refs", "llc_misses",
                      "llc_miss_rate", "branch_misses"}
+
+# Schema-5 distributed-run columns (point_dist). Informational for the wall
+# gate; boundary_bytes is covered by the rank-1 parity check instead.
+DIST_POINT_FIELDS = {"boundary_bytes", "barrier_wait_ms"}
 
 
 class SmokeError(Exception):
@@ -84,8 +96,31 @@ def load_doc(path, label):
         raise SmokeError(f"{label} at {path} is not valid JSON: {e}") from None
 
 
+def point_field(point, field, label):
+    """Read a required field from a points[] entry, failing with a sentence
+    naming the file and the point instead of a KeyError traceback."""
+    if not isinstance(point, dict):
+        raise SmokeError(f"{label}: points[] entry is not an object: "
+                         f"{point!r}")
+    if field not in point:
+        where = point.get("config", "<no config>")
+        raise SmokeError(
+            f"{label}: point '{where}' has no '{field}' field — the file "
+            f"was written by an incompatible recorder; regenerate it from "
+            f"a current Release build")
+    return point[field]
+
+
+def doc_points(doc, label):
+    """The points[] list of a loaded BENCH doc, keyed by config string."""
+    if "points" not in doc:
+        raise SmokeError(f"{label}: no 'points' array — not a BENCH_*.json "
+                         f"written by bench/recorder.hpp")
+    return {point_field(p, "config", label): p for p in doc["points"]}
+
+
 def load_points(path, label):
-    return {p["config"]: p for p in load_doc(path, label)["points"]}
+    return doc_points(load_doc(path, label), label)
 
 
 def schema_field_diff(doc):
@@ -104,13 +139,73 @@ def schema_field_diff(doc):
     if points:
         phave = set(points[0].keys())
         pmissing = sorted(CURRENT_POINT_FIELDS - phave)
-        pextra = sorted(phave - CURRENT_POINT_FIELDS - PERF_POINT_FIELDS)
+        pextra = sorted(phave - CURRENT_POINT_FIELDS - PERF_POINT_FIELDS -
+                        DIST_POINT_FIELDS)
         if pmissing:
             parts.append("points[] missing: " + ", ".join(pmissing))
         if pextra:
             parts.append("points[] unexpected: " + ", ".join(pextra))
     return "; ".join(parts) if parts else \
         "all field names match — only the schema_version value is stale"
+
+
+def compare_bench(bench, base, fresh, tolerance, log=print):
+    """Gate one bench: mesh_steps exact over shared points, summed wall time
+    within tolerance. base/fresh are config->point dicts. Returns a list of
+    failure strings (empty when the bench passes)."""
+    failures = []
+    shared = sorted(set(fresh) & set(base))
+    if not shared:
+        log(f"[skip] {bench}: no shared configuration points")
+        return failures
+
+    base_total = sum(point_field(base[c], "wall_ms",
+                                 f"committed {bench} baseline")
+                     for c in shared)
+    fresh_total = sum(point_field(fresh[c], "wall_ms",
+                                  f"fresh {bench} output")
+                      for c in shared)
+    ratio = fresh_total / base_total if base_total > 0 else 1.0
+    log(f"[{bench}] {len(shared)} shared points: "
+        f"{base_total:.2f} ms committed -> {fresh_total:.2f} ms "
+        f"fresh (x{ratio:.2f}, tolerance x{1.0 + tolerance:.2f})")
+
+    for c in shared:
+        bs = point_field(base[c], "mesh_steps", f"committed {bench} baseline")
+        fs = point_field(fresh[c], "mesh_steps", f"fresh {bench} output")
+        if fs != bs:
+            failures.append(f"{bench}/{c}: mesh_steps changed {bs} -> {fs}")
+    if ratio > 1.0 + tolerance:
+        failures.append(f"{bench}: wall-clock regressed x{ratio:.2f} "
+                        f"(> x{1.0 + tolerance:.2f} allowed)")
+    return failures
+
+
+def rank1_parity_failures(dist, mid):
+    """Bit-identity gate between the subsystems: every dist_scaling point at
+    ranks=1 must count exactly the mesh steps simulation_mid_mem counts for
+    the same k/side, and its boundary lanes must be silent."""
+    failures = []
+    for c in sorted(dist):
+        m = re.fullmatch(r"ranks=1 (k=\d+ side=\d+)", c)
+        if not m:
+            continue
+        if m.group(1) not in mid:
+            continue
+        ds = point_field(dist[c], "mesh_steps", "fresh dist_scaling output")
+        ms = point_field(mid[m.group(1)], "mesh_steps",
+                         "fresh simulation_mid_mem output")
+        if ds != ms:
+            failures.append(
+                f"dist_scaling/{c}: rank-1 mesh_steps {ds} != "
+                f"simulation_mid_mem/{m.group(1)} {ms} — the partitioned "
+                f"protocol is no longer bit-identical to the oracle")
+        bb = dist[c].get("boundary_bytes", 0)
+        if bb != 0:
+            failures.append(
+                f"dist_scaling/{c}: rank-1 run moved {bb} boundary bytes; "
+                f"a single band has no cuts to cross")
+    return failures
 
 
 def main():
@@ -135,9 +230,14 @@ def main():
         env = dict(os.environ)
         env["MESHPRAM_BENCH_DIR"] = tmp
         env["MESHPRAM_BENCH_MAX_SIDE"] = str(args.max_side)
+        # One worker, so fresh runs compare against baselines recorded at
+        # threads=1 regardless of the host's core count, and the dist bench's
+        # rank threads are the only parallelism in play.
+        env["MESHPRAM_THREADS"] = "1"
         # A committed MESHPRAM_FAULT_PLAN would skew every bench; the gate
         # always measures the fault-free configuration.
         env.pop("MESHPRAM_FAULT_PLAN", None)
+        env.pop("MESHPRAM_RANKS", None)
 
         for bench in BENCHES:
             baseline_path = os.path.join(REPO, f"BENCH_{bench}.json")
@@ -165,31 +265,11 @@ def main():
             run([binary], env=env, stdout=subprocess.DEVNULL)
             fresh = load_points(os.path.join(tmp, f"BENCH_{bench}.json"),
                                 f"fresh {bench} output")
-            base = {p["config"]: p for p in base_doc["points"]}
+            base = doc_points(base_doc, f"committed {bench} baseline")
             fresh_docs[bench] = fresh
 
-            shared = sorted(set(fresh) & set(base))
-            if not shared:
-                print(f"[skip] {bench}: no shared configuration points")
-                continue
-
             tolerance = TOLERANCES.get(bench, args.threshold)
-            base_total = sum(base[c]["wall_ms"] for c in shared)
-            fresh_total = sum(fresh[c]["wall_ms"] for c in shared)
-            ratio = fresh_total / base_total if base_total > 0 else 1.0
-            print(f"[{bench}] {len(shared)} shared points: "
-                  f"{base_total:.2f} ms committed -> {fresh_total:.2f} ms "
-                  f"fresh (x{ratio:.2f}, tolerance x{1.0 + tolerance:.2f})")
-
-            for c in shared:
-                if fresh[c]["mesh_steps"] != base[c]["mesh_steps"]:
-                    failures.append(
-                        f"{bench}/{c}: mesh_steps changed "
-                        f"{base[c]['mesh_steps']} -> {fresh[c]['mesh_steps']}")
-            if ratio > 1.0 + tolerance:
-                failures.append(
-                    f"{bench}: wall-clock regressed x{ratio:.2f} "
-                    f"(> x{1.0 + tolerance:.2f} allowed)")
+            failures += compare_bench(bench, base, fresh, tolerance)
 
         # Degraded-mode equivalence gate: the rate-0 points of the fault
         # sweep run the same seeds and configs as simulation_mid_mem, so an
@@ -199,13 +279,22 @@ def main():
             zero_rate = [c for c in fresh_docs["fault_sweep"]
                          if " rate=" not in c]
             for c in sorted(set(zero_rate) & set(mid)):
-                fs = fresh_docs["fault_sweep"][c]["mesh_steps"]
-                ms = mid[c]["mesh_steps"]
+                fs = point_field(fresh_docs["fault_sweep"][c], "mesh_steps",
+                                 "fresh fault_sweep output")
+                ms = point_field(mid[c], "mesh_steps",
+                                 "fresh simulation_mid_mem output")
                 if fs != ms:
                     failures.append(
                         f"fault_sweep/{c}: rate-0 mesh_steps {fs} != "
                         f"simulation_mid_mem {ms} — the fault-free fast "
                         f"path is no longer bit-identical")
+
+        # Distributed-mode equivalence gate: EXP-D1 at one rank is the same
+        # partitioned protocol with no boundary exchange, so its step counts
+        # must equal the single-process bench exactly.
+        if "dist_scaling" in fresh_docs and "simulation_mid_mem" in fresh_docs:
+            failures += rank1_parity_failures(fresh_docs["dist_scaling"],
+                                              fresh_docs["simulation_mid_mem"])
 
     if failures:
         print("\nBENCH SMOKE FAILED:")

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Self-test for the bench_smoke comparison helpers.
+
+Runs the pure comparison logic (no binaries, no build) against synthetic
+BENCH docs: both tolerance paths of compare_bench, the mesh_steps exactness
+gate, the rank-1 parity gate, and the malformed-input paths that must raise
+SmokeError with a readable message rather than a KeyError traceback.
+
+Registered with ctest (label `dist`); also runnable directly or under
+pytest — every check is a bare assert in a test_* function.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_smoke  # noqa: E402
+from bench_smoke import (SmokeError, compare_bench, doc_points,  # noqa: E402
+                         point_field, rank1_parity_failures,
+                         schema_field_diff)
+
+
+def pts(*entries):
+    """config->point dict from (config, wall_ms, mesh_steps[, extras])."""
+    out = {}
+    for e in entries:
+        p = {"config": e[0], "wall_ms": e[1], "mesh_steps": e[2]}
+        if len(e) > 3:
+            p.update(e[3])
+        out[e[0]] = p
+    return out
+
+
+def quiet(*_args, **_kw):
+    pass
+
+
+def test_compare_bench_passes_within_default_tolerance():
+    base = pts(("a", 10.0, 100), ("b", 20.0, 200))
+    fresh = pts(("a", 11.0, 100), ("b", 24.0, 200))  # x1.17 < x1.25
+    assert compare_bench("x", base, fresh, 0.25, log=quiet) == []
+
+
+def test_compare_bench_fails_beyond_default_tolerance():
+    base = pts(("a", 10.0, 100))
+    fresh = pts(("a", 14.0, 100))  # x1.40 > x1.25
+    fails = compare_bench("x", base, fresh, 0.25, log=quiet)
+    assert len(fails) == 1 and "wall-clock regressed" in fails[0]
+
+
+def test_compare_bench_override_tolerance_admits_noisier_bench():
+    # The same x1.40 ratio that fails at the default passes at a
+    # per-bench override of 0.60 — the TOLERANCES escape hatch.
+    base = pts(("a", 10.0, 100))
+    fresh = pts(("a", 14.0, 100))
+    assert compare_bench("noisy", base, fresh, 0.60, log=quiet) == []
+    # ... but the override is still a bound, not a waiver.
+    worse = pts(("a", 17.0, 100))  # x1.70 > x1.60
+    fails = compare_bench("noisy", base, worse, 0.60, log=quiet)
+    assert len(fails) == 1 and "x1.70" in fails[0]
+
+
+def test_compare_bench_mesh_steps_exact_regardless_of_tolerance():
+    base = pts(("a", 10.0, 100))
+    fresh = pts(("a", 10.0, 101))
+    fails = compare_bench("x", base, fresh, 9.99, log=quiet)
+    assert len(fails) == 1 and "mesh_steps changed 100 -> 101" in fails[0]
+
+
+def test_compare_bench_no_shared_points_is_a_skip_not_a_failure():
+    assert compare_bench("x", pts(("a", 1.0, 1)), pts(("b", 1.0, 1)),
+                         0.25, log=quiet) == []
+
+
+def test_point_field_missing_raises_readable_error():
+    try:
+        point_field({"config": "k=3 side=16"}, "mesh_steps", "committed x")
+        assert False, "expected SmokeError"
+    except SmokeError as e:
+        msg = str(e)
+        assert "mesh_steps" in msg and "k=3 side=16" in msg
+        assert "committed x" in msg
+
+
+def test_point_field_non_object_raises_readable_error():
+    try:
+        point_field(["not", "a", "dict"], "wall_ms", "fresh y")
+        assert False, "expected SmokeError"
+    except SmokeError as e:
+        assert "fresh y" in str(e)
+
+
+def test_compare_bench_surfaces_missing_field_as_smoke_error():
+    base = pts(("a", 10.0, 100))
+    fresh = {"a": {"config": "a", "mesh_steps": 100}}  # no wall_ms
+    try:
+        compare_bench("x", base, fresh, 0.25, log=quiet)
+        assert False, "expected SmokeError"
+    except SmokeError as e:
+        assert "wall_ms" in str(e)
+
+
+def test_doc_points_rejects_docs_without_points():
+    try:
+        doc_points({"bench": "x"}, "committed x")
+        assert False, "expected SmokeError"
+    except SmokeError as e:
+        assert "points" in str(e)
+
+
+def test_rank1_parity_ok_when_steps_match_and_lanes_silent():
+    dist = pts(("ranks=1 k=3 side=16", 5.0, 400, {"boundary_bytes": 0}),
+               ("ranks=2 k=3 side=16", 4.0, 400, {"boundary_bytes": 128}))
+    mid = pts(("k=3 side=16", 5.0, 400))
+    assert rank1_parity_failures(dist, mid) == []
+
+
+def test_rank1_parity_flags_step_divergence_and_noisy_lanes():
+    dist = pts(("ranks=1 k=3 side=16", 5.0, 401, {"boundary_bytes": 64}))
+    mid = pts(("k=3 side=16", 5.0, 400))
+    fails = rank1_parity_failures(dist, mid)
+    assert len(fails) == 2
+    assert any("401" in f and "400" in f for f in fails)
+    assert any("boundary bytes" in f for f in fails)
+
+
+def test_rank1_parity_ignores_sides_absent_from_mid_mem():
+    dist = pts(("ranks=1 k=3 side=24", 5.0, 400))
+    assert rank1_parity_failures(dist, pts(("k=3 side=16", 5.0, 400))) == []
+
+
+def test_schema_field_diff_names_missing_schema5_fields():
+    doc = {"bench": "x", "schema_version": 4, "threads": 1, "git_sha": "g",
+           "build_type": "Release", "node_order": "row_major", "simd": "avx2",
+           "points": [{"config": "a", "wall_ms": 1.0, "mesh_steps": 1}]}
+    diff = schema_field_diff(doc)
+    assert "ranks" in diff and "transport" in diff
+
+
+def test_schema_field_diff_tolerates_perf_and_dist_columns():
+    doc = {f: 0 for f in bench_smoke.CURRENT_FIELDS}
+    doc["points"] = [{"config": "a", "wall_ms": 1.0, "mesh_steps": 1,
+                      "instructions": 5, "boundary_bytes": 7,
+                      "barrier_wait_ms": 0.1}]
+    assert "unexpected" not in schema_field_diff(doc)
+
+
+def main():
+    tests = [(n, f) for n, f in sorted(globals().items())
+             if n.startswith("test_") and callable(f)]
+    for name, fn in tests:
+        fn()
+        print(f"  ok {name}")
+    print(f"test_bench_smoke: {len(tests)} checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,15 +1,25 @@
-// trace_summary — aggregate a meshpram Chrome trace into per-stage totals.
+// trace_summary — aggregate meshpram Chrome traces into per-stage totals.
 //
-//   trace_summary <trace.json> [--top N]
+//   trace_summary <trace.json | trace-dir>... [--top N]
+//
+// Each input is a trace file or a directory; directories are scanned
+// recursively for *.json traces, so the per-rank dump dirs a distributed
+// run leaves behind (TRACE_rank0, TRACE_rank1, ...) merge into one table:
+//
+//   trace_summary TRACE_rank0 TRACE_rank1 --top 5
 //
 // Prints (a) the per-stage step/wall totals (cat=stage spans, whose steps
 // partition each PRAM step's total by construction — telemetry.hpp), checked
 // against the cat=step grand total; (b) the top-N span names by wall-clock;
-// (c) the top-N region tasks by wall-clock. Exit code: 0 on success, 1 on
-// usage/load errors, 2 when the stage totals fail to reconcile with the
-// recorded PRAM step totals.
+// (c) the top-N region tasks by wall-clock. Exit code: 0 on success (an
+// empty trace directory is a note, not an error), 1 on usage/load errors,
+// 2 when a single-trace run fails to reconcile stage totals with the
+// recorded PRAM step totals. Reconciliation is not enforced for merged
+// runs: ranks trace the replicated stages (culling, sort) once each, so a
+// merged table intentionally over-counts them relative to the step total.
 #include <algorithm>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
 #include <map>
 #include <string>
@@ -39,32 +49,58 @@ std::vector<std::pair<Key, Agg>> sorted_by_wall(
   return v;
 }
 
+/// Expand one CLI input into trace files: a .json path stands alone; a
+/// directory contributes every *.json beneath it (sorted for determinism).
+std::vector<std::string> expand_input(const std::string& arg) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  if (fs::is_directory(arg)) {
+    for (const auto& entry : fs::recursive_directory_iterator(arg)) {
+      if (entry.is_regular_file() && entry.path().extension() == ".json") {
+        files.push_back(entry.path().string());
+      }
+    }
+    std::sort(files.begin(), files.end());
+  } else {
+    files.push_back(arg);
+  }
+  return files;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string path;
+  std::vector<std::string> inputs;
   size_t top_k = 10;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
       top_k = static_cast<size_t>(std::atoll(argv[++i]));
-    } else if (path.empty()) {
-      path = argv[i];
     } else {
-      std::cerr << "usage: trace_summary <trace.json> [--top N]\n";
-      return 1;
+      inputs.push_back(argv[i]);
     }
   }
-  if (path.empty()) {
-    std::cerr << "usage: trace_summary <trace.json> [--top N]\n";
+  if (inputs.empty()) {
+    std::cerr << "usage: trace_summary <trace.json | trace-dir>... [--top N]\n";
     return 1;
   }
 
-  LoadedTrace trace;
-  try {
-    trace = load_chrome_trace(path);
-  } catch (const std::exception& e) {
-    std::cerr << "trace_summary: " << e.what() << '\n';
-    return 1;
+  std::vector<std::string> files;
+  for (const std::string& arg : inputs) {
+    if (!std::filesystem::exists(arg)) {
+      std::cerr << "trace_summary: no such file or directory: " << arg
+                << '\n';
+      return 1;
+    }
+    const auto expanded = expand_input(arg);
+    if (expanded.empty()) {
+      std::cout << "note: " << arg << " contains no *.json traces\n";
+    }
+    files.insert(files.end(), expanded.begin(), expanded.end());
+  }
+  if (files.empty()) {
+    std::cout << "trace_summary: nothing to summarize (no traces found); "
+                 "run with MESHPRAM_TRACE_DIR set to produce some\n";
+    return 0;
   }
 
   std::map<std::string, Agg> stages;
@@ -72,31 +108,50 @@ int main(int argc, char** argv) {
   std::map<std::pair<std::string, i64>, Agg> regions;
   i64 step_total = 0;     // sum of cat=step span steps (PRAM grand total)
   i64 step_count = 0;
-  for (const LoadedEvent& e : trace.events) {
-    if (e.ph != 'X') continue;
-    Agg& all = spans[e.name];
-    ++all.count;
-    all.wall_us += e.dur_us;
-    if (e.steps >= 0) all.steps += e.steps;
-    if (e.cat == "stage") {
-      Agg& a = stages[e.name];
-      ++a.count;
-      a.wall_us += e.dur_us;
-      if (e.steps >= 0) a.steps += e.steps;
-    } else if (e.cat == "step") {
-      ++step_count;
-      if (e.steps >= 0) step_total += e.steps;
-    } else if (e.cat == "region") {
-      Agg& a = regions[{e.name, e.index}];
-      ++a.count;
-      a.wall_us += e.dur_us;
-      if (e.steps >= 0) a.steps += e.steps;
+  size_t total_events = 0;
+  i64 recorded = 0;
+  i64 dropped = 0;
+  for (const std::string& path : files) {
+    LoadedTrace trace;
+    try {
+      trace = load_chrome_trace(path);
+    } catch (const std::exception& e) {
+      std::cerr << "trace_summary: " << path << ": " << e.what() << '\n';
+      return 1;
+    }
+    total_events += trace.events.size();
+    recorded += trace.recorded;
+    dropped += trace.dropped;
+    for (const LoadedEvent& e : trace.events) {
+      if (e.ph != 'X') continue;
+      Agg& all = spans[e.name];
+      ++all.count;
+      all.wall_us += e.dur_us;
+      if (e.steps >= 0) all.steps += e.steps;
+      if (e.cat == "stage") {
+        Agg& a = stages[e.name];
+        ++a.count;
+        a.wall_us += e.dur_us;
+        if (e.steps >= 0) a.steps += e.steps;
+      } else if (e.cat == "step") {
+        ++step_count;
+        if (e.steps >= 0) step_total += e.steps;
+      } else if (e.cat == "region") {
+        Agg& a = regions[{e.name, e.index}];
+        ++a.count;
+        a.wall_us += e.dur_us;
+        if (e.steps >= 0) a.steps += e.steps;
+      }
     }
   }
 
-  std::cout << "trace: " << path << "  (" << trace.events.size()
-            << " events, recorded " << trace.recorded << ", dropped "
-            << trace.dropped << ")\n\n";
+  if (files.size() == 1) {
+    std::cout << "trace: " << files[0];
+  } else {
+    std::cout << "merged " << files.size() << " traces";
+  }
+  std::cout << "  (" << total_events << " events, recorded " << recorded
+            << ", dropped " << dropped << ")\n\n";
 
   std::cout << "Per-stage totals (mesh steps partition the PRAM step total):\n";
   i64 stage_total = 0;
@@ -135,7 +190,10 @@ int main(int argc, char** argv) {
   if (step_count > 0) {
     std::cout << "\nPRAM steps traced: " << step_count
               << ", grand total mesh steps: " << step_total << '\n';
-    if (stage_total == step_total) {
+    if (files.size() > 1) {
+      std::cout << "stage reconciliation skipped for merged traces "
+                   "(replicated stages are traced once per rank)\n";
+    } else if (stage_total == step_total) {
       std::cout << "stage totals reconcile with the PRAM step grand total\n";
     } else {
       std::cout << "MISMATCH: stage totals (" << stage_total
