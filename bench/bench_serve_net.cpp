@@ -1,0 +1,345 @@
+// EXP-S2 — network serving with cross-client step coalescing (DESIGN.md §14).
+//
+// Four scenario families:
+//   coalesce — deterministic scheduler-level window sweep: the same
+//     var-disjoint request stream at window 1/2/4/8. mesh_steps is pinned
+//     (coalescing buys a step-count reduction, not just wall clock) and the
+//     final machine snapshot must be byte-identical to the window-1 run —
+//     the binary aborts otherwise.
+//   throughput — closed-loop pipelined clients over a unix socket, conns
+//     {1,4,8} x window {1,8}, same binary. At >= 4 connections the
+//     coalescing-on run must beat coalescing-off by >= 5% req/s (best of 3,
+//     enforced with exit 1). Latency percentiles ride along informationally.
+//   overload — rejection-rate curve: 6 connections into a tight global
+//     in-flight budget at pipeline depth 2/8/32. Deeper pipelines offer more
+//     concurrent work to the same budget, so the rejection rate climbs; the
+//     counts are timing-dependent and recorded informationally.
+//   parity — socket-level bit-identity: 4 pipelined clients with coalescing
+//     + the shadow-replay tripwire on; afterwards every session's snapshot
+//     must equal a solo sequential replay of that connection's stream.
+//     mesh_steps 1 on success so the smoke gate pins the verdict.
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "serve/api.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/manager.hpp"
+#include "serve/net_client.hpp"
+#include "serve/net_server.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/snapshot.hpp"
+#include "util/table.hpp"
+
+#include <unistd.h>
+
+using namespace meshpram;
+using namespace meshpram::benchutil;
+using namespace meshpram::serve;
+
+namespace {
+
+SimConfig serve_config(int side) {
+  SimConfig cfg;
+  cfg.mesh_rows = side;
+  cfg.mesh_cols = side;
+  const i64 n = static_cast<i64>(side) * side;
+  cfg.num_vars = n * 8;
+  cfg.q = 3;
+  cfg.k = 2;
+  cfg.sort_mode = SortMode::Analytic;
+  return cfg;
+}
+
+/// Request j of a var-disjoint series (blocks of `w` variables, writes at
+/// even slots): consecutive requests always coalesce.
+Request disjoint_request(u64 id, i64 j, i64 w) {
+  Request req;
+  req.id = id;
+  for (i64 i = 0; i < w; ++i) {
+    AccessRequest a;
+    a.var = j * w + i;
+    if (i % 2 == 0) {
+      a.op = Op::Write;
+      a.value = static_cast<i64>(id) * 1000 + i;
+    }
+    req.accesses.push_back(a);
+  }
+  return req;
+}
+
+std::string sock_path(const std::string& tag) {
+  return "/tmp/meshpram-bench-" + tag + "-" + std::to_string(::getpid()) +
+         ".sock";
+}
+
+struct CoalesceRun {
+  i64 mesh_steps = 0;
+  double wall_ms = 0;
+  i64 batches = 0;
+  std::string snapshot;
+};
+
+/// 16 disjoint requests through one session at the given window.
+CoalesceRun run_coalesce(int side, i64 window) {
+  SessionManager mgr;
+  Session& s = mgr.create("c", serve_config(side));
+  SchedulerConfig scfg;
+  scfg.coalesce_window = window;
+  FairScheduler sched(mgr, scfg);
+  const WallTimer timer;
+  for (i64 j = 0; j < 16; ++j) {
+    const Admission verdict =
+        sched.submit(s.id(), disjoint_request(static_cast<u64>(j + 1), j, 8));
+    if (!verdict.accepted) {
+      std::cerr << "coalesce admission failed: " << verdict.reason << '\n';
+      std::exit(1);
+    }
+  }
+  sched.run_until_idle();
+  CoalesceRun out;
+  out.wall_ms = timer.ms();
+  out.mesh_steps = s.stats().mesh_steps;
+  out.batches = sched.coalesce_stats().batches;
+  out.snapshot = snapshot_simulator(s.sim());
+  return out;
+}
+
+/// A serving stack (sessions + scheduler + NetServer on its own thread) for
+/// the socket scenarios.
+struct NetStack {
+  SessionManager mgr;
+  std::unique_ptr<FairScheduler> sched;
+  std::unique_ptr<NetServer> server;
+  std::vector<std::string> names;
+  std::vector<SessionShape> shapes;
+  std::atomic<bool> stop{false};
+  std::thread loop;
+
+  NetStack(const std::string& path, int side, i64 sessions, i64 window,
+           i64 capacity, i64 inflight) {
+    const SimConfig cfg = serve_config(side);
+    SessionLimits limits;
+    limits.queue_capacity = capacity;
+    for (i64 s = 0; s < sessions; ++s) {
+      Session& sess = mgr.create("b" + std::to_string(s), cfg, limits);
+      names.push_back(sess.name());
+      shapes.push_back({sess.sim().processors(), sess.sim().num_vars()});
+    }
+    SchedulerConfig scfg;
+    scfg.coalesce_window = window;
+    scfg.global_inflight = inflight;
+    sched = std::make_unique<FairScheduler>(mgr, scfg);
+    NetServerConfig ncfg;
+    ncfg.unix_path = path;
+    server = std::make_unique<NetServer>(mgr, *sched, ncfg);
+    loop = std::thread([this] { server->run(stop); });
+  }
+  ~NetStack() {
+    stop = true;
+    loop.join();
+  }
+};
+
+NetLoadgenReport run_net(int side, i64 conns, i64 window, i64 depth,
+                         i64 requests, i64 capacity, i64 inflight) {
+  const std::string path = sock_path("w" + std::to_string(window));
+  NetStack stack(path, side, conns, window, capacity, inflight);
+  LoadgenConfig lg;
+  lg.requests = requests;
+  lg.accesses_per_request = 8;
+  lg.seed = 23;
+  NetEndpoint ep;
+  ep.transport = Transport::Unix;
+  ep.unix_path = path;
+  return run_loadgen_net(ep, stack.names, stack.shapes, lg, depth);
+}
+
+}  // namespace
+
+int main() {
+  set_log_level(LogLevel::Error);  // the t_i<1 warning is expected here
+  std::cout << "=== EXP-S2: network serving with cross-client coalescing "
+               "(epoll loop, frame pipelining) ===\n";
+  BenchRecorder rec("serve_net");
+  rec.set_transport("unix");
+
+  // ---- coalesce: deterministic window sweep, snapshot parity enforced ----
+  {
+    Table ct({"side", "window", "batches", "T_sim", "wall_ms"});
+    for (const int side : {8, 16}) {
+      if (side > bench_max_side()) continue;
+      const CoalesceRun base = run_coalesce(side, 1);
+      for (const i64 window : {1, 2, 4, 8}) {
+        const CoalesceRun r = run_coalesce(side, window);
+        if (r.snapshot != base.snapshot) {
+          std::cerr << "coalesced machine state diverged from sequential at "
+                       "window "
+                    << window << " (side " << side << ")\n";
+          return 1;
+        }
+        ct.add(side, window, r.batches, r.mesh_steps, r.wall_ms);
+        rec.point("coalesce side=" + std::to_string(side) +
+                      " window=" + std::to_string(window),
+                  r.wall_ms, r.mesh_steps);
+      }
+      if (run_coalesce(side, 8).mesh_steps * 2 >= base.mesh_steps) {
+        std::cerr << "window-8 coalescing no longer halves counted steps "
+                     "(side "
+                  << side << ")\n";
+        return 1;
+      }
+    }
+    ct.print(std::cout);
+  }
+
+  // ---- throughput: conns x window over a unix socket, margin enforced ----
+  {
+    Table tt({"conns", "window", "rps", "p50_us", "p99_us", "coalesced",
+              "wall_ms"});
+    std::map<std::pair<i64, i64>, double> best_rps;
+    for (const i64 conns : {1, 4, 8}) {
+      for (const i64 window : {1, 8}) {
+        NetLoadgenReport best;
+        for (int rep = 0; rep < 3; ++rep) {
+          const NetLoadgenReport r =
+              run_net(8, conns, window, 8, conns * 60, 64, 4096);
+          if (r.failed != 0 || r.rejected != 0) {
+            std::cerr << "throughput run rejected/failed requests (conns="
+                      << conns << " window=" << window << ")\n";
+            return 1;
+          }
+          if (r.rps > best.rps) best = r;
+        }
+        best_rps[{conns, window}] = best.rps;
+        tt.add(conns, window, best.rps, best.p50_us, best.p99_us,
+               best.coalesced_responses, best.wall_seconds * 1000.0);
+        BenchRecorder::ServeColumns sc;
+        sc.offered = best.offered;
+        sc.completed = best.completed;
+        sc.rejected = best.rejected;
+        sc.p50_us = best.p50_us;
+        sc.p95_us = best.p95_us;
+        sc.p99_us = best.p99_us;
+        sc.rps = best.rps;
+        rec.point_serve("throughput conns=" + std::to_string(conns) +
+                            " window=" + std::to_string(window),
+                        best.wall_seconds * 1000.0, 0, sc);
+      }
+    }
+    tt.print(std::cout);
+    // The EXP-S2 claim: at >= 4 concurrent connections, cross-client
+    // coalescing improves goodput by a measured margin on the same binary.
+    for (const i64 conns : {4, 8}) {
+      const double off = best_rps[{conns, 1}];
+      const double on = best_rps[{conns, 8}];
+      if (on < 1.05 * off) {
+        std::cerr << "coalescing margin missing at conns=" << conns << ": "
+                  << on << " rps on vs " << off << " rps off\n";
+        return 1;
+      }
+      std::cout << "conns=" << conns << ": coalescing x"
+                << (off > 0 ? on / off : 0.0) << " goodput\n";
+    }
+  }
+
+  // ---- overload: rejection-rate curve vs pipeline depth (informational) --
+  {
+    Table ot({"depth", "offered", "completed", "rejected", "reject_%",
+              "p99_us"});
+    for (const i64 depth : {2, 8, 32}) {
+      const NetLoadgenReport r = run_net(8, 6, 1, depth, 180, 4, 8);
+      if (r.failed != 0) {
+        std::cerr << "overload run produced failures (depth=" << depth
+                  << ")\n";
+        return 1;
+      }
+      const double pct = 100.0 * static_cast<double>(r.rejected) /
+                         static_cast<double>(r.offered);
+      ot.add(depth, r.offered, r.completed, r.rejected, pct, r.p99_us);
+      BenchRecorder::ServeColumns sc;
+      sc.offered = r.offered;
+      sc.completed = r.completed;
+      sc.rejected = r.rejected;
+      sc.p50_us = r.p50_us;
+      sc.p95_us = r.p95_us;
+      sc.p99_us = r.p99_us;
+      sc.rps = r.rps;
+      rec.point_serve("overload conns=6 budget=8 depth=" +
+                          std::to_string(depth),
+                      r.wall_seconds * 1000.0, 0, sc);
+    }
+    ot.print(std::cout);
+  }
+
+  // ---- parity: socket-level coalescing vs solo sequential replay ---------
+  {
+    const i64 conns = 4, requests = 24;
+    const std::string path = sock_path("parity");
+    const WallTimer timer;
+    double wall_ms = 0;
+    {
+      NetStack stack(path, 8, conns, 8, 64, 4096);
+      std::vector<std::thread> clients;
+      std::vector<std::string> errors(static_cast<size_t>(conns));
+      for (i64 c = 0; c < conns; ++c) {
+        clients.emplace_back([&, c] {
+          try {
+            NetClient client = NetClient::connect_unix(path);
+            for (i64 j = 0; j < requests; ++j) {
+              const Request req =
+                  disjoint_request(static_cast<u64>(j + 1), j, 8);
+              client.send_frame(encode_step(req.id, stack.names[
+                  static_cast<size_t>(c)], req.accesses));
+            }
+            for (i64 j = 0; j < requests; ++j) {
+              const WireResponse resp = client.recv_response();
+              if (!resp.ok) throw ConfigError(resp.error);
+            }
+          } catch (const std::exception& e) {
+            errors[static_cast<size_t>(c)] = e.what();
+          }
+        });
+      }
+      for (std::thread& t : clients) t.join();
+      wall_ms = timer.ms();
+      for (const std::string& e : errors) {
+        if (!e.empty()) {
+          std::cerr << "parity client failed: " << e << '\n';
+          return 1;
+        }
+      }
+      for (i64 c = 0; c < conns; ++c) {
+        PramMeshSimulator solo(serve_config(8));
+        for (i64 j = 0; j < requests; ++j) {
+          solo.step(disjoint_request(static_cast<u64>(j + 1), j, 8).accesses,
+                    nullptr);
+        }
+        Session* s =
+            stack.mgr.find_by_name(stack.names[static_cast<size_t>(c)]);
+        if (snapshot_simulator(s->sim()) != snapshot_simulator(solo)) {
+          std::cerr << "socket-coalesced session " << c
+                    << " diverged from solo replay\n";
+          return 1;
+        }
+      }
+      if (stack.sched->coalesce_stats().batches == 0) {
+        std::cerr << "parity run never coalesced — scenario lost its "
+                     "point\n";
+        return 1;
+      }
+    }
+    Table pt({"conns", "requests", "verdict", "wall_ms"});
+    pt.add(conns, requests, "bit-identical", wall_ms);
+    pt.print(std::cout);
+    rec.point("parity conns=4 window=8", wall_ms, 1);
+  }
+
+  rec.write();
+  std::cout << "wrote " << rec.output_path() << '\n';
+  return 0;
+}

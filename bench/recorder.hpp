@@ -20,7 +20,11 @@
 //   5 — adds "ranks" (SPMD rank count the run used, 1 for single-process
 //       benches) and "transport" (boundary-exchange transport name, "local"
 //       when no transport is involved), plus optional per-point distributed
-//       columns (boundary_bytes, barrier_wait_ms) recorded by point_dist
+//       columns (boundary_bytes, barrier_wait_ms) recorded by point_dist.
+//       Later additions within schema 5: optional per-point serving columns
+//       (offered, completed, rejected, p50_us, p95_us, p99_us, rps) recorded
+//       by point_serve — latency/throughput are wall-clock derived and
+//       informational, never diffed by tools/bench_smoke.py
 #pragma once
 
 #include <chrono>
@@ -78,22 +82,60 @@ class BenchRecorder {
   }
 
   void point(std::string config, double wall_ms, i64 mesh_steps) {
-    points_.push_back({std::move(config), wall_ms, mesh_steps, {}, false});
+    Point p;
+    p.config = std::move(config);
+    p.wall_ms = wall_ms;
+    p.mesh_steps = mesh_steps;
+    points_.push_back(std::move(p));
   }
 
   /// Point with hardware counters; absent samples record no perf columns.
   void point(std::string config, double wall_ms, i64 mesh_steps,
              const telemetry::PerfSample& perf) {
-    points_.push_back({std::move(config), wall_ms, mesh_steps, perf, false});
+    Point p;
+    p.config = std::move(config);
+    p.wall_ms = wall_ms;
+    p.mesh_steps = mesh_steps;
+    p.perf = perf;
+    points_.push_back(std::move(p));
   }
 
   /// Point with distributed-run columns (boundary-lane traffic and time
   /// spent blocked in collectives across all ranks).
   void point_dist(std::string config, double wall_ms, i64 mesh_steps,
                   i64 boundary_bytes, double barrier_wait_ms) {
-    Point p{std::move(config), wall_ms, mesh_steps, {}, true};
+    Point p;
+    p.config = std::move(config);
+    p.wall_ms = wall_ms;
+    p.mesh_steps = mesh_steps;
+    p.has_dist = true;
     p.boundary_bytes = boundary_bytes;
     p.barrier_wait_ms = barrier_wait_ms;
+    points_.push_back(std::move(p));
+  }
+
+  /// Request-accounting + latency columns for a serving run (bench_serve_net).
+  struct ServeColumns {
+    i64 offered = 0;
+    i64 completed = 0;
+    i64 rejected = 0;
+    double p50_us = 0;
+    double p95_us = 0;
+    double p99_us = 0;
+    double rps = 0;
+  };
+
+  /// Point with serving columns. Pass mesh_steps 0 for wall-clock-dependent
+  /// runs (batching under real sockets is timing-dependent, so step totals
+  /// are not pinnable); the serve columns themselves are informational.
+  void point_serve(std::string config, double wall_ms, i64 mesh_steps,
+                   const ServeColumns& serve) {
+    Point p;
+    p.config = std::move(config);
+    p.wall_ms = wall_ms;
+    p.mesh_steps = mesh_steps;
+    p.has_serve = true;
+    p.serve = serve;
     points_.push_back(std::move(p));
   }
 
@@ -139,6 +181,15 @@ class BenchRecorder {
         out << ", \"boundary_bytes\": " << p.boundary_bytes
             << ", \"barrier_wait_ms\": " << p.barrier_wait_ms;
       }
+      if (p.has_serve) {
+        out << ", \"offered\": " << p.serve.offered
+            << ", \"completed\": " << p.serve.completed
+            << ", \"rejected\": " << p.serve.rejected
+            << ", \"p50_us\": " << p.serve.p50_us
+            << ", \"p95_us\": " << p.serve.p95_us
+            << ", \"p99_us\": " << p.serve.p99_us
+            << ", \"rps\": " << p.serve.rps;
+      }
       out << '}' << (i + 1 < points_.size() ? "," : "") << '\n';
     }
     out << "  ]\n}\n";
@@ -153,6 +204,8 @@ class BenchRecorder {
     bool has_dist = false;
     i64 boundary_bytes = 0;
     double barrier_wait_ms = 0;
+    bool has_serve = false;
+    ServeColumns serve;
   };
   std::string name_;
   int ranks_ = 1;

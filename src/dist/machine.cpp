@@ -100,7 +100,7 @@ std::unique_ptr<DistMachine> DistMachine::from_simulator(
 }
 
 std::vector<i64> DistMachine::step(const std::vector<AccessRequest>& requests,
-                                   StepStats* stats) {
+                                   StepStats* stats, bool feed_clock) {
   telemetry::begin_frame();  // sampling granularity = one PRAM step
   std::vector<AccessRequest> padded = requests;
   MP_REQUIRE(static_cast<i64>(padded.size()) <= processors(),
@@ -164,7 +164,7 @@ std::vector<i64> DistMachine::step(const std::vector<AccessRequest>& requests,
   const StepStats& st = rank_stats[0];
   if (stats != nullptr) *stats = st;
   ++now_;
-  if (stats != nullptr) {
+  if (stats != nullptr && feed_clock) {
     clock_.add("pram_step", stats->total_steps);
   }
   if (effective_.fault_policy == FaultPolicy::HardFail &&

@@ -66,8 +66,11 @@ class DistMachine {
   const StepCounter& clock() const { return clock_; }
 
   /// One synchronous PRAM step across all ranks (PramMeshSimulator::step).
+  /// `feed_clock` false skips the accounting-clock add, mirroring the
+  /// simulator's flag — the serving layer passes false so snapshots are
+  /// batch-invariant.
   std::vector<i64> step(const std::vector<AccessRequest>& requests,
-                        StepStats* stats = nullptr);
+                        StepStats* stats = nullptr, bool feed_clock = true);
   DegradedResult step_degraded(const std::vector<AccessRequest>& requests,
                                StepStats* stats = nullptr);
 

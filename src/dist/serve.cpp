@@ -12,7 +12,9 @@ serve::EngineHooks make_engine_hooks(std::shared_ptr<DistMachine> machine) {
   hooks.processors = machine->processors();
   hooks.step = [machine](const std::vector<AccessRequest>& accesses,
                          StepStats* stats) {
-    return machine->step(accesses, stats);
+    // feed_clock = false, matching sim-backed Session::step: serving keeps
+    // the accounting clock out of session snapshots.
+    return machine->step(accesses, stats, false);
   };
   hooks.write_core = [machine](ByteWriter& w) {
     serve::write_simulator_core(w, *machine->materialize());

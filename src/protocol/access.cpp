@@ -145,7 +145,7 @@ void AccessProtocol::build_alive_slots(const fault::FaultPlan* plan) {
 
 std::vector<i64> AccessProtocol::execute(
     const std::vector<AccessRequest>& requests, i64 timestamp,
-    StepStats* stats) {
+    StepStats* stats, const i32* write_group) {
   const HmosParams& params = placement_.map().params();
   const int k = params.k();
   const i64 n = mesh_.size();
@@ -153,6 +153,8 @@ std::vector<i64> AccessProtocol::execute(
              "requests size " << requests.size() << " != mesh size " << n);
   MP_REQUIRE(mesh_.total_packets(mesh_.whole()) == 0,
              "mesh buffers must be empty before an access step");
+  MP_REQUIRE(write_group == nullptr || mesh_.fault_plan() == nullptr,
+             "coalesced (grouped) steps are not supported under a fault plan");
 
   // EREW: requested variables must be pairwise distinct.
   {
@@ -234,6 +236,13 @@ std::vector<i64> AccessProtocol::execute(
           p.origin = node;
           p.op = req.op;
           p.value = req.value;
+          if (req.op == Op::Write) {
+            // Writes carry their logical time with them: grouped steps stamp
+            // each origin's group offset here so one routing pass leaves the
+            // same timestamps sequential execution would.
+            p.timestamp =
+                timestamp + (write_group != nullptr ? write_group[node] : 0);
+          }
           mesh_.buf(node).push_back(p);
           ++local;
         }
@@ -307,7 +316,7 @@ std::vector<i64> AccessProtocol::execute(
       }
       for (Packet& p : b) {
         if (p.op == Op::Write) {
-          store[p.copy] = CopySlot{p.value, timestamp};
+          store[p.copy] = CopySlot{p.value, p.timestamp};
         } else {
           const CopySlot* slot = store.find(p.copy);
           if (slot != nullptr) {

@@ -82,8 +82,17 @@ class AccessProtocol {
   /// detours around link faults. Every surviving read still returns the
   /// newest surviving timestamp, so reads that succeed agree with the
   /// fault-free values.
+  ///
+  /// Coalesced steps (`write_group` non-null, one i32 per node): node i's
+  /// write is stamped `timestamp + write_group[i]` instead of `timestamp`,
+  /// so several logically consecutive PRAM steps with disjoint variable
+  /// sets can share one physical routing pass and still leave the copy
+  /// stores bit-identical to sequential execution (the serving layer's
+  /// cross-request coalescing, DESIGN.md §14). Only supported fault-free:
+  /// fault behavior is keyed to a single step time.
   std::vector<i64> execute(const std::vector<AccessRequest>& requests,
-                           i64 timestamp, StepStats* stats = nullptr);
+                           i64 timestamp, StepStats* stats = nullptr,
+                           const i32* write_group = nullptr);
 
   /// Installs (or clears, with nullptr) the apply-phase shard hook. Owned by
   /// the caller; must outlive every execute() made while installed.

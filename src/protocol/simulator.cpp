@@ -34,7 +34,8 @@ PramMeshSimulator::PramMeshSimulator(const SimConfig& config)
 }
 
 std::vector<i64> PramMeshSimulator::step(
-    const std::vector<AccessRequest>& requests, StepStats* stats) {
+    const std::vector<AccessRequest>& requests, StepStats* stats,
+    bool feed_clock) {
   telemetry::begin_frame();  // sampling granularity = one PRAM step
   std::vector<AccessRequest> padded = requests;
   MP_REQUIRE(static_cast<i64>(padded.size()) <= processors(),
@@ -50,7 +51,7 @@ std::vector<i64> PramMeshSimulator::step(
     step_span.set_steps(st.total_steps);
   }
   ++now_;
-  if (stats != nullptr) {
+  if (stats != nullptr && feed_clock) {
     mesh_->clock().add("pram_step", stats->total_steps);
   }
   if (fault_policy_ == FaultPolicy::HardFail && st.fault.any_failures()) {
@@ -59,6 +60,44 @@ std::vector<i64> PramMeshSimulator::step(
         " request(s) failed under the installed fault plan "
         "(FaultPolicy::HardFail)");
   }
+  return results;
+}
+
+std::vector<i64> PramMeshSimulator::step_grouped(
+    const std::vector<const std::vector<AccessRequest>*>& groups,
+    StepStats* stats) {
+  MP_REQUIRE(!groups.empty(), "step_grouped: no groups");
+  MP_REQUIRE(fault_plan() == nullptr,
+             "step_grouped: coalesced steps are not supported under a fault "
+             "plan");
+  telemetry::begin_frame();
+  const i64 n = processors();
+  std::vector<AccessRequest> padded;
+  padded.reserve(static_cast<size_t>(n));
+  std::vector<i32> group_of;
+  group_of.reserve(static_cast<size_t>(n));
+  for (size_t g = 0; g < groups.size(); ++g) {
+    MP_REQUIRE(groups[g] != nullptr, "step_grouped: null group");
+    for (const AccessRequest& a : *groups[g]) {
+      padded.push_back(a);
+      group_of.push_back(static_cast<i32>(g));
+    }
+  }
+  MP_REQUIRE(static_cast<i64>(padded.size()) <= n,
+             "step_grouped: " << padded.size() << " accesses across "
+                              << groups.size() << " groups exceed " << n
+                              << " processors");
+  padded.resize(static_cast<size_t>(n));
+  group_of.resize(static_cast<size_t>(n), 0);
+  StepStats local;
+  StepStats& st = stats != nullptr ? *stats : local;
+  std::vector<i64> results;
+  {
+    telemetry::Span step_span(telemetry::Cat::Step, kPramStep, now_);
+    results = protocol_->execute(padded, now_, &st, group_of.data());
+    step_span.set_steps(st.total_steps);
+  }
+  now_ += static_cast<i64>(groups.size());
   return results;
 }
 

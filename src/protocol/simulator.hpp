@@ -61,8 +61,30 @@ class PramMeshSimulator {
   /// One synchronous PRAM step: requests[i] is processor i's access
   /// (var = -1 for idle). Variables must be distinct (EREW). Returns the
   /// per-processor read results; stats (optional) receives the step costs.
+  /// `feed_clock` false skips the mesh accounting-clock add (the serving
+  /// layer passes false so snapshots stay a pure function of the machine
+  /// state regardless of how requests were batched; see step_grouped).
   std::vector<i64> step(const std::vector<AccessRequest>& requests,
-                        StepStats* stats = nullptr);
+                        StepStats* stats = nullptr, bool feed_clock = true);
+
+  /// Executes several logically consecutive PRAM steps in ONE physical mesh
+  /// routing pass (the serving layer's cross-request coalescing, DESIGN.md
+  /// §14). groups[g] is the access list of logical step g; the union must be
+  /// EREW-disjoint and the concatenation must fit the processor count.
+  /// Group g's writes are stamped with logical time now()+g and the logical
+  /// clock advances by groups.size(), so the resulting machine state (copy
+  /// values AND timestamps) is bit-identical to executing the groups
+  /// sequentially with step(). Read results come back concatenated in group
+  /// order: group g's access i sits at slot sum(|groups[<g]|) + i.
+  ///
+  /// Not supported under a fault plan (fault behavior is keyed to a single
+  /// step time). Unlike step(), the mesh accounting clock is NOT fed: the
+  /// serving layer owns its own accounting (SessionStats), and the machine
+  /// clock must stay a pure function of the direct-API step history so
+  /// coalesced and sequential runs snapshot identically.
+  std::vector<i64> step_grouped(
+      const std::vector<const std::vector<AccessRequest>*>& groups,
+      StepStats* stats = nullptr);
 
   /// Like step(), but surfaces the degraded-mode outcome (per-processor
   /// success flags + FaultReport) instead of burying it in StepStats. Under

@@ -104,6 +104,7 @@ std::string encode_response(const WireResponse& resp) {
   for (const i64 v : resp.values) w.put_i64(v);
   w.put_i64(resp.mesh_steps);
   w.put_i64(resp.slice);
+  w.put_i64(resp.coalesced);
   w.put_blob(resp.snapshot_bytes);
   w.put_i64(resp.stats.steps_executed);
   w.put_i64(resp.stats.mesh_steps);
@@ -192,6 +193,70 @@ std::optional<std::string_view> next_frame(std::string_view& buf) {
   return payload;
 }
 
+void FrameBuffer::append(const char* data, size_t n) {
+  // Compact once the consumed prefix dominates, so the buffer never grows
+  // proportionally to the connection's lifetime traffic.
+  if (off_ > 4096 && off_ * 2 > buf_.size()) {
+    buf_.erase(0, off_);
+    off_ = 0;
+  }
+  buf_.append(data, n);
+}
+
+std::optional<std::string> FrameBuffer::next_payload() {
+  std::string_view rest(buf_.data() + off_, buf_.size() - off_);
+  const std::optional<std::string_view> payload = next_frame(rest);
+  if (!payload.has_value()) return std::nullopt;
+  std::string out(*payload);
+  off_ = buf_.size() - rest.size();
+  return out;
+}
+
+void FrameBuffer::clear() {
+  buf_.clear();
+  off_ = 0;
+}
+
+WireResponse handle_control(SessionManager& manager, const WireRequest& req) {
+  WireResponse resp;
+  resp.type = req.type;
+  resp.request_id = req.request_id;
+
+  if (req.type == MsgType::Restore) {
+    try {
+      manager.restore(req.session, req.snapshot_bytes);
+    } catch (const std::exception& e) {
+      resp.ok = false;
+      resp.error = e.what();
+    }
+    return resp;
+  }
+
+  Session* s = manager.find_by_name(req.session);
+  if (s == nullptr) {
+    resp.ok = false;
+    resp.error = "unknown session '" + req.session + "'";
+    return resp;
+  }
+  switch (req.type) {
+    case MsgType::Snapshot:
+      try {
+        resp.snapshot_bytes = s->snapshot();
+      } catch (const std::exception& e) {
+        resp.ok = false;
+        resp.error = e.what();
+      }
+      break;
+    case MsgType::Stats:
+      resp.stats = s->stats();
+      break;
+    default:
+      MP_ASSERT(false, "handle_control: " << msg_type_name(req.type)
+                                          << " is not a control message");
+  }
+  return resp;
+}
+
 WireRequest decode_request(std::string_view payload) {
   ByteReader r(payload, "request frame");
   WireRequest req;
@@ -235,6 +300,7 @@ WireResponse decode_response(std::string_view payload) {
   for (u32 i = 0; i < n; ++i) resp.values.push_back(r.get_i64());
   resp.mesh_steps = r.get_i64();
   resp.slice = r.get_i64();
+  resp.coalesced = r.get_i64();
   resp.snapshot_bytes = r.get_blob();
   resp.stats.steps_executed = r.get_i64();
   resp.stats.mesh_steps = r.get_i64();
@@ -261,6 +327,7 @@ LoopbackDriver::LoopbackDriver(SessionManager& manager,
     if (resp.type != MsgType::BatchWrite) resp.values = std::move(done.values);
     resp.mesh_steps = done.mesh_steps;
     resp.slice = done.slice;
+    resp.coalesced = done.coalesced;
     push(std::move(resp));
   });
 }
@@ -283,33 +350,20 @@ void LoopbackDriver::submit(std::string_view frame) {
 }
 
 void LoopbackDriver::handle(const WireRequest& req) {
-  WireResponse resp;
-  resp.type = req.type;
-  resp.request_id = req.request_id;
-
-  if (req.type == MsgType::Restore) {
-    try {
-      manager_.restore(req.session, req.snapshot_bytes);
-    } catch (const std::exception& e) {
-      resp.ok = false;
-      resp.error = e.what();
-    }
-    push(std::move(resp));
-    return;
-  }
-
-  Session* s = manager_.find_by_name(req.session);
-  if (s == nullptr) {
-    resp.ok = false;
-    resp.error = "unknown session '" + req.session + "'";
-    push(std::move(resp));
-    return;
-  }
-
   switch (req.type) {
     case MsgType::BatchRead:
     case MsgType::BatchWrite:
     case MsgType::Step: {
+      WireResponse resp;
+      resp.type = req.type;
+      resp.request_id = req.request_id;
+      Session* s = manager_.find_by_name(req.session);
+      if (s == nullptr) {
+        resp.ok = false;
+        resp.error = "unknown session '" + req.session + "'";
+        push(std::move(resp));
+        return;
+      }
       Request work;
       work.id = req.request_id;
       work.accesses = req.accesses;
@@ -321,23 +375,13 @@ void LoopbackDriver::handle(const WireRequest& req) {
       } else {
         inflight_types_[req.request_id] = req.type;
       }
-      break;
+      return;
     }
     case MsgType::Snapshot:
-      try {
-        resp.snapshot_bytes = s->snapshot();
-      } catch (const std::exception& e) {
-        resp.ok = false;
-        resp.error = e.what();
-      }
-      push(std::move(resp));
-      break;
-    case MsgType::Stats:
-      resp.stats = s->stats();
-      push(std::move(resp));
-      break;
     case MsgType::Restore:
-      break;  // handled above
+    case MsgType::Stats:
+      push(handle_control(manager_, req));
+      return;
   }
 }
 

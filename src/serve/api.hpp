@@ -55,6 +55,9 @@ struct WireResponse {
   std::vector<i64> values;     ///< per-processor read results
   i64 mesh_steps = 0;          ///< counted mesh steps of the executed step
   i64 slice = -1;              ///< scheduler slice that executed it (-1: none)
+  /// Requests merged into the routing pass that served this one (1 = ran
+  /// alone, >1 = coalesced, 0 = not executed — rejection/control reply).
+  i64 coalesced = 0;
   std::string snapshot_bytes;  ///< Snapshot reply payload
   SessionStats stats;          ///< Stats reply payload
 };
@@ -85,6 +88,31 @@ std::optional<std::string_view> next_frame(std::string_view& buf);
 /// malformed bytes.
 WireRequest decode_request(std::string_view payload);
 WireResponse decode_response(std::string_view payload);
+
+/// Incremental frame assembly over a byte-stream transport: append() bytes
+/// as they arrive (partial reads are fine — a frame may span many appends),
+/// next_payload() carves complete frame payloads off the front. Consumed
+/// bytes are compacted lazily, so cost is amortized O(bytes).
+class FrameBuffer {
+ public:
+  void append(const char* data, size_t n);
+  /// The next complete frame's payload (owned copy), or nullopt when the
+  /// buffered bytes end mid-frame. Throws ConfigError on an implausible
+  /// length prefix — a protocol error; the caller should drop the stream.
+  std::optional<std::string> next_payload();
+  i64 buffered() const { return static_cast<i64>(buf_.size() - off_); }
+  void clear();
+
+ private:
+  std::string buf_;
+  size_t off_ = 0;  ///< consumed prefix of buf_ (compacted when it dominates)
+};
+
+/// Shared control-plane execution for the loopback and network servers:
+/// handles Snapshot / Restore / Stats against `manager` and returns the
+/// reply. Execution messages must not be routed here (they go through the
+/// scheduler's admission control).
+WireResponse handle_control(SessionManager& manager, const WireRequest& req);
 
 /// In-process server half: decodes request frames, routes them through the
 /// session manager / fair scheduler, and queues encoded response frames.

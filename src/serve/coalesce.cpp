@@ -1,0 +1,62 @@
+#include "serve/coalesce.hpp"
+
+#include <unordered_set>
+
+namespace meshpram::serve {
+
+namespace {
+
+/// A request the sequential path would execute without throwing: every
+/// non-idle variable in range and no variable repeated within the request.
+/// Anything else must run alone so it alone gets the error response.
+bool clean_request(const Request& req, i64 num_vars,
+                   std::unordered_set<i64>& scratch) {
+  scratch.clear();
+  for (const AccessRequest& a : req.accesses) {
+    if (a.var < 0) continue;
+    if (a.var >= num_vars) return false;
+    if (!scratch.insert(a.var).second) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+CoalescePlan plan_coalesce(const std::deque<Request>& queue, i64 window,
+                           i64 processors, i64 num_vars) {
+  CoalescePlan plan;
+  if (queue.empty()) return plan;
+  plan.count = 1;
+  plan.total_accesses = static_cast<i64>(queue.front().accesses.size());
+  std::unordered_set<i64> scratch;
+  if (window <= 1 || !clean_request(queue.front(), num_vars, scratch)) {
+    return plan;
+  }
+  std::unordered_set<i64> merged;
+  for (const AccessRequest& a : queue.front().accesses) {
+    if (a.var >= 0) merged.insert(a.var);
+  }
+  while (plan.count < window &&
+         plan.count < static_cast<i64>(queue.size())) {
+    const Request& next = queue[static_cast<size_t>(plan.count)];
+    if (!clean_request(next, num_vars, scratch)) break;
+    const i64 slots = static_cast<i64>(next.accesses.size());
+    if (plan.total_accesses + slots > processors) break;
+    bool disjoint = true;
+    for (const AccessRequest& a : next.accesses) {
+      if (a.var >= 0 && merged.count(a.var) != 0) {
+        disjoint = false;
+        break;
+      }
+    }
+    if (!disjoint) break;
+    for (const AccessRequest& a : next.accesses) {
+      if (a.var >= 0) merged.insert(a.var);
+    }
+    plan.total_accesses += slots;
+    plan.count += 1;
+  }
+  return plan;
+}
+
+}  // namespace meshpram::serve

@@ -1,0 +1,38 @@
+// Coalescing batch planner (DESIGN.md §14).
+//
+// Every PRAM step pays the full O(log n · sqrt(n)) routing slowdown whether
+// it carries 1 access or n, so serving throughput is won by amortizing that
+// fixed pass cost over many requests. The planner decides, per session and
+// per slice, how many queued requests the scheduler may merge into ONE
+// physical routing pass (PramMeshSimulator::step_grouped) while keeping the
+// result bit-identical to sequential execution:
+//
+//   - FIFO prefix only — admitted order is never reordered;
+//   - the merged variable sets must be pairwise disjoint (the union stays
+//     EREW, and disjointness is exactly what makes the grouped write
+//     timestamps reproduce the sequential copy stores);
+//   - the concatenated accesses must fit the processor count;
+//   - at most `window` requests per pass (the operator's latency/throughput
+//     dial);
+//   - a request that would fail on its own (variable out of range, internal
+//     EREW violation) is never merged, so it alone receives the error the
+//     sequential path would have produced.
+#pragma once
+
+#include <deque>
+
+#include "serve/session.hpp"
+
+namespace meshpram::serve {
+
+struct CoalescePlan {
+  i64 count = 0;           ///< requests from the queue front to merge
+  i64 total_accesses = 0;  ///< concatenated access slots across them
+};
+
+/// Pure planning function over a session's pending queue. Returns count >= 1
+/// for a non-empty queue (count == 1 means "run the head alone").
+CoalescePlan plan_coalesce(const std::deque<Request>& queue, i64 window,
+                           i64 processors, i64 num_vars);
+
+}  // namespace meshpram::serve

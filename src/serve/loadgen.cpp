@@ -4,8 +4,10 @@
 #include <chrono>
 #include <cmath>
 #include <map>
+#include <thread>
 #include <utility>
 
+#include "serve/net_client.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -165,6 +167,132 @@ LoadgenReport run_loadgen(LoopbackDriver& driver, FairScheduler& scheduler,
   if (report.wall_seconds > 0.0) {
     report.goodput_rps =
         static_cast<double>(report.completed) / report.wall_seconds;
+  }
+  return report;
+}
+
+const char* transport_name(Transport t) {
+  switch (t) {
+    case Transport::Loopback: return "loopback";
+    case Transport::Unix: return "unix";
+    case Transport::Tcp: return "tcp";
+  }
+  return "?";
+}
+
+namespace {
+
+/// One connection's closed-loop pipelined run (executed on its own thread).
+/// Latencies in microseconds are appended to `lat_us`.
+void drive_connection(const NetEndpoint& endpoint, const std::string& session,
+                      const std::vector<const GeneratedRequest*>& reqs,
+                      i64 pipeline_depth, ConnReport& report,
+                      std::vector<double>& lat_us) {
+  report.session = session;
+  report.offered = static_cast<i64>(reqs.size());
+  NetClient client = endpoint.transport == Transport::Unix
+                         ? NetClient::connect_unix(endpoint.unix_path)
+                         : NetClient::connect_tcp(endpoint.host,
+                                                  endpoint.port);
+  std::map<u64, double> sent;  // request id -> submit time
+  const auto harvest = [&](const WireResponse& resp) {
+    const auto it = sent.find(resp.request_id);
+    MP_ASSERT(it != sent.end(),
+              "response for unknown request id " << resp.request_id);
+    if (!resp.ok && resp.slice < 0) {
+      report.rejected += 1;
+    } else {
+      (resp.ok ? report.completed : report.failed) += 1;
+      lat_us.push_back((now_seconds() - it->second) * 1e6);
+    }
+    if (resp.coalesced > 1) report.coalesced_responses += 1;
+    sent.erase(it);
+  };
+  for (const GeneratedRequest* req : reqs) {
+    while (static_cast<i64>(sent.size()) >= pipeline_depth) {
+      harvest(client.recv_response());
+    }
+    sent[req->id] = now_seconds();
+    client.send_frame(encode_step(req->id, session, req->accesses));
+  }
+  while (!sent.empty()) {
+    harvest(client.recv_response());
+  }
+  report.bytes_out = client.stats().bytes_out;
+  report.bytes_in = client.stats().bytes_in;
+}
+
+}  // namespace
+
+NetLoadgenReport run_loadgen_net(const NetEndpoint& endpoint,
+                                 const std::vector<std::string>& session_names,
+                                 const std::vector<SessionShape>& shapes,
+                                 const LoadgenConfig& config,
+                                 i64 pipeline_depth) {
+  MP_REQUIRE(endpoint.transport != Transport::Loopback,
+             "run_loadgen_net needs a real transport (use run_loadgen for "
+             "loopback)");
+  MP_REQUIRE(session_names.size() == shapes.size(),
+             "loadgen: " << session_names.size() << " session names vs "
+                         << shapes.size() << " shapes");
+  MP_REQUIRE(pipeline_depth >= 1, "pipeline depth " << pipeline_depth);
+  const std::vector<GeneratedRequest> workload =
+      generate_workload(config, shapes);
+
+  // Connection i carries session i: every request of a session flows over
+  // one socket in generated order, so each session's admitted order — and
+  // therefore its final machine state — is deterministic even though the
+  // cross-connection interleaving is not.
+  std::vector<std::vector<const GeneratedRequest*>> per_conn(
+      session_names.size());
+  for (const GeneratedRequest& req : workload) {
+    per_conn[static_cast<size_t>(req.session_index)].push_back(&req);
+  }
+
+  NetLoadgenReport report;
+  report.offered = static_cast<i64>(workload.size());
+  report.conns.resize(session_names.size());
+  std::vector<std::vector<double>> lat_us(session_names.size());
+
+  const double wall_start = now_seconds();
+  std::vector<std::thread> threads;
+  threads.reserve(session_names.size());
+  for (size_t i = 0; i < session_names.size(); ++i) {
+    threads.emplace_back([&, i] {
+      try {
+        drive_connection(endpoint, session_names[i], per_conn[i],
+                         pipeline_depth, report.conns[i], lat_us[i]);
+      } catch (const std::exception& e) {
+        report.conns[i].error = e.what();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  report.wall_seconds = now_seconds() - wall_start;
+  for (const ConnReport& c : report.conns) {
+    MP_REQUIRE(c.error.empty(), "loadgen connection for session '"
+                                    << c.session << "' failed: " << c.error);
+  }
+
+  std::vector<double> all_us;
+  for (size_t i = 0; i < report.conns.size(); ++i) {
+    ConnReport& c = report.conns[i];
+    report.completed += c.completed;
+    report.rejected += c.rejected;
+    report.failed += c.failed;
+    report.coalesced_responses += c.coalesced_responses;
+    std::sort(lat_us[i].begin(), lat_us[i].end());
+    c.p50_us = percentile(lat_us[i], 0.50);
+    c.p95_us = percentile(lat_us[i], 0.95);
+    c.p99_us = percentile(lat_us[i], 0.99);
+    all_us.insert(all_us.end(), lat_us[i].begin(), lat_us[i].end());
+  }
+  std::sort(all_us.begin(), all_us.end());
+  report.p50_us = percentile(all_us, 0.50);
+  report.p95_us = percentile(all_us, 0.95);
+  report.p99_us = percentile(all_us, 0.99);
+  if (report.wall_seconds > 0.0) {
+    report.rps = static_cast<double>(report.completed) / report.wall_seconds;
   }
   return report;
 }

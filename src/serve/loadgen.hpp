@@ -81,4 +81,53 @@ LoadgenReport run_loadgen(LoopbackDriver& driver, FairScheduler& scheduler,
                           const std::vector<SessionShape>& shapes,
                           const LoadgenConfig& config);
 
+// ---- real-transport mode (NetServer on the other end) ----------------------
+
+enum class Transport { Loopback = 0, Unix = 1, Tcp = 2 };
+const char* transport_name(Transport t);
+
+struct NetEndpoint {
+  Transport transport = Transport::Unix;
+  std::string unix_path;             ///< Transport::Unix
+  std::string host = "127.0.0.1";    ///< Transport::Tcp
+  int port = 0;                      ///< Transport::Tcp
+};
+
+/// Per-connection accounting of a net loadgen run (satellite of EXP-S2).
+struct ConnReport {
+  std::string session;
+  i64 offered = 0;
+  i64 completed = 0;
+  i64 rejected = 0;  ///< admission rejections (never executed)
+  i64 failed = 0;    ///< executed but errored
+  double p50_us = 0, p95_us = 0, p99_us = 0;  ///< submit -> response wall time
+  i64 bytes_out = 0, bytes_in = 0;
+  i64 coalesced_responses = 0;  ///< responses served by a merged pass (>1)
+  std::string error;  ///< non-empty when the connection's thread threw
+};
+
+struct NetLoadgenReport {
+  i64 offered = 0, completed = 0, rejected = 0, failed = 0;
+  double wall_seconds = 0;
+  double rps = 0;  ///< completed / wall_seconds
+  double p50_us = 0, p95_us = 0, p99_us = 0;
+  i64 coalesced_responses = 0;
+  std::vector<ConnReport> conns;
+};
+
+/// Closed-loop pipelined driver over a REAL transport: one connection per
+/// session, one client thread per connection, each keeping up to
+/// `pipeline_depth` requests in flight on its socket. The server loop must
+/// be running on another thread (or process). Unlike the open-loop loopback
+/// driver, arrival slices are ignored — each connection offers its session's
+/// share of the generated workload as fast as the pipeline allows, which is
+/// the saturating load EXP-S2 measures coalescing under. Wall-clock numbers
+/// are machine-dependent (informational); offered/completed/rejected counts
+/// and all session state remain deterministic per connection.
+NetLoadgenReport run_loadgen_net(const NetEndpoint& endpoint,
+                                 const std::vector<std::string>& session_names,
+                                 const std::vector<SessionShape>& shapes,
+                                 const LoadgenConfig& config,
+                                 i64 pipeline_depth);
+
 }  // namespace meshpram::serve

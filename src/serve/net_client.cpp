@@ -1,0 +1,140 @@
+#include "serve/net_client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace meshpram::serve {
+
+NetClient NetClient::connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  MP_REQUIRE(path.size() < sizeof(addr.sun_path),
+             "unix socket path too long: " << path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  MP_REQUIRE(fd >= 0, "socket(AF_UNIX): " << std::strerror(errno));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    MP_REQUIRE(false, "connect(" << path << "): " << err);
+  }
+  return NetClient(fd);
+}
+
+NetClient NetClient::connect_tcp(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<unsigned short>(port));
+  MP_REQUIRE(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+             "not an IPv4 address: " << host);
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  MP_REQUIRE(fd >= 0, "socket(AF_INET): " << std::strerror(errno));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    MP_REQUIRE(false, "connect(" << host << ':' << port << "): " << err);
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return NetClient(fd);
+}
+
+NetClient::~NetClient() { close(); }
+
+NetClient::NetClient(NetClient&& other) noexcept
+    : fd_(other.fd_), in_(std::move(other.in_)), stats_(other.stats_) {
+  other.fd_ = -1;
+}
+
+void NetClient::send_frame(std::string_view frame) {
+  send_raw(frame);
+  stats_.frames_out += 1;
+}
+
+void NetClient::send_raw(std::string_view bytes) {
+  MP_REQUIRE(fd_ >= 0, "send on a closed client");
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      MP_REQUIRE(false, "send: " << std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+    stats_.bytes_out += n;
+  }
+}
+
+bool NetClient::fill(bool wait, int timeout_ms) {
+  MP_REQUIRE(fd_ >= 0, "recv on a closed client");
+  pollfd pfd{fd_, POLLIN, 0};
+  const int r = ::poll(&pfd, 1, wait ? timeout_ms : 0);
+  MP_REQUIRE(r >= 0 || errno == EINTR, "poll: " << std::strerror(errno));
+  if (r <= 0) {
+    MP_REQUIRE(!wait, "timed out after " << timeout_ms
+                                         << " ms waiting for a response");
+    return true;  // nothing readable right now
+  }
+  char chunk[65536];
+  const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+  if (n == 0) return false;  // server closed
+  if (n < 0) {
+    MP_REQUIRE(errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK,
+               "recv: " << std::strerror(errno));
+    return true;
+  }
+  stats_.bytes_in += n;
+  in_.append(chunk, static_cast<size_t>(n));
+  return true;
+}
+
+WireResponse NetClient::recv_response(int timeout_ms) {
+  for (;;) {
+    std::optional<std::string> payload = in_.next_payload();
+    if (payload.has_value()) {
+      stats_.frames_in += 1;
+      return decode_response(*payload);
+    }
+    MP_REQUIRE(fill(true, timeout_ms),
+               "connection closed by the server mid-stream");
+  }
+}
+
+std::optional<WireResponse> NetClient::try_recv() {
+  std::optional<std::string> payload = in_.next_payload();
+  if (!payload.has_value()) {
+    if (!fill(false, 0)) {
+      MP_REQUIRE(in_.buffered() == 0,
+                 "connection closed by the server mid-frame");
+      return std::nullopt;
+    }
+    payload = in_.next_payload();
+    if (!payload.has_value()) return std::nullopt;
+  }
+  stats_.frames_in += 1;
+  return decode_response(*payload);
+}
+
+void NetClient::shutdown_writes() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void NetClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace meshpram::serve

@@ -1,0 +1,67 @@
+// Blocking pipelined client for the frame protocol — the test/loadgen/bench
+// counterpart of NetServer. One socket, synchronous sends, and a pull-based
+// receive side over an incremental FrameBuffer, so a caller can keep many
+// frames in flight and harvest responses in whatever order the server
+// interleaves them (execution replies trail scheduler slices; control
+// replies and rejections come back immediately).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "serve/api.hpp"
+
+namespace meshpram::serve {
+
+struct NetClientStats {
+  i64 frames_out = 0;
+  i64 frames_in = 0;
+  i64 bytes_out = 0;
+  i64 bytes_in = 0;
+};
+
+class NetClient {
+ public:
+  static NetClient connect_unix(const std::string& path);
+  static NetClient connect_tcp(const std::string& host, int port);
+  ~NetClient();
+  NetClient(NetClient&& other) noexcept;
+  NetClient& operator=(NetClient&&) = delete;
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  /// Writes one complete frame (length prefix included); blocks until the
+  /// kernel accepted every byte. Throws ConfigError on a broken connection.
+  void send_frame(std::string_view frame);
+
+  /// Sends raw bytes verbatim — no framing. For protocol-abuse tests.
+  void send_raw(std::string_view bytes);
+
+  /// Blocks until one complete response frame arrives (or `timeout_ms`
+  /// elapses — then throws ConfigError). Throws ConfigError when the server
+  /// closes the connection first.
+  WireResponse recv_response(int timeout_ms = 30000);
+
+  /// Non-blocking harvest: a response if one is already buffered/readable,
+  /// nullopt otherwise.
+  std::optional<WireResponse> try_recv();
+
+  /// Half-close: no more requests; the server may still flush responses.
+  void shutdown_writes();
+  void close();
+  bool connected() const { return fd_ >= 0; }
+  const NetClientStats& stats() const { return stats_; }
+
+ private:
+  explicit NetClient(int fd) : fd_(fd) {}
+  /// Reads whatever is available; blocks up to timeout_ms for the first
+  /// byte when `wait` is set. Returns false on EOF.
+  bool fill(bool wait, int timeout_ms);
+
+  int fd_ = -1;
+  FrameBuffer in_;
+  NetClientStats stats_;
+};
+
+}  // namespace meshpram::serve

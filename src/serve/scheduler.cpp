@@ -3,7 +3,10 @@
 #include <exception>
 #include <utility>
 
+#include "serve/coalesce.hpp"
+#include "serve/snapshot.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/env.hpp"
 #include "util/error.hpp"
 
 namespace meshpram::serve {
@@ -14,6 +17,11 @@ FairScheduler::FairScheduler(SessionManager& manager, SchedulerConfig config)
              "scheduler thread count " << config_.threads);
   MP_REQUIRE(config_.global_inflight >= 1,
              "scheduler global in-flight budget " << config_.global_inflight);
+  MP_REQUIRE(config_.coalesce_window >= 1,
+             "coalesce window " << config_.coalesce_window);
+  if (env_i64("MESHPRAM_SERVE_VALIDATE", 0, 1).value_or(0) != 0) {
+    config_.validate_coalescing = true;
+  }
   if (config_.threads > 0) {
     pool_ = std::make_unique<ThreadPool>(config_.threads);
   }
@@ -53,6 +61,20 @@ i64 FairScheduler::run_slice() {
   i64 executed = 0;
   for (Session* s : manager_.sessions()) {
     if (!s->runnable()) continue;
+    if (config_.coalesce_window > 1 && s->supports_coalescing() &&
+        s->queue_depth() > 1) {
+      const CoalescePlan plan =
+          plan_coalesce(s->pending(), config_.coalesce_window,
+                        s->sim().processors(), s->sim().num_vars());
+      if (plan.count > 1) {
+        std::vector<Request> batch;
+        batch.reserve(static_cast<size_t>(plan.count));
+        for (i64 i = 0; i < plan.count; ++i) batch.push_back(s->dequeue());
+        execute_batch(*s, std::move(batch));
+        executed += plan.count;
+        continue;
+      }
+    }
     execute(*s, s->dequeue());
     ++executed;
   }
@@ -84,6 +106,7 @@ void FairScheduler::execute(Session& s, Request req) {
   resp.id = req.id;
   resp.session = s.id();
   resp.slice = slices_;
+  resp.coalesced = 1;
   try {
     StepStats stats;
     resp.values = s.step(req.accesses, &stats);
@@ -96,6 +119,95 @@ void FairScheduler::execute(Session& s, Request req) {
     resp.error = e.what();
   }
   if (sink_) sink_(std::move(resp));
+}
+
+void FairScheduler::execute_batch(Session& s, std::vector<Request> batch) {
+  std::unique_ptr<ScopedPool> guard;
+  if (pool_) guard = std::make_unique<ScopedPool>(*pool_);
+
+  telemetry::Span span(telemetry::Cat::Serve, s.span_label(),
+                       static_cast<i64>(batch.front().id));
+  std::string before;
+  if (config_.validate_coalescing) {
+    before = snapshot_simulator(s.sim());
+  }
+  const i64 n = s.sim().processors();
+  std::vector<const std::vector<AccessRequest>*> groups;
+  groups.reserve(batch.size());
+  for (const Request& r : batch) groups.push_back(&r.accesses);
+
+  std::vector<Response> responses(batch.size());
+  for (size_t g = 0; g < batch.size(); ++g) {
+    responses[g].id = batch[g].id;
+    responses[g].session = s.id();
+    responses[g].slice = slices_;
+    responses[g].coalesced = static_cast<i64>(batch.size());
+  }
+  try {
+    StepStats stats;
+    const std::vector<i64> merged = s.step_grouped(groups, &stats);
+    size_t offset = 0;
+    for (size_t g = 0; g < batch.size(); ++g) {
+      // Each response carries the full per-processor layout the request
+      // would have produced alone: its accesses at slots 0.. then zeros.
+      std::vector<i64> values(static_cast<size_t>(n), 0);
+      const size_t sz = batch[g].accesses.size();
+      for (size_t i = 0; i < sz; ++i) values[i] = merged[offset + i];
+      offset += sz;
+      responses[g].values = std::move(values);
+      responses[g].mesh_steps = stats.total_steps;
+    }
+    s.stats().steps_executed += static_cast<i64>(batch.size());
+    s.stats().mesh_steps += stats.total_steps;
+    cstats_.batches += 1;
+    cstats_.merged_requests += static_cast<i64>(batch.size());
+    span.set_steps(stats.total_steps);
+    if (config_.validate_coalescing) {
+      validate_batch(s, before, batch, responses);
+    }
+  } catch (const InternalError&) {
+    // Tripwire or invariant break: determinism is broken — fail loudly
+    // instead of answering clients from a corrupt state.
+    throw;
+  } catch (const std::exception& e) {
+    // plan_coalesce only merges requests that execute cleanly alone, so a
+    // failure here is unexpected — report it on every member.
+    for (Response& r : responses) {
+      r.ok = false;
+      r.error = e.what();
+      r.values.clear();
+    }
+  }
+  if (sink_) {
+    for (Response& r : responses) sink_(std::move(r));
+  }
+}
+
+void FairScheduler::validate_batch(Session& s, const std::string& before,
+                                   const std::vector<Request>& batch,
+                                   const std::vector<Response>& responses) {
+  cstats_.validations += 1;
+  std::unique_ptr<PramMeshSimulator> shadow = restore_simulator(before);
+  for (size_t g = 0; g < batch.size(); ++g) {
+    // stats == nullptr keeps the shadow's accounting clock untouched, like
+    // step_grouped on the primary, so the final snapshots stay comparable.
+    const std::vector<i64> values = shadow->step(batch[g].accesses, nullptr);
+    const size_t sz = batch[g].accesses.size();
+    for (size_t i = 0; i < sz; ++i) {
+      if (values[i] != responses[g].values[i]) {
+        throw InternalError(
+            "coalescing tripwire: read value diverged from sequential replay "
+            "(session '" +
+            s.name() + "', request " + std::to_string(batch[g].id) + ")");
+      }
+    }
+  }
+  if (snapshot_simulator(*shadow) != snapshot_simulator(s.sim())) {
+    throw InternalError(
+        "coalescing tripwire: machine state diverged from sequential replay "
+        "(session '" +
+        s.name() + "')");
+  }
 }
 
 }  // namespace meshpram::serve

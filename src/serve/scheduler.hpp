@@ -16,11 +16,22 @@
 // installs it (util ScopedPool) around every step it executes, so concurrent
 // schedulers/simulators on other threads never contend on the process pool.
 // threads == 0 uses the ambient execution_pool() of the calling thread.
+//
+// Coalescing (coalesce_window > 1, DESIGN.md §14): within a slice, a
+// runnable session's FIFO prefix of mergeable requests (plan_coalesce)
+// executes as ONE routing pass via Session::step_grouped. The admitted order
+// is preserved and the resulting simulator state is bit-identical to
+// sequential execution; SessionStats::mesh_steps records the real (smaller)
+// coalesced cost — that is the measured win. MESHPRAM_SERVE_VALIDATE=1 arms
+// a shadow-execution tripwire that replays every coalesced batch
+// sequentially on a restored copy and throws InternalError on any
+// divergence (values or snapshot bytes).
 #pragma once
 
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "serve/manager.hpp"
 #include "util/thread_pool.hpp"
@@ -32,6 +43,19 @@ struct SchedulerConfig {
   int threads = 0;
   /// Global admission budget: total pending requests across all sessions.
   i64 global_inflight = 256;
+  /// Max requests merged into one routing pass; 1 = coalescing off.
+  i64 coalesce_window = 1;
+  /// Shadow-replay every coalesced batch sequentially and throw on any
+  /// divergence. Forced on by MESHPRAM_SERVE_VALIDATE=1. Expensive (a
+  /// snapshot/restore round trip per batch) — a soak/test mode.
+  bool validate_coalescing = false;
+};
+
+/// Coalescing accounting (process-lifetime, reset never).
+struct CoalesceStats {
+  i64 batches = 0;           ///< routing passes that merged >= 2 requests
+  i64 merged_requests = 0;   ///< requests served inside those passes
+  i64 validations = 0;       ///< shadow replays run (validate mode)
 };
 
 /// Admission-control verdict for one submitted request.
@@ -68,18 +92,29 @@ class FairScheduler {
   const SchedulerConfig& config() const { return config_; }
   SessionManager& manager() { return manager_; }
 
+  const CoalesceStats& coalesce_stats() const { return cstats_; }
+
   /// Receives every completed Response (also rejected executions — ok=false
   /// with the error text). Defaults to discarding.
   void set_completion_sink(std::function<void(Response&&)> sink);
 
  private:
   void execute(Session& s, Request req);
+  void execute_batch(Session& s, std::vector<Request> batch);
+  /// Shadow tripwire: replays `batch` sequentially on a simulator restored
+  /// from `before` (the pre-batch core snapshot) and throws InternalError if
+  /// any read value or the resulting snapshot bytes diverge from the
+  /// coalesced run.
+  void validate_batch(Session& s, const std::string& before,
+                      const std::vector<Request>& batch,
+                      const std::vector<Response>& responses);
 
   SessionManager& manager_;
   SchedulerConfig config_;
   std::unique_ptr<ThreadPool> pool_;  ///< owned pool when config.threads > 0
   std::function<void(Response&&)> sink_;
   i64 slices_ = 0;
+  CoalesceStats cstats_;
 };
 
 }  // namespace meshpram::serve

@@ -99,8 +99,18 @@ const PramMeshSimulator& Session::sim() const {
 
 std::vector<i64> Session::step(const std::vector<AccessRequest>& accesses,
                                StepStats* stats) {
-  if (sim_ != nullptr) return sim_->step(accesses, stats);
+  // feed_clock = false: serving accounts in SessionStats, and the machine
+  // clock must not depend on whether requests ran solo or coalesced
+  // (step_grouped never feeds it) — session snapshots stay batch-invariant.
+  if (sim_ != nullptr) return sim_->step(accesses, stats, false);
   return hooks_.step(accesses, stats);
+}
+
+std::vector<i64> Session::step_grouped(
+    const std::vector<const std::vector<AccessRequest>*>& groups,
+    StepStats* stats) {
+  MP_REQUIRE(sim_ != nullptr, "coalesced steps need a sim-backed session");
+  return sim_->step_grouped(groups, stats);
 }
 
 void Session::enqueue(Request req) {

@@ -57,6 +57,9 @@ struct Response {
   std::vector<i64> values;  ///< per-processor read results (see step())
   i64 mesh_steps = 0;       ///< counted mesh steps of the executed PRAM step
   i64 slice = -1;           ///< scheduler slice index that executed it
+  /// Requests merged into the routing pass that served this one (1 = ran
+  /// alone, >1 = coalesced, 0 = never executed, e.g. rejected).
+  i64 coalesced = 0;
 };
 
 /// Pluggable step engine for sessions not backed by an in-process
@@ -109,6 +112,19 @@ class Session {
   /// One PRAM step through whichever engine backs the session.
   std::vector<i64> step(const std::vector<AccessRequest>& accesses,
                         StepStats* stats);
+
+  /// True when the scheduler may merge this session's queued requests into
+  /// one routing pass: sim-backed and fault-free. Custom engines and
+  /// fault-plan sessions always step one request at a time.
+  bool supports_coalescing() const {
+    return sim_ != nullptr && sim_->fault_plan() == nullptr;
+  }
+
+  /// Several logically consecutive requests in one routing pass — see
+  /// PramMeshSimulator::step_grouped. Sim-backed sessions only.
+  std::vector<i64> step_grouped(
+      const std::vector<const std::vector<AccessRequest>*>& groups,
+      StepStats* stats);
 
   /// Session-scoped deterministic workload stream; captured by snapshots so
   /// a restored session continues the exact sequence.

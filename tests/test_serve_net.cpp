@@ -1,0 +1,717 @@
+// Network serving + coalescing tests (DESIGN.md §14): the grouped-step
+// bit-identity contract, the coalesce planner, scheduler coalescing with the
+// shadow-replay tripwire, the epoll NetServer end-to-end over unix/TCP
+// (pipelining, backpressure parking, admission rejections, protocol-abuse
+// resilience), and the net loadgen.
+//
+// Single-threaded tests drive the server with poll_once() from the test
+// thread, which makes socket scenarios deterministic; the concurrent tests
+// (label also runs under tsan-serve-net) run the loop on its own thread with
+// >= 4 client threads.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "serve/api.hpp"
+#include "serve/coalesce.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/manager.hpp"
+#include "serve/net_client.hpp"
+#include "serve/net_server.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/snapshot.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace meshpram::serve {
+namespace {
+
+SimConfig small_config() {
+  SimConfig cfg;
+  cfg.mesh_rows = 8;
+  cfg.mesh_cols = 8;
+  cfg.num_vars = 1080;
+  cfg.q = 3;
+  cfg.k = 2;
+  return cfg;
+}
+
+/// Request j in a var-disjoint series: accesses vars [j*w, j*w + w), writes
+/// at even slots — consecutive requests always coalesce (until capacity).
+Request disjoint_request(u64 id, i64 j, i64 w = 8) {
+  Request req;
+  req.accesses.reserve(static_cast<size_t>(w));
+  for (i64 i = 0; i < w; ++i) {
+    AccessRequest a;
+    a.var = j * w + i;
+    if (i % 2 == 0) {
+      a.op = Op::Write;
+      a.value = static_cast<i64>(id) * 1000 + i;
+    }
+    req.accesses.push_back(a);
+  }
+  req.id = id;
+  return req;
+}
+
+/// A config with live faults: such sessions must never coalesce.
+SimConfig faulty_config() {
+  fault::FaultSpec spec;
+  spec.seed = 7;
+  spec.node_rate = 0.03;
+  spec.link_rate = 0.03;
+  SimConfig cfg = small_config();
+  cfg.fault_plan = fault::FaultPlan::random(8, 8, spec);
+  cfg.fault_policy = FaultPolicy::Degrade;
+  return cfg;
+}
+
+/// Read-back request over the same var block (all reads).
+Request readback_request(u64 id, i64 j, i64 w = 8) {
+  Request req = disjoint_request(id, j, w);
+  for (AccessRequest& a : req.accesses) {
+    a.op = Op::Read;
+    a.value = 0;
+  }
+  return req;
+}
+
+struct CollectSink {
+  std::map<u64, Response> done;
+  void install(FairScheduler& sched) {
+    sched.set_completion_sink(
+        [this](Response&& r) { done[r.id] = std::move(r); });
+  }
+};
+
+void expect_stats_equal(const StepStats& a, const StepStats& b) {
+  EXPECT_EQ(a.total_steps, b.total_steps);
+  EXPECT_EQ(a.culling_steps, b.culling_steps);
+  EXPECT_EQ(a.forward_steps, b.forward_steps);
+  EXPECT_EQ(a.return_steps, b.return_steps);
+  EXPECT_EQ(a.packets, b.packets);
+  EXPECT_EQ(a.forward_stage_steps, b.forward_stage_steps);
+}
+
+std::string unique_sock_path(const std::string& tag) {
+  return "/tmp/meshpram-test-" + tag + "-" + std::to_string(::getpid()) +
+         ".sock";
+}
+
+/// Pumps the server loop until the client has a response (deterministic
+/// single-threaded drive).
+WireResponse pump_recv(NetServer& server, NetClient& client) {
+  for (int round = 0; round < 10000; ++round) {
+    server.poll_once(0);
+    if (std::optional<WireResponse> r = client.try_recv()) return *r;
+  }
+  throw ConfigError("pump_recv: no response after 10000 server rounds");
+}
+
+// ---------------------------------------------------------------------------
+// Grouped steps: the bit-identity contract at the simulator level.
+// ---------------------------------------------------------------------------
+
+TEST(StepGrouped, BitIdenticalToSequentialSteps) {
+  const SimConfig cfg = small_config();
+  PramMeshSimulator grouped(cfg);
+  PramMeshSimulator sequential(cfg);
+
+  const Request g0 = disjoint_request(1, 0);
+  const Request g1 = disjoint_request(2, 1);
+  const Request g2 = disjoint_request(3, 2);
+  StepStats st;
+  const std::vector<i64> merged = grouped.step_grouped(
+      {&g0.accesses, &g1.accesses, &g2.accesses}, &st);
+  EXPECT_GT(st.total_steps, 0);
+
+  std::vector<std::vector<i64>> solo;
+  for (const Request* r : {&g0, &g1, &g2}) {
+    solo.push_back(sequential.step(r->accesses, nullptr));
+  }
+  size_t offset = 0;
+  for (size_t g = 0; g < solo.size(); ++g) {
+    for (size_t i = 0; i < 8; ++i) {
+      EXPECT_EQ(merged[offset + i], solo[g][i]) << "group " << g << " slot "
+                                                << i;
+    }
+    offset += 8;
+  }
+  EXPECT_EQ(grouped.now(), sequential.now());
+  EXPECT_EQ(snapshot_simulator(grouped), snapshot_simulator(sequential));
+
+  // Read-backs across a second grouped pass see the grouped writes with the
+  // sequential timestamps.
+  const Request r0 = readback_request(4, 0);
+  const Request r1 = readback_request(5, 1);
+  const std::vector<i64> reads =
+      grouped.step_grouped({&r0.accesses, &r1.accesses}, nullptr);
+  const std::vector<i64> reads0 = sequential.step(r0.accesses, nullptr);
+  const std::vector<i64> reads1 = sequential.step(r1.accesses, nullptr);
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(reads[i], reads0[i]);
+    EXPECT_EQ(reads[8 + i], reads1[i]);
+  }
+  EXPECT_EQ(snapshot_simulator(grouped), snapshot_simulator(sequential));
+}
+
+TEST(StepGrouped, RejectsOverlapOverflowAndFaultPlans) {
+  PramMeshSimulator sim(small_config());
+  const Request a = disjoint_request(1, 0);
+  EXPECT_THROW(sim.step_grouped({&a.accesses, &a.accesses}, nullptr),
+               ConfigError);  // EREW across the union
+
+  const Request big = disjoint_request(2, 1, 60);
+  EXPECT_THROW(sim.step_grouped({&a.accesses, &big.accesses}, nullptr),
+               ConfigError);  // 68 accesses > 64 processors
+
+  PramMeshSimulator fsim(faulty_config());
+  ASSERT_NE(fsim.fault_plan(), nullptr);
+  const Request b = disjoint_request(3, 2);
+  EXPECT_THROW(fsim.step_grouped({&b.accesses}, nullptr), ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// Coalesce planner.
+// ---------------------------------------------------------------------------
+
+TEST(CoalescePlanner, MergesDisjointPrefixUpToWindowAndCapacity) {
+  std::deque<Request> q;
+  for (i64 j = 0; j < 12; ++j) q.push_back(disjoint_request(100 + j, j));
+  // Window limits first: 12 disjoint requests, window 4.
+  CoalescePlan plan = plan_coalesce(q, 4, 64, 1080);
+  EXPECT_EQ(plan.count, 4);
+  EXPECT_EQ(plan.total_accesses, 32);
+  // Capacity limits next: window 12 but 8 * 8 = 64 processors.
+  plan = plan_coalesce(q, 12, 64, 1080);
+  EXPECT_EQ(plan.count, 8);
+  EXPECT_EQ(plan.total_accesses, 64);
+  // Window 1 = off.
+  plan = plan_coalesce(q, 1, 64, 1080);
+  EXPECT_EQ(plan.count, 1);
+}
+
+TEST(CoalescePlanner, ConflictAndDirtyRequestsStopTheBatch) {
+  std::deque<Request> q;
+  q.push_back(disjoint_request(1, 0));
+  q.push_back(disjoint_request(2, 1));
+  q.push_back(disjoint_request(3, 0));  // re-uses block 0: conflicts
+  q.push_back(disjoint_request(4, 2));
+  EXPECT_EQ(plan_coalesce(q, 8, 64, 1080).count, 2);
+
+  // A request that would fail alone (var out of range) runs alone...
+  std::deque<Request> bad;
+  Request oob = disjoint_request(1, 0);
+  oob.accesses[3].var = 5000;
+  bad.push_back(oob);
+  bad.push_back(disjoint_request(2, 1));
+  EXPECT_EQ(plan_coalesce(bad, 8, 64, 1080).count, 1);
+
+  // ...and never joins a batch started by clean requests.
+  std::deque<Request> mixed;
+  mixed.push_back(disjoint_request(1, 1));
+  Request dup = disjoint_request(2, 2);
+  dup.accesses[1].var = dup.accesses[0].var;  // internal EREW violation
+  mixed.push_back(dup);
+  mixed.push_back(disjoint_request(3, 3));
+  EXPECT_EQ(plan_coalesce(mixed, 8, 64, 1080).count, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler coalescing: bit-identity + tripwire.
+// ---------------------------------------------------------------------------
+
+struct SchedulerRun {
+  std::map<u64, Response> done;
+  std::string core_snapshot;
+  StepStats probe;
+  CoalesceStats cstats;
+};
+
+TEST(Coalescing, WindowedRunBitIdenticalToSequentialAcrossThreadCounts) {
+  auto run = [](i64 window, int threads, bool validate) {
+    SchedulerRun out;
+    SessionManager mgr;
+    Session& s = mgr.create("c", small_config());
+    SchedulerConfig scfg;
+    scfg.threads = threads;
+    scfg.coalesce_window = window;
+    scfg.validate_coalescing = validate;
+    FairScheduler sched(mgr, scfg);
+    CollectSink sink;
+    sink.install(sched);
+
+    // 6 disjoint writes, 2 conflicting (re-used block), 6 read-backs.
+    u64 id = 1;
+    for (i64 j = 0; j < 6; ++j) {
+      EXPECT_TRUE(sched.submit(s.id(), disjoint_request(id++, j)).accepted);
+    }
+    EXPECT_TRUE(sched.submit(s.id(), disjoint_request(id++, 0)).accepted);
+    EXPECT_TRUE(sched.submit(s.id(), disjoint_request(id++, 1)).accepted);
+    for (i64 j = 0; j < 6; ++j) {
+      EXPECT_TRUE(sched.submit(s.id(), readback_request(id++, j)).accepted);
+    }
+    sched.run_until_idle();
+    out.done = std::move(sink.done);
+    out.core_snapshot = snapshot_simulator(s.sim());
+    out.cstats = sched.coalesce_stats();
+    const Request probe = readback_request(99, 3);
+    s.sim().step(probe.accesses, &out.probe);
+    return out;
+  };
+
+  const SchedulerRun sequential = run(1, 0, false);
+  EXPECT_EQ(sequential.cstats.batches, 0);
+  for (const auto& [window, threads] :
+       std::vector<std::pair<i64, int>>{{8, 0}, {8, 3}, {3, 2}}) {
+    const SchedulerRun coalesced = run(window, threads, true);
+    EXPECT_GT(coalesced.cstats.batches, 0);
+    EXPECT_GT(coalesced.cstats.validations, 0);  // tripwire exercised
+    ASSERT_EQ(coalesced.done.size(), sequential.done.size());
+    for (const auto& [id, resp] : sequential.done) {
+      const auto it = coalesced.done.find(id);
+      ASSERT_NE(it, coalesced.done.end());
+      EXPECT_TRUE(it->second.ok);
+      EXPECT_EQ(it->second.values, resp.values) << "request " << id;
+    }
+    // Machine state byte-identical; probe step costs identical.
+    EXPECT_EQ(coalesced.core_snapshot, sequential.core_snapshot)
+        << "window " << window << " threads " << threads;
+    expect_stats_equal(coalesced.probe, sequential.probe);
+  }
+}
+
+TEST(Coalescing, CoalescedCostIsMeasurablySmaller) {
+  auto mesh_steps = [](i64 window) {
+    SessionManager mgr;
+    Session& s = mgr.create("c", small_config());
+    SchedulerConfig scfg;
+    scfg.coalesce_window = window;
+    FairScheduler sched(mgr, scfg);
+    for (i64 j = 0; j < 8; ++j) {
+      sched.submit(s.id(), disjoint_request(static_cast<u64>(j + 1), j));
+    }
+    sched.run_until_idle();
+    return s.stats().mesh_steps;
+  };
+  const i64 solo = mesh_steps(1);
+  const i64 merged = mesh_steps(8);
+  EXPECT_LT(merged * 2, solo);  // one pass instead of eight
+}
+
+TEST(Coalescing, FaultPlanSessionsNeverCoalesce) {
+  SessionManager mgr;
+  Session& s = mgr.create("f", faulty_config());
+  EXPECT_FALSE(s.supports_coalescing());
+  SchedulerConfig scfg;
+  scfg.coalesce_window = 8;
+  FairScheduler sched(mgr, scfg);
+  CollectSink sink;
+  sink.install(sched);
+  for (i64 j = 0; j < 4; ++j) {
+    sched.submit(s.id(), disjoint_request(static_cast<u64>(j + 1), j));
+  }
+  sched.run_until_idle();
+  EXPECT_EQ(sched.coalesce_stats().batches, 0);
+  for (const auto& [id, resp] : sink.done) EXPECT_EQ(resp.coalesced, 1);
+}
+
+// ---------------------------------------------------------------------------
+// FrameBuffer.
+// ---------------------------------------------------------------------------
+
+TEST(FrameBufferTest, ReassemblesAcrossArbitrarySplits) {
+  const std::string f1 = encode_batch_read(1, "a", {1, 2, 3});
+  const std::string f2 = encode_control(MsgType::Stats, 2, "a");
+  const std::string stream = f1 + f2;
+  for (size_t split = 0; split <= stream.size(); ++split) {
+    FrameBuffer buf;
+    buf.append(stream.data(), split);
+    std::vector<std::string> got;
+    if (auto p = buf.next_payload()) got.push_back(*p);
+    buf.append(stream.data() + split, stream.size() - split);
+    while (auto p = buf.next_payload()) got.push_back(*p);
+    ASSERT_EQ(got.size(), 2u) << "split at " << split;
+    EXPECT_EQ(got[0], f1.substr(4));
+    EXPECT_EQ(got[1], f2.substr(4));
+    EXPECT_EQ(buf.buffered(), 0);
+  }
+}
+
+TEST(FrameBufferTest, OversizedPrefixThrows) {
+  FrameBuffer buf;
+  const char huge[4] = {'\xff', '\xff', '\xff', '\x7f'};  // ~2 GiB
+  buf.append(huge, 4);
+  EXPECT_THROW(buf.next_payload(), ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// NetServer end-to-end (single-threaded deterministic drive).
+// ---------------------------------------------------------------------------
+
+struct Stack {
+  SessionManager mgr;
+  std::unique_ptr<FairScheduler> sched;
+  std::unique_ptr<NetServer> server;
+
+  explicit Stack(const NetServerConfig& ncfg, SchedulerConfig scfg = {},
+                 SessionLimits limits = {}, int sessions = 1) {
+    for (int i = 0; i < sessions; ++i) {
+      mgr.create("s" + std::to_string(i), small_config(), limits);
+    }
+    sched = std::make_unique<FairScheduler>(mgr, scfg);
+    server = std::make_unique<NetServer>(mgr, *sched, ncfg);
+  }
+};
+
+TEST(NetServerTest, UnixEndToEndWriteReadSnapshotStats) {
+  NetServerConfig ncfg;
+  ncfg.unix_path = unique_sock_path("e2e");
+  Stack stack(ncfg);
+  NetClient client = NetClient::connect_unix(ncfg.unix_path);
+
+  const std::vector<i64> vars{10, 20, 30};
+  client.send_frame(encode_batch_write(1, "s0", vars, {7, 8, 9}));
+  WireResponse w = pump_recv(*stack.server, client);
+  EXPECT_TRUE(w.ok);
+  EXPECT_EQ(w.request_id, 1u);
+  EXPECT_EQ(w.type, MsgType::BatchWrite);
+  EXPECT_TRUE(w.values.empty());
+  EXPECT_GT(w.mesh_steps, 0);
+  EXPECT_EQ(w.coalesced, 1);
+
+  client.send_frame(encode_batch_read(2, "s0", vars));
+  WireResponse r = pump_recv(*stack.server, client);
+  EXPECT_TRUE(r.ok);
+  ASSERT_GE(r.values.size(), 3u);
+  EXPECT_EQ(r.values[0], 7);
+  EXPECT_EQ(r.values[1], 8);
+  EXPECT_EQ(r.values[2], 9);
+
+  client.send_frame(encode_control(MsgType::Snapshot, 3, "s0"));
+  WireResponse snap = pump_recv(*stack.server, client);
+  EXPECT_TRUE(snap.ok);
+  EXPECT_FALSE(snap.snapshot_bytes.empty());
+  const ParsedSnapshot parsed = parse_snapshot(snap.snapshot_bytes);
+  EXPECT_TRUE(parsed.has_session);
+
+  client.send_frame(encode_control(MsgType::Stats, 4, "s0"));
+  WireResponse stats = pump_recv(*stack.server, client);
+  EXPECT_TRUE(stats.ok);
+  EXPECT_EQ(stats.stats.steps_executed, 2);
+
+  client.send_frame(encode_batch_read(5, "nope", vars));
+  WireResponse unknown = pump_recv(*stack.server, client);
+  EXPECT_FALSE(unknown.ok);
+  EXPECT_NE(unknown.error.find("unknown session"), std::string::npos);
+  EXPECT_EQ(stack.server->stats().rejected, 1);
+}
+
+TEST(NetServerTest, TcpPipelinedResponsesInOrderAndCoalesced) {
+  NetServerConfig ncfg;
+  ncfg.tcp = true;
+  SchedulerConfig scfg;
+  scfg.coalesce_window = 8;
+  Stack stack(ncfg, scfg);
+  ASSERT_GT(stack.server->tcp_port(), 0);
+  NetClient client = NetClient::connect_tcp("127.0.0.1",
+                                            stack.server->tcp_port());
+
+  const i64 total = 16;
+  for (i64 j = 0; j < total; ++j) {
+    const Request req = disjoint_request(static_cast<u64>(j + 1), j);
+    client.send_frame(
+        encode_step(req.id, "s0", req.accesses));
+  }
+  for (i64 j = 0; j < total; ++j) {
+    const WireResponse resp = pump_recv(*stack.server, client);
+    EXPECT_TRUE(resp.ok) << resp.error;
+    EXPECT_EQ(resp.request_id, static_cast<u64>(j + 1));  // FIFO order
+    EXPECT_GT(resp.coalesced, 1) << "request " << j + 1;
+  }
+  EXPECT_GT(stack.sched->coalesce_stats().batches, 0);
+  EXPECT_EQ(stack.sched->coalesce_stats().merged_requests, total);
+}
+
+TEST(NetServerTest, BackpressureParksInsteadOfRejecting) {
+  NetServerConfig ncfg;
+  ncfg.unix_path = unique_sock_path("bp");
+  SessionLimits limits;
+  limits.queue_capacity = 2;
+  Stack stack(ncfg, {}, limits);
+  NetClient client = NetClient::connect_unix(ncfg.unix_path);
+
+  const i64 total = 10;
+  for (i64 j = 0; j < total; ++j) {
+    const Request req = disjoint_request(static_cast<u64>(j + 1), j);
+    client.send_frame(encode_step(req.id, "s0", req.accesses));
+  }
+  for (i64 j = 0; j < total; ++j) {
+    const WireResponse resp = pump_recv(*stack.server, client);
+    EXPECT_TRUE(resp.ok) << resp.error;
+    EXPECT_EQ(resp.request_id, static_cast<u64>(j + 1));
+  }
+  EXPECT_GT(stack.server->stats().parked, 0);   // queue-full -> parked
+  EXPECT_EQ(stack.server->stats().rejected, 0); // never rejected
+  EXPECT_EQ(stack.mgr.find_by_name("s0")->stats().rejected, 0);
+}
+
+TEST(NetServerTest, GlobalBudgetOverloadRejects) {
+  NetServerConfig ncfg;
+  ncfg.unix_path = unique_sock_path("ovl");
+  SchedulerConfig scfg;
+  scfg.global_inflight = 2;
+  SessionLimits limits;
+  limits.queue_capacity = 8;
+  Stack stack(ncfg, scfg, limits);
+  NetClient client = NetClient::connect_unix(ncfg.unix_path);
+
+  const i64 total = 10;
+  for (i64 j = 0; j < total; ++j) {
+    const Request req = disjoint_request(static_cast<u64>(j + 1), j);
+    client.send_frame(encode_step(req.id, "s0", req.accesses));
+  }
+  i64 completed = 0, rejected = 0;
+  for (i64 j = 0; j < total; ++j) {
+    const WireResponse resp = pump_recv(*stack.server, client);
+    if (resp.ok) {
+      ++completed;
+    } else {
+      ++rejected;
+      EXPECT_NE(resp.error.find("global in-flight budget"),
+                std::string::npos);
+      EXPECT_EQ(resp.slice, -1);  // the existing rejection frame shape
+    }
+  }
+  EXPECT_EQ(completed, 2);
+  EXPECT_EQ(rejected, 8);
+  EXPECT_EQ(stack.server->stats().rejected, 8);
+}
+
+TEST(NetServerTest, RequestIdsAreConnectionLocal) {
+  NetServerConfig ncfg;
+  ncfg.unix_path = unique_sock_path("ids");
+  Stack stack(ncfg, {}, {}, 2);
+  NetClient a = NetClient::connect_unix(ncfg.unix_path);
+  NetClient b = NetClient::connect_unix(ncfg.unix_path);
+
+  // Both clients use request id 1 against different sessions.
+  a.send_frame(encode_batch_write(1, "s0", {5}, {111}));
+  b.send_frame(encode_batch_write(1, "s1", {5}, {222}));
+  EXPECT_TRUE(pump_recv(*stack.server, a).ok);
+  EXPECT_TRUE(pump_recv(*stack.server, b).ok);
+  a.send_frame(encode_batch_read(1, "s0", {5}));
+  b.send_frame(encode_batch_read(1, "s1", {5}));
+  const WireResponse ra = pump_recv(*stack.server, a);
+  const WireResponse rb = pump_recv(*stack.server, b);
+  EXPECT_EQ(ra.request_id, 1u);
+  EXPECT_EQ(rb.request_id, 1u);
+  EXPECT_EQ(ra.values[0], 111);
+  EXPECT_EQ(rb.values[0], 222);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol abuse: malformed streams must produce an error + close, never UB.
+// ---------------------------------------------------------------------------
+
+TEST(NetServerAbuse, GarbageOpcodeGetsErrorThenClose) {
+  NetServerConfig ncfg;
+  ncfg.unix_path = unique_sock_path("op");
+  Stack stack(ncfg);
+  NetClient client = NetClient::connect_unix(ncfg.unix_path);
+
+  std::string frame = encode_batch_read(1, "s0", {1});
+  frame[4] = '\x63';  // opcode 99
+  client.send_raw(frame);
+  const WireResponse err = pump_recv(*stack.server, client);
+  EXPECT_FALSE(err.ok);
+  EXPECT_NE(err.error.find("unknown message type"), std::string::npos);
+  for (int i = 0; i < 100; ++i) stack.server->poll_once(0);
+  EXPECT_THROW(client.recv_response(200), ConfigError);  // closed
+  EXPECT_EQ(stack.server->stats().protocol_errors, 1);
+  EXPECT_EQ(stack.server->open_connections(), 0);
+
+  // The server is still healthy for new connections.
+  NetClient fresh = NetClient::connect_unix(ncfg.unix_path);
+  fresh.send_frame(encode_control(MsgType::Stats, 1, "s0"));
+  EXPECT_TRUE(pump_recv(*stack.server, fresh).ok);
+}
+
+TEST(NetServerAbuse, OversizedLengthPrefixClosesConnection) {
+  NetServerConfig ncfg;
+  ncfg.unix_path = unique_sock_path("len");
+  Stack stack(ncfg);
+  NetClient client = NetClient::connect_unix(ncfg.unix_path);
+  const char huge[8] = {'\xff', '\xff', '\xff', '\x7f', 'x', 'x', 'x', 'x'};
+  client.send_raw(std::string_view(huge, sizeof(huge)));
+  const WireResponse err = pump_recv(*stack.server, client);
+  EXPECT_FALSE(err.ok);
+  EXPECT_EQ(stack.server->stats().protocol_errors, 1);
+}
+
+TEST(NetServerAbuse, TruncatedFrameThenDisconnectLeavesServerHealthy) {
+  NetServerConfig ncfg;
+  ncfg.unix_path = unique_sock_path("trunc");
+  Stack stack(ncfg);
+  {
+    NetClient client = NetClient::connect_unix(ncfg.unix_path);
+    const std::string frame = encode_batch_read(1, "s0", {1, 2, 3});
+    client.send_raw(std::string_view(frame.data(), frame.size() - 5));
+    for (int i = 0; i < 20; ++i) stack.server->poll_once(0);
+    EXPECT_EQ(stack.server->open_connections(), 1);  // waiting for the rest
+    client.close();  // disconnect mid-frame
+  }
+  for (int i = 0; i < 100; ++i) stack.server->poll_once(0);
+  EXPECT_EQ(stack.server->open_connections(), 0);
+  EXPECT_EQ(stack.server->stats().protocol_errors, 0);  // no bytes lied
+
+  NetClient fresh = NetClient::connect_unix(ncfg.unix_path);
+  fresh.send_frame(encode_batch_read(2, "s0", {1}));
+  EXPECT_TRUE(pump_recv(*stack.server, fresh).ok);
+}
+
+TEST(NetServerAbuse, SeededFuzzBytesNeverCrashTheServer) {
+  NetServerConfig ncfg;
+  ncfg.unix_path = unique_sock_path("fuzz");
+  Stack stack(ncfg);
+  Rng rng(0xf22d);
+  for (int round = 0; round < 40; ++round) {
+    NetClient client = NetClient::connect_unix(ncfg.unix_path);
+    std::string bytes(static_cast<size_t>(rng.below(512) + 1), '\0');
+    for (char& c : bytes) {
+      c = static_cast<char>(rng.below(256));
+    }
+    client.send_raw(bytes);
+    client.shutdown_writes();
+    for (int i = 0; i < 50; ++i) stack.server->poll_once(0);
+    client.close();
+    for (int i = 0; i < 10; ++i) stack.server->poll_once(0);
+  }
+  EXPECT_EQ(stack.server->open_connections(), 0);
+  // Still serving after 40 hostile connections.
+  NetClient fresh = NetClient::connect_unix(ncfg.unix_path);
+  fresh.send_frame(encode_control(MsgType::Stats, 1, "s0"));
+  EXPECT_TRUE(pump_recv(*stack.server, fresh).ok);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent clients: coalesced sockets bit-identical to solo replay.
+// Runs with >= 4 connections; also exercised under tsan-serve-net.
+// ---------------------------------------------------------------------------
+
+TEST(NetServerConcurrent, PipelinedClientsMatchSoloSequentialReplay) {
+  const int kConns = 4;
+  const i64 kRequests = 12;
+  NetServerConfig ncfg;
+  ncfg.unix_path = unique_sock_path("conc");
+  SchedulerConfig scfg;
+  scfg.coalesce_window = 8;
+  scfg.validate_coalescing = true;  // shadow tripwire armed throughout
+  Stack stack(ncfg, scfg, {}, kConns);
+
+  std::atomic<bool> stop{false};
+  std::thread loop([&] { stack.server->run(stop); });
+
+  std::vector<std::map<u64, WireResponse>> got(kConns);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kConns; ++c) {
+    clients.emplace_back([&, c] {
+      NetClient client = NetClient::connect_unix(ncfg.unix_path);
+      for (i64 j = 0; j < kRequests; ++j) {
+        const Request req =
+            disjoint_request(static_cast<u64>(j + 1), j + c * kRequests);
+        client.send_frame(
+            encode_step(req.id, "s" + std::to_string(c), req.accesses));
+      }
+      for (i64 j = 0; j < kRequests; ++j) {
+        const WireResponse resp = client.recv_response();
+        got[static_cast<size_t>(c)][resp.request_id] = resp;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  stop = true;
+  loop.join();
+
+  // Every session's state and responses must match a solo sequential run of
+  // its connection's FIFO stream.
+  for (int c = 0; c < kConns; ++c) {
+    PramMeshSimulator solo(small_config());
+    for (i64 j = 0; j < kRequests; ++j) {
+      const Request req =
+          disjoint_request(static_cast<u64>(j + 1), j + c * kRequests);
+      const std::vector<i64> values = solo.step(req.accesses, nullptr);
+      const auto it = got[static_cast<size_t>(c)].find(req.id);
+      ASSERT_NE(it, got[static_cast<size_t>(c)].end());
+      EXPECT_TRUE(it->second.ok) << it->second.error;
+      for (size_t i = 0; i < req.accesses.size(); ++i) {
+        EXPECT_EQ(it->second.values[i], values[i])
+            << "conn " << c << " request " << req.id << " slot " << i;
+      }
+    }
+    Session* s = stack.mgr.find_by_name("s" + std::to_string(c));
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(snapshot_simulator(s->sim()), snapshot_simulator(solo))
+        << "conn " << c;
+  }
+  EXPECT_GT(stack.sched->coalesce_stats().batches, 0);
+  EXPECT_GT(stack.sched->coalesce_stats().validations, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Net loadgen.
+// ---------------------------------------------------------------------------
+
+TEST(NetLoadgen, UnixRunAccountsEveryRequest) {
+  const int kSessions = 3;
+  NetServerConfig ncfg;
+  ncfg.unix_path = unique_sock_path("lg");
+  SchedulerConfig scfg;
+  scfg.coalesce_window = 4;
+  Stack stack(ncfg, scfg, {}, kSessions);
+
+  std::vector<std::string> names;
+  std::vector<SessionShape> shapes;
+  for (Session* s : stack.mgr.sessions()) {
+    names.push_back(s->name());
+    shapes.push_back({s->sim().processors(), s->sim().num_vars()});
+  }
+  LoadgenConfig lg;
+  lg.requests = 60;
+  lg.accesses_per_request = 8;
+  lg.seed = 7;
+
+  NetEndpoint ep;
+  ep.transport = Transport::Unix;
+  ep.unix_path = ncfg.unix_path;
+  std::atomic<bool> stop{false};
+  std::thread loop([&] { stack.server->run(stop); });
+  const NetLoadgenReport rep = run_loadgen_net(ep, names, shapes, lg, 6);
+  stop = true;
+  loop.join();
+
+  EXPECT_EQ(rep.offered, 60);
+  EXPECT_EQ(rep.completed + rep.rejected + rep.failed, rep.offered);
+  EXPECT_EQ(rep.failed, 0);
+  ASSERT_EQ(rep.conns.size(), static_cast<size_t>(kSessions));
+  i64 sum = 0;
+  for (const ConnReport& c : rep.conns) {
+    EXPECT_TRUE(c.error.empty());
+    EXPECT_EQ(c.completed + c.rejected + c.failed, c.offered);
+    EXPECT_GT(c.bytes_out, 0);
+    sum += c.offered;
+  }
+  EXPECT_EQ(sum, rep.offered);
+  EXPECT_EQ(stack.server->stats().frames_in,
+            stack.server->stats().frames_out);
+}
+
+}  // namespace
+}  // namespace meshpram::serve

@@ -1,25 +1,39 @@
-// serve_loadgen — open-loop load generator CLI for the serving subsystem
-// (DESIGN.md §11). Spins up N sessions in-process, offers a seeded Poisson
-// request stream through the wire API, and reports latency percentiles,
-// goodput and admission-control counters.
+// serve_loadgen — load generator CLI for the serving subsystem
+// (DESIGN.md §11, §14). Spins up N sessions in-process and drives them over
+// one of three transports:
+//
+//   --transport loopback (default): the original open-loop Poisson stream
+//     through the in-process LoopbackDriver — deterministic latency
+//     percentiles in scheduler slices (EXP-S1 numbers unchanged).
+//   --transport unix | tcp: starts a NetServer on a background thread and
+//     fans out one pipelined socket connection per session (closed-loop,
+//     --depth frames in flight each), reporting per-connection stats.
+//
+// --window W > 1 enables cross-request coalescing in the scheduler (also
+// settable via MESHPRAM_SERVE_WINDOW; the flag wins). Same binary, flag/env
+// toggle — the EXP-S2 comparison knob.
 //
 // Usage: serve_loadgen [--sessions N] [--side S] [--requests R]
 //                      [--rate ARRIVALS_PER_SLICE] [--seed SEED]
 //                      [--capacity QUEUE_CAP] [--inflight GLOBAL_BUDGET]
 //                      [--accesses PER_REQUEST] [--threads POOL_THREADS]
-//
-// The deterministic block (accepted/rejected/completed, slices, mesh steps,
-// latency percentiles in slices) is a pure function of the flags; the wall
-// block (microsecond percentiles, requests/s) is machine-dependent.
+//                      [--transport loopback|unix|tcp] [--depth PIPELINE]
+//                      [--window COALESCE_WINDOW]
+#include <unistd.h>
+
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "serve/api.hpp"
 #include "serve/loadgen.hpp"
 #include "serve/manager.hpp"
+#include "serve/net_server.hpp"
 #include "serve/scheduler.hpp"
+#include "util/env.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
 
@@ -38,13 +52,18 @@ struct Options {
   i64 inflight = 128;
   i64 accesses = 0;  // 0 = full PRAM step
   int threads = 0;   // 0 = ambient pool
+  Transport transport = Transport::Loopback;
+  i64 depth = 8;     // per-connection pipeline depth (net transports)
+  i64 window = 1;    // coalesce window; overridden by MESHPRAM_SERVE_WINDOW
+  bool window_set = false;
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--sessions N] [--side S] [--requests R] [--rate L]"
                " [--seed SEED] [--capacity C] [--inflight G] [--accesses A]"
-               " [--threads T]\n";
+               " [--threads T] [--transport loopback|unix|tcp] [--depth D]"
+               " [--window W]\n";
   std::exit(2);
 }
 
@@ -65,13 +84,98 @@ Options parse(int argc, char** argv) {
       else if (flag == "--inflight") opt.inflight = std::stoll(val);
       else if (flag == "--accesses") opt.accesses = std::stoll(val);
       else if (flag == "--threads") opt.threads = std::stoi(val);
-      else usage(argv[0]);
+      else if (flag == "--depth") opt.depth = std::stoll(val);
+      else if (flag == "--window") {
+        opt.window = std::stoll(val);
+        opt.window_set = true;
+      } else if (flag == "--transport") {
+        if (val == "loopback") opt.transport = Transport::Loopback;
+        else if (val == "unix") opt.transport = Transport::Unix;
+        else if (val == "tcp") opt.transport = Transport::Tcp;
+        else usage(argv[0]);
+      } else usage(argv[0]);
     } catch (const std::exception&) {
       std::cerr << "bad value for " << flag << ": " << val << '\n';
       std::exit(2);
     }
   }
+  if (!opt.window_set) {
+    opt.window = env_i64("MESHPRAM_SERVE_WINDOW", 1, 1024).value_or(1);
+  }
   return opt;
+}
+
+void print_sessions(SessionManager& mgr) {
+  std::cout << "\n-- per-session --\n";
+  Table st({"session", "state", "steps", "T_sim", "accepted", "rejected",
+            "peak_q"});
+  for (Session* s : mgr.sessions()) {
+    st.add(s->name(), state_name(s->state()), s->stats().steps_executed,
+           s->stats().mesh_steps, s->stats().accepted, s->stats().rejected,
+           s->stats().peak_queue_depth);
+  }
+  st.print(std::cout);
+}
+
+int run_net(const Options& opt, SessionManager& mgr, FairScheduler& sched,
+            const std::vector<std::string>& names,
+            const std::vector<SessionShape>& shapes,
+            const LoadgenConfig& lg) {
+  NetServerConfig ncfg;
+  NetEndpoint ep;
+  ep.transport = opt.transport;
+  if (opt.transport == Transport::Unix) {
+    ncfg.unix_path =
+        "/tmp/meshpram-loadgen-" + std::to_string(::getpid()) + ".sock";
+    ep.unix_path = ncfg.unix_path;
+  } else {
+    ncfg.tcp = true;  // kernel-assigned port
+  }
+  NetServer server(mgr, sched, ncfg);
+  if (opt.transport == Transport::Tcp) ep.port = server.tcp_port();
+
+  std::atomic<bool> stop{false};
+  std::thread loop([&] { server.run(stop); });
+  NetLoadgenReport rep;
+  try {
+    rep = run_loadgen_net(ep, names, shapes, lg, opt.depth);
+  } catch (...) {
+    stop = true;
+    loop.join();
+    throw;
+  }
+  stop = true;
+  loop.join();
+
+  std::cout << "\n-- totals (wall clock is machine-dependent) --\n";
+  Table tt({"offered", "completed", "rejected", "failed", "coalesced",
+            "wall_s", "rps", "p50_us", "p95_us", "p99_us"});
+  tt.add(rep.offered, rep.completed, rep.rejected, rep.failed,
+         rep.coalesced_responses, rep.wall_seconds, rep.rps, rep.p50_us,
+         rep.p95_us, rep.p99_us);
+  tt.print(std::cout);
+
+  std::cout << "\n-- per-connection --\n";
+  Table ct({"conn", "offered", "completed", "rejected", "failed", "coalesced",
+            "p50_us", "p99_us", "bytes_out", "bytes_in"});
+  for (const ConnReport& c : rep.conns) {
+    ct.add(c.session, c.offered, c.completed, c.rejected, c.failed,
+           c.coalesced_responses, c.p50_us, c.p99_us, c.bytes_out,
+           c.bytes_in);
+  }
+  ct.print(std::cout);
+
+  const NetServerStats& ns = server.stats();
+  std::cout << "\n-- server --\n";
+  Table nt({"conns", "frames_in", "frames_out", "bytes_in", "bytes_out",
+            "rejected", "parked", "batches", "merged"});
+  nt.add(ns.accepted, ns.frames_in, ns.frames_out, ns.bytes_in, ns.bytes_out,
+         ns.rejected, ns.parked, sched.coalesce_stats().batches,
+         sched.coalesce_stats().merged_requests);
+  nt.print(std::cout);
+
+  print_sessions(mgr);
+  return rep.failed == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -101,8 +205,8 @@ int main(int argc, char** argv) {
   SchedulerConfig scfg;
   scfg.threads = opt.threads;
   scfg.global_inflight = opt.inflight;
+  scfg.coalesce_window = opt.window;
   FairScheduler sched(mgr, scfg);
-  LoopbackDriver driver(mgr, sched);
 
   LoadgenConfig lg;
   lg.requests = opt.requests;
@@ -113,7 +217,14 @@ int main(int argc, char** argv) {
   std::cout << "serve_loadgen: " << opt.sessions << " session(s) on a "
             << opt.side << 'x' << opt.side << " mesh, " << opt.requests
             << " requests at " << opt.rate << "/slice (seed " << opt.seed
-            << ")\n";
+            << "), transport " << transport_name(opt.transport)
+            << ", coalesce window " << opt.window << '\n';
+
+  if (opt.transport != Transport::Loopback) {
+    return run_net(opt, mgr, sched, names, shapes, lg);
+  }
+
+  LoopbackDriver driver(mgr, sched);
   const LoadgenReport rep = run_loadgen(driver, sched, names, shapes, lg);
 
   std::cout << "\n-- deterministic (pure function of the flags) --\n";
@@ -131,15 +242,6 @@ int main(int argc, char** argv) {
          rep.goodput_rps);
   wt.print(std::cout);
 
-  // Per-session accounting straight from the service.
-  std::cout << "\n-- per-session --\n";
-  Table st({"session", "state", "steps", "T_sim", "accepted", "rejected",
-            "peak_q"});
-  for (Session* s : mgr.sessions()) {
-    st.add(s->name(), state_name(s->state()), s->stats().steps_executed,
-           s->stats().mesh_steps, s->stats().accepted, s->stats().rejected,
-           s->stats().peak_queue_depth);
-  }
-  st.print(std::cout);
+  print_sessions(mgr);
   return rep.failed == 0 ? 0 : 1;
 }

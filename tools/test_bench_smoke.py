@@ -145,6 +145,28 @@ def test_schema_field_diff_tolerates_perf_and_dist_columns():
     assert "unexpected" not in schema_field_diff(doc)
 
 
+def test_schema_field_diff_tolerates_serve_columns():
+    # point_serve columns (bench_serve_net) are optional schema-5 additions;
+    # a baseline carrying them must not read as "unexpected fields".
+    doc = {f: 0 for f in bench_smoke.CURRENT_FIELDS}
+    doc["points"] = [{"config": "throughput conns=4 window=8", "wall_ms": 1.0,
+                      "mesh_steps": 0, "offered": 240, "completed": 240,
+                      "rejected": 0, "p50_us": 900.0, "p95_us": 1100.0,
+                      "p99_us": 1200.0, "rps": 6000.0}]
+    assert "unexpected" not in schema_field_diff(doc)
+
+
+def test_serve_points_gate_wall_and_pinned_steps_only():
+    # The informational serve columns may drift freely between runs; only
+    # wall_ms (within tolerance) and mesh_steps (exact) are gated.
+    base = pts(("t", 10.0, 0, {"rps": 6000.0, "p99_us": 1000.0}))
+    fresh = pts(("t", 12.0, 0, {"rps": 2500.0, "p99_us": 9000.0}))
+    assert compare_bench("serve_net", base, fresh, 0.75, log=quiet) == []
+    slow = pts(("t", 20.0, 0, {"rps": 6000.0}))
+    fails = compare_bench("serve_net", base, slow, 0.75, log=quiet)
+    assert len(fails) == 1 and "wall-clock regressed" in fails[0]
+
+
 def main():
     tests = [(n, f) for n, f in sorted(globals().items())
              if n.startswith("test_") and callable(f)]
