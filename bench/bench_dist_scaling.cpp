@@ -6,15 +6,40 @@
 // each rank spends blocked in collectives. Rank 1 runs the same partitioned
 // code path with no exchange, so its wall_ms is the parity reference against
 // bench_simulation_mid_mem (k=3 rows); tools/bench_smoke.py enforces it.
+//
+// The second sweep runs the same points on a ProcMachine — ranks as separate
+// worker processes over unix/TCP sockets (config "transport=... ranks=...").
+// mesh_steps there must equal the channel run at the same geometry
+// (bench_smoke.py's transport-parity gate); wall_ms shows the socket tax.
+// One extra point ("recover transport=unix ...") SIGKILLs a worker between
+// steps and records the recovery blackout next to the recovered step.
 #include <cmath>
 #include <iostream>
 
 #include "common.hpp"
 #include "dist/machine.hpp"
+#include "dist/supervisor.hpp"
 #include "util/table.hpp"
 
 using namespace meshpram;
 using namespace meshpram::benchutil;
+
+namespace {
+
+/// ProcConfig for a bench point: no per-step checkpoint gathers (wall_ms
+/// should time the step itself), validation off.
+dist::ProcConfig proc_point_config(const SimConfig& cfg, int ranks,
+                                   const std::string& transport) {
+  dist::ProcConfig pc;
+  pc.sim = cfg;
+  pc.ranks = ranks;
+  pc.validate = 0;
+  pc.socket.transport = transport;
+  pc.checkpoint_every = 1 << 20;  // recovery restores to the initial snapshot
+  return pc;
+}
+
+}  // namespace
 
 int main() {
   const double alpha = 1.5;
@@ -67,8 +92,92 @@ int main() {
             machine.wait_totals().wait_ms);
     }
   }
+  // Multi-process sweep: same geometry, ranks as worker processes. Bounded
+  // to side <= 32 — process spawn/restore costs dominate beyond that without
+  // adding information (the parity gate only needs matched points).
+  std::cout << "\n--- multi-process ranks (socket transport) ---\n";
+  Table tp({"transport", "ranks", "n", "M", "T_sim", "wall_ms",
+            "boundary_bytes", "barrier_wait_ms"});
+  for (int side : {16, 32}) {
+    if (side > bench_max_side()) continue;
+    const i64 n = static_cast<i64>(side) * side;
+    const i64 M = static_cast<i64>(std::llround(std::pow(n, alpha)));
+    SimConfig cfg;
+    cfg.mesh_rows = side;
+    cfg.mesh_cols = side;
+    cfg.num_vars = M;
+    cfg.q = 3;
+    cfg.k = k;
+    cfg.sort_mode = SortMode::Analytic;
+    cfg.fault_plan_from_env = false;
+    const int max_ranks = dist::ProcMachine::max_ranks(cfg);
+    for (const std::string transport : {"unix", "tcp"}) {
+      for (int ranks : {1, 2, 4}) {
+        if (ranks > max_ranks) continue;
+        dist::ProcMachine machine(proc_point_config(cfg, ranks, transport));
+        Rng rng(7);
+        const auto reqs = random_requests(n, M, rng);
+        StepStats st;
+        const WallTimer timer;
+        machine.step(reqs, &st);
+        const double wall_ms = timer.ms();
+        rec.point_dist("transport=" + transport +
+                           " ranks=" + std::to_string(ranks) +
+                           " k=" + std::to_string(k) +
+                           " side=" + std::to_string(side),
+                       wall_ms, st.total_steps, machine.boundary_bytes(),
+                       machine.wait_totals().wait_ms);
+        tp.add(transport, ranks, n, M, st.total_steps, wall_ms,
+               machine.boundary_bytes(), machine.wait_totals().wait_ms);
+      }
+    }
+  }
+
+  // Recovery blackout: SIGKILL a worker between steps and time the recovered
+  // step. mesh_steps stays deterministic (checkpoint restore + replay is
+  // bit-identical); the blackout column is informational.
+  {
+    const int side = 16;
+    const i64 n = static_cast<i64>(side) * side;
+    const i64 M = static_cast<i64>(std::llround(std::pow(n, alpha)));
+    SimConfig cfg;
+    cfg.mesh_rows = side;
+    cfg.mesh_cols = side;
+    cfg.num_vars = M;
+    cfg.q = 3;
+    cfg.k = k;
+    cfg.sort_mode = SortMode::Analytic;
+    cfg.fault_plan_from_env = false;
+    if (side <= bench_max_side() &&
+        dist::ProcMachine::max_ranks(cfg) >= 2) {
+      dist::ProcConfig pc = proc_point_config(cfg, 2, "unix");
+      pc.socket.heartbeat_ms = 50;
+      pc.socket.recv_deadline_ms = 5000;
+      dist::ProcMachine machine(pc);
+      Rng rng(7);
+      const auto reqs = random_requests(n, M, rng);
+      machine.step(reqs);
+      machine.kill_rank(1);
+      Rng rng2(8);
+      const auto reqs2 = random_requests(n, M, rng2);
+      StepStats st;
+      const WallTimer timer;
+      machine.step(reqs2, &st);
+      const double wall_ms = timer.ms();
+      const auto& rs = machine.recovery();
+      rec.point_dist("recover transport=unix ranks=2 k=" + std::to_string(k) +
+                         " side=" + std::to_string(side),
+                     wall_ms, st.total_steps, machine.boundary_bytes(),
+                     machine.wait_totals().wait_ms,
+                     static_cast<double>(rs.last_blackout_ms));
+      std::cout << "recover: blackout " << rs.last_blackout_ms << " ms ("
+                << rs.respawns << " respawn)\n";
+    }
+  }
+
   rec.set_ranks(4);  // the sweep's headline configuration
   t.print(std::cout);
+  tp.print(std::cout);
   rec.write();
   return 0;
 }

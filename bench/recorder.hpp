@@ -101,9 +101,13 @@ class BenchRecorder {
   }
 
   /// Point with distributed-run columns (boundary-lane traffic and time
-  /// spent blocked in collectives across all ranks).
+  /// spent blocked in collectives across all ranks). Recovery points also
+  /// pass `recovery_blackout_ms` — the wall time the step stream was frozen
+  /// while a killed worker was respawned and restored (informational, never
+  /// diffed); negative means "not a recovery point" and omits the column.
   void point_dist(std::string config, double wall_ms, i64 mesh_steps,
-                  i64 boundary_bytes, double barrier_wait_ms) {
+                  i64 boundary_bytes, double barrier_wait_ms,
+                  double recovery_blackout_ms = -1) {
     Point p;
     p.config = std::move(config);
     p.wall_ms = wall_ms;
@@ -111,6 +115,7 @@ class BenchRecorder {
     p.has_dist = true;
     p.boundary_bytes = boundary_bytes;
     p.barrier_wait_ms = barrier_wait_ms;
+    p.recovery_blackout_ms = recovery_blackout_ms;
     points_.push_back(std::move(p));
   }
 
@@ -180,6 +185,9 @@ class BenchRecorder {
       if (p.has_dist) {
         out << ", \"boundary_bytes\": " << p.boundary_bytes
             << ", \"barrier_wait_ms\": " << p.barrier_wait_ms;
+        if (p.recovery_blackout_ms >= 0) {
+          out << ", \"recovery_blackout_ms\": " << p.recovery_blackout_ms;
+        }
       }
       if (p.has_serve) {
         out << ", \"offered\": " << p.serve.offered
@@ -204,6 +212,7 @@ class BenchRecorder {
     bool has_dist = false;
     i64 boundary_bytes = 0;
     double barrier_wait_ms = 0;
+    double recovery_blackout_ms = -1;
     bool has_serve = false;
     ServeColumns serve;
   };

@@ -1,0 +1,252 @@
+#include "dist/proc_wire.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace meshpram::dist {
+
+namespace {
+
+/// Smallest encoded store entry: u64 key + i64 value + i64 timestamp.
+constexpr size_t kStoreEntryBytes = 24;
+
+void put_tag(ByteWriter& w, FrameKind kind, int from, int to) {
+  w.put_u8(static_cast<unsigned char>(kind));
+  w.put_u32(static_cast<u32>(from));
+  w.put_u32(static_cast<u32>(to));
+}
+
+}  // namespace
+
+std::string pack_frame(FrameKind kind, int from, int to, u32 epoch,
+                       std::string_view body) {
+  std::string payload;
+  ByteWriter w(payload);
+  put_tag(w, kind, from, to);
+  if (kind == FrameKind::Data) w.put_u32(epoch);
+  payload.append(body.data(), body.size());
+
+  std::string out;
+  ByteWriter outer(out);
+  outer.put_u32(static_cast<u32>(payload.size()));
+  out.append(payload);
+  return out;
+}
+
+TaggedFrame unpack_frame(std::string_view payload) {
+  ByteReader r(payload, "tagged frame");
+  TaggedFrame f;
+  const unsigned char kind = r.get_u8();
+  MP_REQUIRE(kind >= static_cast<unsigned char>(FrameKind::Hello) &&
+                 kind <= static_cast<unsigned char>(FrameKind::Ctrl),
+             "tagged frame: unknown kind " << static_cast<int>(kind));
+  f.kind = static_cast<FrameKind>(kind);
+  f.from = static_cast<int>(r.get_u32());
+  f.to = static_cast<int>(r.get_u32());
+  if (f.kind == FrameKind::Data) f.epoch = r.get_u32();
+  f.body.assign(payload.substr(r.pos()));
+  return f;
+}
+
+std::string encode_hello(int rank, int ranks, u64 token) {
+  std::string out;
+  ByteWriter w(out);
+  w.put_u32(static_cast<u32>(rank));
+  w.put_u32(static_cast<u32>(ranks));
+  w.put_u64(token);
+  return out;
+}
+
+Hello decode_hello(std::string_view body) {
+  ByteReader r(body, "hello frame");
+  Hello h;
+  h.rank = static_cast<int>(r.get_u32());
+  h.ranks = static_cast<int>(r.get_u32());
+  h.token = r.get_u64();
+  r.expect_done();
+  return h;
+}
+
+std::string encode_init(const InitMsg& msg) {
+  std::string out;
+  ByteWriter w(out);
+  w.put_u8(static_cast<unsigned char>(CtrlOp::Init));
+  w.put_u32(msg.epoch);
+  w.put_u8(msg.validate ? 1 : 0);
+  w.put_u8(msg.telemetry ? 1 : 0);
+  w.put_blob(msg.snapshot);
+  return out;
+}
+
+InitMsg decode_init(ByteReader& r) {
+  InitMsg msg;
+  msg.epoch = r.get_u32();
+  msg.validate = r.get_u8() != 0;
+  msg.telemetry = r.get_u8() != 0;
+  msg.snapshot = std::string(r.get_blob());
+  r.expect_done();
+  return msg;
+}
+
+std::string encode_epoch_ctrl(CtrlOp op, u32 epoch) {
+  std::string out;
+  ByteWriter w(out);
+  w.put_u8(static_cast<unsigned char>(op));
+  w.put_u32(epoch);
+  return out;
+}
+
+std::string encode_step(const StepMsg& msg) {
+  std::string out;
+  ByteWriter w(out);
+  w.put_u8(static_cast<unsigned char>(CtrlOp::Step));
+  w.put_i64(msg.timestamp);
+  w.put_u32(static_cast<u32>(msg.requests.size()));
+  for (const AccessRequest& a : msg.requests) {
+    w.put_i64(a.var);
+    w.put_u8(static_cast<unsigned char>(a.op));
+    w.put_i64(a.value);
+  }
+  return out;
+}
+
+StepMsg decode_step(ByteReader& r) {
+  StepMsg msg;
+  msg.timestamp = r.get_i64();
+  const u32 n = r.get_u32();
+  MP_REQUIRE(static_cast<u64>(n) * 17 <= r.remaining(),
+             "step frame: implausible request count " << n);
+  msg.requests.resize(n);
+  for (AccessRequest& a : msg.requests) {
+    a.var = r.get_i64();
+    a.op = static_cast<Op>(r.get_u8());
+    a.value = r.get_i64();
+  }
+  r.expect_done();
+  return msg;
+}
+
+std::string encode_bands_reply(const BandsMsg& msg) {
+  std::string out;
+  ByteWriter w(out);
+  w.put_u8(static_cast<unsigned char>(CtrlOp::BandsReply));
+  w.put_blob(msg.stores);
+  w.put_blob(msg.counters);
+  w.put_i64(msg.boundary_hops);
+  w.put_i64(msg.boundary_bytes);
+  w.put_i64(msg.wait_calls);
+  w.put_f64(msg.wait_ms);
+  return out;
+}
+
+BandsMsg decode_bands_reply(ByteReader& r) {
+  BandsMsg msg;
+  msg.stores = std::string(r.get_blob());
+  msg.counters = std::string(r.get_blob());
+  msg.boundary_hops = r.get_i64();
+  msg.boundary_bytes = r.get_i64();
+  msg.wait_calls = r.get_i64();
+  msg.wait_ms = r.get_f64();
+  r.expect_done();
+  return msg;
+}
+
+std::string encode_failed(std::string_view reason) {
+  std::string out;
+  ByteWriter w(out);
+  w.put_u8(static_cast<unsigned char>(CtrlOp::Failed));
+  w.put_str(reason);
+  return out;
+}
+
+std::string encode_plain_ctrl(CtrlOp op) {
+  std::string out;
+  ByteWriter w(out);
+  w.put_u8(static_cast<unsigned char>(op));
+  return out;
+}
+
+std::string encode_band_stores(const Mesh& mesh, const RankBand& band) {
+  std::string out;
+  ByteWriter w(out);
+  std::vector<std::pair<u64, CopySlot>> entries;
+  for (i64 node = band.node_begin; node < band.node_end; ++node) {
+    const CopyStore& store = mesh.store(static_cast<i32>(node));
+    entries.clear();
+    entries.reserve(static_cast<size_t>(store.size()));
+    store.for_each([&entries](u64 key, const CopySlot& slot) {
+      entries.emplace_back(key, slot);
+    });
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    w.put_u32(static_cast<u32>(entries.size()));
+    for (const auto& [key, slot] : entries) {
+      w.put_u64(key);
+      w.put_i64(slot.value);
+      w.put_i64(slot.timestamp);
+    }
+  }
+  return out;
+}
+
+void decode_band_stores(Mesh& mesh, const RankBand& band,
+                        std::string_view frame) {
+  ByteReader r(frame, "band stores");
+  for (i64 node = band.node_begin; node < band.node_end; ++node) {
+    CopyStore& store = mesh.store(static_cast<i32>(node));
+    store.clear();
+    const u32 count = r.get_u32();
+    MP_REQUIRE(static_cast<u64>(count) * kStoreEntryBytes <= r.remaining(),
+               "band stores: implausible entry count " << count);
+    for (u32 i = 0; i < count; ++i) {
+      const u64 key = r.get_u64();
+      CopySlot& slot = store[key];
+      slot.value = r.get_i64();
+      slot.timestamp = r.get_i64();
+    }
+  }
+  r.expect_done();
+}
+
+std::string encode_band_counters(const telemetry::MeshCounters& counters,
+                                 const RankBand& band) {
+  std::string out;
+  ByteWriter w(out);
+  for (i64 node = band.node_begin; node < band.node_end; ++node) {
+    const size_t i = static_cast<size_t>(node);
+    w.put_i64(counters.max_queue()[i]);
+    w.put_i64(counters.forwarded()[i]);
+    w.put_i64(counters.copies_touched()[i]);
+    w.put_i64(counters.survivors()[i]);
+    w.put_i64(counters.retries()[i]);
+    w.put_i64(counters.copies_lost()[i]);
+  }
+  return out;
+}
+
+void decode_band_counters(telemetry::MeshCounters& out, const RankBand& band,
+                          std::string_view frame) {
+  ByteReader r(frame, "band counters");
+  for (i64 node = band.node_begin; node < band.node_end; ++node) {
+    const i32 n = static_cast<i32>(node);
+    // The band's cells start zeroed (fresh grid), so add/observe reconstruct
+    // the encoded values exactly.
+    out.observe_queue(n, r.get_i64());
+    out.add_forwarded(n, r.get_i64());
+    out.add_copies_touched(n, r.get_i64());
+    out.add_survivors(n, r.get_i64());
+    out.add_retries(n, r.get_i64());
+    out.add_copies_lost(n, r.get_i64());
+  }
+  r.expect_done();
+}
+
+void drop_foreign_stores(Mesh& mesh, const RankPartition& part, int rank) {
+  for (i32 node = 0; node < mesh.size(); ++node) {
+    if (part.owner_of_node(node) != rank) mesh.store(node).clear();
+  }
+}
+
+}  // namespace meshpram::dist

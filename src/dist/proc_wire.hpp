@@ -1,0 +1,144 @@
+// Frame and control-plane codecs for the multi-process transport
+// (DESIGN.md §15).
+//
+// Every byte on a worker socket is one outer length-prefixed frame
+// (serve::FrameBuffer framing) whose payload is a *tagged* frame:
+//
+//   u8 kind | u32 from | u32 to | body
+//
+// Four kinds:
+//   Hello      worker -> hub attach: u32 rank | u32 ranks | u64 token.
+//              The token is chosen by the coordinator and passed on the
+//              worker command line, so a stray client cannot claim a rank.
+//   Data       one Transport frame in flight between two ranks:
+//              u32 epoch | raw transport bytes. The epoch stamps which
+//              incarnation of the step stream the frame belongs to; frames
+//              from an aborted epoch are dropped at the hub and at the
+//              receiving endpoint instead of corrupting the next step.
+//   Heartbeat  empty body; refreshes the sender's liveness deadline.
+//   Ctrl       u8 op | op body — the coordinator/worker control plane
+//              (init/step/abort/bands/failed/shutdown, see CtrlOp).
+//
+// All codecs are ByteReader-based: truncated or implausible input is a
+// ConfigError at the decoding edge, never UB.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dist/partition.hpp"
+#include "mesh/machine.hpp"
+#include "protocol/access.hpp"
+#include "telemetry/counters.hpp"
+#include "util/bytes.hpp"
+
+namespace meshpram::dist {
+
+enum class FrameKind : unsigned char {
+  Hello = 1,
+  Data = 2,
+  Heartbeat = 3,
+  Ctrl = 4,
+};
+
+/// Control-plane operations (first body byte of a Ctrl frame).
+enum class CtrlOp : unsigned char {
+  Init = 1,      ///< coordinator->worker: restore from snapshot, arm epoch
+  InitAck = 2,   ///< worker->coordinator: restore done, ready for steps
+  Step = 3,      ///< coordinator->worker: execute one PRAM step
+  Abort = 4,     ///< coordinator->worker: discard the in-flight step
+  AbortAck = 5,  ///< worker->coordinator: abort observed, inboxes cleared
+  BandsReq = 6,  ///< coordinator->worker: send your band state
+  BandsReply = 7,
+  Failed = 8,    ///< worker->coordinator: step failed worker-side (reason)
+  Shutdown = 9,  ///< coordinator->worker: exit cleanly
+};
+
+/// One decoded tagged frame (the payload of an outer length-prefixed frame).
+struct TaggedFrame {
+  FrameKind kind = FrameKind::Data;
+  int from = 0;
+  int to = 0;
+  u32 epoch = 0;     ///< Data only
+  std::string body;  ///< Data: transport frame; Ctrl: op byte + op body
+};
+
+/// Wraps a tagged payload in the outer u32-length frame, ready to write to a
+/// socket.
+std::string pack_frame(FrameKind kind, int from, int to, u32 epoch,
+                       std::string_view body);
+
+/// Decodes one tagged payload (as produced by pack_frame, after the outer
+/// framing was stripped by serve::FrameBuffer). Throws ConfigError on
+/// malformed input.
+TaggedFrame unpack_frame(std::string_view payload);
+
+// -- Ctrl bodies. Each encode_* returns the Ctrl body (op byte included);
+// -- each decode takes the body with the op byte already consumed.
+
+std::string encode_hello(int rank, int ranks, u64 token);
+struct Hello {
+  int rank = 0;
+  int ranks = 0;
+  u64 token = 0;
+};
+Hello decode_hello(std::string_view body);
+
+struct InitMsg {
+  u32 epoch = 0;
+  bool validate = false;
+  bool telemetry = false;
+  std::string snapshot;  ///< serve snapshot bytes (snapshot_simulator)
+};
+std::string encode_init(const InitMsg& msg);
+InitMsg decode_init(ByteReader& r);
+
+std::string encode_epoch_ctrl(CtrlOp op, u32 epoch);  ///< InitAck/Abort/AbortAck
+
+struct StepMsg {
+  i64 timestamp = 0;
+  std::vector<AccessRequest> requests;
+};
+std::string encode_step(const StepMsg& msg);
+StepMsg decode_step(ByteReader& r);
+
+/// Everything the coordinator gathers from one worker: the rank's owned copy
+/// stores and congestion counters, plus its cumulative traffic/wait totals.
+struct BandsMsg {
+  std::string stores;    ///< encode_band_stores bytes
+  std::string counters;  ///< encode_band_counters bytes
+  i64 boundary_hops = 0;
+  i64 boundary_bytes = 0;
+  i64 wait_calls = 0;
+  double wait_ms = 0.0;
+};
+std::string encode_bands_reply(const BandsMsg& msg);
+BandsMsg decode_bands_reply(ByteReader& r);
+
+std::string encode_failed(std::string_view reason);
+std::string encode_plain_ctrl(CtrlOp op);  ///< BandsReq / Shutdown
+
+// -- Band state codecs (the BandsReply payloads).
+
+/// Copy stores of `band`'s nodes: per node ascending, u32 count + key-sorted
+/// (u64 key, i64 value, i64 timestamp). Canonical bytes — same state, same
+/// encoding, regardless of hash-table history.
+std::string encode_band_stores(const Mesh& mesh, const RankBand& band);
+void decode_band_stores(Mesh& mesh, const RankBand& band,
+                        std::string_view frame);
+
+/// The six congestion counters of `band`'s nodes, node-ascending.
+std::string encode_band_counters(const telemetry::MeshCounters& counters,
+                                 const RankBand& band);
+/// Decodes into `out` (must already be sized to the mesh shape); only the
+/// band's cells are written.
+void decode_band_counters(telemetry::MeshCounters& out, const RankBand& band,
+                          std::string_view frame);
+
+/// Drops every copy store outside `band` — applied by a worker after
+/// restoring the full snapshot, so each rank holds exactly its owned band
+/// (mirrors DistMachine::from_simulator's scatter).
+void drop_foreign_stores(Mesh& mesh, const RankPartition& part, int rank);
+
+}  // namespace meshpram::dist

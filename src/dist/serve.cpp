@@ -23,6 +23,20 @@ serve::EngineHooks make_engine_hooks(std::shared_ptr<DistMachine> machine) {
   return hooks;
 }
 
+serve::EngineHooks make_engine_hooks(std::shared_ptr<ProcMachine> machine) {
+  serve::EngineHooks hooks;
+  hooks.processors = machine->processors();
+  hooks.step = [machine](const std::vector<AccessRequest>& accesses,
+                         StepStats* stats) {
+    return machine->step(accesses, stats, false);
+  };
+  hooks.write_core = [machine](ByteWriter& w) {
+    serve::write_simulator_core(w, *machine->materialize());
+  };
+  hooks.engine = std::move(machine);
+  return hooks;
+}
+
 serve::Session& create_dist_session(serve::SessionManager& manager,
                                     const std::string& name,
                                     const DistConfig& config,
@@ -39,6 +53,26 @@ serve::Session& restore_dist_session(serve::SessionManager& manager,
       name, snapshot_bytes, [ranks](serve::ParsedSnapshot& parsed) {
         std::shared_ptr<DistMachine> machine =
             DistMachine::from_simulator(*parsed.sim, ranks);
+        return make_engine_hooks(std::move(machine));
+      });
+}
+
+serve::Session& create_proc_session(serve::SessionManager& manager,
+                                    const std::string& name,
+                                    const ProcConfig& config,
+                                    serve::SessionLimits limits) {
+  return manager.create_custom(
+      name, make_engine_hooks(std::make_shared<ProcMachine>(config)), limits);
+}
+
+serve::Session& restore_proc_session(serve::SessionManager& manager,
+                                     const std::string& name,
+                                     std::string_view snapshot_bytes,
+                                     int ranks, ProcConfig base) {
+  return manager.restore_custom(
+      name, snapshot_bytes, [ranks, &base](serve::ParsedSnapshot& parsed) {
+        std::shared_ptr<ProcMachine> machine =
+            ProcMachine::from_simulator(*parsed.sim, ranks, base);
         return make_engine_hooks(std::move(machine));
       });
 }

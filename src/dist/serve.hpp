@@ -13,6 +13,7 @@
 #include <string_view>
 
 #include "dist/machine.hpp"
+#include "dist/supervisor.hpp"
 #include "serve/manager.hpp"
 
 namespace meshpram::dist {
@@ -20,6 +21,11 @@ namespace meshpram::dist {
 /// Wraps `machine` as the pluggable engine of a serve session. The hooks
 /// share ownership of the machine.
 serve::EngineHooks make_engine_hooks(std::shared_ptr<DistMachine> machine);
+
+/// Same, for the multi-process machine (DESIGN.md §15): steps fan out to the
+/// worker processes, snapshots gather and serialize the materialized core —
+/// still byte-compatible with classic and thread-rank sessions.
+serve::EngineHooks make_engine_hooks(std::shared_ptr<ProcMachine> machine);
 
 /// Creates a session backed by a fresh DistMachine built from `config`.
 serve::Session& create_dist_session(serve::SessionManager& manager,
@@ -33,5 +39,19 @@ serve::Session& restore_dist_session(serve::SessionManager& manager,
                                      const std::string& name,
                                      std::string_view snapshot_bytes,
                                      int ranks);
+
+/// Creates a session backed by a fresh ProcMachine (multi-process ranks).
+serve::Session& create_proc_session(serve::SessionManager& manager,
+                                    const std::string& name,
+                                    const ProcConfig& config,
+                                    serve::SessionLimits limits = {});
+
+/// Restores a (classic, dist or proc) session snapshot onto a ProcMachine
+/// running `ranks` worker processes. `base` carries the socket/recovery
+/// knobs; its sim/ranks fields are overwritten.
+serve::Session& restore_proc_session(serve::SessionManager& manager,
+                                     const std::string& name,
+                                     std::string_view snapshot_bytes,
+                                     int ranks, ProcConfig base = {});
 
 }  // namespace meshpram::dist

@@ -1,0 +1,220 @@
+// ProcMachine — multi-process distributed simulation (DESIGN.md §15).
+//
+// The same SPMD decomposition as DistMachine, but ranks 1..R-1 live in
+// separate worker processes (tools/dist_worker) connected to the rank-0
+// coordinator through a SocketHub (socket.hpp). Rank 0 keeps its replica
+// in-process and drives the step stream over the control plane:
+//
+//   Step t:  broadcast Step(t, requests) -> every rank runs the unchanged
+//            DistProtocol::execute over the socket transport -> rank 0's
+//            results are the answer (validate mode cross-checks digests).
+//
+// Fault tolerance is checkpoint/replay (DESIGN.md §15.4). After every
+// `checkpoint_every` committed steps the coordinator gathers each worker's
+// band (BandsReq/BandsReply), materializes a full simulator and snapshots it
+// with the PR 5 versioned format. When any step throws TransportError —
+// worker crash, hang past a deadline, severed link — recovery runs:
+//
+//   detect -> begin_recovery (epoch++, flush inboxes) -> Abort live workers,
+//   collect AbortAcks (laggards are SIGKILLed) -> respawn dead ranks ->
+//   restore EVERY rank from the checkpoint (Init carries the snapshot) ->
+//   replay the logged steps since the checkpoint, asserting each result
+//   digest -> retry the failed step.
+//
+// Determinism argument: the simulation is a pure function of (snapshot,
+// request stream), every kernel runs under a serial ScopedPool, and stale
+// frames from the aborted step are fenced off by the epoch stamp — so the
+// replayed stream is bit-identical to the uninterrupted run, which the
+// digest MP_ASSERT and `ctest -L distproc` both enforce. Congestion counters
+// are the one exception: snapshots do not carry them, so a recovery loses
+// the counters accumulated since the restore point (documented, tested).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+#include "dist/collectives.hpp"
+#include "dist/partition.hpp"
+#include "dist/protocol.hpp"
+#include "dist/socket.hpp"
+#include "mesh/step_counter.hpp"
+#include "protocol/simulator.hpp"
+#include "telemetry/counters.hpp"
+#include "util/thread_pool.hpp"
+
+namespace meshpram::dist {
+
+/// Resolves the dist_worker binary path: MESHPRAM_DIST_WORKER, else a
+/// "dist_worker" sibling of the running executable, else ../tools/dist_worker
+/// relative to it. Throws ConfigError when nothing executable is found.
+std::string default_worker_path();
+
+/// Spawns and reaps worker processes (fork/execv). Children get
+/// PR_SET_PDEATHSIG so a crashed coordinator never leaks orphans.
+class RankSupervisor {
+ public:
+  explicit RankSupervisor(std::string worker_path, int ranks);
+  ~RankSupervisor();
+  RankSupervisor(const RankSupervisor&) = delete;
+  RankSupervisor& operator=(const RankSupervisor&) = delete;
+
+  /// Launches `rank`'s worker with the given argv tail (binary path is
+  /// prepended). The previous process for that rank must be reaped.
+  void spawn(int rank, const std::vector<std::string>& args);
+  /// SIGKILLs and reaps `rank`'s process. Idempotent.
+  void kill(int rank);
+  /// True while `rank`'s process exists and has not been reaped here.
+  bool running(int rank);
+  pid_t pid(int rank) const;
+  /// Waits up to `grace_ms` for every child to exit on its own (e.g. after a
+  /// Shutdown control), then SIGKILLs the rest. Called by the destructor.
+  void reap_all(int grace_ms);
+
+ private:
+  std::string worker_path_;
+  std::vector<pid_t> pids_;  ///< index = rank; 0 = no live process
+};
+
+struct ProcConfig {
+  SimConfig sim;
+  /// Rank count; 0 consults MESHPRAM_RANKS (default 1).
+  int ranks = 0;
+  /// Lockstep validation; -1 consults MESHPRAM_DIST_VALIDATE (default off).
+  int validate = -1;
+  /// Socket transport knobs; unset fields resolve from env (socket.hpp).
+  SocketConfig socket;
+  /// Worker binary; empty consults default_worker_path().
+  std::string worker_path;
+  /// Checkpoint after this many committed steps (>= 1). 1 = every step, the
+  /// bit-identity default; larger values trade recovery replay for step-time
+  /// gather cost.
+  int checkpoint_every = 1;
+  /// Recovery attempts per step before the TransportError propagates.
+  int max_recoveries = 8;
+  /// Bound on worker attach / InitAck / AbortAck waits.
+  int attach_timeout_ms = 20000;
+};
+
+struct RecoveryStats {
+  i64 failures = 0;    ///< TransportErrors caught by the step loop
+  i64 recoveries = 0;  ///< completed recovery cycles
+  i64 respawns = 0;    ///< worker processes relaunched
+  i64 last_blackout_ms = 0;   ///< wall time of the latest recovery
+  i64 total_blackout_ms = 0;  ///< wall time of all recoveries
+};
+
+/// The coordinator facade. Mirrors DistMachine's surface (step /
+/// step_degraded / now / config / merged_counters / materialize / ...) so
+/// tests and the serving layer treat process ranks and thread ranks alike.
+class ProcMachine {
+ public:
+  explicit ProcMachine(const ProcConfig& config);
+  ~ProcMachine();
+  ProcMachine(const ProcMachine&) = delete;
+  ProcMachine& operator=(const ProcMachine&) = delete;
+
+  /// Largest rank count the HMOS geometry of `config` admits.
+  static int max_ranks(const SimConfig& config);
+
+  /// Builds a ProcMachine continuing `sim`'s run: same effective config,
+  /// logical time and step counters; every rank restores from a snapshot of
+  /// the source. The source simulator is not modified.
+  static std::unique_ptr<ProcMachine> from_simulator(
+      const PramMeshSimulator& sim, int ranks, ProcConfig base = {});
+
+  int ranks() const { return partition_->ranks(); }
+  bool validate() const { return validate_; }
+  i64 processors() const { return sim0_->processors(); }
+  i64 num_vars() const { return sim0_->num_vars(); }
+  i64 now() const { return now_; }
+  const SimConfig& config() const { return effective_; }
+  const RankPartition& partition() const { return *partition_; }
+  const StepCounter& clock() const { return clock_; }
+  /// "unix" or "tcp".
+  const std::string& transport_kind() const { return socket_cfg_.transport; }
+  /// The hub rendezvous address workers dialed.
+  const std::string& address() const;
+
+  /// One synchronous PRAM step across all ranks, with transparent recovery:
+  /// a TransportError triggers up to `max_recoveries` restore-and-replay
+  /// cycles before propagating. Results are bit-identical to the
+  /// single-process oracle whether or not recovery fired.
+  std::vector<i64> step(const std::vector<AccessRequest>& requests,
+                        StepStats* stats = nullptr, bool feed_clock = true);
+  DegradedResult step_degraded(const std::vector<AccessRequest>& requests,
+                               StepStats* stats = nullptr);
+
+  /// Congestion counter grids merged by band owner (gathers live worker
+  /// bands). Bit-identical to the single-process grid when telemetry
+  /// sampling was on for the same steps AND no recovery fired — restores
+  /// lose the counters accumulated since the checkpoint.
+  telemetry::MeshCounters merged_counters();
+
+  /// Bytes/frames that crossed the hub sockets (both directions), plus
+  /// rank 0's loopback traffic.
+  TransportStats transport_totals() const;
+  /// Collective blocking time: rank 0 live, workers as of the last gather.
+  WaitStats wait_totals() const;
+  /// Boundary-lane traffic since the last recovery (protocol counters are
+  /// rebuilt on restore), workers as of the last gather.
+  i64 boundary_hops() const;
+  i64 boundary_bytes() const;
+
+  /// Reconstructs an equivalent single-process simulator from the live rank
+  /// states (gathers worker bands). The snapshot path serializes this.
+  std::unique_ptr<PramMeshSimulator> materialize();
+
+  /// SIGKILLs `rank`'s worker process (tests / soak / bench). The next step
+  /// or gather notices the dead link and recovers.
+  void kill_rank(int rank);
+  /// The live worker process id for `rank` (tests send SIGSTOP to exercise
+  /// the heartbeat deadline); 0 when the rank has no process.
+  pid_t worker_pid(int rank) const;
+  const RecoveryStats& recovery() const { return recovery_; }
+
+ private:
+  struct LogEntry {
+    std::vector<AccessRequest> requests;
+    bool fed_clock = false;
+    u64 digest = 0;
+  };
+
+  ProcMachine(const ProcConfig& config, const PramMeshSimulator* resume);
+  void spawn_worker(int rank);
+  void broadcast_init(u32 epoch);
+  /// Runs one step on every rank at time now_ (no commit bookkeeping).
+  std::vector<i64> run_step(const std::vector<AccessRequest>& requests,
+                            StepStats* st);
+  void recover(const std::string& reason);
+  void replay_log();
+  /// Refreshes gathered_ from every live worker (BandsReq round-trip).
+  void gather_bands();
+  void take_checkpoint();
+  /// gather + materialize + snapshot with recovery retries, then trims the
+  /// replay log. No-op until checkpoint_every steps have committed.
+  void maybe_checkpoint();
+  std::string ctrl_reply(int from, CtrlOp want, u32 want_epoch);
+
+  ProcConfig config_;
+  SimConfig effective_;
+  bool validate_ = false;
+  SocketConfig socket_cfg_;
+  std::unique_ptr<PramMeshSimulator> sim0_;
+  std::unique_ptr<RankPartition> partition_;
+  std::unique_ptr<DistProtocol> proto0_;
+  std::unique_ptr<ThreadPool> pool0_;
+  std::unique_ptr<SocketHub> hub_;
+  std::unique_ptr<HubTransport> endpoint0_;
+  std::unique_ptr<RankSupervisor> supervisor_;
+  WaitStats wait0_;
+  std::vector<BandsMsg> gathered_;  ///< per-rank, as of the last gather
+  std::string checkpoint_;          ///< PR 5 snapshot of the committed state
+  std::vector<LogEntry> log_;       ///< committed steps since checkpoint_
+  RecoveryStats recovery_;
+  StepCounter clock_;
+  i64 now_ = 0;
+};
+
+}  // namespace meshpram::dist

@@ -4,6 +4,23 @@
 
 namespace meshpram::dist {
 
+namespace {
+
+/// Smallest possible encoded Packet (empty trail): 5×u64 + 3×u32 + 2×u8.
+constexpr size_t kMinPacketBytes = 62;
+
+/// Rejects an embedded element count that could not possibly fit in the
+/// remaining bytes — before any reserve(), so a corrupt or hostile frame
+/// costs a ConfigError instead of a multi-gigabyte allocation.
+void check_count(const ByteReader& r, u32 count, size_t min_bytes,
+                 const char* what) {
+  MP_REQUIRE(static_cast<u64>(count) * min_bytes <= r.remaining(),
+             what << ": implausible element count " << count << " ("
+                  << r.remaining() << " byte(s) left)");
+}
+
+}  // namespace
+
 void put_packet(ByteWriter& w, const Packet& p) {
   w.put_u64(p.key);
   w.put_u64(p.rank);
@@ -61,6 +78,7 @@ void decode_band_buffers(Mesh& mesh, const RankBand& band,
     auto& b = mesh.buf(static_cast<i32>(node));
     b.clear();
     const u32 count = r.get_u32();
+    check_count(r, count, kMinPacketBytes, "band buffers");
     b.reserve(count);
     for (u32 i = 0; i < count; ++i) b.push_back(get_packet(r));
   }
@@ -117,6 +135,7 @@ std::vector<BoundaryHop> decode_boundary(std::string_view frame) {
   ByteReader r(frame, "boundary frame");
   const bool checksum = r.get_u8() != 0;
   const u32 count = r.get_u32();
+  check_count(r, count, 8 + kMinPacketBytes, "boundary frame");
   std::vector<BoundaryHop> hops;
   hops.reserve(count);
   for (u32 i = 0; i < count; ++i) {

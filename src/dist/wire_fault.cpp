@@ -1,0 +1,147 @@
+#include "dist/wire_fault.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace meshpram::dist {
+
+WireFaultPlan& WireFaultPlan::drop_frame(int from, int to, i64 index) {
+  drops.push_back({from, to, index});
+  return *this;
+}
+
+WireFaultPlan& WireFaultPlan::delay_frame(int from, int to, i64 index,
+                                          int ms) {
+  delays.push_back({from, to, index, ms});
+  return *this;
+}
+
+WireFaultPlan& WireFaultPlan::partition_after(int a, int b, i64 after) {
+  partitions.push_back({a, b, after});
+  return *this;
+}
+
+WireFaultPlan& WireFaultPlan::kill_after(int rank, i64 after) {
+  kills.push_back({rank, after});
+  return *this;
+}
+
+WireFaultPlan WireFaultPlan::seeded_drops(u64 seed, int ranks, int count,
+                                          i64 horizon) {
+  WireFaultPlan plan;
+  Rng rng(seed);
+  for (int from = 0; from < ranks; ++from) {
+    for (int to = 0; to < ranks; ++to) {
+      if (from == to) continue;
+      for (int i = 0; i < count; ++i) {
+        plan.drop_frame(from, to, rng.range(0, horizon - 1));
+      }
+    }
+  }
+  return plan;
+}
+
+namespace {
+
+std::vector<i64> parse_fields(const std::string& body, size_t want,
+                              const std::string& entry) {
+  std::vector<i64> out;
+  std::stringstream ss(body);
+  std::string field;
+  while (std::getline(ss, field, ':')) {
+    try {
+      size_t used = 0;
+      out.push_back(std::stoll(field, &used));
+      MP_REQUIRE(used == field.size(), "wire fault plan: non-numeric field '"
+                                           << field << "' in '" << entry
+                                           << '\'');
+    } catch (const std::logic_error&) {
+      MP_REQUIRE(false, "wire fault plan: non-numeric field '"
+                            << field << "' in '" << entry << '\'');
+    }
+  }
+  MP_REQUIRE(out.size() == want, "wire fault plan: '"
+                                     << entry << "' needs " << want
+                                     << " field(s), got " << out.size());
+  return out;
+}
+
+int check_rank(i64 r, int ranks, const std::string& entry) {
+  MP_REQUIRE(r >= 0 && r < ranks, "wire fault plan: rank "
+                                      << r << " out of range in '" << entry
+                                      << "' (ranks=" << ranks << ')');
+  return static_cast<int>(r);
+}
+
+}  // namespace
+
+WireFaultPlan WireFaultPlan::parse(const std::string& spec, int ranks) {
+  WireFaultPlan plan;
+  std::stringstream ss(spec);
+  std::string entry;
+  while (std::getline(ss, entry, ';')) {
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    MP_REQUIRE(eq != std::string::npos,
+               "wire fault plan: entry '" << entry << "' has no '='");
+    const std::string key = entry.substr(0, eq);
+    const std::string body = entry.substr(eq + 1);
+    if (key == "drop") {
+      const auto f = parse_fields(body, 3, entry);
+      plan.drop_frame(check_rank(f[0], ranks, entry),
+                      check_rank(f[1], ranks, entry), f[2]);
+    } else if (key == "delay") {
+      const auto f = parse_fields(body, 4, entry);
+      plan.delay_frame(check_rank(f[0], ranks, entry),
+                       check_rank(f[1], ranks, entry), f[2],
+                       static_cast<int>(f[3]));
+    } else if (key == "part") {
+      const auto f = parse_fields(body, 3, entry);
+      plan.partition_after(check_rank(f[0], ranks, entry),
+                           check_rank(f[1], ranks, entry), f[2]);
+    } else if (key == "kill") {
+      const auto f = parse_fields(body, 2, entry);
+      plan.kill_after(check_rank(f[0], ranks, entry), f[1]);
+    } else if (key == "seed") {
+      const auto f = parse_fields(body, 3, entry);
+      const WireFaultPlan seeded = seeded_drops(
+          static_cast<u64>(f[0]), ranks, static_cast<int>(f[1]), f[2]);
+      plan.drops.insert(plan.drops.end(), seeded.drops.begin(),
+                        seeded.drops.end());
+    } else {
+      MP_REQUIRE(false, "wire fault plan: unknown entry kind '" << key << '\'');
+    }
+  }
+  return plan;
+}
+
+bool WireFaultPlan::should_drop(int from, int to, i64 index,
+                                i64 pair_total) const {
+  for (const Drop& d : drops) {
+    if (d.from == from && d.to == to && d.index == index) return true;
+  }
+  for (const Partition& p : partitions) {
+    const bool match = (p.a == from && p.b == to) ||
+                       (p.a == to && p.b == from);
+    if (match && pair_total >= p.after) return true;
+  }
+  return false;
+}
+
+std::optional<int> WireFaultPlan::delay_ms(int from, int to, i64 index) const {
+  for (const Delay& d : delays) {
+    if (d.from == from && d.to == to && d.index == index) return d.ms;
+  }
+  return std::nullopt;
+}
+
+bool WireFaultPlan::should_kill(int rank, i64 sent) const {
+  for (const Kill& k : kills) {
+    if (k.rank == rank && sent >= k.after) return true;
+  }
+  return false;
+}
+
+}  // namespace meshpram::dist

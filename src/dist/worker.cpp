@@ -1,0 +1,131 @@
+#include "dist/worker.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "dist/collectives.hpp"
+#include "dist/partition.hpp"
+#include "dist/protocol.hpp"
+#include "serve/snapshot.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/thread_pool.hpp"
+
+namespace meshpram::dist {
+
+namespace {
+
+/// Everything one Init builds; dropped wholesale on any failure.
+struct Replica {
+  std::unique_ptr<PramMeshSimulator> sim;
+  std::unique_ptr<RankPartition> part;
+  std::unique_ptr<DistProtocol> proto;
+  WaitStats wait;
+};
+
+std::unique_ptr<Replica> build_replica(const InitMsg& msg, int rank,
+                                       int ranks) {
+  auto rep = std::make_unique<Replica>();
+  rep->sim = serve::restore_simulator(msg.snapshot);
+  const SimConfig& cfg = rep->sim->config();
+  rep->part = std::make_unique<RankPartition>(rep->sim->placement(),
+                                              cfg.mesh_rows, cfg.mesh_cols,
+                                              ranks);
+  drop_foreign_stores(rep->sim->mesh(), *rep->part, rank);
+  rep->proto = std::make_unique<DistProtocol>(*rep->sim, *rep->part, rank,
+                                              msg.validate);
+  return rep;
+}
+
+}  // namespace
+
+int run_worker(const WorkerOptions& opts) {
+  WorkerTransport transport(opts);
+  // Serial kernels for the worker's whole life: thread-count invariance
+  // makes them bit-identical to the oracle at any pool size.
+  ThreadPool pool(1);
+  ScopedPool guard(pool);
+
+  std::unique_ptr<Replica> rep;
+  for (;;) {
+    std::string body;
+    try {
+      body = transport.recv_ctrl();
+    } catch (const ShutdownSignal&) {
+      return 1;  // coordinator link gone; nothing left to serve
+    }
+    MP_REQUIRE(!body.empty(), "empty control frame");
+    const CtrlOp op = static_cast<CtrlOp>(body[0]);
+    ByteReader r(std::string_view(body).substr(1), "control frame");
+    try {
+      switch (op) {
+        case CtrlOp::Init: {
+          const InitMsg msg = decode_init(r);
+          telemetry::set_enabled(msg.telemetry);
+          rep.reset();  // free the old replica before building the new one
+          rep = build_replica(msg, opts.rank, opts.ranks);
+          transport.set_epoch(msg.epoch);
+          transport.clear_inboxes();
+          transport.send_ctrl(
+              encode_epoch_ctrl(CtrlOp::InitAck, msg.epoch));
+          break;
+        }
+        case CtrlOp::Step: {
+          const StepMsg msg = decode_step(r);
+          MP_REQUIRE(rep != nullptr, "Step before Init");
+          telemetry::begin_frame();
+          Collectives coll(transport);
+          StepStats st;
+          rep->proto->execute(msg.requests, msg.timestamp, &st, coll);
+          rep->wait += coll.wait();
+          break;
+        }
+        case CtrlOp::BandsReq: {
+          MP_REQUIRE(rep != nullptr, "BandsReq before Init");
+          const RankBand& band = rep->part->band(opts.rank);
+          BandsMsg msg;
+          msg.stores = encode_band_stores(rep->sim->mesh(), band);
+          msg.counters =
+              encode_band_counters(rep->sim->mesh().counters(), band);
+          msg.boundary_hops = rep->proto->boundary_hops();
+          msg.boundary_bytes = rep->proto->boundary_bytes();
+          msg.wait_calls = rep->wait.calls;
+          msg.wait_ms = rep->wait.wait_ms;
+          transport.send_ctrl(encode_bands_reply(msg));
+          break;
+        }
+        case CtrlOp::Abort: {
+          const u32 epoch = r.get_u32();
+          rep.reset();  // recovery follows; the replica is stale either way
+          transport.set_epoch(epoch);
+          transport.clear_inboxes();
+          transport.send_ctrl(encode_epoch_ctrl(CtrlOp::AbortAck, epoch));
+          break;
+        }
+        case CtrlOp::Shutdown:
+          return 0;
+        default:
+          MP_REQUIRE(false, "unexpected control op "
+                                << static_cast<int>(op) << " at rank "
+                                << opts.rank);
+      }
+    } catch (const AbortSignal& abort) {
+      // The transport already adopted the new epoch and cleared the data
+      // inboxes before throwing; the replica died mid-step.
+      rep.reset();
+      transport.send_ctrl(encode_epoch_ctrl(CtrlOp::AbortAck, abort.epoch));
+    } catch (const ShutdownSignal&) {
+      return 0;
+    } catch (const std::exception& e) {
+      // Self-detected failure (recv deadline, protocol divergence, bad
+      // snapshot, ...): shed state, tell the coordinator, await Init.
+      rep.reset();
+      try {
+        transport.send_ctrl(encode_failed(e.what()));
+      } catch (const ShutdownSignal&) {
+        return 1;  // link gone too — nothing more to report
+      }
+    }
+  }
+}
+
+}  // namespace meshpram::dist

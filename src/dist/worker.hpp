@@ -1,0 +1,26 @@
+// The worker-process main loop (DESIGN.md §15.2).
+//
+// tools/dist_worker is a thin argv shim around run_worker: connect to the
+// hub, attach as a rank, then serve the coordinator's control stream —
+// Init (restore a snapshot, shed foreign bands), Step (run the unchanged
+// DistProtocol over the socket transport), BandsReq (ship the owned band
+// state back), Abort (discard the in-flight step, acknowledge), Shutdown.
+//
+// Failure discipline: any error that is not a clean shutdown poisons the
+// local replica mid-step, so the worker drops its simulator, reports Failed
+// (when the link still works) and waits for the next Init — the supervisor's
+// recovery then restores every rank from the last checkpoint. The worker
+// never tries to patch its own state; restore-and-replay is the only path
+// back, which is what makes recovery bit-identical.
+#pragma once
+
+#include "dist/socket.hpp"
+
+namespace meshpram::dist {
+
+/// Runs the worker loop until Shutdown (returns 0) or a lost coordinator
+/// link (returns 1). Installs a serial ScopedPool for its whole lifetime, so
+/// every kernel is bit-identical to the oracle's thread-count-invariant runs.
+int run_worker(const WorkerOptions& opts);
+
+}  // namespace meshpram::dist

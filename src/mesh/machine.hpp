@@ -92,6 +92,13 @@ class CopyStore {
   i64 size() const { return static_cast<i64>(count_); }
   bool empty() const { return count_ == 0; }
 
+  /// Drops every held copy and releases the table. The distributed workers
+  /// use this to shed foreign bands after restoring a full snapshot.
+  void clear() {
+    entries_.clear();
+    count_ = 0;
+  }
+
   /// Visits every held copy as f(key, slot), in hash-table order (arbitrary
   /// but complete). Serialization callers sort by key for canonical output.
   template <class F>

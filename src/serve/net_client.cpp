@@ -9,44 +9,98 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "util/error.hpp"
 
 namespace meshpram::serve {
+namespace {
 
-NetClient NetClient::connect_unix(const std::string& path) {
+/// Milliseconds left before `deadline`, clamped to >= 0 (poll-friendly).
+int remaining_ms(std::chrono::steady_clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - std::chrono::steady_clock::now())
+                        .count();
+  return left > 0 ? static_cast<int>(left) : 0;
+}
+
+/// Runs one connect attempt per iteration with doubling backoff between
+/// tries. `dial` returns a connected fd or -1 with errno set (it owns
+/// closing its own fd on failure).
+template <typename Dial>
+int connect_with_retry(const ConnectOptions& opts, const std::string& label,
+                       i64* retries, Dial&& dial) {
+  MP_REQUIRE(opts.attempts >= 1,
+             "connect attempts must be >= 1, got " << opts.attempts);
+  MP_REQUIRE(opts.backoff_ms >= 0,
+             "connect backoff must be >= 0 ms, got " << opts.backoff_ms);
+  int backoff = opts.backoff_ms;
+  for (int attempt = 1;; ++attempt) {
+    const int fd = dial();
+    if (fd >= 0) return fd;
+    const std::string err = std::strerror(errno);
+    MP_REQUIRE(attempt < opts.attempts, "connect(" << label << "): " << err
+                                                   << " after " << attempt
+                                                   << " attempt(s)");
+    *retries += 1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+    if (backoff < 1 << 20) backoff *= 2;
+  }
+}
+
+}  // namespace
+
+NetClient NetClient::connect_unix(const std::string& path,
+                                  const ConnectOptions& opts) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   MP_REQUIRE(path.size() < sizeof(addr.sun_path),
              "unix socket path too long: " << path);
   std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  MP_REQUIRE(fd >= 0, "socket(AF_UNIX): " << std::strerror(errno));
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const std::string err = std::strerror(errno);
-    ::close(fd);
-    MP_REQUIRE(false, "connect(" << path << "): " << err);
-  }
-  return NetClient(fd);
+  i64 retries = 0;
+  const int fd = connect_with_retry(opts, path, &retries, [&]() {
+    const int s = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    MP_REQUIRE(s >= 0, "socket(AF_UNIX): " << std::strerror(errno));
+    if (::connect(s, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      const int saved = errno;
+      ::close(s);
+      errno = saved;
+      return -1;
+    }
+    return s;
+  });
+  NetClient client(fd);
+  client.stats_.connect_retries = retries;
+  return client;
 }
 
-NetClient NetClient::connect_tcp(const std::string& host, int port) {
+NetClient NetClient::connect_tcp(const std::string& host, int port,
+                                 const ConnectOptions& opts) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<unsigned short>(port));
   MP_REQUIRE(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
              "not an IPv4 address: " << host);
-  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  MP_REQUIRE(fd >= 0, "socket(AF_INET): " << std::strerror(errno));
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const std::string err = std::strerror(errno);
-    ::close(fd);
-    MP_REQUIRE(false, "connect(" << host << ':' << port << "): " << err);
-  }
+  i64 retries = 0;
+  const std::string label = host + ':' + std::to_string(port);
+  const int fd = connect_with_retry(opts, label, &retries, [&]() {
+    const int s = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    MP_REQUIRE(s >= 0, "socket(AF_INET): " << std::strerror(errno));
+    if (::connect(s, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      const int saved = errno;
+      ::close(s);
+      errno = saved;
+      return -1;
+    }
+    return s;
+  });
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return NetClient(fd);
+  NetClient client(fd);
+  client.stats_.connect_retries = retries;
+  return client;
 }
 
 NetClient::~NetClient() { close(); }
@@ -78,13 +132,21 @@ void NetClient::send_raw(std::string_view bytes) {
 
 bool NetClient::fill(bool wait, int timeout_ms) {
   MP_REQUIRE(fd_ >= 0, "recv on a closed client");
-  pollfd pfd{fd_, POLLIN, 0};
-  const int r = ::poll(&pfd, 1, wait ? timeout_ms : 0);
-  MP_REQUIRE(r >= 0 || errno == EINTR, "poll: " << std::strerror(errno));
-  if (r <= 0) {
-    MP_REQUIRE(!wait, "timed out after " << timeout_ms
-                                         << " ms waiting for a response");
-    return true;  // nothing readable right now
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    pollfd pfd{fd_, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, wait ? remaining_ms(deadline) : 0);
+    if (r < 0) {
+      MP_REQUIRE(errno == EINTR, "poll: " << std::strerror(errno));
+      continue;  // interrupted: re-arm with the remaining budget
+    }
+    if (r == 0) {
+      MP_REQUIRE(!wait, "timed out after " << timeout_ms
+                                           << " ms waiting for a response");
+      return true;  // nothing readable right now
+    }
+    break;
   }
   char chunk[65536];
   const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
@@ -100,13 +162,17 @@ bool NetClient::fill(bool wait, int timeout_ms) {
 }
 
 WireResponse NetClient::recv_response(int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
   for (;;) {
     std::optional<std::string> payload = in_.next_payload();
     if (payload.has_value()) {
       stats_.frames_in += 1;
       return decode_response(*payload);
     }
-    MP_REQUIRE(fill(true, timeout_ms),
+    // Partial frames re-enter fill with the remaining budget, so the caller's
+    // timeout bounds the whole response, not each network read.
+    MP_REQUIRE(fill(true, remaining_ms(deadline)),
                "connection closed by the server mid-stream");
   }
 }

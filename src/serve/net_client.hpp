@@ -19,12 +19,23 @@ struct NetClientStats {
   i64 frames_in = 0;
   i64 bytes_out = 0;
   i64 bytes_in = 0;
+  i64 connect_retries = 0;  ///< failed connect() attempts that were retried
+};
+
+/// Connect retry policy: a freshly exec'd server may not have bound its
+/// socket yet, so callers can ask for a bounded retry loop instead of
+/// hand-rolling sleeps around connect_*.
+struct ConnectOptions {
+  int attempts = 1;     ///< total connect() tries before the error propagates
+  int backoff_ms = 20;  ///< sleep before each retry, doubled per retry
 };
 
 class NetClient {
  public:
-  static NetClient connect_unix(const std::string& path);
-  static NetClient connect_tcp(const std::string& host, int port);
+  static NetClient connect_unix(const std::string& path,
+                                const ConnectOptions& opts = {});
+  static NetClient connect_tcp(const std::string& host, int port,
+                               const ConnectOptions& opts = {});
   ~NetClient();
   NetClient(NetClient&& other) noexcept;
   NetClient& operator=(NetClient&&) = delete;
@@ -38,9 +49,11 @@ class NetClient {
   /// Sends raw bytes verbatim — no framing. For protocol-abuse tests.
   void send_raw(std::string_view bytes);
 
-  /// Blocks until one complete response frame arrives (or `timeout_ms`
-  /// elapses — then throws ConfigError). Throws ConfigError when the server
-  /// closes the connection first.
+  /// Blocks until one complete response frame arrives. `timeout_ms` is an
+  /// overall deadline across however many reads the frame needs — signal
+  /// interrupts and partial reads re-arm the wait with the remaining budget
+  /// instead of resetting (or prematurely expiring) it. Throws ConfigError on
+  /// deadline or when the server closes the connection first.
   WireResponse recv_response(int timeout_ms = 30000);
 
   /// Non-blocking harvest: a response if one is already buffered/readable,
@@ -56,7 +69,8 @@ class NetClient {
  private:
   explicit NetClient(int fd) : fd_(fd) {}
   /// Reads whatever is available; blocks up to timeout_ms for the first
-  /// byte when `wait` is set. Returns false on EOF.
+  /// byte when `wait` is set (EINTR re-arms the poll with the remaining
+  /// time). Returns false on EOF.
   bool fill(bool wait, int timeout_ms);
 
   int fd_ = -1;

@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <memory>
 #include <numeric>
 #include <set>
 #include <thread>
@@ -16,6 +18,7 @@
 #include "dist/machine.hpp"
 #include "dist/partition.hpp"
 #include "dist/serve.hpp"
+#include "dist/wire.hpp"
 #include "fault/plan.hpp"
 #include "serve/snapshot.hpp"
 #include "telemetry/telemetry.hpp"
@@ -373,6 +376,267 @@ TEST(DistServe, SnapshotRestoreAcrossRankCounts) {
 
   EXPECT_EQ(s4.snapshot(), sc.snapshot());
   EXPECT_EQ(s1.snapshot(), sc.snapshot());
+}
+
+TEST(DistServe, MidRunSnapshotRestoresAcrossRankCounts) {
+  const int side = pick_side(4);
+  ASSERT_GT(side, 0);
+  const SimConfig cfg = mid_mem_config(side);
+  const i64 n = static_cast<i64>(side) * side;
+
+  // A 2-rank machine runs a 3-step prefix, then we snapshot mid-run (via
+  // materialize) and continue the stream on 4 ranks, 1 rank, and the classic
+  // simulator. Everything downstream must be bit-identical.
+  DistConfig dc;
+  dc.sim = cfg;
+  dc.ranks = 2;
+  dc.validate = 0;
+  DistMachine m2(dc);
+  for (int s = 0; s < 3; ++s) {
+    Rng rng(900 + s);
+    m2.step(random_requests(n, cfg.num_vars, rng,
+                            s % 2 == 0 ? Op::Write : Op::Read));
+  }
+  const std::unique_ptr<PramMeshSimulator> mid = m2.materialize();
+  const std::string bytes = serve::snapshot_simulator(*mid);
+
+  std::unique_ptr<DistMachine> m4 = DistMachine::from_simulator(*mid, 4);
+  std::unique_ptr<DistMachine> m1 = DistMachine::from_simulator(*mid, 1);
+  std::unique_ptr<PramMeshSimulator> oracle = serve::restore_simulator(bytes);
+  EXPECT_EQ(m4->now(), oracle->now());
+  for (int s = 0; s < 2; ++s) {
+    Rng ra(1700 + s);
+    Rng rb(1700 + s);
+    Rng rc(1700 + s);
+    Rng rd(1700 + s);
+    const Op op = s % 2 == 0 ? Op::Read : Op::Write;
+    StepStats st2;
+    StepStats st4;
+    StepStats st1;
+    StepStats sto;
+    const auto v2 = m2.step(random_requests(n, cfg.num_vars, ra, op), &st2);
+    const auto v4 = m4->step(random_requests(n, cfg.num_vars, rb, op), &st4);
+    const auto v1 = m1->step(random_requests(n, cfg.num_vars, rc, op), &st1);
+    const auto vo =
+        oracle->step(random_requests(n, cfg.num_vars, rd, op), &sto);
+    EXPECT_EQ(v2, vo) << "step " << s;
+    EXPECT_EQ(v4, vo) << "step " << s;
+    EXPECT_EQ(v1, vo) << "step " << s;
+    expect_stats_eq(st2, sto);
+    expect_stats_eq(st4, sto);
+    expect_stats_eq(st1, sto);
+  }
+  const std::string after = serve::snapshot_simulator(*oracle);
+  EXPECT_EQ(serve::snapshot_simulator(*m4->materialize()), after);
+  EXPECT_EQ(serve::snapshot_simulator(*m1->materialize()), after);
+}
+
+// ---------------------------------------------------------------------------
+// Transport unwind under load and wire-codec abuse.
+// ---------------------------------------------------------------------------
+
+TEST(DistTransport, KillUnwindsConcurrentCollectives) {
+  constexpr int kRanks = 4;
+  ChannelHub hub(kRanks);
+  std::vector<std::unique_ptr<ChannelTransport>> eps;
+  for (int r = 0; r < kRanks; ++r) {
+    eps.push_back(std::make_unique<ChannelTransport>(hub, r));
+  }
+  // Ranks 1..3 loop collectives forever; rank 0 (the star root) never joins,
+  // so all of them end up blocked inside gather/broadcast recvs. kill() must
+  // unwind every one of them with TransportError, not deadlock.
+  std::atomic<int> unwound{0};
+  std::atomic<int> rounds{0};
+  std::vector<std::thread> threads;
+  for (int r = 1; r < kRanks; ++r) {
+    threads.emplace_back([&, r] {
+      Collectives coll(*eps[static_cast<size_t>(r)]);
+      try {
+        for (;;) {
+          coll.allgather("payload");
+          coll.allreduce_sum(r);
+          coll.barrier();
+          rounds.fetch_add(1);
+        }
+      } catch (const TransportError&) {
+        unwound.fetch_add(1);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  hub.kill();
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(unwound.load(), kRanks - 1);
+  EXPECT_EQ(rounds.load(), 0);  // rank 0 never joined, no round completed
+  // The hub stays killed: a late joiner may drain the workers' already-queued
+  // contributions, but must hit TransportError as soon as it needs more.
+  Collectives c0(*eps[0]);
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 10; ++i) c0.barrier();
+      },
+      TransportError);
+}
+
+Packet fuzz_packet(u64 key, int salt) {
+  Packet p;
+  p.key = key;
+  p.rank = key % 7;
+  p.copy = key % 3;
+  p.var = static_cast<i64>(key) * 11 + salt;
+  p.origin = static_cast<i32>(salt);
+  p.dest = static_cast<i32>(salt + 1);
+  p.stash = static_cast<i32>(salt + 2);
+  p.value = -static_cast<i64>(key);
+  p.timestamp = salt;
+  p.op = salt % 2 == 0 ? Op::Read : Op::Write;
+  for (int t = 0; t < salt % 5; ++t) p.push_trail(static_cast<i32>(100 + t));
+  return p;
+}
+
+TEST(DistWireFuzz, BoundaryTruncationAtEveryOffsetThrows) {
+  std::vector<BoundaryHop> hops;
+  for (int i = 0; i < 3; ++i) {
+    BoundaryHop h;
+    h.col = i;
+    h.dest_r = static_cast<i16>(-i);
+    h.dest_c = static_cast<i16>(i * 2);
+    h.payload = fuzz_packet(static_cast<u64>(i + 1), i);
+    hops.push_back(h);
+  }
+  for (const bool checksum : {false, true}) {
+    const std::string frame = encode_boundary(hops, checksum);
+    const std::vector<BoundaryHop> back = decode_boundary(frame);
+    ASSERT_EQ(back.size(), hops.size());
+    EXPECT_EQ(encode_boundary(back, checksum), frame);  // canonical bytes
+    // A frame cut anywhere — header, mid-packet, mid-trailer — must be
+    // reported as truncation, never read past the buffer.
+    for (size_t cut = 0; cut < frame.size(); ++cut) {
+      EXPECT_THROW(decode_boundary(frame.substr(0, cut)), ConfigError)
+          << "checksum=" << checksum << " cut=" << cut;
+    }
+  }
+}
+
+TEST(DistWireFuzz, ImplausibleCountsRejectedBeforeAllocation) {
+  // Hop count claims 4 billion entries in a 5-byte frame: the plausibility
+  // gate must throw before any reserve() happens.
+  std::string frame;
+  ByteWriter w(frame);
+  w.put_u8(0);
+  w.put_u32(0xffffffffu);
+  try {
+    decode_boundary(frame);
+    FAIL() << "expected a count rejection";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("implausible"), std::string::npos);
+  }
+
+  Mesh mesh(4, 4);
+  const RankBand band{0, 2, 0, 8};
+  std::string buffers;
+  ByteWriter wb(buffers);
+  wb.put_u32(0x7fffffffu);
+  EXPECT_THROW(decode_band_buffers(mesh, band, buffers), ConfigError);
+}
+
+TEST(DistWireFuzz, ChecksummedFrameRejectsEverySingleByteFlip) {
+  std::vector<BoundaryHop> hops;
+  BoundaryHop h;
+  h.col = 3;
+  h.dest_r = 1;
+  h.dest_c = 2;
+  h.payload = fuzz_packet(42, 3);
+  hops.push_back(h);
+  const std::string frame = encode_boundary(hops, true);
+  for (size_t i = 0; i < frame.size(); ++i) {
+    std::string bad = frame;
+    bad[i] = static_cast<char>(bad[i] ^ 0x01);
+    // Body flips trip the FNV trailer (or a parse guard first); trailer
+    // flips mismatch the recomputed digest. Nothing may pass silently.
+    EXPECT_THROW(decode_boundary(bad), std::exception) << "flip at " << i;
+  }
+}
+
+TEST(DistWireFuzz, BandBuffersRoundTripAndMidFrameEofThrows) {
+  Mesh src(4, 4);
+  const RankBand band{0, 2, 0, 8};
+  Rng rng(77);
+  for (i64 node = band.node_begin; node < band.node_end; ++node) {
+    auto& b = src.buf(static_cast<i32>(node));
+    const i64 count = rng.below(4);
+    for (i64 i = 0; i < count; ++i) {
+      b.push_back(fuzz_packet(rng.below(1000), static_cast<int>(node + i)));
+    }
+  }
+  const std::string frame = encode_band_buffers(src, band);
+
+  Mesh dst(4, 4);
+  decode_band_buffers(dst, band, frame);
+  EXPECT_EQ(encode_band_buffers(dst, band), frame);
+  for (i64 node = band.node_begin; node < band.node_end; ++node) {
+    EXPECT_EQ(dst.buf(static_cast<i32>(node)).size(),
+              src.buf(static_cast<i32>(node)).size());
+  }
+
+  // Mid-frame EOF at every offset, including offsets inside a trail array.
+  for (size_t cut = 0; cut < frame.size(); ++cut) {
+    Mesh scratch(4, 4);
+    EXPECT_THROW(decode_band_buffers(scratch, band, frame.substr(0, cut)),
+                 ConfigError)
+        << "cut=" << cut;
+  }
+  // Trailing garbage is rejected by expect_done, not silently ignored.
+  Mesh scratch(4, 4);
+  EXPECT_THROW(decode_band_buffers(scratch, band, frame + "x"), ConfigError);
+
+  // Fills onto a divergent buffer shape is an internal invariant breach.
+  const std::string fills = encode_band_fills(src, band);
+  Mesh empty(4, 4);
+  EXPECT_THROW(decode_band_fills(empty, band, fills), std::exception);
+}
+
+TEST(DistWireFuzz, OverlongPacketTrailRejected) {
+  // A trail-less packet ends with its trail_len byte; patch it to 255 so the
+  // decoder sees a trail longer than the fixed array.
+  std::string bare;
+  ByteWriter wb(bare);
+  Packet q = fuzz_packet(7, 0);
+  q.trail_len = 0;
+  put_packet(wb, q);
+  bare.back() = static_cast<char>(0xff);
+  ByteReader r(bare, "packet");
+  EXPECT_THROW(get_packet(r), ConfigError);
+}
+
+TEST(DistWireFuzz, SeededRandomBytesNeverCrashDecoders) {
+  Rng rng(20260808);
+  int threw = 0;
+  for (int iter = 0; iter < 400; ++iter) {
+    const size_t len = static_cast<size_t>(rng.below(160));
+    std::string noise(len, '\0');
+    for (char& c : noise) c = static_cast<char>(rng.below(256));
+    try {
+      const auto hops = decode_boundary(noise);
+      (void)hops;
+    } catch (const ConfigError&) {
+      ++threw;
+    } catch (const InternalError&) {
+      ++threw;
+    }
+    Mesh scratch(4, 4);
+    const RankBand band{0, 2, 0, 8};
+    try {
+      decode_band_buffers(scratch, band, noise);
+    } catch (const ConfigError&) {
+      ++threw;
+    } catch (const InternalError&) {
+      ++threw;
+    }
+  }
+  // Random bytes essentially never form a valid frame; what matters is that
+  // every failure is a typed error, not a crash or wild allocation.
+  EXPECT_GT(threw, 700);
 }
 
 }  // namespace

@@ -9,10 +9,14 @@
 // (label also runs under tsan-serve-net) run the loop on its own thread with
 // >= 4 client threads.
 #include <gtest/gtest.h>
+#include <pthread.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
+#include <csignal>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <utility>
@@ -663,6 +667,125 @@ TEST(NetServerConcurrent, PipelinedClientsMatchSoloSequentialReplay) {
   }
   EXPECT_GT(stack.sched->coalesce_stats().batches, 0);
   EXPECT_GT(stack.sched->coalesce_stats().validations, 0);
+}
+
+// ---------------------------------------------------------------------------
+// NetClient robustness: signal interrupts and connect retry.
+// ---------------------------------------------------------------------------
+
+/// Fires SIGUSR1 at `target` every ~3 ms until destroyed — every blocking
+/// poll/recv on that thread keeps getting EINTR'd. The handler is installed
+/// without SA_RESTART so syscalls genuinely fail with EINTR.
+class SignalStorm {
+ public:
+  explicit SignalStorm(pthread_t target) : target_(target) {
+    struct sigaction sa{};
+    sa.sa_handler = [](int) {};
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;  // no SA_RESTART
+    sigaction(SIGUSR1, &sa, &old_);
+    thread_ = std::thread([this] {
+      while (!stop_.load()) {
+        pthread_kill(target_, SIGUSR1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(3));
+      }
+    });
+  }
+  ~SignalStorm() {
+    stop_ = true;
+    thread_.join();
+    sigaction(SIGUSR1, &old_, nullptr);
+  }
+
+ private:
+  pthread_t target_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+  struct sigaction old_{};
+};
+
+TEST(NetClientRobust, EintrDoesNotTruncateRecvTimeout) {
+  NetServerConfig ncfg;
+  ncfg.unix_path = unique_sock_path("eintr-to");
+  Stack stack(ncfg);
+  NetClient client = NetClient::connect_unix(ncfg.unix_path);
+
+  // No request sent, so no response ever comes: the recv must burn its whole
+  // budget despite being interrupted every few ms, then time out. Before the
+  // deadline-aware retry loop, the first EINTR fell into the timeout branch
+  // and threw after only a few ms.
+  SignalStorm storm(pthread_self());
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    client.recv_response(300);
+    FAIL() << "expected a timeout";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("timed out"), std::string::npos);
+  }
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_GE(elapsed.count(), 250);
+}
+
+TEST(NetClientRobust, EintrStormStillReceivesResponses) {
+  NetServerConfig ncfg;
+  ncfg.unix_path = unique_sock_path("eintr-rx");
+  Stack stack(ncfg);
+  std::atomic<bool> stop{false};
+  std::thread loop([&] { stack.server->run(stop); });
+  {
+    NetClient client = NetClient::connect_unix(ncfg.unix_path);
+    SignalStorm storm(pthread_self());
+    for (u64 id = 1; id <= 20; ++id) {
+      const Request req = disjoint_request(id, static_cast<i64>(id - 1));
+      client.send_frame(encode_step(id, "s0", req.accesses));
+      const WireResponse resp = client.recv_response(10000);
+      EXPECT_TRUE(resp.ok) << resp.error;
+      EXPECT_EQ(resp.request_id, id);
+    }
+  }
+  stop = true;
+  loop.join();
+}
+
+TEST(NetClientRobust, ConnectRetriesUntilServerBinds) {
+  const std::string path = unique_sock_path("late-bind");
+  ::unlink(path.c_str());
+  // The server stack only comes up ~60 ms after the client starts dialing;
+  // the retry loop must absorb the refused attempts.
+  std::unique_ptr<Stack> stack;
+  std::thread late([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    NetServerConfig ncfg;
+    ncfg.unix_path = path;
+    stack = std::make_unique<Stack>(ncfg);
+  });
+  ConnectOptions opts;
+  opts.attempts = 50;
+  opts.backoff_ms = 10;
+  NetClient client = NetClient::connect_unix(path, opts);
+  late.join();
+  EXPECT_TRUE(client.connected());
+  EXPECT_GT(client.stats().connect_retries, 0);
+
+  client.send_frame(encode_batch_write(1, "s0", {1}, {42}));
+  const WireResponse resp = pump_recv(*stack->server, client);
+  EXPECT_TRUE(resp.ok) << resp.error;
+}
+
+TEST(NetClientRobust, ConnectFailureReportsAttemptCount) {
+  const std::string path = unique_sock_path("never-binds");
+  ::unlink(path.c_str());
+  ConnectOptions opts;
+  opts.attempts = 3;
+  opts.backoff_ms = 1;
+  try {
+    NetClient::connect_unix(path, opts);
+    FAIL() << "expected connect to fail";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("after 3 attempt"),
+              std::string::npos);
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -70,7 +70,11 @@ PERF_POINT_FIELDS = {"instructions", "cycles", "llc_refs", "llc_misses",
 
 # Schema-5 distributed-run columns (point_dist). Informational for the wall
 # gate; boundary_bytes is covered by the rank-1 parity check instead.
-DIST_POINT_FIELDS = {"boundary_bytes", "barrier_wait_ms"}
+# recovery_blackout_ms appears only on kill/recover points of dist_scaling
+# (wall time the step stream was frozen during respawn + restore) and, being
+# wall-clock derived, is never diffed.
+DIST_POINT_FIELDS = {"boundary_bytes", "barrier_wait_ms",
+                     "recovery_blackout_ms"}
 
 # Schema-5 serving columns (point_serve, bench_serve_net). Informational:
 # latency percentiles and req/s are wall-clock derived, so they are recorded
@@ -220,6 +224,36 @@ def rank1_parity_failures(dist, mid):
     return failures
 
 
+def transport_parity_failures(dist):
+    """Bit-identity gate between the transports: every multi-process
+    dist_scaling point (config "transport=... ranks=R k=K side=S") must count
+    exactly the mesh steps the in-process channel run counts at the same
+    geometry. Wall times and byte counts differ (that is the point of the
+    column); the step stream may not. Recovery points ("recover transport=…")
+    are exercised by ctest -L distproc instead — their step totals include a
+    replayed step, so they have no same-geometry twin here."""
+    failures = []
+    for c in sorted(dist):
+        m = re.fullmatch(r"transport=\w+ (ranks=\d+ k=\d+ side=\d+)", c)
+        if not m:
+            continue
+        twin = m.group(1)
+        if twin not in dist:
+            failures.append(
+                f"dist_scaling/{c}: no channel point '{twin}' to compare "
+                f"against — the sweeps fell out of sync")
+            continue
+        ps = point_field(dist[c], "mesh_steps", "fresh dist_scaling output")
+        cs = point_field(dist[twin], "mesh_steps",
+                         "fresh dist_scaling output")
+        if ps != cs:
+            failures.append(
+                f"dist_scaling/{c}: mesh_steps {ps} != channel point "
+                f"{twin} {cs} — the socket transport broke the "
+                f"bit-identity contract")
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--threshold", type=float, default=0.25,
@@ -307,6 +341,12 @@ def main():
         if "dist_scaling" in fresh_docs and "simulation_mid_mem" in fresh_docs:
             failures += rank1_parity_failures(fresh_docs["dist_scaling"],
                                               fresh_docs["simulation_mid_mem"])
+
+        # Process-transport equivalence gate: the multi-process sweep of
+        # EXP-D1 reruns the channel points over real sockets; the step
+        # streams must be identical.
+        if "dist_scaling" in fresh_docs:
+            failures += transport_parity_failures(fresh_docs["dist_scaling"])
 
     if failures:
         print("\nBENCH SMOKE FAILED:")

@@ -1,0 +1,200 @@
+// Kill/recover soak for multi-process distributed ranks (DESIGN.md §15.6).
+//
+// Runs a ProcMachine next to the single-process oracle on the same request
+// stream. Every cycle it SIGKILLs one worker rank mid-stream, lets the
+// supervisor recover (restore from checkpoint + replay), and asserts that
+// every step still matches the oracle bit-for-bit — values and StepStats per
+// step, snapshot bytes at the end. Exit 0 = every cycle recovered and
+// matched. Driven by tools/dist_soak.py (which also sets
+// MESHPRAM_DIST_VALIDATE=1) and by a short ctest smoke.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "dist/supervisor.hpp"
+#include "serve/snapshot.hpp"
+#include "util/rng.hpp"
+
+namespace meshpram::dist {
+namespace {
+
+struct Args {
+  int ranks = 2;
+  int side = 16;
+  int k = 3;
+  int cycles = 20;
+  int steps = 2;  ///< committed steps per cycle (one write + one read pass)
+  u64 seed = 1;
+  std::string transport = "unix";
+};
+
+SimConfig soak_config(int side, int k) {
+  const i64 n = static_cast<i64>(side) * side;
+  SimConfig cfg;
+  cfg.mesh_rows = side;
+  cfg.mesh_cols = side;
+  cfg.num_vars = static_cast<i64>(std::llround(std::pow(
+      static_cast<double>(n), 1.5)));
+  cfg.q = 3;
+  cfg.k = k;
+  cfg.sort_mode = SortMode::Analytic;
+  cfg.fault_plan_from_env = false;
+  return cfg;
+}
+
+std::vector<AccessRequest> random_requests(i64 n, i64 num_vars, Rng& rng,
+                                           Op op) {
+  std::vector<i64> pool(static_cast<size_t>(std::min(num_vars, 4 * n)));
+  std::iota(pool.begin(), pool.end(), i64{0});
+  std::vector<AccessRequest> reqs(static_cast<size_t>(n));
+  for (i64 i = 0; i < n; ++i) {
+    const i64 j = rng.range(i, static_cast<i64>(pool.size()) - 1);
+    std::swap(pool[static_cast<size_t>(i)], pool[static_cast<size_t>(j)]);
+    reqs[static_cast<size_t>(i)] = {pool[static_cast<size_t>(i)], op,
+                                    op == Op::Write ? i + 1000 : 0};
+  }
+  return reqs;
+}
+
+bool stats_eq(const StepStats& a, const StepStats& b) {
+  return a.total_steps == b.total_steps &&
+         a.culling_steps == b.culling_steps &&
+         a.forward_steps == b.forward_steps &&
+         a.return_steps == b.return_steps && a.packets == b.packets &&
+         a.request_ok == b.request_ok;
+}
+
+int run(const Args& args) {
+  const SimConfig cfg = soak_config(args.side, args.k);
+  const int max = ProcMachine::max_ranks(cfg);
+  if (args.ranks > max) {
+    std::fprintf(stderr,
+                 "dist_soak: side=%d k=%d admits %d rank(s), asked for %d\n",
+                 args.side, args.k, max, args.ranks);
+    return 2;
+  }
+
+  PramMeshSimulator oracle(cfg);
+
+  ProcConfig pc;
+  pc.sim = cfg;
+  pc.ranks = args.ranks;
+  pc.socket.transport = args.transport;
+  // Tight deadlines keep each kill's blackout short; generous enough that an
+  // overloaded CI box does not see phantom failures.
+  pc.socket.heartbeat_ms = 50;
+  pc.socket.peer_deadline_ms = 4000;
+  pc.socket.recv_deadline_ms = 4000;
+  pc.max_recoveries = 4;
+  ProcMachine machine(pc);
+
+  const i64 n = static_cast<i64>(args.side) * args.side;
+  Rng kill_rng(args.seed ^ 0x9e3779b97f4a7c15ULL);
+  i64 mismatches = 0;
+
+  for (int cycle = 0; cycle < args.cycles; ++cycle) {
+    // Kill one worker between cycles; the next step recovers through the
+    // checkpoint. Rank choice is seeded, so a soak run is reproducible.
+    if (args.ranks > 1) {
+      const int victim =
+          1 + static_cast<int>(kill_rng.below(
+                  static_cast<u64>(args.ranks - 1)));
+      machine.kill_rank(victim);
+    }
+    for (int s = 0; s < args.steps; ++s) {
+      const Op op = s % 2 == 0 ? Op::Write : Op::Read;
+      // Per-step seed so every (cycle, step) draws a reproducible workload.
+      Rng r1(args.seed * 1000003ULL + static_cast<u64>(cycle) * 131ULL +
+             static_cast<u64>(s));
+      const auto reqs = random_requests(n, cfg.num_vars, r1, op);
+      StepStats ost;
+      StepStats pst;
+      const auto ov = oracle.step(reqs, &ost);
+      const auto pv = machine.step(reqs, &pst);
+      if (ov != pv || !stats_eq(ost, pst)) {
+        std::fprintf(stderr, "dist_soak: divergence at cycle %d step %d\n",
+                     cycle, s);
+        ++mismatches;
+      }
+    }
+    std::fprintf(stderr,
+                 "dist_soak: cycle %d/%d ok (recoveries=%lld respawns=%lld "
+                 "blackout=%lldms)\n",
+                 cycle + 1, args.cycles,
+                 static_cast<long long>(machine.recovery().recoveries),
+                 static_cast<long long>(machine.recovery().respawns),
+                 static_cast<long long>(machine.recovery().last_blackout_ms));
+  }
+
+  const std::string want = serve::snapshot_simulator(oracle);
+  const std::string got = serve::snapshot_simulator(*machine.materialize());
+  const bool snap_ok = want == got;
+  const RecoveryStats& rec = machine.recovery();
+  std::printf(
+      "{\"cycles\": %d, \"ranks\": %d, \"transport\": \"%s\", "
+      "\"failures\": %lld, \"recoveries\": %lld, \"respawns\": %lld, "
+      "\"total_blackout_ms\": %lld, \"mismatches\": %lld, "
+      "\"snapshot_match\": %s}\n",
+      args.cycles, args.ranks, args.transport.c_str(),
+      static_cast<long long>(rec.failures),
+      static_cast<long long>(rec.recoveries),
+      static_cast<long long>(rec.respawns),
+      static_cast<long long>(rec.total_blackout_ms),
+      static_cast<long long>(mismatches), snap_ok ? "true" : "false");
+  if (mismatches != 0 || !snap_ok) return 1;
+  if (args.ranks > 1 && rec.recoveries < args.cycles) {
+    std::fprintf(stderr,
+                 "dist_soak: expected >= %d recoveries, saw %lld "
+                 "(kills were absorbed without recovery?)\n",
+                 args.cycles, static_cast<long long>(rec.recoveries));
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace meshpram::dist
+
+int main(int argc, char** argv) {
+  meshpram::dist::Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "dist_soak: %s needs a value\n", a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--ranks") {
+      args.ranks = std::atoi(next());
+    } else if (a == "--side") {
+      args.side = std::atoi(next());
+    } else if (a == "--k") {
+      args.k = std::atoi(next());
+    } else if (a == "--cycles") {
+      args.cycles = std::atoi(next());
+    } else if (a == "--steps") {
+      args.steps = std::atoi(next());
+    } else if (a == "--seed") {
+      args.seed = static_cast<meshpram::u64>(std::atoll(next()));
+    } else if (a == "--transport") {
+      args.transport = next();
+    } else {
+      std::fprintf(stderr,
+                   "usage: dist_soak [--ranks N] [--side S] [--k K] "
+                   "[--cycles C] [--steps N] [--seed S] "
+                   "[--transport unix|tcp]\n");
+      return 2;
+    }
+  }
+  try {
+    return meshpram::dist::run(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dist_soak: %s\n", e.what());
+    return 1;
+  }
+}

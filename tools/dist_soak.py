@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Kill/recover soak driver for multi-process distributed ranks.
+
+Locates the `dist_soak` binary (built by the default or bench-smoke preset),
+forces MESHPRAM_DIST_VALIDATE=1 so every step cross-checks rank digests in
+lockstep, and runs >= 20 kill-one-rank/recover cycles against the
+single-process oracle. The binary exits non-zero on any value/stat mismatch,
+a final snapshot divergence, or a cycle that failed to recover; this wrapper
+just adds binary discovery, the validation env, and a summary line:
+
+    python3 tools/dist_soak.py                # 20 cycles, 2 ranks, unix
+    python3 tools/dist_soak.py --cycles 50 --ranks 4 --transport tcp
+
+Any unrecognized flag is forwarded to the binary verbatim (see
+tools/dist_soak.cpp for the full set).
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+CANDIDATE_DIRS = ["build", "build-bench", "build-tsan"]
+
+
+def find_binary(explicit):
+    if explicit:
+        if not os.access(explicit, os.X_OK):
+            sys.exit(f"dist_soak: not executable: {explicit}")
+        return explicit
+    for d in CANDIDATE_DIRS:
+        path = os.path.join(REPO, d, "tools", "dist_soak")
+        if os.access(path, os.X_OK):
+            return path
+    sys.exit("dist_soak: no built binary found under "
+             + ", ".join(f"{d}/tools/" for d in CANDIDATE_DIRS)
+             + " — build the default preset first (cmake --preset default "
+               "&& cmake --build --preset default)")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--binary", help="explicit dist_soak binary path")
+    ap.add_argument("--cycles", type=int, default=20,
+                    help="kill/recover cycles (default 20)")
+    args, passthrough = ap.parse_known_args()
+    if args.cycles < 1:
+        sys.exit("dist_soak: --cycles must be >= 1")
+
+    binary = find_binary(args.binary)
+    env = dict(os.environ)
+    # The whole point of the soak: every step validates cross-rank digests.
+    env["MESHPRAM_DIST_VALIDATE"] = "1"
+
+    cmd = [binary, "--cycles", str(args.cycles)] + passthrough
+    print("+", " ".join(cmd), flush=True)
+    proc = subprocess.run(cmd, env=env, capture_output=True, text=True)
+    sys.stderr.write(proc.stderr)
+    sys.stdout.write(proc.stdout)
+    if proc.returncode != 0:
+        print(f"dist_soak: FAILED (exit {proc.returncode})")
+        return proc.returncode
+
+    # The binary's last stdout line is the JSON summary.
+    summary = {}
+    for line in reversed(proc.stdout.strip().splitlines()):
+        try:
+            summary = json.loads(line)
+            break
+        except json.JSONDecodeError:
+            continue
+    print(f"dist_soak: OK — {summary.get('cycles', args.cycles)} cycles, "
+          f"{summary.get('recoveries', '?')} recoveries, "
+          f"{summary.get('total_blackout_ms', '?')} ms total blackout")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,65 @@
+// Worker-process entry point for multi-process distributed ranks
+// (DESIGN.md §15). Launched by the rank-0 coordinator (dist/supervisor) as
+//
+//   dist_worker <address> <rank> <ranks> <token> <heartbeat_ms>
+//               <recv_deadline_ms>
+//
+// and never by hand: the attach token is minted per hub, and every bit of
+// simulator state arrives through Init control frames. Exit codes: 0 clean
+// shutdown, 1 lost coordinator link, 2 bad usage / startup failure.
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "dist/worker.hpp"
+
+namespace {
+
+meshpram::i64 parse_i64(const char* s, const char* what) {
+  try {
+    size_t used = 0;
+    const long long v = std::stoll(s, &used);
+    if (used == std::string(s).size()) return v;
+  } catch (const std::exception&) {
+  }
+  std::fprintf(stderr, "dist_worker: bad %s '%s'\n", what, s);
+  std::exit(2);
+}
+
+meshpram::u64 parse_u64(const char* s, const char* what) {
+  try {
+    size_t used = 0;
+    const unsigned long long v = std::stoull(s, &used);
+    if (used == std::string(s).size()) return v;
+  } catch (const std::exception&) {
+  }
+  std::fprintf(stderr, "dist_worker: bad %s '%s'\n", what, s);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 7) {
+    std::fprintf(stderr,
+                 "usage: dist_worker <address> <rank> <ranks> <token> "
+                 "<heartbeat_ms> <recv_deadline_ms>\n"
+                 "(launched by the coordinator; not a user-facing tool)\n");
+    return 2;
+  }
+  meshpram::dist::WorkerOptions opts;
+  opts.address = argv[1];
+  opts.rank = static_cast<int>(parse_i64(argv[2], "rank"));
+  opts.ranks = static_cast<int>(parse_i64(argv[3], "ranks"));
+  opts.token = parse_u64(argv[4], "token");
+  opts.heartbeat_ms = static_cast<int>(parse_i64(argv[5], "heartbeat_ms"));
+  opts.recv_deadline_ms =
+      static_cast<int>(parse_i64(argv[6], "recv_deadline_ms"));
+  try {
+    return meshpram::dist::run_worker(opts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dist_worker rank %d: %s\n", opts.rank, e.what());
+    return 2;
+  }
+}

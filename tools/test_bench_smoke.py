@@ -17,7 +17,7 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 import bench_smoke  # noqa: E402
 from bench_smoke import (SmokeError, compare_bench, doc_points,  # noqa: E402
                          point_field, rank1_parity_failures,
-                         schema_field_diff)
+                         schema_field_diff, transport_parity_failures)
 
 
 def pts(*entries):
@@ -127,6 +127,47 @@ def test_rank1_parity_flags_step_divergence_and_noisy_lanes():
 def test_rank1_parity_ignores_sides_absent_from_mid_mem():
     dist = pts(("ranks=1 k=3 side=24", 5.0, 400))
     assert rank1_parity_failures(dist, pts(("k=3 side=16", 5.0, 400))) == []
+
+
+def test_transport_parity_ok_when_proc_points_match_channel():
+    dist = pts(("ranks=2 k=3 side=16", 4.0, 400, {"boundary_bytes": 128}),
+               ("transport=unix ranks=2 k=3 side=16", 9.0, 400,
+                {"boundary_bytes": 64}),
+               ("transport=tcp ranks=2 k=3 side=16", 11.0, 400))
+    assert transport_parity_failures(dist) == []
+
+
+def test_transport_parity_flags_step_divergence():
+    dist = pts(("ranks=2 k=3 side=16", 4.0, 400),
+               ("transport=unix ranks=2 k=3 side=16", 9.0, 401))
+    fails = transport_parity_failures(dist)
+    assert len(fails) == 1
+    assert "401" in fails[0] and "bit-identity" in fails[0]
+
+
+def test_transport_parity_flags_missing_channel_twin():
+    dist = pts(("transport=tcp ranks=4 k=3 side=32", 9.0, 400))
+    fails = transport_parity_failures(dist)
+    assert len(fails) == 1 and "fell out of sync" in fails[0]
+
+
+def test_transport_parity_skips_recovery_and_channel_points():
+    # "recover transport=..." points replay a step (different totals by
+    # design) and plain channel points have no transport= prefix; neither
+    # may trip the gate.
+    dist = pts(("ranks=2 k=3 side=16", 4.0, 400),
+               ("recover transport=unix ranks=2 k=3 side=16", 60.0, 455,
+                {"recovery_blackout_ms": 33.0}))
+    assert transport_parity_failures(dist) == []
+
+
+def test_schema_field_diff_tolerates_recovery_blackout_column():
+    doc = {f: 0 for f in bench_smoke.CURRENT_FIELDS}
+    doc["points"] = [{"config": "recover transport=unix ranks=2 k=3 side=16",
+                      "wall_ms": 60.0, "mesh_steps": 455,
+                      "boundary_bytes": 7, "barrier_wait_ms": 0.1,
+                      "recovery_blackout_ms": 33.0}]
+    assert "unexpected" not in schema_field_diff(doc)
 
 
 def test_schema_field_diff_names_missing_schema5_fields():
