@@ -1,0 +1,87 @@
+// EXP-A1 — real PRAM algorithms as macro-workloads, across every backend.
+//
+// Every workload in the suite runs oracle-checked (WorkloadHarness REQUIREs
+// the output bit-identical to IdealBackend and to a host reference) on:
+// ideal, the full scheme (HMOS+CULLING), the no-culling ablation, both
+// single-copy baselines and the MPC contention model. Recorded per point:
+// mesh steps (deterministic, gated), program/EREW step counts, combining
+// contention stats and the slowdown per PRAM step. This is the paper's
+// claim measured on real computations instead of synthetic request sets.
+#include <iostream>
+
+#include "algo/harness.hpp"
+#include "common.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+using namespace meshpram;
+using namespace meshpram::algo;
+using namespace meshpram::benchutil;
+
+int main() {
+  set_log_level(LogLevel::Error);
+  SimConfig cfg;
+  cfg.mesh_rows = 16;
+  cfg.mesh_cols = 16;
+  cfg.num_vars = 4096;
+  cfg.sort_mode = SortMode::Analytic;
+  const WorkloadHarness harness(cfg);
+
+  std::cout << "=== EXP-A1: algorithm suite on a " << cfg.mesh_rows << 'x'
+            << cfg.mesh_cols << " mesh, M = " << cfg.num_vars << " ===\n";
+  BenchRecorder rec("algo_suite");
+  Table t({"workload", "n", "backend", "pram steps", "mesh steps",
+           "steps/pram", "combined", "max conc"});
+
+  // Sizes chosen so every workload fits the 256-processor machine: the
+  // graph families carry up to ~2n edges (one processor per edge), refine
+  // needs an n^2 signature table inside M.
+  const u64 seed = 2026;
+  const std::vector<std::pair<std::string, i64>> suite = {
+      {"cc:path", 96},  {"cc:star", 96},    {"cc:grid", 96},
+      {"cc:expander", 96}, {"cc:forest", 96},
+      {"refine", 48},   {"prefix", 128},    {"scan", 128},
+      {"rank", 128},    {"oddeven", 128},   {"bitonic", 128},
+  };
+
+  for (const auto& [name, size] : suite) {
+    const auto workload = make_workload(name, size, seed);
+    for (const BackendKind kind : all_backend_kinds()) {
+      const HarnessResult r = harness.run(*workload, kind);
+      BenchRecorder::AlgoColumns cols;
+      cols.algorithm = r.workload;
+      cols.backend = r.backend;
+      cols.family = r.family;
+      cols.size = r.size;
+      cols.pram_steps = r.pram_steps;
+      cols.backend_steps = r.backend_steps;
+      cols.combined_groups = r.combined_groups;
+      cols.max_concurrency = r.stream.max_concurrency;
+      cols.reuse_factor = r.stream.reuse_factor();
+      const std::string config =
+          r.workload + " n=" + std::to_string(r.size) + " " + r.backend;
+      rec.point_algo(config, r.wall_ms, r.mesh_steps, cols);
+
+      // Slowdown per PRAM step; zero-cost backends have no cost model, so
+      // the column is "-" instead of a division by their fake 0.
+      std::string per_step = "-";
+      if (!r.zero_cost_backend && r.pram_steps > 0) {
+        per_step = format_double(static_cast<double>(r.mesh_steps) /
+                                 static_cast<double>(r.pram_steps));
+      }
+      t.add(r.workload, r.size, r.backend, r.pram_steps, r.mesh_steps,
+            per_step, r.combined_groups, r.stream.max_concurrency);
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nShape to reproduce: the full scheme's steps/pram column is "
+               "nearly flat across\nall eleven workloads — the deterministic "
+               "worst-case toll per step, oblivious to\nthe address stream — "
+               "while every baseline's column swings by an order of\n"
+               "magnitude with the workload's contention (compare "
+               "single_copy_mod on bitonic\nvs rank). The ideal rows pin the "
+               "oracle: all backends returned bit-identical\noutputs on "
+               "every row above.\n";
+  rec.write();
+  return 0;
+}

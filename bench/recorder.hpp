@@ -24,7 +24,13 @@
 //       Later additions within schema 5: optional per-point serving columns
 //       (offered, completed, rejected, p50_us, p95_us, p99_us, rps) recorded
 //       by point_serve — latency/throughput are wall-clock derived and
-//       informational, never diffed by tools/bench_smoke.py
+//       informational, never diffed by tools/bench_smoke.py.
+//       Also within schema 5: optional per-point algorithm-workload columns
+//       (algorithm, backend, family, size, pram_steps, backend_steps,
+//       combined_groups, max_concurrency, reuse_factor) recorded by
+//       point_algo for EXP-A1 — the step/contention counts are
+//       deterministic and gated by tools/bench_smoke.py; reuse_factor is a
+//       derived ratio, diffed exactly via the underlying counts
 #pragma once
 
 #include <chrono>
@@ -144,6 +150,34 @@ class BenchRecorder {
     points_.push_back(std::move(p));
   }
 
+  /// Deterministic identity + contention columns of one algorithm-workload
+  /// run (bench_algo_suite / EXP-A1).
+  struct AlgoColumns {
+    std::string algorithm;
+    std::string backend;
+    std::string family;
+    i64 size = 0;
+    i64 pram_steps = 0;        ///< program-level (CRCW) steps
+    i64 backend_steps = 0;     ///< EREW steps after the combining reduction
+    i64 combined_groups = 0;   ///< variables combined by the CRCW adapter
+    i64 max_concurrency = 0;   ///< largest same-variable group in one step
+    double reuse_factor = 0;   ///< accesses per distinct variable touched
+  };
+
+  /// Point with algorithm-workload columns. All integer columns are
+  /// deterministic (diffed exactly by the bench gate); wall_ms stays the
+  /// usual informational measurement.
+  void point_algo(std::string config, double wall_ms, i64 mesh_steps,
+                  const AlgoColumns& algo) {
+    Point p;
+    p.config = std::move(config);
+    p.wall_ms = wall_ms;
+    p.mesh_steps = mesh_steps;
+    p.has_algo = true;
+    p.algo = algo;
+    points_.push_back(std::move(p));
+  }
+
   std::string output_path() const {
     return bench_output_dir() + "/BENCH_" + name_ + ".json";
   }
@@ -189,6 +223,17 @@ class BenchRecorder {
           out << ", \"recovery_blackout_ms\": " << p.recovery_blackout_ms;
         }
       }
+      if (p.has_algo) {
+        out << ", \"algorithm\": \"" << p.algo.algorithm
+            << "\", \"backend\": \"" << p.algo.backend
+            << "\", \"family\": \"" << p.algo.family
+            << "\", \"size\": " << p.algo.size
+            << ", \"pram_steps\": " << p.algo.pram_steps
+            << ", \"backend_steps\": " << p.algo.backend_steps
+            << ", \"combined_groups\": " << p.algo.combined_groups
+            << ", \"max_concurrency\": " << p.algo.max_concurrency
+            << ", \"reuse_factor\": " << p.algo.reuse_factor;
+      }
       if (p.has_serve) {
         out << ", \"offered\": " << p.serve.offered
             << ", \"completed\": " << p.serve.completed
@@ -215,6 +260,8 @@ class BenchRecorder {
     double recovery_blackout_ms = -1;
     bool has_serve = false;
     ServeColumns serve;
+    bool has_algo = false;
+    AlgoColumns algo;
   };
   std::string name_;
   int ranks_ = 1;

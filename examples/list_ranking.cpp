@@ -5,7 +5,7 @@
 #include <iostream>
 #include <numeric>
 
-#include "pram/algorithms.hpp"
+#include "algo/staples.hpp"
 #include "pram/mesh_backend.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"

@@ -7,7 +7,7 @@
 // reduction.
 #include <iostream>
 
-#include "pram/algorithms.hpp"
+#include "algo/staples.hpp"
 #include "pram/combining.hpp"
 #include "pram/mesh_backend.hpp"
 #include "util/rng.hpp"

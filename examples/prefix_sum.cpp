@@ -4,7 +4,7 @@
 // step — the quantity Theorem 1 bounds.
 #include <iostream>
 
-#include "pram/algorithms.hpp"
+#include "algo/staples.hpp"
 #include "pram/mesh_backend.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"

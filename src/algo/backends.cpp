@@ -1,0 +1,173 @@
+#include "algo/backends.hpp"
+
+#include <algorithm>
+
+#include "pram/mesh_backend.hpp"
+#include "util/error.hpp"
+
+namespace meshpram::algo {
+
+const char* backend_kind_name(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::Ideal: return "ideal";
+    case BackendKind::Mesh: return "mesh";
+    case BackendKind::Direct: return "direct";
+    case BackendKind::SingleCopyModular: return "single_copy_mod";
+    case BackendKind::SingleCopyHashed: return "single_copy_hash";
+    case BackendKind::Mpc: return "mpc";
+  }
+  MP_ASSERT(false, "unknown backend kind");
+  return "?";
+}
+
+BackendKind backend_kind_from_name(const std::string& name) {
+  for (BackendKind kind : all_backend_kinds()) {
+    if (name == backend_kind_name(kind)) return kind;
+  }
+  throw ConfigError("unknown backend '" + name + "'");
+}
+
+const std::vector<BackendKind>& all_backend_kinds() {
+  static const std::vector<BackendKind> kinds = {
+      BackendKind::Ideal,          BackendKind::Mesh,
+      BackendKind::Direct,         BackendKind::SingleCopyModular,
+      BackendKind::SingleCopyHashed, BackendKind::Mpc,
+  };
+  return kinds;
+}
+
+std::unique_ptr<PramBackend> make_backend(BackendKind kind,
+                                          const SimConfig& config) {
+  switch (kind) {
+    case BackendKind::Ideal:
+      return std::make_unique<IdealBackend>(
+          static_cast<i64>(config.mesh_rows) * config.mesh_cols,
+          config.num_vars);
+    case BackendKind::Mesh:
+      return std::make_unique<MeshBackend>(config);
+    case BackendKind::Direct:
+      return std::make_unique<DirectBackend>(config);
+    case BackendKind::SingleCopyModular:
+      return std::make_unique<SingleCopyBackend>(config,
+                                                 SingleCopyPlacement::Modular);
+    case BackendKind::SingleCopyHashed:
+      return std::make_unique<SingleCopyBackend>(config,
+                                                 SingleCopyPlacement::Hashed);
+    case BackendKind::Mpc:
+      return std::make_unique<MpcBackend>(config);
+  }
+  MP_ASSERT(false, "unknown backend kind");
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// DirectBackend / SingleCopyBackend
+// ---------------------------------------------------------------------------
+
+std::vector<i64> DirectBackend::step(
+    const std::vector<AccessRequest>& requests) {
+  DirectStats st;
+  auto results = sim_.step(requests, &st);
+  mesh_steps_ += st.total_steps;
+  ++steps_;
+  results.resize(requests.size());
+  return results;
+}
+
+SingleCopyBackend::SingleCopyBackend(const SimConfig& config,
+                                     SingleCopyPlacement placement, u64 seed)
+    : sim_(config.mesh_rows, config.mesh_cols, config.num_vars, placement,
+           seed) {}
+
+std::vector<i64> SingleCopyBackend::step(
+    const std::vector<AccessRequest>& requests) {
+  SingleCopyStats st;
+  auto results = sim_.step(requests, &st);
+  mesh_steps_ += st.total_steps;
+  ++steps_;
+  results.resize(requests.size());
+  return results;
+}
+
+// ---------------------------------------------------------------------------
+// MpcBackend
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Smallest power-of-3 module count whose (3^d, 3)-BIBD hosts num_vars.
+i64 mpc_module_count(i64 num_vars) {
+  int d = 1;
+  while (bibd_input_count(3, d) < num_vars) ++d;
+  return ipow(3, d);
+}
+
+}  // namespace
+
+MpcBackend::MpcBackend(const SimConfig& config)
+    : sim_(3, mpc_module_count(config.num_vars), config.num_vars),
+      processors_(static_cast<i64>(config.mesh_rows) * config.mesh_cols),
+      memory_(static_cast<size_t>(config.num_vars), 0) {}
+
+std::vector<i64> MpcBackend::step(const std::vector<AccessRequest>& requests) {
+  MP_REQUIRE(static_cast<i64>(requests.size()) <= processors_,
+             "more requests than processors");
+  std::vector<i64> results(requests.size(), 0);
+  std::vector<i64> vars;
+  vars.reserve(requests.size());
+  // EREW step: reads before writes would not matter (vars are distinct),
+  // but keep the ideal backend's order for clarity.
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const AccessRequest& r = requests[i];
+    if (r.var < 0) continue;
+    MP_REQUIRE(0 <= r.var && r.var < num_vars(), "variable " << r.var);
+    vars.push_back(r.var);
+    if (r.op == Op::Read) {
+      results[i] = memory_[static_cast<size_t>(r.var)];
+    }
+  }
+  for (const AccessRequest& r : requests) {
+    if (r.var >= 0 && r.op == Op::Write) {
+      memory_[static_cast<size_t>(r.var)] = r.value;
+    }
+  }
+  if (!vars.empty()) contention_steps_ += sim_.majority_contention(vars);
+  ++steps_;
+  return results;
+}
+
+// ---------------------------------------------------------------------------
+// StreamStatsBackend / TraceBackend
+// ---------------------------------------------------------------------------
+
+std::vector<i64> StreamStatsBackend::step(
+    const std::vector<AccessRequest>& requests) {
+  ++stats_.program_steps;
+  std::unordered_map<i64, i64> per_var;
+  for (const AccessRequest& r : requests) {
+    if (r.var < 0) continue;
+    ++stats_.accesses;
+    (r.op == Op::Read ? stats_.reads : stats_.writes) += 1;
+    ++per_var[r.var];
+  }
+  for (const auto& [var, count] : per_var) {
+    stats_.max_concurrency = std::max(stats_.max_concurrency, count);
+    i64& total = var_counts_[var];
+    if (total == 0) ++stats_.distinct_vars;
+    total += count;
+    stats_.hot_var_accesses = std::max(stats_.hot_var_accesses, total);
+  }
+  return inner_.step(requests);
+}
+
+std::vector<i64> TraceBackend::step(const std::vector<AccessRequest>& requests) {
+  std::vector<AccessRequest> kept;
+  kept.reserve(requests.size());
+  for (const AccessRequest& r : requests) {
+    if (r.var >= 0) kept.push_back(r);
+  }
+  if (!kept.empty()) trace_.push_back(std::move(kept));
+  return inner_.step(requests);
+}
+
+}  // namespace meshpram::algo

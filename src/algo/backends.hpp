@@ -1,0 +1,168 @@
+// PramBackend adapters over every memory scheme the repo models, so a
+// workload runs unchanged on all of them and EXP-A1 can put HMOS, the
+// ablation and the baselines in one table.
+//
+// Ideal and Mesh already implement PramBackend (src/pram); this header adds
+// adapters for the direct-routing ablation, the single-copy baselines and
+// the MPC contention model, plus two wrappers the WorkloadHarness stacks on
+// top: StreamStatsBackend (address-stream telemetry above the CRCW->EREW
+// reduction) and TraceBackend (records the EREW-ized steps for the serving
+// scenario library).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pram/backend.hpp"
+#include "pram/baselines/direct.hpp"
+#include "pram/baselines/mpc.hpp"
+#include "pram/baselines/single_copy.hpp"
+#include "protocol/simulator.hpp"
+
+namespace meshpram::algo {
+
+enum class BackendKind {
+  Ideal,             ///< flat memory, zero cost (the oracle)
+  Mesh,              ///< the paper's HMOS + CULLING + staged routing
+  Direct,            ///< HMOS replication without culling/staging (ablation)
+  SingleCopyModular, ///< one copy per variable, v mod n placement
+  SingleCopyHashed,  ///< one copy per variable, hashed placement
+  Mpc,               ///< module-parallel contention model (BIBD majority)
+};
+
+const char* backend_kind_name(BackendKind kind);
+/// Inverse of backend_kind_name; throws ConfigError on unknown names.
+BackendKind backend_kind_from_name(const std::string& name);
+/// All kinds, oracle first — the iteration order of the harness and bench.
+const std::vector<BackendKind>& all_backend_kinds();
+
+/// Builds a ready backend for `kind` on the given mesh/memory geometry.
+/// Every returned backend starts from all-zero memory semantics in the
+/// sense that workloads publish every cell before reading it.
+std::unique_ptr<PramBackend> make_backend(BackendKind kind,
+                                          const SimConfig& config);
+
+/// DirectAllCopiesSim as a PramBackend.
+class DirectBackend : public PramBackend {
+ public:
+  explicit DirectBackend(const SimConfig& config) : sim_(config) {}
+
+  i64 processors() const override { return sim_.processors(); }
+  i64 num_vars() const override { return sim_.num_vars(); }
+  std::vector<i64> step(const std::vector<AccessRequest>& requests) override;
+  i64 total_mesh_steps() const override { return mesh_steps_; }
+  i64 pram_steps() const override { return steps_; }
+
+ private:
+  DirectAllCopiesSim sim_;
+  i64 mesh_steps_ = 0;
+  i64 steps_ = 0;
+};
+
+/// SingleCopySim as a PramBackend.
+class SingleCopyBackend : public PramBackend {
+ public:
+  SingleCopyBackend(const SimConfig& config, SingleCopyPlacement placement,
+                    u64 seed = 1);
+
+  i64 processors() const override { return sim_.processors(); }
+  i64 num_vars() const override { return sim_.num_vars(); }
+  std::vector<i64> step(const std::vector<AccessRequest>& requests) override;
+  i64 total_mesh_steps() const override { return mesh_steps_; }
+  i64 pram_steps() const override { return steps_; }
+
+ private:
+  SingleCopySim sim_;
+  i64 mesh_steps_ = 0;
+  i64 steps_ = 0;
+};
+
+/// MpcSim as a PramBackend: flat memory for the values (the MPC model only
+/// prices contention, it does not move data) plus the BIBD majority-quorum
+/// contention charged as the step cost. q = 3, m = the smallest power of 3
+/// whose BIBD hosts num_vars.
+class MpcBackend : public PramBackend {
+ public:
+  explicit MpcBackend(const SimConfig& config);
+
+  i64 processors() const override { return processors_; }
+  i64 num_vars() const override { return static_cast<i64>(memory_.size()); }
+  std::vector<i64> step(const std::vector<AccessRequest>& requests) override;
+  i64 total_mesh_steps() const override { return contention_steps_; }
+  i64 pram_steps() const override { return steps_; }
+
+  i64 modules() const { return sim_.modules(); }
+
+ private:
+  MpcSim sim_;
+  i64 processors_;
+  std::vector<i64> memory_;
+  i64 contention_steps_ = 0;
+  i64 steps_ = 0;
+};
+
+/// Address-stream telemetry for EXP-A1, collected ABOVE the CRCW->EREW
+/// reduction so concurrency is observed before combining flattens it.
+struct StreamStats {
+  i64 program_steps = 0;     ///< steps seen at this layer
+  i64 accesses = 0;          ///< non-idle requests
+  i64 reads = 0;
+  i64 writes = 0;
+  i64 max_concurrency = 1;   ///< largest same-variable group in one step
+  i64 distinct_vars = 0;     ///< variables ever touched
+  i64 hot_var_accesses = 0;  ///< accesses to the most-touched variable
+
+  /// Variable-reuse skew: mean accesses per touched variable.
+  double reuse_factor() const {
+    return distinct_vars > 0
+               ? static_cast<double>(accesses) / static_cast<double>(distinct_vars)
+               : 0.0;
+  }
+};
+
+/// Pass-through wrapper recording StreamStats. Place it between the program
+/// and the CombiningBackend (or directly above an EREW backend for EREW
+/// programs).
+class StreamStatsBackend : public PramBackend {
+ public:
+  explicit StreamStatsBackend(PramBackend& inner) : inner_(inner) {}
+
+  i64 processors() const override { return inner_.processors(); }
+  i64 num_vars() const override { return inner_.num_vars(); }
+  std::vector<i64> step(const std::vector<AccessRequest>& requests) override;
+  i64 total_mesh_steps() const override { return inner_.total_mesh_steps(); }
+  i64 pram_steps() const override { return inner_.pram_steps(); }
+
+  const StreamStats& stats() const { return stats_; }
+
+ private:
+  PramBackend& inner_;
+  StreamStats stats_;
+  std::unordered_map<i64, i64> var_counts_;
+};
+
+/// Records every (EREW) step it executes — the serving scenario library
+/// replays these traces as session traffic (tools/serve_loadgen
+/// --scenario algo:<name>). Idle slots are dropped from the recording.
+class TraceBackend : public PramBackend {
+ public:
+  explicit TraceBackend(PramBackend& inner) : inner_(inner) {}
+
+  i64 processors() const override { return inner_.processors(); }
+  i64 num_vars() const override { return inner_.num_vars(); }
+  std::vector<i64> step(const std::vector<AccessRequest>& requests) override;
+  i64 total_mesh_steps() const override { return inner_.total_mesh_steps(); }
+  i64 pram_steps() const override { return inner_.pram_steps(); }
+
+  const std::vector<std::vector<AccessRequest>>& trace() const {
+    return trace_;
+  }
+
+ private:
+  PramBackend& inner_;
+  std::vector<std::vector<AccessRequest>> trace_;
+};
+
+}  // namespace meshpram::algo

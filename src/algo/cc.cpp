@@ -1,0 +1,125 @@
+#include "algo/cc.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace meshpram::algo {
+
+ConnectedComponentsProgram::ConnectedComponentsProgram(const GraphInput& graph,
+                                                       i64 base_var)
+    : n_(graph.n), m_(static_cast<i64>(graph.edges.size())), base_(base_var),
+      pu_(graph.edges.size(), 0), pv_(graph.edges.size(), 0),
+      cur_(graph.edges.size(), 0),
+      p1_(static_cast<size_t>(graph.n), 0),
+      p2_(static_cast<size_t>(graph.n), 0),
+      edge_changed_(graph.edges.size(), 0),
+      vert_changed_(static_cast<size_t>(graph.n), 0) {
+  MP_REQUIRE(n_ >= 1, "graph needs at least one vertex");
+  eu_.reserve(graph.edges.size());
+  ev_.reserve(graph.edges.size());
+  for (const auto& [u, v] : graph.edges) {
+    MP_REQUIRE(0 <= u && u < n_ && 0 <= v && v < n_ && u != v,
+               "bad edge (" << u << ", " << v << ")");
+    eu_.push_back(u);
+    ev_.push_back(v);
+  }
+}
+
+i64 ConnectedComponentsProgram::processors() const { return std::max(n_, m_); }
+
+bool ConnectedComponentsProgram::done(i64 /*step*/) const { return converged_; }
+
+AccessRequest ConnectedComponentsProgram::plan(i64 proc, i64 step) {
+  if (step == 0) {  // parent[v] = v
+    if (proc >= n_) return {};
+    return {base_ + proc, Op::Write, proc};
+  }
+  if (step == 1) {  // clear the convergence flag
+    if (proc != 0) return {};
+    return {base_ + n_, Op::Write, 0};
+  }
+  const i64 phase = (step - 2) % 10;
+  const size_t p = static_cast<size_t>(proc);
+  const bool is_edge = proc < m_;
+  const bool is_vert = proc < n_;
+  switch (phase) {
+    case 0:
+      if (!is_edge) return {};
+      edge_changed_[p] = 0;
+      return {base_ + eu_[p], Op::Read, 0};
+    case 1:
+      if (!is_edge) return {};
+      return {base_ + ev_[p], Op::Read, 0};
+    case 2:
+      if (!is_edge || pu_[p] == pv_[p]) return {};
+      return {base_ + std::max(pu_[p], pv_[p]), Op::Read, 0};
+    case 3: {
+      if (!is_edge || pu_[p] == pv_[p]) return {};
+      const i64 lo = std::min(pu_[p], pv_[p]);
+      if (lo >= cur_[p]) return {};  // guard: only ever lower a cell
+      edge_changed_[p] = 1;
+      return {base_ + std::max(pu_[p], pv_[p]), Op::Write, lo};
+    }
+    case 4:
+      if (!is_vert) return {};
+      vert_changed_[p] = 0;
+      return {base_ + proc, Op::Read, 0};
+    case 5:
+      if (!is_vert) return {};
+      return {base_ + p1_[p], Op::Read, 0};
+    case 6:
+      if (!is_vert || p2_[p] == p1_[p]) return {};
+      vert_changed_[p] = 1;
+      return {base_ + proc, Op::Write, p2_[p]};
+    case 7: {
+      const bool changed = (is_edge && edge_changed_[p]) ||
+                           (is_vert && vert_changed_[p]);
+      if (!changed) return {};
+      return {base_ + n_, Op::Write, 1};
+    }
+    case 8:
+      if (proc != 0) return {};
+      return {base_ + n_, Op::Read, 0};
+    default:  // 9: reset the flag for the next round
+      if (proc != 0) return {};
+      return {base_ + n_, Op::Write, 0};
+  }
+}
+
+void ConnectedComponentsProgram::receive(i64 proc, i64 step, i64 value) {
+  const i64 phase = (step - 2) % 10;
+  const size_t p = static_cast<size_t>(proc);
+  switch (phase) {
+    case 0: pu_[p] = value; break;
+    case 1: pv_[p] = value; break;
+    case 2: cur_[p] = value; break;
+    case 4: p1_[p] = value; break;
+    case 5: p2_[p] = value; break;
+    case 8:
+      ++rounds_executed_;
+      if (value == 0) converged_ = true;
+      break;
+    default:
+      MP_ASSERT(false, "unexpected read delivery in phase " << phase);
+  }
+}
+
+std::vector<i64> ConnectedComponentsProgram::labels() const {
+  MP_REQUIRE(converged_, "labels() before the program converged");
+  // At the fixpoint p1_[v] = parent[v] is a per-component constant but not
+  // necessarily the minimum vertex; canonicalize for comparison with
+  // reference_components().
+  std::map<i64, i64> canon;  // raw label -> min vertex carrying it
+  for (i64 v = 0; v < n_; ++v) {
+    canon.emplace(p1_[static_cast<size_t>(v)], v);
+  }
+  std::vector<i64> out(static_cast<size_t>(n_));
+  for (i64 v = 0; v < n_; ++v) {
+    out[static_cast<size_t>(v)] = canon.at(p1_[static_cast<size_t>(v)]);
+  }
+  return out;
+}
+
+}  // namespace meshpram::algo

@@ -1,0 +1,70 @@
+// CRCW connected components by hooking + shortcutting (Liu–Tarjan style).
+//
+// The first genuinely concurrent workload in the repo: every round, all
+// edges concurrently read their endpoints' parents and race priority-CRCW
+// writes onto the larger parent cell (hooking), then all vertices compress
+// their parent pointers one level (shortcutting). Runs through
+// CombiningBackend, which is what makes the CRCW->EREW adapter load-bearing:
+// star graphs funnel every hook write into one cell, expanders spread
+// contention wide, paths maximize the number of shortcut rounds.
+#pragma once
+
+#include <vector>
+
+#include "algo/inputs.hpp"
+#include "pram/program.hpp"
+
+namespace meshpram::algo {
+
+/// One processor per max(n, edges); processor i acts as edge i in edge
+/// phases and vertex i in vertex phases. Shared memory: parent[v] at
+/// base + v, a convergence flag at base + n (vars_needed() = n + 1).
+///
+/// Step schedule: step 0 initializes parent[v] = v, step 1 clears the flag,
+/// then rounds of 10 phases until a round changes nothing:
+///   0  edge e reads parent[u_e]
+///   1  edge e reads parent[v_e]
+///   2  edge e (pu != pv) reads parent[max(pu, pv)]          -> cur
+///   3  edge e (min(pu, pv) < cur) writes parent[max] = min  [hook, CRCW]
+///   4  vertex v reads parent[v]                             -> p1
+///   5  vertex v reads parent[p1]                            -> p2
+///   6  vertex v (p2 != p1) writes parent[v] = p2            [shortcut]
+///   7  every processor that changed something writes flag = 1  [combined]
+///   8  processor 0 reads the flag (round changed nothing -> converged)
+///   9  processor 0 resets the flag
+///
+/// The guard in phase 3 makes every parent cell monotonically
+/// non-increasing (a plain hook against a stale read could raise it), which
+/// is the termination argument: a non-converged round strictly decreases
+/// some cell, and cells are bounded below by 0. At the fixpoint every
+/// parent is a root and every edge joins equal labels.
+class ConnectedComponentsProgram : public PramProgram {
+ public:
+  explicit ConnectedComponentsProgram(const GraphInput& graph, i64 base_var = 0);
+
+  i64 processors() const override;
+  bool done(i64 step) const override;
+  AccessRequest plan(i64 proc, i64 step) override;
+  void receive(i64 proc, i64 step, i64 value) override;
+
+  /// Component labels after the run, canonicalized to the minimum vertex id
+  /// per component (directly comparable with reference_components()).
+  std::vector<i64> labels() const;
+
+  i64 vars_needed() const { return n_ + 1; }
+  i64 rounds_executed() const { return rounds_executed_; }
+
+ private:
+  i64 n_;
+  i64 m_;
+  i64 base_;
+  std::vector<i64> eu_, ev_;        ///< edge endpoints (local knowledge)
+  std::vector<i64> pu_, pv_, cur_;  ///< per-edge reads this round
+  std::vector<i64> p1_, p2_;        ///< per-vertex reads this round; at the
+                                    ///< fixpoint p1_ holds the final labels
+  std::vector<char> edge_changed_, vert_changed_;
+  bool converged_ = false;
+  i64 rounds_executed_ = 0;
+};
+
+}  // namespace meshpram::algo

@@ -1,0 +1,346 @@
+#include "algo/harness.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "algo/cc.hpp"
+#include "algo/refine.hpp"
+#include "algo/staples.hpp"
+#include "pram/combining.hpp"
+#include "util/error.hpp"
+
+namespace meshpram::algo {
+
+namespace {
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+i64 floor_pow2(i64 n) {
+  i64 p = 1;
+  while (p * 2 <= n) p *= 2;
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Workload implementations
+// ---------------------------------------------------------------------------
+
+class CcWorkload : public Workload {
+ public:
+  CcWorkload(GraphFamily family, i64 n, u64 seed)
+      : fam_(family), graph_(make_graph(family, n, seed)) {}
+
+  std::string name() const override {
+    return std::string("cc:") + graph_family_name(fam_);
+  }
+  std::string family() const override { return graph_family_name(fam_); }
+  i64 size() const override { return graph_.n; }
+  bool crcw() const override { return true; }
+  i64 processors_needed() const override {
+    return std::max(graph_.n, static_cast<i64>(graph_.edges.size()));
+  }
+  i64 vars_needed() const override { return graph_.n + 1; }
+  std::unique_ptr<PramProgram> make_program() const override {
+    return std::make_unique<ConnectedComponentsProgram>(graph_);
+  }
+  std::vector<i64> output(const PramProgram& program) const override {
+    return static_cast<const ConnectedComponentsProgram&>(program).labels();
+  }
+  std::vector<i64> reference() const override {
+    return reference_components(graph_);
+  }
+
+ private:
+  GraphFamily fam_;
+  GraphInput graph_;
+};
+
+class RefineWorkload : public Workload {
+ public:
+  RefineWorkload(i64 n, u64 seed)
+      : input_(make_partition(n, std::max<i64>(2, n / 4), seed)) {}
+
+  std::string name() const override { return "refine"; }
+  std::string family() const override { return "functional"; }
+  i64 size() const override { return input_.n; }
+  bool crcw() const override { return true; }
+  i64 processors_needed() const override { return input_.n; }
+  i64 vars_needed() const override {
+    return input_.n * input_.n + input_.n + 1;
+  }
+  std::unique_ptr<PramProgram> make_program() const override {
+    return std::make_unique<PartitionRefinementProgram>(input_);
+  }
+  std::vector<i64> output(const PramProgram& program) const override {
+    return static_cast<const PartitionRefinementProgram&>(program).blocks();
+  }
+  std::vector<i64> reference() const override {
+    return reference_refinement(input_);
+  }
+
+ private:
+  PartitionInput input_;
+};
+
+class PrefixWorkload : public Workload {
+ public:
+  PrefixWorkload(i64 n, u64 seed)
+      : input_(random_values(n, seed, -1000, 1000)) {}
+
+  std::string name() const override { return "prefix"; }
+  std::string family() const override { return "uniform"; }
+  i64 size() const override { return static_cast<i64>(input_.size()); }
+  bool crcw() const override { return false; }
+  i64 processors_needed() const override { return size(); }
+  i64 vars_needed() const override { return size(); }
+  std::unique_ptr<PramProgram> make_program() const override {
+    return std::make_unique<PrefixSumProgram>(input_);
+  }
+  std::vector<i64> output(const PramProgram& program) const override {
+    return static_cast<const PrefixSumProgram&>(program).result();
+  }
+  std::vector<i64> reference() const override {
+    return PrefixSumProgram::expected(input_);
+  }
+
+ private:
+  std::vector<i64> input_;
+};
+
+class ScanWorkload : public Workload {
+ public:
+  ScanWorkload(i64 n, u64 seed)
+      : input_(random_values(n, seed, -1000, 1000)) {}
+
+  std::string name() const override { return "scan"; }
+  std::string family() const override { return "uniform"; }
+  i64 size() const override { return static_cast<i64>(input_.size()); }
+  bool crcw() const override { return false; }
+  i64 processors_needed() const override {
+    i64 p = 1;
+    while (p < size()) p *= 2;
+    return p;
+  }
+  i64 vars_needed() const override { return processors_needed(); }
+  std::unique_ptr<PramProgram> make_program() const override {
+    return std::make_unique<BlellochScanProgram>(input_);
+  }
+  std::vector<i64> output(const PramProgram& program) const override {
+    return static_cast<const BlellochScanProgram&>(program).result();
+  }
+  std::vector<i64> reference() const override {
+    return PrefixSumProgram::expected(input_);
+  }
+
+ private:
+  std::vector<i64> input_;
+};
+
+class RankWorkload : public Workload {
+ public:
+  RankWorkload(i64 n, u64 seed) : succ_(random_list(n, seed)) {}
+
+  std::string name() const override { return "rank"; }
+  std::string family() const override { return "list"; }
+  i64 size() const override { return static_cast<i64>(succ_.size()); }
+  bool crcw() const override { return false; }
+  i64 processors_needed() const override { return size(); }
+  i64 vars_needed() const override { return 2 * size(); }
+  std::unique_ptr<PramProgram> make_program() const override {
+    return std::make_unique<ListRankingProgram>(succ_);
+  }
+  std::vector<i64> output(const PramProgram& program) const override {
+    return static_cast<const ListRankingProgram&>(program).ranks();
+  }
+  std::vector<i64> reference() const override {
+    return ListRankingProgram::expected(succ_);
+  }
+
+ private:
+  std::vector<i64> succ_;
+};
+
+class SortWorkload : public Workload {
+ public:
+  SortWorkload(bool bitonic, i64 n, u64 seed)
+      : bitonic_(bitonic),
+        input_(random_values(bitonic ? floor_pow2(std::max<i64>(2, n)) : n,
+                             seed, -100000, 100000)) {}
+
+  std::string name() const override { return bitonic_ ? "bitonic" : "oddeven"; }
+  std::string family() const override { return "uniform"; }
+  i64 size() const override { return static_cast<i64>(input_.size()); }
+  bool crcw() const override { return false; }
+  i64 processors_needed() const override { return size(); }
+  i64 vars_needed() const override { return size(); }
+  std::unique_ptr<PramProgram> make_program() const override {
+    if (bitonic_) return std::make_unique<BitonicSortProgram>(input_);
+    return std::make_unique<OddEvenSortProgram>(input_);
+  }
+  std::vector<i64> output(const PramProgram& program) const override {
+    if (bitonic_) {
+      return static_cast<const BitonicSortProgram&>(program).result();
+    }
+    return static_cast<const OddEvenSortProgram&>(program).result();
+  }
+  std::vector<i64> reference() const override {
+    std::vector<i64> out = input_;
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  bool bitonic_;
+  std::vector<i64> input_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_workload(const std::string& name, i64 size,
+                                        u64 seed) {
+  MP_REQUIRE(size >= 1, "workload size " << size);
+  if (name == "prefix") return std::make_unique<PrefixWorkload>(size, seed);
+  if (name == "scan") return std::make_unique<ScanWorkload>(size, seed);
+  if (name == "rank") return std::make_unique<RankWorkload>(size, seed);
+  if (name == "oddeven") {
+    return std::make_unique<SortWorkload>(false, size, seed);
+  }
+  if (name == "bitonic") {
+    return std::make_unique<SortWorkload>(true, size, seed);
+  }
+  if (name == "refine") return std::make_unique<RefineWorkload>(size, seed);
+  if (name == "cc") {
+    return std::make_unique<CcWorkload>(GraphFamily::Grid, size, seed);
+  }
+  if (name.rfind("cc:", 0) == 0) {
+    const std::string fam = name.substr(3);
+    for (GraphFamily f : {GraphFamily::Path, GraphFamily::Star,
+                          GraphFamily::Grid, GraphFamily::Expander,
+                          GraphFamily::RandomForest}) {
+      if (fam == graph_family_name(f)) {
+        return std::make_unique<CcWorkload>(f, size, seed);
+      }
+    }
+  }
+  throw ConfigError("unknown workload '" + name + "'");
+}
+
+const std::vector<std::string>& workload_names() {
+  static const std::vector<std::string> names = {
+      "cc:path", "cc:star", "cc:grid", "cc:expander", "cc:forest",
+      "refine",  "prefix",  "scan",    "rank",        "oddeven",
+      "bitonic",
+  };
+  return names;
+}
+
+std::unique_ptr<Workload> make_workload_fitting(const std::string& name,
+                                                i64 size, i64 processors,
+                                                i64 num_vars, u64 seed) {
+  for (i64 n = size; n >= 2; --n) {
+    auto w = make_workload(name, n, seed);
+    if (w->processors_needed() <= processors && w->vars_needed() <= num_vars) {
+      return w;
+    }
+  }
+  throw ConfigError("workload '" + name + "' does not fit " +
+                    std::to_string(processors) + " processors / " +
+                    std::to_string(num_vars) + " vars at any size");
+}
+
+// ---------------------------------------------------------------------------
+// WorkloadHarness
+// ---------------------------------------------------------------------------
+
+WorkloadHarness::WorkloadHarness(const SimConfig& config) : config_(config) {}
+
+HarnessResult WorkloadHarness::run(const Workload& workload,
+                                   BackendKind kind) const {
+  const i64 mesh_procs =
+      static_cast<i64>(config_.mesh_rows) * config_.mesh_cols;
+  MP_REQUIRE(workload.processors_needed() <= mesh_procs,
+             "workload " << workload.name() << " wants "
+                         << workload.processors_needed()
+                         << " processors, machine has " << mesh_procs);
+  MP_REQUIRE(workload.vars_needed() <= config_.num_vars,
+             "workload " << workload.name() << " wants "
+                         << workload.vars_needed() << " vars, machine has "
+                         << config_.num_vars);
+
+  // Oracle leg: the same program on IdealBackend, checked against the host
+  // reference. Re-run per call so every reported row was freshly verified.
+  std::vector<i64> oracle;
+  {
+    IdealBackend ideal(mesh_procs, config_.num_vars);
+    auto program = workload.make_program();
+    if (workload.crcw()) {
+      CombiningBackend combining(ideal);
+      run_program(*program, combining);
+    } else {
+      run_program(*program, ideal);
+    }
+    oracle = workload.output(*program);
+  }
+  MP_ASSERT(oracle == workload.reference(),
+            "oracle run of " << workload.name()
+                             << " disagrees with the host reference");
+
+  HarnessResult result;
+  result.workload = workload.name();
+  result.backend = backend_kind_name(kind);
+  result.family = workload.family();
+  result.size = workload.size();
+  result.crcw = workload.crcw();
+  result.zero_cost_backend = kind == BackendKind::Ideal;
+
+  auto base = make_backend(kind, config_);
+  auto program = workload.make_program();
+  const double t0 = now_ms();
+  if (workload.crcw()) {
+    CombiningBackend combining(*base);
+    StreamStatsBackend stats(combining);
+    result.pram_steps = run_program(*program, stats);
+    result.combined_groups = combining.combined_groups();
+    result.stream = stats.stats();
+  } else {
+    StreamStatsBackend stats(*base);
+    result.pram_steps = run_program(*program, stats);
+    result.stream = stats.stats();
+  }
+  result.wall_ms = now_ms() - t0;
+  result.backend_steps = base->pram_steps();
+  result.mesh_steps = base->total_mesh_steps();
+
+  MP_ASSERT(workload.output(*program) == oracle,
+            "backend " << result.backend << " output of " << workload.name()
+                       << " differs from the IdealBackend oracle");
+  return result;
+}
+
+std::vector<std::vector<AccessRequest>> WorkloadHarness::record_erew_trace(
+    const Workload& workload, i64 processors, i64 num_vars) {
+  MP_REQUIRE(workload.processors_needed() <= processors &&
+                 workload.vars_needed() <= num_vars,
+             "workload " << workload.name() << " does not fit a "
+                         << processors << "-processor / " << num_vars
+                         << "-var session");
+  IdealBackend ideal(processors, num_vars);
+  TraceBackend trace(ideal);
+  auto program = workload.make_program();
+  if (workload.crcw()) {
+    CombiningBackend combining(trace);
+    run_program(*program, combining);
+  } else {
+    run_program(*program, trace);
+  }
+  MP_ASSERT(workload.output(*program) == workload.reference(),
+            "trace recording of " << workload.name() << " produced a wrong "
+                                  << "answer");
+  return trace.trace();
+}
+
+}  // namespace meshpram::algo

@@ -1,0 +1,98 @@
+// WorkloadHarness: run a named PRAM workload on any backend, always under
+// the oracle protocol.
+//
+// A Workload bundles a seeded input, the program that solves it, and two
+// independent ground truths: the same program executed on IdealBackend and
+// a host-side reference solver. WorkloadHarness::run() executes the
+// program on the requested backend (CRCW programs go through
+// CombiningBackend; StreamStatsBackend sits above the reduction to observe
+// raw concurrency) and REQUIREs the canonical output to be bit-identical to
+// both ground truths before reporting any numbers — a slow-but-wrong
+// backend cannot produce an EXP-A1 row.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/backends.hpp"
+#include "pram/program.hpp"
+
+namespace meshpram::algo {
+
+/// One reproducible problem instance + its program + its ground truth.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;    ///< registry name, e.g. "cc:star"
+  virtual std::string family() const = 0;  ///< input family label
+  virtual i64 size() const = 0;            ///< instance size (n)
+  virtual bool crcw() const = 0;           ///< needs the CRCW->EREW adapter
+  virtual i64 processors_needed() const = 0;
+  virtual i64 vars_needed() const = 0;
+  /// Fresh program instance for one run (programs are single-shot).
+  virtual std::unique_ptr<PramProgram> make_program() const = 0;
+  /// Canonical output extracted from a completed program.
+  virtual std::vector<i64> output(const PramProgram& program) const = 0;
+  /// Host-computed reference answer.
+  virtual std::vector<i64> reference() const = 0;
+};
+
+/// Names accepted by make_workload: "prefix", "scan", "rank", "oddeven",
+/// "bitonic", "refine", "cc" (grid graph) and "cc:<family>" for
+/// path/star/grid/expander/forest.
+std::unique_ptr<Workload> make_workload(const std::string& name, i64 size,
+                                        u64 seed);
+
+/// The default suite enumerated by bench_algo_suite and the scenario list.
+const std::vector<std::string>& workload_names();
+
+/// Largest instance of `name` (trying `size` downward) that fits the given
+/// processor/variable budget; throws ConfigError if even size 2 does not.
+std::unique_ptr<Workload> make_workload_fitting(const std::string& name,
+                                                i64 size, i64 processors,
+                                                i64 num_vars, u64 seed);
+
+/// One oracle-checked run of a workload on a backend.
+struct HarnessResult {
+  std::string workload;
+  std::string backend;
+  std::string family;
+  i64 size = 0;
+  bool crcw = false;
+  i64 pram_steps = 0;     ///< program-level steps (CRCW steps for CRCW runs)
+  i64 backend_steps = 0;  ///< EREW steps reaching the backend
+  i64 mesh_steps = 0;     ///< backend cost (0 for zero-cost backends)
+  /// True when the backend has no cost model at all (IdealBackend): its
+  /// mesh_steps is not a measurement, and slowdown columns must not divide
+  /// by it. See PramBackend::total_mesh_steps(), which is pure precisely so
+  /// backends cannot drift into this state silently.
+  bool zero_cost_backend = false;
+  i64 combined_groups = 0;  ///< concurrent groups the CRCW adapter combined
+  StreamStats stream;       ///< raw (pre-combining) address-stream stats
+  double wall_ms = 0;       ///< informational, machine-dependent
+};
+
+class WorkloadHarness {
+ public:
+  explicit WorkloadHarness(const SimConfig& config);
+
+  /// Runs `workload` on `kind`. Throws InternalError if the output differs
+  /// from the IdealBackend run or the host reference.
+  HarnessResult run(const Workload& workload, BackendKind kind) const;
+
+  const SimConfig& config() const { return config_; }
+
+  /// Executes the workload on IdealBackend and records the EREW-ized step
+  /// stream (after the CRCW->EREW reduction for CRCW programs) for a
+  /// machine with the given shape. The serving layer replays the trace as
+  /// session traffic.
+  static std::vector<std::vector<AccessRequest>> record_erew_trace(
+      const Workload& workload, i64 processors, i64 num_vars);
+
+ private:
+  SimConfig config_;
+};
+
+}  // namespace meshpram::algo

@@ -1,0 +1,187 @@
+#include "algo/inputs.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace meshpram::algo {
+
+const char* graph_family_name(GraphFamily family) {
+  switch (family) {
+    case GraphFamily::Path: return "path";
+    case GraphFamily::Star: return "star";
+    case GraphFamily::Grid: return "grid";
+    case GraphFamily::Expander: return "expander";
+    case GraphFamily::RandomForest: return "forest";
+  }
+  MP_ASSERT(false, "unknown graph family");
+  return "?";
+}
+
+GraphInput make_graph(GraphFamily family, i64 n, u64 seed) {
+  MP_REQUIRE(n >= 1, "graph needs at least one vertex, got " << n);
+  GraphInput g;
+  g.n = n;
+  Rng rng(seed);
+  switch (family) {
+    case GraphFamily::Path:
+      for (i64 i = 0; i + 1 < n; ++i) g.edges.emplace_back(i, i + 1);
+      break;
+    case GraphFamily::Star:
+      for (i64 i = 1; i < n; ++i) g.edges.emplace_back(0, i);
+      break;
+    case GraphFamily::Grid: {
+      // Row-major grid of width ceil(sqrt n); the last row may be ragged.
+      i64 w = 1;
+      while (w * w < n) ++w;
+      for (i64 i = 0; i < n; ++i) {
+        if ((i + 1) % w != 0 && i + 1 < n) g.edges.emplace_back(i, i + 1);
+        if (i + w < n) g.edges.emplace_back(i, i + w);
+      }
+      break;
+    }
+    case GraphFamily::Expander:
+      // Cycle for connectivity plus n random chords: constant average
+      // degree, logarithmic diameter with overwhelming probability. A
+      // single vertex has no cycle (a self-loop is not an edge).
+      if (n > 1) {
+        for (i64 i = 0; i < n; ++i) g.edges.emplace_back(i, (i + 1) % n);
+      }
+      if (n > 2) {
+        for (i64 i = 0; i < n; ++i) {
+          const i64 u = static_cast<i64>(rng.below(static_cast<u64>(n)));
+          i64 v = static_cast<i64>(rng.below(static_cast<u64>(n - 1)));
+          if (v >= u) ++v;  // uniform over vertices != u
+          g.edges.emplace_back(u, v);
+        }
+      }
+      break;
+    case GraphFamily::RandomForest:
+      // Random attachment; roughly one vertex in eight starts a new tree,
+      // so the instance has many components of varying depth.
+      for (i64 v = 1; v < n; ++v) {
+        if (rng.below(8) == 0) continue;  // new root
+        g.edges.emplace_back(v, static_cast<i64>(rng.below(static_cast<u64>(v))));
+      }
+      break;
+  }
+  return g;
+}
+
+std::vector<i64> reference_components(const GraphInput& graph) {
+  std::vector<i64> parent(static_cast<size_t>(graph.n));
+  std::iota(parent.begin(), parent.end(), i64{0});
+  auto find = [&](i64 x) {
+    while (parent[static_cast<size_t>(x)] != x) {
+      parent[static_cast<size_t>(x)] =
+          parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
+      x = parent[static_cast<size_t>(x)];
+    }
+    return x;
+  };
+  for (const auto& [u, v] : graph.edges) {
+    const i64 ru = find(u);
+    const i64 rv = find(v);
+    if (ru != rv) parent[static_cast<size_t>(std::max(ru, rv))] = std::min(ru, rv);
+  }
+  std::vector<i64> label(static_cast<size_t>(graph.n));
+  // Roots are always the minimum vertex of their component because unions
+  // hang the larger root below the smaller one.
+  for (i64 v = 0; v < graph.n; ++v) label[static_cast<size_t>(v)] = find(v);
+  return label;
+}
+
+PartitionInput make_partition(i64 n, i64 initial_blocks, u64 seed) {
+  MP_REQUIRE(n >= 1, "partition over empty ground set");
+  MP_REQUIRE(initial_blocks >= 1, "need at least one initial block");
+  Rng rng(seed);
+  PartitionInput p;
+  p.n = n;
+  p.succ.resize(static_cast<size_t>(n));
+  p.block.resize(static_cast<size_t>(n));
+  for (i64 i = 0; i < n; ++i) {
+    p.succ[static_cast<size_t>(i)] =
+        static_cast<i64>(rng.below(static_cast<u64>(n)));
+    p.block[static_cast<size_t>(i)] =
+        static_cast<i64>(rng.below(static_cast<u64>(initial_blocks)));
+  }
+  return p;
+}
+
+namespace {
+
+/// One host refinement sweep: new label of i is the least j with the same
+/// (block, successor block) signature — the same leader rule the PRAM
+/// program's priority-CRCW write implements.
+std::vector<i64> refine_once(const PartitionInput& input,
+                             const std::vector<i64>& block) {
+  const i64 n = input.n;
+  std::vector<i64> out(static_cast<size_t>(n));
+  // leader[signature] = min index; signatures keyed by (block, succ block)
+  // pairs, resolved with a sort over indices for O(n log n) per sweep.
+  std::vector<i64> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), i64{0});
+  auto sig = [&](i64 i) {
+    return std::pair<i64, i64>(
+        block[static_cast<size_t>(i)],
+        block[static_cast<size_t>(input.succ[static_cast<size_t>(i)])]);
+  };
+  std::sort(order.begin(), order.end(),
+            [&](i64 a, i64 b) { return sig(a) < sig(b) || (sig(a) == sig(b) && a < b); });
+  i64 leader = -1;
+  for (size_t k = 0; k < order.size(); ++k) {
+    if (k == 0 || sig(order[k]) != sig(order[k - 1])) leader = order[k];
+    out[static_cast<size_t>(order[k])] = leader;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<i64> reference_refinement(const PartitionInput& input) {
+  // Canonicalize the initial labelling to min-member, then refine to the
+  // fixpoint. Each sweep only splits blocks, so at most n sweeps happen.
+  std::vector<i64> block(static_cast<size_t>(input.n));
+  {
+    std::map<i64, i64> first_seen;  // initial label -> min member index
+    for (i64 i = 0; i < input.n; ++i) {
+      auto [it, fresh] =
+          first_seen.emplace(input.block[static_cast<size_t>(i)], i);
+      block[static_cast<size_t>(i)] = fresh ? i : it->second;
+    }
+  }
+  for (i64 sweep = 0; sweep <= input.n; ++sweep) {
+    std::vector<i64> next = refine_once(input, block);
+    if (next == block) return block;
+    block = std::move(next);
+  }
+  MP_ASSERT(false, "partition refinement failed to converge");
+  return block;
+}
+
+std::vector<i64> random_values(i64 n, u64 seed, i64 lo, i64 hi) {
+  MP_REQUIRE(n >= 0 && lo <= hi, "bad random_values spec");
+  Rng rng(seed);
+  std::vector<i64> out(static_cast<size_t>(n));
+  for (auto& v : out) v = rng.range(lo, hi);
+  return out;
+}
+
+std::vector<i64> random_list(i64 n, u64 seed) {
+  MP_REQUIRE(n >= 1, "list needs at least one node");
+  Rng rng(seed);
+  std::vector<i64> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), i64{0});
+  rng.shuffle(order);
+  std::vector<i64> succ(static_cast<size_t>(n), -1);
+  for (i64 k = 0; k + 1 < n; ++k) {
+    succ[static_cast<size_t>(order[static_cast<size_t>(k)])] =
+        order[static_cast<size_t>(k + 1)];
+  }
+  return succ;
+}
+
+}  // namespace meshpram::algo

@@ -1,0 +1,66 @@
+// Deterministic seeded inputs for the algorithm workload suite.
+//
+// Every generator is a pure function of (family, size, seed) over the
+// repo's own xoshiro Rng, so a workload run is reproducible from its spec
+// alone — the property the EXP-A1 baseline and the oracle protocol depend
+// on. Host-side reference solvers (union-find components, fixpoint
+// partition refinement) live here too: they are the second, independent leg
+// of the oracle check next to IdealBackend.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/math.hpp"
+
+namespace meshpram::algo {
+
+using meshpram::i64;
+
+/// Undirected graph families exercised by the connected-components
+/// workload. Each stresses the address stream differently: paths maximize
+/// shortcutting rounds, stars maximize hooking contention on one cell,
+/// grids give the mesh-local pattern, expanders converge in few rounds but
+/// with dense irregular traffic, forests add many components.
+enum class GraphFamily { Path, Star, Grid, Expander, RandomForest };
+
+const char* graph_family_name(GraphFamily family);
+
+struct GraphInput {
+  i64 n = 0;                                 ///< vertices 0..n-1
+  std::vector<std::pair<i64, i64>> edges;    ///< undirected, u != v
+};
+
+/// Builds the family's graph on n >= 1 vertices. Path/Star/Grid are
+/// seed-independent; Expander (cycle + n random chords) and RandomForest
+/// (random attachment, ~1 in 8 vertices starts a new tree) draw from `seed`.
+GraphInput make_graph(GraphFamily family, i64 n, u64 seed);
+
+/// Union-find reference: component label of each vertex, canonicalized to
+/// the minimum vertex id in its component.
+std::vector<i64> reference_components(const GraphInput& graph);
+
+/// A partition-refinement instance: a functional graph (succ[i] in [0,n))
+/// plus an initial block labelling. Refinement splits blocks by the block
+/// of the successor until stable — the kernel of bisimulation checking.
+struct PartitionInput {
+  i64 n = 0;
+  std::vector<i64> succ;
+  std::vector<i64> block;   ///< initial block ids (arbitrary values)
+};
+
+PartitionInput make_partition(i64 n, i64 initial_blocks, u64 seed);
+
+/// Host fixpoint refinement. Returns final block labels canonicalized to
+/// the minimum member index of each block.
+std::vector<i64> reference_refinement(const PartitionInput& input);
+
+/// n uniform values in [lo, hi], for sort/scan workloads.
+std::vector<i64> random_values(i64 n, u64 seed, i64 lo, i64 hi);
+
+/// Successor array of a uniformly random linked list over n nodes (exactly
+/// one tail with succ = -1), for list ranking.
+std::vector<i64> random_list(i64 n, u64 seed);
+
+}  // namespace meshpram::algo

@@ -1,0 +1,86 @@
+#include "algo/refine.hpp"
+
+#include <map>
+
+#include "util/error.hpp"
+
+namespace meshpram::algo {
+
+PartitionRefinementProgram::PartitionRefinementProgram(
+    const PartitionInput& input, i64 base_var)
+    : n_(input.n), base_(base_var), succ_(input.succ),
+      bl_(static_cast<size_t>(input.n), 0),
+      sb_(static_cast<size_t>(input.n), 0),
+      leader_(static_cast<size_t>(input.n), 0) {
+  MP_REQUIRE(n_ >= 1, "partition over empty ground set");
+  MP_REQUIRE(static_cast<i64>(input.succ.size()) == n_ &&
+                 static_cast<i64>(input.block.size()) == n_,
+             "succ/block size mismatch");
+  for (i64 i = 0; i < n_; ++i) {
+    const i64 s = succ_[static_cast<size_t>(i)];
+    MP_REQUIRE(0 <= s && s < n_, "bad successor " << s);
+  }
+  // Canonicalize arbitrary initial labels to min-member indices so block
+  // ids index the n x n signature table.
+  std::map<i64, i64> first_seen;
+  for (i64 i = 0; i < n_; ++i) {
+    auto [it, fresh] = first_seen.emplace(input.block[static_cast<size_t>(i)], i);
+    bl_[static_cast<size_t>(i)] = fresh ? i : it->second;
+  }
+}
+
+i64 PartitionRefinementProgram::processors() const { return n_; }
+
+bool PartitionRefinementProgram::done(i64 /*step*/) const { return converged_; }
+
+AccessRequest PartitionRefinementProgram::plan(i64 proc, i64 step) {
+  const size_t p = static_cast<size_t>(proc);
+  if (step == 0) return {base_ + proc, Op::Write, bl_[p]};
+  if (step == 1) {
+    if (proc != 0) return {};
+    return {base_ + n_ + n_ * n_, Op::Write, 0};
+  }
+  const i64 phase = (step - 2) % 7;
+  switch (phase) {
+    case 0:
+      return {base_ + succ_[p], Op::Read, 0};
+    case 1:  // leader election: lowest index writing the signature wins
+      return {base_ + n_ + bl_[p] * n_ + sb_[p], Op::Write, proc};
+    case 2:
+      return {base_ + n_ + bl_[p] * n_ + sb_[p], Op::Read, 0};
+    case 3:
+      if (leader_[p] == bl_[p]) return {};
+      bl_[p] = leader_[p];
+      return {base_ + n_ + n_ * n_, Op::Write, 1};
+    case 4:
+      return {base_ + proc, Op::Write, bl_[p]};
+    case 5:
+      if (proc != 0) return {};
+      return {base_ + n_ + n_ * n_, Op::Read, 0};
+    default:  // 6: reset the flag
+      if (proc != 0) return {};
+      return {base_ + n_ + n_ * n_, Op::Write, 0};
+  }
+}
+
+void PartitionRefinementProgram::receive(i64 proc, i64 step, i64 value) {
+  const size_t p = static_cast<size_t>(proc);
+  const i64 phase = (step - 2) % 7;
+  switch (phase) {
+    case 0: sb_[p] = value; break;
+    case 2: leader_[p] = value; break;
+    case 5:
+      ++rounds_executed_;
+      if (value == 0) converged_ = true;
+      break;
+    default:
+      MP_ASSERT(false, "unexpected read delivery in phase " << phase);
+  }
+}
+
+const std::vector<i64>& PartitionRefinementProgram::blocks() const {
+  MP_REQUIRE(converged_, "blocks() before the program converged");
+  return bl_;
+}
+
+}  // namespace meshpram::algo

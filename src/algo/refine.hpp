@@ -1,0 +1,63 @@
+// CRCW parallel partition refinement (the kernel of bisimulation checking).
+//
+// Given a functional graph succ[] and an initial partition, repeatedly
+// split blocks by the block of the successor until stable. Each element
+// elects the leader of its (block, successor-block) signature group with a
+// single priority-CRCW write into a shared signature table — the
+// lowest-index writer wins, so the leader is the minimum member and block
+// labels stay canonical (label = min member) throughout. Contention here is
+// the opposite shape from connected components: many small write groups
+// (one per signature) instead of one hot cell.
+#pragma once
+
+#include <vector>
+
+#include "algo/inputs.hpp"
+#include "pram/program.hpp"
+
+namespace meshpram::algo {
+
+/// One processor per element. Shared memory: block[i] at base + i (n
+/// cells), the signature table at base + n (n^2 cells, row = own block,
+/// column = successor's block), a convergence flag at base + n + n^2;
+/// vars_needed() = n^2 + n + 1. Signature cells are written before every
+/// read of them in the same round, so stale values never leak.
+///
+/// Step 0 publishes the (canonicalized) initial labels, step 1 clears the
+/// flag, then rounds of 7 phases until a round changes nothing:
+///   0  read block[succ[i]]                        -> sb
+///   1  write i into sig[bl * n + sb]              [leader election, CRCW]
+///   2  read sig[bl * n + sb]                      -> leader
+///   3  if leader != bl: adopt it, write flag = 1  [combined]
+///   4  write block[i] = bl
+///   5  processor 0 reads the flag
+///   6  processor 0 resets the flag
+class PartitionRefinementProgram : public PramProgram {
+ public:
+  explicit PartitionRefinementProgram(const PartitionInput& input,
+                                      i64 base_var = 0);
+
+  i64 processors() const override;
+  bool done(i64 step) const override;
+  AccessRequest plan(i64 proc, i64 step) override;
+  void receive(i64 proc, i64 step, i64 value) override;
+
+  /// Final block labels (min member per block), comparable with
+  /// reference_refinement().
+  const std::vector<i64>& blocks() const;
+
+  i64 vars_needed() const { return n_ * n_ + n_ + 1; }
+  i64 rounds_executed() const { return rounds_executed_; }
+
+ private:
+  i64 n_;
+  i64 base_;
+  std::vector<i64> succ_;
+  std::vector<i64> bl_;      ///< local copy of own block label
+  std::vector<i64> sb_;      ///< successor's block read this round
+  std::vector<i64> leader_;  ///< elected signature leader this round
+  bool converged_ = false;
+  i64 rounds_executed_ = 0;
+};
+
+}  // namespace meshpram::algo

@@ -1,4 +1,4 @@
-#include "pram/algorithms.hpp"
+#include "algo/staples.hpp"
 
 #include <algorithm>
 
@@ -65,6 +65,105 @@ std::vector<i64> PrefixSumProgram::expected(const std::vector<i64>& input) {
     out[i] = acc;
   }
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// BlellochScanProgram
+// ---------------------------------------------------------------------------
+//
+// Step schedule (L = log2 padded):
+//   0                       publish x[j] (input, 0-padded)
+//   1 .. 2L                 up-sweep, 2 steps per level d = 0..L-1:
+//                             read x[j - 2^d], write x[j] += it
+//   2L + 1                  clear root: proc P-1 writes x[P-1] = 0
+//   2L + 2 .. 6L + 1        down-sweep, 4 steps per level d = L-1..0:
+//                             read x[j], read x[j - 2^d],
+//                             write x[j - 2^d] = x[j],
+//                             write x[j] = sum of the two reads
+//   6L + 2                  gather: proc j < n reads x[j] (its exclusive
+//                             prefix) and adds its own input locally
+//
+// Active processors at level d are j with j mod 2^(d+1) == 2^(d+1) - 1; each
+// touches only {j, j - 2^d}, and active js are 2^(d+1) apart, so every step
+// is EREW. The down-sweep re-reads x[j] from shared memory instead of using
+// the up-sweep mirror because parents overwrite their left child's cell.
+
+BlellochScanProgram::BlellochScanProgram(std::vector<i64> input, i64 base_var)
+    : n_(static_cast<i64>(input.size())),
+      padded_(i64{1} << ceil_log2(static_cast<i64>(input.size()))),
+      levels_(ceil_log2(static_cast<i64>(input.size()))),
+      base_(base_var),
+      input_(std::move(input)),
+      own_(static_cast<size_t>(padded_), 0),
+      left_(static_cast<size_t>(padded_), 0),
+      result_(static_cast<size_t>(n_), 0) {
+  MP_REQUIRE(n_ >= 1, "scan over empty input");
+}
+
+i64 BlellochScanProgram::processors() const { return padded_; }
+
+bool BlellochScanProgram::done(i64 step) const {
+  return step >= 6 * levels_ + 3;
+}
+
+AccessRequest BlellochScanProgram::plan(i64 proc, i64 step) {
+  const size_t p = static_cast<size_t>(proc);
+  if (step == 0) {  // publish (identity padding above n)
+    const i64 v = proc < n_ ? input_[p] : 0;
+    own_[p] = v;
+    return {base_ + proc, Op::Write, v};
+  }
+  const i64 up_end = 2 * levels_;
+  if (step <= up_end) {  // up-sweep
+    const i64 d = (step - 1) / 2;
+    const i64 span = i64{1} << (d + 1);
+    if (proc % span != span - 1) return {};
+    if ((step - 1) % 2 == 0) return {base_ + proc - span / 2, Op::Read, 0};
+    own_[p] += left_[p];
+    return {base_ + proc, Op::Write, own_[p]};
+  }
+  if (step == up_end + 1) {  // clear root
+    if (proc != padded_ - 1) return {};
+    own_[p] = 0;
+    return {base_ + proc, Op::Write, 0};
+  }
+  const i64 down_start = up_end + 2;
+  const i64 down_end = down_start + 4 * levels_ - 1;
+  if (step <= down_end) {  // down-sweep
+    const i64 lvl = (step - down_start) / 4;
+    const i64 d = levels_ - 1 - lvl;
+    const i64 span = i64{1} << (d + 1);
+    if (proc % span != span - 1) return {};
+    switch ((step - down_start) % 4) {
+      case 0: return {base_ + proc, Op::Read, 0};
+      case 1: return {base_ + proc - span / 2, Op::Read, 0};
+      case 2: return {base_ + proc - span / 2, Op::Write, own_[p]};
+      default: return {base_ + proc, Op::Write, own_[p] + left_[p]};
+    }
+  }
+  // gather: x[j] now holds the exclusive prefix sum
+  if (proc >= n_) return {};
+  return {base_ + proc, Op::Read, 0};
+}
+
+void BlellochScanProgram::receive(i64 proc, i64 step, i64 value) {
+  const size_t p = static_cast<size_t>(proc);
+  const i64 up_end = 2 * levels_;
+  if (step <= up_end) {  // up-sweep left-child read
+    left_[p] = value;
+    return;
+  }
+  const i64 down_start = up_end + 2;
+  const i64 down_end = down_start + 4 * levels_ - 1;
+  if (step <= down_end) {
+    if ((step - down_start) % 4 == 0) {
+      own_[p] = value;
+    } else {
+      left_[p] = value;
+    }
+    return;
+  }
+  result_[p] = value + input_[p];  // inclusive = exclusive + own input
 }
 
 // ---------------------------------------------------------------------------
@@ -138,10 +237,6 @@ std::vector<i64> ListRankingProgram::expected(const std::vector<i64>& succ) {
   return out;
 }
 
-}  // namespace meshpram
-
-namespace meshpram {
-
 // ---------------------------------------------------------------------------
 // OddEvenSortProgram
 // ---------------------------------------------------------------------------
@@ -174,6 +269,65 @@ AccessRequest OddEvenSortProgram::plan(i64 proc, i64 step) {
 }
 
 void OddEvenSortProgram::receive(i64 proc, i64 /*step*/, i64 value) {
+  partner_[static_cast<size_t>(proc)] = value;
+}
+
+// ---------------------------------------------------------------------------
+// BitonicSortProgram
+// ---------------------------------------------------------------------------
+
+BitonicSortProgram::BitonicSortProgram(std::vector<i64> input, i64 base_var)
+    : n_(static_cast<i64>(input.size())),
+      levels_(ceil_log2(static_cast<i64>(input.size()))),
+      rounds_(0), base_(base_var),
+      local_(std::move(input)), partner_(static_cast<size_t>(n_), 0) {
+  MP_REQUIRE(n_ >= 1, "sorting an empty input");
+  MP_REQUIRE((n_ & (n_ - 1)) == 0,
+             "bitonic sort needs a power-of-two input, got " << n_);
+  rounds_ = i64{levels_} * (levels_ + 1) / 2;
+}
+
+i64 BitonicSortProgram::processors() const { return n_; }
+
+bool BitonicSortProgram::done(i64 step) const {
+  return step >= 1 + 2 * rounds_;
+}
+
+void BitonicSortProgram::round_shape(i64 round, i64* size, i64* stride) const {
+  // Rounds enumerate (size = 2^lvl, stride = 2^(lvl-1) .. 1) for lvl = 1..L.
+  i64 r = round;
+  for (int lvl = 1; lvl <= levels_; ++lvl) {
+    if (r < lvl) {
+      *size = i64{1} << lvl;
+      *stride = i64{1} << (lvl - 1 - r);
+      return;
+    }
+    r -= lvl;
+  }
+  MP_ASSERT(false, "bitonic round " << round << " out of range");
+}
+
+AccessRequest BitonicSortProgram::plan(i64 proc, i64 step) {
+  const size_t p = static_cast<size_t>(proc);
+  if (step == 0) return {base_ + proc, Op::Write, local_[p]};
+  const i64 round = (step - 1) / 2;
+  i64 size = 0;
+  i64 stride = 0;
+  round_shape(round, &size, &stride);
+  const i64 partner = proc ^ stride;
+  if ((step - 1) % 2 == 0) return {base_ + partner, Op::Read, 0};
+  // Write phase: the block containing proc sorts ascending when the `size`
+  // bit of proc is clear; within the pair, the smaller index keeps the
+  // smaller value of an ascending block.
+  const bool ascending = (proc & size) == 0;
+  const bool keep_min = (proc < partner) == ascending;
+  const i64 mine = local_[p];
+  const i64 theirs = partner_[p];
+  local_[p] = keep_min ? std::min(mine, theirs) : std::max(mine, theirs);
+  return {base_ + proc, Op::Write, local_[p]};
+}
+
+void BitonicSortProgram::receive(i64 proc, i64 /*step*/, i64 value) {
   partner_[static_cast<size_t>(proc)] = value;
 }
 

@@ -1,9 +1,12 @@
-// Classic EREW PRAM algorithms, written as PramProgram so they run on both
-// the ideal machine and the mesh simulation.
+// Staple PRAM algorithms, written as PramProgram so they run on both the
+// ideal machine and the mesh simulation (promoted here from
+// src/pram/algorithms.* when the algo workload subsystem landed).
 //
-// These are the workloads the examples and benches execute: they validate
-// that the simulation is a drop-in PRAM (identical results, measurable
-// slowdown) on programs with non-trivial access patterns.
+// These are the EREW workloads the examples, tests and the EXP-A1 macro
+// bench execute: they validate that the simulation is a drop-in PRAM
+// (identical results, measurable slowdown) on programs with non-trivial
+// access patterns. The CRCW paper algorithms (connected components,
+// partition refinement) live next door in cc.hpp / refine.hpp.
 #pragma once
 
 #include <vector>
@@ -38,9 +41,40 @@ class PrefixSumProgram : public PramProgram {
   std::vector<i64> incoming_; ///< value read this round
 };
 
-/// List ranking by pointer jumping: given a linked list as a successor
-/// array (succ[i] = next node, tail has succ = -1), computes each node's
-/// distance to the tail in O(log n) rounds of 4 PRAM steps.
+/// Work-efficient inclusive prefix sums (Blelloch up-sweep/down-sweep) over
+/// n values, padded internally to P = 2^ceil(log2 n) processors. O(log n)
+/// PRAM steps and O(n) total shared-memory traffic — the work-efficient
+/// counterpart of the O(n log n)-traffic Hillis–Steele schedule above, with
+/// a tree-shaped address stream (hot near the root) instead of a shifting
+/// window. Layout: x[i] at base + i for i in [0, P).
+class BlellochScanProgram : public PramProgram {
+ public:
+  BlellochScanProgram(std::vector<i64> input, i64 base_var = 0);
+
+  i64 processors() const override;
+  bool done(i64 step) const override;
+  AccessRequest plan(i64 proc, i64 step) override;
+  void receive(i64 proc, i64 step, i64 value) override;
+
+  /// Inclusive prefix sums of the (unpadded) input.
+  const std::vector<i64>& result() const { return result_; }
+
+ private:
+  /// Down-sweep phase of `step` (0 = read own, 1 = read left, 2 = write
+  /// left, 3 = write own), or -1 when `step` is not a down-sweep step.
+  i64 n_;         ///< real input length
+  i64 padded_;    ///< 2^levels_
+  int levels_;
+  i64 base_;
+  std::vector<i64> input_;
+  std::vector<i64> own_;     ///< mirror of x[i] maintained by its writer
+  std::vector<i64> left_;    ///< left-child value read this level
+  std::vector<i64> result_;
+};
+
+/// List ranking by pointer jumping (Wyllie): given a linked list as a
+/// successor array (succ[i] = next node, tail has succ = -1), computes each
+/// node's distance to the tail in O(log n) rounds of 4 PRAM steps.
 /// Layout: succ[i] at base + i, rank[i] at base + n + i.
 class ListRankingProgram : public PramProgram {
  public:
@@ -65,10 +99,6 @@ class ListRankingProgram : public PramProgram {
   std::vector<i64> read_rank_; ///< rank[succ[i]] read this round
 };
 
-}  // namespace meshpram
-
-namespace meshpram {
-
 /// Odd-even transposition sort of n shared values with n processors in n
 /// rounds of 2 EREW steps (read the partner, then write your own slot).
 /// Layout: x[i] at base + i.
@@ -88,6 +118,36 @@ class OddEvenSortProgram : public PramProgram {
   i64 base_;
   std::vector<i64> local_;   ///< each processor's current element
   std::vector<i64> partner_; ///< partner value read this round
+};
+
+/// Bitonic sort of n = 2^k values with n processors in O(log^2 n) PRAM
+/// steps: the classic size/stride double loop, each compare-exchange one
+/// read + one write. Input length must be a power of two (callers pad with
+/// sentinels; algo::BitonicWorkload does). Layout: x[i] at base + i. The
+/// partner index i ^ stride produces the butterfly address stream — long
+/// strided exchanges early in every size block, the pattern mesh routing
+/// likes least.
+class BitonicSortProgram : public PramProgram {
+ public:
+  BitonicSortProgram(std::vector<i64> input, i64 base_var = 0);
+
+  i64 processors() const override;
+  bool done(i64 step) const override;
+  AccessRequest plan(i64 proc, i64 step) override;
+  void receive(i64 proc, i64 step, i64 value) override;
+
+  const std::vector<i64>& result() const { return local_; }
+
+ private:
+  /// (size, stride) of compare-exchange round r (0-based).
+  void round_shape(i64 round, i64* size, i64* stride) const;
+
+  i64 n_;
+  int levels_;    ///< log2 n
+  i64 rounds_;    ///< levels * (levels + 1) / 2 compare-exchange rounds
+  i64 base_;
+  std::vector<i64> local_;
+  std::vector<i64> partner_;
 };
 
 /// Dense matrix-vector product b = A x for an s x s matrix with s

@@ -26,8 +26,11 @@ class PramBackend {
   /// results indexed like `requests` (0 for writes/idle).
   virtual std::vector<i64> step(const std::vector<AccessRequest>& requests) = 0;
 
-  /// Total simulated cost so far (0 for the ideal backend).
-  virtual i64 total_mesh_steps() const { return 0; }
+  /// Total simulated cost so far. Pure on purpose: a backend that silently
+  /// inherited a 0 here would make slowdown-vs-ideal columns divide by a
+  /// bogus baseline. Zero-cost backends (IdealBackend) return 0 explicitly
+  /// and the workload harness flags them (HarnessResult::zero_cost_backend).
+  virtual i64 total_mesh_steps() const = 0;
   /// Number of PRAM steps executed.
   virtual i64 pram_steps() const = 0;
 };
@@ -40,6 +43,8 @@ class IdealBackend : public PramBackend {
   i64 processors() const override { return processors_; }
   i64 num_vars() const override { return static_cast<i64>(memory_.size()); }
   std::vector<i64> step(const std::vector<AccessRequest>& requests) override;
+  /// The ideal machine has no cost model: explicitly zero, not a default.
+  i64 total_mesh_steps() const override { return 0; }
   i64 pram_steps() const override { return steps_; }
 
  private:

@@ -19,6 +19,7 @@ std::vector<i64> CombiningBackend::step(
   struct Group {
     i64 writer = -1;   // processor index of the winning writer
     i64 write_value = 0;
+    i64 writers = 0;   // total concurrent writers (for accounting)
     std::vector<i64> readers;
   };
   std::map<i64, Group> groups;
@@ -27,12 +28,20 @@ std::vector<i64> CombiningBackend::step(
     if (r.var < 0) continue;
     Group& g = groups[r.var];
     if (r.op == Op::Write) {
+      ++g.writers;
       if (g.writer < 0) {  // lowest index wins (requests scanned in order)
         g.writer = static_cast<i64>(i);
         g.write_value = r.value;
       }
     } else {
       g.readers.push_back(static_cast<i64>(i));
+    }
+  }
+  for (const auto& [var, g] : groups) {
+    // A group was genuinely combined when the variable drew more than one
+    // access of any kind: fan-out reads, racing writes, or read+write.
+    if (static_cast<i64>(g.readers.size()) + g.writers > 1) {
+      ++combined_groups_;
     }
   }
 
@@ -48,7 +57,6 @@ std::vector<i64> CombiningBackend::step(
     for (auto& [var, g] : groups) {
       if (g.readers.empty()) continue;
       any = true;
-      if (g.readers.size() > 1) ++combined_groups_;
       reads[slot] = {var, Op::Read, 0};
       rep_of[slot] = var;
       ++slot;

@@ -40,7 +40,10 @@ class CombiningBackend : public PramBackend {
   i64 total_mesh_steps() const override { return inner_.total_mesh_steps(); }
   i64 pram_steps() const override { return inner_.pram_steps(); }
 
-  /// Number of concurrent-access groups combined so far (diagnostic).
+  /// Number of variables that drew more than one access in some step —
+  /// fan-out reads, racing writes, or read+write — i.e. the groups the
+  /// reduction actually had to combine (diagnostic; EXP-A1 contention
+  /// column).
   i64 combined_groups() const { return combined_groups_; }
 
  private:

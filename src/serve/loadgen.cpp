@@ -45,6 +45,10 @@ std::vector<GeneratedRequest> generate_workload(
   Rng rng(config.seed);
   std::vector<GeneratedRequest> out;
   out.reserve(static_cast<size_t>(config.requests));
+  // Algorithm scenarios: each session walks the shared trace at its own
+  // cursor, so interleaved sessions still submit the program's steps in
+  // order (cycling when the trace is shorter than the session's share).
+  std::vector<size_t> cursor(shapes.size(), 0);
   double t = 0.0;
   for (i64 i = 0; i < config.requests; ++i) {
     // Exponential inter-arrival gap; 1-uniform() keeps log() away from 0.
@@ -54,11 +58,16 @@ std::vector<GeneratedRequest> generate_workload(
     req.session_index = static_cast<i64>(rng.below(shapes.size()));
     req.arrival_slice = static_cast<i64>(t);
     const SessionShape& shape = shapes[static_cast<size_t>(req.session_index)];
+    // The random body is always sampled — even when a trace then replaces
+    // it — so both scenarios consume identical rng draws per request and
+    // therefore share the exact arrival schedule and session fan-out. That
+    // keeps "random" byte-stable AND makes scenario comparisons apples to
+    // apples: same offered-load envelope, different address stream.
     i64 accesses = config.accesses_per_request > 0
                        ? std::min(config.accesses_per_request,
                                   shape.processors)
                        : shape.processors;
-    accesses = std::min(accesses, shape.num_vars);  // EREW needs distinct vars
+    accesses = std::min(accesses, shape.num_vars);  // EREW: distinct vars
     const std::vector<i64> vars = rng.sample(shape.num_vars, accesses);
     req.accesses.reserve(static_cast<size_t>(accesses));
     for (const i64 var : vars) {
@@ -69,6 +78,22 @@ std::vector<GeneratedRequest> generate_workload(
         a.value = rng.range(-1'000'000, 1'000'000);
       }
       req.accesses.push_back(a);
+    }
+    if (!config.trace.empty()) {
+      size_t& cur = cursor[static_cast<size_t>(req.session_index)];
+      const std::vector<AccessRequest>& step =
+          config.trace[cur % config.trace.size()];
+      ++cur;
+      MP_REQUIRE(static_cast<i64>(step.size()) <= shape.processors,
+                 "trace step with " << step.size()
+                                    << " accesses exceeds a session's "
+                                    << shape.processors << " processors");
+      for (const AccessRequest& a : step) {
+        MP_REQUIRE(0 <= a.var && a.var < shape.num_vars,
+                   "trace variable " << a.var << " outside session memory of "
+                                     << shape.num_vars);
+      }
+      req.accesses = step;
     }
     out.push_back(std::move(req));
   }

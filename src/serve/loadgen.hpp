@@ -32,6 +32,18 @@ struct LoadgenConfig {
   /// Safety bound on the driving loop (a stuck scheduler fails loudly
   /// instead of spinning forever).
   i64 max_slices = 1 << 20;
+  /// Scenario label for reports. "random" = the Poisson access sampling
+  /// above; tools/serve_loadgen sets "algo:<name>" when it installs a trace.
+  std::string scenario = "random";
+  /// Non-empty = algorithm scenario: each request replays the next step of
+  /// this EREW step trace for its session (per-session cursor, cycling)
+  /// instead of the sampled random accesses. The generator consumes the
+  /// random scenario's full per-request draw sequence either way, so
+  /// "random" output stays byte-stable and both scenarios share the exact
+  /// arrival schedule and session fan-out — only the address streams
+  /// differ. Every step must fit every session shape (EREW: at most
+  /// `processors` accesses, vars < num_vars).
+  std::vector<std::vector<AccessRequest>> trace;
 };
 
 /// One pre-generated client request (pure function of LoadgenConfig + the

@@ -5,7 +5,7 @@
 #include <algorithm>
 #include <vector>
 
-#include "pram/algorithms.hpp"
+#include "algo/staples.hpp"
 #include "pram/backend.hpp"
 #include "pram/combining.hpp"
 #include "pram/mesh_backend.hpp"
@@ -80,6 +80,67 @@ TEST(Combining, PureErewPassesThroughUnchanged) {
   crcw.step(reqs);
   b.step(reqs);
   EXPECT_EQ(crcw.step({{1, Op::Read, 0}})[0], b.step({{1, Op::Read, 0}})[0]);
+}
+
+TEST(Combining, CombinedGroupsCountEveryContentionShape) {
+  IdealBackend inner(8, 100);
+  CombiningBackend crcw(inner);
+  // Exclusive accesses: nothing to combine.
+  crcw.step({{1, Op::Write, 1}, {2, Op::Write, 2}, {3, Op::Read, 0}});
+  EXPECT_EQ(crcw.combined_groups(), 0);
+  // Fan-out read group.
+  crcw.step({{1, Op::Read, 0}, {1, Op::Read, 0}});
+  EXPECT_EQ(crcw.combined_groups(), 1);
+  // Racing writes.
+  crcw.step({{2, Op::Write, 5}, {2, Op::Write, 6}});
+  EXPECT_EQ(crcw.combined_groups(), 2);
+  // Read + write of the same variable is a combined group too: the
+  // reduction must schedule the read before the write.
+  crcw.step({{3, Op::Read, 0}, {3, Op::Write, 9}});
+  EXPECT_EQ(crcw.combined_groups(), 3);
+  // Two concurrent groups in one step count twice.
+  crcw.step({{4, Op::Read, 0}, {4, Op::Read, 0}, {5, Op::Write, 1},
+             {5, Op::Write, 2}});
+  EXPECT_EQ(crcw.combined_groups(), 5);
+}
+
+// Randomized differential check: a reference Priority-CRCW machine written
+// straight against a value array must agree with CombiningBackend over an
+// IdealBackend on arbitrary request mixes.
+TEST(Combining, RandomizedDifferentialAgainstFlatCrcwReference) {
+  const i64 procs = 16, vars = 24;
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    IdealBackend inner(procs, vars);
+    CombiningBackend crcw(inner);
+    std::vector<i64> model(static_cast<size_t>(vars), 0);
+    for (int step = 0; step < 40; ++step) {
+      std::vector<AccessRequest> reqs(static_cast<size_t>(procs));
+      for (auto& r : reqs) {
+        if (rng.below(5) == 0) continue;  // idle slot (var = -1)
+        // Small variable range on purpose: dense collisions every step.
+        r.var = rng.range(0, vars / 3);
+        r.op = rng.below(2) == 0 ? Op::Read : Op::Write;
+        r.value = rng.range(-100, 100);
+      }
+      const auto got = crcw.step(reqs);
+      // Reference: all reads see the pre-step memory, then the
+      // lowest-index writer of each variable lands.
+      for (size_t p = 0; p < reqs.size(); ++p) {
+        if (reqs[p].var >= 0 && reqs[p].op == Op::Read) {
+          EXPECT_EQ(got[p], model[static_cast<size_t>(reqs[p].var)])
+              << "trial " << trial << " step " << step << " proc " << p;
+        }
+      }
+      std::vector<char> written(static_cast<size_t>(vars), 0);
+      for (const AccessRequest& r : reqs) {
+        if (r.var < 0 || r.op != Op::Write) continue;
+        if (written[static_cast<size_t>(r.var)]) continue;
+        written[static_cast<size_t>(r.var)] = 1;
+        model[static_cast<size_t>(r.var)] = r.value;
+      }
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------

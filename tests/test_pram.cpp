@@ -7,7 +7,7 @@
 #include <set>
 #include <vector>
 
-#include "pram/algorithms.hpp"
+#include "algo/staples.hpp"
 #include "pram/backend.hpp"
 #include "pram/baselines/direct.hpp"
 #include "pram/baselines/mpc.hpp"
@@ -131,6 +131,86 @@ TEST(Programs, RejectTooManyProcessors) {
   IdealBackend small(4, 100);
   PrefixSumProgram prog(std::vector<i64>(10, 1));
   EXPECT_THROW(run_program(prog, small), ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// run_program edge cases: degenerate programs must terminate cleanly and
+// charge exactly the steps they executed.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Configurable toy program: `idle_rounds` supersteps where every processor
+/// plans var = -1, then one superstep writing proc -> var proc, then done.
+class IdleThenWriteProgram : public PramProgram {
+ public:
+  IdleThenWriteProgram(i64 procs, i64 idle_rounds)
+      : procs_(procs), idle_(idle_rounds) {}
+
+  i64 processors() const override { return procs_; }
+  bool done(i64 step) const override { return step > idle_; }
+  AccessRequest plan(i64 proc, i64 step) override {
+    if (step < idle_) return {};  // var = -1: everyone idles
+    return {proc, Op::Write, proc * 10};
+  }
+  void receive(i64, i64, i64) override {}
+
+ private:
+  i64 procs_;
+  i64 idle_;
+};
+
+/// done(0) == true: the driver must execute nothing at all.
+class EmptyProgram : public PramProgram {
+ public:
+  explicit EmptyProgram(i64 procs) : procs_(procs) {}
+  i64 processors() const override { return procs_; }
+  bool done(i64) const override { return true; }
+  AccessRequest plan(i64, i64) override { return {}; }
+  void receive(i64, i64, i64) override {}
+
+ private:
+  i64 procs_;
+};
+
+}  // namespace
+
+TEST(RunProgram, DoneAtStepZeroExecutesNothing) {
+  IdealBackend backend(4, 16);
+  EmptyProgram prog(4);
+  EXPECT_EQ(run_program(prog, backend), 0);
+  EXPECT_EQ(backend.pram_steps(), 0);
+}
+
+TEST(RunProgram, ZeroProcessorProgramTerminates) {
+  // A program may declare zero processors (an empty problem slice); the
+  // driver plans nobody and still honours done().
+  IdealBackend backend(4, 16);
+  EmptyProgram prog(0);
+  EXPECT_EQ(run_program(prog, backend), 0);
+}
+
+TEST(RunProgram, AllIdleRoundsAreChargedAsSteps) {
+  IdealBackend backend(8, 100);
+  IdleThenWriteProgram prog(8, 3);
+  EXPECT_EQ(run_program(prog, backend), 4);  // 3 idle + 1 write
+  EXPECT_EQ(backend.pram_steps(), 4);
+  const auto r = backend.step({{0, Op::Read, 0}, {7, Op::Read, 0}});
+  EXPECT_EQ(r[0], 0);
+  EXPECT_EQ(r[1], 70);
+}
+
+TEST(RunProgram, MeshBackendMatchesIdealOnIdleHeavyPrograms) {
+  IdealBackend ideal(64, 1080);
+  IdleThenWriteProgram p1(64, 5);
+  const i64 s1 = run_program(p1, ideal);
+  MeshBackend mesh(tiny_config());
+  IdleThenWriteProgram p2(64, 5);
+  const i64 s2 = run_program(p2, mesh);
+  EXPECT_EQ(s1, s2);
+  std::vector<AccessRequest> reads(64);
+  for (i64 i = 0; i < 64; ++i) reads[static_cast<size_t>(i)] = {i, Op::Read, 0};
+  EXPECT_EQ(ideal.step(reads), mesh.step(reads));
 }
 
 // ---------------------------------------------------------------------------

@@ -38,6 +38,7 @@ BENCHES = [
     "serve_multisession",
     "serve_net",
     "dist_scaling",
+    "algo_suite",
 ]
 
 # Per-bench wall-clock tolerance overrides (fractional, in place of
@@ -48,6 +49,11 @@ BENCHES = [
 TOLERANCES = {
     "serve_multisession": 0.60,
     "dist_scaling": 0.60,
+    # algo_suite points are whole-program runs whose wall time is dominated
+    # by the ideal/oracle legs (microseconds each); the semantic load is
+    # carried by the exact algo column gate below plus the in-harness oracle
+    # checks, so the wall gate only needs to catch order-of-magnitude slips.
+    "algo_suite": 0.60,
     # serve_net points run real sockets and client/server thread handoffs;
     # wall times are the noisiest of any bench. The in-binary gates (snapshot
     # parity, the >= 5% coalescing margin) carry the semantic load, and the
@@ -81,6 +87,16 @@ DIST_POINT_FIELDS = {"boundary_bytes", "barrier_wait_ms",
 # for the EXP-S2 curves but never diffed.
 SERVE_POINT_FIELDS = {"offered", "completed", "rejected", "p50_us", "p95_us",
                       "p99_us", "rps"}
+
+# Schema-5 algorithm-workload columns (point_algo, bench_algo_suite). The
+# integer counts are deterministic outputs of the oracle-checked runs and
+# are diffed exactly by algo_exact_failures; reuse_factor is a derived
+# ratio of two gated counts, so it is not diffed on its own.
+ALGO_POINT_FIELDS = {"algorithm", "backend", "family", "size", "pram_steps",
+                     "backend_steps", "combined_groups", "max_concurrency",
+                     "reuse_factor"}
+ALGO_EXACT_FIELDS = ("size", "pram_steps", "backend_steps",
+                     "combined_groups", "max_concurrency")
 
 
 class SmokeError(Exception):
@@ -156,7 +172,8 @@ def schema_field_diff(doc):
         phave = set(points[0].keys())
         pmissing = sorted(CURRENT_POINT_FIELDS - phave)
         pextra = sorted(phave - CURRENT_POINT_FIELDS - PERF_POINT_FIELDS -
-                        DIST_POINT_FIELDS - SERVE_POINT_FIELDS)
+                        DIST_POINT_FIELDS - SERVE_POINT_FIELDS -
+                        ALGO_POINT_FIELDS)
         if pmissing:
             parts.append("points[] missing: " + ", ".join(pmissing))
         if pextra:
@@ -194,6 +211,25 @@ def compare_bench(bench, base, fresh, tolerance, log=print):
     if ratio > 1.0 + tolerance:
         failures.append(f"{bench}: wall-clock regressed x{ratio:.2f} "
                         f"(> x{1.0 + tolerance:.2f} allowed)")
+    return failures
+
+
+def algo_exact_failures(base, fresh):
+    """Exact gate over the algorithm-suite columns: every shared EXP-A1
+    point must reproduce its committed step/contention counts bit-for-bit.
+    These are outputs of oracle-checked deterministic runs — mesh_steps is
+    already gated by compare_bench; this extends the same discipline to the
+    program-level counts the slowdown claims divide by."""
+    failures = []
+    for c in sorted(set(base) & set(fresh)):
+        for field in ALGO_EXACT_FIELDS:
+            bv = point_field(base[c], field, "committed algo_suite baseline")
+            fv = point_field(fresh[c], field, "fresh algo_suite output")
+            if bv != fv:
+                failures.append(
+                    f"algo_suite/{c}: {field} changed {bv} -> {fv} — a "
+                    f"deterministic workload count moved, which is a "
+                    f"semantic change, not noise")
     return failures
 
 
@@ -316,6 +352,8 @@ def main():
 
             tolerance = TOLERANCES.get(bench, args.threshold)
             failures += compare_bench(bench, base, fresh, tolerance)
+            if bench == "algo_suite":
+                failures += algo_exact_failures(base, fresh)
 
         # Degraded-mode equivalence gate: the rate-0 points of the fault
         # sweep run the same seeds and configs as simulation_mid_mem, so an

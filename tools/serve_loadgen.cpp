@@ -13,12 +13,19 @@
 // settable via MESHPRAM_SERVE_WINDOW; the flag wins). Same binary, flag/env
 // toggle — the EXP-S2 comparison knob.
 //
+// --scenario random (default) keeps the seeded Poisson access sampling;
+// --scenario algo:<name> replays the EREW step trace of a real workload
+// from the algo registry (e.g. algo:cc, algo:refine, algo:bitonic) as the
+// request bodies — arrival process and session fan-out are unchanged, so
+// the two scenarios hit the same schedule with different address streams.
+//
 // Usage: serve_loadgen [--sessions N] [--side S] [--requests R]
 //                      [--rate ARRIVALS_PER_SLICE] [--seed SEED]
 //                      [--capacity QUEUE_CAP] [--inflight GLOBAL_BUDGET]
 //                      [--accesses PER_REQUEST] [--threads POOL_THREADS]
 //                      [--transport loopback|unix|tcp] [--depth PIPELINE]
 //                      [--window COALESCE_WINDOW]
+//                      [--scenario random|algo:<workload>]
 #include <unistd.h>
 
 #include <cstdio>
@@ -28,6 +35,7 @@
 #include <thread>
 #include <vector>
 
+#include "algo/harness.hpp"
 #include "serve/api.hpp"
 #include "serve/loadgen.hpp"
 #include "serve/manager.hpp"
@@ -56,6 +64,7 @@ struct Options {
   i64 depth = 8;     // per-connection pipeline depth (net transports)
   i64 window = 1;    // coalesce window; overridden by MESHPRAM_SERVE_WINDOW
   bool window_set = false;
+  std::string scenario = "random";
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -63,7 +72,7 @@ struct Options {
             << " [--sessions N] [--side S] [--requests R] [--rate L]"
                " [--seed SEED] [--capacity C] [--inflight G] [--accesses A]"
                " [--threads T] [--transport loopback|unix|tcp] [--depth D]"
-               " [--window W]\n";
+               " [--window W] [--scenario random|algo:<workload>]\n";
   std::exit(2);
 }
 
@@ -85,6 +94,7 @@ Options parse(int argc, char** argv) {
       else if (flag == "--accesses") opt.accesses = std::stoll(val);
       else if (flag == "--threads") opt.threads = std::stoi(val);
       else if (flag == "--depth") opt.depth = std::stoll(val);
+      else if (flag == "--scenario") opt.scenario = val;
       else if (flag == "--window") {
         opt.window = std::stoll(val);
         opt.window_set = true;
@@ -213,12 +223,34 @@ int main(int argc, char** argv) {
   lg.arrivals_per_slice = opt.rate;
   lg.seed = opt.seed;
   lg.accesses_per_request = opt.accesses;
+  lg.scenario = opt.scenario;
+  if (opt.scenario != "random") {
+    if (opt.scenario.rfind("algo:", 0) != 0) {
+      std::cerr << "unknown scenario '" << opt.scenario
+                << "' (expected random or algo:<workload>)\n";
+      return 2;
+    }
+    // All sessions share the same shape, so one recorded trace serves every
+    // session (each keeps its own replay cursor). The workload is sized to
+    // the largest instance that fits the session machine.
+    const std::string workload_name = opt.scenario.substr(5);
+    const SessionShape& shape = shapes.front();
+    const auto workload = algo::make_workload_fitting(
+        workload_name, shape.num_vars, shape.processors, shape.num_vars,
+        opt.seed);
+    lg.trace = algo::WorkloadHarness::record_erew_trace(
+        *workload, shape.processors, shape.num_vars);
+    std::cout << "scenario " << opt.scenario << ": replaying "
+              << workload->name() << " n=" << workload->size() << " ("
+              << lg.trace.size() << " EREW steps, oracle-checked)\n";
+  }
 
   std::cout << "serve_loadgen: " << opt.sessions << " session(s) on a "
             << opt.side << 'x' << opt.side << " mesh, " << opt.requests
             << " requests at " << opt.rate << "/slice (seed " << opt.seed
             << "), transport " << transport_name(opt.transport)
-            << ", coalesce window " << opt.window << '\n';
+            << ", coalesce window " << opt.window << ", scenario "
+            << opt.scenario << '\n';
 
   if (opt.transport != Transport::Loopback) {
     return run_net(opt, mgr, sched, names, shapes, lg);

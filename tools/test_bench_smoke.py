@@ -15,9 +15,10 @@ import sys
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 import bench_smoke  # noqa: E402
-from bench_smoke import (SmokeError, compare_bench, doc_points,  # noqa: E402
-                         point_field, rank1_parity_failures,
-                         schema_field_diff, transport_parity_failures)
+from bench_smoke import (SmokeError, algo_exact_failures,  # noqa: E402
+                         compare_bench, doc_points, point_field,
+                         rank1_parity_failures, schema_field_diff,
+                         transport_parity_failures)
 
 
 def pts(*entries):
@@ -206,6 +207,58 @@ def test_serve_points_gate_wall_and_pinned_steps_only():
     slow = pts(("t", 20.0, 0, {"rps": 6000.0}))
     fails = compare_bench("serve_net", base, slow, 0.75, log=quiet)
     assert len(fails) == 1 and "wall-clock regressed" in fails[0]
+
+
+def algo_pt(config, wall, steps, **over):
+    """One EXP-A1 point with plausible algo columns, overridable per test."""
+    p = {"config": config, "wall_ms": wall, "mesh_steps": steps,
+         "algorithm": "cc:star", "backend": "mesh", "family": "star",
+         "size": 96, "pram_steps": 120, "backend_steps": 210,
+         "combined_groups": 300, "max_concurrency": 95,
+         "reuse_factor": 3.5}
+    p.update(over)
+    return p
+
+
+def test_algo_exact_passes_when_counts_match():
+    base = {"a": algo_pt("a", 10.0, 400)}
+    fresh = {"a": algo_pt("a", 14.0, 400, reuse_factor=3.6)}
+    # Wall time and the derived ratio may drift; the counts did not.
+    assert algo_exact_failures(base, fresh) == []
+
+
+def test_algo_exact_flags_every_moved_count():
+    base = {"a": algo_pt("a", 10.0, 400)}
+    fresh = {"a": algo_pt("a", 10.0, 400, pram_steps=121,
+                          combined_groups=299)}
+    fails = algo_exact_failures(base, fresh)
+    assert len(fails) == 2
+    assert any("pram_steps changed 120 -> 121" in f for f in fails)
+    assert any("combined_groups changed 300 -> 299" in f for f in fails)
+
+
+def test_algo_exact_ignores_unshared_points():
+    # New workloads in the fresh run (or retired ones in the baseline) are
+    # not failures; only shared points are pinned.
+    base = {"a": algo_pt("a", 10.0, 400)}
+    fresh = {"b": algo_pt("b", 10.0, 400)}
+    assert algo_exact_failures(base, fresh) == []
+
+
+def test_algo_exact_surfaces_missing_column_as_smoke_error():
+    base = {"a": algo_pt("a", 10.0, 400)}
+    broken = {"config": "a", "wall_ms": 10.0, "mesh_steps": 400}
+    try:
+        algo_exact_failures(base, {"a": broken})
+        assert False, "expected SmokeError"
+    except SmokeError as e:
+        assert "size" in str(e) and "fresh algo_suite output" in str(e)
+
+
+def test_schema_field_diff_tolerates_algo_columns():
+    doc = {f: 0 for f in bench_smoke.CURRENT_FIELDS}
+    doc["points"] = [algo_pt("cc:star n=96 mesh", 1.0, 400)]
+    assert "unexpected" not in schema_field_diff(doc)
 
 
 def main():
